@@ -1,0 +1,59 @@
+// Ablation (design choice from DESIGN.md / paper Figure 2): the cost of
+// tiling the ifmap along each access direction.  Height-wise cuts pay a
+// (F_H - S)-row halo per tile, width-wise a (F_W - S)-column halo, and
+// depth-wise cuts are free — which is why the fallback tiler shrinks along
+// the height first.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/fallback.hpp"
+#include "model/layer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rainbow;
+  using core::AccessDirection;
+  const auto args = bench::parse_args(argc, argv);
+
+  const model::Layer layers[] = {
+      model::make_conv("early_7x7_s2", 224, 224, 3, 7, 7, 64, 2, 3),
+      model::make_conv("mid_3x3", 56, 56, 64, 3, 3, 128, 1, 1),
+      model::make_conv("late_3x3", 14, 14, 256, 3, 3, 512, 1, 1),
+      model::make_conv("big_5x5", 28, 28, 32, 5, 5, 64, 1, 2),
+  };
+
+  util::Table table({"layer", "direction", "tiles", "ifmap traffic kB",
+                     "overhead vs single pass %"});
+  for (const auto& layer : layers) {
+    for (AccessDirection dir :
+         {AccessDirection::kHeightWise, AccessDirection::kWidthWise,
+          AccessDirection::kDepthWise}) {
+      const int extent = dir == AccessDirection::kHeightWise ? layer.ofmap_h()
+                         : dir == AccessDirection::kWidthWise ? layer.ofmap_w()
+                                                              : layer.channels();
+      for (int tiles : {2, 4, 8}) {
+        if (extent / tiles < 1) {
+          continue;
+        }
+        const int tile = (extent + tiles - 1) / tiles;
+        const count_t traffic =
+            core::ifmap_traffic_with_reload(layer, dir, tile);
+        const double overhead =
+            100.0 *
+            (static_cast<double>(traffic) /
+                 static_cast<double>(layer.padded_ifmap_elems()) -
+             1.0);
+        table.add_row({layer.name(), std::string(core::to_string(dir)),
+                       std::to_string(tiles),
+                       util::fmt(static_cast<double>(traffic) / 1024.0),
+                       util::fmt(overhead)});
+      }
+    }
+  }
+  bench::emit("Ablation: ifmap re-load cost per access direction (Figure 2)",
+              table, args);
+
+  std::cout << "reading: depth-wise cuts never re-load; height/width cuts "
+               "pay (F - S) halo lines per tile boundary, so large filters "
+               "and many tiles multiply the overhead.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+namespace rainbow::bench {
+
+BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--csv" && i + 1 < argc) {
+      args.csv_path = argv[++i];
+    } else if (flag == "--no-padding") {
+      args.no_padding = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--csv <path>] [--no-padding]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+void emit(const std::string& title, const util::Table& table,
+          const BenchArgs& args) {
+  std::cout << "== " << title << " ==\n";
+  table.print(std::cout);
+  std::cout << '\n';
+  if (args.csv_path) {
+    std::ofstream out(*args.csv_path, std::ios::app);
+    if (!out) {
+      std::cerr << "cannot open " << *args.csv_path << '\n';
+      std::exit(1);
+    }
+    out << "# " << title << '\n';
+    table.print_csv(out);
+  }
+}
+
+std::string glb_label(count_t glb_bytes) {
+  return std::to_string(glb_bytes / 1024) + "kB";
+}
+
+std::string mcycles(double cycles) { return util::fmt(cycles / 1e6, 2); }
+
+}  // namespace rainbow::bench

@@ -1,0 +1,35 @@
+// Shared plumbing for the per-table/figure benchmark binaries: flag
+// parsing (--csv <path>, --no-padding), table emission, and the model /
+// buffer-size sweep axes of the paper's evaluation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.hpp"
+#include "model/network.hpp"
+#include "util/table.hpp"
+
+namespace rainbow::bench {
+
+struct BenchArgs {
+  std::optional<std::string> csv_path;  ///< also write the table as CSV
+  bool no_padding = false;              ///< ablation: exclude ifmap padding
+};
+
+/// Parses --csv <path> and --no-padding; exits with a usage message on
+/// unknown flags.
+[[nodiscard]] BenchArgs parse_args(int argc, char** argv);
+
+/// Prints `title`, the table, and (when requested) writes the CSV file.
+void emit(const std::string& title, const util::Table& table,
+          const BenchArgs& args);
+
+/// "64kB", "1024kB" labels for the sweep axis.
+[[nodiscard]] std::string glb_label(count_t glb_bytes);
+
+/// Cycles rendered in millions with two decimals.
+[[nodiscard]] std::string mcycles(double cycles);
+
+}  // namespace rainbow::bench

@@ -1,0 +1,72 @@
+// Figure 1 (motivational): two layer cases inspired by ResNet18 — case A
+// filter-dominated (a late stage), case B ofmap-dominated (an early stage).
+// For each case we show what a separate-buffer setup can keep on-chip
+// versus the unified GLB under the access and latency goals.
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "model/layer.hpp"
+#include "scalesim/buffer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rainbow;
+  using core::Objective;
+  const auto args = bench::parse_args(argc, argv);
+
+  const auto spec = arch::paper_spec(util::kib(64));
+  const core::Analyzer analyzer(spec);
+  const scalesim::BufferPartition split{.ifmap_fraction = 0.5};
+  const count_t usable_if = split.ifmap_buffer(spec).usable_elems(spec);
+  const count_t usable_flt = split.filter_buffer(spec).usable_elems(spec);
+  const count_t usable_of = split.ofmap_buffer().usable_elems(spec);
+
+  const model::Layer cases[] = {
+      // Case A: large filters (ResNet18 conv5_x shape).
+      model::make_conv("case_A", 14, 14, 256, 3, 3, 512, 2, 1),
+      // Case B: large ofmap (ResNet18 conv1 shape).
+      model::make_conv("case_B", 224, 224, 3, 7, 7, 64, 2, 3),
+  };
+
+  util::Table table({"case", "data", "need kB", "separate-buffer kB",
+                     "GLB access-goal kB", "GLB latency-goal kB"});
+  for (const auto& layer : cases) {
+    const auto access_best = analyzer.best_estimate(layer, Objective::kAccesses);
+    const auto latency_best = analyzer.best_estimate(layer, Objective::kLatency);
+    const count_t need[3] = {layer.ifmap_elems(), layer.filter_elems(),
+                             layer.ofmap_elems()};
+    const count_t separate[3] = {std::min(need[0], usable_if),
+                                 std::min(need[1], usable_flt),
+                                 std::min(need[2], usable_of)};
+    const count_t glb_a[3] = {access_best.footprint.ifmap,
+                              access_best.footprint.filter,
+                              access_best.footprint.ofmap};
+    const count_t glb_l[3] = {latency_best.footprint.ifmap,
+                              latency_best.footprint.filter,
+                              latency_best.footprint.ofmap};
+    const char* names[3] = {"ifmap", "filter", "ofmap"};
+    for (int i = 0; i < 3; ++i) {
+      table.add_row({layer.name(), names[i],
+                     util::fmt(static_cast<double>(need[i]) / 1024.0),
+                     util::fmt(static_cast<double>(separate[i]) / 1024.0),
+                     util::fmt(static_cast<double>(glb_a[i]) / 1024.0),
+                     util::fmt(static_cast<double>(glb_l[i]) / 1024.0)});
+    }
+    std::ostringstream policy_a, policy_l;
+    policy_a << access_best.choice;
+    policy_l << latency_best.choice;
+    table.add_row({layer.name(), "policy", "-", "fixed 50/50/4kB",
+                   policy_a.str(), policy_l.str()});
+  }
+  bench::emit(
+      "Figure 1: separate buffers vs managed global buffer (64 kB on-chip)",
+      table, args);
+
+  std::cout << "reading: the separate setup truncates the dominant data type "
+               "at its fixed partition while other partitions sit idle; the "
+               "managed GLB reshapes the whole 64 kB around each case "
+               "(access goal) or halves working copies to prefetch (latency "
+               "goal).\n";
+  return 0;
+}

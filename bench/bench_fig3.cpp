@@ -1,0 +1,31 @@
+// Figure 3: memory breakdown into the different data types for each layer
+// of the ResNet18 model (kB at 8-bit).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/zoo/zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rainbow;
+  const auto args = bench::parse_args(argc, argv);
+
+  const auto net = model::zoo::resnet18();
+  util::Table table({"layer", "name", "kind", "ifmap kB", "filter kB",
+                     "ofmap kB", "total kB"});
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto& l = net.layer(i);
+    const double ifmap = static_cast<double>(l.ifmap_elems()) / 1024.0;
+    const double filter = static_cast<double>(l.filter_elems()) / 1024.0;
+    const double ofmap = static_cast<double>(l.ofmap_elems()) / 1024.0;
+    table.add_row({"L" + std::to_string(i + 1), l.name(),
+                   std::string(model::to_string(l.kind())), util::fmt(ifmap),
+                   util::fmt(filter), util::fmt(ofmap),
+                   util::fmt(ifmap + filter + ofmap)});
+  }
+  bench::emit("Figure 3: per-layer memory breakdown, ResNet18", table, args);
+
+  std::cout << "reading: early layers are ifmap/ofmap-dominated, late layers "
+               "filter-dominated — the heterogeneity motivating per-layer "
+               "policies (paper Section 3.3).\n";
+  return 0;
+}

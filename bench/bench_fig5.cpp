@@ -1,0 +1,64 @@
+// Figure 5: volume of off-chip memory accesses (MB) for the three baseline
+// partitions and the proposed Hom / Het schemes, for every model and every
+// GLB size.  The (model x size) cells are independent and evaluated on a
+// thread pool.
+#include <iostream>
+#include <mutex>
+
+#include "bench_common.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+#include "scalesim/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rainbow;
+  const auto args = bench::parse_args(argc, argv);
+
+  struct Cell {
+    std::string model;
+    count_t glb = 0;
+    double sa_25_75 = 0, sa_50_50 = 0, sa_75_25 = 0, hom = 0, het = 0;
+  };
+  std::vector<Cell> cells;
+  for (const auto& name : model::zoo::model_names()) {
+    for (const auto glb : arch::paper_glb_sizes()) {
+      cells.push_back({.model = name, .glb = glb});
+    }
+  }
+
+  util::parallel_for_each(cells, [&](Cell& cell) {
+    const auto net = model::zoo::by_name(cell.model);
+    const auto spec = arch::paper_spec(cell.glb);
+    double* baselines[3] = {&cell.sa_25_75, &cell.sa_50_50, &cell.sa_75_25};
+    int i = 0;
+    for (const auto& part : scalesim::paper_partitions()) {
+      const scalesim::Simulator sim(spec, part);
+      *baselines[i++] = sim.run(net).access_mb(spec);
+    }
+    core::ManagerOptions options;
+    options.analyzer.estimator.padded_traffic = !args.no_padding;
+    const core::MemoryManager manager(spec, options);
+    cell.hom =
+        manager.plan_homogeneous(net, core::Objective::kAccesses).total_access_mb();
+    cell.het = manager.plan(net, core::Objective::kAccesses).total_access_mb();
+  });
+
+  util::Table table({"model", "GLB", "sa_25_75 MB", "sa_50_50 MB",
+                     "sa_75_25 MB", "Hom MB", "Het MB", "Het vs best-sa %"});
+  for (const Cell& c : cells) {
+    const double best_sa = std::min({c.sa_25_75, c.sa_50_50, c.sa_75_25});
+    table.add_row({c.model, bench::glb_label(c.glb), util::fmt(c.sa_25_75, 2),
+                   util::fmt(c.sa_50_50, 2), util::fmt(c.sa_75_25, 2),
+                   util::fmt(c.hom, 2), util::fmt(c.het, 2),
+                   util::fmt(100.0 * (best_sa - c.het) / best_sa)});
+  }
+  bench::emit("Figure 5: off-chip access volume per scheme, model, GLB size",
+              table, args);
+
+  std::cout << "paper shape: Het cuts 43-80% vs the baselines at 64 kB "
+               "(ResNet18 up to 79.8%); the gap closes at 512 kB-1 MB where "
+               "Het can trail slightly because it counts ifmap padding and "
+               "the baseline does not.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 7: benefit of the heterogeneous over the homogeneous scheme for
+// off-chip access reduction, across data widths (8/16/32-bit) and GLB
+// sizes, for MobileNetV2.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rainbow;
+  const auto args = bench::parse_args(argc, argv);
+
+  const auto net = model::zoo::mobilenetv2();
+  struct Cell {
+    int width_bits = 0;
+    count_t glb = 0;
+    double hom_mb = 0, het_mb = 0;
+  };
+  std::vector<Cell> cells;
+  for (int width : {8, 16, 32}) {
+    for (const auto glb : arch::paper_glb_sizes()) {
+      cells.push_back({.width_bits = width, .glb = glb});
+    }
+  }
+
+  util::parallel_for_each(cells, [&](Cell& cell) {
+    arch::AcceleratorSpec spec = arch::paper_spec(cell.glb);
+    spec.data_width_bits = cell.width_bits;
+    core::ManagerOptions options;
+    options.analyzer.estimator.padded_traffic = !args.no_padding;
+    const core::MemoryManager manager(spec, options);
+    cell.hom_mb =
+        manager.plan_homogeneous(net, core::Objective::kAccesses).total_access_mb();
+    cell.het_mb = manager.plan(net, core::Objective::kAccesses).total_access_mb();
+  });
+
+  util::Table table({"data width", "GLB", "Hom MB", "Het MB",
+                     "Het benefit over Hom %"});
+  for (const Cell& c : cells) {
+    table.add_row({std::to_string(c.width_bits) + "-bit",
+                   bench::glb_label(c.glb), util::fmt(c.hom_mb, 2),
+                   util::fmt(c.het_mb, 2),
+                   util::fmt(util::benefit_percent(c.hom_mb, c.het_mb))});
+  }
+  bench::emit("Figure 7: Het vs Hom access benefit by data width, MobileNetV2",
+              table, args);
+
+  std::cout << "paper shape: at 32-bit the Het scheme cuts ~69% at 64 kB and "
+               "~52% at 128 kB over Hom; the gap fades for larger buffers "
+               "and narrower data.\n";
+  return 0;
+}

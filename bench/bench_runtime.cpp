@@ -1,0 +1,83 @@
+// Section 4's runtime claim: generating the management schemes for all
+// models takes ~a minute of analytic estimation, while the full baseline
+// simulation takes hours.  Here both run in-process: the manager's
+// Algorithm 1 sweep versus the baseline simulator sweep, per model and for
+// the whole suite.  The gap (analytic plans are cheap, simulation is the
+// expensive part) is the reproducible shape; absolute times depend on the
+// host.
+#include <benchmark/benchmark.h>
+
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+#include "scalesim/simulator.hpp"
+
+namespace {
+
+using namespace rainbow;
+
+const std::vector<model::Network>& models() {
+  static const std::vector<model::Network> kModels = model::zoo::all_models();
+  return kModels;
+}
+
+void BM_ManagerHetPlan(benchmark::State& state) {
+  const auto& net = models()[static_cast<std::size_t>(state.range(0))];
+  const core::MemoryManager manager(arch::paper_spec(util::kib(64)));
+  for (auto _ : state) {
+    auto plan = manager.plan(net, core::Objective::kAccesses);
+    benchmark::DoNotOptimize(plan.total_accesses());
+  }
+  state.SetLabel(net.name());
+}
+BENCHMARK(BM_ManagerHetPlan)->DenseRange(0, 5);
+
+void BM_ManagerFullSweep(benchmark::State& state) {
+  // All six models at all five GLB sizes, both objectives, Hom + Het —
+  // the paper's "approximately one minute" workload.
+  for (auto _ : state) {
+    count_t checksum = 0;
+    for (const auto glb : arch::paper_glb_sizes()) {
+      const core::MemoryManager manager(arch::paper_spec(glb));
+      for (const auto& net : models()) {
+        for (core::Objective obj :
+             {core::Objective::kAccesses, core::Objective::kLatency}) {
+          checksum += manager.plan(net, obj).total_accesses();
+          checksum += manager.plan_homogeneous(net, obj).total_accesses();
+        }
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_ManagerFullSweep)->Unit(benchmark::kMillisecond);
+
+void BM_BaselineAnalytic(benchmark::State& state) {
+  // The analytic traffic model alone — as cheap as the manager's
+  // estimators, shown for contrast with the traced run below.
+  const auto& net = models()[static_cast<std::size_t>(state.range(0))];
+  const scalesim::Simulator sim(arch::paper_spec(util::kib(64)),
+                                scalesim::BufferPartition{.ifmap_fraction = 0.5});
+  for (auto _ : state) {
+    auto run = sim.run(net);
+    benchmark::DoNotOptimize(run.total_accesses);
+  }
+  state.SetLabel(net.name());
+}
+BENCHMARK(BM_BaselineAnalytic)->DenseRange(0, 5);
+
+void BM_BaselineTracedSimulation(benchmark::State& state) {
+  // Full cycle-level fold walk with trace generation — what SCALE-Sim
+  // actually does, and the reason the paper reports >5 hours of baseline
+  // simulation versus ~a minute of plan generation.
+  const auto& net = models()[static_cast<std::size_t>(state.range(0))];
+  const scalesim::Simulator sim(arch::paper_spec(util::kib(64)),
+                                scalesim::BufferPartition{.ifmap_fraction = 0.5});
+  for (auto _ : state) {
+    auto run = sim.run_traced(net);
+    benchmark::DoNotOptimize(run.trace_checksum);
+  }
+  state.SetLabel(net.name());
+}
+BENCHMARK(BM_BaselineTracedSimulation)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,39 @@
+// Table 2: characteristics of the DL models studied — layer counts and
+// layer-type mixes, generated from the model zoo.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/zoo/zoo.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rainbow;
+  const auto args = bench::parse_args(argc, argv);
+
+  util::Table table({"Network", "Number of Layers", "Types of Layers",
+                     "MACs (M)", "Filter elems (M)"});
+  for (const auto& net : model::zoo::all_models()) {
+    std::string types;
+    for (model::LayerKind kind :
+         {model::LayerKind::kConv, model::LayerKind::kDepthwise,
+          model::LayerKind::kPointwise, model::LayerKind::kFullyConnected,
+          model::LayerKind::kProjection}) {
+      if (net.count_kind(kind) > 0) {
+        if (!types.empty()) {
+          types += ", ";
+        }
+        types += model::to_string(kind);
+      }
+    }
+    table.add_row({net.name(), std::to_string(net.size()), types,
+                   util::fmt(static_cast<double>(net.total_macs()) / 1e6),
+                   util::fmt(static_cast<double>(net.total_filter_elems()) / 1e6)});
+  }
+  bench::emit("Table 2: characteristics of the DL models studied", table, args);
+
+  std::cout << "paper reference: EfficientNetB0 82 (CV,DW,PW,FC) | GoogLeNet 64 "
+               "(CV,PW,FC) | MnasNet 53 (CV,DW,PW,FC) | MobileNet 28 "
+               "(CV,DW,PW,FC) | MobileNetV2 53 (CV,DW,PW,FC) | ResNet18 21 "
+               "(CV,PW,FC,PL)\n";
+  return 0;
+}

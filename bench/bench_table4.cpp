@@ -1,0 +1,51 @@
+// Table 4: the memory policies the heterogeneous scheme selects for each
+// network with a 64 kB GLB (accesses objective).  "(+p)" marks policies
+// used both with and without prefetching, "+p" prefetching only.
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "bench_common.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rainbow;
+  using core::Policy;
+  const auto args = bench::parse_args(argc, argv);
+
+  core::ManagerOptions options;
+  options.analyzer.estimator.padded_traffic = !args.no_padding;
+  const core::MemoryManager manager(arch::paper_spec(util::kib(64)), options);
+
+  util::Table table({"Network", "Memory policies used"});
+  for (const auto& net : model::zoo::all_models()) {
+    const auto plan = manager.plan(net, core::Objective::kAccesses);
+    // policy -> {plain used, prefetch used}
+    std::map<Policy, std::pair<bool, bool>> used;
+    for (const auto& a : plan.assignments()) {
+      auto& flags = used[a.estimate.choice.policy];
+      (a.estimate.choice.prefetch ? flags.second : flags.first) = true;
+    }
+    std::string summary;
+    for (const auto& [policy, flags] : used) {
+      if (!summary.empty()) {
+        summary += ", ";
+      }
+      summary += core::short_label(policy, false);
+      if (flags.first && flags.second) {
+        summary += " (+p)";
+      } else if (flags.second) {
+        summary += " +p";
+      }
+    }
+    table.add_row({net.name(), summary});
+  }
+  bench::emit("Table 4: memory policies used by Het at 64 kB GLB", table, args);
+
+  std::cout << "paper: EfficientNetB0 {intra(+p), p1(+p), p2+p, p3(+p), p5+p} "
+               "| GoogLeNet {intra(+p), p1(+p), p2+p, p3(+p), p4, p5} | "
+               "MnasNet {p1(+p), p2+p, p3(+p)} | MobileNet {p1..p5} | "
+               "MobileNetV2 {intra, p1, p2, p3} | ResNet18 {p1, p2, p3, p5}\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Design-space exploration: how much scratchpad does a model actually
+// need, and what does each kilobyte buy?  Sweeps GLB sizes for a chosen
+// model, prints the accesses/latency frontier under both objectives, and
+// reports where inter-layer reuse starts paying.  The sweep cells run on a
+// thread pool.
+//
+//   $ ./design_space [model]            (default: MobileNetV2)
+#include <iostream>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "dse/sensitivity.hpp"
+#include "model/summary.hpp"
+#include "model/zoo/zoo.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rainbow;
+  using core::Objective;
+  const std::string model_name = argc > 1 ? argv[1] : "MobileNetV2";
+  const model::Network net = model::zoo::by_name(model_name);
+  const std::size_t boundaries = core::sequential_boundaries(net);
+
+  struct Cell {
+    count_t glb_kb;
+    double acc_mb = 0, lat_mcyc = 0, lat_obj_mcyc = 0;
+    double inter_acc_mb = 0, inter_coverage = 0;
+    double prefetch_coverage = 0;
+  };
+  std::vector<Cell> cells;
+  for (count_t kb = 16; kb <= 2048; kb *= 2) {
+    cells.push_back({.glb_kb = kb});
+  }
+
+  util::parallel_for_each(cells, [&](Cell& cell) {
+    const auto spec = arch::paper_spec(util::kib(cell.glb_kb));
+    const core::MemoryManager manager(spec);
+    const auto acc_plan = manager.plan(net, Objective::kAccesses);
+    const auto lat_plan = manager.plan(net, Objective::kLatency);
+    cell.acc_mb = acc_plan.total_access_mb();
+    cell.lat_mcyc = acc_plan.total_latency_cycles() / 1e6;
+    cell.lat_obj_mcyc = lat_plan.total_latency_cycles() / 1e6;
+    cell.prefetch_coverage = 100.0 * lat_plan.prefetch_coverage();
+
+    core::ManagerOptions inter;
+    inter.interlayer_reuse = true;
+    const auto inter_plan =
+        core::MemoryManager(spec, inter).plan(net, Objective::kAccesses);
+    cell.inter_acc_mb = inter_plan.total_access_mb();
+    cell.inter_coverage = 100.0 * inter_plan.interlayer_coverage(boundaries);
+  });
+
+  util::Table table({"GLB kB", "Het_a MB", "Het_a Mcyc", "Het_l Mcyc",
+                     "prefetch cov %", "+inter MB", "inter cov %"});
+  for (const Cell& c : cells) {
+    table.add_row({std::to_string(c.glb_kb), util::fmt(c.acc_mb, 2),
+                   util::fmt(c.lat_mcyc, 2), util::fmt(c.lat_obj_mcyc, 2),
+                   util::fmt(c.prefetch_coverage, 0),
+                   util::fmt(c.inter_acc_mb, 2),
+                   util::fmt(c.inter_coverage, 0)});
+  }
+  std::cout << "design-space sweep for " << net.name() << " ("
+            << net.size() << " layers)\n";
+  table.print(std::cout);
+
+  // A simple sizing recommendation: the smallest GLB within 5% of the
+  // asymptotic access volume, and the smallest where inter-layer reuse
+  // covers half the boundaries.
+  const double floor_mb = cells.back().inter_acc_mb;
+  for (const Cell& c : cells) {
+    if (c.inter_acc_mb <= 1.05 * floor_mb) {
+      std::cout << "\nrecommendation: " << c.glb_kb
+                << " kB reaches within 5% of the asymptotic off-chip volume ("
+                << util::fmt(floor_mb, 2) << " MB)\n";
+      break;
+    }
+  }
+
+  // Marginal-utility view (dse/sensitivity): what each doubling buys, and
+  // where the curve stops paying for its SRAM.
+  dse::SweepConfig config;
+  for (count_t kb = 16; kb <= 2048; kb *= 2) {
+    config.glb_bytes.push_back(util::kib(kb));
+  }
+  const auto points = dse::run_sweep(net, config);
+  std::cout << "\nmarginal utility (off-chip bytes saved per added on-chip "
+               "byte, per inference):\n";
+  for (const auto& m : dse::marginal_utility(points)) {
+    std::cout << "  " << m.from_bytes / 1024 << " -> " << m.to_bytes / 1024
+              << " kB: " << util::fmt(m.bytes_saved_per_byte, 2) << "\n";
+  }
+  std::cout << "knee (marginal value < 1 byte/byte): "
+            << dse::knee_glb_bytes(points) / 1024 << " kB\n";
+
+  const auto summary = model::summarize(net);
+  std::cout << "profile: " << model::to_string(summary.dominance)
+            << ", arithmetic intensity "
+            << util::fmt(summary.arithmetic_intensity, 1)
+            << " MACs/element at compulsory traffic\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Edge-deployment scenario from the paper's motivation: a battery-powered
+// device must run several vision models on one small accelerator, and
+// off-chip DRAM traffic is the energy budget (10-100x the cost of a local
+// access, Section 2.3).  This example sizes the energy win of unified
+// management at 64 kB and shows the per-model latency/energy menu a
+// deployment engineer would pick from.
+#include <iostream>
+
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+#include "scalesim/simulator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rainbow;
+  using core::Objective;
+
+  const auto spec = arch::paper_spec(util::kib(64));
+  // Energy model: 100 pJ per off-chip element (8-bit), 0.2 pJ per MAC —
+  // representative edge-accelerator numbers; only ratios matter here.
+  constexpr double kDramPjPerElem = 100.0;
+  constexpr double kMacPj = 0.2;
+
+  const core::MemoryManager manager(spec);
+  util::Table table({"model", "scheme", "off-chip MB", "latency Mcyc",
+                     "energy mJ", "energy vs baseline %"});
+
+  for (const auto& net : model::zoo::all_models()) {
+    // Best fixed-partition baseline the device could ship instead.
+    double baseline_mb = 1e30;
+    count_t baseline_cycles = 0;
+    for (const auto& part : scalesim::paper_partitions()) {
+      const scalesim::Simulator sim(spec, part);
+      const auto run = sim.run(net);
+      if (run.access_mb(spec) < baseline_mb) {
+        baseline_mb = run.access_mb(spec);
+        baseline_cycles = run.total_cycles;
+      }
+    }
+    const double mac_mj = static_cast<double>(net.total_macs()) * kMacPj * 1e-9;
+    const double baseline_mj =
+        baseline_mb * 1024 * 1024 * kDramPjPerElem * 1e-9 + mac_mj;
+
+    const auto plan_a = manager.plan(net, Objective::kAccesses);
+    const auto plan_l = manager.plan(net, Objective::kLatency);
+    auto energy_mj = [&](double mb) {
+      return mb * 1024 * 1024 * kDramPjPerElem * 1e-9 + mac_mj;
+    };
+
+    table.add_row({net.name(), "best fixed split", util::fmt(baseline_mb, 2),
+                   util::fmt(static_cast<double>(baseline_cycles) / 1e6, 2),
+                   util::fmt(baseline_mj, 2), "0.0"});
+    auto add_scheme = [&](const char* label, const core::ExecutionPlan& plan) {
+      const double mj = energy_mj(plan.total_access_mb());
+      table.add_row({net.name(), label, util::fmt(plan.total_access_mb(), 2),
+                     util::fmt(plan.total_latency_cycles() / 1e6, 2),
+                     util::fmt(mj, 2),
+                     util::fmt(100.0 * (baseline_mj - mj) / baseline_mj)});
+    };
+    add_scheme("Het (energy)", plan_a);
+    add_scheme("Het (latency)", plan_l);
+  }
+
+  std::cout << "edge deployment menu @ 64 kB scratchpad (energy: 100 pJ per "
+               "off-chip element, 0.2 pJ per MAC)\n";
+  table.print(std::cout);
+  std::cout << "\nreading: with DRAM dominating the energy budget, the "
+               "access-optimized plans translate the paper's traffic cuts "
+               "almost one-for-one into battery life; the latency plans show "
+               "what the same hardware gives up when responsiveness matters "
+               "more.\n";
+  return 0;
+}

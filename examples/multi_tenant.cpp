@@ -1,0 +1,81 @@
+// Multi-tenancy scenario from the paper's introduction: several models
+// share one accelerator.  Three ways to share the scratchpad, worst to
+// best:
+//   (a) static spatial split — each tenant permanently owns half the GLB;
+//   (b) time-multiplexed     — each tenant re-planned with the full GLB
+//                              during its slot;
+//   (c) co-scheduled         — layers interleave and the planner chooses
+//                              both tenants' policies jointly so that one
+//                              tenant's loads hide behind the other's
+//                              compute (core/multitenant.hpp).
+#include <iostream>
+
+#include "core/manager.hpp"
+#include "core/multitenant.hpp"
+#include "model/zoo/zoo.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rainbow;
+  using core::Objective;
+
+  const count_t total_kb = 128;
+  const auto tenant_a = model::zoo::by_name("MobileNetV2");
+  const auto tenant_b = model::zoo::by_name("ResNet18");
+  const auto spec = arch::paper_spec(util::kib(total_kb));
+
+  util::Table table({"sharing", "off-chip MB", "latency Mcyc", "note"});
+
+  // (a) static split.
+  const core::MemoryManager half(arch::paper_spec(util::kib(total_kb / 2)));
+  double split_mb = 0.0, split_cycles = 0.0;
+  for (const auto* net : {&tenant_a, &tenant_b}) {
+    const auto plan = half.plan(*net, Objective::kAccesses);
+    split_mb += plan.total_access_mb();
+    split_cycles += plan.total_latency_cycles();
+  }
+  table.add_row({"static split", util::fmt(split_mb, 2),
+                 util::fmt(split_cycles / 1e6, 2),
+                 std::to_string(total_kb / 2) + " kB each, always"});
+
+  // (b) time-multiplexed.
+  const core::MemoryManager full(spec);
+  double tm_mb = 0.0, tm_cycles = 0.0;
+  for (const auto* net : {&tenant_a, &tenant_b}) {
+    const auto plan = full.plan(*net, Objective::kAccesses);
+    tm_mb += plan.total_access_mb();
+    tm_cycles += plan.total_latency_cycles();
+  }
+  table.add_row({"time-multiplexed", util::fmt(tm_mb, 2),
+                 util::fmt(tm_cycles / 1e6, 2),
+                 "full GLB per slot, no overlap across tenants"});
+
+  // (c) co-scheduled.  Its latency numbers come from the coarser
+  // cross-tenant pipeline model (per-layer compute/transfer overlap), so
+  // compare its serialized and overlapped variants with each other.
+  const auto joint =
+      core::plan_multi_tenant(tenant_a, tenant_b, spec, Objective::kAccesses);
+  table.add_row({"co-scheduled, serial", util::fmt(joint.total_access_mb(spec), 2),
+                 util::fmt(joint.serialized_latency_cycles / 1e6, 2),
+                 "joint policies, no cross-tenant overlap"});
+  table.add_row({"co-scheduled, overlap", util::fmt(joint.total_access_mb(spec), 2),
+                 util::fmt(joint.overlapped_latency_cycles / 1e6, 2),
+                 "one tenant loads behind the other's compute; peak "
+                 "combined set " +
+                     util::fmt(static_cast<double>(joint.peak_combined_elems *
+                                                   spec.element_bytes()) /
+                                   1024.0,
+                               0) +
+                     " kB"});
+
+  std::cout << "two tenants (" << tenant_a.name() << " + " << tenant_b.name()
+            << ") sharing a " << total_kb << " kB scratchpad\n";
+  table.print(std::cout);
+  std::cout << "\nreading: the heterogeneous scheme's access-flatness "
+               "(Figure 5) makes time-multiplexed sharing nearly free — a "
+               "direct consequence of the paper's result.  Co-scheduling "
+               "adds cross-tenant overlap on top: within its own timing "
+               "model, interleaving hides one tenant's transfers behind "
+               "the other tenant's compute.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Plan auditing workflow: generate a plan, store its decisions next to a
+// deployment, have a reviewer tweak one decision, and let the loader
+// re-derive and validate everything — the toolchain loop behind
+// `rainbow_plan --plan-out/--plan-in`.
+#include <iostream>
+
+#include "core/manager.hpp"
+#include "core/plan_io.hpp"
+#include "model/zoo/zoo.hpp"
+
+int main() {
+  using namespace rainbow;
+  const auto net = model::zoo::by_name("MobileNet");
+  const auto spec = arch::paper_spec(util::kib(64));
+  const core::MemoryManager manager(spec);
+
+  // 1. Plan and serialize the decisions (policies only, no metrics).
+  const auto plan = manager.plan(net, core::Objective::kAccesses);
+  std::string stored = core::serialize_plan(plan);
+  std::cout << "stored plan (" << net.size() << " decisions):\n"
+            << stored.substr(0, stored.find('\n', stored.find("\n0,") + 1) + 1)
+            << "...\n\n";
+
+  // 2. Reloading re-derives identical metrics from the decisions alone.
+  const auto reloaded = core::parse_plan(stored, net);
+  std::cout << "round trip: " << reloaded.total_access_mb() << " MB vs "
+            << plan.total_access_mb() << " MB planned\n";
+
+  // 3. An auditor forces layer 25 (7x7x1024 depthwise) onto filter reuse;
+  //    the loader accepts it and re-prices the plan.
+  const auto pos = stored.find("\n25, ");
+  const auto end = stored.find('\n', pos + 1);
+  stored.replace(pos, end - pos, "\n25, p2, 0, 1, 0, 0, 0");
+  const auto edited = core::parse_plan(stored, net);
+  std::cout << "after the audit edit: " << edited.total_access_mb()
+            << " MB (layer 25 now "
+            << core::short_label(
+                   edited.assignment(25).estimate.choice.policy,
+                   edited.assignment(25).estimate.choice.prefetch)
+            << ")\n";
+
+  // 4. An invalid edit — whole-layer residency at 64 kB — is refused with
+  //    a precise reason instead of silently mispricing.
+  auto broken = core::serialize_plan(plan);
+  const auto p1 = broken.find("\n1, ");
+  broken.replace(p1, broken.find('\n', p1 + 1) - p1, "\n1, intra, 0, 1, 0, 0, 0");
+  try {
+    (void)core::parse_plan(broken, net);
+    std::cout << "ERROR: invalid plan was accepted\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cout << "invalid edit rejected: " << e.what() << '\n';
+  }
+  return 0;
+}

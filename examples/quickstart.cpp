@@ -1,0 +1,52 @@
+// Quickstart: plan the execution of a built-in model on the paper's
+// accelerator and inspect the result.
+//
+//   $ ./quickstart [model] [glb_kb]     (defaults: ResNet18, 64)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/manager.hpp"
+#include "engine/engine.hpp"
+#include "model/zoo/zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rainbow;
+  const std::string model_name = argc > 1 ? argv[1] : "ResNet18";
+  const count_t glb_kb = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+
+  // 1. Pick a model (or build your own; see examples/custom_model.cpp).
+  const model::Network net = model::zoo::by_name(model_name);
+  std::cout << net.name() << ": " << net.size() << " layers, "
+            << static_cast<double>(net.total_macs()) / 1e6 << " MMACs\n\n";
+
+  // 2. Describe the accelerator: 16x16 PEs, 8-bit data, 16 B/cycle DRAM
+  //    bandwidth, and a unified scratchpad of the requested size.
+  const arch::AcceleratorSpec spec = arch::paper_spec(util::kib(glb_kb));
+
+  // 3. Let the memory manager pick a policy per layer (Algorithm 1).
+  const core::MemoryManager manager(spec);
+  const core::ExecutionPlan for_accesses =
+      manager.plan(net, core::Objective::kAccesses);
+  const core::ExecutionPlan for_latency =
+      manager.plan(net, core::Objective::kLatency);
+
+  std::cout << manager.describe(for_accesses, net) << '\n';
+
+  std::cout << "objective comparison @ " << glb_kb << " kB GLB:\n"
+            << "  accesses objective: " << for_accesses.total_access_mb()
+            << " MB off-chip, " << for_accesses.total_latency_cycles() / 1e6
+            << " Mcycles\n"
+            << "  latency objective:  " << for_latency.total_access_mb()
+            << " MB off-chip, " << for_latency.total_latency_cycles() / 1e6
+            << " Mcycles\n\n";
+
+  // 4. Execute the plan in the tile-level engine: the measured traffic
+  //    equals the plan's estimate, tile by tile.
+  const engine::Engine engine(spec);
+  const engine::PlanExecution exec = engine.execute_plan(for_accesses, net);
+  std::cout << "engine check: measured "
+            << static_cast<double>(exec.total_accesses * spec.element_bytes()) /
+                   (1024.0 * 1024.0)
+            << " MB vs planned " << for_accesses.total_access_mb() << " MB\n";
+  return 0;
+}

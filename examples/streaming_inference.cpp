@@ -1,0 +1,61 @@
+// Streaming / batched inference: Section 2.2's "global reuse" — filters
+// stay on-chip and are reused every time a new input arrives.  This
+// example plans MobileNet for a camera-style stream at several batch
+// sizes and shows how the manager shifts to weight-resident policies as
+// the batch grows, amortizing the filter traffic.
+#include <iostream>
+#include <map>
+
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rainbow;
+  using core::Objective;
+  using core::Policy;
+
+  const auto net = model::zoo::by_name("MobileNet");
+  const auto spec = arch::paper_spec(util::kib(256));
+
+  util::Table table({"batch", "per-frame MB", "per-frame Mcyc",
+                     "weight-resident layers", "dominant policies"});
+  for (int batch : {1, 4, 16, 64}) {
+    core::ManagerOptions options;
+    options.analyzer.estimator.batch = batch;
+    const core::MemoryManager manager(spec, options);
+    const auto plan = manager.plan(net, Objective::kAccesses);
+
+    std::size_t resident = 0;
+    std::map<std::string, int> policy_counts;
+    for (const auto& a : plan.assignments()) {
+      if (core::Estimator::filters_amortize_over_batch(
+              a.estimate.choice.policy)) {
+        ++resident;
+      }
+      ++policy_counts[std::string(
+          core::short_label(a.estimate.choice.policy, false))];
+    }
+    std::string dominant;
+    for (const auto& [label, count] : policy_counts) {
+      if (!dominant.empty()) {
+        dominant += " ";
+      }
+      dominant += label + ":" + std::to_string(count);
+    }
+    table.add_row({std::to_string(batch),
+                   util::fmt(plan.total_access_mb() / batch, 2),
+                   util::fmt(plan.total_latency_cycles() / batch / 1e6, 2),
+                   std::to_string(resident) + "/" + std::to_string(net.size()),
+                   dominant});
+  }
+
+  std::cout << "streaming inference on MobileNet @ 256 kB scratchpad\n";
+  table.print(std::cout);
+  std::cout << "\nreading: at batch 1 the manager freely mixes policies; as "
+               "the stream lengthens it pays the ifmap re-load price of the "
+               "weight-resident policies (p1/p4) to load each filter once "
+               "per batch — Section 2.2's global reuse, applied by the "
+               "analyser instead of by hand.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "arch/accelerator.hpp"
+
+namespace rainbow::arch {
+
+void AcceleratorSpec::validate() const {
+  if (pe_rows <= 0 || pe_cols <= 0) {
+    throw std::invalid_argument("AcceleratorSpec: PE array dims must be positive");
+  }
+  if (ops_per_cycle <= 0) {
+    throw std::invalid_argument("AcceleratorSpec: ops_per_cycle must be positive");
+  }
+  if (data_width_bits <= 0 || data_width_bits % 8 != 0) {
+    throw std::invalid_argument(
+        "AcceleratorSpec: data_width_bits must be a positive multiple of 8");
+  }
+  if (glb_bytes == 0) {
+    throw std::invalid_argument("AcceleratorSpec: glb_bytes must be positive");
+  }
+  if (dram_bytes_per_cycle <= 0.0) {
+    throw std::invalid_argument(
+        "AcceleratorSpec: dram_bytes_per_cycle must be positive");
+  }
+}
+
+AcceleratorSpec paper_spec(count_t glb_bytes) {
+  AcceleratorSpec spec;
+  spec.glb_bytes = glb_bytes;
+  spec.validate();
+  return spec;
+}
+
+std::vector<count_t> paper_glb_sizes() {
+  using util::kib;
+  return {kib(64), kib(128), kib(256), kib(512), kib(1024)};
+}
+
+}  // namespace rainbow::arch

@@ -1,0 +1,79 @@
+// Accelerator specification: the user-defined inputs of the paper's flow
+// (Figure 4) — operations per cycle, data width, GLB size, and off-chip
+// memory bandwidth — plus the PE-array geometry the baseline simulator
+// needs.  Section 4 defaults: 16x16 PEs, 512 OPs/cycle (a MAC counts as two
+// operations and takes two cycles, so 256 MACs complete per cycle), 8-bit
+// data, 16 bytes/cycle of DRAM bandwidth, GLB in {64..1024} kB.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace rainbow::arch {
+
+struct AcceleratorSpec {
+  int pe_rows = 16;
+  int pe_cols = 16;
+  int ops_per_cycle = 512;          ///< arithmetic operations retired per cycle
+  int data_width_bits = 8;          ///< element width
+  count_t glb_bytes = 256 * 1024;   ///< unified scratchpad capacity
+  double dram_bytes_per_cycle = 16; ///< off-chip bandwidth
+  /// On-chip (scratchpad -> PE) bandwidth in bytes/cycle; 0 means
+  /// unlimited — the paper's Section 4 assumption ("on-chip memory
+  /// bandwidth is assumed to be enough to match the demands of the PEs").
+  /// Set a finite value to probe when that assumption holds (see
+  /// bench_ablation_onchip_bw).
+  double sram_bytes_per_cycle = 0;
+
+  /// MACs completed per cycle: a MAC is two operations over two cycles.
+  [[nodiscard]] double macs_per_cycle() const {
+    return static_cast<double>(ops_per_cycle) / 2.0;
+  }
+
+  [[nodiscard]] int pe_count() const { return pe_rows * pe_cols; }
+
+  [[nodiscard]] count_t element_bytes() const {
+    return static_cast<count_t>(data_width_bits) / 8;
+  }
+
+  /// GLB capacity expressed in elements of the configured width.
+  [[nodiscard]] count_t glb_elems() const {
+    return glb_bytes / element_bytes();
+  }
+
+  /// Off-chip bandwidth in elements per cycle.
+  [[nodiscard]] double elements_per_cycle() const {
+    return dram_bytes_per_cycle / static_cast<double>(element_bytes());
+  }
+
+  [[nodiscard]] bool sram_bandwidth_limited() const {
+    return sram_bytes_per_cycle > 0.0;
+  }
+
+  /// Effective MAC throughput once the scratchpad must feed two operands
+  /// per MAC: min(arithmetic rate, sram bandwidth / 2 operands).  Equals
+  /// macs_per_cycle() under the paper's unlimited-bandwidth assumption.
+  [[nodiscard]] double effective_macs_per_cycle() const {
+    if (!sram_bandwidth_limited()) {
+      return macs_per_cycle();
+    }
+    const double operand_rate =
+        sram_bytes_per_cycle / (2.0 * static_cast<double>(element_bytes()));
+    return std::min(macs_per_cycle(), operand_rate);
+  }
+
+  /// Throws std::invalid_argument if any field is non-positive or the data
+  /// width is not a whole number of bytes.
+  void validate() const;
+};
+
+/// The Section 4 configuration with a chosen GLB size.
+[[nodiscard]] AcceleratorSpec paper_spec(count_t glb_bytes);
+
+/// The five GLB sizes swept in the evaluation: 64..1024 kB.
+[[nodiscard]] std::vector<count_t> paper_glb_sizes();
+
+}  // namespace rainbow::arch

@@ -1,0 +1,67 @@
+// Command-stream IR: the hand-off format between the memory manager and an
+// accelerator runtime or compiler backend (the paper's Section 6 direction
+// of integrating the technique into a DL compiler).  A plan lowers to a
+// flat, explicit sequence of scratchpad allocations, DMA transfers, and
+// compute launches per layer — everything a code generator needs, nothing
+// it has to re-derive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.hpp"
+#include "core/policy.hpp"
+#include "util/units.hpp"
+
+namespace rainbow::codegen {
+
+enum class DataKind { kIfmap, kFilter, kOfmap };
+
+[[nodiscard]] std::string_view to_string(DataKind kind);
+
+/// One instruction of the stream.
+struct Command {
+  enum class Op {
+    kAlloc,    ///< reserve `elems` scratchpad elements as region `region`
+    kLoad,     ///< DMA `elems` elements from DRAM into `region`
+    kCompute,  ///< run `macs` multiply-accumulates
+    kStore,    ///< DMA `elems` elements from `region` to DRAM
+    kFree,     ///< release `region`
+    kBarrier,  ///< wait for all outstanding DMA and compute
+  };
+
+  Op op = Op::kBarrier;
+  int region = -1;          ///< region id; -1 for compute/barrier
+  DataKind kind = DataKind::kIfmap;  ///< alloc/load/store/free only
+  count_t elems = 0;        ///< transfer/allocation size
+  count_t macs = 0;         ///< compute only
+
+  friend bool operator==(const Command&, const Command&) = default;
+};
+
+[[nodiscard]] std::string_view to_string(Command::Op op);
+
+/// The lowered program of one layer.
+struct LayerProgram {
+  std::size_t layer_index = 0;
+  std::string layer_name;
+  core::PolicyChoice choice;
+  std::vector<Command> commands;
+};
+
+/// A whole network's command stream.
+struct Program {
+  std::string model;
+  arch::AcceleratorSpec spec;
+  std::vector<LayerProgram> layers;
+
+  [[nodiscard]] std::size_t total_commands() const {
+    std::size_t n = 0;
+    for (const LayerProgram& l : layers) {
+      n += l.commands.size();
+    }
+    return n;
+  }
+};
+
+}  // namespace rainbow::codegen

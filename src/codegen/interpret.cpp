@@ -1,0 +1,183 @@
+#include "codegen/interpret.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "engine/glb.hpp"
+
+namespace rainbow::codegen {
+
+Interpreter::Interpreter(const arch::AcceleratorSpec& spec) : spec_(spec) {
+  spec_.validate();
+}
+
+namespace {
+
+struct LiveRegion {
+  engine::Glb::Region storage;
+  DataKind kind;
+  count_t filled = 0;  ///< high-water mark of data streamed through
+};
+
+[[noreturn]] void fail(const LayerProgram& layer, std::size_t index,
+                       const std::string& message) {
+  throw std::runtime_error("codegen: layer '" + layer.layer_name +
+                           "' command " + std::to_string(index) + ": " +
+                           message);
+}
+
+}  // namespace
+
+ProgramRun Interpreter::run(const Program& program) const {
+  ProgramRun result;
+  engine::Glb glb(spec_.glb_elems());
+  std::map<int, LiveRegion> live;
+
+  const double bw = spec_.elements_per_cycle();
+  const double mac_rate = spec_.effective_macs_per_cycle();
+
+  for (const LayerProgram& layer : program.layers) {
+    LayerRun run;
+    const bool prefetch = layer.choice.prefetch;
+    // Two-resource timing, identical to the engine's: with prefetching the
+    // DMA queue runs ahead of compute and stores drain one step behind;
+    // without it every command serializes.
+    double dram_free = 0.0;
+    double compute_free = 0.0;
+    double serial_clock = 0.0;
+    double pending_store = 0.0;
+    double pending_ready = 0.0;
+
+    for (std::size_t i = 0; i < layer.commands.size(); ++i) {
+      const Command& cmd = layer.commands[i];
+      switch (cmd.op) {
+        case Command::Op::kAlloc: {
+          if (live.count(cmd.region)) {
+            fail(layer, i, "region " + std::to_string(cmd.region) +
+                               " allocated twice");
+          }
+          if (cmd.elems == 0) {
+            fail(layer, i, "zero-sized allocation");
+          }
+          LiveRegion region{glb.allocate(cmd.elems, layer.layer_name),
+                            cmd.kind, 0};
+          live.emplace(cmd.region, region);
+          break;
+        }
+        case Command::Op::kLoad:
+        case Command::Op::kStore: {
+          const auto it = live.find(cmd.region);
+          if (it == live.end()) {
+            fail(layer, i, "transfer targets unallocated region " +
+                               std::to_string(cmd.region));
+          }
+          if (cmd.elems == 0) {
+            fail(layer, i, "zero-sized transfer");
+          }
+          // Filter and ofmap transfers are staged 1:1 in their region.
+          // Ifmap loads are streams: they may exceed the retained window
+          // when the stride outruns the filter (S > F_H discards rows in
+          // flight) and they carry the zero-padding charge of the paper's
+          // traffic accounting (Section 5.1) without materialising it —
+          // so they are bounded by the scratchpad itself, not the window.
+          const count_t capacity =
+              (cmd.op == Command::Op::kLoad && cmd.kind == DataKind::kIfmap)
+                  ? glb.capacity()
+                  : it->second.storage.size;
+          if (cmd.elems > capacity) {
+            fail(layer, i, "transfer of " + std::to_string(cmd.elems) +
+                               " elements overflows region of " +
+                               std::to_string(it->second.storage.size));
+          }
+          it->second.filled = std::max(it->second.filled, cmd.elems);
+          const double cycles = static_cast<double>(cmd.elems) / bw;
+          if (cmd.op == Command::Op::kLoad) {
+            run.traffic.ifmap_reads +=
+                (cmd.kind == DataKind::kIfmap) ? cmd.elems : 0;
+            run.traffic.filter_reads +=
+                (cmd.kind == DataKind::kFilter) ? cmd.elems : 0;
+            if (prefetch) {
+              dram_free += cycles;
+            } else {
+              serial_clock += cycles;
+            }
+          } else {
+            if (cmd.kind != DataKind::kOfmap) {
+              fail(layer, i, "store from a non-ofmap region");
+            }
+            run.traffic.ofmap_writes += cmd.elems;
+            if (prefetch) {
+              // Deferred by one tile: the store becomes ready when its
+              // tile's compute (which just ran) finished, and drains
+              // behind the next tile's launch — mirroring the engine's
+              // pipeline.  Any older pending store was drained there.
+              pending_store += cycles;
+              pending_ready = compute_free;
+            } else {
+              serial_clock += cycles;
+            }
+          }
+          break;
+        }
+        case Command::Op::kCompute: {
+          if (cmd.macs == 0) {
+            fail(layer, i, "zero-MAC compute");
+          }
+          run.macs += cmd.macs;
+          const double cycles = static_cast<double>(cmd.macs) / mac_rate;
+          if (prefetch) {
+            const double start = std::max(dram_free, compute_free);
+            // The previous tile's store (ready since its compute finished)
+            // drains behind this tile's loads.
+            if (pending_store > 0.0) {
+              dram_free = std::max(dram_free, pending_ready) + pending_store;
+              pending_store = 0.0;
+            }
+            compute_free = start + cycles;
+          } else {
+            serial_clock += cycles;
+          }
+          break;
+        }
+        case Command::Op::kBarrier: {
+          if (prefetch) {
+            if (pending_store > 0.0) {
+              dram_free = std::max(dram_free, pending_ready) + pending_store;
+              pending_store = 0.0;
+            }
+            const double done = std::max(compute_free, dram_free);
+            dram_free = compute_free = done;
+          }
+          break;
+        }
+        case Command::Op::kFree: {
+          const auto it = live.find(cmd.region);
+          if (it == live.end()) {
+            fail(layer, i, "free of unallocated region " +
+                               std::to_string(cmd.region));
+          }
+          glb.release(it->second.storage);
+          live.erase(it);
+          break;
+        }
+      }
+    }
+    run.latency_cycles = prefetch ? std::max(compute_free, dram_free)
+                                  : serial_clock;
+    run.peak_glb_elems = glb.peak_used();
+    result.total_accesses += run.traffic.total();
+    result.total_latency_cycles += run.latency_cycles;
+    result.layers.push_back(run);
+  }
+  // Only inter-layer hand-off regions may outlive their layer, and nothing
+  // may outlive the program.
+  if (!live.empty()) {
+    throw std::runtime_error("codegen: " + std::to_string(live.size()) +
+                             " region(s) leaked past the end of the program");
+  }
+  result.peak_glb_elems = glb.peak_used();
+  return result;
+}
+
+}  // namespace rainbow::codegen

@@ -1,0 +1,40 @@
+// Command-stream interpreter: validates and "executes" a lowered program
+// against the scratchpad allocator and the two-resource timing model.  A
+// malformed stream (use-before-alloc, double alloc/free, region overflow,
+// scratchpad exhaustion, dangling regions at the end) fails loudly; a
+// valid one yields the same traffic and latency the engine measures for
+// the originating plan — the codegen tests pin that equivalence.
+#pragma once
+
+#include "codegen/command.hpp"
+#include "core/estimator.hpp"
+
+namespace rainbow::codegen {
+
+struct LayerRun {
+  core::TrafficBreakdown traffic;
+  double latency_cycles = 0.0;
+  count_t macs = 0;
+  count_t peak_glb_elems = 0;
+};
+
+struct ProgramRun {
+  std::vector<LayerRun> layers;
+  count_t total_accesses = 0;
+  double total_latency_cycles = 0.0;
+  count_t peak_glb_elems = 0;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const arch::AcceleratorSpec& spec);
+
+  /// Executes a whole program.  Throws std::runtime_error with the layer
+  /// and command index on any validation failure.
+  [[nodiscard]] ProgramRun run(const Program& program) const;
+
+ private:
+  arch::AcceleratorSpec spec_;
+};
+
+}  // namespace rainbow::codegen

@@ -1,0 +1,131 @@
+#include "codegen/lower.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/estimator.hpp"
+#include "engine/schedule.hpp"
+
+namespace rainbow::codegen {
+
+LayerProgram lower_layer(const model::Layer& layer, std::size_t layer_index,
+                         const core::LayerAssignment& assignment,
+                         int first_region,
+                         std::optional<int> inherited_ifmap_region) {
+  if (assignment.ifmap_from_glb != inherited_ifmap_region.has_value()) {
+    throw std::invalid_argument(
+        "lower_layer: inter-layer input flag and inherited region disagree "
+        "for layer '" + layer.name() + "'");
+  }
+  LayerProgram program;
+  program.layer_index = layer_index;
+  program.layer_name = layer.name();
+  program.choice = assignment.estimate.choice;
+
+  const core::InterlayerAdjust adjust{
+      .ifmap_resident = assignment.ifmap_from_glb,
+      .keep_ofmap = assignment.ofmap_stays_in_glb};
+  const core::Footprint footprint =
+      core::planned_footprint(layer, program.choice, adjust);
+  const auto schedule = engine::build_schedule(layer, program.choice, adjust);
+
+  int next_region = first_region;
+  const int ifmap_region =
+      inherited_ifmap_region ? *inherited_ifmap_region : next_region++;
+  const int filter_region = next_region++;
+  const int ofmap_region = next_region++;
+  if (!inherited_ifmap_region) {
+    program.commands.push_back({.op = Command::Op::kAlloc,
+                                .region = ifmap_region,
+                                .kind = DataKind::kIfmap,
+                                .elems = footprint.ifmap});
+  }
+  program.commands.push_back({.op = Command::Op::kAlloc,
+                              .region = filter_region,
+                              .kind = DataKind::kFilter,
+                              .elems = footprint.filter});
+  program.commands.push_back({.op = Command::Op::kAlloc,
+                              .region = ofmap_region,
+                              .kind = DataKind::kOfmap,
+                              .elems = footprint.ofmap});
+
+  for (const engine::TileOp& tile : schedule) {
+    if (tile.load_ifmap != 0) {
+      program.commands.push_back({.op = Command::Op::kLoad,
+                                  .region = ifmap_region,
+                                  .kind = DataKind::kIfmap,
+                                  .elems = tile.load_ifmap});
+    }
+    if (tile.load_filter != 0) {
+      program.commands.push_back({.op = Command::Op::kLoad,
+                                  .region = filter_region,
+                                  .kind = DataKind::kFilter,
+                                  .elems = tile.load_filter});
+    }
+    if (tile.macs != 0) {
+      program.commands.push_back(
+          {.op = Command::Op::kCompute, .macs = tile.macs});
+    }
+    if (tile.store_ofmap != 0) {
+      program.commands.push_back({.op = Command::Op::kStore,
+                                  .region = ofmap_region,
+                                  .kind = DataKind::kOfmap,
+                                  .elems = tile.store_ofmap});
+    }
+  }
+
+  program.commands.push_back({.op = Command::Op::kBarrier});
+  // The ifmap region — own or inherited — is dead after the sweep; the
+  // ofmap region survives only when the next layer consumes it in place.
+  program.commands.push_back({.op = Command::Op::kFree,
+                              .region = ifmap_region,
+                              .kind = DataKind::kIfmap,
+                              .elems = footprint.ifmap});
+  program.commands.push_back({.op = Command::Op::kFree,
+                              .region = filter_region,
+                              .kind = DataKind::kFilter,
+                              .elems = footprint.filter});
+  if (!assignment.ofmap_stays_in_glb) {
+    program.commands.push_back({.op = Command::Op::kFree,
+                                .region = ofmap_region,
+                                .kind = DataKind::kOfmap,
+                                .elems = footprint.ofmap});
+  }
+  return program;
+}
+
+Program lower(const core::ExecutionPlan& plan, const model::Network& network) {
+  if (plan.size() != network.size()) {
+    throw std::invalid_argument("codegen::lower: plan/network size mismatch");
+  }
+  Program program;
+  program.model = plan.model();
+  program.spec = plan.spec();
+  int next_region = 0;
+  std::optional<int> persisted;  // the previous layer's surviving ofmap
+  for (const core::LayerAssignment& assignment : plan.assignments()) {
+    if (assignment.ifmap_from_glb && !persisted) {
+      throw std::invalid_argument(
+          "codegen::lower: layer consumes a resident ifmap but the previous "
+          "layer persisted nothing");
+    }
+    std::optional<int> inherited;
+    if (assignment.ifmap_from_glb) {
+      inherited = persisted;
+    }
+    LayerProgram layer_program =
+        lower_layer(network.layer(assignment.layer_index),
+                    assignment.layer_index, assignment, next_region, inherited);
+    // Region ids are assigned deterministically: ifmap (unless inherited),
+    // filter, ofmap.
+    const int consumed = assignment.ifmap_from_glb ? 2 : 3;
+    const int ofmap_region = next_region + consumed - 1;
+    persisted = assignment.ofmap_stays_in_glb ? std::optional<int>(ofmap_region)
+                                              : std::nullopt;
+    next_region += consumed;
+    program.layers.push_back(std::move(layer_program));
+  }
+  return program;
+}
+
+}  // namespace rainbow::codegen

@@ -1,0 +1,32 @@
+// Lowering: execution plan -> command stream.  Each layer becomes: region
+// allocations sized by the plan's footprint, the policy's tile loop
+// unrolled into load/compute/store triples (from the same schedule builder
+// the engine executes), a drain barrier, and region frees.  Inter-layer
+// links lower to a region hand-off: the producer's ofmap region is not
+// freed and the consumer reads its ifmap from that inherited region
+// instead of allocating and loading its own.
+#pragma once
+
+#include <optional>
+
+#include "codegen/command.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::codegen {
+
+/// Lowers one layer.  Fresh region ids start at `first_region`; when
+/// `inherited_ifmap_region` is set the layer reads its ifmap from that
+/// already-resident region (no alloc, no loads) and frees it when done.
+[[nodiscard]] LayerProgram lower_layer(
+    const model::Layer& layer, std::size_t layer_index,
+    const core::LayerAssignment& assignment, int first_region = 0,
+    std::optional<int> inherited_ifmap_region = std::nullopt);
+
+/// Lowers a whole plan, threading inter-layer regions between adjacent
+/// layers.  Throws std::invalid_argument on plan/network mismatch or on a
+/// consumer marked ifmap_from_glb whose producer did not persist a region.
+[[nodiscard]] Program lower(const core::ExecutionPlan& plan,
+                            const model::Network& network);
+
+}  // namespace rainbow::codegen

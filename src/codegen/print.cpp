@@ -1,0 +1,144 @@
+#include "codegen/print.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace rainbow::codegen {
+
+std::string_view to_string(DataKind kind) {
+  switch (kind) {
+    case DataKind::kIfmap:
+      return "ifmap";
+    case DataKind::kFilter:
+      return "filter";
+    case DataKind::kOfmap:
+      return "ofmap";
+  }
+  throw std::logic_error("to_string: invalid DataKind");
+}
+
+std::string_view to_string(Command::Op op) {
+  switch (op) {
+    case Command::Op::kAlloc:
+      return "alloc";
+    case Command::Op::kLoad:
+      return "load";
+    case Command::Op::kCompute:
+      return "compute";
+    case Command::Op::kStore:
+      return "store";
+    case Command::Op::kFree:
+      return "free";
+    case Command::Op::kBarrier:
+      return "barrier";
+  }
+  throw std::logic_error("to_string: invalid Command::Op");
+}
+
+std::string to_string(const Command& command) {
+  std::ostringstream os;
+  os << to_string(command.op);
+  switch (command.op) {
+    case Command::Op::kAlloc:
+    case Command::Op::kFree:
+      os << " %" << command.region << ' ' << to_string(command.kind) << ' '
+         << command.elems;
+      break;
+    case Command::Op::kLoad:
+    case Command::Op::kStore:
+      os << ' ' << to_string(command.kind) << " %" << command.region << ' '
+         << command.elems;
+      break;
+    case Command::Op::kCompute:
+      os << ' ' << command.macs << " macs";
+      break;
+    case Command::Op::kBarrier:
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Longest period p such that commands[i] == commands[i % p] over a prefix;
+/// greedily emits "xN { group }" for repeats.
+void print_compressed(const std::vector<Command>& commands, std::ostream& os) {
+  std::size_t i = 0;
+  while (i < commands.size()) {
+    // Try group sizes up to 8 commands and find how often the group at i
+    // repeats back-to-back.
+    std::size_t best_group = 1;
+    std::size_t best_repeats = 1;
+    for (std::size_t group = 1; group <= 8 && i + group <= commands.size();
+         ++group) {
+      std::size_t repeats = 1;
+      while (i + (repeats + 1) * group <= commands.size()) {
+        bool same = true;
+        for (std::size_t k = 0; k < group; ++k) {
+          if (!(commands[i + repeats * group + k] == commands[i + k])) {
+            same = false;
+            break;
+          }
+        }
+        if (!same) {
+          break;
+        }
+        ++repeats;
+      }
+      if (repeats * group > best_repeats * best_group) {
+        best_group = group;
+        best_repeats = repeats;
+      }
+    }
+    if (best_repeats > 1) {
+      os << "  x" << best_repeats << " {";
+      for (std::size_t k = 0; k < best_group; ++k) {
+        os << ' ' << to_string(commands[i + k]) << ';';
+      }
+      os << " }\n";
+      i += best_group * best_repeats;
+    } else {
+      os << "  " << to_string(commands[i]) << '\n';
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+
+void print(const Program& program, std::ostream& os, PrintOptions options) {
+  os << "program " << program.model << " (GLB "
+     << program.spec.glb_bytes / 1024 << " kB, "
+     << program.total_commands() << " commands)\n";
+  std::size_t shown = 0;
+  for (const LayerProgram& layer : program.layers) {
+    if (options.max_layers != 0 && shown++ >= options.max_layers) {
+      os << "... " << program.layers.size() - options.max_layers
+         << " more layer(s)\n";
+      break;
+    }
+    std::ostringstream choice;
+    choice << layer.choice;
+    os << "layer " << layer.layer_index << " \"" << layer.layer_name
+       << "\" policy " << choice.str() << " (" << layer.commands.size()
+       << " commands)\n";
+    if (options.compress_loops) {
+      print_compressed(layer.commands, os);
+    } else {
+      for (const Command& cmd : layer.commands) {
+        os << "  " << to_string(cmd) << '\n';
+      }
+    }
+  }
+}
+
+std::string to_string(const Program& program, PrintOptions options) {
+  std::ostringstream os;
+  print(program, os, options);
+  return os.str();
+}
+
+}  // namespace rainbow::codegen

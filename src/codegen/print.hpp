@@ -1,0 +1,28 @@
+// Human-readable dump of a command stream, with run-length compression of
+// the steady-state tile loop so a 100k-command layer prints as a handful
+// of annotated lines — what a compiler engineer inspects before wiring the
+// stream into a runtime.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "codegen/command.hpp"
+
+namespace rainbow::codegen {
+
+struct PrintOptions {
+  /// Collapse maximal repeated command groups ("x112 { ... }").
+  bool compress_loops = true;
+  /// Print at most this many layers (0 = all).
+  std::size_t max_layers = 0;
+};
+
+void print(const Program& program, std::ostream& os, PrintOptions options = {});
+
+[[nodiscard]] std::string to_string(const Program& program,
+                                    PrintOptions options = {});
+
+[[nodiscard]] std::string to_string(const Command& command);
+
+}  // namespace rainbow::codegen

@@ -1,0 +1,189 @@
+#include "core/analyzer.hpp"
+
+#include <stdexcept>
+
+namespace rainbow::core {
+
+Analyzer::Analyzer(const arch::AcceleratorSpec& spec, AnalyzerOptions options)
+    : spec_(spec),
+      options_(std::move(options)),
+      estimator_(spec, options_.estimator) {
+  if (options_.policies.empty()) {
+    throw std::invalid_argument("Analyzer: empty candidate policy set");
+  }
+}
+
+bool Analyzer::better(const Estimate& candidate, const Estimate& incumbent,
+                      Objective objective) {
+  switch (objective) {
+    case Objective::kAccesses:
+      if (candidate.accesses() != incumbent.accesses()) {
+        return candidate.accesses() < incumbent.accesses();
+      }
+      return candidate.latency_cycles < incumbent.latency_cycles;
+    case Objective::kLatency:
+      if (candidate.latency_cycles != incumbent.latency_cycles) {
+        return candidate.latency_cycles < incumbent.latency_cycles;
+      }
+      return candidate.accesses() < incumbent.accesses();
+  }
+  throw std::logic_error("Analyzer::better: invalid Objective");
+}
+
+Estimate Analyzer::best_estimate(const model::Layer& layer,
+                                 Objective objective,
+                                 const InterlayerAdjust& adjust) const {
+  std::optional<Estimate> best;
+  auto consider = [&](const Estimate& est) {
+    if (!est.feasible) {
+      return;
+    }
+    if (!best || better(est, *best, objective)) {
+      best = est;
+    }
+  };
+  for (Policy policy : options_.policies) {
+    consider(estimator_.estimate(layer, policy, /*prefetch=*/false, adjust));
+    if (options_.allow_prefetch) {
+      consider(estimator_.estimate(layer, policy, /*prefetch=*/true, adjust));
+    }
+  }
+  // The tile-size search of Algorithm 1 (line 10 failing): always a
+  // candidate, not just the escape hatch — on cramped GLBs a row-striped
+  // tiling can beat the surviving fixed policies (e.g. P5 with a tiny
+  // filter block), and pruning it would let a homogeneous plan win over
+  // the heterogeneous one.
+  consider(estimator_.estimate(layer, Policy::kFallbackTiled,
+                               /*prefetch=*/false, adjust));
+  if (options_.allow_prefetch) {
+    consider(estimator_.estimate(layer, Policy::kFallbackTiled,
+                                 /*prefetch=*/true, adjust));
+  }
+  if (!best) {
+    throw std::runtime_error("Analyzer: layer '" + layer.name() +
+                             "' cannot execute within a " +
+                             std::to_string(spec_.glb_bytes / 1024) +
+                             " kB GLB under any policy or tiling");
+  }
+  return *best;
+}
+
+std::vector<Analyzer::Candidate> Analyzer::explain(const model::Layer& layer,
+                                                   Objective objective) const {
+  std::vector<Candidate> candidates;
+  auto add = [&](Policy policy, bool prefetch) {
+    candidates.push_back({estimator_.estimate(layer, policy, prefetch), false});
+  };
+  for (Policy policy : options_.policies) {
+    add(policy, false);
+    if (options_.allow_prefetch) {
+      add(policy, true);
+    }
+  }
+  add(Policy::kFallbackTiled, false);
+  if (options_.allow_prefetch) {
+    add(Policy::kFallbackTiled, true);
+  }
+  std::size_t winner = candidates.size();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!candidates[i].estimate.feasible) {
+      continue;
+    }
+    if (winner == candidates.size() ||
+        better(candidates[i].estimate, candidates[winner].estimate,
+               objective)) {
+      winner = i;
+    }
+  }
+  if (winner < candidates.size()) {
+    candidates[winner].chosen = true;
+  }
+  return candidates;
+}
+
+ExecutionPlan Analyzer::heterogeneous(const model::Network& network,
+                                      Objective objective) const {
+  ExecutionPlan plan("Het", network.name(), spec_, objective);
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    LayerAssignment assignment;
+    assignment.layer_index = i;
+    assignment.estimate = best_estimate(network.layer(i), objective);
+    plan.add(std::move(assignment));
+  }
+  return plan;
+}
+
+ExecutionPlan Analyzer::homogeneous(const model::Network& network,
+                                    Policy policy, bool prefetch,
+                                    Objective objective) const {
+  ExecutionPlan plan("Hom[" + std::string(short_label(policy, prefetch)) + "]",
+                     network.name(), spec_, objective);
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    LayerAssignment assignment;
+    assignment.layer_index = i;
+    Estimate est = estimator_.estimate(network.layer(i), policy, prefetch);
+    if (!est.feasible) {
+      // The fixed policy does not fit this layer.  Per the paper's "search
+      // for appropriate tile sizes" (Section 3.3), degrade to the most
+      // memory-frugal named policy (P5 with an auto-tuned block, paying
+      // its re-load penalty) and only then to row-striped constrained
+      // tiling.  Deliberately weaker than the heterogeneous analyser's
+      // free choice — a homogeneous plan does not get to pick the best
+      // escape hatch per layer.
+      est = estimator_.estimate(network.layer(i), Policy::kPartialPerChannel,
+                                prefetch);
+      if (!est.feasible) {
+        est = estimator_.estimate(network.layer(i), Policy::kFallbackTiled,
+                                  prefetch);
+      }
+      if (!est.feasible && prefetch) {
+        est = estimator_.estimate(network.layer(i), Policy::kFallbackTiled,
+                                  /*prefetch=*/false);
+      }
+      if (!est.feasible) {
+        throw std::runtime_error("Analyzer: layer '" +
+                                 network.layer(i).name() +
+                                 "' cannot execute within the GLB");
+      }
+    }
+    assignment.estimate = std::move(est);
+    plan.add(std::move(assignment));
+  }
+  return plan;
+}
+
+ExecutionPlan Analyzer::best_homogeneous(const model::Network& network,
+                                         Objective objective) const {
+  std::optional<ExecutionPlan> best;
+  auto better_plan = [&](const ExecutionPlan& a, const ExecutionPlan& b) {
+    switch (objective) {
+      case Objective::kAccesses:
+        if (a.total_accesses() != b.total_accesses()) {
+          return a.total_accesses() < b.total_accesses();
+        }
+        return a.total_latency_cycles() < b.total_latency_cycles();
+      case Objective::kLatency:
+        if (a.total_latency_cycles() != b.total_latency_cycles()) {
+          return a.total_latency_cycles() < b.total_latency_cycles();
+        }
+        return a.total_accesses() < b.total_accesses();
+    }
+    throw std::logic_error("better_plan: invalid Objective");
+  };
+  for (Policy policy : options_.policies) {
+    for (int prefetch = 0; prefetch <= (options_.allow_prefetch ? 1 : 0);
+         ++prefetch) {
+      ExecutionPlan plan =
+          homogeneous(network, policy, prefetch != 0, objective);
+      if (!best || better_plan(plan, *best)) {
+        best = std::move(plan);
+      }
+    }
+  }
+  if (!best) {
+    throw std::logic_error("best_homogeneous: no candidate plans");
+  }
+  return *best;
+}
+
+}  // namespace rainbow::core

@@ -1,0 +1,86 @@
+// Algorithm 1: for each layer, evaluate every candidate policy (and its
+// prefetching variant), keep the feasible ones, and pick the best under the
+// chosen objective — minimum accesses with latency as the tie-breaker, or
+// minimum latency with accesses as the tie-breaker.  When no candidate fits
+// the GLB, the analyser falls back to constrained tiling (the paper's
+// "search for appropriate tile sizes", Section 3.3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::core {
+
+struct AnalyzerOptions {
+  /// Consider the "+p" prefetching variants (Figure 10 disables this).
+  bool allow_prefetch = true;
+  /// Candidate policies Algorithm 1 iterates over.  Defaults to all six.
+  std::vector<Policy> policies{kAllPolicies, kAllPolicies + 6};
+  EstimatorOptions estimator;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const arch::AcceleratorSpec& spec, AnalyzerOptions options = {});
+
+  [[nodiscard]] const Estimator& estimator() const { return estimator_; }
+  [[nodiscard]] const AnalyzerOptions& options() const { return options_; }
+
+  /// Best feasible estimate for one layer under `objective`, considering
+  /// all candidate policies (and prefetch variants when enabled), falling
+  /// back to constrained tiling.  Throws std::runtime_error when even the
+  /// fallback cannot fit — the layer is unexecutable on this GLB.
+  [[nodiscard]] Estimate best_estimate(const model::Layer& layer,
+                                       Objective objective,
+                                       const InterlayerAdjust& adjust = {}) const;
+
+  /// One row of an explanation: a candidate and whether it won.
+  struct Candidate {
+    Estimate estimate;
+    bool chosen = false;
+  };
+
+  /// Every candidate Algorithm 1 considered for `layer` (policies x
+  /// prefetch variants, plus the constrained-tiling fallback), with the
+  /// winner under `objective` marked.  Infeasible candidates are included
+  /// so callers can show *why* they lost.
+  [[nodiscard]] std::vector<Candidate> explain(const model::Layer& layer,
+                                               Objective objective) const;
+
+  /// Heterogeneous plan: Algorithm 1 applied per layer ("Het").
+  [[nodiscard]] ExecutionPlan heterogeneous(const model::Network& network,
+                                            Objective objective) const;
+
+  /// Homogeneous plan: one fixed policy for every layer; layers where the
+  /// policy does not fit use constrained tiling so the plan stays
+  /// executable.
+  [[nodiscard]] ExecutionPlan homogeneous(const model::Network& network,
+                                          Policy policy, bool prefetch,
+                                          Objective objective) const;
+
+  /// The best homogeneous plan under `objective` ("Hom" in the
+  /// evaluation).  Paper semantics: a candidate policy qualifies only when
+  /// it fits *every* layer (with P4/P5's memory-dependent filter block
+  /// auto-tuned per layer); the best qualifying policy/prefetch pair wins.
+  /// When no policy fits everywhere (tiny GLBs), falls back to the
+  /// tiling-patched variant so a plan always exists.
+  [[nodiscard]] ExecutionPlan best_homogeneous(const model::Network& network,
+                                               Objective objective) const;
+
+ private:
+  /// True when `candidate` beats `incumbent` under `objective`
+  /// (primary metric first, the other metric as the tie-breaker).
+  [[nodiscard]] static bool better(const Estimate& candidate,
+                                   const Estimate& incumbent,
+                                   Objective objective);
+
+  arch::AcceleratorSpec spec_;
+  AnalyzerOptions options_;
+  Estimator estimator_;
+};
+
+}  // namespace rainbow::core

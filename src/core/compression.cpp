@@ -1,0 +1,60 @@
+#include "core/compression.hpp"
+
+#include <stdexcept>
+
+namespace rainbow::core {
+
+void CompressionModel::validate() const {
+  for (double r : {ifmap_ratio, filter_ratio, ofmap_ratio}) {
+    if (r <= 0.0 || r > 1.0) {
+      throw std::invalid_argument(
+          "CompressionModel: ratios must lie in (0, 1]");
+    }
+  }
+}
+
+CompressedMetrics apply_compression(const ExecutionPlan& plan,
+                                    const model::Network& network,
+                                    const CompressionModel& compression,
+                                    const EnergyModel& energy) {
+  compression.validate();
+  energy.validate();
+  if (plan.size() != network.size()) {
+    throw std::invalid_argument("apply_compression: plan/network mismatch");
+  }
+  const auto& spec = plan.spec();
+  const double elem_bytes = static_cast<double>(spec.element_bytes());
+
+  CompressedMetrics m;
+  double compute_cycles = 0.0;
+  double sram_pj = 0.0;
+  double mac_pj = 0.0;
+  for (const LayerAssignment& a : plan.assignments()) {
+    const TrafficBreakdown& t = a.estimate.traffic;
+    const double raw =
+        static_cast<double>(t.total()) * elem_bytes;
+    const double compressed =
+        (static_cast<double>(t.ifmap_reads) * compression.ifmap_ratio +
+         static_cast<double>(t.filter_reads) * compression.filter_ratio +
+         static_cast<double>(t.ofmap_writes) * compression.ofmap_ratio) *
+        elem_bytes;
+    m.raw_bytes += raw;
+    m.dram_bytes += compressed;
+    compute_cycles += a.estimate.compute_cycles;
+    // On-chip costs see the *decompressed* data: the scratchpad stores and
+    // the PEs consume raw elements.
+    const count_t macs = static_cast<count_t>(
+        a.estimate.compute_cycles * spec.effective_macs_per_cycle() + 0.5);
+    const double sram_elems = 2.0 * static_cast<double>(macs) +
+                              static_cast<double>(t.total());
+    sram_pj += sram_elems * elem_bytes * energy.sram_pj_per_byte;
+    mac_pj += static_cast<double>(macs) * energy.mac_pj;
+  }
+  m.latency_cycles =
+      compute_cycles + m.dram_bytes / spec.dram_bytes_per_cycle;
+  m.energy_mj =
+      (m.dram_bytes * energy.dram_pj_per_byte + sram_pj + mac_pj) * 1e-9;
+  return m;
+}
+
+}  // namespace rainbow::core

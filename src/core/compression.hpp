@@ -1,0 +1,46 @@
+// Memory-compression what-if analysis.  Transparent DRAM-link compression
+// (the product space of the second author's affiliation) multiplies each
+// data type's off-chip *bytes* by a ratio without changing the on-chip
+// working sets — so it composes with the memory-management policies
+// instead of replacing them.  This module re-derives a plan's traffic,
+// latency, and energy under such ratios, as a post-plan analysis that
+// leaves the planner untouched.
+#pragma once
+
+#include "core/energy.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::core {
+
+/// Compressed-size ratios in (0, 1]: 1.0 = incompressible.  Typical edge
+/// CNN numbers: weights ~0.5-0.7 after entropy coding, activations
+/// ~0.3-0.6 thanks to ReLU sparsity.
+struct CompressionModel {
+  double ifmap_ratio = 1.0;
+  double filter_ratio = 1.0;
+  double ofmap_ratio = 1.0;
+
+  /// Throws std::invalid_argument when a ratio leaves (0, 1].
+  void validate() const;
+};
+
+struct CompressedMetrics {
+  double dram_bytes = 0.0;          ///< compressed bytes on the link
+  double raw_bytes = 0.0;           ///< uncompressed equivalent
+  double latency_cycles = 0.0;      ///< serialized: compute + link time
+  double energy_mj = 0.0;           ///< DRAM term scaled by the ratios
+
+  [[nodiscard]] double compression_factor() const {
+    return dram_bytes > 0.0 ? raw_bytes / dram_bytes : 1.0;
+  }
+};
+
+/// Re-derives a plan's off-chip metrics under `compression`.  The latency
+/// model is the serialized one (compute + link occupancy) — conservative,
+/// but consistent across ratios.  Throws on plan/network mismatch.
+[[nodiscard]] CompressedMetrics apply_compression(
+    const ExecutionPlan& plan, const model::Network& network,
+    const CompressionModel& compression, const EnergyModel& energy = {});
+
+}  // namespace rainbow::core

@@ -1,0 +1,141 @@
+#include "core/energy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rainbow::core {
+
+void EnergyModel::validate() const {
+  if (dram_pj_per_byte <= 0.0 || sram_pj_per_byte <= 0.0 ||
+      rf_pj_per_byte <= 0.0 || mac_pj <= 0.0) {
+    throw std::invalid_argument("EnergyModel: coefficients must be positive");
+  }
+}
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& other) {
+  dram_pj += other.dram_pj;
+  sram_pj += other.sram_pj;
+  rf_pj += other.rf_pj;
+  mac_pj += other.mac_pj;
+  return *this;
+}
+
+EnergyBreakdown raw_energy(count_t dram_elems, count_t macs,
+                           const arch::AcceleratorSpec& spec,
+                           const EnergyModel& model) {
+  model.validate();
+  const double elem_bytes = static_cast<double>(spec.element_bytes());
+  EnergyBreakdown e;
+  e.dram_pj = static_cast<double>(dram_elems) * elem_bytes *
+              model.dram_pj_per_byte;
+  // Each MAC reads two operands from the scratchpad; each DRAM transfer
+  // crosses it once.
+  const double sram_elems =
+      2.0 * static_cast<double>(macs) + static_cast<double>(dram_elems);
+  e.sram_pj = sram_elems * elem_bytes * model.sram_pj_per_byte;
+  e.mac_pj = static_cast<double>(macs) * model.mac_pj;
+  return e;
+}
+
+EnergyBreakdown layer_energy(const Estimate& estimate,
+                             const model::Layer& layer,
+                             const arch::AcceleratorSpec& spec,
+                             const EnergyModel& model) {
+  (void)layer;  // MACs already baked into the estimate's compute cycles
+  const count_t macs = static_cast<count_t>(estimate.compute_cycles *
+                                            spec.effective_macs_per_cycle() + 0.5);
+  return raw_energy(estimate.accesses(), macs, spec, model);
+}
+
+count_t glb_stream_elems(const model::Layer& layer,
+                         const arch::AcceleratorSpec& spec) {
+  // Mirrors scalesim::fold_geometry (core cannot depend on scalesim; the
+  // equivalence is pinned by EnergyTest.GlbStreamMatchesTracedSimulation):
+  // per fold, every reduction step feeds one operand per active row plus
+  // one per active column.
+  const count_t rows = static_cast<count_t>(spec.pe_rows);
+  const count_t cols = static_cast<count_t>(spec.pe_cols);
+  count_t out_pixels = static_cast<count_t>(layer.ofmap_h()) * layer.ofmap_w();
+  count_t filters;
+  count_t reduction;
+  count_t groups = 1;
+  if (layer.is_depthwise()) {
+    filters = 1;
+    reduction = static_cast<count_t>(layer.filter_h()) * layer.filter_w();
+    groups = static_cast<count_t>(layer.channels());
+  } else {
+    filters = static_cast<count_t>(layer.filters());
+    reduction = static_cast<count_t>(layer.filter_h()) * layer.filter_w() *
+                layer.channels();
+  }
+  count_t stream = 0;
+  for (count_t r0 = 0; r0 < out_pixels; r0 += rows) {
+    const count_t active_rows = std::min(rows, out_pixels - r0);
+    for (count_t c0 = 0; c0 < filters; c0 += cols) {
+      const count_t active_cols = std::min(cols, filters - c0);
+      stream += reduction * (active_rows + active_cols);
+    }
+  }
+  return stream * groups;
+}
+
+EnergyBreakdown hierarchical_energy(count_t dram_elems, count_t glb_stream,
+                                    count_t macs,
+                                    const arch::AcceleratorSpec& spec,
+                                    const EnergyModel& model) {
+  model.validate();
+  const double elem_bytes = static_cast<double>(spec.element_bytes());
+  EnergyBreakdown e;
+  e.dram_pj = static_cast<double>(dram_elems) * elem_bytes *
+              model.dram_pj_per_byte;
+  // The GLB sees the operand streams into the array edges plus the DRAM
+  // fills/drains crossing it.
+  e.sram_pj = (static_cast<double>(glb_stream) +
+               static_cast<double>(dram_elems)) *
+              elem_bytes * model.sram_pj_per_byte;
+  // The register/forwarding level carries two operands per MAC.
+  e.rf_pj = 2.0 * static_cast<double>(macs) * elem_bytes *
+            model.rf_pj_per_byte;
+  e.mac_pj = static_cast<double>(macs) * model.mac_pj;
+  return e;
+}
+
+EnergyBreakdown hierarchical_plan_energy(const ExecutionPlan& plan,
+                                         const model::Network& network,
+                                         const EnergyModel& model) {
+  if (plan.size() != network.size()) {
+    throw std::invalid_argument(
+        "hierarchical_plan_energy: plan/network size mismatch");
+  }
+  EnergyBreakdown total;
+  for (const LayerAssignment& a : plan.assignments()) {
+    const model::Layer& layer = network.layer(a.layer_index);
+    const count_t macs = static_cast<count_t>(
+        a.estimate.compute_cycles * plan.spec().effective_macs_per_cycle() +
+        0.5);
+    // Batched plans carry batch x the single-image MACs; the operand
+    // streams scale with them.
+    const count_t batch = std::max<count_t>(1, macs / layer.macs());
+    total += hierarchical_energy(
+        a.estimate.accesses(),
+        glb_stream_elems(layer, plan.spec()) * batch, macs, plan.spec(),
+        model);
+  }
+  return total;
+}
+
+EnergyBreakdown plan_energy(const ExecutionPlan& plan,
+                            const model::Network& network,
+                            const EnergyModel& model) {
+  if (plan.size() != network.size()) {
+    throw std::invalid_argument("plan_energy: plan/network size mismatch");
+  }
+  EnergyBreakdown total;
+  for (const LayerAssignment& a : plan.assignments()) {
+    total += layer_energy(a.estimate, network.layer(a.layer_index),
+                          plan.spec(), model);
+  }
+  return total;
+}
+
+}  // namespace rainbow::core

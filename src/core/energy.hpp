@@ -1,0 +1,84 @@
+// Energy accounting for execution plans.  The paper's motivation is
+// energy: off-chip transfers cost roughly 10-100x a local operation
+// (Section 2.3), so access reduction is energy reduction.  This module
+// turns a plan's traffic/compute totals into joules with a simple,
+// documented per-event model (defaults are representative 28-45 nm edge
+// numbers; only the ratios matter for the reproduced trends).
+//
+// SRAM accounting: every MAC reads two operands from the scratchpad, and
+// every DRAM transfer crosses the scratchpad once (fill or drain).
+#pragma once
+
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::core {
+
+struct EnergyModel {
+  double dram_pj_per_byte = 160.0;  ///< ~640 pJ per 32-bit DRAM word
+  double sram_pj_per_byte = 5.0;    ///< large on-chip SRAM (the GLB)
+  double rf_pj_per_byte = 0.5;      ///< PE-local register / forwarding path
+  double mac_pj = 0.2;              ///< 8-bit MAC
+
+  /// Throws std::invalid_argument on non-positive coefficients.
+  void validate() const;
+
+  /// Off-chip : on-chip cost ratio per byte (the paper's "10-100x").
+  [[nodiscard]] double dram_to_sram_ratio() const {
+    return dram_pj_per_byte / sram_pj_per_byte;
+  }
+};
+
+struct EnergyBreakdown {
+  double dram_pj = 0.0;
+  double sram_pj = 0.0;
+  double rf_pj = 0.0;  ///< hierarchical model only; zero in the flat model
+  double mac_pj = 0.0;
+
+  [[nodiscard]] double total_pj() const {
+    return dram_pj + sram_pj + rf_pj + mac_pj;
+  }
+  [[nodiscard]] double total_mj() const { return total_pj() * 1e-9; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& other);
+};
+
+/// Energy of one layer estimate on `spec`.
+[[nodiscard]] EnergyBreakdown layer_energy(const Estimate& estimate,
+                                           const model::Layer& layer,
+                                           const arch::AcceleratorSpec& spec,
+                                           const EnergyModel& model = {});
+
+/// Energy of a whole plan.
+[[nodiscard]] EnergyBreakdown plan_energy(const ExecutionPlan& plan,
+                                          const model::Network& network,
+                                          const EnergyModel& model = {});
+
+/// Energy of raw traffic/MAC totals (for baseline simulator results).
+/// Flat two-level model: every MAC charges two scratchpad operand reads.
+[[nodiscard]] EnergyBreakdown raw_energy(count_t dram_elems, count_t macs,
+                                         const arch::AcceleratorSpec& spec,
+                                         const EnergyModel& model = {});
+
+/// Eyeriss-style three-level refinement (DRAM / GLB / PE registers): the
+/// output-stationary systolic array forwards operands between PEs, so one
+/// GLB read feeds a whole row or column per cycle — the GLB sees
+/// folds x T x (rows + cols) reads instead of 2 x MACs, while the
+/// register/forwarding level carries the 2-per-MAC traffic.  `glb_stream`
+/// is that operand-stream count (scalesim::fold_geometry gives it:
+/// folds x T x (active rows + cols), exactly what run_traced measures).
+[[nodiscard]] EnergyBreakdown hierarchical_energy(
+    count_t dram_elems, count_t glb_stream, count_t macs,
+    const arch::AcceleratorSpec& spec, const EnergyModel& model = {});
+
+/// GLB operand-stream reads of one layer on the spec's PE array (the
+/// `glb_stream` input of hierarchical_energy).
+[[nodiscard]] count_t glb_stream_elems(const model::Layer& layer,
+                                       const arch::AcceleratorSpec& spec);
+
+/// Hierarchical energy of a whole plan.
+[[nodiscard]] EnergyBreakdown hierarchical_plan_energy(
+    const ExecutionPlan& plan, const model::Network& network,
+    const EnergyModel& model = {});
+
+}  // namespace rainbow::core

@@ -1,0 +1,367 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace rainbow::core {
+
+namespace {
+
+using model::Layer;
+using util::ceil_div;
+
+/// Number of filter "units" the partial policies block over: 3D filters for
+/// regular convolutions, per-channel filters (== channels) for depthwise.
+int filter_units(const Layer& layer) {
+  return layer.is_depthwise() ? layer.channels() : layer.filters();
+}
+
+/// Total input rows streamed when the ofmap is processed in row stripes of
+/// height `stripe` (fallback tiler): adjacent stripes re-load the (F_H - S)
+/// halo rows, the height-wise re-load of Figure 2.
+count_t stripe_input_rows(const Layer& layer, int stripe) {
+  const count_t oh = static_cast<count_t>(layer.ofmap_h());
+  const count_t s = static_cast<count_t>(layer.stride());
+  const count_t fh = static_cast<count_t>(layer.filter_h());
+  count_t rows = 0;
+  for (count_t first = 0; first < oh; first += stripe) {
+    const count_t out_rows = std::min<count_t>(stripe, oh - first);
+    rows += (out_rows - 1) * s + fh;
+  }
+  return rows;
+}
+
+}  // namespace
+
+Estimator::Estimator(const arch::AcceleratorSpec& spec, EstimatorOptions options)
+    : spec_(spec), options_(options) {
+  spec_.validate();
+  if (options_.batch < 1) {
+    throw std::invalid_argument("Estimator: batch must be >= 1");
+  }
+}
+
+bool Estimator::filters_amortize_over_batch(Policy policy) {
+  // Policies whose filter working set is resident while the activation
+  // sweep runs can hoist the batch loop inside it (Section 2.2's "global
+  // reuse"): every weight crosses the DRAM boundary once per batch.
+  switch (policy) {
+    case Policy::kIntraLayer:
+    case Policy::kIfmapReuse:
+    case Policy::kPartialIfmap:
+      return true;
+    case Policy::kFilterReuse:
+    case Policy::kPerChannel:
+    case Policy::kPartialPerChannel:
+    case Policy::kFallbackTiled:
+      return false;
+  }
+  throw std::logic_error("filters_amortize_over_batch: invalid Policy");
+}
+
+count_t Estimator::ifmap_read_base(const Layer& layer) const {
+  return options_.padded_traffic ? layer.padded_ifmap_elems()
+                                 : layer.ifmap_elems();
+}
+
+double Estimator::compute_cycles(const Layer& layer) const {
+  return static_cast<double>(layer.macs()) * options_.batch /
+         spec_.effective_macs_per_cycle();
+}
+
+TrafficBreakdown Estimator::traffic(const Layer& layer,
+                                    const PolicyChoice& choice,
+                                    const InterlayerAdjust& adjust) const {
+  TrafficBreakdown t;
+  const count_t if_base = ifmap_read_base(layer);
+  switch (choice.policy) {
+    case Policy::kIntraLayer:
+    case Policy::kIfmapReuse:
+    case Policy::kFilterReuse:
+    case Policy::kPerChannel:
+      t.ifmap_reads = if_base;
+      t.filter_reads = layer.filter_elems();
+      break;
+    case Policy::kPartialIfmap:
+    case Policy::kPartialPerChannel: {
+      // Each filter block sweeps the whole ifmap again; depthwise layers
+      // pair each channel with exactly one filter, so no re-load there.
+      const count_t reloads =
+          layer.is_depthwise()
+              ? 1
+              : ceil_div(static_cast<count_t>(layer.filters()),
+                         static_cast<count_t>(choice.filter_block));
+      t.ifmap_reads = if_base * reloads;
+      t.filter_reads = layer.filter_elems();
+      break;
+    }
+    case Policy::kFallbackTiled: {
+      const count_t stripes =
+          ceil_div(static_cast<count_t>(layer.ofmap_h()),
+                   static_cast<count_t>(choice.row_stripe));
+      const count_t reloads =
+          layer.is_depthwise()
+              ? 1
+              : ceil_div(static_cast<count_t>(layer.filters()),
+                         static_cast<count_t>(choice.filter_block));
+      const count_t pw = static_cast<count_t>(layer.padded_ifmap_w());
+      const count_t ci = static_cast<count_t>(layer.channels());
+      count_t rows = stripe_input_rows(layer, choice.row_stripe);
+      if (!options_.padded_traffic) {
+        // Scale the striped row count down by the unpadded/padded ratio so
+        // the no-padding ablation stays consistent.
+        rows = rows * layer.ifmap_elems() / layer.padded_ifmap_elems();
+      }
+      t.ifmap_reads = rows * pw * ci * reloads;
+      // Filters are re-streamed for every ofmap row stripe.
+      t.filter_reads = layer.filter_elems() * stripes;
+      break;
+    }
+  }
+  t.ofmap_writes = layer.ofmap_elems();
+
+  // Batch scaling: activations stream per image; filters amortize when the
+  // policy keeps its filter working set resident across the sweep.
+  const count_t batch = static_cast<count_t>(options_.batch);
+  t.ifmap_reads *= batch;
+  t.ofmap_writes *= batch;
+  if (!filters_amortize_over_batch(choice.policy)) {
+    t.filter_reads *= batch;
+  }
+
+  if (adjust.ifmap_resident) {
+    t.ifmap_reads = 0;
+  }
+  if (adjust.keep_ofmap) {
+    t.ofmap_writes = 0;
+  }
+  return t;
+}
+
+Footprint planned_footprint(const Layer& layer, const PolicyChoice& choice,
+                            const InterlayerAdjust& adjust) {
+  Footprint fp = working_footprint(layer, choice);
+  if (adjust.ifmap_resident) {
+    // The whole (unpadded) ifmap sits in the GLB, left by the producer.
+    fp.ifmap = layer.ifmap_elems();
+  }
+  if (adjust.keep_ofmap) {
+    fp.ofmap = layer.ofmap_elems();
+  }
+  if (choice.prefetch) {
+    // Double-buffer only the streamed terms; resident inter-layer data has
+    // a single copy by construction.
+    Footprint doubled = fp.doubled();
+    if (adjust.ifmap_resident) {
+      doubled.ifmap = fp.ifmap;
+    }
+    if (adjust.keep_ofmap) {
+      doubled.ofmap = fp.ofmap;
+    }
+    return doubled;
+  }
+  return fp;
+}
+
+Estimator::Exposure Estimator::exposure(const Layer& layer,
+                                        const PolicyChoice& choice,
+                                        const InterlayerAdjust& adjust) const {
+  const count_t fh = static_cast<count_t>(layer.filter_h());
+  const count_t fw = static_cast<count_t>(layer.filter_w());
+  const count_t ci = static_cast<count_t>(layer.channels());
+  const count_t nf = static_cast<count_t>(layer.filters());
+  const count_t pw = static_cast<count_t>(layer.padded_ifmap_w());
+  const count_t ow = static_cast<count_t>(layer.ofmap_w());
+  const count_t oh = static_cast<count_t>(layer.ofmap_h());
+  const count_t co = static_cast<count_t>(layer.ofmap_channels());
+  const count_t n = static_cast<count_t>(choice.filter_block);
+
+  Exposure e;
+  switch (choice.policy) {
+    case Policy::kIntraLayer:
+      e.init = ifmap_read_base(layer) + layer.filter_elems();
+      e.final = layer.ofmap_elems();
+      break;
+    case Policy::kIfmapReuse:
+      e.init = layer.filter_elems() + fh * pw * ci;
+      e.final = ow * co;
+      break;
+    case Policy::kFilterReuse:
+      e.init = ifmap_read_base(layer) + layer.single_filter_elems();
+      e.final = oh * ow;
+      break;
+    case Policy::kPerChannel:
+      if (layer.is_depthwise()) {
+        e.init = fh * fw + fh * pw;
+        e.final = oh * ow;
+      } else {
+        e.init = fh * fw * nf + fh * pw;
+        e.final = layer.ofmap_elems();
+      }
+      break;
+    case Policy::kPartialIfmap:
+      e.init = fh * fw * (layer.is_depthwise() ? n : ci * n) +
+               fh * pw * (layer.is_depthwise() ? n : ci);
+      e.final = ow * n;
+      break;
+    case Policy::kPartialPerChannel:
+      e.init = fh * fw * n + fh * pw;
+      e.final = oh * ow * n;
+      break;
+    case Policy::kFallbackTiled: {
+      const count_t r = static_cast<count_t>(choice.row_stripe);
+      const count_t s = static_cast<count_t>(layer.stride());
+      e.init = fh * fw * n + ((r - 1) * s + fh) * pw;
+      e.final = r * ow * n;
+      break;
+    }
+  }
+  if (adjust.ifmap_resident) {
+    // No initial ifmap load: only the filter part of the first working set
+    // is exposed.  Conservatively keep the filter term.
+    const count_t filter_init = std::min(e.init, layer.filter_elems());
+    e.init = filter_init;
+  }
+  if (adjust.keep_ofmap) {
+    e.final = 0;
+  }
+  return e;
+}
+
+Estimate Estimator::estimate_choice(const Layer& layer,
+                                    const PolicyChoice& choice,
+                                    const InterlayerAdjust& adjust) const {
+  Estimate est;
+  est.choice = choice;
+  est.footprint = planned_footprint(layer, choice, adjust);
+  est.traffic = traffic(layer, choice, adjust);
+  est.compute_cycles = compute_cycles(layer);
+  est.feasible = est.footprint.total() <= spec_.glb_elems();
+
+  const double bw = spec_.elements_per_cycle();
+  const double total_transfer =
+      static_cast<double>(est.traffic.total()) / bw;
+  if (choice.prefetch) {
+    Exposure e = exposure(layer, choice, adjust);
+    // Exposure can exceed actual traffic when adjustments zero out reads;
+    // clamp so the steady-state term never goes negative.
+    const count_t exposed =
+        std::min<count_t>(e.init + e.final, est.traffic.total());
+    const double hidden =
+        static_cast<double>(est.traffic.total() - exposed) / bw;
+    est.latency_cycles = static_cast<double>(exposed) / bw +
+                         std::max(est.compute_cycles, hidden);
+  } else {
+    est.latency_cycles = est.compute_cycles + total_transfer;
+  }
+  return est;
+}
+
+std::optional<int> Estimator::max_filter_block(const Layer& layer,
+                                               Policy policy, bool prefetch,
+                                               const InterlayerAdjust& adjust) const {
+  // Footprint is monotone increasing in n, so binary-search the largest
+  // feasible block.  n ranges over [1, F#) — n == F# would be P1/P3.
+  const int units = filter_units(layer);
+  const int hi_limit = std::max(1, units - 1);
+  auto fits = [&](int n) {
+    PolicyChoice choice{.policy = policy, .prefetch = prefetch,
+                        .filter_block = n};
+    return planned_footprint(layer, choice, adjust).total() <=
+           spec_.glb_elems();
+  };
+  if (!fits(1)) {
+    return std::nullopt;
+  }
+  int lo = 1;
+  int hi = hi_limit;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (fits(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+std::optional<PolicyChoice> Estimator::best_fallback(const Layer& layer,
+                                                     bool prefetch,
+                                                     const InterlayerAdjust& adjust) const {
+  const int units = filter_units(layer);
+  const int oh = layer.ofmap_h();
+  std::optional<PolicyChoice> best;
+  count_t best_accesses = 0;
+  for (int n = 1; n <= std::max(1, units - 1); ++n) {
+    // For fixed n the footprint grows with R; find the largest feasible R
+    // (fewest stripes => least filter re-streaming) by binary search.
+    auto fits = [&](int r) {
+      PolicyChoice choice{.policy = Policy::kFallbackTiled,
+                          .prefetch = prefetch,
+                          .filter_block = n,
+                          .row_stripe = r};
+      return planned_footprint(layer, choice, adjust).total() <=
+             spec_.glb_elems();
+    };
+    if (!fits(1)) {
+      break;  // larger n only grows the footprint
+    }
+    int lo = 1;
+    int hi = oh;
+    while (lo < hi) {
+      const int mid = lo + (hi - lo + 1) / 2;
+      if (fits(mid)) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    PolicyChoice choice{.policy = Policy::kFallbackTiled,
+                        .prefetch = prefetch,
+                        .filter_block = n,
+                        .row_stripe = lo};
+    const count_t accesses = traffic(layer, choice, adjust).total();
+    if (!best || accesses < best_accesses) {
+      best = choice;
+      best_accesses = accesses;
+    }
+  }
+  return best;
+}
+
+Estimate Estimator::estimate(const Layer& layer, Policy policy, bool prefetch,
+                             const InterlayerAdjust& adjust) const {
+  PolicyChoice choice{.policy = policy, .prefetch = prefetch};
+  switch (policy) {
+    case Policy::kPartialIfmap:
+    case Policy::kPartialPerChannel: {
+      const auto block = max_filter_block(layer, policy, prefetch, adjust);
+      if (!block) {
+        choice.filter_block = 1;
+        Estimate est = estimate_choice(layer, choice, adjust);
+        est.feasible = false;
+        return est;
+      }
+      choice.filter_block = *block;
+      return estimate_choice(layer, choice, adjust);
+    }
+    case Policy::kFallbackTiled: {
+      const auto best = best_fallback(layer, prefetch, adjust);
+      if (!best) {
+        choice.filter_block = 1;
+        choice.row_stripe = 1;
+        Estimate est = estimate_choice(layer, choice, adjust);
+        est.feasible = false;
+        return est;
+      }
+      return estimate_choice(layer, *best, adjust);
+    }
+    default:
+      return estimate_choice(layer, choice, adjust);
+  }
+}
+
+}  // namespace rainbow::core

@@ -1,0 +1,150 @@
+// Lightweight per-layer estimation models (Figure 4's "Estimator" stage):
+// for a (layer, policy) pair, closed-form on-chip memory requirement,
+// off-chip access count, and latency.  These are the quantities Algorithm 1
+// compares; the tile-level execution engine (src/engine) reproduces them by
+// discrete simulation, and the test suite pins the two against each other.
+//
+// Latency model.  Per layer, compute needs C = MACs / (OPs/2) cycles and the
+// DRAM channel needs T = traffic / bandwidth cycles.
+//  * without prefetching, loads, compute, and stores serialize:
+//        L = C + T
+//  * with prefetching (double-buffered tiles), steady-state transfers hide
+//    behind compute and only the first working set (init) and the last
+//    drain (final) are exposed:
+//        L = init/bw + max(C, (T - init - final)/bw) + final/bw
+#pragma once
+
+#include <optional>
+
+#include "arch/accelerator.hpp"
+#include "core/footprint.hpp"
+#include "core/policy.hpp"
+#include "model/layer.hpp"
+
+namespace rainbow::core {
+
+struct EstimatorOptions {
+  /// Count ifmap padding in off-chip traffic (the paper does; its SCALE-Sim
+  /// baseline does not — Section 5.1).  Disable for the fairness ablation.
+  bool padded_traffic = true;
+
+  /// Inference batch size.  The paper evaluates batch 1 (Section 4);
+  /// larger batches model the Escher-style tradeoff its related work
+  /// discusses: activations stream per image (ifmap reads and ofmap writes
+  /// scale with the batch), while policies whose filter working set stays
+  /// resident across the sweep — intra-layer, P1, P4 — load each filter
+  /// once for the whole batch.  Filter-streaming policies (P2/P3/P5 and
+  /// the fallback) re-stream per image.  Footprints are unaffected: images
+  /// are processed one at a time.
+  int batch = 1;
+};
+
+/// Off-chip element transfers, split by data type.
+struct TrafficBreakdown {
+  count_t ifmap_reads = 0;
+  count_t filter_reads = 0;
+  count_t ofmap_writes = 0;
+
+  [[nodiscard]] count_t total() const {
+    return ifmap_reads + filter_reads + ofmap_writes;
+  }
+
+  friend bool operator==(const TrafficBreakdown&, const TrafficBreakdown&) = default;
+};
+
+/// Result of evaluating one policy choice on one layer.
+struct Estimate {
+  PolicyChoice choice;
+  Footprint footprint;       ///< residency incl. prefetch doubling, elements
+  TrafficBreakdown traffic;  ///< off-chip transfers, elements
+  double latency_cycles = 0.0;
+  double compute_cycles = 0.0;
+  bool feasible = false;     ///< footprint fits the GLB
+
+  [[nodiscard]] count_t memory_elems() const { return footprint.total(); }
+  [[nodiscard]] count_t accesses() const { return traffic.total(); }
+};
+
+/// Inter-layer-reuse adjustments applied to an estimate (Section 5.4):
+/// the layer's ifmap is already resident in the GLB (produced by the
+/// previous layer), and/or its full ofmap must be kept resident for the
+/// next layer.
+struct InterlayerAdjust {
+  bool ifmap_resident = false;  ///< skip the ifmap DRAM reads
+  bool keep_ofmap = false;      ///< hold the full ofmap; skip its DRAM writes
+};
+
+/// Footprint of `choice` on `layer` including inter-layer residency:
+/// a resident ifmap/ofmap replaces the policy's tile term with the full
+/// (unpadded) map, and prefetch doubling applies only to streamed terms.
+[[nodiscard]] Footprint planned_footprint(const model::Layer& layer,
+                                          const PolicyChoice& choice,
+                                          const InterlayerAdjust& adjust = {});
+
+class Estimator {
+ public:
+  Estimator(const arch::AcceleratorSpec& spec, EstimatorOptions options = {});
+
+  [[nodiscard]] const arch::AcceleratorSpec& spec() const { return spec_; }
+  [[nodiscard]] const EstimatorOptions& options() const { return options_; }
+
+  /// Evaluates `policy` on `layer`, auto-selecting the best tiling
+  /// parameters where the policy has any (largest feasible filter block for
+  /// P4/P5; minimum-access (R, n) for the fallback tiler).  The returned
+  /// estimate may be infeasible (feasible == false) when the policy cannot
+  /// fit the GLB at any parameterisation.
+  [[nodiscard]] Estimate estimate(const model::Layer& layer, Policy policy,
+                                  bool prefetch,
+                                  const InterlayerAdjust& adjust = {}) const;
+
+  /// Evaluates a fully parameterised choice (no auto-tuning).
+  [[nodiscard]] Estimate estimate_choice(const model::Layer& layer,
+                                         const PolicyChoice& choice,
+                                         const InterlayerAdjust& adjust = {}) const;
+
+  /// Off-chip traffic of a fully parameterised choice, in elements.
+  [[nodiscard]] TrafficBreakdown traffic(const model::Layer& layer,
+                                         const PolicyChoice& choice,
+                                         const InterlayerAdjust& adjust = {}) const;
+
+  /// Compute cycles for one layer on this accelerator.
+  [[nodiscard]] double compute_cycles(const model::Layer& layer) const;
+
+  /// The ifmap read volume the traffic model charges (padded or not,
+  /// depending on options), in elements, before any re-load or batch
+  /// multiplier.
+  [[nodiscard]] count_t ifmap_read_base(const model::Layer& layer) const;
+
+  /// True when `policy` keeps its filter working set resident across the
+  /// activation sweep, so a batch loads each weight only once.
+  [[nodiscard]] static bool filters_amortize_over_batch(Policy policy);
+
+ private:
+  /// Largest feasible filter block for P4/P5 under the GLB budget, or
+  /// nullopt when even n=1 does not fit.
+  [[nodiscard]] std::optional<int> max_filter_block(const model::Layer& layer,
+                                                    Policy policy,
+                                                    bool prefetch,
+                                                    const InterlayerAdjust& adjust) const;
+
+  /// Minimum-access fallback tiling (row stripe R, filter block n), or
+  /// nullopt when nothing fits.
+  [[nodiscard]] std::optional<PolicyChoice> best_fallback(const model::Layer& layer,
+                                                          bool prefetch,
+                                                          const InterlayerAdjust& adjust) const;
+
+  /// Exposed (non-overlappable) transfer at the start / end of the layer,
+  /// used by the prefetch latency model.  In elements.
+  struct Exposure {
+    count_t init = 0;
+    count_t final = 0;
+  };
+  [[nodiscard]] Exposure exposure(const model::Layer& layer,
+                                  const PolicyChoice& choice,
+                                  const InterlayerAdjust& adjust) const;
+
+  arch::AcceleratorSpec spec_;
+  EstimatorOptions options_;
+};
+
+}  // namespace rainbow::core

@@ -1,0 +1,84 @@
+#include "core/fallback.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace rainbow::core {
+
+std::string_view to_string(AccessDirection direction) {
+  switch (direction) {
+    case AccessDirection::kHeightWise:
+      return "height-wise";
+    case AccessDirection::kWidthWise:
+      return "width-wise";
+    case AccessDirection::kDepthWise:
+      return "depth-wise";
+  }
+  throw std::logic_error("to_string: invalid AccessDirection");
+}
+
+namespace {
+
+/// Input units consumed when `out_units` outputs are produced along one
+/// spatial dimension with filter extent f and stride s.
+count_t input_extent(count_t out_units, count_t f, count_t s) {
+  return (out_units - 1) * s + f;
+}
+
+}  // namespace
+
+count_t ifmap_traffic_with_reload(const model::Layer& layer,
+                                  AccessDirection direction,
+                                  int tile_extent) {
+  const count_t ph = static_cast<count_t>(layer.padded_ifmap_h());
+  const count_t pw = static_cast<count_t>(layer.padded_ifmap_w());
+  const count_t ci = static_cast<count_t>(layer.channels());
+  const count_t s = static_cast<count_t>(layer.stride());
+
+  switch (direction) {
+    case AccessDirection::kHeightWise: {
+      const count_t oh = static_cast<count_t>(layer.ofmap_h());
+      if (tile_extent < 1 || static_cast<count_t>(tile_extent) > oh) {
+        throw std::invalid_argument("ifmap_traffic_with_reload: bad height tile");
+      }
+      count_t rows = 0;
+      for (count_t first = 0; first < oh; first += tile_extent) {
+        const count_t out_rows = std::min<count_t>(tile_extent, oh - first);
+        rows += input_extent(out_rows, layer.filter_h(), s);
+      }
+      return rows * pw * ci;
+    }
+    case AccessDirection::kWidthWise: {
+      const count_t ow = static_cast<count_t>(layer.ofmap_w());
+      if (tile_extent < 1 || static_cast<count_t>(tile_extent) > ow) {
+        throw std::invalid_argument("ifmap_traffic_with_reload: bad width tile");
+      }
+      count_t cols = 0;
+      for (count_t first = 0; first < ow; first += tile_extent) {
+        const count_t out_cols = std::min<count_t>(tile_extent, ow - first);
+        cols += input_extent(out_cols, layer.filter_w(), s);
+      }
+      return cols * ph * ci;
+    }
+    case AccessDirection::kDepthWise: {
+      if (tile_extent < 1 || static_cast<count_t>(tile_extent) > ci) {
+        throw std::invalid_argument("ifmap_traffic_with_reload: bad depth tile");
+      }
+      // Channel cuts have no filter overlap: each channel group is loaded
+      // exactly once while its partial sums accumulate, so a single
+      // traversal costs the padded volume regardless of the tile depth.
+      return ph * pw * ci;
+    }
+  }
+  throw std::logic_error("ifmap_traffic_with_reload: invalid direction");
+}
+
+count_t reload_overhead(const model::Layer& layer, AccessDirection direction,
+                        int tile_extent) {
+  return ifmap_traffic_with_reload(layer, direction, tile_extent) -
+         layer.padded_ifmap_elems();
+}
+
+}  // namespace rainbow::core

@@ -1,0 +1,36 @@
+// Tile re-load accounting for the three ifmap access directions of
+// Figure 2.  When a tile is smaller than the ifmap along the traversal
+// direction, the filter overlap forces (F - S) rows/columns of halo to be
+// fetched again at every tile boundary; depth-wise cuts force no halo but
+// re-visit the full spatial extent per channel group.
+//
+// The estimator's fallback tiler uses the height-wise direction (cheapest);
+// this module exposes all three so the ablation bench can quantify the
+// difference and tests can pin the geometry.
+#pragma once
+
+#include "model/layer.hpp"
+
+namespace rainbow::core {
+
+enum class AccessDirection { kHeightWise, kWidthWise, kDepthWise };
+
+[[nodiscard]] std::string_view to_string(AccessDirection direction);
+
+/// Elements of ifmap fetched from DRAM when the (padded) ifmap is traversed
+/// once in `direction` with tiles spanning `tile_extent` units of that
+/// direction (output rows for height-wise, output columns for width-wise,
+/// channels for depth-wise).  Includes halo re-loads; equals the padded
+/// ifmap volume exactly when one tile covers the whole direction.
+/// Throws std::invalid_argument when tile_extent is out of range.
+[[nodiscard]] count_t ifmap_traffic_with_reload(const model::Layer& layer,
+                                                AccessDirection direction,
+                                                int tile_extent);
+
+/// Halo elements re-loaded relative to the single-pass minimum:
+/// ifmap_traffic_with_reload(...) - padded ifmap volume.
+[[nodiscard]] count_t reload_overhead(const model::Layer& layer,
+                                      AccessDirection direction,
+                                      int tile_extent);
+
+}  // namespace rainbow::core

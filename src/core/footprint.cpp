@@ -1,0 +1,95 @@
+#include "core/footprint.hpp"
+
+#include <stdexcept>
+
+namespace rainbow::core {
+
+namespace {
+
+using model::Layer;
+
+void check_filter_block(const Layer& layer, int n) {
+  const int max_n = layer.is_depthwise() ? layer.channels() : layer.filters();
+  if (n < 1 || n > max_n) {
+    throw std::invalid_argument("policy_footprint: filter block " +
+                                std::to_string(n) + " out of range for layer '" +
+                                layer.name() + "'");
+  }
+}
+
+}  // namespace
+
+Footprint working_footprint(const Layer& layer, const PolicyChoice& choice) {
+  const count_t fh = static_cast<count_t>(layer.filter_h());
+  const count_t fw = static_cast<count_t>(layer.filter_w());
+  const count_t ci = static_cast<count_t>(layer.channels());
+  const count_t nf = static_cast<count_t>(layer.filters());
+  const count_t pw = static_cast<count_t>(layer.padded_ifmap_w());
+  const count_t ow = static_cast<count_t>(layer.ofmap_w());
+  const count_t oh = static_cast<count_t>(layer.ofmap_h());
+  const count_t co = static_cast<count_t>(layer.ofmap_channels());
+  const count_t n = static_cast<count_t>(choice.filter_block);
+
+  switch (choice.policy) {
+    case Policy::kIntraLayer:
+      return {layer.ifmap_elems(), layer.filter_elems(), layer.ofmap_elems()};
+
+    case Policy::kIfmapReuse:
+      // Sliding window of F_H rows across all channels; all filters; one
+      // ofmap row across all output channels.
+      return {fh * pw * ci, layer.filter_elems(), ow * co};
+
+    case Policy::kFilterReuse:
+      // Whole ifmap; one 3D filter; one ofmap channel.
+      return {layer.ifmap_elems(), layer.single_filter_elems(), oh * ow};
+
+    case Policy::kPerChannel:
+      // One-channel sliding window; one channel of every filter; the whole
+      // ofmap (partial sums accumulate across input channels on-chip).
+      // Depthwise layers have no cross-channel accumulation, so one ofmap
+      // channel suffices.
+      if (layer.is_depthwise()) {
+        return {fh * pw, fh * fw, oh * ow};
+      }
+      return {fh * pw, fh * fw * nf, layer.ofmap_elems()};
+
+    case Policy::kPartialIfmap:
+      // P1 with a block of n filters; ofmap row spans only the block.
+      check_filter_block(layer, choice.filter_block);
+      if (layer.is_depthwise()) {
+        // Block of n per-channel filters; only those n channels of the
+        // window are needed.
+        return {fh * pw * n, fh * fw * n, ow * n};
+      }
+      return {fh * pw * ci, fh * fw * ci * n, ow * n};
+
+    case Policy::kPartialPerChannel:
+      // P3 with a block of n filter channels; ofmap spans only the block.
+      check_filter_block(layer, choice.filter_block);
+      return {fh * pw, fh * fw * n, oh * ow * n};
+
+    case Policy::kFallbackTiled: {
+      // Ofmap row-stripe of height R for a block of n filters, streamed one
+      // input channel at a time (the P5 access pattern shrunk further along
+      // the height direction — the cheapest re-load direction of Fig. 2).
+      check_filter_block(layer, choice.filter_block);
+      const count_t r = static_cast<count_t>(choice.row_stripe);
+      if (r < 1 || r > oh) {
+        throw std::invalid_argument(
+            "policy_footprint: row stripe out of range for layer '" +
+            layer.name() + "'");
+      }
+      const count_t s = static_cast<count_t>(layer.stride());
+      const count_t stripe_rows = (r - 1) * s + fh;  // input rows per stripe
+      return {stripe_rows * pw, fh * fw * n, r * ow * n};
+    }
+  }
+  throw std::logic_error("working_footprint: invalid Policy");
+}
+
+Footprint policy_footprint(const Layer& layer, const PolicyChoice& choice) {
+  const Footprint base = working_footprint(layer, choice);
+  return choice.prefetch ? base.doubled() : base;
+}
+
+}  // namespace rainbow::core

@@ -1,0 +1,43 @@
+// Closed-form on-chip footprints of each policy, broken down per data type
+// (used directly by the Figure 3 / Figure 6 memory-breakdown reports).
+//
+// Footprint conventions calibrated against the paper's Table 3: whole-ifmap
+// terms use the unpadded ifmap size; sliding-window tiles span the effective
+// padded width (the extent the filter actually sweeps).  Prefetch (Eq. 2)
+// doubles every term.
+#pragma once
+
+#include "core/policy.hpp"
+#include "model/layer.hpp"
+
+namespace rainbow::core {
+
+/// On-chip residency of one layer under one policy, in elements.
+struct Footprint {
+  count_t ifmap = 0;
+  count_t filter = 0;
+  count_t ofmap = 0;
+
+  [[nodiscard]] count_t total() const { return ifmap + filter + ofmap; }
+
+  /// Eq. 2: double buffering every term for prefetching.
+  [[nodiscard]] Footprint doubled() const {
+    return {2 * ifmap, 2 * filter, 2 * ofmap};
+  }
+
+  friend bool operator==(const Footprint&, const Footprint&) = default;
+};
+
+/// Footprint of `layer` under `choice.policy` with the choice's tiling
+/// parameters (filter_block for P4/P5/fallback, row_stripe for fallback).
+/// Includes the prefetch doubling when choice.prefetch is set.
+/// Throws std::invalid_argument for out-of-range tiling parameters.
+[[nodiscard]] Footprint policy_footprint(const model::Layer& layer,
+                                         const PolicyChoice& choice);
+
+/// Same, without the prefetch doubling (single working copy) — what the
+/// breakdown figures plot.
+[[nodiscard]] Footprint working_footprint(const model::Layer& layer,
+                                          const PolicyChoice& choice);
+
+}  // namespace rainbow::core

@@ -1,0 +1,112 @@
+#include "core/fusion.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace rainbow::core {
+
+namespace {
+
+bool row_streamable(const model::Layer& layer) {
+  // Dense layers have no spatial rows to stream; everything else does.
+  return layer.kind() != model::LayerKind::kFullyConnected;
+}
+
+bool shapes_chain(const model::Layer& producer, const model::Layer& consumer) {
+  return consumer.channels() == producer.ofmap_channels() &&
+         consumer.ifmap_h() == producer.ofmap_h() &&
+         consumer.ifmap_w() == producer.ofmap_w();
+}
+
+}  // namespace
+
+std::vector<FusionCandidate> fusion_candidates(const model::Network& network,
+                                               const ExecutionPlan& plan,
+                                               const Estimator& estimator) {
+  if (plan.size() != network.size()) {
+    throw std::invalid_argument("fusion_candidates: plan/network mismatch");
+  }
+  const count_t glb = estimator.spec().glb_elems();
+  std::vector<FusionCandidate> out;
+  for (std::size_t i = 0; i + 1 < network.size(); ++i) {
+    if (!network.is_sequential_boundary(i)) {
+      continue;
+    }
+    const model::Layer& producer = network.layer(i);
+    const model::Layer& consumer = network.layer(i + 1);
+    if (!row_streamable(producer) || !row_streamable(consumer) ||
+        !shapes_chain(producer, consumer)) {
+      continue;
+    }
+    FusionCandidate c;
+    c.producer = i;
+
+    // Working set of the fused cascade (all element counts):
+    //   producer: sliding window over its ifmap + all its filters;
+    //   intermediate: a rolling window of F_H(consumer) rows, full width
+    //   and channels of the intermediate tensor;
+    //   consumer: all its filters + one output row.
+    const count_t producer_window =
+        static_cast<count_t>(producer.filter_h()) * producer.padded_ifmap_w() *
+        producer.channels();
+    const count_t rolling =
+        static_cast<count_t>(consumer.filter_h()) * consumer.padded_ifmap_w() *
+        consumer.channels();
+    const count_t consumer_row =
+        static_cast<count_t>(consumer.ofmap_w()) * consumer.ofmap_channels();
+    c.memory_elems = producer_window + producer.filter_elems() + rolling +
+                     consumer.filter_elems() + consumer_row;
+    c.feasible = c.memory_elems <= glb;
+
+    // Fused traffic: the intermediate tensor never crosses the DRAM
+    // boundary in either direction.
+    c.fused_accesses = estimator.ifmap_read_base(producer) +
+                       producer.filter_elems() + consumer.filter_elems() +
+                       consumer.ofmap_elems();
+    c.unfused_accesses = plan.assignment(i).estimate.accesses() +
+                         plan.assignment(i + 1).estimate.accesses();
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<FusionCandidate> select_fusions(
+    const std::vector<FusionCandidate>& candidates) {
+  std::vector<FusionCandidate> sorted;
+  for (const FusionCandidate& c : candidates) {
+    if (c.feasible && c.saving() > 0) {
+      sorted.push_back(c);
+    }
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FusionCandidate& a, const FusionCandidate& b) {
+              return a.saving() > b.saving();
+            });
+  std::vector<FusionCandidate> chosen;
+  std::set<std::size_t> used;
+  for (const FusionCandidate& c : sorted) {
+    if (used.count(c.producer) || used.count(c.producer + 1)) {
+      continue;
+    }
+    used.insert(c.producer);
+    used.insert(c.producer + 1);
+    chosen.push_back(c);
+  }
+  std::sort(chosen.begin(), chosen.end(),
+            [](const FusionCandidate& a, const FusionCandidate& b) {
+              return a.producer < b.producer;
+            });
+  return chosen;
+}
+
+count_t fused_total_accesses(const ExecutionPlan& plan,
+                             const std::vector<FusionCandidate>& fusions) {
+  count_t total = plan.total_accesses();
+  for (const FusionCandidate& f : fusions) {
+    total -= std::min(total, f.saving());
+  }
+  return total;
+}
+
+}  // namespace rainbow::core

@@ -1,0 +1,58 @@
+// Layer-fusion analysis: the paper executes layer-by-layer (Section 4) and
+// its inter-layer reuse (Section 5.4) keeps a FULL ofmap resident — which
+// only pays off on large buffers.  Fusion is the finer-grained alternative
+// its future work points toward: produce layer i's ofmap row by row and
+// consume the rows immediately in layer i+1 through a rolling window, so
+// the intermediate tensor never exists in full ANYWHERE — not in DRAM, not
+// in the GLB.  The price: both layers' filters must be resident at once
+// and the two computations interleave.
+//
+// This module analyses which boundaries of a plan are fusible under the
+// GLB constraint, what each fusion saves, and greedily selects a
+// non-overlapping set of fused pairs (a layer participates in at most one
+// fusion; chains longer than two are future work, like the paper's).
+#pragma once
+
+#include "core/estimator.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::core {
+
+/// Fusion of boundary i -> i+1 under the row-streaming (P1-style) regime.
+struct FusionCandidate {
+  std::size_t producer = 0;     ///< layer index i
+  /// Working set: producer window + both filter sets + rolling
+  /// intermediate window (F_H(i+1) rows) + one consumer output row.
+  count_t memory_elems = 0;
+  /// Off-chip traffic of the fused pair.
+  count_t fused_accesses = 0;
+  /// Traffic the unfused pair moves under the plan being analysed.
+  count_t unfused_accesses = 0;
+  bool feasible = false;        ///< memory_elems fits the GLB
+
+  [[nodiscard]] count_t saving() const {
+    return unfused_accesses > fused_accesses
+               ? unfused_accesses - fused_accesses
+               : 0;
+  }
+};
+
+/// Analyses every sequential boundary of `plan`.  A boundary qualifies
+/// structurally when the consumer's ifmap is exactly the producer's ofmap
+/// (matching dims) and both layers stream row-wise (any kind except
+/// dense layers, whose "rows" are the whole tensor).
+[[nodiscard]] std::vector<FusionCandidate> fusion_candidates(
+    const model::Network& network, const ExecutionPlan& plan,
+    const Estimator& estimator);
+
+/// Greedy non-overlapping selection maximising total saving.  Returns the
+/// chosen candidates (subset of the feasible ones).
+[[nodiscard]] std::vector<FusionCandidate> select_fusions(
+    const std::vector<FusionCandidate>& candidates);
+
+/// Total plan accesses after applying `fusions` to `plan`.
+[[nodiscard]] count_t fused_total_accesses(
+    const ExecutionPlan& plan, const std::vector<FusionCandidate>& fusions);
+
+}  // namespace rainbow::core

@@ -1,0 +1,76 @@
+#include "core/interlayer.hpp"
+
+#include <stdexcept>
+
+namespace rainbow::core {
+
+namespace {
+
+double metric(const Estimate& est, Objective objective) {
+  return objective == Objective::kAccesses
+             ? static_cast<double>(est.accesses())
+             : est.latency_cycles;
+}
+
+}  // namespace
+
+ExecutionPlan apply_interlayer_reuse(const ExecutionPlan& plan,
+                                     const model::Network& network,
+                                     const Analyzer& analyzer) {
+  if (plan.size() != network.size()) {
+    throw std::invalid_argument(
+        "apply_interlayer_reuse: plan/network size mismatch");
+  }
+  ExecutionPlan result("Het+inter", plan.model(), plan.spec(),
+                       plan.objective());
+  for (const LayerAssignment& a : plan.assignments()) {
+    result.add(a);
+  }
+
+  const Objective objective = plan.objective();
+  for (std::size_t i = 0; i + 1 < network.size(); ++i) {
+    if (!network.is_sequential_boundary(i)) {
+      continue;
+    }
+    LayerAssignment& producer = result.mutable_assignment(i);
+    LayerAssignment& consumer = result.mutable_assignment(i + 1);
+
+    // Re-plan the producer keeping its full ofmap resident (plus any
+    // residency it already inherited from boundary i-1), and the consumer
+    // reading its ifmap from the GLB.
+    InterlayerAdjust producer_adjust{.ifmap_resident = producer.ifmap_from_glb,
+                                     .keep_ofmap = true};
+    InterlayerAdjust consumer_adjust{.ifmap_resident = true,
+                                     .keep_ofmap = false};
+    Estimate new_producer;
+    Estimate new_consumer;
+    try {
+      new_producer = analyzer.best_estimate(network.layer(i), objective,
+                                            producer_adjust);
+      new_consumer = analyzer.best_estimate(network.layer(i + 1), objective,
+                                            consumer_adjust);
+    } catch (const std::runtime_error&) {
+      continue;  // residency cannot fit; boundary stays off-chip
+    }
+    if (!new_producer.feasible || !new_consumer.feasible) {
+      continue;
+    }
+    // Both layers must be able to hold the resident ofmap at the moment of
+    // hand-over; a link is only profitable when it does not regress the
+    // objective metric across the pair.
+    const double old_cost = metric(producer.estimate, objective) +
+                            metric(consumer.estimate, objective);
+    const double new_cost =
+        metric(new_producer, objective) + metric(new_consumer, objective);
+    if (new_cost > old_cost) {
+      continue;
+    }
+    producer.estimate = new_producer;
+    producer.ofmap_stays_in_glb = true;
+    consumer.estimate = new_consumer;
+    consumer.ifmap_from_glb = true;
+  }
+  return result;
+}
+
+}  // namespace rainbow::core

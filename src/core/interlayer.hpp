@@ -1,0 +1,23 @@
+// Inter-layer reuse pass (Section 5.4): keep a layer's full ofmap resident
+// in the GLB and let the next layer consume it as its ifmap, eliminating
+// the ofmap store and the ifmap load at that boundary.  Only applies at
+// sequential boundaries (layer i+1 reads layer i's output) and only when
+// the resident ofmap fits in the GLB alongside both layers' working sets.
+#pragma once
+
+#include "core/analyzer.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::core {
+
+/// Greedy left-to-right application of inter-layer reuse to `plan`.
+/// At each sequential boundary, both adjacent layers are re-planned with
+/// the residency adjustments; the link is kept when both remain feasible
+/// and the plan's objective metric does not regress.  Returns the improved
+/// plan (the input plan is the no-reuse baseline of Figure 11).
+[[nodiscard]] ExecutionPlan apply_interlayer_reuse(const ExecutionPlan& plan,
+                                                   const model::Network& network,
+                                                   const Analyzer& analyzer);
+
+}  // namespace rainbow::core

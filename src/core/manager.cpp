@@ -1,0 +1,75 @@
+#include "core/manager.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace rainbow::core {
+
+MemoryManager::MemoryManager(const arch::AcceleratorSpec& spec,
+                             ManagerOptions options)
+    : spec_(spec),
+      options_(std::move(options)),
+      analyzer_(spec, options_.analyzer) {}
+
+ExecutionPlan MemoryManager::plan(const model::Network& network,
+                                  Objective objective) const {
+  ExecutionPlan het = analyzer_.heterogeneous(network, objective);
+  if (options_.interlayer_reuse) {
+    return apply_interlayer_reuse(het, network, analyzer_);
+  }
+  return het;
+}
+
+ExecutionPlan MemoryManager::plan_homogeneous(const model::Network& network,
+                                              Objective objective) const {
+  return analyzer_.best_homogeneous(network, objective);
+}
+
+ExecutionPlan MemoryManager::plan_with_policy(const model::Network& network,
+                                              Policy policy, bool prefetch,
+                                              Objective objective) const {
+  return analyzer_.homogeneous(network, policy, prefetch, objective);
+}
+
+std::string MemoryManager::describe(const ExecutionPlan& plan,
+                                    const model::Network& network) const {
+  std::ostringstream os;
+  os << plan.scheme() << " plan for " << plan.model() << " (objective: "
+     << to_string(plan.objective()) << ", GLB "
+     << plan.spec().glb_bytes / 1024 << " kB)\n";
+  util::Table table({"layer", "kind", "policy", "ifmap kB", "filter kB",
+                     "ofmap kB", "total kB", "accesses", "latency cyc",
+                     "inter"});
+  const double to_kb =
+      static_cast<double>(plan.spec().element_bytes()) / 1024.0;
+  for (const LayerAssignment& a : plan.assignments()) {
+    const model::Layer& layer = network.layer(a.layer_index);
+    const Footprint& fp = a.estimate.footprint;
+    std::ostringstream policy_label;
+    policy_label << a.estimate.choice;
+    std::string inter;
+    if (a.ifmap_from_glb) inter += "in";
+    if (a.ofmap_stays_in_glb) inter += inter.empty() ? "out" : "+out";
+    table.add_row({layer.name(), std::string(model::to_string(layer.kind())),
+                   policy_label.str(),
+                   util::fmt(static_cast<double>(fp.ifmap) * to_kb),
+                   util::fmt(static_cast<double>(fp.filter) * to_kb),
+                   util::fmt(static_cast<double>(fp.ofmap) * to_kb),
+                   util::fmt(static_cast<double>(fp.total()) * to_kb),
+                   util::fmt_count(a.estimate.accesses()),
+                   util::fmt_count(static_cast<unsigned long long>(
+                       a.estimate.latency_cycles)),
+                   inter.empty() ? "-" : inter});
+  }
+  table.print(os);
+  os << "total: " << util::fmt(plan.total_access_mb(), 2)
+     << " MB off-chip, "
+     << util::fmt_count(
+            static_cast<unsigned long long>(plan.total_latency_cycles()))
+     << " cycles, prefetch coverage "
+     << util::fmt(100.0 * plan.prefetch_coverage()) << "%\n";
+  return os.str();
+}
+
+}  // namespace rainbow::core

@@ -1,0 +1,60 @@
+// MemoryManager: the top-level facade matching the paper's operational flow
+// (Figure 4, the RAINBOW tool).  Inputs: a CNN description and accelerator
+// specifications.  Outputs: homogeneous / heterogeneous execution plans for
+// either objective, optionally with prefetching and inter-layer reuse.
+//
+//   rainbow::core::MemoryManager manager(rainbow::arch::paper_spec(64 KiB));
+//   auto plan = manager.plan(net, Objective::kAccesses);
+//   std::cout << plan.total_access_mb() << " MB off-chip\n";
+#pragma once
+
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "core/interlayer.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::core {
+
+struct ManagerOptions {
+  AnalyzerOptions analyzer;
+  /// Apply the Section 5.4 inter-layer-reuse pass on heterogeneous plans.
+  bool interlayer_reuse = false;
+};
+
+class MemoryManager {
+ public:
+  explicit MemoryManager(const arch::AcceleratorSpec& spec,
+                         ManagerOptions options = {});
+
+  [[nodiscard]] const arch::AcceleratorSpec& spec() const { return spec_; }
+  [[nodiscard]] const Analyzer& analyzer() const { return analyzer_; }
+  [[nodiscard]] const ManagerOptions& options() const { return options_; }
+
+  /// Heterogeneous plan ("Het"): best policy per layer, plus the
+  /// inter-layer pass when enabled in the options.
+  [[nodiscard]] ExecutionPlan plan(const model::Network& network,
+                                   Objective objective) const;
+
+  /// Best homogeneous plan ("Hom"): one policy network-wide.
+  [[nodiscard]] ExecutionPlan plan_homogeneous(const model::Network& network,
+                                               Objective objective) const;
+
+  /// A specific homogeneous plan for one named policy.
+  [[nodiscard]] ExecutionPlan plan_with_policy(const model::Network& network,
+                                               Policy policy, bool prefetch,
+                                               Objective objective) const;
+
+  /// Human-readable per-layer report of a plan (policy, footprint split,
+  /// accesses, latency) — the Figure 6 style breakdown.
+  [[nodiscard]] std::string describe(const ExecutionPlan& plan,
+                                     const model::Network& network) const;
+
+ private:
+  arch::AcceleratorSpec spec_;
+  ManagerOptions options_;
+  Analyzer analyzer_;
+};
+
+}  // namespace rainbow::core

@@ -1,0 +1,134 @@
+#include "core/multitenant.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace rainbow::core {
+
+namespace {
+
+/// Interleaved (tenant, layer) order: A0 B0 A1 B1 ... with the longer
+/// tenant's tail running solo.
+std::vector<std::pair<int, std::size_t>> interleave(std::size_t a_layers,
+                                                    std::size_t b_layers) {
+  std::vector<std::pair<int, std::size_t>> order;
+  order.reserve(a_layers + b_layers);
+  const std::size_t common = std::min(a_layers, b_layers);
+  for (std::size_t i = 0; i < common; ++i) {
+    order.emplace_back(0, i);
+    order.emplace_back(1, i);
+  }
+  for (std::size_t i = common; i < a_layers; ++i) {
+    order.emplace_back(0, i);
+  }
+  for (std::size_t i = common; i < b_layers; ++i) {
+    order.emplace_back(1, i);
+  }
+  return order;
+}
+
+double metric(const Estimate& est, Objective objective) {
+  return objective == Objective::kAccesses
+             ? static_cast<double>(est.accesses())
+             : est.latency_cycles;
+}
+
+}  // namespace
+
+MultiTenantPlan plan_multi_tenant(const model::Network& a,
+                                  const model::Network& b,
+                                  const arch::AcceleratorSpec& spec,
+                                  Objective objective,
+                                  const AnalyzerOptions& options) {
+  const Analyzer analyzer(spec, options);
+  const auto order = interleave(a.size(), b.size());
+  const count_t glb = spec.glb_elems();
+
+  auto layer_of = [&](const std::pair<int, std::size_t>& step) -> const model::Layer& {
+    return step.first == 0 ? a.layer(step.second) : b.layer(step.second);
+  };
+
+  // Feasible candidates and the minimal footprint per step.
+  std::vector<std::vector<Analyzer::Candidate>> candidates(order.size());
+  std::vector<count_t> min_footprint(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    candidates[i] = analyzer.explain(layer_of(order[i]), objective);
+    count_t best = std::numeric_limits<count_t>::max();
+    for (const auto& c : candidates[i]) {
+      if (c.estimate.feasible) {
+        best = std::min(best, c.estimate.memory_elems());
+      }
+    }
+    if (best == std::numeric_limits<count_t>::max()) {
+      throw std::runtime_error(
+          "plan_multi_tenant: layer '" + layer_of(order[i]).name() +
+          "' cannot execute within the GLB at all");
+    }
+    min_footprint[i] = best;
+  }
+
+  MultiTenantPlan plan;
+  plan.steps.reserve(order.size());
+  count_t prev_footprint = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    // The step shares the GLB with its predecessor (still resident) and
+    // must leave room for the successor's most frugal working set.
+    const count_t next_min = (i + 1 < order.size()) ? min_footprint[i + 1] : 0;
+    if (prev_footprint > glb || next_min > glb) {
+      throw std::runtime_error("plan_multi_tenant: neighbouring working sets "
+                               "exceed the GLB");
+    }
+    const count_t budget = glb - std::max(prev_footprint, next_min);
+    const Analyzer::Candidate* best = nullptr;
+    for (const auto& c : candidates[i]) {
+      if (!c.estimate.feasible || c.estimate.memory_elems() > budget) {
+        continue;
+      }
+      if (!best ||
+          metric(c.estimate, objective) < metric(best->estimate, objective)) {
+        best = &c;
+      }
+    }
+    if (!best) {
+      throw std::runtime_error(
+          "plan_multi_tenant: layer '" + layer_of(order[i]).name() +
+          "' cannot fit next to its neighbours; tenants too large for " +
+          std::to_string(spec.glb_bytes / 1024) + " kB");
+    }
+    TenantStep step;
+    step.tenant = order[i].first;
+    step.layer_index = order[i].second;
+    step.estimate = best->estimate;
+    plan.peak_combined_elems =
+        std::max(plan.peak_combined_elems,
+                 prev_footprint + step.estimate.memory_elems());
+    prev_footprint = step.estimate.memory_elems();
+    plan.total_accesses += step.estimate.accesses();
+    plan.steps.push_back(std::move(step));
+  }
+
+  // Latency: per-layer compute/transfer decomposition.  Serialized runs
+  // everything back to back; overlapped hides step i+1's transfers behind
+  // step i's compute (the cross-tenant pipeline).
+  const double bw = spec.elements_per_cycle();
+  auto transfer = [&](const TenantStep& s) {
+    return static_cast<double>(s.estimate.accesses()) / bw;
+  };
+  for (const TenantStep& s : plan.steps) {
+    plan.serialized_latency_cycles += s.estimate.compute_cycles + transfer(s);
+  }
+  if (!plan.steps.empty()) {
+    plan.overlapped_latency_cycles = transfer(plan.steps.front());
+    for (std::size_t i = 0; i + 1 < plan.steps.size(); ++i) {
+      plan.overlapped_latency_cycles +=
+          std::max(plan.steps[i].estimate.compute_cycles,
+                   transfer(plan.steps[i + 1]));
+    }
+    plan.overlapped_latency_cycles +=
+        plan.steps.back().estimate.compute_cycles;
+  }
+  return plan;
+}
+
+}  // namespace rainbow::core

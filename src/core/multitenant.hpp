@@ -1,0 +1,56 @@
+// Multi-tenant co-scheduling: the paper's introduction motivates flexible
+// management partly by multi-tenancy [20] — several models sharing one
+// accelerator.  This module plans two tenants whose layers interleave
+// round-robin on one unified GLB: at every step the two active layers'
+// working sets must fit *together*, and while one tenant's layer computes
+// the other's next layer prefetches — cross-tenant overlap a fixed
+// per-tenant partition cannot express.
+//
+// The planner chooses both layers' policies jointly (candidate x candidate
+// search per step, the same Algorithm 1 candidates) under the combined
+// capacity constraint.
+#pragma once
+
+#include "core/analyzer.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::core {
+
+/// One interleaved step: which tenant ran which layer, with its estimate.
+struct TenantStep {
+  int tenant = 0;  ///< 0 = A, 1 = B
+  std::size_t layer_index = 0;
+  Estimate estimate;
+};
+
+struct MultiTenantPlan {
+  std::vector<TenantStep> steps;
+  count_t total_accesses = 0;
+  /// Layers executed strictly back-to-back (no cross-tenant overlap).
+  double serialized_latency_cycles = 0.0;
+  /// Cross-tenant software pipelining: while step i computes, step i+1's
+  /// transfers run — the interleaving hides one tenant's loads behind the
+  /// other's compute.
+  double overlapped_latency_cycles = 0.0;
+  /// Largest combined working set of two adjacent steps, in elements —
+  /// must fit the GLB.
+  count_t peak_combined_elems = 0;
+
+  [[nodiscard]] double total_access_mb(const arch::AcceleratorSpec& spec) const {
+    return static_cast<double>(total_accesses * spec.element_bytes()) /
+           (1024.0 * 1024.0);
+  }
+};
+
+/// Plans tenants `a` and `b` interleaved on one GLB under `objective`.
+/// Shorter tenants finish early; remaining layers run solo.  Throws
+/// std::runtime_error when some step cannot fit both working sets even
+/// with the most frugal policies.
+[[nodiscard]] MultiTenantPlan plan_multi_tenant(const model::Network& a,
+                                                const model::Network& b,
+                                                const arch::AcceleratorSpec& spec,
+                                                Objective objective,
+                                                const AnalyzerOptions& options = {});
+
+}  // namespace rainbow::core

@@ -1,0 +1,100 @@
+#include "core/plan.hpp"
+
+#include <stdexcept>
+
+namespace rainbow::core {
+
+std::string_view to_string(Objective objective) {
+  switch (objective) {
+    case Objective::kAccesses:
+      return "accesses";
+    case Objective::kLatency:
+      return "latency";
+  }
+  throw std::logic_error("to_string: invalid Objective");
+}
+
+count_t ExecutionPlan::total_accesses() const {
+  count_t total = 0;
+  for (const LayerAssignment& a : assignments_) {
+    total += a.estimate.accesses();
+  }
+  return total;
+}
+
+count_t ExecutionPlan::total_access_bytes() const {
+  return total_accesses() * spec_.element_bytes();
+}
+
+double ExecutionPlan::total_access_mb() const {
+  return static_cast<double>(total_access_bytes()) / (1024.0 * 1024.0);
+}
+
+double ExecutionPlan::total_latency_cycles() const {
+  double total = 0.0;
+  for (const LayerAssignment& a : assignments_) {
+    total += a.estimate.latency_cycles;
+  }
+  return total;
+}
+
+double ExecutionPlan::total_compute_cycles() const {
+  double total = 0.0;
+  for (const LayerAssignment& a : assignments_) {
+    total += a.estimate.compute_cycles;
+  }
+  return total;
+}
+
+double ExecutionPlan::prefetch_coverage() const {
+  if (assignments_.empty()) {
+    return 0.0;
+  }
+  std::size_t prefetching = 0;
+  for (const LayerAssignment& a : assignments_) {
+    if (a.estimate.choice.prefetch) {
+      ++prefetching;
+    }
+  }
+  return static_cast<double>(prefetching) /
+         static_cast<double>(assignments_.size());
+}
+
+std::size_t ExecutionPlan::interlayer_links() const {
+  std::size_t links = 0;
+  for (const LayerAssignment& a : assignments_) {
+    if (a.ofmap_stays_in_glb) {
+      ++links;
+    }
+  }
+  return links;
+}
+
+double ExecutionPlan::interlayer_coverage(std::size_t eligible_boundaries) const {
+  if (eligible_boundaries == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(interlayer_links()) /
+         static_cast<double>(eligible_boundaries);
+}
+
+bool ExecutionPlan::feasible() const {
+  for (const LayerAssignment& a : assignments_) {
+    if (!a.estimate.feasible) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t sequential_boundaries(const model::Network& network) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i + 1 < network.size(); ++i) {
+    if (network.is_sequential_boundary(i)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace rainbow::core

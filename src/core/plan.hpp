@@ -1,0 +1,97 @@
+// Execution plans: the analyser's output (Figure 4).  A plan assigns every
+// layer of a network a policy choice plus its estimate, and aggregates the
+// network-level metrics the evaluation section reports (off-chip access
+// volume, latency, prefetch and inter-layer-reuse coverage).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.hpp"
+#include "core/estimator.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::core {
+
+/// Optimization objectives of Section 3.1.
+enum class Objective {
+  kAccesses,  ///< Objective 1: minimise off-chip data transfers
+  kLatency,   ///< Objective 2: minimise inference latency
+};
+
+[[nodiscard]] std::string_view to_string(Objective objective);
+
+/// One layer's slot in a plan.
+struct LayerAssignment {
+  std::size_t layer_index = 0;
+  Estimate estimate;
+  /// Inter-layer reuse: this layer reads its ifmap from / leaves its ofmap
+  /// in the GLB.
+  bool ifmap_from_glb = false;
+  bool ofmap_stays_in_glb = false;
+};
+
+/// A complete execution plan for one network on one accelerator.
+class ExecutionPlan {
+ public:
+  ExecutionPlan(std::string scheme, std::string model,
+                arch::AcceleratorSpec spec, Objective objective)
+      : scheme_(std::move(scheme)),
+        model_(std::move(model)),
+        spec_(spec),
+        objective_(objective) {}
+
+  void add(LayerAssignment assignment) {
+    assignments_.push_back(std::move(assignment));
+  }
+
+  [[nodiscard]] const std::string& scheme() const { return scheme_; }
+  [[nodiscard]] const std::string& model() const { return model_; }
+  [[nodiscard]] const arch::AcceleratorSpec& spec() const { return spec_; }
+  [[nodiscard]] Objective objective() const { return objective_; }
+  [[nodiscard]] std::size_t size() const { return assignments_.size(); }
+  [[nodiscard]] const LayerAssignment& assignment(std::size_t i) const {
+    return assignments_.at(i);
+  }
+  [[nodiscard]] const std::vector<LayerAssignment>& assignments() const {
+    return assignments_;
+  }
+  [[nodiscard]] LayerAssignment& mutable_assignment(std::size_t i) {
+    return assignments_.at(i);
+  }
+
+  /// Total off-chip transfers in elements / bytes / MB.
+  [[nodiscard]] count_t total_accesses() const;
+  [[nodiscard]] count_t total_access_bytes() const;
+  [[nodiscard]] double total_access_mb() const;
+
+  /// End-to-end latency in cycles (layers execute back-to-back).
+  [[nodiscard]] double total_latency_cycles() const;
+
+  /// Sum of per-layer compute cycles (the zero-stall lower bound).
+  [[nodiscard]] double total_compute_cycles() const;
+
+  /// Fraction of layers whose chosen policy prefetches, in [0, 1].
+  [[nodiscard]] double prefetch_coverage() const;
+
+  /// Fraction of layer boundaries exploiting inter-layer reuse, relative to
+  /// `eligible_boundaries` (pass the network's sequential-boundary count).
+  [[nodiscard]] double interlayer_coverage(std::size_t eligible_boundaries) const;
+  [[nodiscard]] std::size_t interlayer_links() const;
+
+  /// True when every layer's estimate fits the GLB.
+  [[nodiscard]] bool feasible() const;
+
+ private:
+  std::string scheme_;
+  std::string model_;
+  arch::AcceleratorSpec spec_;
+  Objective objective_;
+  std::vector<LayerAssignment> assignments_;
+};
+
+/// Number of boundaries where layer i+1 consumes layer i's output directly
+/// — the denominator of the paper's inter-layer-reuse coverage.
+[[nodiscard]] std::size_t sequential_boundaries(const model::Network& network);
+
+}  // namespace rainbow::core

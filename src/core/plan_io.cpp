@@ -1,0 +1,168 @@
+#include "core/plan_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace rainbow::core {
+
+std::string serialize_plan(const ExecutionPlan& plan) {
+  std::ostringstream out;
+  out << "# rainbow plan: index, policy, prefetch, filter_block, row_stripe, "
+         "ifmap_from_glb, ofmap_stays\n";
+  out << "plan, " << plan.model() << ", " << plan.spec().glb_bytes << ", "
+      << plan.spec().data_width_bits << ", " << to_string(plan.objective())
+      << '\n';
+  for (const LayerAssignment& a : plan.assignments()) {
+    const PolicyChoice& c = a.estimate.choice;
+    out << a.layer_index << ", " << short_label(c.policy, false) << ", "
+        << (c.prefetch ? 1 : 0) << ", " << c.filter_block << ", "
+        << c.row_stripe << ", " << (a.ifmap_from_glb ? 1 : 0) << ", "
+        << (a.ofmap_stays_in_glb ? 1 : 0) << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+int parse_int(const std::string& field, std::size_t line_no) {
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(field, &consumed);
+    if (consumed != field.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("plan parse error at line " +
+                             std::to_string(line_no) + ": bad integer '" +
+                             field + "'");
+  }
+}
+
+}  // namespace
+
+ExecutionPlan parse_plan(const std::string& text,
+                         const model::Network& network,
+                         const EstimatorOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::string model_name;
+  arch::AcceleratorSpec spec;
+  Objective objective = Objective::kAccesses;
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) {
+      continue;
+    }
+    const auto fields = util::split_csv_line(line);
+    if (!saw_header) {
+      if (fields.size() != 5 || fields[0] != "plan") {
+        throw std::runtime_error("plan parse error at line " +
+                                 std::to_string(line_no) +
+                                 ": expected 'plan, <model>, <glb_bytes>, "
+                                 "<width_bits>, <objective>' header");
+      }
+      model_name = fields[1];
+      spec = arch::paper_spec(
+          static_cast<count_t>(std::stoull(fields[2])));
+      spec.data_width_bits = parse_int(fields[3], line_no);
+      spec.validate();
+      if (fields[4] == "accesses") {
+        objective = Objective::kAccesses;
+      } else if (fields[4] == "latency") {
+        objective = Objective::kLatency;
+      } else {
+        throw std::runtime_error("plan parse error at line " +
+                                 std::to_string(line_no) +
+                                 ": unknown objective '" + fields[4] + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (fields.size() != 7) {
+      throw std::runtime_error("plan parse error at line " +
+                               std::to_string(line_no) +
+                               ": expected 7 fields");
+    }
+    rows.push_back(fields);
+  }
+  if (!saw_header) {
+    throw std::runtime_error("plan parse error: missing 'plan' header");
+  }
+  if (model_name != network.name()) {
+    throw std::runtime_error("plan parse error: plan is for model '" +
+                             model_name + "', network is '" +
+                             network.name() + "'");
+  }
+  if (rows.size() != network.size()) {
+    throw std::runtime_error(
+        "plan parse error: " + std::to_string(rows.size()) +
+        " decisions for a " + std::to_string(network.size()) +
+        "-layer network");
+  }
+
+  const Estimator estimator(spec, options);
+  ExecutionPlan plan("loaded", model_name, spec, objective);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& f = rows[i];
+    const std::size_t index = static_cast<std::size_t>(parse_int(f[0], i + 2));
+    if (index != i) {
+      throw std::runtime_error("plan parse error: decisions out of order at "
+                               "index " + std::to_string(index));
+    }
+    LayerAssignment a;
+    a.layer_index = index;
+    PolicyChoice choice;
+    choice.policy = policy_from_short_label(f[1]);
+    choice.prefetch = parse_int(f[2], i + 2) != 0;
+    choice.filter_block = parse_int(f[3], i + 2);
+    choice.row_stripe = parse_int(f[4], i + 2);
+    a.ifmap_from_glb = parse_int(f[5], i + 2) != 0;
+    a.ofmap_stays_in_glb = parse_int(f[6], i + 2) != 0;
+    const InterlayerAdjust adjust{.ifmap_resident = a.ifmap_from_glb,
+                                  .keep_ofmap = a.ofmap_stays_in_glb};
+    a.estimate =
+        estimator.estimate_choice(network.layer(index), choice, adjust);
+    if (!a.estimate.feasible) {
+      throw std::runtime_error("plan validation error: layer " +
+                               std::to_string(index) + " ('" +
+                               network.layer(index).name() +
+                               "') does not fit the " +
+                               std::to_string(spec.glb_bytes / 1024) +
+                               " kB GLB under the stored decision");
+    }
+    plan.add(std::move(a));
+  }
+  return plan;
+}
+
+void save_plan(const ExecutionPlan& plan, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_plan: cannot create " + path.string());
+  }
+  out << serialize_plan(plan);
+}
+
+ExecutionPlan load_plan(const std::filesystem::path& path,
+                        const model::Network& network,
+                        const EstimatorOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_plan: cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_plan(buffer.str(), network, options);
+}
+
+}  // namespace rainbow::core

@@ -1,0 +1,40 @@
+// Plan persistence: a small text format for the *decisions* of a plan
+// (policy, prefetch, tiling parameters, inter-layer flags per layer).
+// Saving a plan and re-loading it against the same network and spec
+// reconstructs identical metrics — so plans can be generated once, stored
+// next to a deployment, audited, or hand-edited and re-validated.
+//
+//   plan, ResNet18, 65536, 8, accesses
+//   0, p1, 1, 1, 0, 0, 0        # index, policy, prefetch, n, R, in, out
+//   1, p4, 0, 90, 0, 0, 0
+//   ...
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/estimator.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::core {
+
+/// Serializes a plan's decisions (not its metrics — those are re-derived
+/// on load).
+[[nodiscard]] std::string serialize_plan(const ExecutionPlan& plan);
+
+/// Reconstructs a plan from its serialized decisions: every layer's
+/// estimate is re-computed with `options`, inter-layer adjustments
+/// included.  Throws std::runtime_error on malformed input, a
+/// network/spec mismatch, or a decision that is infeasible on this GLB
+/// (the validation half of the round trip).
+[[nodiscard]] ExecutionPlan parse_plan(const std::string& text,
+                                       const model::Network& network,
+                                       const EstimatorOptions& options = {});
+
+void save_plan(const ExecutionPlan& plan, const std::filesystem::path& path);
+[[nodiscard]] ExecutionPlan load_plan(const std::filesystem::path& path,
+                                      const model::Network& network,
+                                      const EstimatorOptions& options = {});
+
+}  // namespace rainbow::core

@@ -1,0 +1,103 @@
+#include "core/policy.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace rainbow::core {
+
+std::string_view to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kIntraLayer:
+      return "intra-layer reuse";
+    case Policy::kIfmapReuse:
+      return "policy 1 (ifmap reuse)";
+    case Policy::kFilterReuse:
+      return "policy 2 (filter reuse)";
+    case Policy::kPerChannel:
+      return "policy 3 (per-channel reuse)";
+    case Policy::kPartialIfmap:
+      return "policy 4 (partial ifmap reuse)";
+    case Policy::kPartialPerChannel:
+      return "policy 5 (partial per-channel reuse)";
+    case Policy::kFallbackTiled:
+      return "fallback constrained tiling";
+  }
+  throw std::logic_error("to_string: invalid Policy");
+}
+
+std::string short_label(Policy policy, bool prefetch) {
+  std::string label;
+  switch (policy) {
+    case Policy::kIntraLayer:
+      label = "intra";
+      break;
+    case Policy::kIfmapReuse:
+      label = "p1";
+      break;
+    case Policy::kFilterReuse:
+      label = "p2";
+      break;
+    case Policy::kPerChannel:
+      label = "p3";
+      break;
+    case Policy::kPartialIfmap:
+      label = "p4";
+      break;
+    case Policy::kPartialPerChannel:
+      label = "p5";
+      break;
+    case Policy::kFallbackTiled:
+      label = "tiled";
+      break;
+  }
+  if (prefetch) {
+    label += "+p";
+  }
+  return label;
+}
+
+Policy policy_from_short_label(std::string_view label) {
+  if (label == "intra") return Policy::kIntraLayer;
+  if (label == "p1") return Policy::kIfmapReuse;
+  if (label == "p2") return Policy::kFilterReuse;
+  if (label == "p3") return Policy::kPerChannel;
+  if (label == "p4") return Policy::kPartialIfmap;
+  if (label == "p5") return Policy::kPartialPerChannel;
+  if (label == "tiled") return Policy::kFallbackTiled;
+  throw std::invalid_argument("policy_from_short_label: unknown label '" +
+                              std::string(label) + "'");
+}
+
+std::ostream& operator<<(std::ostream& os, const PolicyChoice& choice) {
+  os << short_label(choice.policy, choice.prefetch);
+  if (choice.policy == Policy::kPartialIfmap ||
+      choice.policy == Policy::kPartialPerChannel ||
+      choice.policy == Policy::kFallbackTiled) {
+    os << "(n=" << choice.filter_block;
+    if (choice.policy == Policy::kFallbackTiled) {
+      os << ",R=" << choice.row_stripe;
+    }
+    os << ')';
+  }
+  return os;
+}
+
+bool is_minimum_traffic(Policy policy, const model::Layer& layer) {
+  switch (policy) {
+    case Policy::kIntraLayer:
+    case Policy::kIfmapReuse:
+    case Policy::kFilterReuse:
+    case Policy::kPerChannel:
+      return true;
+    case Policy::kPartialIfmap:
+    case Policy::kPartialPerChannel:
+      // One filter per channel: the "re-load per filter block" penalty
+      // vanishes because each channel meets exactly one filter.
+      return layer.is_depthwise();
+    case Policy::kFallbackTiled:
+      return false;
+  }
+  throw std::logic_error("is_minimum_traffic: invalid Policy");
+}
+
+}  // namespace rainbow::core

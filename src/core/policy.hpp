@@ -1,0 +1,66 @@
+// The on-chip memory-management policies of Section 3.2.  Each policy is a
+// tiling scheme for one layer: which slice of each data type is resident in
+// the global buffer at a time, and in what order tiles stream through.
+//
+// Naming note: the paper's running text defines Policy 1 as "ifmap reuse"
+// (all filters resident) and Policy 3 as "per-channel reuse" (one channel of
+// all filters resident); its Table 3 prints those two columns swapped.  We
+// follow the text.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/layer.hpp"
+
+namespace rainbow::core {
+
+enum class Policy {
+  kIntraLayer,        ///< whole layer resident; every element moves once
+  kIfmapReuse,        ///< P1: all filters resident, ifmap sliding window
+  kFilterReuse,       ///< P2: whole ifmap resident, filters one-by-one
+  kPerChannel,        ///< P3: one channel of all filters, full ofmap resident
+  kPartialIfmap,      ///< P4: P1 with filter blocks of n; ifmap re-loaded
+  kPartialPerChannel, ///< P5: P3 with filter blocks of n; ifmap re-loaded
+  kFallbackTiled,     ///< constrained tiling when nothing above fits
+};
+
+/// All policies Algorithm 1 iterates over (fallback excluded: it is the
+/// escape hatch when none of these fit).
+inline constexpr Policy kAllPolicies[] = {
+    Policy::kIntraLayer,   Policy::kIfmapReuse,        Policy::kFilterReuse,
+    Policy::kPerChannel,   Policy::kPartialIfmap,      Policy::kPartialPerChannel,
+};
+
+[[nodiscard]] std::string_view to_string(Policy policy);
+
+/// Short labels used in the Figure 6 style per-layer breakdowns:
+/// "intra", "p1".."p5", "tiled"; prefetch appends "+p".
+[[nodiscard]] std::string short_label(Policy policy, bool prefetch);
+
+/// Inverse of short_label's policy part ("intra", "p1".."p5", "tiled" —
+/// without any "+p" suffix).  Throws std::invalid_argument on anything
+/// else.
+[[nodiscard]] Policy policy_from_short_label(std::string_view label);
+
+/// A concrete, fully-parameterised choice for one layer.
+struct PolicyChoice {
+  Policy policy = Policy::kIntraLayer;
+  bool prefetch = false;
+  /// Filter-block size n for P4/P5 (1 <= n < F#); 1 otherwise.
+  int filter_block = 1;
+  /// Fallback tiler parameters (kFallbackTiled only): ofmap row-stripe
+  /// height and filter block.
+  int row_stripe = 0;
+
+  friend bool operator==(const PolicyChoice&, const PolicyChoice&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const PolicyChoice& choice);
+
+/// True when `policy` moves every element between GLB and DRAM exactly once
+/// for this layer (P4/P5 qualify only for depthwise layers, which have a
+/// single filter per channel — the paper's Section 5.1 observation).
+[[nodiscard]] bool is_minimum_traffic(Policy policy, const model::Layer& layer);
+
+}  // namespace rainbow::core

@@ -1,0 +1,111 @@
+#include "core/report.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rainbow::core {
+
+PlanReport build_report(const ExecutionPlan& plan,
+                        const model::Network& network,
+                        const EnergyModel& energy) {
+  if (plan.size() != network.size()) {
+    throw std::invalid_argument("build_report: plan/network size mismatch");
+  }
+  PlanReport report;
+  report.model = plan.model();
+  report.scheme = plan.scheme();
+  report.objective = std::string(to_string(plan.objective()));
+  report.glb_bytes = plan.spec().glb_bytes;
+  report.data_width_bits = plan.spec().data_width_bits;
+  report.total_accesses = plan.total_accesses();
+  report.total_latency_cycles = plan.total_latency_cycles();
+  report.energy_mj = plan_energy(plan, network, energy).total_mj();
+  report.prefetch_coverage = plan.prefetch_coverage();
+  report.layers.reserve(plan.size());
+  for (const LayerAssignment& a : plan.assignments()) {
+    const model::Layer& layer = network.layer(a.layer_index);
+    LayerReport row;
+    row.index = a.layer_index;
+    row.name = layer.name();
+    row.kind = std::string(model::to_string(layer.kind()));
+    row.policy = short_label(a.estimate.choice.policy, a.estimate.choice.prefetch);
+    row.filter_block = a.estimate.choice.filter_block;
+    row.row_stripe = a.estimate.choice.row_stripe;
+    row.memory_elems = a.estimate.memory_elems();
+    row.ifmap_elems = a.estimate.footprint.ifmap;
+    row.filter_elems = a.estimate.footprint.filter;
+    row.ofmap_elems = a.estimate.footprint.ofmap;
+    row.accesses = a.estimate.accesses();
+    row.latency_cycles = a.estimate.latency_cycles;
+    row.ifmap_from_glb = a.ifmap_from_glb;
+    row.ofmap_stays_in_glb = a.ofmap_stays_in_glb;
+    report.layers.push_back(std::move(row));
+  }
+  return report;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (layer names are identifiers, but be safe).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_json(const PlanReport& report, std::ostream& os) {
+  os << "{\n"
+     << "  \"model\": \"" << escape(report.model) << "\",\n"
+     << "  \"scheme\": \"" << escape(report.scheme) << "\",\n"
+     << "  \"objective\": \"" << report.objective << "\",\n"
+     << "  \"glb_bytes\": " << report.glb_bytes << ",\n"
+     << "  \"data_width_bits\": " << report.data_width_bits << ",\n"
+     << "  \"total_accesses\": " << report.total_accesses << ",\n"
+     << "  \"total_latency_cycles\": " << report.total_latency_cycles << ",\n"
+     << "  \"energy_mj\": " << report.energy_mj << ",\n"
+     << "  \"prefetch_coverage\": " << report.prefetch_coverage << ",\n"
+     << "  \"layers\": [\n";
+  for (std::size_t i = 0; i < report.layers.size(); ++i) {
+    const LayerReport& l = report.layers[i];
+    os << "    {\"index\": " << l.index << ", \"name\": \"" << escape(l.name)
+       << "\", \"kind\": \"" << l.kind << "\", \"policy\": \"" << l.policy
+       << "\", \"filter_block\": " << l.filter_block
+       << ", \"row_stripe\": " << l.row_stripe
+       << ", \"memory_elems\": " << l.memory_elems
+       << ", \"footprint\": {\"ifmap\": " << l.ifmap_elems
+       << ", \"filter\": " << l.filter_elems << ", \"ofmap\": " << l.ofmap_elems
+       << "}, \"accesses\": " << l.accesses
+       << ", \"latency_cycles\": " << l.latency_cycles
+       << ", \"ifmap_from_glb\": " << (l.ifmap_from_glb ? "true" : "false")
+       << ", \"ofmap_stays_in_glb\": "
+       << (l.ofmap_stays_in_glb ? "true" : "false") << "}"
+       << (i + 1 < report.layers.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+std::string to_json(const PlanReport& report) {
+  std::ostringstream os;
+  write_json(report, os);
+  return os.str();
+}
+
+}  // namespace rainbow::core

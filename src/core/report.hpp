@@ -1,0 +1,54 @@
+// Machine-readable plan export: a structured per-layer report and a JSON
+// writer, the hand-off format for toolchains (dashboards, regression
+// diffing, compiler frontends) that should not scrape the human tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/energy.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::core {
+
+/// One layer's row of the structured report.
+struct LayerReport {
+  std::size_t index = 0;
+  std::string name;
+  std::string kind;
+  std::string policy;       ///< short label, "+p" included
+  int filter_block = 1;
+  int row_stripe = 0;
+  count_t memory_elems = 0;
+  count_t ifmap_elems = 0, filter_elems = 0, ofmap_elems = 0;  // footprint
+  count_t accesses = 0;
+  double latency_cycles = 0.0;
+  bool ifmap_from_glb = false;
+  bool ofmap_stays_in_glb = false;
+};
+
+struct PlanReport {
+  std::string model;
+  std::string scheme;
+  std::string objective;
+  count_t glb_bytes = 0;
+  int data_width_bits = 8;
+  count_t total_accesses = 0;
+  double total_latency_cycles = 0.0;
+  double energy_mj = 0.0;
+  double prefetch_coverage = 0.0;
+  std::vector<LayerReport> layers;
+};
+
+/// Builds the structured report.  Throws std::invalid_argument on
+/// plan/network mismatch.
+[[nodiscard]] PlanReport build_report(const ExecutionPlan& plan,
+                                      const model::Network& network,
+                                      const EnergyModel& energy = {});
+
+/// Serializes a report as JSON (UTF-8, two-space indent).
+void write_json(const PlanReport& report, std::ostream& os);
+[[nodiscard]] std::string to_json(const PlanReport& report);
+
+}  // namespace rainbow::core

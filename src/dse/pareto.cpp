@@ -1,0 +1,69 @@
+#include "dse/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rainbow::dse {
+
+std::vector<std::size_t> pareto_front(
+    const std::vector<SweepPoint>& points,
+    const std::function<double(const SweepPoint&)>& x,
+    const std::function<double(const SweepPoint&)>& y) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      const bool no_worse =
+          x(points[j]) <= x(points[i]) && y(points[j]) <= y(points[i]);
+      const bool better =
+          x(points[j]) < x(points[i]) || y(points[j]) < y(points[i]);
+      if (no_worse && better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      front.push_back(i);
+    }
+  }
+  return front;
+}
+
+std::optional<SweepPoint> smallest_glb_within(
+    const std::vector<SweepPoint>& points, double slack) {
+  if (points.empty()) {
+    return std::nullopt;
+  }
+  count_t best_accesses = std::numeric_limits<count_t>::max();
+  for (const SweepPoint& p : points) {
+    best_accesses = std::min(best_accesses, p.accesses);
+  }
+  std::optional<SweepPoint> best;
+  for (const SweepPoint& p : points) {
+    if (static_cast<double>(p.accesses) <=
+        (1.0 + slack) * static_cast<double>(best_accesses)) {
+      if (!best || p.glb_bytes < best->glb_bytes) {
+        best = p;
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<SweepPoint> cheapest_under_latency(
+    const std::vector<SweepPoint>& points, double budget_cycles) {
+  std::optional<SweepPoint> best;
+  for (const SweepPoint& p : points) {
+    if (p.latency_cycles <= budget_cycles) {
+      if (!best || p.energy_mj < best->energy_mj) {
+        best = p;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace rainbow::dse

@@ -1,0 +1,34 @@
+// Pareto analysis and sizing recommendations over sweep results: the
+// co-design questions a deployment actually asks — "what is the frontier
+// between scratchpad area and DRAM traffic?", "what is the smallest buffer
+// within x% of the asymptote?", "cheapest configuration under a latency
+// budget?".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dse/sweep.hpp"
+
+namespace rainbow::dse {
+
+/// Indices of the points on the Pareto front minimising both `x` and `y`
+/// (strict domination: another point no worse in both and better in one
+/// removes a candidate).  Stable order: as encountered in `points`.
+[[nodiscard]] std::vector<std::size_t> pareto_front(
+    const std::vector<SweepPoint>& points,
+    const std::function<double(const SweepPoint&)>& x,
+    const std::function<double(const SweepPoint&)>& y);
+
+/// The smallest GLB size whose accesses come within `slack` (e.g. 0.05)
+/// of the best accesses anywhere in `points`, or nullopt when `points`
+/// is empty.  Ignores non-GLB axes: callers pass a single-axis sweep.
+[[nodiscard]] std::optional<SweepPoint> smallest_glb_within(
+    const std::vector<SweepPoint>& points, double slack);
+
+/// The lowest-energy point whose latency meets `budget_cycles`, or nullopt
+/// when nothing qualifies.
+[[nodiscard]] std::optional<SweepPoint> cheapest_under_latency(
+    const std::vector<SweepPoint>& points, double budget_cycles);
+
+}  // namespace rainbow::dse

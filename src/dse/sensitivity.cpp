@@ -1,0 +1,47 @@
+#include "dse/sensitivity.hpp"
+
+#include <stdexcept>
+
+namespace rainbow::dse {
+
+std::vector<MarginalPoint> marginal_utility(
+    const std::vector<SweepPoint>& points, int data_width_bits) {
+  if (points.size() < 2) {
+    throw std::invalid_argument("marginal_utility: need at least two points");
+  }
+  const double elem_bytes = data_width_bits / 8.0;
+  std::vector<MarginalPoint> out;
+  out.reserve(points.size() - 1);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const SweepPoint& a = points[i];
+    const SweepPoint& b = points[i + 1];
+    if (b.glb_bytes <= a.glb_bytes) {
+      throw std::invalid_argument(
+          "marginal_utility: points must be sorted by GLB size");
+    }
+    MarginalPoint m;
+    m.from_bytes = a.glb_bytes;
+    m.to_bytes = b.glb_bytes;
+    const double saved_bytes =
+        (static_cast<double>(a.accesses) - static_cast<double>(b.accesses)) *
+        elem_bytes;
+    m.bytes_saved_per_byte =
+        saved_bytes / static_cast<double>(b.glb_bytes - a.glb_bytes);
+    m.latency_saved_cycles = a.latency_cycles - b.latency_cycles;
+    out.push_back(m);
+  }
+  return out;
+}
+
+count_t knee_glb_bytes(const std::vector<SweepPoint>& points, double threshold,
+                       int data_width_bits) {
+  const auto marginals = marginal_utility(points, data_width_bits);
+  for (const MarginalPoint& m : marginals) {
+    if (m.bytes_saved_per_byte < threshold) {
+      return m.from_bytes;
+    }
+  }
+  return points.back().glb_bytes;
+}
+
+}  // namespace rainbow::dse

@@ -1,0 +1,36 @@
+// Sensitivity analysis over sweep results: what does the next kilobyte of
+// scratchpad buy, and where does the curve stop paying (the knee)?  The
+// co-design question behind the paper's buffer-size axis, answered
+// quantitatively.
+#pragma once
+
+#include "dse/sweep.hpp"
+
+namespace rainbow::dse {
+
+/// Marginal value between two adjacent sweep points (same axes except the
+/// GLB size).
+struct MarginalPoint {
+  count_t from_bytes = 0;
+  count_t to_bytes = 0;
+  /// Off-chip bytes saved per extra on-chip byte in this interval —
+  /// dimensionless; > 1 means the added SRAM pays for itself in DRAM
+  /// traffic every single inference.
+  double bytes_saved_per_byte = 0.0;
+  double latency_saved_cycles = 0.0;
+};
+
+/// Marginal utilities of consecutive points of a GLB-only sweep (points
+/// must be sorted by glb_bytes and share the other axes).  Throws
+/// std::invalid_argument on fewer than two points or unsorted sizes.
+[[nodiscard]] std::vector<MarginalPoint> marginal_utility(
+    const std::vector<SweepPoint>& points, int data_width_bits = 8);
+
+/// The knee: the smallest GLB size after which every further doubling
+/// saves less than `threshold` off-chip bytes per added on-chip byte.
+/// Returns the last point's size when the curve never flattens.
+[[nodiscard]] count_t knee_glb_bytes(const std::vector<SweepPoint>& points,
+                                     double threshold = 1.0,
+                                     int data_width_bits = 8);
+
+}  // namespace rainbow::dse

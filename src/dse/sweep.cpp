@@ -1,0 +1,79 @@
+#include "dse/sweep.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace rainbow::dse {
+
+void SweepConfig::validate() const {
+  if (glb_bytes.empty() || data_width_bits.empty() || batch_sizes.empty() ||
+      objectives.empty()) {
+    throw std::invalid_argument("SweepConfig: empty axis");
+  }
+  for (count_t glb : glb_bytes) {
+    if (glb == 0) {
+      throw std::invalid_argument("SweepConfig: zero GLB size");
+    }
+  }
+  for (int width : data_width_bits) {
+    if (width <= 0 || width % 8 != 0) {
+      throw std::invalid_argument("SweepConfig: bad data width");
+    }
+  }
+  for (int batch : batch_sizes) {
+    if (batch < 1) {
+      throw std::invalid_argument("SweepConfig: bad batch size");
+    }
+  }
+  energy.validate();
+}
+
+std::vector<SweepPoint> run_sweep(const model::Network& network,
+                                  const SweepConfig& config,
+                                  std::size_t threads) {
+  config.validate();
+  std::vector<SweepPoint> points;
+  points.reserve(config.point_count());
+  for (count_t glb : config.glb_bytes) {
+    for (int width : config.data_width_bits) {
+      for (int batch : config.batch_sizes) {
+        for (core::Objective objective : config.objectives) {
+          for (int inter = 0; inter <= (config.with_interlayer ? 1 : 0);
+               ++inter) {
+            SweepPoint p;
+            p.glb_bytes = glb;
+            p.data_width_bits = width;
+            p.batch = batch;
+            p.objective = objective;
+            p.interlayer = inter != 0;
+            points.push_back(p);
+          }
+        }
+      }
+    }
+  }
+
+  const std::size_t boundaries = core::sequential_boundaries(network);
+  util::parallel_for_each(
+      points,
+      [&](SweepPoint& p) {
+        arch::AcceleratorSpec spec = arch::paper_spec(p.glb_bytes);
+        spec.data_width_bits = p.data_width_bits;
+        core::ManagerOptions options;
+        options.analyzer.estimator.batch = p.batch;
+        options.interlayer_reuse = p.interlayer;
+        const core::MemoryManager manager(spec, options);
+        const core::ExecutionPlan plan = manager.plan(network, p.objective);
+        p.accesses = plan.total_accesses();
+        p.access_mb = plan.total_access_mb();
+        p.latency_cycles = plan.total_latency_cycles();
+        p.energy_mj = core::plan_energy(plan, network, config.energy).total_mj();
+        p.prefetch_coverage = plan.prefetch_coverage();
+        p.interlayer_coverage = plan.interlayer_coverage(boundaries);
+      },
+      threads);
+  return points;
+}
+
+}  // namespace rainbow::dse

@@ -1,0 +1,69 @@
+// Design-space exploration: the multi-dimensional hardware/software
+// co-design loop of the authors' RAINBOW tool (ISPASS'23) that the paper's
+// memory manager powers.  A sweep evaluates the manager over a grid of
+// (GLB size x data width x batch x objective x feature toggles), one plan
+// per point, in parallel — cheap enough (milliseconds per point, Section 4)
+// that exhaustive grids are practical where classic DSE papers resort to
+// pruning.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/energy.hpp"
+#include "core/manager.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::dse {
+
+/// One grid axis configuration.
+struct SweepConfig {
+  std::vector<count_t> glb_bytes;          ///< required, non-empty
+  std::vector<int> data_width_bits{8};
+  std::vector<int> batch_sizes{1};
+  std::vector<core::Objective> objectives{core::Objective::kAccesses};
+  bool with_interlayer = false;            ///< also evaluate Het+inter
+  core::EnergyModel energy;
+
+  /// Throws std::invalid_argument when an axis is empty or a value is
+  /// out of range.
+  void validate() const;
+
+  [[nodiscard]] std::size_t point_count() const {
+    return glb_bytes.size() * data_width_bits.size() * batch_sizes.size() *
+           objectives.size() * (with_interlayer ? 2 : 1);
+  }
+};
+
+/// One evaluated configuration.
+struct SweepPoint {
+  count_t glb_bytes = 0;
+  int data_width_bits = 8;
+  int batch = 1;
+  core::Objective objective = core::Objective::kAccesses;
+  bool interlayer = false;
+
+  // Measurements (per batch; divide by `batch` for per-image numbers).
+  count_t accesses = 0;
+  double access_mb = 0.0;
+  double latency_cycles = 0.0;
+  double energy_mj = 0.0;
+  double prefetch_coverage = 0.0;
+  double interlayer_coverage = 0.0;
+
+  [[nodiscard]] double access_mb_per_image() const {
+    return access_mb / batch;
+  }
+  [[nodiscard]] double latency_per_image() const {
+    return latency_cycles / batch;
+  }
+};
+
+/// Evaluates the full grid for `network`, fanning points across
+/// `threads` workers (0 = hardware concurrency).  Point order is the
+/// deterministic row-major grid order regardless of thread count.
+[[nodiscard]] std::vector<SweepPoint> run_sweep(const model::Network& network,
+                                                const SweepConfig& config,
+                                                std::size_t threads = 0);
+
+}  // namespace rainbow::dse

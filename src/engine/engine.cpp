@@ -1,0 +1,103 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rainbow::engine {
+
+Engine::Engine(const arch::AcceleratorSpec& spec) : spec_(spec) {
+  spec_.validate();
+}
+
+LayerExecution Engine::execute_layer(const model::Layer& layer,
+                                     const core::PolicyChoice& choice,
+                                     const core::InterlayerAdjust& adjust) const {
+  // Reserve the policy's working regions in a real allocator.  A region per
+  // data type (already doubled for prefetch by planned_footprint) — if any
+  // allocation fails, the plan was infeasible and we fail loudly.
+  Glb glb(spec_.glb_elems());
+  const core::Footprint fp = core::planned_footprint(layer, choice, adjust);
+  if (fp.ifmap != 0) {
+    (void)glb.allocate(fp.ifmap, layer.name() + ".ifmap");
+  }
+  if (fp.filter != 0) {
+    (void)glb.allocate(fp.filter, layer.name() + ".filter");
+  }
+  if (fp.ofmap != 0) {
+    (void)glb.allocate(fp.ofmap, layer.name() + ".ofmap");
+  }
+
+  const std::vector<TileOp> schedule = build_schedule(layer, choice, adjust);
+
+  LayerExecution exec;
+  exec.tiles = schedule.size();
+  exec.peak_glb_elems = glb.peak_used();
+
+  const double bw = spec_.elements_per_cycle();
+  const double mac_rate = spec_.effective_macs_per_cycle();
+
+  if (choice.prefetch) {
+    // Double-buffered pipeline: the DRAM channel runs one tile ahead —
+    // while tile i computes, the channel loads tile i+1 and only then
+    // drains tile i-1's stores (whose compute has long finished).  Both
+    // resources are serial; a tile's compute waits for its own load.
+    double dram_free = 0.0;
+    double compute_free = 0.0;
+    double pending_store = 0.0;       // tile i-1's output, ready to drain
+    double pending_ready = 0.0;       // when that output was produced
+    for (const TileOp& op : schedule) {
+      dram_free += static_cast<double>(op.load_total()) / bw;
+      const double comp_start = std::max(dram_free, compute_free);
+      // The previous tile's store is ready by now; drain it behind this
+      // tile's load.
+      if (pending_store > 0.0) {
+        dram_free = std::max(dram_free, pending_ready) + pending_store;
+      }
+      compute_free = comp_start + static_cast<double>(op.macs) / mac_rate;
+      pending_store = static_cast<double>(op.store_ofmap) / bw;
+      pending_ready = compute_free;
+    }
+    if (pending_store > 0.0) {
+      dram_free = std::max(dram_free, pending_ready) + pending_store;
+    }
+    exec.latency_cycles = std::max(compute_free, dram_free);
+  } else {
+    // Serialized: each tile loads, computes, stores with no overlap.
+    double t = 0.0;
+    for (const TileOp& op : schedule) {
+      t += static_cast<double>(op.load_total()) / bw;
+      t += static_cast<double>(op.macs) / mac_rate;
+      t += static_cast<double>(op.store_ofmap) / bw;
+    }
+    exec.latency_cycles = t;
+  }
+
+  const ScheduleTotals sums = totals(schedule);
+  exec.traffic.ifmap_reads = sums.ifmap_loads;
+  exec.traffic.filter_reads = sums.filter_loads;
+  exec.traffic.ofmap_writes = sums.ofmap_stores;
+  exec.macs = sums.macs;
+  exec.compute_cycles = static_cast<double>(sums.macs) / mac_rate;
+  return exec;
+}
+
+PlanExecution Engine::execute_plan(const core::ExecutionPlan& plan,
+                                   const model::Network& network) const {
+  if (plan.size() != network.size()) {
+    throw std::invalid_argument("Engine::execute_plan: plan/network mismatch");
+  }
+  PlanExecution result;
+  result.layers.reserve(plan.size());
+  for (const core::LayerAssignment& a : plan.assignments()) {
+    core::InterlayerAdjust adjust{.ifmap_resident = a.ifmap_from_glb,
+                                  .keep_ofmap = a.ofmap_stays_in_glb};
+    LayerExecution exec =
+        execute_layer(network.layer(a.layer_index), a.estimate.choice, adjust);
+    result.total_accesses += exec.traffic.total();
+    result.total_latency_cycles += exec.latency_cycles;
+    result.layers.push_back(std::move(exec));
+  }
+  return result;
+}
+
+}  // namespace rainbow::engine

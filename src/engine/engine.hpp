@@ -1,0 +1,57 @@
+// Tile-level execution engine for the unified-GLB accelerator.  Replays a
+// policy's concrete tile schedule against a two-resource timing model (one
+// DRAM channel, one PE array), allocating the working regions in an actual
+// GLB allocator so "it fits" is demonstrated rather than assumed.
+//
+// Relationship to the estimator (src/core/estimator.hpp): traffic and MAC
+// totals agree exactly; serialized (non-prefetch) latency agrees exactly;
+// prefetch latency agrees up to one tile of pipeline skew (the estimator's
+// closed form hides everything between init and drain, the engine resolves
+// tile-by-tile contention).  The test suite pins all three relations.
+#pragma once
+
+#include <vector>
+
+#include "core/plan.hpp"
+#include "engine/glb.hpp"
+#include "engine/schedule.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::engine {
+
+struct LayerExecution {
+  core::TrafficBreakdown traffic;  ///< measured DRAM transfers, elements
+  double latency_cycles = 0.0;
+  double compute_cycles = 0.0;
+  count_t macs = 0;
+  count_t peak_glb_elems = 0;      ///< high-water mark in the allocator
+  std::size_t tiles = 0;
+};
+
+struct PlanExecution {
+  std::vector<LayerExecution> layers;
+  count_t total_accesses = 0;  ///< elements
+  double total_latency_cycles = 0.0;
+};
+
+class Engine {
+ public:
+  explicit Engine(const arch::AcceleratorSpec& spec);
+
+  [[nodiscard]] const arch::AcceleratorSpec& spec() const { return spec_; }
+
+  /// Executes one layer under `choice`.  Throws std::runtime_error when the
+  /// working set does not fit the GLB (the plan lied about feasibility).
+  [[nodiscard]] LayerExecution execute_layer(
+      const model::Layer& layer, const core::PolicyChoice& choice,
+      const core::InterlayerAdjust& adjust = {}) const;
+
+  /// Executes a full plan layer-by-layer.
+  [[nodiscard]] PlanExecution execute_plan(const core::ExecutionPlan& plan,
+                                           const model::Network& network) const;
+
+ private:
+  arch::AcceleratorSpec spec_;
+};
+
+}  // namespace rainbow::engine

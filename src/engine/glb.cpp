@@ -1,0 +1,75 @@
+#include "engine/glb.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rainbow::engine {
+
+Glb::Glb(count_t capacity_elems) : capacity_(capacity_elems) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("Glb: zero capacity");
+  }
+  free_list_.push_back({0, capacity_});
+}
+
+Glb::Region Glb::allocate(count_t elems, const std::string& what) {
+  if (elems == 0) {
+    throw std::invalid_argument("Glb::allocate: zero-size region for " + what);
+  }
+  for (std::size_t i = 0; i < free_list_.size(); ++i) {
+    if (free_list_[i].size >= elems) {
+      Region region{free_list_[i].offset, elems};
+      free_list_[i].offset += elems;
+      free_list_[i].size -= elems;
+      if (free_list_[i].size == 0) {
+        free_list_.erase(free_list_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      used_ += elems;
+      peak_used_ = std::max(peak_used_, used_);
+      live_.push_back(region);
+      return region;
+    }
+  }
+  throw std::runtime_error("Glb: cannot allocate " + std::to_string(elems) +
+                           " elements for " + what + " (" +
+                           std::to_string(free_elems()) + " free of " +
+                           std::to_string(capacity_) + ")");
+}
+
+void Glb::release(const Region& region) {
+  const auto it = std::find_if(live_.begin(), live_.end(), [&](const Region& r) {
+    return r.offset == region.offset && r.size == region.size;
+  });
+  if (it == live_.end()) {
+    throw std::invalid_argument("Glb::release: unknown region");
+  }
+  live_.erase(it);
+  used_ -= region.size;
+
+  // Insert into the sorted free list and coalesce with neighbours.
+  FreeRange range{region.offset, region.size};
+  auto pos = std::lower_bound(
+      free_list_.begin(), free_list_.end(), range,
+      [](const FreeRange& a, const FreeRange& b) { return a.offset < b.offset; });
+  pos = free_list_.insert(pos, range);
+  if (pos + 1 != free_list_.end() && pos->offset + pos->size == (pos + 1)->offset) {
+    pos->size += (pos + 1)->size;
+    free_list_.erase(pos + 1);
+  }
+  if (pos != free_list_.begin()) {
+    auto prev = pos - 1;
+    if (prev->offset + prev->size == pos->offset) {
+      prev->size += pos->size;
+      free_list_.erase(pos);
+    }
+  }
+}
+
+void Glb::reset() {
+  live_.clear();
+  free_list_.clear();
+  free_list_.push_back({0, capacity_});
+  used_ = 0;
+}
+
+}  // namespace rainbow::engine

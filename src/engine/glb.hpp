@@ -1,0 +1,55 @@
+// Unified scratchpad allocator.  The engine allocates every policy's
+// working regions here before executing, so a plan that claims to fit the
+// GLB is checked against an actual allocator rather than trusted.
+// First-fit with coalescing free list — deliberately simple; allocation
+// happens a handful of times per layer, not per element.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace rainbow::engine {
+
+class Glb {
+ public:
+  explicit Glb(count_t capacity_elems);
+
+  [[nodiscard]] count_t capacity() const { return capacity_; }
+  [[nodiscard]] count_t used() const { return used_; }
+  [[nodiscard]] count_t peak_used() const { return peak_used_; }
+  [[nodiscard]] count_t free_elems() const { return capacity_ - used_; }
+
+  /// Handle to an allocated region.
+  struct Region {
+    count_t offset = 0;
+    count_t size = 0;
+    [[nodiscard]] bool valid() const { return size != 0; }
+  };
+
+  /// Allocates `elems` contiguous elements.  Throws std::runtime_error
+  /// (naming `what`) when no free range is large enough.
+  Region allocate(count_t elems, const std::string& what);
+
+  /// Releases a region previously returned by allocate.  Throws
+  /// std::invalid_argument for unknown or double-freed regions.
+  void release(const Region& region);
+
+  /// Releases everything (end of a layer).
+  void reset();
+
+ private:
+  struct FreeRange {
+    count_t offset;
+    count_t size;
+  };
+
+  count_t capacity_;
+  count_t used_ = 0;
+  count_t peak_used_ = 0;
+  std::vector<FreeRange> free_list_;
+  std::vector<Region> live_;
+};
+
+}  // namespace rainbow::engine

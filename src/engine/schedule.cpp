@@ -1,0 +1,237 @@
+#include "engine/schedule.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace rainbow::engine {
+
+namespace {
+
+using core::InterlayerAdjust;
+using core::Policy;
+using core::PolicyChoice;
+using model::Layer;
+
+/// Spreads the layer's MAC count evenly over the tiles (remainder on the
+/// last tile) and applies the inter-layer residency adjustments.
+void finalize(std::vector<TileOp>& schedule, const Layer& layer,
+              const InterlayerAdjust& adjust) {
+  if (schedule.empty()) {
+    throw std::logic_error("finalize: empty schedule");
+  }
+  const count_t macs = layer.macs();
+  const count_t per_tile = macs / schedule.size();
+  count_t assigned = 0;
+  for (TileOp& op : schedule) {
+    op.macs = per_tile;
+    assigned += per_tile;
+  }
+  schedule.back().macs += macs - assigned;
+  if (adjust.ifmap_resident) {
+    for (TileOp& op : schedule) {
+      op.load_ifmap = 0;
+    }
+  }
+  if (adjust.keep_ofmap) {
+    for (TileOp& op : schedule) {
+      op.store_ofmap = 0;
+    }
+  }
+}
+
+/// Splits `total` units into blocks of at most `block`; returns block sizes.
+std::vector<count_t> blocks_of(count_t total, count_t block) {
+  std::vector<count_t> sizes;
+  for (count_t done = 0; done < total; done += block) {
+    sizes.push_back(std::min(block, total - done));
+  }
+  return sizes;
+}
+
+}  // namespace
+
+std::vector<TileOp> build_schedule(const Layer& layer,
+                                   const PolicyChoice& choice,
+                                   const InterlayerAdjust& adjust) {
+  const count_t fh = static_cast<count_t>(layer.filter_h());
+  const count_t fw = static_cast<count_t>(layer.filter_w());
+  const count_t ci = static_cast<count_t>(layer.channels());
+  const count_t nf = static_cast<count_t>(layer.filters());
+  const count_t s = static_cast<count_t>(layer.stride());
+  const count_t pw = static_cast<count_t>(layer.padded_ifmap_w());
+  const count_t oh = static_cast<count_t>(layer.ofmap_h());
+  const count_t ow = static_cast<count_t>(layer.ofmap_w());
+  const count_t co = static_cast<count_t>(layer.ofmap_channels());
+  const bool dw = layer.is_depthwise();
+
+  std::vector<TileOp> schedule;
+  switch (choice.policy) {
+    case Policy::kIntraLayer: {
+      TileOp op;
+      op.load_ifmap = layer.padded_ifmap_elems();
+      op.load_filter = layer.filter_elems();
+      op.store_ofmap = layer.ofmap_elems();
+      schedule.push_back(op);
+      break;
+    }
+
+    case Policy::kIfmapReuse: {
+      // Height-wise sliding window across all channels; all filters loaded
+      // up front; one ofmap row emitted per step.
+      for (count_t r = 0; r < oh; ++r) {
+        TileOp op;
+        op.load_ifmap = (r == 0 ? fh : s) * pw * ci;
+        op.load_filter = (r == 0) ? layer.filter_elems() : 0;
+        op.store_ofmap = ow * co;
+        schedule.push_back(op);
+      }
+      break;
+    }
+
+    case Policy::kFilterReuse: {
+      // Whole ifmap resident; filters stream one by one, each producing one
+      // ofmap channel (per-channel map for depthwise).
+      const count_t steps = dw ? ci : nf;
+      for (count_t k = 0; k < steps; ++k) {
+        TileOp op;
+        op.load_ifmap = (k == 0) ? layer.padded_ifmap_elems() : 0;
+        op.load_filter = layer.single_filter_elems();
+        op.store_ofmap = oh * ow;
+        schedule.push_back(op);
+      }
+      break;
+    }
+
+    case Policy::kPerChannel: {
+      // Channel-major, height-wise row sweep; one channel of every filter
+      // resident per channel phase; ofmap accumulates on-chip and drains at
+      // the end (depthwise channels complete independently).
+      for (count_t c = 0; c < ci; ++c) {
+        for (count_t r = 0; r < oh; ++r) {
+          TileOp op;
+          op.load_ifmap = (r == 0 ? fh : s) * pw;
+          op.load_filter = (r == 0) ? fh * fw * (dw ? 1 : nf) : 0;
+          if (dw && r == oh - 1) {
+            op.store_ofmap = oh * ow;
+          }
+          schedule.push_back(op);
+        }
+      }
+      if (!dw) {
+        schedule.back().store_ofmap = layer.ofmap_elems();
+      }
+      break;
+    }
+
+    case Policy::kPartialIfmap: {
+      if (dw) {
+        // Blocks of n channels; each channel meets its one filter once.
+        for (count_t nb : blocks_of(ci, choice.filter_block)) {
+          for (count_t r = 0; r < oh; ++r) {
+            TileOp op;
+            op.load_ifmap = (r == 0 ? fh : s) * pw * nb;
+            op.load_filter = (r == 0) ? fh * fw * nb : 0;
+            op.store_ofmap = ow * nb;
+            schedule.push_back(op);
+          }
+        }
+      } else {
+        // Blocks of n filters; the full-window ifmap sweep repeats per
+        // block.
+        for (count_t nb : blocks_of(nf, choice.filter_block)) {
+          for (count_t r = 0; r < oh; ++r) {
+            TileOp op;
+            op.load_ifmap = (r == 0 ? fh : s) * pw * ci;
+            op.load_filter = (r == 0) ? fh * fw * ci * nb : 0;
+            op.store_ofmap = ow * nb;
+            schedule.push_back(op);
+          }
+        }
+      }
+      break;
+    }
+
+    case Policy::kPartialPerChannel: {
+      if (dw) {
+        // One channel at a time; blocking over channels does not change the
+        // stream — each channel loads its window and single filter once.
+        for (count_t c = 0; c < ci; ++c) {
+          for (count_t r = 0; r < oh; ++r) {
+            TileOp op;
+            op.load_ifmap = (r == 0 ? fh : s) * pw;
+            op.load_filter = (r == 0) ? fh * fw : 0;
+            if (r == oh - 1) {
+              op.store_ofmap = oh * ow;
+            }
+            schedule.push_back(op);
+          }
+        }
+      } else {
+        // Blocks of n filter channels; every block re-streams the one-
+        // channel ifmap window over all input channels, loading that
+        // channel's n filter slices at each channel start.
+        for (count_t nb : blocks_of(nf, choice.filter_block)) {
+          for (count_t c = 0; c < ci; ++c) {
+            for (count_t r = 0; r < oh; ++r) {
+              TileOp op;
+              op.load_ifmap = (r == 0 ? fh : s) * pw;
+              op.load_filter = (r == 0) ? fh * fw * nb : 0;
+              schedule.push_back(op);
+            }
+          }
+          schedule.back().store_ofmap += oh * ow * nb;
+        }
+      }
+      break;
+    }
+
+    case Policy::kFallbackTiled: {
+      const count_t stripe = static_cast<count_t>(choice.row_stripe);
+      if (stripe < 1 || stripe > oh) {
+        throw std::invalid_argument("build_schedule: bad row stripe");
+      }
+      const auto filter_blocks =
+          blocks_of(dw ? ci : nf, choice.filter_block);
+      for (count_t first = 0; first < oh; first += stripe) {
+        const count_t out_rows = std::min(stripe, oh - first);
+        const count_t in_rows = (out_rows - 1) * s + fh;
+        for (count_t nb : filter_blocks) {
+          if (dw) {
+            for (count_t c = 0; c < nb; ++c) {
+              TileOp op;
+              op.load_ifmap = in_rows * pw;
+              op.load_filter = fh * fw;
+              op.store_ofmap = out_rows * ow;
+              schedule.push_back(op);
+            }
+          } else {
+            for (count_t c = 0; c < ci; ++c) {
+              TileOp op;
+              op.load_ifmap = in_rows * pw;
+              op.load_filter = fh * fw * nb;
+              schedule.push_back(op);
+            }
+            schedule.back().store_ofmap += out_rows * ow * nb;
+          }
+        }
+      }
+      break;
+    }
+  }
+  finalize(schedule, layer, adjust);
+  return schedule;
+}
+
+ScheduleTotals totals(const std::vector<TileOp>& schedule) {
+  ScheduleTotals t;
+  for (const TileOp& op : schedule) {
+    t.ifmap_loads += op.load_ifmap;
+    t.filter_loads += op.load_filter;
+    t.ofmap_stores += op.store_ofmap;
+    t.macs += op.macs;
+  }
+  return t;
+}
+
+}  // namespace rainbow::engine

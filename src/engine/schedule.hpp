@@ -1,0 +1,47 @@
+// Concrete tile schedules.  For a (layer, policy-choice) pair this module
+// unrolls the policy's loop nest into the exact sequence of tile operations
+// (DRAM loads, MACs, DRAM stores) the accelerator would execute.  The
+// engine replays the sequence against a DRAM-channel/compute timing model;
+// the sums of the sequence are, by construction, the quantities the
+// closed-form estimator predicts — the estimator/engine agreement tests
+// pin that.
+//
+// Schedules always account for ifmap padding (it is what the hardware
+// actually streams); compare against an Estimator with padded_traffic on.
+#pragma once
+
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/policy.hpp"
+#include "model/layer.hpp"
+
+namespace rainbow::engine {
+
+/// One tile step: load its inputs, compute, emit its outputs.
+struct TileOp {
+  count_t load_ifmap = 0;   ///< elements fetched from DRAM
+  count_t load_filter = 0;
+  count_t macs = 0;
+  count_t store_ofmap = 0;  ///< elements written to DRAM
+
+  [[nodiscard]] count_t load_total() const { return load_ifmap + load_filter; }
+};
+
+/// Unrolls the policy's loop nest.  Throws std::invalid_argument for
+/// malformed choices (out-of-range tiling parameters).
+[[nodiscard]] std::vector<TileOp> build_schedule(
+    const model::Layer& layer, const core::PolicyChoice& choice,
+    const core::InterlayerAdjust& adjust = {});
+
+/// Sums of a schedule, for conservation checks.
+struct ScheduleTotals {
+  count_t ifmap_loads = 0;
+  count_t filter_loads = 0;
+  count_t ofmap_stores = 0;
+  count_t macs = 0;
+};
+
+[[nodiscard]] ScheduleTotals totals(const std::vector<TileOp>& schedule);
+
+}  // namespace rainbow::engine

@@ -1,0 +1,130 @@
+#include "engine/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "engine/schedule.hpp"
+
+namespace rainbow::engine {
+
+namespace {
+
+/// One resource's busy intervals, replayed with the engine's pipeline
+/// rules.
+struct Intervals {
+  std::vector<std::pair<double, double>> spans;
+  double busy = 0.0;
+
+  void add(double start, double end) {
+    if (end > start) {
+      spans.emplace_back(start, end);
+      busy += end - start;
+    }
+  }
+};
+
+struct Replay {
+  Intervals dram;
+  Intervals compute;
+  double total = 0.0;
+};
+
+Replay replay(const arch::AcceleratorSpec& spec, const model::Layer& layer,
+              const core::PolicyChoice& choice,
+              const core::InterlayerAdjust& adjust) {
+  const auto schedule = build_schedule(layer, choice, adjust);
+  const double bw = spec.elements_per_cycle();
+  const double mac_rate = spec.effective_macs_per_cycle();
+
+  Replay r;
+  if (choice.prefetch) {
+    double dram_free = 0.0;
+    double compute_free = 0.0;
+    double pending_store = 0.0;
+    double pending_ready = 0.0;
+    for (const TileOp& op : schedule) {
+      const double load = static_cast<double>(op.load_total()) / bw;
+      r.dram.add(dram_free, dram_free + load);
+      dram_free += load;
+      const double comp_start = std::max(dram_free, compute_free);
+      if (pending_store > 0.0) {
+        const double start = std::max(dram_free, pending_ready);
+        r.dram.add(start, start + pending_store);
+        dram_free = start + pending_store;
+        pending_store = 0.0;
+      }
+      const double c = static_cast<double>(op.macs) / mac_rate;
+      r.compute.add(comp_start, comp_start + c);
+      compute_free = comp_start + c;
+      if (op.store_ofmap != 0) {
+        pending_store = static_cast<double>(op.store_ofmap) / bw;
+        pending_ready = compute_free;
+      }
+    }
+    if (pending_store > 0.0) {
+      const double start = std::max(dram_free, pending_ready);
+      r.dram.add(start, start + pending_store);
+      dram_free = start + pending_store;
+    }
+    r.total = std::max(compute_free, dram_free);
+  } else {
+    double t = 0.0;
+    for (const TileOp& op : schedule) {
+      const double load = static_cast<double>(op.load_total()) / bw;
+      r.dram.add(t, t + load);
+      t += load;
+      const double c = static_cast<double>(op.macs) / mac_rate;
+      r.compute.add(t, t + c);
+      t += c;
+      const double store = static_cast<double>(op.store_ofmap) / bw;
+      r.dram.add(t, t + store);
+      t += store;
+    }
+    r.total = t;
+  }
+  return r;
+}
+
+std::string render_row(const Intervals& intervals, double total, int width) {
+  std::string row(static_cast<std::size_t>(width), '.');
+  for (const auto& [start, end] : intervals.spans) {
+    const int first = static_cast<int>(start / total * width);
+    int last = static_cast<int>(end / total * width);
+    last = std::min(last, width - 1);
+    for (int i = first; i <= last; ++i) {
+      row[static_cast<std::size_t>(i)] = '#';
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+TimelineStats layer_timeline(const arch::AcceleratorSpec& spec,
+                             const model::Layer& layer,
+                             const core::PolicyChoice& choice,
+                             const core::InterlayerAdjust& adjust) {
+  const Replay r = replay(spec, layer, choice, adjust);
+  TimelineStats stats;
+  stats.total_cycles = r.total;
+  stats.dram_busy_cycles = r.dram.busy;
+  stats.compute_busy_cycles = r.compute.busy;
+  return stats;
+}
+
+std::string render_timeline(const arch::AcceleratorSpec& spec,
+                            const model::Layer& layer,
+                            const core::PolicyChoice& choice, int width) {
+  const Replay r = replay(spec, layer, choice, {});
+  std::ostringstream os;
+  std::ostringstream label;
+  label << choice;
+  os << layer.name() << " [" << label.str() << "], "
+     << static_cast<long long>(r.total) << " cycles\n";
+  os << "  DRAM    " << render_row(r.dram, r.total, width) << '\n';
+  os << "  compute " << render_row(r.compute, r.total, width) << '\n';
+  return os.str();
+}
+
+}  // namespace rainbow::engine

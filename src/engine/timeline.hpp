@@ -1,0 +1,44 @@
+// Execution timeline diagnostics: replay a layer's tile schedule through
+// the engine's two-resource timing and report where the cycles went —
+// DRAM-channel busy time, PE busy time, the exposed (non-overlapped)
+// transfer, and an ASCII occupancy chart for eyeballing pipelines.
+#pragma once
+
+#include <string>
+
+#include "engine/engine.hpp"
+
+namespace rainbow::engine {
+
+struct TimelineStats {
+  double total_cycles = 0.0;
+  double dram_busy_cycles = 0.0;
+  double compute_busy_cycles = 0.0;
+
+  [[nodiscard]] double dram_utilization() const {
+    return total_cycles > 0.0 ? dram_busy_cycles / total_cycles : 0.0;
+  }
+  [[nodiscard]] double compute_utilization() const {
+    return total_cycles > 0.0 ? compute_busy_cycles / total_cycles : 0.0;
+  }
+  /// Transfer time that could not hide behind compute.
+  [[nodiscard]] double exposed_transfer_cycles() const {
+    return total_cycles - compute_busy_cycles;
+  }
+};
+
+/// Timing breakdown of one layer under `choice`.
+[[nodiscard]] TimelineStats layer_timeline(const arch::AcceleratorSpec& spec,
+                                           const model::Layer& layer,
+                                           const core::PolicyChoice& choice,
+                                           const core::InterlayerAdjust& adjust = {});
+
+/// Two-row ASCII occupancy chart ('#' busy, '.' idle), `width` columns:
+///   DRAM    ####....####
+///   compute ....########
+[[nodiscard]] std::string render_timeline(const arch::AcceleratorSpec& spec,
+                                          const model::Layer& layer,
+                                          const core::PolicyChoice& choice,
+                                          int width = 64);
+
+}  // namespace rainbow::engine

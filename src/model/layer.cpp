@@ -1,0 +1,215 @@
+#include "model/layer.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace rainbow::model {
+
+std::string_view to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv:
+      return "CV";
+    case LayerKind::kDepthwise:
+      return "DW";
+    case LayerKind::kPointwise:
+      return "PW";
+    case LayerKind::kFullyConnected:
+      return "FC";
+    case LayerKind::kProjection:
+      return "PL";
+  }
+  throw std::logic_error("to_string: invalid LayerKind");
+}
+
+LayerKind layer_kind_from_string(std::string_view code) {
+  if (code == "CV") return LayerKind::kConv;
+  if (code == "DW") return LayerKind::kDepthwise;
+  if (code == "PW") return LayerKind::kPointwise;
+  if (code == "FC") return LayerKind::kFullyConnected;
+  if (code == "PL") return LayerKind::kProjection;
+  throw std::invalid_argument("layer_kind_from_string: unknown code '" +
+                              std::string(code) + "'");
+}
+
+namespace {
+
+int output_dim(int input, int filter, int stride, int padding,
+               const std::string& name, const char* axis) {
+  const int padded = input + 2 * padding;
+  if (padded < filter) {
+    throw std::invalid_argument("Layer '" + name + "': filter " +
+                                std::string(axis) + " exceeds padded input");
+  }
+  return (padded - filter) / stride + 1;
+}
+
+}  // namespace
+
+Layer::Layer(const Params& params) : params_(params) {
+  auto require_positive = [&](int value, const char* what) {
+    if (value <= 0) {
+      throw std::invalid_argument("Layer '" + params_.name + "': " + what +
+                                  " must be positive");
+    }
+  };
+  require_positive(params_.ifmap_h, "ifmap_h");
+  require_positive(params_.ifmap_w, "ifmap_w");
+  require_positive(params_.channels, "channels");
+  require_positive(params_.filter_h, "filter_h");
+  require_positive(params_.filter_w, "filter_w");
+  require_positive(params_.filters, "filters");
+  require_positive(params_.stride, "stride");
+  if (params_.padding < 0) {
+    throw std::invalid_argument("Layer '" + params_.name +
+                                "': padding must be non-negative");
+  }
+  if (params_.kind == LayerKind::kDepthwise &&
+      params_.filters != params_.channels) {
+    throw std::invalid_argument(
+        "Layer '" + params_.name +
+        "': depthwise layers require filters == channels");
+  }
+  if ((params_.kind == LayerKind::kPointwise ||
+       params_.kind == LayerKind::kProjection ||
+       params_.kind == LayerKind::kFullyConnected) &&
+      (params_.filter_h != 1 || params_.filter_w != 1)) {
+    throw std::invalid_argument("Layer '" + params_.name +
+                                "': PW/PL/FC layers require a 1x1 filter");
+  }
+  ofmap_h_ = output_dim(params_.ifmap_h, params_.filter_h, params_.stride,
+                        params_.padding, params_.name, "height");
+  ofmap_w_ = output_dim(params_.ifmap_w, params_.filter_w, params_.stride,
+                        params_.padding, params_.name, "width");
+}
+
+int Layer::ofmap_channels() const {
+  return is_depthwise() ? params_.channels : params_.filters;
+}
+
+int Layer::padded_ifmap_h() const {
+  // Effective extent the sliding window consumes.  May exceed I_H (padding)
+  // or fall short of it (stride leaves an unused tail); either way it is
+  // exactly what the access schedules stream.
+  return (ofmap_h_ - 1) * params_.stride + params_.filter_h;
+}
+
+int Layer::padded_ifmap_w() const {
+  return (ofmap_w_ - 1) * params_.stride + params_.filter_w;
+}
+
+count_t Layer::ifmap_elems() const {
+  return static_cast<count_t>(params_.ifmap_h) * params_.ifmap_w *
+         params_.channels;
+}
+
+count_t Layer::padded_ifmap_elems() const {
+  return static_cast<count_t>(padded_ifmap_h()) * padded_ifmap_w() *
+         params_.channels;
+}
+
+count_t Layer::filter_elems() const {
+  const count_t per_filter = static_cast<count_t>(params_.filter_h) * params_.filter_w;
+  if (is_depthwise()) {
+    return per_filter * params_.channels;
+  }
+  return per_filter * params_.channels * params_.filters;
+}
+
+count_t Layer::single_filter_elems() const {
+  const count_t per_filter = static_cast<count_t>(params_.filter_h) * params_.filter_w;
+  return is_depthwise() ? per_filter : per_filter * params_.channels;
+}
+
+count_t Layer::ofmap_elems() const {
+  return static_cast<count_t>(ofmap_h_) * ofmap_w_ * ofmap_channels();
+}
+
+count_t Layer::macs() const {
+  const count_t per_output = static_cast<count_t>(params_.filter_h) *
+                             params_.filter_w *
+                             (is_depthwise() ? 1 : params_.channels);
+  return ofmap_elems() * per_output;
+}
+
+std::ostream& operator<<(std::ostream& os, const Layer& layer) {
+  os << layer.name() << " [" << to_string(layer.kind()) << "] "
+     << layer.ifmap_h() << 'x' << layer.ifmap_w() << 'x' << layer.channels()
+     << " -> " << layer.ofmap_h() << 'x' << layer.ofmap_w() << 'x'
+     << layer.ofmap_channels() << " (f=" << layer.filter_h() << 'x'
+     << layer.filter_w() << " n=" << layer.filters() << " s=" << layer.stride()
+     << " p=" << layer.padding() << ')';
+  return os;
+}
+
+Layer make_conv(std::string name, int ifmap_h, int ifmap_w, int channels,
+                int filter_h, int filter_w, int filters, int stride,
+                int padding) {
+  return Layer({.kind = LayerKind::kConv,
+                .name = std::move(name),
+                .ifmap_h = ifmap_h,
+                .ifmap_w = ifmap_w,
+                .channels = channels,
+                .filter_h = filter_h,
+                .filter_w = filter_w,
+                .filters = filters,
+                .stride = stride,
+                .padding = padding});
+}
+
+Layer make_depthwise(std::string name, int ifmap_h, int ifmap_w, int channels,
+                     int filter_h, int filter_w, int stride, int padding) {
+  return Layer({.kind = LayerKind::kDepthwise,
+                .name = std::move(name),
+                .ifmap_h = ifmap_h,
+                .ifmap_w = ifmap_w,
+                .channels = channels,
+                .filter_h = filter_h,
+                .filter_w = filter_w,
+                .filters = channels,
+                .stride = stride,
+                .padding = padding});
+}
+
+Layer make_pointwise(std::string name, int ifmap_h, int ifmap_w, int channels,
+                     int filters, int stride) {
+  return Layer({.kind = LayerKind::kPointwise,
+                .name = std::move(name),
+                .ifmap_h = ifmap_h,
+                .ifmap_w = ifmap_w,
+                .channels = channels,
+                .filter_h = 1,
+                .filter_w = 1,
+                .filters = filters,
+                .stride = stride,
+                .padding = 0});
+}
+
+Layer make_fully_connected(std::string name, int inputs, int outputs) {
+  return Layer({.kind = LayerKind::kFullyConnected,
+                .name = std::move(name),
+                .ifmap_h = 1,
+                .ifmap_w = 1,
+                .channels = inputs,
+                .filter_h = 1,
+                .filter_w = 1,
+                .filters = outputs,
+                .stride = 1,
+                .padding = 0});
+}
+
+Layer make_projection(std::string name, int ifmap_h, int ifmap_w, int channels,
+                      int filters, int stride) {
+  return Layer({.kind = LayerKind::kProjection,
+                .name = std::move(name),
+                .ifmap_h = ifmap_h,
+                .ifmap_w = ifmap_w,
+                .channels = channels,
+                .filter_h = 1,
+                .filter_w = 1,
+                .filters = filters,
+                .stride = stride,
+                .padding = 0});
+}
+
+}  // namespace rainbow::model

@@ -1,0 +1,126 @@
+// One layer of a CNN, described by the hyperparameters of Table 1 of the
+// paper (ifmap H/W, filter H/W, channels, #filters, stride, padding) plus a
+// layer kind.  Everything the memory-management policies need — data-type
+// sizes, MAC counts, padded extents — derives from this struct.
+//
+// Conventions (calibrated against the paper's Table 3; see DESIGN.md):
+//  * On-chip footprints use the *unpadded* ifmap size for whole-ifmap terms.
+//  * Sliding-window tiles and off-chip traffic use the *effective padded*
+//    extent: the input span actually consumed, (O-1)*S + F per dimension.
+//  * Depthwise layers have one single-channel filter per input channel
+//    (channel multiplier 1), so C_O = C_I and filter volume is F_H*F_W*C_I.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace rainbow::model {
+
+/// Layer kinds from Table 2 of the paper.
+enum class LayerKind {
+  kConv,            ///< CV: standard convolution
+  kDepthwise,       ///< DW: depthwise convolution (channel multiplier 1)
+  kPointwise,       ///< PW: 1x1 convolution
+  kFullyConnected,  ///< FC: dense layer (modelled as 1x1 conv on a 1x1 map)
+  kProjection,      ///< PL: 1x1 strided projection (ResNet shortcut)
+};
+
+[[nodiscard]] std::string_view to_string(LayerKind kind);
+
+/// Parses the two-letter code used in the model text format ("CV", "DW",
+/// "PW", "FC", "PL").  Throws std::invalid_argument on anything else.
+[[nodiscard]] LayerKind layer_kind_from_string(std::string_view code);
+
+/// A single fully-connected or (depthwise/pointwise/projection) convolution
+/// layer.  Immutable after construction; the constructor validates the
+/// hyperparameters and precomputes output dims.
+class Layer {
+ public:
+  struct Params {
+    LayerKind kind = LayerKind::kConv;
+    std::string name;  ///< human-readable label ("conv2_1a")
+    int ifmap_h = 0;   ///< I_H
+    int ifmap_w = 0;   ///< I_W
+    int channels = 0;  ///< C_I (= filter channels for CV/PW/FC/PL)
+    int filter_h = 0;  ///< F_H
+    int filter_w = 0;  ///< F_W
+    int filters = 0;   ///< F# (for DW this must equal C_I)
+    int stride = 1;    ///< S
+    int padding = 0;   ///< P (symmetric nominal padding)
+
+    friend bool operator==(const Params&, const Params&) = default;
+  };
+
+  /// Validates and derives output dimensions.  Throws std::invalid_argument
+  /// when dimensions are non-positive, the filter does not fit the padded
+  /// input, or a DW layer has filters != channels.
+  explicit Layer(const Params& params);
+
+  [[nodiscard]] LayerKind kind() const { return params_.kind; }
+  [[nodiscard]] const std::string& name() const { return params_.name; }
+  [[nodiscard]] int ifmap_h() const { return params_.ifmap_h; }
+  [[nodiscard]] int ifmap_w() const { return params_.ifmap_w; }
+  [[nodiscard]] int channels() const { return params_.channels; }
+  [[nodiscard]] int filter_h() const { return params_.filter_h; }
+  [[nodiscard]] int filter_w() const { return params_.filter_w; }
+  [[nodiscard]] int filters() const { return params_.filters; }
+  [[nodiscard]] int stride() const { return params_.stride; }
+  [[nodiscard]] int padding() const { return params_.padding; }
+
+  [[nodiscard]] int ofmap_h() const { return ofmap_h_; }
+  [[nodiscard]] int ofmap_w() const { return ofmap_w_; }
+  /// C_O: equals F# except for depthwise layers, where it equals C_I.
+  [[nodiscard]] int ofmap_channels() const;
+
+  /// Effective padded input extents: the span of (padded) input actually
+  /// consumed by the sliding filter, (O-1)*S + F.  Never exceeds I + 2P and
+  /// never falls below I when the nominal padding is zero.
+  [[nodiscard]] int padded_ifmap_h() const;
+  [[nodiscard]] int padded_ifmap_w() const;
+
+  /// Unpadded ifmap volume I_H*I_W*C_I in elements.
+  [[nodiscard]] count_t ifmap_elems() const;
+  /// Effective padded ifmap volume in elements (used for traffic).
+  [[nodiscard]] count_t padded_ifmap_elems() const;
+  /// Total filter volume in elements (DW: F_H*F_W*C_I).
+  [[nodiscard]] count_t filter_elems() const;
+  /// Volume of one complete 3D filter in elements (DW: F_H*F_W).
+  [[nodiscard]] count_t single_filter_elems() const;
+  /// Ofmap volume O_H*O_W*C_O in elements.
+  [[nodiscard]] count_t ofmap_elems() const;
+
+  /// Multiply-accumulate operations for one inference of this layer.
+  [[nodiscard]] count_t macs() const;
+
+  /// True when the layer is a depthwise convolution (per-channel filters).
+  [[nodiscard]] bool is_depthwise() const {
+    return params_.kind == LayerKind::kDepthwise;
+  }
+
+  friend bool operator==(const Layer& a, const Layer& b) = default;
+
+ private:
+  Params params_;
+  int ofmap_h_ = 0;
+  int ofmap_w_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Layer& layer);
+
+/// Convenience factories mirroring the model-zoo building blocks.
+[[nodiscard]] Layer make_conv(std::string name, int ifmap_h, int ifmap_w,
+                              int channels, int filter_h, int filter_w,
+                              int filters, int stride, int padding);
+[[nodiscard]] Layer make_depthwise(std::string name, int ifmap_h, int ifmap_w,
+                                   int channels, int filter_h, int filter_w,
+                                   int stride, int padding);
+[[nodiscard]] Layer make_pointwise(std::string name, int ifmap_h, int ifmap_w,
+                                   int channels, int filters, int stride = 1);
+[[nodiscard]] Layer make_fully_connected(std::string name, int inputs,
+                                         int outputs);
+[[nodiscard]] Layer make_projection(std::string name, int ifmap_h, int ifmap_w,
+                                    int channels, int filters, int stride);
+
+}  // namespace rainbow::model

@@ -1,0 +1,63 @@
+#include "model/network.hpp"
+
+#include <stdexcept>
+
+namespace rainbow::model {
+
+void Network::add(Layer layer) {
+  layers_.push_back(std::move(layer));
+  producers_.emplace_back(std::nullopt);
+}
+
+void Network::add_branch(Layer layer, std::size_t producer_index) {
+  if (producer_index >= layers_.size()) {
+    throw std::out_of_range("Network::add_branch: producer index " +
+                            std::to_string(producer_index) + " out of range");
+  }
+  layers_.push_back(std::move(layer));
+  producers_.emplace_back(producer_index);
+}
+
+std::optional<std::size_t> Network::producer_of(std::size_t i) const {
+  if (i >= layers_.size()) {
+    throw std::out_of_range("Network::producer_of: index out of range");
+  }
+  return producers_[i];
+}
+
+bool Network::is_sequential_boundary(std::size_t i) const {
+  if (i + 1 >= layers_.size()) {
+    return false;
+  }
+  // Boundary i -> i+1 is sequential when layer i+1 has no explicit producer
+  // (it reads the trunk, i.e. layer i's output).
+  return !producers_[i + 1].has_value();
+}
+
+count_t Network::total_macs() const {
+  count_t total = 0;
+  for (const Layer& layer : layers_) {
+    total += layer.macs();
+  }
+  return total;
+}
+
+count_t Network::total_filter_elems() const {
+  count_t total = 0;
+  for (const Layer& layer : layers_) {
+    total += layer.filter_elems();
+  }
+  return total;
+}
+
+std::size_t Network::count_kind(LayerKind kind) const {
+  std::size_t count = 0;
+  for (const Layer& layer : layers_) {
+    if (layer.kind() == kind) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace rainbow::model

@@ -1,0 +1,60 @@
+// A network is an ordered list of layers executed layer-by-layer, matching
+// the paper's execution model (residual/branch connections are serialized,
+// Section 4).  Layer i's ofmap feeds layer i+1's ifmap along the trunk; a
+// layer can instead be marked as consuming an earlier layer's output
+// (`input_layer`), which the inter-layer-reuse pass uses to decide which
+// boundaries are genuine producer→consumer edges.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/layer.hpp"
+
+namespace rainbow::model {
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Appends a layer whose input is the previous layer's output (the trunk).
+  void add(Layer layer);
+
+  /// Appends a layer that consumes the output of `producer_index` instead of
+  /// the immediately preceding layer (serialized branch, e.g. a ResNet
+  /// projection shortcut).  Throws std::out_of_range for invalid producers.
+  void add_branch(Layer layer, std::size_t producer_index);
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] bool empty() const { return layers_.empty(); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return layers_.at(i); }
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+
+  /// Index of the layer whose ofmap this layer reads, if it is not the
+  /// immediately preceding one.
+  [[nodiscard]] std::optional<std::size_t> producer_of(std::size_t i) const;
+
+  /// True iff layer i+1 consumes layer i's output directly — the condition
+  /// for inter-layer reuse at boundary i -> i+1.
+  [[nodiscard]] bool is_sequential_boundary(std::size_t i) const;
+
+  /// Totals across all layers (batch size 1).
+  [[nodiscard]] count_t total_macs() const;
+  [[nodiscard]] count_t total_filter_elems() const;
+
+  /// Count of layers per kind, for Table 2.
+  [[nodiscard]] std::size_t count_kind(LayerKind kind) const;
+
+ private:
+  std::string name_;
+  std::vector<Layer> layers_;
+  // producers_[i] set when layer i reads a non-adjacent earlier output.
+  std::vector<std::optional<std::size_t>> producers_;
+};
+
+}  // namespace rainbow::model

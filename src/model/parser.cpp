@@ -1,0 +1,136 @@
+#include "model/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace rainbow::model {
+
+namespace {
+
+int parse_int(const std::string& field, std::size_t line_no, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(field, &consumed);
+    if (consumed != field.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("model parse error at line " +
+                             std::to_string(line_no) + ": bad " + what + " '" +
+                             field + "'");
+  }
+}
+
+}  // namespace
+
+Network parse_network(const std::string& text) {
+  Network network;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) {
+      continue;
+    }
+    const auto fields = util::split_csv_line(line);
+    if (!saw_header) {
+      if (fields.size() != 2 || fields[0] != "network") {
+        throw std::runtime_error("model parse error at line " +
+                                 std::to_string(line_no) +
+                                 ": expected 'network, <name>' header");
+      }
+      network.set_name(fields[1]);
+      saw_header = true;
+      continue;
+    }
+    if (fields.size() != 10 && fields.size() != 11) {
+      throw std::runtime_error(
+          "model parse error at line " + std::to_string(line_no) +
+          ": expected 10 or 11 fields, got " + std::to_string(fields.size()));
+    }
+    Layer::Params params;
+    try {
+      params.kind = layer_kind_from_string(fields[0]);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("model parse error at line " +
+                               std::to_string(line_no) + ": " + e.what());
+    }
+    params.name = fields[1];
+    params.ifmap_h = parse_int(fields[2], line_no, "I_H");
+    params.ifmap_w = parse_int(fields[3], line_no, "I_W");
+    params.channels = parse_int(fields[4], line_no, "C_I");
+    params.filter_h = parse_int(fields[5], line_no, "F_H");
+    params.filter_w = parse_int(fields[6], line_no, "F_W");
+    params.filters = parse_int(fields[7], line_no, "F#");
+    params.stride = parse_int(fields[8], line_no, "S");
+    params.padding = parse_int(fields[9], line_no, "P");
+    try {
+      Layer layer(params);
+      if (fields.size() == 11) {
+        const int producer = parse_int(fields[10], line_no, "producer");
+        if (producer < 0) {
+          throw std::invalid_argument("negative producer index");
+        }
+        network.add_branch(std::move(layer),
+                           static_cast<std::size_t>(producer));
+      } else {
+        network.add(std::move(layer));
+      }
+    } catch (const std::exception& e) {
+      throw std::runtime_error("model parse error at line " +
+                               std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  if (!saw_header) {
+    throw std::runtime_error("model parse error: missing 'network' header");
+  }
+  return network;
+}
+
+Network load_network(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_network: cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_network(buffer.str());
+}
+
+std::string serialize_network(const Network& network) {
+  std::ostringstream out;
+  out << "network, " << network.name() << '\n';
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    const Layer& layer = network.layer(i);
+    out << to_string(layer.kind()) << ", " << layer.name() << ", "
+        << layer.ifmap_h() << ", " << layer.ifmap_w() << ", "
+        << layer.channels() << ", " << layer.filter_h() << ", "
+        << layer.filter_w() << ", " << layer.filters() << ", "
+        << layer.stride() << ", " << layer.padding();
+    if (const auto producer = network.producer_of(i)) {
+      out << ", " << *producer;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void save_network(const Network& network, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_network: cannot create " + path.string());
+  }
+  out << serialize_network(network);
+}
+
+}  // namespace rainbow::model

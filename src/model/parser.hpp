@@ -1,0 +1,35 @@
+// Plain-text model format: the substitution for the paper's TensorFlow /
+// PyTorch translation step.  A model file is CSV with '#' comments:
+//
+//   network, ResNet18
+//   CV, conv1, 224, 224, 3, 7, 7, 64, 2, 3
+//   PW, fire,  56,  56, 64, 1, 1, 128, 1, 0
+//   PL, proj,  56,  56, 64, 1, 1, 128, 2, 0, 4   <- optional producer index
+//
+// Columns: kind, name, I_H, I_W, C_I, F_H, F_W, F#, S, P [, producer].
+// The optional 11th column marks a serialized branch that consumes the
+// output of an earlier layer (0-based index) instead of the previous one.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "model/network.hpp"
+
+namespace rainbow::model {
+
+/// Parses a network from text.  Throws std::runtime_error with a line number
+/// on malformed input.
+[[nodiscard]] Network parse_network(const std::string& text);
+
+/// Parses a network from a file on disk.
+[[nodiscard]] Network load_network(const std::filesystem::path& path);
+
+/// Serializes a network into the text format (round-trips with
+/// parse_network).
+[[nodiscard]] std::string serialize_network(const Network& network);
+
+/// Writes a network to a file on disk.
+void save_network(const Network& network, const std::filesystem::path& path);
+
+}  // namespace rainbow::model

@@ -1,0 +1,82 @@
+#include "model/random.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace rainbow::model {
+
+Network random_network(std::uint64_t seed,
+                       const RandomNetworkOptions& options) {
+  if (options.min_layers < 1 || options.max_layers < options.min_layers) {
+    throw std::invalid_argument("random_network: bad layer-count range");
+  }
+  std::mt19937_64 rng(seed);
+  auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  Network net("random-" + std::to_string(seed));
+  int h = options.input_size;
+  int c = options.input_channels;
+
+  // Stem: a strided convolution, like every evaluated model.
+  {
+    const int k = pick(0, 1) ? 3 : 7;
+    const int filters = 8 << pick(0, 2);
+    net.add(make_conv("stem", h, h, c, k, k, filters, 2, k / 2));
+    h = net.layers().back().ofmap_h();
+    c = filters;
+  }
+
+  const int target_layers = pick(options.min_layers, options.max_layers);
+  int block = 0;
+  while (static_cast<int>(net.size()) < target_layers) {
+    const std::string tag = "b" + std::to_string(block++);
+    // Stride 2 occasionally, while the map is large enough to halve.
+    const int stride = (h >= 8 && pick(0, 3) == 0) ? 2 : 1;
+    const int grow = std::min(options.max_channels, c * (pick(0, 2) ? 1 : 2));
+    switch (pick(0, 3)) {
+      case 0: {  // plain convolution
+        const int k = pick(0, 1) ? 3 : 5;
+        net.add(make_conv(tag + "_conv", h, h, c, k, k, grow, stride, k / 2));
+        break;
+      }
+      case 1: {  // pointwise
+        net.add(make_pointwise(tag + "_pw", h, h, c, grow, stride));
+        break;
+      }
+      case 2: {  // depthwise-separable pair
+        if (!options.allow_depthwise) {
+          continue;
+        }
+        const int k = pick(0, 1) ? 3 : 5;
+        net.add(make_depthwise(tag + "_dw", h, h, c, k, k, stride, k / 2));
+        const int nh = net.layers().back().ofmap_h();
+        net.add(make_pointwise(tag + "_sep_pw", nh, nh, c, grow));
+        break;
+      }
+      default: {  // inverted residual (expand / depthwise / project)
+        if (!options.allow_depthwise) {
+          continue;
+        }
+        const int expand = std::min(options.max_channels, c * pick(2, 4));
+        net.add(make_pointwise(tag + "_expand", h, h, c, expand));
+        net.add(make_depthwise(tag + "_mbdw", h, h, expand, 3, 3, stride, 1));
+        const int nh = net.layers().back().ofmap_h();
+        net.add(make_pointwise(tag + "_project", nh, nh, expand, grow));
+        break;
+      }
+    }
+    h = net.layers().back().ofmap_h();
+    c = net.layers().back().ofmap_channels();
+  }
+
+  if (options.allow_dense_head) {
+    // Global average pool, then a classifier.
+    net.add(make_fully_connected("head", c, pick(10, 1000)));
+  }
+  return net;
+}
+
+}  // namespace rainbow::model

@@ -1,0 +1,28 @@
+// Seeded random CNN generator for property-based testing and fuzzing the
+// planner: produces dimensionally consistent layer chains in the style of
+// the evaluated model families (conv stems, depthwise-separable and
+// inverted-residual blocks, pooling-style downsampling, dense heads).
+// Deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+
+#include "model/network.hpp"
+
+namespace rainbow::model {
+
+struct RandomNetworkOptions {
+  int min_layers = 5;
+  int max_layers = 40;
+  int input_size = 64;       ///< starting H = W
+  int input_channels = 3;
+  int max_channels = 512;
+  bool allow_depthwise = true;
+  bool allow_dense_head = true;
+};
+
+/// Generates a random, valid network.  Same seed, same network.
+[[nodiscard]] Network random_network(std::uint64_t seed,
+                                     const RandomNetworkOptions& options = {});
+
+}  // namespace rainbow::model

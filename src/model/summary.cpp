@@ -1,0 +1,64 @@
+#include "model/summary.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rainbow::model {
+
+std::string_view to_string(Dominance dominance) {
+  switch (dominance) {
+    case Dominance::kIfmapDominated:
+      return "ifmap-dominated";
+    case Dominance::kFilterDominated:
+      return "filter-dominated";
+    case Dominance::kBalanced:
+      return "balanced";
+  }
+  throw std::logic_error("to_string: invalid Dominance");
+}
+
+NetworkSummary summarize(const Network& network, double balance_band) {
+  NetworkSummary s;
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    const Layer& layer = network.layer(i);
+    s.total_macs += layer.macs();
+    s.total_ifmap_elems += layer.ifmap_elems();
+    s.total_filter_elems += layer.filter_elems();
+    s.total_ofmap_elems += layer.ofmap_elems();
+    const count_t footprint =
+        layer.ifmap_elems() + layer.filter_elems() + layer.ofmap_elems();
+    if (footprint > s.peak_layer_elems) {
+      s.peak_layer_elems = footprint;
+      s.peak_layer_index = i;
+    }
+  }
+  const count_t compulsory =
+      s.total_ifmap_elems + s.total_filter_elems + s.total_ofmap_elems;
+  s.arithmetic_intensity = compulsory > 0
+                               ? static_cast<double>(s.total_macs) /
+                                     static_cast<double>(compulsory)
+                               : 0.0;
+  const double ifmap = static_cast<double>(s.total_ifmap_elems);
+  const double filter = static_cast<double>(s.total_filter_elems);
+  if (std::abs(ifmap - filter) <= balance_band * (ifmap + filter)) {
+    s.dominance = Dominance::kBalanced;
+  } else {
+    s.dominance = ifmap > filter ? Dominance::kIfmapDominated
+                                 : Dominance::kFilterDominated;
+  }
+  return s;
+}
+
+double recommended_ifmap_fraction(const NetworkSummary& summary) {
+  switch (summary.dominance) {
+    case Dominance::kIfmapDominated:
+      return 0.75;
+    case Dominance::kFilterDominated:
+      return 0.25;
+    case Dominance::kBalanced:
+      return 0.50;
+  }
+  throw std::logic_error("recommended_ifmap_fraction: invalid Dominance");
+}
+
+}  // namespace rainbow::model

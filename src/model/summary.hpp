@@ -1,0 +1,40 @@
+// Per-network statistics behind the paper's qualitative arguments:
+// Figure 3's per-layer breakdown, and Section 5.1's observation that the
+// best fixed partition follows the dominant data type — EfficientNetB0 /
+// MnasNet / MobileNetV2 are ifmap-dominated (sa_75_25 wins),
+// GoogLeNet / MobileNet / ResNet18 filter-dominated (sa_25_75 wins).
+#pragma once
+
+#include <string>
+
+#include "model/network.hpp"
+
+namespace rainbow::model {
+
+enum class Dominance { kIfmapDominated, kFilterDominated, kBalanced };
+
+[[nodiscard]] std::string_view to_string(Dominance dominance);
+
+struct NetworkSummary {
+  count_t total_macs = 0;
+  count_t total_ifmap_elems = 0;   ///< summed over layers
+  count_t total_filter_elems = 0;  ///< the parameter count
+  count_t total_ofmap_elems = 0;
+  count_t peak_layer_elems = 0;    ///< largest single-layer data footprint
+  std::size_t peak_layer_index = 0;
+  /// MACs per off-chip element at compulsory traffic — the roofline
+  /// arithmetic intensity of a perfectly managed buffer.
+  double arithmetic_intensity = 0.0;
+  Dominance dominance = Dominance::kBalanced;
+};
+
+/// `balance_band`: |ifmap - filter| volumes within this fraction of their
+/// sum classify as balanced.
+[[nodiscard]] NetworkSummary summarize(const Network& network,
+                                       double balance_band = 0.1);
+
+/// The baseline ifmap fraction Section 5.1's rule of thumb recommends:
+/// 0.75 for ifmap-dominated, 0.25 for filter-dominated, 0.5 otherwise.
+[[nodiscard]] double recommended_ifmap_fraction(const NetworkSummary& summary);
+
+}  // namespace rainbow::model

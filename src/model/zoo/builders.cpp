@@ -1,0 +1,66 @@
+#include "model/zoo/builders.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rainbow::model::zoo {
+
+void append_separable(Network& net, Cursor& cur, const std::string& name,
+                      int kernel, int stride, int out_channels) {
+  net.add(make_depthwise(name + "_dw", cur.h, cur.w, cur.c, kernel, kernel,
+                         stride, kernel / 2));
+  cur.h = net.layers().back().ofmap_h();
+  cur.w = net.layers().back().ofmap_w();
+  net.add(make_pointwise(name + "_pw", cur.h, cur.w, cur.c, out_channels));
+  cur.c = out_channels;
+}
+
+void append_mbconv(Network& net, Cursor& cur, const std::string& name,
+                   int kernel, int stride, int expand, int out_channels,
+                   bool squeeze_excite, int se_ratio) {
+  if (expand < 1) {
+    throw std::invalid_argument("append_mbconv: expand must be >= 1");
+  }
+  const int in_channels = cur.c;
+  int width = cur.c;
+  if (expand > 1) {
+    width = cur.c * expand;
+    net.add(make_pointwise(name + "_expand", cur.h, cur.w, cur.c, width));
+  }
+  net.add(make_depthwise(name + "_dw", cur.h, cur.w, width, kernel, kernel,
+                         stride, kernel / 2));
+  cur.h = net.layers().back().ofmap_h();
+  cur.w = net.layers().back().ofmap_w();
+  if (squeeze_excite) {
+    // SE acts on the globally pooled DW output: two dense layers squeezing
+    // to in_channels / se_ratio and exciting back to the expanded width.
+    const int squeezed = std::max(1, in_channels / se_ratio);
+    net.add(make_fully_connected(name + "_se_squeeze", width, squeezed));
+    net.add(make_fully_connected(name + "_se_excite", squeezed, width));
+  }
+  net.add(make_pointwise(name + "_project", cur.h, cur.w, width, out_channels));
+  cur.c = out_channels;
+}
+
+void append_inception(Network& net, Cursor& cur, const std::string& name,
+                      int b1, int reduce3, int b3, int reduce5, int b5,
+                      int bp) {
+  // All four branches read the module input.  The first serialized branch
+  // follows the trunk directly; the others are recorded as branches so the
+  // inter-layer-reuse pass knows they do not consume their predecessor.
+  const std::size_t input_index = net.size() - 1;
+  net.add(make_pointwise(name + "_1x1", cur.h, cur.w, cur.c, b1));
+  net.add_branch(make_pointwise(name + "_3x3_reduce", cur.h, cur.w, cur.c,
+                                reduce3),
+                 input_index);
+  net.add(make_conv(name + "_3x3", cur.h, cur.w, reduce3, 3, 3, b3, 1, 1));
+  net.add_branch(make_pointwise(name + "_5x5_reduce", cur.h, cur.w, cur.c,
+                                reduce5),
+                 input_index);
+  net.add(make_conv(name + "_5x5", cur.h, cur.w, reduce5, 5, 5, b5, 1, 2));
+  net.add_branch(make_pointwise(name + "_pool_proj", cur.h, cur.w, cur.c, bp),
+                 input_index);
+  cur.c = b1 + b3 + b5 + bp;
+}
+
+}  // namespace rainbow::model::zoo

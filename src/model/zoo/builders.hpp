@@ -1,0 +1,41 @@
+// Shared building blocks for the model zoo: depthwise-separable units,
+// MobileNetV2/MnasNet/EfficientNet inverted-residual (MBConv) blocks with
+// optional squeeze-and-excite, and GoogLeNet inception modules.  Each helper
+// appends the serialized layer sequence the paper's layer-by-layer execution
+// model sees and advances a spatial cursor.
+#pragma once
+
+#include <string>
+
+#include "model/network.hpp"
+
+namespace rainbow::model::zoo {
+
+/// Tracks the running feature-map shape while a builder appends layers.
+struct Cursor {
+  int h = 0;
+  int w = 0;
+  int c = 0;
+};
+
+/// MobileNet-v1 style depthwise-separable block: DW kxk + PW 1x1.
+void append_separable(Network& net, Cursor& cur, const std::string& name,
+                      int kernel, int stride, int out_channels);
+
+/// Inverted residual (MBConv) block: optional PW expansion (expand > 1),
+/// DW kxk with `stride`, optional squeeze-and-excite pair (two FC layers on
+/// the globally pooled activation, reduction ratio relative to the block
+/// input channels), PW projection to `out_channels`.
+void append_mbconv(Network& net, Cursor& cur, const std::string& name,
+                   int kernel, int stride, int expand, int out_channels,
+                   bool squeeze_excite, int se_ratio = 4);
+
+/// GoogLeNet inception module.  Four parallel branches, serialized in order:
+/// PW b1; PW reduce3 + CV 3x3 b3; PW reduce5 + CV 5x5 b5; pool-projection PW
+/// bp.  All branches consume the module input (recorded via add_branch), and
+/// the cursor advances to the concatenated channel count.
+void append_inception(Network& net, Cursor& cur, const std::string& name,
+                      int b1, int reduce3, int b3, int reduce5, int b5,
+                      int bp);
+
+}  // namespace rainbow::model::zoo

@@ -1,0 +1,42 @@
+// EfficientNet-B0 (Tan & Le, ICML 2019), 224x224 input.  82 counted layers:
+// stem conv, 16 MBConv blocks with squeeze-and-excite (the first with
+// expansion 1 contributes 4 layers, the remaining 15 contribute 5 each:
+// expand PW, DW, SE squeeze FC, SE excite FC, project PW), the 1x1 head
+// convolution, and the classifier.
+#include "model/zoo/zoo.hpp"
+
+#include "model/zoo/builders.hpp"
+
+namespace rainbow::model::zoo {
+
+Network efficientnetb0() {
+  Network net("EfficientNetB0");
+  Cursor cur{224, 224, 3};
+  net.add(make_conv("conv1", cur.h, cur.w, cur.c, 3, 3, 32, 2, 1));
+  cur = {112, 112, 32};
+
+  // (expansion t, channels c, repeats n, first stride s, kernel k) per the
+  // EfficientNet-B0 architecture table.
+  struct Group {
+    int t, c, n, s, k;
+  };
+  const Group groups[] = {{1, 16, 1, 1, 3},  {6, 24, 2, 2, 3},
+                          {6, 40, 2, 2, 5},  {6, 80, 3, 2, 3},
+                          {6, 112, 3, 1, 5}, {6, 192, 4, 2, 5},
+                          {6, 320, 1, 1, 3}};
+  int block_id = 1;
+  for (const Group& g : groups) {
+    for (int i = 0; i < g.n; ++i) {
+      const int stride = (i == 0) ? g.s : 1;
+      append_mbconv(net, cur, "block" + std::to_string(block_id++), g.k,
+                    stride, g.t, g.c, /*squeeze_excite=*/true);
+    }
+  }
+
+  net.add(make_pointwise("conv_head", cur.h, cur.w, cur.c, 1280));
+  // Global average pool -> classifier.
+  net.add(make_fully_connected("fc", 1280, 1000));
+  return net;
+}
+
+}  // namespace rainbow::model::zoo

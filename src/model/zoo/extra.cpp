@@ -1,0 +1,47 @@
+// Extra classic networks beyond the paper's six — useful for users sizing
+// buffers for older, weight-heavy workloads.  VGG-16 (Simonyan & Zisserman
+// 2015) and single-tower AlexNet (Krizhevsky et al. 2012, without the
+// original's grouped convolutions), ImageNet configurations; pooling
+// layers are not counted, matching the zoo convention.
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::model::zoo {
+
+Network vgg16() {
+  Network net("VGG16");
+  auto stage = [&](const char* name, int size, int in_c, int out_c,
+                   int convs) {
+    for (int i = 0; i < convs; ++i) {
+      net.add(make_conv(std::string(name) + "_" + std::to_string(i + 1), size,
+                        size, i == 0 ? in_c : out_c, 3, 3, out_c, 1, 1));
+    }
+    // max-pool 2x2/2 follows each stage (not counted).
+  };
+  stage("conv1", 224, 3, 64, 2);
+  stage("conv2", 112, 64, 128, 2);
+  stage("conv3", 56, 128, 256, 3);
+  stage("conv4", 28, 256, 512, 3);
+  stage("conv5", 14, 512, 512, 3);
+  net.add(make_fully_connected("fc6", 7 * 7 * 512, 4096));
+  net.add(make_fully_connected("fc7", 4096, 4096));
+  net.add(make_fully_connected("fc8", 4096, 1000));
+  return net;
+}
+
+Network alexnet() {
+  Network net("AlexNet");
+  net.add(make_conv("conv1", 227, 227, 3, 11, 11, 96, 4, 0));
+  // max-pool 3x3/2 -> 27x27x96
+  net.add(make_conv("conv2", 27, 27, 96, 5, 5, 256, 1, 2));
+  // max-pool 3x3/2 -> 13x13x256
+  net.add(make_conv("conv3", 13, 13, 256, 3, 3, 384, 1, 1));
+  net.add(make_conv("conv4", 13, 13, 384, 3, 3, 384, 1, 1));
+  net.add(make_conv("conv5", 13, 13, 384, 3, 3, 256, 1, 1));
+  // max-pool 3x3/2 -> 6x6x256
+  net.add(make_fully_connected("fc6", 6 * 6 * 256, 4096));
+  net.add(make_fully_connected("fc7", 4096, 4096));
+  net.add(make_fully_connected("fc8", 4096, 1000));
+  return net;
+}
+
+}  // namespace rainbow::model::zoo

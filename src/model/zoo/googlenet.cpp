@@ -1,0 +1,59 @@
+// GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015), 224x224 input.
+// 64 counted layers: 3 stem convolutions, 9 inception modules of 6
+// convolutions each, the classifier, and the two auxiliary heads (1x1 conv +
+// two dense layers each).  Pool layers are not counted.
+#include "model/zoo/zoo.hpp"
+
+#include "model/zoo/builders.hpp"
+
+namespace rainbow::model::zoo {
+
+namespace {
+
+// Auxiliary classifier: 5x5/3 average pool to 4x4, 1x1 conv to 128
+// channels, dense 2048 -> 1024, dense 1024 -> 1000.  All three counted
+// layers branch off `tap` (the inception module the head observes).
+void append_aux_head(Network& net, const std::string& name, std::size_t tap,
+                     int channels) {
+  net.add_branch(make_pointwise(name + "_conv", 4, 4, channels, 128), tap);
+  net.add(make_fully_connected(name + "_fc1", 4 * 4 * 128, 1024));
+  net.add(make_fully_connected(name + "_fc2", 1024, 1000));
+}
+
+}  // namespace
+
+Network googlenet() {
+  Network net("GoogLeNet");
+  net.add(make_conv("conv1", 224, 224, 3, 7, 7, 64, 2, 3));
+  // max-pool 3x3/2 -> 56x56x64
+  net.add(make_pointwise("conv2_reduce", 56, 56, 64, 64));
+  net.add(make_conv("conv2", 56, 56, 64, 3, 3, 192, 1, 1));
+  // max-pool 3x3/2 -> 28x28x192
+
+  Cursor cur{28, 28, 192};
+  append_inception(net, cur, "3a", 64, 96, 128, 16, 32, 32);
+  append_inception(net, cur, "3b", 128, 128, 192, 32, 96, 64);
+  // max-pool 3x3/2 -> 14x14x480
+  cur.h = cur.w = 14;
+  append_inception(net, cur, "4a", 192, 96, 208, 16, 48, 64);
+  const std::size_t aux1_tap = net.size() - 1;
+  append_inception(net, cur, "4b", 160, 112, 224, 24, 64, 64);
+  append_inception(net, cur, "4c", 128, 128, 256, 24, 64, 64);
+  append_inception(net, cur, "4d", 112, 144, 288, 32, 64, 64);
+  const std::size_t aux2_tap = net.size() - 1;
+  const int aux2_channels = cur.c;
+  append_inception(net, cur, "4e", 256, 160, 320, 32, 128, 128);
+  // max-pool 3x3/2 -> 7x7x832
+  cur.h = cur.w = 7;
+  append_inception(net, cur, "5a", 256, 160, 320, 32, 128, 128);
+  append_inception(net, cur, "5b", 384, 192, 384, 48, 128, 128);
+
+  // Global average pool -> classifier.
+  net.add(make_fully_connected("fc", 1024, 1000));
+
+  append_aux_head(net, "aux1", aux1_tap, 512);
+  append_aux_head(net, "aux2", aux2_tap, aux2_channels);
+  return net;
+}
+
+}  // namespace rainbow::model::zoo

@@ -1,0 +1,42 @@
+// MnasNet-B1 (Tan et al., CVPR 2019), 224x224 input.  53 counted layers:
+// stem conv, one depthwise-separable unit, 16 MBConv blocks (3 layers each,
+// no squeeze-and-excite in the B1 variant), the 1x1 head convolution, and
+// the classifier.
+#include "model/zoo/zoo.hpp"
+
+#include "model/zoo/builders.hpp"
+
+namespace rainbow::model::zoo {
+
+Network mnasnet() {
+  Network net("MnasNet");
+  Cursor cur{224, 224, 3};
+  net.add(make_conv("conv1", cur.h, cur.w, cur.c, 3, 3, 32, 2, 1));
+  cur = {112, 112, 32};
+
+  append_separable(net, cur, "sepconv", 3, 1, 16);
+
+  // (expansion t, channels c, repeats n, first stride s, kernel k) per the
+  // MnasNet-B1 architecture table.
+  struct Group {
+    int t, c, n, s, k;
+  };
+  const Group groups[] = {{3, 24, 3, 2, 3},  {3, 40, 3, 2, 5},
+                          {6, 80, 3, 2, 5},  {6, 96, 2, 1, 3},
+                          {6, 192, 4, 2, 5}, {6, 320, 1, 1, 3}};
+  int block_id = 1;
+  for (const Group& g : groups) {
+    for (int i = 0; i < g.n; ++i) {
+      const int stride = (i == 0) ? g.s : 1;
+      append_mbconv(net, cur, "block" + std::to_string(block_id++), g.k,
+                    stride, g.t, g.c, /*squeeze_excite=*/false);
+    }
+  }
+
+  net.add(make_pointwise("conv_head", cur.h, cur.w, cur.c, 1280));
+  // Global average pool -> classifier.
+  net.add(make_fully_connected("fc", 1280, 1000));
+  return net;
+}
+
+}  // namespace rainbow::model::zoo

@@ -1,0 +1,33 @@
+// MobileNet v1 (Howard et al., 2017), width multiplier 1.0, 224x224 input.
+// 28 counted layers: the stem convolution, 13 depthwise-separable pairs,
+// and the classifier.
+#include "model/zoo/zoo.hpp"
+
+#include "model/zoo/builders.hpp"
+
+namespace rainbow::model::zoo {
+
+Network mobilenet() {
+  Network net("MobileNet");
+  Cursor cur{224, 224, 3};
+  net.add(make_conv("conv1", cur.h, cur.w, cur.c, 3, 3, 32, 2, 1));
+  cur = {112, 112, 32};
+
+  append_separable(net, cur, "sep1", 3, 1, 64);
+  append_separable(net, cur, "sep2", 3, 2, 128);
+  append_separable(net, cur, "sep3", 3, 1, 128);
+  append_separable(net, cur, "sep4", 3, 2, 256);
+  append_separable(net, cur, "sep5", 3, 1, 256);
+  append_separable(net, cur, "sep6", 3, 2, 512);
+  for (int i = 0; i < 5; ++i) {
+    append_separable(net, cur, "sep" + std::to_string(7 + i), 3, 1, 512);
+  }
+  append_separable(net, cur, "sep12", 3, 2, 1024);
+  append_separable(net, cur, "sep13", 3, 1, 1024);
+
+  // Global average pool -> classifier.
+  net.add(make_fully_connected("fc", 1024, 1000));
+  return net;
+}
+
+}  // namespace rainbow::model::zoo

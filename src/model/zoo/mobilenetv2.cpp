@@ -1,0 +1,40 @@
+// MobileNetV2 (Sandler et al., CVPR 2018), width 1.0, 224x224 input.
+// 53 counted layers: stem conv, 17 inverted-residual blocks (the first with
+// expansion 1 contributes 2 layers, the remaining 16 contribute 3 each),
+// the 1x1 head convolution, and the classifier.
+#include "model/zoo/zoo.hpp"
+
+#include "model/zoo/builders.hpp"
+
+namespace rainbow::model::zoo {
+
+Network mobilenetv2() {
+  Network net("MobileNetV2");
+  Cursor cur{224, 224, 3};
+  net.add(make_conv("conv1", cur.h, cur.w, cur.c, 3, 3, 32, 2, 1));
+  cur = {112, 112, 32};
+
+  // (expansion t, output channels c, repeats n, first stride s) per the
+  // MobileNetV2 paper, all 3x3 depthwise kernels.
+  struct Group {
+    int t, c, n, s;
+  };
+  const Group groups[] = {{1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+                          {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+                          {6, 320, 1, 1}};
+  int block_id = 1;
+  for (const Group& g : groups) {
+    for (int i = 0; i < g.n; ++i) {
+      const int stride = (i == 0) ? g.s : 1;
+      append_mbconv(net, cur, "block" + std::to_string(block_id++), 3, stride,
+                    g.t, g.c, /*squeeze_excite=*/false);
+    }
+  }
+
+  net.add(make_pointwise("conv_head", cur.h, cur.w, cur.c, 1280));
+  // Global average pool -> classifier.
+  net.add(make_fully_connected("fc", 1280, 1000));
+  return net;
+}
+
+}  // namespace rainbow::model::zoo

@@ -1,0 +1,49 @@
+// ResNet-18 (He et al., CVPR 2016), ImageNet configuration, 21 counted
+// layers: 17 convolutions (conv1 + 8 basic blocks x 2), 3 projection
+// shortcuts at the stage transitions, and the final classifier.  The 3x3/2
+// max-pool after conv1 and the global average pool are not counted.
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::model::zoo {
+
+Network resnet18() {
+  Network net("ResNet18");
+  net.add(make_conv("conv1", 224, 224, 3, 7, 7, 64, 2, 3));
+  // max-pool 3x3/2 -> 56x56x64
+
+  // Stage 1: two basic blocks at 56x56, 64 channels.
+  net.add(make_conv("conv2_1a", 56, 56, 64, 3, 3, 64, 1, 1));
+  net.add(make_conv("conv2_1b", 56, 56, 64, 3, 3, 64, 1, 1));
+  net.add(make_conv("conv2_2a", 56, 56, 64, 3, 3, 64, 1, 1));
+  net.add(make_conv("conv2_2b", 56, 56, 64, 3, 3, 64, 1, 1));
+  const std::size_t stage1_out = net.size() - 1;
+
+  // Stage 2: downsampling block (with 1x1/2 projection shortcut) + one block.
+  net.add(make_conv("conv3_1a", 56, 56, 64, 3, 3, 128, 2, 1));
+  net.add(make_conv("conv3_1b", 28, 28, 128, 3, 3, 128, 1, 1));
+  net.add_branch(make_projection("conv3_proj", 56, 56, 64, 128, 2), stage1_out);
+  net.add(make_conv("conv3_2a", 28, 28, 128, 3, 3, 128, 1, 1));
+  net.add(make_conv("conv3_2b", 28, 28, 128, 3, 3, 128, 1, 1));
+  const std::size_t stage2_out = net.size() - 1;
+
+  // Stage 3.
+  net.add(make_conv("conv4_1a", 28, 28, 128, 3, 3, 256, 2, 1));
+  net.add(make_conv("conv4_1b", 14, 14, 256, 3, 3, 256, 1, 1));
+  net.add_branch(make_projection("conv4_proj", 28, 28, 128, 256, 2), stage2_out);
+  net.add(make_conv("conv4_2a", 14, 14, 256, 3, 3, 256, 1, 1));
+  net.add(make_conv("conv4_2b", 14, 14, 256, 3, 3, 256, 1, 1));
+  const std::size_t stage3_out = net.size() - 1;
+
+  // Stage 4.
+  net.add(make_conv("conv5_1a", 14, 14, 256, 3, 3, 512, 2, 1));
+  net.add(make_conv("conv5_1b", 7, 7, 512, 3, 3, 512, 1, 1));
+  net.add_branch(make_projection("conv5_proj", 14, 14, 256, 512, 2), stage3_out);
+  net.add(make_conv("conv5_2a", 7, 7, 512, 3, 3, 512, 1, 1));
+  net.add(make_conv("conv5_2b", 7, 7, 512, 3, 3, 512, 1, 1));
+
+  // Global average pool -> classifier.
+  net.add(make_fully_connected("fc", 512, 1000));
+  return net;
+}
+
+}  // namespace rainbow::model::zoo

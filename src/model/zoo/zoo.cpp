@@ -1,0 +1,40 @@
+#include "model/zoo/zoo.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace rainbow::model::zoo {
+
+std::vector<Network> all_models() {
+  std::vector<Network> models;
+  models.push_back(efficientnetb0());
+  models.push_back(googlenet());
+  models.push_back(mnasnet());
+  models.push_back(mobilenet());
+  models.push_back(mobilenetv2());
+  models.push_back(resnet18());
+  return models;
+}
+
+Network by_name(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "efficientnetb0") return efficientnetb0();
+  if (lower == "googlenet") return googlenet();
+  if (lower == "mnasnet") return mnasnet();
+  if (lower == "mobilenet") return mobilenet();
+  if (lower == "mobilenetv2") return mobilenetv2();
+  if (lower == "resnet18") return resnet18();
+  if (lower == "vgg16") return vgg16();
+  if (lower == "alexnet") return alexnet();
+  throw std::invalid_argument("zoo::by_name: unknown model '" + name + "'");
+}
+
+std::vector<std::string> model_names() {
+  return {"EfficientNetB0", "GoogLeNet", "MnasNet",
+          "MobileNet",      "MobileNetV2", "ResNet18"};
+}
+
+}  // namespace rainbow::model::zoo

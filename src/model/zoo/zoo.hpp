@@ -1,0 +1,38 @@
+// The six CNNs evaluated in the paper (Table 2), hand-encoded from the
+// original architecture papers.  Layer counts match Table 2 exactly:
+// EfficientNetB0 82, GoogLeNet 64, MnasNet 53, MobileNet 28, MobileNetV2 53,
+// ResNet18 21.  Pooling, activation, and element-wise layers are not counted
+// (they move no filter data and the paper's layer tables exclude them);
+// residual/branch connections are serialized per Section 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/network.hpp"
+
+namespace rainbow::model::zoo {
+
+[[nodiscard]] Network resnet18();
+[[nodiscard]] Network mobilenet();
+[[nodiscard]] Network mobilenetv2();
+[[nodiscard]] Network mnasnet();
+[[nodiscard]] Network googlenet();
+[[nodiscard]] Network efficientnetb0();
+
+/// Extra classics beyond the paper's evaluation (weight-dominated
+/// workloads a buffer-sizing user may care about).
+[[nodiscard]] Network vgg16();
+[[nodiscard]] Network alexnet();
+
+/// All six models in the paper's alphabetical reporting order.
+[[nodiscard]] std::vector<Network> all_models();
+
+/// Lookup by case-insensitive name ("resnet18", "MobileNetV2", ...).
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] Network by_name(const std::string& name);
+
+/// Names accepted by by_name, reporting order.
+[[nodiscard]] std::vector<std::string> model_names();
+
+}  // namespace rainbow::model::zoo

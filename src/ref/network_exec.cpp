@@ -1,0 +1,72 @@
+#include "ref/network_exec.hpp"
+
+#include <stdexcept>
+
+namespace rainbow::ref {
+
+bool chainable(const model::Network& network) {
+  for (std::size_t i = 0; i + 1 < network.size(); ++i) {
+    if (!network.is_sequential_boundary(i)) {
+      return false;
+    }
+    const auto& producer = network.layer(i);
+    const auto& consumer = network.layer(i + 1);
+    if (consumer.channels() != producer.ofmap_channels() ||
+        consumer.ifmap_h() != producer.ofmap_h() ||
+        consumer.ifmap_w() != producer.ofmap_w()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+LayerOperands operands_for(const model::Layer& layer, const Tensor3& input,
+                           std::uint64_t seed) {
+  LayerOperands ops = random_operands(layer, seed);
+  ops.ifmap = input;  // replace the random ifmap with the chained tensor
+  return ops;
+}
+
+}  // namespace
+
+NetworkRun execute_network(const model::Network& network,
+                           const core::ExecutionPlan& plan,
+                           const Tensor3& input, std::uint64_t filter_seed) {
+  if (plan.size() != network.size()) {
+    throw std::invalid_argument("execute_network: plan/network mismatch");
+  }
+  if (!chainable(network)) {
+    throw std::invalid_argument("execute_network: network is not chainable");
+  }
+  NetworkRun run;
+  run.peaks.reserve(network.size());
+  Tensor3 current = input;
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    const model::Layer& layer = network.layer(i);
+    const LayerOperands ops = operands_for(layer, current, filter_seed + i);
+    BufferPeaks peaks;
+    current = execute_policy(layer, plan.assignment(i).estimate.choice, ops,
+                             &peaks);
+    run.peaks.push_back(peaks);
+  }
+  run.output = std::move(current);
+  return run;
+}
+
+Tensor3 reference_network(const model::Network& network, const Tensor3& input,
+                          std::uint64_t filter_seed) {
+  if (!chainable(network)) {
+    throw std::invalid_argument("reference_network: network is not chainable");
+  }
+  Tensor3 current = input;
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    const model::Layer& layer = network.layer(i);
+    current = reference_forward(layer, operands_for(layer, current,
+                                                    filter_seed + i));
+  }
+  return current;
+}
+
+}  // namespace rainbow::ref

@@ -1,0 +1,39 @@
+// Network-level functional execution: run a whole plan numerically, layer
+// by layer, each layer computed through its *assigned policy's* loop nest,
+// the output tensor feeding the next layer's input — including pooling
+// between zoo stages is out of scope (plans come from trunk-consistent
+// networks like the random generator's).  This validates the policies'
+// composition and the inter-layer hand-off semantics end to end: the final
+// tensor must equal the chained golden reference.
+#pragma once
+
+#include "core/plan.hpp"
+#include "ref/policy_exec.hpp"
+
+namespace rainbow::ref {
+
+struct NetworkRun {
+  Tensor3 output;                 ///< the last layer's ofmap
+  std::vector<BufferPeaks> peaks; ///< per-layer staging high-water marks
+};
+
+/// True when every adjacent pair of layers is shape-compatible for direct
+/// chaining (consumer ifmap == producer ofmap) — the precondition of
+/// execute_network.
+[[nodiscard]] bool chainable(const model::Network& network);
+
+/// Runs `network` under `plan`, seeding layer 0 with `input` and chaining
+/// outputs forward.  Filters for every layer come from
+/// random_operands(layer, seed + index).  Throws std::invalid_argument on
+/// plan/network mismatch or a non-chainable network.
+[[nodiscard]] NetworkRun execute_network(const model::Network& network,
+                                         const core::ExecutionPlan& plan,
+                                         const Tensor3& input,
+                                         std::uint64_t filter_seed);
+
+/// The chained golden reference with the same filters.
+[[nodiscard]] Tensor3 reference_network(const model::Network& network,
+                                        const Tensor3& input,
+                                        std::uint64_t filter_seed);
+
+}  // namespace rainbow::ref

@@ -1,0 +1,413 @@
+#include "ref/policy_exec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace rainbow::ref {
+
+namespace {
+
+using core::Policy;
+using core::PolicyChoice;
+using model::Layer;
+
+/// The input column span the output sweep actually touches:
+/// (O_W - 1) * S + F_W, in padded coordinates starting at -P.
+int effective_width(const Layer& layer) {
+  return (layer.ofmap_w() - 1) * layer.stride() + layer.filter_w();
+}
+
+/// Bounded staging buffer for a sliding window of `rows` input rows over
+/// `chans` channels.  Rows are addressed by absolute padded input row; the
+/// buffer holds only the current window and faults on anything else.
+class WindowBuffer {
+ public:
+  WindowBuffer(int chans, int rows, int width)
+      : chans_(chans), rows_(rows), width_(width),
+        data_(static_cast<std::size_t>(chans) * rows * width, 0),
+        base_(std::vector<int>(static_cast<std::size_t>(chans), kUnset)) {}
+
+  [[nodiscard]] count_t size() const { return data_.size(); }
+
+  /// Loads rows [first, first + rows_) of channel `src_c` (padded
+  /// coordinates: row/col offset by -padding) from the ifmap.
+  void fill(const Tensor3& ifmap, int src_c, int slot_c, int first,
+            int padding) {
+    base_[static_cast<std::size_t>(slot_c)] = first;
+    for (int r = 0; r < rows_; ++r) {
+      for (int x = 0; x < width_; ++x) {
+        at(slot_c, r, x) =
+            ifmap.padded_at(src_c, first + r - padding, x - padding);
+      }
+    }
+  }
+
+  /// Reads a window element: channel slot, absolute padded row, padded col.
+  [[nodiscard]] value_t read(int slot_c, int abs_row, int x) const {
+    const int base = base_[static_cast<std::size_t>(slot_c)];
+    if (base == kUnset || abs_row < base || abs_row >= base + rows_) {
+      throw std::logic_error("WindowBuffer: access outside resident window");
+    }
+    return at(slot_c, abs_row - base, x);
+  }
+
+ private:
+  static constexpr int kUnset = INT32_MIN;
+
+  [[nodiscard]] value_t& at(int c, int r, int x) {
+    return data_[(static_cast<std::size_t>(c) * rows_ + r) * width_ + x];
+  }
+  [[nodiscard]] value_t at(int c, int r, int x) const {
+    return data_[(static_cast<std::size_t>(c) * rows_ + r) * width_ + x];
+  }
+
+  int chans_, rows_, width_;
+  std::vector<value_t> data_;
+  std::vector<int> base_;
+};
+
+void track(count_t& peak, count_t value) { peak = std::max(peak, value); }
+
+int filter_units(const Layer& layer) {
+  return layer.is_depthwise() ? layer.channels() : layer.filters();
+}
+
+/// Dot product of one window row band with one filter at output column x.
+value_t window_dot(const WindowBuffer& window, int slot, int abs_row,
+                   const Tensor4& filters, int n, int fc, int x,
+                   const Layer& layer) {
+  value_t acc = 0;
+  for (int ky = 0; ky < layer.filter_h(); ++ky) {
+    for (int kx = 0; kx < layer.filter_w(); ++kx) {
+      acc += window.read(slot, abs_row + ky, x * layer.stride() + kx) *
+             filters.at(n, fc, ky, kx);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+Tensor3 execute_policy(const Layer& layer, const PolicyChoice& choice,
+                       const LayerOperands& operands, BufferPeaks* peaks) {
+  validate_operands(layer, operands);
+  BufferPeaks local;
+  BufferPeaks& peak = peaks ? *peaks : local;
+  peak = BufferPeaks{};
+
+  const int fh = layer.filter_h();
+  const int fw = layer.filter_w();
+  const int ci = layer.channels();
+  const int nf = layer.filters();
+  const int oh = layer.ofmap_h();
+  const int ow = layer.ofmap_w();
+  const int we = effective_width(layer);
+  const bool dw = layer.is_depthwise();
+  const int units = filter_units(layer);
+
+  Tensor3 out(layer.ofmap_channels(), oh, ow);
+  const Tensor3& ifmap = operands.ifmap;
+  const Tensor4& filters = operands.filters;
+
+  auto check_block = [&](int n) {
+    if (n < 1 || n > units) {
+      throw std::invalid_argument("execute_policy: filter block out of range");
+    }
+  };
+
+  switch (choice.policy) {
+    case Policy::kIntraLayer: {
+      // Whole layer resident: the reference nest runs straight out of the
+      // full operand and output tensors.
+      track(peak.ifmap, ifmap.size());
+      track(peak.filter, filters.size());
+      out = reference_forward(layer, operands);
+      track(peak.ofmap, out.size());
+      return out;
+    }
+
+    case Policy::kIfmapReuse: {
+      // All filters resident; a fh-row window over all channels slides
+      // height-wise; one output row (all channels) is staged and flushed.
+      track(peak.filter, filters.size());
+      WindowBuffer window(ci, fh, we);
+      track(peak.ifmap, window.size());
+      std::vector<value_t> row(static_cast<std::size_t>(ow) *
+                               layer.ofmap_channels());
+      track(peak.ofmap, row.size());
+      for (int r = 0; r < oh; ++r) {
+        const int first = r * layer.stride();
+        for (int c = 0; c < ci; ++c) {
+          window.fill(ifmap, c, c, first, layer.padding());
+        }
+        for (int o = 0; o < layer.ofmap_channels(); ++o) {
+          for (int x = 0; x < ow; ++x) {
+            value_t acc = 0;
+            if (dw) {
+              acc = window_dot(window, o, first, filters, o, 0, x, layer);
+            } else {
+              for (int c = 0; c < ci; ++c) {
+                acc += window_dot(window, c, first, filters, o, c, x, layer);
+              }
+            }
+            row[static_cast<std::size_t>(o) * ow + x] = acc;
+          }
+        }
+        for (int o = 0; o < layer.ofmap_channels(); ++o) {
+          for (int x = 0; x < ow; ++x) {
+            out.at(o, r, x) = row[static_cast<std::size_t>(o) * ow + x];
+          }
+        }
+      }
+      return out;
+    }
+
+    case Policy::kFilterReuse: {
+      // Whole ifmap resident; filters stream one at a time; one output
+      // channel staged per filter.
+      track(peak.ifmap, ifmap.size());
+      track(peak.filter, layer.single_filter_elems());
+      Tensor3 channel(1, oh, ow);
+      track(peak.ofmap, channel.size());
+      for (int o = 0; o < layer.ofmap_channels(); ++o) {
+        for (int y = 0; y < oh; ++y) {
+          for (int x = 0; x < ow; ++x) {
+            value_t acc = 0;
+            if (dw) {
+              for (int ky = 0; ky < fh; ++ky) {
+                for (int kx = 0; kx < fw; ++kx) {
+                  acc += ifmap.padded_at(o, y * layer.stride() + ky - layer.padding(),
+                                         x * layer.stride() + kx - layer.padding()) *
+                         filters.at(o, 0, ky, kx);
+                }
+              }
+            } else {
+              for (int c = 0; c < ci; ++c) {
+                for (int ky = 0; ky < fh; ++ky) {
+                  for (int kx = 0; kx < fw; ++kx) {
+                    acc += ifmap.padded_at(c, y * layer.stride() + ky - layer.padding(),
+                                           x * layer.stride() + kx - layer.padding()) *
+                           filters.at(o, c, ky, kx);
+                  }
+                }
+              }
+            }
+            channel.at(0, y, x) = acc;
+          }
+        }
+        for (int y = 0; y < oh; ++y) {
+          for (int x = 0; x < ow; ++x) {
+            out.at(o, y, x) = channel.at(0, y, x);
+          }
+        }
+      }
+      return out;
+    }
+
+    case Policy::kPerChannel: {
+      if (dw) {
+        // Channel-independent: one-channel window, one filter, one output
+        // channel staged at a time.
+        WindowBuffer window(1, fh, we);
+        track(peak.ifmap, window.size());
+        track(peak.filter, static_cast<count_t>(fh) * fw);
+        Tensor3 channel(1, oh, ow);
+        track(peak.ofmap, channel.size());
+        for (int c = 0; c < ci; ++c) {
+          for (int r = 0; r < oh; ++r) {
+            const int first = r * layer.stride();
+            window.fill(ifmap, c, 0, first, layer.padding());
+            for (int x = 0; x < ow; ++x) {
+              channel.at(0, r, x) =
+                  window_dot(window, 0, first, filters, c, 0, x, layer);
+            }
+          }
+          for (int y = 0; y < oh; ++y) {
+            for (int x = 0; x < ow; ++x) {
+              out.at(c, y, x) = channel.at(0, y, x);
+            }
+          }
+        }
+        return out;
+      }
+      // One channel of every filter resident; a one-channel window slides;
+      // the whole ofmap accumulates on-chip across channels.
+      track(peak.filter, static_cast<count_t>(fh) * fw * nf);
+      WindowBuffer window(1, fh, we);
+      track(peak.ifmap, window.size());
+      track(peak.ofmap, out.size());
+      for (int c = 0; c < ci; ++c) {
+        for (int r = 0; r < oh; ++r) {
+          const int first = r * layer.stride();
+          window.fill(ifmap, c, 0, first, layer.padding());
+          for (int n = 0; n < nf; ++n) {
+            for (int x = 0; x < ow; ++x) {
+              out.at(n, r, x) +=
+                  window_dot(window, 0, first, filters, n, c, x, layer);
+            }
+          }
+        }
+      }
+      return out;
+    }
+
+    case Policy::kPartialIfmap: {
+      check_block(choice.filter_block);
+      const int nb = choice.filter_block;
+      if (dw) {
+        // Blocks of channels; each channel meets its single filter.
+        for (int c0 = 0; c0 < ci; c0 += nb) {
+          const int block = std::min(nb, ci - c0);
+          WindowBuffer window(block, fh, we);
+          track(peak.ifmap, window.size());
+          track(peak.filter, static_cast<count_t>(fh) * fw * block);
+          std::vector<value_t> row(static_cast<std::size_t>(block) * ow);
+          track(peak.ofmap, row.size());
+          for (int r = 0; r < oh; ++r) {
+            const int first = r * layer.stride();
+            for (int b = 0; b < block; ++b) {
+              window.fill(ifmap, c0 + b, b, first, layer.padding());
+              for (int x = 0; x < ow; ++x) {
+                row[static_cast<std::size_t>(b) * ow + x] = window_dot(
+                    window, b, first, filters, c0 + b, 0, x, layer);
+              }
+            }
+            for (int b = 0; b < block; ++b) {
+              for (int x = 0; x < ow; ++x) {
+                out.at(c0 + b, r, x) = row[static_cast<std::size_t>(b) * ow + x];
+              }
+            }
+          }
+        }
+        return out;
+      }
+      // Blocks of filters; the full-channel window re-sweeps per block.
+      for (int n0 = 0; n0 < nf; n0 += nb) {
+        const int block = std::min(nb, nf - n0);
+        track(peak.filter, static_cast<count_t>(fh) * fw * ci * block);
+        WindowBuffer window(ci, fh, we);
+        track(peak.ifmap, window.size());
+        std::vector<value_t> row(static_cast<std::size_t>(block) * ow);
+        track(peak.ofmap, row.size());
+        for (int r = 0; r < oh; ++r) {
+          const int first = r * layer.stride();
+          for (int c = 0; c < ci; ++c) {
+            window.fill(ifmap, c, c, first, layer.padding());
+          }
+          for (int b = 0; b < block; ++b) {
+            for (int x = 0; x < ow; ++x) {
+              value_t acc = 0;
+              for (int c = 0; c < ci; ++c) {
+                acc += window_dot(window, c, first, filters, n0 + b, c, x, layer);
+              }
+              row[static_cast<std::size_t>(b) * ow + x] = acc;
+            }
+          }
+          for (int b = 0; b < block; ++b) {
+            for (int x = 0; x < ow; ++x) {
+              out.at(n0 + b, r, x) = row[static_cast<std::size_t>(b) * ow + x];
+            }
+          }
+        }
+      }
+      return out;
+    }
+
+    case Policy::kPartialPerChannel: {
+      check_block(choice.filter_block);
+      const int nb = choice.filter_block;
+      if (dw) {
+        // Identical stream to per-channel reuse (each channel is its own
+        // block member); delegate.
+        PolicyChoice p3 = choice;
+        p3.policy = Policy::kPerChannel;
+        return execute_policy(layer, p3, operands, peaks);
+      }
+      // Blocks of filters; per block a one-channel window re-sweeps all
+      // channels while the block's ofmap slab accumulates on-chip.
+      for (int n0 = 0; n0 < nf; n0 += nb) {
+        const int block = std::min(nb, nf - n0);
+        std::vector<value_t> acc(static_cast<std::size_t>(block) * oh * ow, 0);
+        track(peak.ofmap, acc.size());
+        track(peak.filter, static_cast<count_t>(fh) * fw * block);
+        WindowBuffer window(1, fh, we);
+        track(peak.ifmap, window.size());
+        for (int c = 0; c < ci; ++c) {
+          for (int r = 0; r < oh; ++r) {
+            const int first = r * layer.stride();
+            window.fill(ifmap, c, 0, first, layer.padding());
+            for (int b = 0; b < block; ++b) {
+              for (int x = 0; x < ow; ++x) {
+                acc[(static_cast<std::size_t>(b) * oh + r) * ow + x] +=
+                    window_dot(window, 0, first, filters, n0 + b, c, x, layer);
+              }
+            }
+          }
+        }
+        for (int b = 0; b < block; ++b) {
+          for (int y = 0; y < oh; ++y) {
+            for (int x = 0; x < ow; ++x) {
+              out.at(n0 + b, y, x) =
+                  acc[(static_cast<std::size_t>(b) * oh + y) * ow + x];
+            }
+          }
+        }
+      }
+      return out;
+    }
+
+    case Policy::kFallbackTiled: {
+      check_block(choice.filter_block);
+      if (choice.row_stripe < 1 || choice.row_stripe > oh) {
+        throw std::invalid_argument("execute_policy: row stripe out of range");
+      }
+      const int nb = choice.filter_block;
+      const int stripe = choice.row_stripe;
+      for (int r0 = 0; r0 < oh; r0 += stripe) {
+        const int rows = std::min(stripe, oh - r0);
+        const int in_rows = (rows - 1) * layer.stride() + fh;
+        for (int u0 = 0; u0 < units; u0 += nb) {
+          const int block = std::min(nb, units - u0);
+          std::vector<value_t> acc(
+              static_cast<std::size_t>(block) * rows * ow, 0);
+          track(peak.ofmap, acc.size());
+          track(peak.filter, static_cast<count_t>(fh) * fw * block);
+          WindowBuffer window(1, in_rows, we);
+          track(peak.ifmap, window.size());
+          const int channels = dw ? block : ci;
+          for (int cc = 0; cc < channels; ++cc) {
+            const int src_c = dw ? u0 + cc : cc;
+            window.fill(ifmap, src_c, 0, r0 * layer.stride(), layer.padding());
+            for (int b = 0; b < block; ++b) {
+              if (dw && b != cc) {
+                continue;  // a depthwise channel meets only its own filter
+              }
+              const int n = u0 + b;
+              const int fc = dw ? 0 : cc;
+              for (int r = 0; r < rows; ++r) {
+                const int first = (r0 + r) * layer.stride();
+                for (int x = 0; x < ow; ++x) {
+                  acc[(static_cast<std::size_t>(b) * rows + r) * ow + x] +=
+                      window_dot(window, 0, first, filters, n, fc, x, layer);
+                }
+              }
+            }
+          }
+          for (int b = 0; b < block; ++b) {
+            for (int r = 0; r < rows; ++r) {
+              for (int x = 0; x < ow; ++x) {
+                out.at(u0 + b, r0 + r, x) =
+                    acc[(static_cast<std::size_t>(b) * rows + r) * ow + x];
+              }
+            }
+          }
+        }
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("execute_policy: invalid Policy");
+}
+
+}  // namespace rainbow::ref

@@ -1,0 +1,32 @@
+// Numerical policy executors: run a layer through the *actual loop nest*
+// of each memory-management policy, staging data in buffers sized by the
+// policy's footprint terms, and produce the layer's real output.  Together
+// with reference.hpp this proves the Section 3.2 policies are semantically
+// correct tilings — every policy computes bit-identical results to the
+// golden reference while never holding more than its claimed footprint
+// on-chip.
+#pragma once
+
+#include "core/footprint.hpp"
+#include "ref/reference.hpp"
+
+namespace rainbow::ref {
+
+/// High-water marks of the executor's staging buffers, in elements —
+/// directly comparable to core::working_footprint's terms.
+struct BufferPeaks {
+  count_t ifmap = 0;
+  count_t filter = 0;
+  count_t ofmap = 0;
+};
+
+/// Executes `layer` under `choice.policy` with the choice's tiling
+/// parameters.  Returns the computed ofmap; fills `peaks` (if non-null)
+/// with the staging-buffer high-water marks.  Throws std::invalid_argument
+/// for malformed choices or operand shape mismatches.
+[[nodiscard]] Tensor3 execute_policy(const model::Layer& layer,
+                                     const core::PolicyChoice& choice,
+                                     const LayerOperands& operands,
+                                     BufferPeaks* peaks = nullptr);
+
+}  // namespace rainbow::ref

@@ -1,0 +1,96 @@
+#include "ref/reference.hpp"
+
+#include <random>
+
+namespace rainbow::ref {
+
+void validate_operands(const model::Layer& layer,
+                       const LayerOperands& operands) {
+  if (operands.ifmap.channels() != layer.channels() ||
+      operands.ifmap.height() != layer.ifmap_h() ||
+      operands.ifmap.width() != layer.ifmap_w()) {
+    throw std::invalid_argument("operands: ifmap shape mismatch for layer '" +
+                                layer.name() + "'");
+  }
+  const int filter_channels = layer.is_depthwise() ? 1 : layer.channels();
+  if (operands.filters.filters() != layer.filters() ||
+      operands.filters.channels() != filter_channels ||
+      operands.filters.height() != layer.filter_h() ||
+      operands.filters.width() != layer.filter_w()) {
+    throw std::invalid_argument("operands: filter shape mismatch for layer '" +
+                                layer.name() + "'");
+  }
+}
+
+Tensor3 reference_forward(const model::Layer& layer,
+                          const LayerOperands& operands) {
+  validate_operands(layer, operands);
+  const int p = layer.padding();
+  const int s = layer.stride();
+  Tensor3 out(layer.ofmap_channels(), layer.ofmap_h(), layer.ofmap_w());
+  if (layer.is_depthwise()) {
+    for (int c = 0; c < layer.channels(); ++c) {
+      for (int y = 0; y < layer.ofmap_h(); ++y) {
+        for (int x = 0; x < layer.ofmap_w(); ++x) {
+          value_t acc = 0;
+          for (int ky = 0; ky < layer.filter_h(); ++ky) {
+            for (int kx = 0; kx < layer.filter_w(); ++kx) {
+              acc += operands.ifmap.padded_at(c, y * s + ky - p,
+                                              x * s + kx - p) *
+                     operands.filters.at(c, 0, ky, kx);
+            }
+          }
+          out.at(c, y, x) = acc;
+        }
+      }
+    }
+    return out;
+  }
+  for (int n = 0; n < layer.filters(); ++n) {
+    for (int y = 0; y < layer.ofmap_h(); ++y) {
+      for (int x = 0; x < layer.ofmap_w(); ++x) {
+        value_t acc = 0;
+        for (int c = 0; c < layer.channels(); ++c) {
+          for (int ky = 0; ky < layer.filter_h(); ++ky) {
+            for (int kx = 0; kx < layer.filter_w(); ++kx) {
+              acc += operands.ifmap.padded_at(c, y * s + ky - p,
+                                              x * s + kx - p) *
+                     operands.filters.at(n, c, ky, kx);
+            }
+          }
+        }
+        out.at(n, y, x) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+LayerOperands random_operands(const model::Layer& layer, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dist(-8, 8);
+  LayerOperands ops;
+  ops.ifmap = Tensor3(layer.channels(), layer.ifmap_h(), layer.ifmap_w());
+  for (int c = 0; c < layer.channels(); ++c) {
+    for (int y = 0; y < layer.ifmap_h(); ++y) {
+      for (int x = 0; x < layer.ifmap_w(); ++x) {
+        ops.ifmap.at(c, y, x) = dist(rng);
+      }
+    }
+  }
+  const int filter_channels = layer.is_depthwise() ? 1 : layer.channels();
+  ops.filters = Tensor4(layer.filters(), filter_channels, layer.filter_h(),
+                        layer.filter_w());
+  for (int n = 0; n < layer.filters(); ++n) {
+    for (int c = 0; c < filter_channels; ++c) {
+      for (int y = 0; y < layer.filter_h(); ++y) {
+        for (int x = 0; x < layer.filter_w(); ++x) {
+          ops.filters.at(n, c, y, x) = dist(rng);
+        }
+      }
+    }
+  }
+  return ops;
+}
+
+}  // namespace rainbow::ref

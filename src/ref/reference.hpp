@@ -1,0 +1,21 @@
+// Golden reference: plain loop-nest convolution for every layer kind
+// (CV / DW / PW / PL / FC), exact integer arithmetic, standard zero-padding
+// semantics.  The policy executors (policy_exec.hpp) must reproduce these
+// outputs bit-for-bit.
+#pragma once
+
+#include "model/layer.hpp"
+#include "ref/tensor.hpp"
+
+namespace rainbow::ref {
+
+/// Computes `layer` on `operands`.  Validates operand shapes against the
+/// layer; throws std::invalid_argument on mismatch.
+[[nodiscard]] Tensor3 reference_forward(const model::Layer& layer,
+                                        const LayerOperands& operands);
+
+/// Shape checks shared by the executors.
+void validate_operands(const model::Layer& layer,
+                       const LayerOperands& operands);
+
+}  // namespace rainbow::ref

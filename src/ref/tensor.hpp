@@ -1,0 +1,114 @@
+// Minimal dense tensors for the numerical reference path: int32
+// activations/weights (wide enough to hold int8 x int8 accumulations
+// exactly), CHW / NCHW layouts, bounds-checked access.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "model/layer.hpp"
+
+namespace rainbow::ref {
+
+using value_t = std::int32_t;
+
+/// A channels x height x width activation tensor.
+class Tensor3 {
+ public:
+  Tensor3() = default;
+  Tensor3(int channels, int height, int width)
+      : c_(channels), h_(height), w_(width),
+        data_(static_cast<std::size_t>(channels) * height * width, 0) {
+    if (channels <= 0 || height <= 0 || width <= 0) {
+      throw std::invalid_argument("Tensor3: non-positive dims");
+    }
+  }
+
+  [[nodiscard]] int channels() const { return c_; }
+  [[nodiscard]] int height() const { return h_; }
+  [[nodiscard]] int width() const { return w_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] value_t& at(int c, int y, int x) {
+    check(c, y, x);
+    return data_[(static_cast<std::size_t>(c) * h_ + y) * w_ + x];
+  }
+  [[nodiscard]] value_t at(int c, int y, int x) const {
+    check(c, y, x);
+    return data_[(static_cast<std::size_t>(c) * h_ + y) * w_ + x];
+  }
+
+  /// Zero-padded read: coordinates outside the map return 0 (convolution
+  /// padding semantics).
+  [[nodiscard]] value_t padded_at(int c, int y, int x) const {
+    if (y < 0 || y >= h_ || x < 0 || x >= w_) {
+      return 0;
+    }
+    return at(c, y, x);
+  }
+
+  friend bool operator==(const Tensor3&, const Tensor3&) = default;
+
+ private:
+  void check(int c, int y, int x) const {
+    if (c < 0 || c >= c_ || y < 0 || y >= h_ || x < 0 || x >= w_) {
+      throw std::out_of_range("Tensor3: index out of range");
+    }
+  }
+
+  int c_ = 0, h_ = 0, w_ = 0;
+  std::vector<value_t> data_;
+};
+
+/// A filters x channels x height x width weight tensor (channels == 1 for
+/// depthwise filters).
+class Tensor4 {
+ public:
+  Tensor4() = default;
+  Tensor4(int filters, int channels, int height, int width)
+      : n_(filters), c_(channels), h_(height), w_(width),
+        data_(static_cast<std::size_t>(filters) * channels * height * width,
+              0) {
+    if (filters <= 0 || channels <= 0 || height <= 0 || width <= 0) {
+      throw std::invalid_argument("Tensor4: non-positive dims");
+    }
+  }
+
+  [[nodiscard]] int filters() const { return n_; }
+  [[nodiscard]] int channels() const { return c_; }
+  [[nodiscard]] int height() const { return h_; }
+  [[nodiscard]] int width() const { return w_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] value_t& at(int n, int c, int y, int x) {
+    check(n, c, y, x);
+    return data_[((static_cast<std::size_t>(n) * c_ + c) * h_ + y) * w_ + x];
+  }
+  [[nodiscard]] value_t at(int n, int c, int y, int x) const {
+    check(n, c, y, x);
+    return data_[((static_cast<std::size_t>(n) * c_ + c) * h_ + y) * w_ + x];
+  }
+
+ private:
+  void check(int n, int c, int y, int x) const {
+    if (n < 0 || n >= n_ || c < 0 || c >= c_ || y < 0 || y >= h_ || x < 0 ||
+        x >= w_) {
+      throw std::out_of_range("Tensor4: index out of range");
+    }
+  }
+
+  int n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  std::vector<value_t> data_;
+};
+
+/// Randomly filled operands for a layer (seeded, small int8-range values).
+struct LayerOperands {
+  Tensor3 ifmap;
+  Tensor4 filters;
+};
+
+[[nodiscard]] LayerOperands random_operands(const model::Layer& layer,
+                                            std::uint64_t seed);
+
+}  // namespace rainbow::ref

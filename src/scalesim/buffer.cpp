@@ -1,0 +1,53 @@
+#include "scalesim/buffer.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace rainbow::scalesim {
+
+namespace {
+
+count_t feature_pool(const arch::AcceleratorSpec& spec, count_t ofmap_bytes) {
+  if (ofmap_bytes >= spec.glb_bytes) {
+    throw std::invalid_argument(
+        "BufferPartition: ofmap buffer exceeds on-chip memory");
+  }
+  return spec.glb_bytes - ofmap_bytes;
+}
+
+}  // namespace
+
+DoubleBuffer BufferPartition::ifmap_buffer(const arch::AcceleratorSpec& spec) const {
+  validate(spec);
+  const count_t pool = feature_pool(spec, ofmap_bytes);
+  return DoubleBuffer(
+      static_cast<count_t>(std::llround(static_cast<double>(pool) * ifmap_fraction)));
+}
+
+DoubleBuffer BufferPartition::filter_buffer(const arch::AcceleratorSpec& spec) const {
+  validate(spec);
+  const count_t pool = feature_pool(spec, ofmap_bytes);
+  const count_t ifmap_bytes =
+      static_cast<count_t>(std::llround(static_cast<double>(pool) * ifmap_fraction));
+  return DoubleBuffer(pool - ifmap_bytes);
+}
+
+DoubleBuffer BufferPartition::ofmap_buffer() const {
+  return DoubleBuffer(ofmap_bytes);
+}
+
+std::string BufferPartition::label() const {
+  const int ifmap_pct = static_cast<int>(std::lround(ifmap_fraction * 100));
+  return "sa_" + std::to_string(ifmap_pct) + "_" +
+         std::to_string(100 - ifmap_pct);
+}
+
+void BufferPartition::validate(const arch::AcceleratorSpec& spec) const {
+  if (ifmap_fraction <= 0.0 || ifmap_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "BufferPartition: ifmap_fraction must lie in (0, 1)");
+  }
+  feature_pool(spec, ofmap_bytes);  // throws when the carve-out is too big
+}
+
+}  // namespace rainbow::scalesim

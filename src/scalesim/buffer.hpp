@@ -1,0 +1,58 @@
+// The baseline's separate double-buffered SRAMs (Section 4).  The assigned
+// capacity of each buffer is halved: one partition holds the active working
+// set while the other prefetches — matching SCALE-Sim's convention of
+// carving the double buffer out of the assigned size rather than adding
+// space.
+#pragma once
+
+#include <stdexcept>
+
+#include "arch/accelerator.hpp"
+
+namespace rainbow::scalesim {
+
+/// One data type's SRAM.
+class DoubleBuffer {
+ public:
+  explicit DoubleBuffer(count_t assigned_bytes)
+      : assigned_bytes_(assigned_bytes) {}
+
+  [[nodiscard]] count_t assigned_bytes() const { return assigned_bytes_; }
+
+  /// Capacity usable for the active working set (half the assignment).
+  [[nodiscard]] count_t usable_bytes() const { return assigned_bytes_ / 2; }
+
+  [[nodiscard]] count_t usable_elems(const arch::AcceleratorSpec& spec) const {
+    return usable_bytes() / spec.element_bytes();
+  }
+
+  /// True when a working set of `elems` elements fits the active partition.
+  [[nodiscard]] bool fits(count_t elems, const arch::AcceleratorSpec& spec) const {
+    return elems <= usable_elems(spec);
+  }
+
+ private:
+  count_t assigned_bytes_;
+};
+
+/// Fixed partition of the on-chip memory into ifmap / filter / ofmap SRAMs.
+/// The ofmap buffer is a fixed small staging buffer (4 kB in the paper's
+/// output-stationary setup); the remainder splits ifmap : filter by
+/// `ifmap_fraction` (0.25 / 0.50 / 0.75 for the three baselines).
+struct BufferPartition {
+  double ifmap_fraction = 0.5;
+  count_t ofmap_bytes = 4 * 1024;
+
+  [[nodiscard]] DoubleBuffer ifmap_buffer(const arch::AcceleratorSpec& spec) const;
+  [[nodiscard]] DoubleBuffer filter_buffer(const arch::AcceleratorSpec& spec) const;
+  [[nodiscard]] DoubleBuffer ofmap_buffer() const;
+
+  /// Label like "sa_25_75" (ifmap share _ filter share).
+  [[nodiscard]] std::string label() const;
+
+  /// Throws std::invalid_argument when the fraction is outside (0, 1) or
+  /// the ofmap carve-out exceeds the GLB.
+  void validate(const arch::AcceleratorSpec& spec) const;
+};
+
+}  // namespace rainbow::scalesim

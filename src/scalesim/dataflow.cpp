@@ -1,0 +1,106 @@
+#include "scalesim/dataflow.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace rainbow::scalesim {
+
+using util::ceil_div;
+
+std::string_view to_string(Dataflow dataflow) {
+  switch (dataflow) {
+    case Dataflow::kOutputStationary:
+      return "OS";
+    case Dataflow::kWeightStationary:
+      return "WS";
+    case Dataflow::kInputStationary:
+      return "IS";
+  }
+  throw std::logic_error("to_string: invalid Dataflow");
+}
+
+Dataflow dataflow_from_string(std::string_view code) {
+  std::string lower(code);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "os") return Dataflow::kOutputStationary;
+  if (lower == "ws") return Dataflow::kWeightStationary;
+  if (lower == "is") return Dataflow::kInputStationary;
+  throw std::invalid_argument("dataflow_from_string: unknown dataflow '" +
+                              std::string(code) + "'");
+}
+
+namespace {
+
+/// GEMM extents per channel group: output pixels M, filters N, reduction T.
+struct GemmView {
+  count_t m = 0;
+  count_t n = 0;
+  count_t t = 0;
+  count_t groups = 1;
+};
+
+GemmView gemm_view(const model::Layer& layer) {
+  GemmView v;
+  v.m = static_cast<count_t>(layer.ofmap_h()) * layer.ofmap_w();
+  if (layer.is_depthwise()) {
+    v.n = 1;
+    v.t = static_cast<count_t>(layer.filter_h()) * layer.filter_w();
+    v.groups = static_cast<count_t>(layer.channels());
+  } else {
+    v.n = static_cast<count_t>(layer.filters());
+    v.t = static_cast<count_t>(layer.filter_h()) * layer.filter_w() *
+          layer.channels();
+  }
+  return v;
+}
+
+}  // namespace
+
+DataflowFolds dataflow_folds(const model::Layer& layer,
+                             const arch::AcceleratorSpec& spec,
+                             Dataflow dataflow) {
+  const GemmView v = gemm_view(layer);
+  const count_t rows = static_cast<count_t>(spec.pe_rows);
+  const count_t cols = static_cast<count_t>(spec.pe_cols);
+  const count_t fill_drain = rows + cols - 2;
+
+  DataflowFolds f;
+  switch (dataflow) {
+    case Dataflow::kOutputStationary:
+      // Array holds a rows x cols output tile; the reduction streams
+      // through.  Outputs accumulate in place: one round.
+      f.folds = ceil_div(v.m, rows) * ceil_div(v.n, cols) * v.groups;
+      f.cycles_per_fold = v.t + 2 * rows - 2;
+      f.psum_rounds = 1;
+      break;
+    case Dataflow::kWeightStationary:
+      // Array pins a rows x cols filter slice (rows of the reduction x
+      // cols filters); every output pixel streams past it, contributing a
+      // partial sum per reduction slice.
+      f.folds = ceil_div(v.t, rows) * ceil_div(v.n, cols) * v.groups;
+      f.cycles_per_fold = rows + v.m + fill_drain;
+      f.psum_rounds = ceil_div(v.t, rows);
+      break;
+    case Dataflow::kInputStationary:
+      // Array pins a rows x cols ifmap slice (reduction x output pixels);
+      // every filter streams past it.
+      f.folds = ceil_div(v.t, rows) * ceil_div(v.m, cols) * v.groups;
+      f.cycles_per_fold = rows + v.n + fill_drain;
+      f.psum_rounds = ceil_div(v.t, rows);
+      break;
+  }
+  return f;
+}
+
+count_t dataflow_compute_cycles(const model::Layer& layer,
+                                const arch::AcceleratorSpec& spec,
+                                Dataflow dataflow) {
+  const DataflowFolds f = dataflow_folds(layer, spec, dataflow);
+  return f.folds * f.cycles_per_fold;
+}
+
+}  // namespace rainbow::scalesim

@@ -1,0 +1,45 @@
+// The canonical systolic dataflows of Section 2.3: output stationary (the
+// paper's baseline configuration), weight stationary, and input stationary.
+// The dataflow decides what stays pinned in the PE array across a fold and
+// therefore which operand streams — and, crucially, whether partial sums
+// exist: OS accumulates outputs inside the array, while WS/IS must spill
+// partial sums to the (4 kB) ofmap buffer and, when that overflows, to
+// DRAM.  That spill is exactly why the paper's baseline uses OS.
+#pragma once
+
+#include <string>
+
+#include "arch/accelerator.hpp"
+#include "model/layer.hpp"
+
+namespace rainbow::scalesim {
+
+enum class Dataflow {
+  kOutputStationary,  ///< outputs pinned; ifmap rows and filters stream
+  kWeightStationary,  ///< filter slice pinned; ifmap streams, psums move
+  kInputStationary,   ///< ifmap slice pinned; filters stream, psums move
+};
+
+[[nodiscard]] std::string_view to_string(Dataflow dataflow);
+
+/// Parses "os" / "ws" / "is" (case-insensitive).  Throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] Dataflow dataflow_from_string(std::string_view code);
+
+/// Fold structure of one layer under one dataflow.
+struct DataflowFolds {
+  count_t folds = 0;             ///< total array passes
+  count_t cycles_per_fold = 0;   ///< fill + stream + drain
+  count_t psum_rounds = 1;       ///< accumulation passes over each output
+};
+
+[[nodiscard]] DataflowFolds dataflow_folds(const model::Layer& layer,
+                                           const arch::AcceleratorSpec& spec,
+                                           Dataflow dataflow);
+
+/// Zero-stall compute cycles of one layer under `dataflow`.
+[[nodiscard]] count_t dataflow_compute_cycles(const model::Layer& layer,
+                                              const arch::AcceleratorSpec& spec,
+                                              Dataflow dataflow);
+
+}  // namespace rainbow::scalesim

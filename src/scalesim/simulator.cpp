@@ -1,0 +1,189 @@
+#include "scalesim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace rainbow::scalesim {
+
+namespace {
+
+using model::Layer;
+
+/// Fraction of a working set that spills past the usable buffer capacity
+/// and must be re-fetched on every re-visit; 0 when it fits.
+double spill_fraction(count_t working_set, count_t usable) {
+  if (working_set == 0 || working_set <= usable) {
+    return 0.0;
+  }
+  return static_cast<double>(working_set - usable) /
+         static_cast<double>(working_set);
+}
+
+count_t scaled(count_t base, double factor) {
+  return static_cast<count_t>(static_cast<double>(base) * factor + 0.5);
+}
+
+}  // namespace
+
+Simulator::Simulator(const arch::AcceleratorSpec& spec,
+                     BufferPartition partition, Dataflow dataflow)
+    : spec_(spec), partition_(partition), dataflow_(dataflow) {
+  spec_.validate();
+  partition_.validate(spec_);
+}
+
+LayerResult Simulator::simulate_layer(const Layer& layer) const {
+  const FoldGeometry g = fold_geometry(layer, spec_);
+  const count_t usable_if =
+      partition_.ifmap_buffer(spec_).usable_elems(spec_);
+  const count_t usable_flt =
+      partition_.filter_buffer(spec_).usable_elems(spec_);
+
+  const count_t ifmap = layer.ifmap_elems();     // baseline: unpadded
+  const count_t filters = layer.filter_elems();
+  const count_t ofmap = layer.ofmap_elems();
+
+  // Working sets. Depthwise layers are processed per channel, so the
+  // sliding window and the filter tile cover one channel only.
+  const count_t window =
+      static_cast<count_t>(layer.filter_h()) * layer.ifmap_w() *
+      (layer.is_depthwise() ? 1 : layer.channels());
+  const count_t filter_tile =
+      static_cast<count_t>(spec_.pe_cols) * layer.single_filter_elems();
+
+  // Order A: output row folds outer, filter folds inner.  The ifmap window
+  // of the current row fold stays resident across the filter sweep; the
+  // filter spill is re-fetched on every row fold.
+  count_t if_a;
+  if (ifmap <= usable_if || window <= usable_if) {
+    if_a = ifmap;  // whole map resident, or streamed once height-wise
+  } else {
+    // Even one sliding window does not fit: the filter sweep thrashes the
+    // spilled part of the window on every column fold.
+    const double frac = spill_fraction(window, usable_if);
+    if_a = ifmap + scaled(ifmap, frac) * (g.col_folds - 1);
+  }
+  count_t flt_a = filters;
+  if (filters > usable_flt) {
+    flt_a += (filters - usable_flt) * (g.row_folds - 1);
+  }
+
+  // Order B: filter folds outer, output row folds inner.  One column fold's
+  // filters stay resident across the row sweep; the ifmap spill is
+  // re-fetched on every column fold.
+  count_t if_b = ifmap;
+  if (ifmap > usable_if) {
+    if_b += (ifmap - usable_if) * (g.col_folds - 1);
+  }
+  count_t flt_b = filters;
+  if (filter_tile > usable_flt) {
+    const double frac = spill_fraction(filter_tile, usable_flt);
+    flt_b = filters + scaled(filters, frac) * (g.row_folds - 1);
+  }
+
+  LayerResult result;
+  result.row_outer_order = (if_a + flt_a) <= (if_b + flt_b);
+  result.traffic.ifmap_reads = result.row_outer_order ? if_a : if_b;
+  result.traffic.filter_reads = result.row_outer_order ? flt_a : flt_b;
+  result.traffic.ofmap_writes = ofmap;  // final results written once
+
+  // WS/IS accumulate each output over ceil(T/rows) passes; partial sums
+  // that overflow the small ofmap staging buffer round-trip to DRAM
+  // between passes (a write plus a read each).  This spill is why the
+  // paper's baseline configuration is output stationary.
+  const DataflowFolds folds = dataflow_folds(layer, spec_, dataflow_);
+  if (folds.psum_rounds > 1) {
+    const count_t usable_of =
+        partition_.ofmap_buffer().usable_elems(spec_);
+    const double spill = spill_fraction(ofmap, usable_of);
+    result.traffic.psum_transfers =
+        2 * (folds.psum_rounds - 1) * scaled(ofmap, spill);
+  }
+
+  result.compute_cycles = dataflow_compute_cycles(layer, spec_, dataflow_);
+  const double capacity =
+      static_cast<double>(result.compute_cycles) * spec_.macs_per_cycle();
+  result.utilization = static_cast<double>(layer.macs()) / capacity;
+  return result;
+}
+
+RunResult Simulator::run(const model::Network& network) const {
+  RunResult run;
+  run.layers.reserve(network.size());
+  for (const Layer& layer : network.layers()) {
+    LayerResult r = simulate_layer(layer);
+    run.total_accesses += r.traffic.total();
+    run.total_cycles += r.compute_cycles;
+    run.layers.push_back(std::move(r));
+  }
+  return run;
+}
+
+TraceResult Simulator::run_traced(const model::Network& network) const {
+  if (dataflow_ != Dataflow::kOutputStationary) {
+    throw std::invalid_argument(
+        "run_traced: trace generation is implemented for the output-"
+        "stationary baseline only");
+  }
+  TraceResult result;
+  for (const model::Layer& layer : network.layers()) {
+    LayerResult analytic = simulate_layer(layer);
+    const FoldGeometry g = fold_geometry(layer, spec_);
+    const count_t rows = static_cast<count_t>(spec_.pe_rows);
+    const count_t cols = static_cast<count_t>(spec_.pe_cols);
+
+    // Walk every fold and stream its operand addresses cycle by cycle,
+    // exactly the work SCALE-Sim performs to write its trace files.  The
+    // address generation is kept live through a checksum so the optimizer
+    // cannot elide the walk.
+    count_t cycles_walked = 0;
+    count_t checksum = result.trace_checksum;
+    for (count_t group = 0; group < g.channel_groups; ++group) {
+      for (count_t rf = 0; rf < g.row_folds; ++rf) {
+        const count_t active_rows =
+            std::min(rows, g.output_rows - rf * rows);
+        for (count_t cf = 0; cf < g.col_folds; ++cf) {
+          const count_t active_cols =
+              std::min(cols, g.output_cols - cf * cols);
+          for (count_t t = 0; t < g.reduction; ++t) {
+            // One im2col element per active array row...
+            for (count_t r = 0; r < active_rows; ++r) {
+              const count_t pixel = rf * rows + r;
+              checksum += group * 0x9e3779b9u + pixel * g.reduction + t;
+              ++result.sram_read_events;
+            }
+            // ...and one filter element per active array column.
+            for (count_t c = 0; c < active_cols; ++c) {
+              const count_t filter = cf * cols + c;
+              checksum ^= (filter * g.reduction + t) + (checksum << 6) +
+                          (checksum >> 2);
+              ++result.sram_read_events;
+            }
+          }
+          result.sram_write_events += active_rows * active_cols;
+          cycles_walked += g.reduction + 2 * rows - 2;
+        }
+      }
+    }
+    result.trace_checksum = checksum;
+    // Cross-check: the fold walk must land on the analytic cycle count.
+    if (cycles_walked != analytic.compute_cycles) {
+      throw std::logic_error(
+          "run_traced: fold walk diverged from the analytic timing model");
+    }
+    result.aggregate.total_accesses += analytic.traffic.total();
+    result.aggregate.total_cycles += analytic.compute_cycles;
+    result.aggregate.layers.push_back(std::move(analytic));
+  }
+  return result;
+}
+
+std::vector<BufferPartition> paper_partitions() {
+  return {BufferPartition{.ifmap_fraction = 0.25},
+          BufferPartition{.ifmap_fraction = 0.50},
+          BufferPartition{.ifmap_fraction = 0.75}};
+}
+
+}  // namespace rainbow::scalesim

@@ -1,0 +1,44 @@
+#include "scalesim/systolic.hpp"
+
+#include "util/units.hpp"
+
+namespace rainbow::scalesim {
+
+using util::ceil_div;
+
+FoldGeometry fold_geometry(const model::Layer& layer,
+                           const arch::AcceleratorSpec& spec) {
+  FoldGeometry g;
+  g.output_rows =
+      static_cast<count_t>(layer.ofmap_h()) * layer.ofmap_w();
+  if (layer.is_depthwise()) {
+    g.output_cols = 1;
+    g.reduction = static_cast<count_t>(layer.filter_h()) * layer.filter_w();
+    g.channel_groups = static_cast<count_t>(layer.channels());
+  } else {
+    g.output_cols = static_cast<count_t>(layer.filters());
+    g.reduction = static_cast<count_t>(layer.filter_h()) * layer.filter_w() *
+                  layer.channels();
+    g.channel_groups = 1;
+  }
+  g.row_folds = ceil_div(g.output_rows, static_cast<count_t>(spec.pe_rows));
+  g.col_folds = ceil_div(g.output_cols, static_cast<count_t>(spec.pe_cols));
+  return g;
+}
+
+count_t compute_cycles(const model::Layer& layer,
+                       const arch::AcceleratorSpec& spec) {
+  const FoldGeometry g = fold_geometry(layer, spec);
+  const count_t fill_drain =
+      2 * static_cast<count_t>(spec.pe_rows) - 2;
+  return g.folds() * (g.reduction + fill_drain);
+}
+
+double utilization(const model::Layer& layer,
+                   const arch::AcceleratorSpec& spec) {
+  const double cycles = static_cast<double>(compute_cycles(layer, spec));
+  const double capacity = cycles * spec.macs_per_cycle();
+  return static_cast<double>(layer.macs()) / capacity;
+}
+
+}  // namespace rainbow::scalesim

@@ -1,0 +1,41 @@
+// Output-stationary systolic-array timing model, SCALE-Sim style.  A layer
+// is lowered to an im2col GEMM: output pixels (O_H*O_W) along the array
+// rows, filters along the array columns, reduction length T = F_H*F_W*C_I.
+// The GEMM is processed in pe_rows x pe_cols "folds"; each fold streams its
+// reduction through the array in T + 2*dim - 2 cycles (pipeline fill +
+// drain).  Depthwise layers run channel-by-channel with a single column
+// active, which is exactly the utilization cliff real systolic arrays hit.
+#pragma once
+
+#include "arch/accelerator.hpp"
+#include "model/layer.hpp"
+
+namespace rainbow::scalesim {
+
+/// GEMM view of one layer on the array.
+struct FoldGeometry {
+  count_t output_rows = 0;   ///< output pixels per channel group
+  count_t output_cols = 0;   ///< filters per channel group
+  count_t reduction = 0;     ///< T, the dot-product length
+  count_t channel_groups = 1;///< 1 for dense layers, C_I for depthwise
+  count_t row_folds = 0;
+  count_t col_folds = 0;
+
+  [[nodiscard]] count_t folds() const {
+    return row_folds * col_folds * channel_groups;
+  }
+};
+
+[[nodiscard]] FoldGeometry fold_geometry(const model::Layer& layer,
+                                         const arch::AcceleratorSpec& spec);
+
+/// Zero-stall compute cycles for one layer: folds x (T + 2*dim - 2).
+[[nodiscard]] count_t compute_cycles(const model::Layer& layer,
+                                     const arch::AcceleratorSpec& spec);
+
+/// MAC-level utilization in [0, 1]: useful MACs / (cycles x PEs x 0.5)
+/// (a MAC occupies a PE for two cycles in the paper's accounting).
+[[nodiscard]] double utilization(const model::Layer& layer,
+                                 const arch::AcceleratorSpec& spec);
+
+}  // namespace rainbow::scalesim

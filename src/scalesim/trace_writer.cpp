@@ -1,0 +1,76 @@
+#include "scalesim/trace_writer.hpp"
+
+#include <fstream>
+
+#include "scalesim/systolic.hpp"
+
+namespace rainbow::scalesim {
+
+TraceFileInfo write_sram_trace(const model::Layer& layer,
+                               const arch::AcceleratorSpec& spec,
+                               const std::filesystem::path& path,
+                               TraceWriterOptions options) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_sram_trace: cannot create " +
+                             path.string());
+  }
+  const FoldGeometry g = fold_geometry(layer, spec);
+  const count_t rows = static_cast<count_t>(spec.pe_rows);
+  const count_t cols = static_cast<count_t>(spec.pe_cols);
+
+  out << "cycle";
+  for (count_t r = 0; r < rows; ++r) {
+    out << ",ifmap_row" << r;
+  }
+  for (count_t c = 0; c < cols; ++c) {
+    out << ",filter_col" << c;
+  }
+  out << '\n';
+
+  TraceFileInfo info;
+  count_t cycle = 0;
+  for (count_t group = 0; group < g.channel_groups; ++group) {
+    const count_t group_base = group * g.output_rows * g.reduction;
+    for (count_t rf = 0; rf < g.row_folds; ++rf) {
+      const count_t active_rows = std::min(rows, g.output_rows - rf * rows);
+      for (count_t cf = 0; cf < g.col_folds; ++cf) {
+        const count_t active_cols = std::min(cols, g.output_cols - cf * cols);
+        // Streaming portion of the fold (fill/drain cycles carry no new
+        // operands and are omitted, like SCALE-Sim's SRAM read trace).
+        for (count_t t = 0; t < g.reduction; ++t) {
+          info.cycles_total++;
+          if (options.max_rows != 0 && info.rows_written >= options.max_rows) {
+            info.truncated = true;
+            continue;  // keep counting cycles, stop writing
+          }
+          out << cycle + t;
+          for (count_t r = 0; r < rows; ++r) {
+            if (r < active_rows) {
+              const count_t pixel = rf * rows + r;
+              out << ',' << group_base + pixel * g.reduction + t;
+            } else {
+              out << ",-";
+            }
+          }
+          for (count_t c = 0; c < cols; ++c) {
+            if (c < active_cols) {
+              const count_t filter = cf * cols + c;
+              out << ','
+                  << options.filter_base + group_base +
+                         filter * g.reduction + t;
+            } else {
+              out << ",-";
+            }
+          }
+          out << '\n';
+          ++info.rows_written;
+        }
+        cycle += g.reduction + 2 * rows - 2;
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace rainbow::scalesim

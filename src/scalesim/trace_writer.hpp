@@ -1,0 +1,40 @@
+// SCALE-Sim-style trace files: one CSV row per array cycle listing the
+// operand addresses streamed into each PE row and column that cycle.
+// Materialising these files is the expensive part of trace-driven
+// simulation (the paper's >5-hour baseline runs); this writer exists so
+// downstream memory-system tools (DRAM simulators, compression studies)
+// can consume the same streams.
+//
+// Address space: im2col — ifmap operand (pixel, t) at pixel*T + t, filter
+// operand (filter, t) at FILTER_BASE + filter*T + t, per channel group.
+#pragma once
+
+#include <filesystem>
+
+#include "arch/accelerator.hpp"
+#include "model/layer.hpp"
+
+namespace rainbow::scalesim {
+
+struct TraceWriterOptions {
+  /// Stop after this many data rows (0 = no cap).  Full-layer traces reach
+  /// millions of rows; benchmarks cap them.
+  count_t max_rows = 0;
+  /// Base address of the filter operand space.
+  count_t filter_base = 1u << 30;
+};
+
+struct TraceFileInfo {
+  count_t rows_written = 0;   ///< data rows (excluding the header)
+  count_t cycles_total = 0;   ///< cycles the full trace would cover
+  bool truncated = false;
+};
+
+/// Writes the output-stationary SRAM-read trace of one layer.  Throws
+/// std::runtime_error when the file cannot be created.
+TraceFileInfo write_sram_trace(const model::Layer& layer,
+                               const arch::AcceleratorSpec& spec,
+                               const std::filesystem::path& path,
+                               TraceWriterOptions options = {});
+
+}  // namespace rainbow::scalesim

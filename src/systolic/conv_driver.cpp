@@ -1,0 +1,107 @@
+#include "systolic/conv_driver.hpp"
+
+#include <stdexcept>
+
+namespace rainbow::systolic {
+
+Matrix im2col(const model::Layer& layer, const ref::Tensor3& ifmap,
+              int channel_first, int channel_count) {
+  if (channel_count < 0) {
+    channel_count = layer.channels() - channel_first;
+  }
+  if (channel_first < 0 || channel_first + channel_count > layer.channels()) {
+    throw std::invalid_argument("im2col: channel slice out of range");
+  }
+  const int m = layer.ofmap_h() * layer.ofmap_w();
+  const int k = channel_count * layer.filter_h() * layer.filter_w();
+  Matrix a(m, k);
+  const int p = layer.padding();
+  const int s = layer.stride();
+  for (int y = 0; y < layer.ofmap_h(); ++y) {
+    for (int x = 0; x < layer.ofmap_w(); ++x) {
+      const int row = y * layer.ofmap_w() + x;
+      int col = 0;
+      for (int c = 0; c < channel_count; ++c) {
+        for (int ky = 0; ky < layer.filter_h(); ++ky) {
+          for (int kx = 0; kx < layer.filter_w(); ++kx) {
+            a.at(row, col++) = ifmap.padded_at(channel_first + c,
+                                               y * s + ky - p, x * s + kx - p);
+          }
+        }
+      }
+    }
+  }
+  return a;
+}
+
+Matrix filter_matrix(const model::Layer& layer, const ref::Tensor4& filters,
+                     int channel_first, int channel_count) {
+  const bool dw = layer.is_depthwise();
+  if (channel_count < 0) {
+    channel_count = dw ? 1 : layer.channels() - channel_first;
+  }
+  const int k = channel_count * layer.filter_h() * layer.filter_w();
+  const int n = dw ? 1 : layer.filters();
+  (void)channel_first;
+  Matrix b(k, n);
+  if (dw) {
+    throw std::invalid_argument(
+        "filter_matrix: use the per-channel path for depthwise layers");
+  }
+  for (int f = 0; f < n; ++f) {
+    int row = 0;
+    for (int c = 0; c < channel_count; ++c) {
+      for (int ky = 0; ky < layer.filter_h(); ++ky) {
+        for (int kx = 0; kx < layer.filter_w(); ++kx) {
+          b.at(row++, f) = filters.at(f, channel_first + c, ky, kx);
+        }
+      }
+    }
+  }
+  return b;
+}
+
+ConvRun run_conv(const model::Layer& layer, const ref::LayerOperands& operands,
+                 const arch::AcceleratorSpec& spec) {
+  ref::validate_operands(layer, operands);
+  ConvRun run;
+  run.ofmap = ref::Tensor3(layer.ofmap_channels(), layer.ofmap_h(),
+                           layer.ofmap_w());
+  if (layer.is_depthwise()) {
+    // One channel at a time, a single active column.
+    for (int c = 0; c < layer.channels(); ++c) {
+      const Matrix a = im2col(layer, operands.ifmap, c, 1);
+      Matrix b(layer.filter_h() * layer.filter_w(), 1);
+      int row = 0;
+      for (int ky = 0; ky < layer.filter_h(); ++ky) {
+        for (int kx = 0; kx < layer.filter_w(); ++kx) {
+          b.at(row++, 0) = operands.filters.at(c, 0, ky, kx);
+        }
+      }
+      const GemmRun gemm = systolic_matmul(a, b, spec.pe_rows, spec.pe_cols);
+      run.folds += gemm.folds;
+      run.cycles += gemm.cycles;
+      for (int y = 0; y < layer.ofmap_h(); ++y) {
+        for (int x = 0; x < layer.ofmap_w(); ++x) {
+          run.ofmap.at(c, y, x) = gemm.product.at(y * layer.ofmap_w() + x, 0);
+        }
+      }
+    }
+    return run;
+  }
+  const Matrix a = im2col(layer, operands.ifmap);
+  const Matrix b = filter_matrix(layer, operands.filters);
+  const GemmRun gemm = systolic_matmul(a, b, spec.pe_rows, spec.pe_cols);
+  run.folds = gemm.folds;
+  run.cycles = gemm.cycles;
+  for (int f = 0; f < layer.filters(); ++f) {
+    for (int y = 0; y < layer.ofmap_h(); ++y) {
+      for (int x = 0; x < layer.ofmap_w(); ++x) {
+        run.ofmap.at(f, y, x) = gemm.product.at(y * layer.ofmap_w() + x, f);
+      }
+    }
+  }
+  return run;
+}
+
+}  // namespace rainbow::systolic

@@ -1,0 +1,38 @@
+// Convolution on the functional array: im2col lowering (the GEMM view the
+// scalesim fold model assumes), execution on the register-level PE array,
+// and reshape back to an ofmap.  Ties the whole stack together: the result
+// must equal ref::reference_forward and the cycle count must equal
+// scalesim::compute_cycles.
+#pragma once
+
+#include "arch/accelerator.hpp"
+#include "ref/reference.hpp"
+#include "systolic/gemm.hpp"
+
+namespace rainbow::systolic {
+
+/// The im2col operand matrix: one row per output pixel, one column per
+/// (channel, ky, kx) filter tap; zero padding materialised.
+[[nodiscard]] Matrix im2col(const model::Layer& layer, const ref::Tensor3& ifmap,
+                            int channel_first = 0, int channel_count = -1);
+
+/// Filter matrix: one column per filter, one row per (channel, ky, kx).
+[[nodiscard]] Matrix filter_matrix(const model::Layer& layer,
+                                   const ref::Tensor4& filters,
+                                   int channel_first = 0,
+                                   int channel_count = -1);
+
+struct ConvRun {
+  ref::Tensor3 ofmap;
+  count_t folds = 0;
+  count_t cycles = 0;
+};
+
+/// Runs `layer` on a pe_rows x pe_cols output-stationary array (depthwise
+/// layers run channel by channel, one column active — the utilization
+/// cliff the timing model charges).
+[[nodiscard]] ConvRun run_conv(const model::Layer& layer,
+                               const ref::LayerOperands& operands,
+                               const arch::AcceleratorSpec& spec);
+
+}  // namespace rainbow::systolic

@@ -1,0 +1,76 @@
+#include "systolic/gemm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rainbow::systolic {
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("naive_matmul: dimension mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      value_t acc = 0;
+      for (int k = 0; k < a.cols(); ++k) {
+        acc += a.at(i, k) * b.at(k, j);
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+GemmRun systolic_matmul(const Matrix& a, const Matrix& b, int pe_rows,
+                        int pe_cols) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("systolic_matmul: dimension mismatch");
+  }
+  const int reduction = a.cols();
+  PEArray array(pe_rows, pe_cols);
+  GemmRun run;
+  run.product = Matrix(a.rows(), b.cols());
+
+  std::vector<value_t> a_in(static_cast<std::size_t>(pe_rows));
+  std::vector<value_t> b_in(static_cast<std::size_t>(pe_cols));
+
+  for (int row0 = 0; row0 < a.rows(); row0 += pe_rows) {
+    const int active_rows = std::min(pe_rows, a.rows() - row0);
+    for (int col0 = 0; col0 < b.cols(); col0 += pe_cols) {
+      const int active_cols = std::min(pe_cols, b.cols() - col0);
+      array.reset();
+      // Skewed feeding: row r's stream is delayed by r cycles, column c's
+      // by c, so matched operand pairs meet inside every PE.  The fold
+      // completes after reduction + rows + cols - 2 steps.
+      const int total_steps = reduction + pe_rows + pe_cols - 2;
+      for (int t = 0; t < total_steps; ++t) {
+        for (int r = 0; r < pe_rows; ++r) {
+          const int k = t - r;
+          a_in[static_cast<std::size_t>(r)] =
+              (r < active_rows && k >= 0 && k < reduction)
+                  ? a.at(row0 + r, k)
+                  : 0;
+        }
+        for (int c = 0; c < pe_cols; ++c) {
+          const int k = t - c;
+          b_in[static_cast<std::size_t>(c)] =
+              (c < active_cols && k >= 0 && k < reduction)
+                  ? b.at(k, col0 + c)
+                  : 0;
+        }
+        array.step(a_in, b_in);
+      }
+      run.cycles += array.cycles();
+      ++run.folds;
+      for (int r = 0; r < active_rows; ++r) {
+        for (int c = 0; c < active_cols; ++c) {
+          run.product.at(row0 + r, col0 + c) = array.acc(r, c);
+        }
+      }
+    }
+  }
+  return run;
+}
+
+}  // namespace rainbow::systolic

@@ -1,0 +1,62 @@
+// GEMM driver for the PE array: tiles C = A x B into rows x cols output
+// folds, feeds each fold's operand streams with the canonical skew, and
+// reports the exact cycle count — which must land on the closed-form
+// T + rows + cols - 2 per fold that the scalesim timing model uses.
+#pragma once
+
+#include <vector>
+
+#include "systolic/pe_array.hpp"
+
+namespace rainbow::systolic {
+
+/// Row-major integer matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, 0) {
+    if (rows <= 0 || cols <= 0) {
+      throw std::invalid_argument("Matrix: non-positive dims");
+    }
+  }
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] value_t& at(int r, int c) {
+    check(r, c);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  [[nodiscard]] value_t at(int r, int c) const {
+    check(r, c);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  void check(int r, int c) const {
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+      throw std::out_of_range("Matrix: index out of range");
+    }
+  }
+  int rows_ = 0, cols_ = 0;
+  std::vector<value_t> data_;
+};
+
+/// Plain triple-loop product, the golden reference for the array.
+[[nodiscard]] Matrix naive_matmul(const Matrix& a, const Matrix& b);
+
+struct GemmRun {
+  Matrix product;
+  count_t folds = 0;
+  count_t cycles = 0;  ///< summed over folds, fill and drain included
+};
+
+/// Computes A x B on a rows x cols PE array, fold by fold.  Throws
+/// std::invalid_argument on dimension mismatch.
+[[nodiscard]] GemmRun systolic_matmul(const Matrix& a, const Matrix& b,
+                                      int pe_rows, int pe_cols);
+
+}  // namespace rainbow::systolic

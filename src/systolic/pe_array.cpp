@@ -1,0 +1,56 @@
+#include "systolic/pe_array.hpp"
+
+#include <stdexcept>
+
+namespace rainbow::systolic {
+
+PEArray::PEArray(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("PEArray: non-positive dimensions");
+  }
+  acc_.assign(static_cast<std::size_t>(rows) * cols, 0);
+  a_reg_.assign(acc_.size(), 0);
+  b_reg_.assign(acc_.size(), 0);
+}
+
+void PEArray::reset() {
+  std::fill(acc_.begin(), acc_.end(), 0);
+  std::fill(a_reg_.begin(), a_reg_.end(), 0);
+  std::fill(b_reg_.begin(), b_reg_.end(), 0);
+  cycles_ = 0;
+}
+
+void PEArray::step(std::span<const value_t> a_in,
+                   std::span<const value_t> b_in) {
+  if (static_cast<int>(a_in.size()) != rows_ ||
+      static_cast<int>(b_in.size()) != cols_) {
+    throw std::invalid_argument("PEArray::step: operand span size mismatch");
+  }
+  // Shift A east (west edge receives a_in) and B south.
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = cols_ - 1; c > 0; --c) {
+      a_reg_[idx(r, c)] = a_reg_[idx(r, c - 1)];
+    }
+    a_reg_[idx(r, 0)] = a_in[static_cast<std::size_t>(r)];
+  }
+  for (int c = 0; c < cols_; ++c) {
+    for (int r = rows_ - 1; r > 0; --r) {
+      b_reg_[idx(r, c)] = b_reg_[idx(r - 1, c)];
+    }
+    b_reg_[idx(0, c)] = b_in[static_cast<std::size_t>(c)];
+  }
+  // Multiply-accumulate everywhere.
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    acc_[i] += a_reg_[i] * b_reg_[i];
+  }
+  ++cycles_;
+}
+
+value_t PEArray::acc(int r, int c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    throw std::out_of_range("PEArray::acc: index out of range");
+  }
+  return acc_[idx(r, c)];
+}
+
+}  // namespace rainbow::systolic

@@ -1,0 +1,53 @@
+// Register-level output-stationary systolic array.  Each PE holds an
+// accumulator; operand A values flow east through per-PE registers, B
+// values flow south, and every cycle each PE multiplies its two registers
+// into its accumulator.  With the standard skewed feeding (row r of A
+// delayed r cycles, column c of B delayed c cycles) PE(r,c) sees matched
+// operand pairs and accumulates a full dot product in place — the
+// dataflow behind the paper's baseline (and this library's fold-timing
+// formula, which the tests check cycle-for-cycle against this model).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ref/tensor.hpp"
+#include "util/units.hpp"
+
+namespace rainbow::systolic {
+
+using ref::value_t;
+
+class PEArray {
+ public:
+  PEArray(int rows, int cols);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] count_t cycles() const { return cycles_; }
+
+  /// Clears accumulators and pipeline registers (start of a fold).
+  void reset();
+
+  /// Advances one cycle: `a_in[r]` enters row r from the west, `b_in[c]`
+  /// enters column c from the north; values already in flight shift one
+  /// PE east/south; then every PE accumulates.  Throws
+  /// std::invalid_argument on span size mismatch.
+  void step(std::span<const value_t> a_in, std::span<const value_t> b_in);
+
+  /// Accumulator of PE(r, c).
+  [[nodiscard]] value_t acc(int r, int c) const;
+
+ private:
+  int rows_, cols_;
+  count_t cycles_ = 0;
+  std::vector<value_t> acc_;    // rows x cols
+  std::vector<value_t> a_reg_;  // operand moving east
+  std::vector<value_t> b_reg_;  // operand moving south
+
+  [[nodiscard]] std::size_t idx(int r, int c) const {
+    return static_cast<std::size_t>(r) * cols_ + c;
+  }
+};
+
+}  // namespace rainbow::systolic

@@ -1,0 +1,70 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace rainbow::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) {
+    return {};
+  }
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char ch : line) {
+    if (ch == ',') {
+      fields.push_back(trim(current));
+      current.clear();
+    } else {
+      current.push_back(ch);
+    }
+  }
+  fields.push_back(trim(current));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_csv: cannot open " + path.string());
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      continue;
+    }
+    rows.push_back(split_csv_line(trimmed));
+  }
+  return rows;
+}
+
+void write_csv(const std::filesystem::path& path,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_csv: cannot create " + path.string());
+  }
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << ',';
+      }
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace rainbow::util

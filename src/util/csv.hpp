@@ -1,0 +1,25 @@
+// Minimal CSV writer/reader used by the model text format and the bench
+// binaries' machine-readable output (`--csv <path>`).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace rainbow::util {
+
+/// Splits one CSV line on commas, trimming surrounding whitespace from each
+/// field.  Quoting is intentionally unsupported: every format in this
+/// repository is numeric/identifier-only.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Reads all non-empty, non-comment ('#'-prefixed) lines of a CSV file.
+/// Throws std::runtime_error when the file cannot be opened.
+std::vector<std::vector<std::string>> read_csv(const std::filesystem::path& path);
+
+/// Writes rows as CSV.  Throws std::runtime_error when the file cannot be
+/// created.
+void write_csv(const std::filesystem::path& path,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace rainbow::util

@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace rainbow::util {
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("geomean: empty input");
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) {
+      throw std::invalid_argument("geomean: non-positive value");
+    }
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("mean: empty input");
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double benefit_percent(double reference, double candidate) {
+  if (reference == 0.0) {
+    throw std::invalid_argument("benefit_percent: zero reference");
+  }
+  return 100.0 * (reference - candidate) / reference;
+}
+
+void RunningStats::add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++count_;
+}
+
+double RunningStats::min() const {
+  if (empty()) {
+    throw std::logic_error("RunningStats::min on empty tracker");
+  }
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (empty()) {
+    throw std::logic_error("RunningStats::max on empty tracker");
+  }
+  return max_;
+}
+
+double RunningStats::mean() const {
+  if (empty()) {
+    throw std::logic_error("RunningStats::mean on empty tracker");
+  }
+  return sum_ / static_cast<double>(count_);
+}
+
+}  // namespace rainbow::util

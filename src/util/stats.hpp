@@ -1,0 +1,42 @@
+// Small statistics helpers used by the benchmark harnesses (geometric means
+// over models, percentage benefits, min/max trackers).
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace rainbow::util {
+
+/// Geometric mean of strictly positive values.  Throws on empty input or any
+/// non-positive value: a zero would silently collapse the mean to zero and
+/// hide a broken measurement.
+double geomean(std::span<const double> values);
+
+/// Arithmetic mean.  Throws on empty input.
+double mean(std::span<const double> values);
+
+/// Relative benefit of `candidate` over `reference` in percent:
+/// 100 * (reference - candidate) / reference.  Positive means `candidate`
+/// improved (reduced) the metric.  Throws if `reference` is zero.
+double benefit_percent(double reference, double candidate);
+
+/// Running min/max/sum tracker for streaming sweeps.
+class RunningStats {
+ public:
+  void add(double v);
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace rainbow::util

@@ -1,0 +1,41 @@
+// Plain-text table rendering for the benchmark binaries.  Every bench prints
+// the rows/series of one paper table or figure; this keeps the formatting in
+// one place so all reports line up the same way.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rainbow::util {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric callers format
+/// first (so each bench controls its own precision).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row.  Throws if the arity does not match the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  /// Renders with a header underline and two-space column gutters.
+  void print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (header + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.3").
+std::string fmt(double value, int precision = 1);
+
+/// Thousands-grouped integer formatting ("1,234,567") for cycle counts.
+std::string fmt_count(unsigned long long value);
+
+}  // namespace rainbow::util

@@ -1,0 +1,65 @@
+// Fixed-size worker pool for the design-space sweeps.  The Figure-5/7/8
+// benches evaluate (model x GLB size x data width) grids whose cells are
+// independent; `parallel_for_each` fans them out across hardware threads.
+//
+// Exceptions thrown by tasks are captured and rethrown on the caller's
+// thread (first one wins), so a failing sweep cell fails the bench loudly
+// instead of producing a half-filled table.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rainbow::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.  Rethrows the first
+  /// task exception, if any.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Applies `fn(item)` to every element of `items`, distributing across a
+/// private pool.  Blocks until all complete; rethrows the first exception.
+template <typename Container, typename Fn>
+void parallel_for_each(Container& items, Fn fn, std::size_t threads = 0) {
+  ThreadPool pool(threads);
+  for (auto& item : items) {
+    pool.submit([&fn, &item] { fn(item); });
+  }
+  pool.wait();
+}
+
+}  // namespace rainbow::util

@@ -1,0 +1,43 @@
+// Units and small numeric helpers shared across the library.
+//
+// All data volumes in the library are expressed in *elements* until the last
+// moment, where the accelerator's data width converts them to bytes.  Keeping
+// element counts avoids sprinkling `* data_width` through the estimators and
+// makes the Figure-7 data-width sweep a one-line change.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rainbow {
+
+/// Unsigned element / byte / cycle counter. 64-bit: a single EfficientNetB0
+/// inference already moves ~1e8 elements, and sweeps multiply that.
+using count_t = std::uint64_t;
+
+namespace util {
+
+/// Ceiling division for non-negative integers.
+constexpr count_t ceil_div(count_t numerator, count_t denominator) {
+  if (denominator == 0) {
+    throw std::invalid_argument("ceil_div: zero denominator");
+  }
+  return (numerator + denominator - 1) / denominator;
+}
+
+/// Kibibytes to bytes.
+constexpr count_t kib(count_t k) { return k * 1024; }
+
+/// Mebibytes to bytes.
+constexpr count_t mib(count_t m) { return m * 1024 * 1024; }
+
+/// Bytes rendered as "X.Y kB" / "X.Y MB" for report tables.
+std::string format_bytes(double bytes);
+
+inline std::string format_bytes(count_t bytes) {
+  return format_bytes(static_cast<double>(bytes));
+}
+
+}  // namespace util
+}  // namespace rainbow

@@ -1,0 +1,69 @@
+// Unit tests for the accelerator specification and the paper's Section 4
+// configuration.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "arch/accelerator.hpp"
+
+namespace rainbow::arch {
+namespace {
+
+TEST(AcceleratorSpec, PaperDefaults) {
+  const AcceleratorSpec spec = paper_spec(util::kib(256));
+  EXPECT_EQ(spec.pe_rows, 16);
+  EXPECT_EQ(spec.pe_cols, 16);
+  EXPECT_EQ(spec.pe_count(), 256);
+  EXPECT_EQ(spec.ops_per_cycle, 512);
+  // A MAC is two ops over two cycles: 256 MACs retire per cycle.
+  EXPECT_DOUBLE_EQ(spec.macs_per_cycle(), 256.0);
+  EXPECT_EQ(spec.data_width_bits, 8);
+  EXPECT_EQ(spec.element_bytes(), 1u);
+  EXPECT_EQ(spec.glb_bytes, 256u * 1024);
+  EXPECT_EQ(spec.glb_elems(), 256u * 1024);
+  EXPECT_DOUBLE_EQ(spec.elements_per_cycle(), 16.0);
+}
+
+TEST(AcceleratorSpec, WiderElementsShrinkTheGlb) {
+  AcceleratorSpec spec = paper_spec(util::kib(64));
+  spec.data_width_bits = 32;
+  EXPECT_EQ(spec.element_bytes(), 4u);
+  EXPECT_EQ(spec.glb_elems(), util::kib(64) / 4);
+  // Bandwidth in elements/cycle drops with wider elements.
+  EXPECT_DOUBLE_EQ(spec.elements_per_cycle(), 4.0);
+}
+
+TEST(AcceleratorSpec, PaperGlbSizes) {
+  const auto sizes = paper_glb_sizes();
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes.front(), util::kib(64));
+  EXPECT_EQ(sizes.back(), util::kib(1024));
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], sizes[i - 1] * 2);
+  }
+}
+
+TEST(AcceleratorSpec, ValidateRejectsBadFields) {
+  AcceleratorSpec spec = paper_spec(util::kib(64));
+  spec.pe_rows = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = paper_spec(util::kib(64));
+  spec.ops_per_cycle = -1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = paper_spec(util::kib(64));
+  spec.data_width_bits = 12;  // not a whole number of bytes
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = paper_spec(util::kib(64));
+  spec.glb_bytes = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = paper_spec(util::kib(64));
+  spec.dram_bytes_per_cycle = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rainbow::arch

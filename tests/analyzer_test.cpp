@@ -1,0 +1,264 @@
+// Unit tests for Algorithm 1: feasibility filtering, objective ordering,
+// tie-breaking, prefetch variants, fallback engagement, and the
+// homogeneous/heterogeneous plan builders.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/analyzer.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::core {
+namespace {
+
+using model::Network;
+using model::make_conv;
+using model::make_fully_connected;
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+Network tiny_net() {
+  Network net("tiny");
+  net.add(make_conv("a", 14, 14, 16, 3, 3, 32, 1, 1));
+  net.add(make_conv("b", 14, 14, 32, 3, 3, 32, 1, 1));
+  net.add(make_fully_connected("fc", 32, 10));
+  return net;
+}
+
+TEST(Analyzer, RejectsEmptyPolicySet) {
+  AnalyzerOptions options;
+  options.policies.clear();
+  EXPECT_THROW(Analyzer(spec_kb(64), options), std::invalid_argument);
+}
+
+TEST(Analyzer, BestEstimateIsFeasible) {
+  const Analyzer analyzer(spec_kb(64));
+  const auto layer = make_conv("c", 56, 56, 64, 3, 3, 128, 1, 1);
+  const Estimate e = analyzer.best_estimate(layer, Objective::kAccesses);
+  EXPECT_TRUE(e.feasible);
+  EXPECT_LE(e.memory_elems(), util::kib(64));
+}
+
+TEST(Analyzer, BestEstimateMinimizesAccessesOverAllCandidates) {
+  const Analyzer analyzer(spec_kb(64));
+  const Estimator& est = analyzer.estimator();
+  const auto layer = make_conv("c", 28, 28, 64, 3, 3, 128, 1, 1);
+  const Estimate best = analyzer.best_estimate(layer, Objective::kAccesses);
+  for (Policy p : kAllPolicies) {
+    for (bool prefetch : {false, true}) {
+      const Estimate e = est.estimate(layer, p, prefetch);
+      if (e.feasible) {
+        EXPECT_LE(best.accesses(), e.accesses())
+            << to_string(p) << (prefetch ? "+p" : "");
+      }
+    }
+  }
+}
+
+TEST(Analyzer, LatencyObjectiveMinimizesLatency) {
+  const Analyzer analyzer(spec_kb(64));
+  const Estimator& est = analyzer.estimator();
+  const auto layer = make_conv("c", 28, 28, 64, 3, 3, 128, 1, 1);
+  const Estimate best = analyzer.best_estimate(layer, Objective::kLatency);
+  for (Policy p : kAllPolicies) {
+    for (bool prefetch : {false, true}) {
+      const Estimate e = est.estimate(layer, p, prefetch);
+      if (e.feasible) {
+        EXPECT_LE(best.latency_cycles, e.latency_cycles)
+            << to_string(p) << (prefetch ? "+p" : "");
+      }
+    }
+  }
+}
+
+TEST(Analyzer, AccessTieBreaksOnLatency) {
+  // With a huge GLB all minimum-traffic policies tie on accesses, so the
+  // tie-break must pick a prefetching variant (strictly lower latency).
+  const Analyzer analyzer(spec_kb(16 * 1024));
+  const auto layer = make_conv("c", 28, 28, 64, 3, 3, 128, 1, 1);
+  const Estimate best = analyzer.best_estimate(layer, Objective::kAccesses);
+  EXPECT_TRUE(best.choice.prefetch);
+}
+
+TEST(Analyzer, PrefetchDisabledNeverChoosesPrefetch) {
+  AnalyzerOptions options;
+  options.allow_prefetch = false;
+  const Analyzer analyzer(spec_kb(1024), options);
+  const Network net = tiny_net();
+  const ExecutionPlan plan = analyzer.heterogeneous(net, Objective::kLatency);
+  for (const LayerAssignment& a : plan.assignments()) {
+    EXPECT_FALSE(a.estimate.choice.prefetch);
+  }
+  EXPECT_DOUBLE_EQ(plan.prefetch_coverage(), 0.0);
+}
+
+TEST(Analyzer, FallbackEngagesWhenNothingFits) {
+  // 8 kB GLB: none of the six policies fits this layer (P5 with n=1 needs
+  // one full ofmap channel 56x56 = 3.1k plus window, fits actually — use a
+  // bigger ofmap: 112x112 = 12.5k > 8k).
+  arch::AcceleratorSpec tiny = spec_kb(64);
+  tiny.glb_bytes = 8 * 1024;
+  const Analyzer analyzer(tiny);
+  const auto layer = make_conv("c", 112, 112, 64, 3, 3, 128, 1, 1);
+  const Estimate e = analyzer.best_estimate(layer, Objective::kAccesses);
+  EXPECT_TRUE(e.feasible);
+  EXPECT_EQ(e.choice.policy, Policy::kFallbackTiled);
+}
+
+TEST(Analyzer, ThrowsWhenLayerCannotExecute) {
+  arch::AcceleratorSpec micro = spec_kb(64);
+  micro.glb_bytes = 256;  // smaller than any working set of this layer
+  const Analyzer analyzer(micro);
+  const auto layer = make_conv("c", 224, 224, 64, 3, 3, 128, 1, 1);
+  EXPECT_THROW((void)analyzer.best_estimate(layer, Objective::kAccesses),
+               std::runtime_error);
+}
+
+TEST(Analyzer, HeterogeneousCoversEveryLayer) {
+  const Analyzer analyzer(spec_kb(64));
+  const Network net = tiny_net();
+  const ExecutionPlan plan = analyzer.heterogeneous(net, Objective::kAccesses);
+  ASSERT_EQ(plan.size(), net.size());
+  EXPECT_TRUE(plan.feasible());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan.assignment(i).layer_index, i);
+  }
+}
+
+TEST(Analyzer, HomogeneousUsesOnePolicy) {
+  const Analyzer analyzer(spec_kb(1024));
+  const Network net = tiny_net();
+  const ExecutionPlan plan =
+      analyzer.homogeneous(net, Policy::kFilterReuse, false, Objective::kAccesses);
+  for (const LayerAssignment& a : plan.assignments()) {
+    EXPECT_EQ(a.estimate.choice.policy, Policy::kFilterReuse);
+  }
+}
+
+TEST(Analyzer, HomogeneousDegradesToP5WhenPolicyDoesNotFit) {
+  const Analyzer analyzer(spec_kb(64));
+  Network net("one");
+  // Intra-layer reuse needs ~2.3 MB here; P5 fits with a large block.
+  net.add(make_conv("big", 7, 7, 512, 3, 3, 512, 1, 1));
+  const ExecutionPlan plan =
+      analyzer.homogeneous(net, Policy::kIntraLayer, false, Objective::kAccesses);
+  EXPECT_TRUE(plan.feasible());
+  EXPECT_EQ(plan.assignment(0).estimate.choice.policy,
+            Policy::kPartialPerChannel);
+}
+
+TEST(Analyzer, HomogeneousFallsBackToTilingAsLastResort) {
+  // 8 kB: even P5 with n=1 cannot hold one 112x112 ofmap channel, so the
+  // degradation chain ends at row-striped constrained tiling.
+  arch::AcceleratorSpec tiny = spec_kb(64);
+  tiny.glb_bytes = 8 * 1024;
+  const Analyzer analyzer(tiny);
+  Network net("one");
+  net.add(make_conv("big", 112, 112, 64, 3, 3, 128, 1, 1));
+  const ExecutionPlan plan = analyzer.homogeneous(net, Policy::kIntraLayer,
+                                                  false, Objective::kAccesses);
+  EXPECT_TRUE(plan.feasible());
+  EXPECT_EQ(plan.assignment(0).estimate.choice.policy, Policy::kFallbackTiled);
+}
+
+TEST(Analyzer, BestHomogeneousBeatsOrTiesEveryFixedPolicy) {
+  const Analyzer analyzer(spec_kb(64));
+  const Network net = model::zoo::mobilenet();
+  const ExecutionPlan best = analyzer.best_homogeneous(net, Objective::kAccesses);
+  for (Policy p : kAllPolicies) {
+    const ExecutionPlan plan =
+        analyzer.homogeneous(net, p, false, Objective::kAccesses);
+    EXPECT_LE(best.total_accesses(), plan.total_accesses()) << to_string(p);
+  }
+}
+
+TEST(Analyzer, HomogeneousPlansUseTheirPolicyOrItsDegradation) {
+  // A homogeneous plan uses its named policy on every layer the policy
+  // fits, and the fixed P5/tiled degradation elsewhere — never a free
+  // per-layer choice.
+  const Analyzer analyzer(spec_kb(64));
+  const Network net = model::zoo::mobilenetv2();
+  for (Policy p : kAllPolicies) {
+    const ExecutionPlan plan =
+        analyzer.homogeneous(net, p, false, Objective::kAccesses);
+    for (const LayerAssignment& a : plan.assignments()) {
+      const Policy used = a.estimate.choice.policy;
+      EXPECT_TRUE(used == p || used == Policy::kPartialPerChannel ||
+                  used == Policy::kFallbackTiled)
+          << to_string(p) << " layer used " << to_string(used);
+    }
+  }
+}
+
+TEST(Analyzer, HetNeverWorseThanHom) {
+  // The heterogeneous plan optimizes each layer independently, so its total
+  // can never exceed the best homogeneous plan's — the paper's core claim.
+  for (count_t kb : {64u, 128u, 256u}) {
+    const Analyzer analyzer(spec_kb(kb));
+    const Network net = model::zoo::resnet18();
+    const ExecutionPlan het = analyzer.heterogeneous(net, Objective::kAccesses);
+    const ExecutionPlan hom = analyzer.best_homogeneous(net, Objective::kAccesses);
+    EXPECT_LE(het.total_accesses(), hom.total_accesses()) << kb << " kB";
+  }
+}
+
+TEST(Analyzer, LatencyPlanNeverSlowerThanAccessPlan) {
+  const Analyzer analyzer(spec_kb(64));
+  const Network net = model::zoo::mobilenet();
+  const ExecutionPlan for_lat = analyzer.heterogeneous(net, Objective::kLatency);
+  const ExecutionPlan for_acc = analyzer.heterogeneous(net, Objective::kAccesses);
+  EXPECT_LE(for_lat.total_latency_cycles(), for_acc.total_latency_cycles());
+  // ... and the access plan never moves more data than the latency plan.
+  EXPECT_LE(for_acc.total_accesses(), for_lat.total_accesses());
+}
+
+TEST(Analyzer, ExplainListsAllCandidatesAndMarksTheWinner) {
+  const Analyzer analyzer(spec_kb(64));
+  const auto layer = make_conv("c", 28, 28, 64, 3, 3, 128, 1, 1);
+  const auto candidates = analyzer.explain(layer, Objective::kAccesses);
+  // 6 policies + fallback, each with and without prefetch.
+  EXPECT_EQ(candidates.size(), 14u);
+  std::size_t chosen = 0;
+  for (const auto& c : candidates) {
+    chosen += c.chosen ? 1 : 0;
+  }
+  EXPECT_EQ(chosen, 1u);
+  // The marked winner equals best_estimate's choice.
+  const Estimate best = analyzer.best_estimate(layer, Objective::kAccesses);
+  for (const auto& c : candidates) {
+    if (c.chosen) {
+      EXPECT_EQ(c.estimate.choice, best.choice);
+      EXPECT_EQ(c.estimate.accesses(), best.accesses());
+    }
+  }
+}
+
+TEST(Analyzer, ExplainIncludesInfeasibleCandidates) {
+  const Analyzer analyzer(spec_kb(64));
+  // Intra-layer reuse needs megabytes here: listed but not chosen.
+  const auto layer = make_conv("big", 56, 56, 64, 3, 3, 192, 1, 1);
+  const auto candidates = analyzer.explain(layer, Objective::kAccesses);
+  bool saw_infeasible = false;
+  for (const auto& c : candidates) {
+    if (!c.estimate.feasible) {
+      saw_infeasible = true;
+      EXPECT_FALSE(c.chosen);
+    }
+  }
+  EXPECT_TRUE(saw_infeasible);
+}
+
+TEST(Analyzer, RestrictedPolicySetIsHonoured) {
+  AnalyzerOptions options;
+  options.policies = {Policy::kFilterReuse};
+  const Analyzer analyzer(spec_kb(1024), options);
+  const Network net = tiny_net();
+  const ExecutionPlan plan = analyzer.heterogeneous(net, Objective::kAccesses);
+  for (const LayerAssignment& a : plan.assignments()) {
+    EXPECT_EQ(a.estimate.choice.policy, Policy::kFilterReuse);
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::core

@@ -1,0 +1,129 @@
+// Property sweeps over accelerator geometries beyond the paper's default:
+// rectangular PE arrays, data widths, DRAM bandwidths, and finite on-chip
+// bandwidth.  The invariants of the estimator/engine/analyzer stack must
+// hold on all of them.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/manager.hpp"
+#include "engine/engine.hpp"
+#include "model/zoo/zoo.hpp"
+#include "scalesim/simulator.hpp"
+
+namespace rainbow {
+namespace {
+
+using core::Objective;
+
+// (pe_rows, pe_cols, width_bits, dram B/cyc, sram B/cyc)
+using SpecParam = std::tuple<int, int, int, int, int>;
+
+arch::AcceleratorSpec make_spec(const SpecParam& p, count_t glb_kb = 128) {
+  const auto [rows, cols, width, dram_bw, sram_bw] = p;
+  arch::AcceleratorSpec spec = arch::paper_spec(util::kib(glb_kb));
+  spec.pe_rows = rows;
+  spec.pe_cols = cols;
+  spec.ops_per_cycle = 2 * rows * cols;  // one MAC per PE per cycle-pair
+  spec.data_width_bits = width;
+  spec.dram_bytes_per_cycle = dram_bw;
+  spec.sram_bytes_per_cycle = sram_bw;
+  return spec;
+}
+
+class SpecGridTest : public ::testing::TestWithParam<SpecParam> {};
+
+TEST_P(SpecGridTest, SpecValidatesAndDerivesRates) {
+  const auto spec = make_spec(GetParam());
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_GT(spec.elements_per_cycle(), 0.0);
+  EXPECT_GT(spec.effective_macs_per_cycle(), 0.0);
+  EXPECT_LE(spec.effective_macs_per_cycle(), spec.macs_per_cycle());
+}
+
+TEST_P(SpecGridTest, PlansStayFeasibleAndExecutable) {
+  const auto spec = make_spec(GetParam());
+  const core::MemoryManager manager(spec);
+  const engine::Engine engine(spec);
+  const auto net = model::zoo::mobilenet();
+  for (Objective obj : {Objective::kAccesses, Objective::kLatency}) {
+    const auto plan = manager.plan(net, obj);
+    EXPECT_TRUE(plan.feasible());
+    const auto exec = engine.execute_plan(plan, net);
+    EXPECT_EQ(exec.total_accesses, plan.total_accesses());
+  }
+}
+
+TEST_P(SpecGridTest, HetStillDominatesHom) {
+  const auto spec = make_spec(GetParam());
+  const core::MemoryManager manager(spec);
+  const auto net = model::zoo::resnet18();
+  EXPECT_LE(manager.plan(net, Objective::kAccesses).total_accesses(),
+            manager.plan_homogeneous(net, Objective::kAccesses).total_accesses());
+}
+
+TEST_P(SpecGridTest, BaselineSimulatorHandlesGeometry) {
+  const auto spec = make_spec(GetParam());
+  const scalesim::Simulator sim(spec,
+                                scalesim::BufferPartition{.ifmap_fraction = 0.5});
+  const auto run = sim.run(model::zoo::mobilenetv2());
+  EXPECT_GT(run.total_accesses, 0u);
+  EXPECT_GT(run.total_cycles, 0u);
+  for (const auto& layer : run.layers) {
+    EXPECT_LE(layer.utilization, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SpecGridTest,
+    ::testing::Values(SpecParam{16, 16, 8, 16, 0},    // the paper's default
+                      SpecParam{8, 32, 8, 16, 0},     // wide rectangular
+                      SpecParam{32, 8, 8, 16, 0},     // tall rectangular
+                      SpecParam{8, 8, 16, 32, 0},     // small array, 16-bit
+                      SpecParam{16, 16, 32, 64, 0},   // 32-bit
+                      SpecParam{16, 16, 8, 4, 0},     // starved DRAM
+                      SpecParam{16, 16, 8, 16, 512},  // exactly-fed SRAM
+                      SpecParam{16, 16, 8, 16, 128}), // starved SRAM
+    [](const auto& info) {
+      // NOTE: no structured bindings here — the commas inside `auto [...]`
+      // are not protected from the INSTANTIATE macro's argument splitting.
+      return std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param)) + "_w" +
+             std::to_string(std::get<2>(info.param)) + "_d" +
+             std::to_string(std::get<3>(info.param)) + "_s" +
+             std::to_string(std::get<4>(info.param));
+    });
+
+TEST(OnchipBandwidth, UnlimitedByDefault) {
+  const auto spec = arch::paper_spec(util::kib(64));
+  EXPECT_FALSE(spec.sram_bandwidth_limited());
+  EXPECT_DOUBLE_EQ(spec.effective_macs_per_cycle(), spec.macs_per_cycle());
+}
+
+TEST(OnchipBandwidth, ThrottlesComputeBelowDemand) {
+  arch::AcceleratorSpec spec = arch::paper_spec(util::kib(64));
+  // 256 MACs/cycle need 512 operand bytes at 8-bit.
+  spec.sram_bytes_per_cycle = 512;
+  EXPECT_DOUBLE_EQ(spec.effective_macs_per_cycle(), 256.0);
+  spec.sram_bytes_per_cycle = 128;
+  EXPECT_DOUBLE_EQ(spec.effective_macs_per_cycle(), 64.0);
+}
+
+TEST(OnchipBandwidth, LatencyDegradesMonotonically) {
+  const auto net = model::zoo::mobilenet();
+  double prev = 0.0;
+  for (double bw : {0.0, 512.0, 256.0, 128.0}) {
+    arch::AcceleratorSpec spec = arch::paper_spec(util::kib(256));
+    spec.sram_bytes_per_cycle = bw;
+    const core::MemoryManager manager(spec);
+    const double latency =
+        manager.plan(net, Objective::kLatency).total_latency_cycles();
+    if (prev != 0.0) {
+      EXPECT_GE(latency, prev - 1e-6) << bw;
+    }
+    prev = latency;
+  }
+}
+
+}  // namespace
+}  // namespace rainbow

@@ -1,0 +1,290 @@
+// Tests for the command-stream backend: lowering conservation,
+// interpreter/engine equivalence, stream validation, region hand-off for
+// inter-layer reuse, and the printer.
+#include <gtest/gtest.h>
+
+#include "codegen/interpret.hpp"
+#include "codegen/lower.hpp"
+#include "codegen/print.hpp"
+#include "core/manager.hpp"
+#include "engine/engine.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::codegen {
+namespace {
+
+using core::Objective;
+using core::Policy;
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+core::LayerAssignment assignment_for(const model::Layer& layer,
+                                     const arch::AcceleratorSpec& spec,
+                                     Policy policy, bool prefetch) {
+  core::LayerAssignment a;
+  a.layer_index = 0;
+  a.estimate = core::Estimator(spec).estimate(layer, policy, prefetch);
+  return a;
+}
+
+TEST(Codegen, LayerProgramShape) {
+  const auto spec = spec_kb(1024);
+  const auto layer = model::make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  const auto program = lower_layer(
+      layer, 0, assignment_for(layer, spec, Policy::kIfmapReuse, false));
+  ASSERT_GE(program.commands.size(), 6u);
+  EXPECT_EQ(program.commands[0].op, Command::Op::kAlloc);
+  EXPECT_EQ(program.commands[1].op, Command::Op::kAlloc);
+  EXPECT_EQ(program.commands[2].op, Command::Op::kAlloc);
+  EXPECT_EQ(program.commands.back().op, Command::Op::kFree);
+  // One barrier before the frees.
+  bool saw_barrier = false;
+  for (const Command& cmd : program.commands) {
+    if (cmd.op == Command::Op::kBarrier) {
+      saw_barrier = true;
+    }
+  }
+  EXPECT_TRUE(saw_barrier);
+}
+
+TEST(Codegen, InterpreterMatchesEngineOnSingleLayers) {
+  const auto spec = spec_kb(1024);
+  const Interpreter interp(spec);
+  const engine::Engine eng(spec);
+  const auto layer = model::make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  for (Policy p : core::kAllPolicies) {
+    for (bool prefetch : {false, true}) {
+      const auto a = assignment_for(layer, spec, p, prefetch);
+      if (!a.estimate.feasible) {
+        continue;
+      }
+      Program program;
+      program.spec = spec;
+      program.layers.push_back(lower_layer(layer, 0, a));
+      const ProgramRun run = interp.run(program);
+      const auto exec = eng.execute_layer(layer, a.estimate.choice);
+      EXPECT_EQ(run.total_accesses, exec.traffic.total())
+          << core::to_string(p) << (prefetch ? "+p" : "");
+      EXPECT_NEAR(run.total_latency_cycles, exec.latency_cycles,
+                  1e-6 * exec.latency_cycles + 1e-9)
+          << core::to_string(p) << (prefetch ? "+p" : "");
+      EXPECT_EQ(run.layers[0].macs, layer.macs());
+    }
+  }
+}
+
+TEST(Codegen, FullPlanLowersAndRuns) {
+  const auto spec = spec_kb(64);
+  const core::MemoryManager manager(spec);
+  const Interpreter interp(spec);
+  for (const auto& net : {model::zoo::mobilenet(), model::zoo::resnet18()}) {
+    const auto plan = manager.plan(net, Objective::kAccesses);
+    const Program program = lower(plan, net);
+    EXPECT_EQ(program.layers.size(), net.size());
+    const ProgramRun run = interp.run(program);
+    EXPECT_EQ(run.total_accesses, plan.total_accesses()) << net.name();
+    // The whole stream stays within the physical scratchpad.
+    EXPECT_LE(run.peak_glb_elems, spec.glb_elems()) << net.name();
+  }
+}
+
+TEST(Codegen, InterlayerLinksHandOffRegions) {
+  const auto spec = spec_kb(1024);
+  core::ManagerOptions options;
+  options.interlayer_reuse = true;
+  const core::MemoryManager manager(spec, options);
+  const auto net = model::zoo::mnasnet();
+  const auto plan = manager.plan(net, Objective::kAccesses);
+  ASSERT_GT(plan.interlayer_links(), 0u);
+  const Program program = lower(plan, net);
+  const ProgramRun run = Interpreter(spec).run(program);
+  EXPECT_EQ(run.total_accesses, plan.total_accesses());
+  // A linked consumer has no ifmap alloc and no ifmap loads.
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (!plan.assignment(i).ifmap_from_glb) {
+      continue;
+    }
+    for (const Command& cmd : program.layers[i].commands) {
+      if (cmd.kind == DataKind::kIfmap) {
+        EXPECT_NE(cmd.op, Command::Op::kLoad) << "layer " << i;
+        EXPECT_NE(cmd.op, Command::Op::kAlloc) << "layer " << i;
+      }
+    }
+  }
+}
+
+TEST(Codegen, LowerRejectsMismatchedPlan) {
+  const auto spec = spec_kb(64);
+  const core::ExecutionPlan empty("x", "y", spec, Objective::kAccesses);
+  EXPECT_THROW((void)lower(empty, model::zoo::mobilenet()),
+               std::invalid_argument);
+}
+
+TEST(Codegen, InterpreterRejectsUseBeforeAlloc) {
+  Program program;
+  program.spec = spec_kb(64);
+  LayerProgram layer;
+  layer.layer_name = "bad";
+  layer.commands.push_back({.op = Command::Op::kLoad,
+                            .region = 0,
+                            .kind = DataKind::kIfmap,
+                            .elems = 10});
+  program.layers.push_back(layer);
+  EXPECT_THROW((void)Interpreter(spec_kb(64)).run(program), std::runtime_error);
+}
+
+TEST(Codegen, InterpreterRejectsDoubleAlloc) {
+  Program program;
+  program.spec = spec_kb(64);
+  LayerProgram layer;
+  layer.layer_name = "bad";
+  layer.commands.push_back({.op = Command::Op::kAlloc,
+                            .region = 0,
+                            .kind = DataKind::kIfmap,
+                            .elems = 10});
+  layer.commands.push_back({.op = Command::Op::kAlloc,
+                            .region = 0,
+                            .kind = DataKind::kIfmap,
+                            .elems = 10});
+  program.layers.push_back(layer);
+  EXPECT_THROW((void)Interpreter(spec_kb(64)).run(program), std::runtime_error);
+}
+
+TEST(Codegen, InterpreterRejectsOversizedFilterTransfer) {
+  Program program;
+  program.spec = spec_kb(64);
+  LayerProgram layer;
+  layer.layer_name = "bad";
+  layer.commands.push_back({.op = Command::Op::kAlloc,
+                            .region = 0,
+                            .kind = DataKind::kFilter,
+                            .elems = 10});
+  layer.commands.push_back({.op = Command::Op::kLoad,
+                            .region = 0,
+                            .kind = DataKind::kFilter,
+                            .elems = 100});
+  layer.commands.push_back({.op = Command::Op::kFree,
+                            .region = 0,
+                            .kind = DataKind::kFilter,
+                            .elems = 10});
+  program.layers.push_back(layer);
+  EXPECT_THROW((void)Interpreter(spec_kb(64)).run(program), std::runtime_error);
+}
+
+TEST(Codegen, InterpreterToleratesStreamingIfmapLoads) {
+  // Ifmap loads are streams: they may exceed the retained window (padding
+  // charge, stride > F_H) but never the scratchpad itself.
+  Program program;
+  program.spec = spec_kb(64);
+  LayerProgram layer;
+  layer.layer_name = "stream";
+  layer.commands.push_back({.op = Command::Op::kAlloc,
+                            .region = 0,
+                            .kind = DataKind::kIfmap,
+                            .elems = 10});
+  layer.commands.push_back({.op = Command::Op::kLoad,
+                            .region = 0,
+                            .kind = DataKind::kIfmap,
+                            .elems = 100});
+  layer.commands.push_back({.op = Command::Op::kFree,
+                            .region = 0,
+                            .kind = DataKind::kIfmap,
+                            .elems = 10});
+  program.layers.push_back(layer);
+  const auto run = Interpreter(spec_kb(64)).run(program);
+  EXPECT_EQ(run.total_accesses, 100u);
+
+  // ...but a stream larger than the whole GLB is a lowering bug.
+  program.layers[0].commands[1].elems = 2 * util::kib(64);
+  EXPECT_THROW((void)Interpreter(spec_kb(64)).run(program),
+               std::runtime_error);
+}
+
+TEST(Codegen, InterpreterRejectsLeakedRegions) {
+  Program program;
+  program.spec = spec_kb(64);
+  LayerProgram layer;
+  layer.layer_name = "leaky";
+  layer.commands.push_back({.op = Command::Op::kAlloc,
+                            .region = 0,
+                            .kind = DataKind::kIfmap,
+                            .elems = 10});
+  program.layers.push_back(layer);
+  EXPECT_THROW((void)Interpreter(spec_kb(64)).run(program), std::runtime_error);
+}
+
+TEST(Codegen, InterpreterRejectsStoreFromNonOfmapRegion) {
+  Program program;
+  program.spec = spec_kb(64);
+  LayerProgram layer;
+  layer.layer_name = "bad";
+  layer.commands.push_back({.op = Command::Op::kAlloc,
+                            .region = 0,
+                            .kind = DataKind::kFilter,
+                            .elems = 10});
+  layer.commands.push_back({.op = Command::Op::kStore,
+                            .region = 0,
+                            .kind = DataKind::kFilter,
+                            .elems = 10});
+  program.layers.push_back(layer);
+  EXPECT_THROW((void)Interpreter(spec_kb(64)).run(program), std::runtime_error);
+}
+
+TEST(Codegen, InterpreterRejectsScratchpadExhaustion) {
+  arch::AcceleratorSpec tiny = spec_kb(64);
+  tiny.glb_bytes = 64;
+  Program program;
+  program.spec = tiny;
+  LayerProgram layer;
+  layer.layer_name = "big";
+  layer.commands.push_back({.op = Command::Op::kAlloc,
+                            .region = 0,
+                            .kind = DataKind::kIfmap,
+                            .elems = 1000});
+  program.layers.push_back(layer);
+  EXPECT_THROW((void)Interpreter(tiny).run(program), std::runtime_error);
+}
+
+TEST(Codegen, PrinterCompressesSteadyState) {
+  const auto spec = spec_kb(1024);
+  const auto layer = model::make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  Program program;
+  program.model = "unit";
+  program.spec = spec;
+  program.layers.push_back(lower_layer(
+      layer, 0, assignment_for(layer, spec, Policy::kIfmapReuse, false)));
+  const std::string text = to_string(program);
+  EXPECT_NE(text.find("program unit"), std::string::npos);
+  EXPECT_NE(text.find("policy p1"), std::string::npos);
+  // 13 identical steady-state tiles collapse into one repeat group.
+  EXPECT_NE(text.find("x13 {"), std::string::npos);
+  EXPECT_NE(text.find("alloc %0 ifmap"), std::string::npos);
+
+  const std::string full =
+      to_string(program, {.compress_loops = false});
+  EXPECT_GT(full.size(), text.size());
+}
+
+TEST(Codegen, PrinterHonoursMaxLayers) {
+  const auto spec = spec_kb(64);
+  const core::MemoryManager manager(spec);
+  const auto net = model::zoo::mobilenet();
+  const Program program = lower(manager.plan(net, Objective::kAccesses), net);
+  const std::string text =
+      to_string(program, {.compress_loops = true, .max_layers = 2});
+  EXPECT_NE(text.find("more layer(s)"), std::string::npos);
+}
+
+TEST(Codegen, CommandToString) {
+  EXPECT_EQ(to_string(Command{.op = Command::Op::kCompute, .macs = 42}),
+            "compute 42 macs");
+  EXPECT_EQ(to_string(Command{.op = Command::Op::kLoad,
+                              .region = 3,
+                              .kind = DataKind::kFilter,
+                              .elems = 7}),
+            "load filter %3 7");
+  EXPECT_EQ(to_string(Command{.op = Command::Op::kBarrier}), "barrier");
+}
+
+}  // namespace
+}  // namespace rainbow::codegen

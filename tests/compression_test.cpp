@@ -1,0 +1,92 @@
+// Tests for the compression what-if analysis.
+#include <gtest/gtest.h>
+
+#include "core/compression.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::core {
+namespace {
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+ExecutionPlan sample_plan(const model::Network& net, count_t kb = 64) {
+  return MemoryManager(spec_kb(kb)).plan(net, Objective::kAccesses);
+}
+
+TEST(Compression, ValidatesRatios) {
+  CompressionModel m;
+  EXPECT_NO_THROW(m.validate());
+  m.ifmap_ratio = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.ifmap_ratio = 1.2;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Compression, IdentityRatiosChangeNothing) {
+  const auto net = model::zoo::mobilenet();
+  const auto plan = sample_plan(net);
+  const auto m = apply_compression(plan, net, {});
+  EXPECT_DOUBLE_EQ(m.dram_bytes, m.raw_bytes);
+  EXPECT_DOUBLE_EQ(m.compression_factor(), 1.0);
+  EXPECT_NEAR(m.raw_bytes, static_cast<double>(plan.total_access_bytes()),
+              1e-6);
+}
+
+TEST(Compression, RatiosScaleTheRightComponents) {
+  const auto net = model::zoo::resnet18();
+  const auto plan = sample_plan(net);
+  // Compress only filters: the byte saving must equal (1 - ratio) x the
+  // plan's filter-read bytes.
+  const CompressionModel filters_only{.ifmap_ratio = 1.0,
+                                      .filter_ratio = 0.5,
+                                      .ofmap_ratio = 1.0};
+  const auto m = apply_compression(plan, net, filters_only);
+  count_t filter_reads = 0;
+  for (const auto& a : plan.assignments()) {
+    filter_reads += a.estimate.traffic.filter_reads;
+  }
+  EXPECT_NEAR(m.raw_bytes - m.dram_bytes,
+              0.5 * static_cast<double>(filter_reads), 1.0);
+}
+
+TEST(Compression, ImprovesLatencyAndEnergyMonotonically) {
+  const auto net = model::zoo::googlenet();
+  const auto plan = sample_plan(net);
+  double prev_latency = 1e300, prev_energy = 1e300;
+  for (double r : {1.0, 0.8, 0.6, 0.4}) {
+    const CompressionModel m{.ifmap_ratio = r, .filter_ratio = r,
+                             .ofmap_ratio = r};
+    const auto out = apply_compression(plan, net, m);
+    EXPECT_LT(out.latency_cycles, prev_latency) << r;
+    EXPECT_LT(out.energy_mj, prev_energy) << r;
+    prev_latency = out.latency_cycles;
+    prev_energy = out.energy_mj;
+    EXPECT_NEAR(out.compression_factor(), 1.0 / r, 1e-9);
+  }
+}
+
+TEST(Compression, ComposesWithManagementNotReplacesIt) {
+  // Compression shrinks the link bytes of *whatever* traffic the policies
+  // leave; a compressed bad plan still moves more than a compressed good
+  // plan.  (The two effects are orthogonal, which is the point of the
+  // analysis.)
+  const auto net = model::zoo::resnet18();
+  const auto spec = spec_kb(64);
+  const auto het = MemoryManager(spec).plan(net, Objective::kAccesses);
+  const auto hom =
+      MemoryManager(spec).plan_homogeneous(net, Objective::kAccesses);
+  const CompressionModel half{.ifmap_ratio = 0.5, .filter_ratio = 0.5,
+                              .ofmap_ratio = 0.5};
+  EXPECT_LE(apply_compression(het, net, half).dram_bytes,
+            apply_compression(hom, net, half).dram_bytes);
+}
+
+TEST(Compression, MismatchThrows) {
+  const ExecutionPlan empty("x", "y", spec_kb(64), Objective::kAccesses);
+  EXPECT_THROW((void)apply_compression(empty, model::zoo::mobilenet(), {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rainbow::core

@@ -1,0 +1,144 @@
+// Unit tests for the WS/IS/OS dataflow models (Section 2.3): fold
+// geometry, timing formulas, partial-sum spill behaviour, and the reason
+// the baseline picks output stationary.
+#include <gtest/gtest.h>
+
+#include "model/zoo/zoo.hpp"
+#include "scalesim/simulator.hpp"
+
+namespace rainbow::scalesim {
+namespace {
+
+using model::make_conv;
+using model::make_depthwise;
+using model::make_fully_connected;
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+TEST(Dataflow, StringsRoundTrip) {
+  for (Dataflow d : {Dataflow::kOutputStationary, Dataflow::kWeightStationary,
+                     Dataflow::kInputStationary}) {
+    EXPECT_EQ(dataflow_from_string(to_string(d)), d);
+  }
+  EXPECT_EQ(dataflow_from_string("os"), Dataflow::kOutputStationary);
+  EXPECT_EQ(dataflow_from_string("Ws"), Dataflow::kWeightStationary);
+  EXPECT_THROW((void)dataflow_from_string("rs"), std::invalid_argument);
+}
+
+TEST(Dataflow, OutputStationaryMatchesSystolicModel) {
+  const auto spec = spec_kb(64);
+  const auto layer = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  EXPECT_EQ(dataflow_compute_cycles(layer, spec, Dataflow::kOutputStationary),
+            compute_cycles(layer, spec));
+}
+
+TEST(Dataflow, FoldCounts) {
+  const auto spec = spec_kb(64);
+  const auto layer = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  // M = 196, N = 64, T = 288.
+  const auto os = dataflow_folds(layer, spec, Dataflow::kOutputStationary);
+  EXPECT_EQ(os.folds, 13u * 4);
+  EXPECT_EQ(os.psum_rounds, 1u);
+
+  const auto ws = dataflow_folds(layer, spec, Dataflow::kWeightStationary);
+  EXPECT_EQ(ws.folds, 18u * 4);  // ceil(288/16) x ceil(64/16)
+  EXPECT_EQ(ws.psum_rounds, 18u);
+  EXPECT_EQ(ws.cycles_per_fold, 16u + 196 + 30);
+
+  const auto is = dataflow_folds(layer, spec, Dataflow::kInputStationary);
+  EXPECT_EQ(is.folds, 18u * 13);  // ceil(288/16) x ceil(196/16)
+  EXPECT_EQ(is.psum_rounds, 18u);
+  EXPECT_EQ(is.cycles_per_fold, 16u + 64 + 30);
+}
+
+TEST(Dataflow, DepthwiseGroups) {
+  const auto spec = spec_kb(64);
+  const auto dw = make_depthwise("dw", 14, 14, 32, 3, 3, 1, 1);
+  // T = 9 < 16: a single reduction slice, no partial-sum rounds even
+  // under WS.
+  const auto ws = dataflow_folds(dw, spec, Dataflow::kWeightStationary);
+  EXPECT_EQ(ws.psum_rounds, 1u);
+  EXPECT_EQ(ws.folds, 1u * 1 * 32);
+}
+
+TEST(Dataflow, ShallowReductionsFavourWeightStationary) {
+  // An early layer with a shallow reduction (T = 27) and many output
+  // pixels: OS pays the fill/drain on every small fold, while WS pins the
+  // whole reduction in two slices and streams all 3136 pixels through.
+  const auto spec = spec_kb(64);
+  const auto early = make_conv("c", 56, 56, 3, 3, 3, 64, 1, 1);
+  EXPECT_LT(dataflow_compute_cycles(early, spec, Dataflow::kWeightStationary),
+            dataflow_compute_cycles(early, spec, Dataflow::kOutputStationary));
+  // Deep-reduction late layers reverse the preference.
+  const auto late = make_conv("c", 7, 7, 512, 3, 3, 512, 1, 1);
+  EXPECT_LT(dataflow_compute_cycles(late, spec, Dataflow::kOutputStationary),
+            dataflow_compute_cycles(late, spec, Dataflow::kWeightStationary));
+}
+
+TEST(Dataflow, PartialSumsSpillUnderWeightStationary) {
+  // Large ofmap (100k elements) vs a 2 kB usable ofmap buffer: WS pays
+  // DRAM round-trips for partial sums, OS pays none.
+  const auto spec = spec_kb(64);
+  const auto layer = make_conv("c", 28, 28, 64, 3, 3, 128, 1, 1);
+  const BufferPartition part{.ifmap_fraction = 0.5};
+  const Simulator os(spec, part, Dataflow::kOutputStationary);
+  const Simulator ws(spec, part, Dataflow::kWeightStationary);
+  const auto os_result = os.simulate_layer(layer);
+  const auto ws_result = ws.simulate_layer(layer);
+  EXPECT_EQ(os_result.traffic.psum_transfers, 0u);
+  EXPECT_GT(ws_result.traffic.psum_transfers, 0u);
+  EXPECT_GT(ws_result.traffic.total(), os_result.traffic.total());
+}
+
+TEST(Dataflow, SmallOfmapAvoidsSpill) {
+  // A 7x7 ofmap channel set that fits the 2 kB staging buffer: WS partial
+  // sums stay on-chip.
+  const auto spec = spec_kb(64);
+  const auto layer = make_conv("c", 7, 7, 256, 3, 3, 32, 1, 1);
+  ASSERT_LE(layer.ofmap_elems(), 2048u);
+  const Simulator ws(spec, BufferPartition{.ifmap_fraction = 0.5},
+                     Dataflow::kWeightStationary);
+  EXPECT_EQ(ws.simulate_layer(layer).traffic.psum_transfers, 0u);
+}
+
+TEST(Dataflow, OutputStationaryWinsOnWholeNetworks) {
+  // The paper's baseline choice: on full CNNs with the 4 kB ofmap buffer,
+  // OS moves less DRAM data than WS or IS.
+  const auto spec = spec_kb(64);
+  const BufferPartition part{.ifmap_fraction = 0.5};
+  for (const auto& net : {model::zoo::resnet18(), model::zoo::mobilenet()}) {
+    const count_t os =
+        Simulator(spec, part, Dataflow::kOutputStationary).run(net).total_accesses;
+    const count_t ws =
+        Simulator(spec, part, Dataflow::kWeightStationary).run(net).total_accesses;
+    const count_t is =
+        Simulator(spec, part, Dataflow::kInputStationary).run(net).total_accesses;
+    EXPECT_LE(os, ws) << net.name();
+    EXPECT_LE(os, is) << net.name();
+  }
+}
+
+TEST(Dataflow, UtilizationStaysBounded) {
+  const auto spec = spec_kb(64);
+  const BufferPartition part{.ifmap_fraction = 0.5};
+  for (Dataflow d : {Dataflow::kOutputStationary, Dataflow::kWeightStationary,
+                     Dataflow::kInputStationary}) {
+    const Simulator sim(spec, part, d);
+    const auto net = model::zoo::resnet18();
+    for (const auto& layer : net.layers()) {
+      const auto r = sim.simulate_layer(layer);
+      EXPECT_GT(r.utilization, 0.0) << to_string(d) << " " << layer.name();
+      EXPECT_LE(r.utilization, 1.0) << to_string(d) << " " << layer.name();
+    }
+  }
+}
+
+TEST(Dataflow, TracedRunRequiresOutputStationary) {
+  const Simulator ws(spec_kb(64), BufferPartition{.ifmap_fraction = 0.5},
+                     Dataflow::kWeightStationary);
+  EXPECT_THROW((void)ws.run_traced(model::zoo::mobilenet()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rainbow::scalesim

@@ -1,0 +1,155 @@
+// Tests for the design-space-exploration module: sweep grids, parallel
+// determinism, Pareto fronts, and the sizing recommendations.
+#include <gtest/gtest.h>
+
+#include "dse/pareto.hpp"
+#include "dse/sweep.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::dse {
+namespace {
+
+SweepConfig small_config() {
+  SweepConfig config;
+  config.glb_bytes = {util::kib(64), util::kib(256), util::kib(1024)};
+  return config;
+}
+
+TEST(Sweep, ValidatesAxes) {
+  SweepConfig config;
+  EXPECT_THROW(config.validate(), std::invalid_argument);  // empty glb axis
+  config.glb_bytes = {util::kib(64)};
+  config.data_width_bits = {12};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.data_width_bits = {8};
+  config.batch_sizes = {0};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.batch_sizes = {1};
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Sweep, PointCountMatchesGrid) {
+  SweepConfig config = small_config();
+  config.data_width_bits = {8, 16};
+  config.objectives = {core::Objective::kAccesses, core::Objective::kLatency};
+  config.with_interlayer = true;
+  EXPECT_EQ(config.point_count(), 3u * 2 * 1 * 2 * 2);
+  const auto points = run_sweep(model::zoo::mobilenet(), config);
+  EXPECT_EQ(points.size(), config.point_count());
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  const auto net = model::zoo::mobilenetv2();
+  const SweepConfig config = small_config();
+  const auto serial = run_sweep(net, config, 1);
+  const auto parallel = run_sweep(net, config, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].glb_bytes, parallel[i].glb_bytes);
+    EXPECT_EQ(serial[i].accesses, parallel[i].accesses);
+    EXPECT_DOUBLE_EQ(serial[i].latency_cycles, parallel[i].latency_cycles);
+  }
+}
+
+TEST(Sweep, AccessesMonotoneInGlb) {
+  const auto points = run_sweep(model::zoo::resnet18(), small_config());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].accesses, points[i - 1].accesses);
+  }
+}
+
+TEST(Sweep, InterlayerAxisProducesBothVariants) {
+  SweepConfig config;
+  config.glb_bytes = {util::kib(1024)};
+  config.with_interlayer = true;
+  const auto points = run_sweep(model::zoo::mnasnet(), config);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_FALSE(points[0].interlayer);
+  EXPECT_TRUE(points[1].interlayer);
+  EXPECT_LT(points[1].accesses, points[0].accesses);
+  EXPECT_GT(points[1].interlayer_coverage, 0.8);
+}
+
+TEST(Sweep, PerImageMetricsDivideByBatch) {
+  SweepConfig config;
+  config.glb_bytes = {util::kib(256)};
+  config.batch_sizes = {4};
+  const auto points = run_sweep(model::zoo::googlenet(), config);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].access_mb_per_image(), points[0].access_mb / 4);
+  EXPECT_DOUBLE_EQ(points[0].latency_per_image(),
+                   points[0].latency_cycles / 4);
+}
+
+TEST(Pareto, FrontDropsDominatedPoints) {
+  std::vector<SweepPoint> points(3);
+  points[0].access_mb = 10;
+  points[0].latency_cycles = 10;
+  points[1].access_mb = 5;
+  points[1].latency_cycles = 20;
+  points[2].access_mb = 12;   // dominated by points[0]
+  points[2].latency_cycles = 11;
+  const auto front = pareto_front(
+      points, [](const SweepPoint& p) { return p.access_mb; },
+      [](const SweepPoint& p) { return p.latency_cycles; });
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front[0], 0u);
+  EXPECT_EQ(front[1], 1u);
+}
+
+TEST(Pareto, DuplicatePointsBothSurvive) {
+  std::vector<SweepPoint> points(2);
+  points[0].access_mb = points[1].access_mb = 5;
+  points[0].latency_cycles = points[1].latency_cycles = 5;
+  const auto front = pareto_front(
+      points, [](const SweepPoint& p) { return p.access_mb; },
+      [](const SweepPoint& p) { return p.latency_cycles; });
+  EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(Pareto, SmallestGlbWithinSlack) {
+  const auto points = run_sweep(model::zoo::mobilenetv2(), small_config());
+  const auto pick = smallest_glb_within(points, 0.05);
+  ASSERT_TRUE(pick.has_value());
+  // MobileNetV2's Het accesses are nearly flat: the smallest buffer wins.
+  EXPECT_EQ(pick->glb_bytes, util::kib(64));
+  EXPECT_FALSE(smallest_glb_within({}, 0.05).has_value());
+}
+
+TEST(Pareto, CheapestUnderLatencyBudget) {
+  const auto points = run_sweep(model::zoo::mobilenet(), small_config());
+  double loosest = 0.0;
+  for (const auto& p : points) {
+    loosest = std::max(loosest, p.latency_cycles);
+  }
+  const auto pick = cheapest_under_latency(points, loosest);
+  ASSERT_TRUE(pick.has_value());
+  for (const auto& p : points) {
+    if (p.latency_cycles <= loosest) {
+      EXPECT_LE(pick->energy_mj, p.energy_mj);
+    }
+  }
+  EXPECT_FALSE(cheapest_under_latency(points, 0.0).has_value());
+}
+
+TEST(Pareto, FrontIsActuallyNonDominated) {
+  SweepConfig config = small_config();
+  config.objectives = {core::Objective::kAccesses, core::Objective::kLatency};
+  const auto points = run_sweep(model::zoo::resnet18(), config);
+  const auto front = pareto_front(
+      points, [](const SweepPoint& p) { return p.access_mb; },
+      [](const SweepPoint& p) { return p.latency_cycles; });
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i : front) {
+    for (const auto& q : points) {
+      const bool dominates = q.access_mb <= points[i].access_mb &&
+                             q.latency_cycles <= points[i].latency_cycles &&
+                             (q.access_mb < points[i].access_mb ||
+                              q.latency_cycles < points[i].latency_cycles);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::dse

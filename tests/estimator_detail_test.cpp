@@ -1,0 +1,139 @@
+// White-box detail tests for the estimator: the exposed-transfer terms of
+// the prefetch latency model (recovered through compute-bound layers),
+// explicit-vs-auto tiling parameters, option interactions, and the
+// batch/inter-layer combinations.
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.hpp"
+#include "core/estimator.hpp"
+
+namespace rainbow::core {
+namespace {
+
+using model::Layer;
+using model::make_conv;
+using model::make_depthwise;
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+// A compute-bound layer: deep reduction, small maps.  For such layers the
+// prefetch latency is exposed/bw + compute, so the exposure term can be
+// recovered exactly: exposed = (latency - compute) * bw.
+Layer compute_bound() { return make_conv("c", 7, 7, 256, 3, 3, 256, 1, 1); }
+
+count_t recovered_exposure(const Estimator& est, const Layer& layer,
+                           const PolicyChoice& choice) {
+  const Estimate e = est.estimate_choice(layer, choice);
+  EXPECT_TRUE(e.feasible);
+  const double hidden =
+      (e.latency_cycles - static_cast<double>(e.compute_cycles)) *
+      est.spec().elements_per_cycle();
+  return static_cast<count_t>(hidden + 0.5);
+}
+
+TEST(EstimatorDetail, Policy1ExposureIsFiltersPlusWindowPlusLastRow) {
+  const Estimator est(arch::paper_spec(util::mib(8)));
+  const Layer l = compute_bound();
+  PolicyChoice p1{.policy = Policy::kIfmapReuse, .prefetch = true};
+  const count_t expected = l.filter_elems() +
+                           3u * l.padded_ifmap_w() * l.channels() +
+                           static_cast<count_t>(l.ofmap_w()) * l.filters();
+  EXPECT_EQ(recovered_exposure(est, l, p1), expected);
+}
+
+TEST(EstimatorDetail, Policy2ExposureIsIfmapPlusOneFilterPlusOneChannel) {
+  const Estimator est(arch::paper_spec(util::mib(8)));
+  const Layer l = compute_bound();
+  PolicyChoice p2{.policy = Policy::kFilterReuse, .prefetch = true};
+  const count_t expected =
+      l.padded_ifmap_elems() + l.single_filter_elems() +
+      static_cast<count_t>(l.ofmap_h()) * l.ofmap_w();
+  EXPECT_EQ(recovered_exposure(est, l, p2), expected);
+}
+
+TEST(EstimatorDetail, Policy3ExposureDrainsTheWholeOfmap) {
+  const Estimator est(arch::paper_spec(util::mib(8)));
+  const Layer l = compute_bound();
+  PolicyChoice p3{.policy = Policy::kPerChannel, .prefetch = true};
+  const count_t expected =
+      static_cast<count_t>(l.filter_h()) * l.filter_w() * l.filters() +
+      static_cast<count_t>(l.filter_h()) * l.padded_ifmap_w() +
+      l.ofmap_elems();
+  EXPECT_EQ(recovered_exposure(est, l, p3), expected);
+}
+
+TEST(EstimatorDetail, ExplicitBlockOverridesAutoTuning) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  const PolicyChoice manual{.policy = Policy::kPartialIfmap,
+                            .filter_block = 5};
+  const Estimate e = est.estimate_choice(l, manual);
+  EXPECT_EQ(e.choice.filter_block, 5);
+  // ceil(64/5) = 13 sweeps.
+  EXPECT_EQ(e.traffic.ifmap_reads, l.padded_ifmap_elems() * 13);
+  // Auto-tuning at the same GLB picks the largest feasible block instead.
+  const Estimate autod = est.estimate(l, Policy::kPartialIfmap, false);
+  EXPECT_GT(autod.choice.filter_block, 5);
+}
+
+TEST(EstimatorDetail, UnpaddedOptionAffectsOnlyIfmapReads) {
+  const Estimator padded(spec_kb(1024), {.padded_traffic = true});
+  const Estimator unpadded(spec_kb(1024), {.padded_traffic = false});
+  const Layer l = make_conv("c", 28, 28, 16, 5, 5, 24, 1, 2);
+  for (Policy p : kAllPolicies) {
+    const auto tp = padded.estimate(l, p, false).traffic;
+    const auto tu = unpadded.estimate(l, p, false).traffic;
+    EXPECT_EQ(tp.filter_reads, tu.filter_reads) << to_string(p);
+    EXPECT_EQ(tp.ofmap_writes, tu.ofmap_writes) << to_string(p);
+    EXPECT_GE(tp.ifmap_reads, tu.ifmap_reads) << to_string(p);
+  }
+}
+
+TEST(EstimatorDetail, BatchAndInterlayerCompose) {
+  // Batch multiplies the activations; a resident ifmap then zeroes the
+  // reads regardless (the producer's output is consumed in place each
+  // image).
+  const Estimator b4(spec_kb(1024), {.batch = 4});
+  const Layer l = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  const InterlayerAdjust adjust{.ifmap_resident = true};
+  const auto t = b4.traffic(l, {.policy = Policy::kIfmapReuse}, adjust);
+  EXPECT_EQ(t.ifmap_reads, 0u);
+  EXPECT_EQ(t.ofmap_writes, 4 * l.ofmap_elems());
+  EXPECT_EQ(t.filter_reads, l.filter_elems());  // P1 amortizes over batch
+}
+
+TEST(EstimatorDetail, FallbackWithInterlayerKeepsResidentTerms) {
+  const Estimator est(spec_kb(64));
+  const Layer l = make_conv("c", 28, 28, 16, 3, 3, 32, 1, 1);
+  const InterlayerAdjust adjust{.keep_ofmap = true};
+  const Estimate e =
+      est.estimate(l, Policy::kFallbackTiled, /*prefetch=*/false, adjust);
+  ASSERT_TRUE(e.feasible);
+  EXPECT_EQ(e.traffic.ofmap_writes, 0u);
+  EXPECT_EQ(e.footprint.ofmap, l.ofmap_elems());
+}
+
+TEST(EstimatorDetail, DepthwiseBlockUpperBoundIsChannels) {
+  const Estimator est(arch::paper_spec(util::mib(32)));
+  const Layer dw = make_depthwise("dw", 28, 28, 48, 3, 3, 1, 1);
+  const Estimate e = est.estimate(dw, Policy::kPartialIfmap, false);
+  ASSERT_TRUE(e.feasible);
+  EXPECT_LE(e.choice.filter_block, 48);
+  EXPECT_GE(e.choice.filter_block, 1);
+}
+
+TEST(EstimatorDetail, SerializedLatencyDecomposesExactly) {
+  const Estimator est(spec_kb(256));
+  const Layer l = make_conv("c", 28, 28, 32, 3, 3, 48, 1, 1);
+  for (Policy p : kAllPolicies) {
+    const Estimate e = est.estimate(l, p, false);
+    EXPECT_DOUBLE_EQ(
+        e.latency_cycles,
+        e.compute_cycles + static_cast<double>(e.accesses()) /
+                               est.spec().elements_per_cycle())
+        << to_string(p);
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::core

@@ -1,0 +1,315 @@
+// Unit tests for the estimation models: off-chip traffic per policy,
+// latency (serialized and prefetch-overlapped), feasibility against the
+// GLB, automatic tiling-parameter selection, and the inter-layer-reuse
+// adjustments.
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.hpp"
+#include "core/estimator.hpp"
+#include "model/layer.hpp"
+
+namespace rainbow::core {
+namespace {
+
+using model::Layer;
+using model::make_conv;
+using model::make_depthwise;
+using model::make_fully_connected;
+
+Layer small_conv() { return make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1); }
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+TEST(Estimator, MinimumTrafficPoliciesMoveEachElementOnce) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  const count_t compulsory =
+      l.padded_ifmap_elems() + l.filter_elems() + l.ofmap_elems();
+  for (Policy p : {Policy::kIntraLayer, Policy::kIfmapReuse,
+                   Policy::kFilterReuse, Policy::kPerChannel}) {
+    const Estimate e = est.estimate(l, p, /*prefetch=*/false);
+    EXPECT_EQ(e.accesses(), compulsory) << to_string(p);
+    EXPECT_EQ(e.traffic.ofmap_writes, l.ofmap_elems());
+  }
+}
+
+TEST(Estimator, Policy4ReloadsIfmapPerFilterBlock) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  const PolicyChoice choice{.policy = Policy::kPartialIfmap, .filter_block = 16};
+  const auto t = est.traffic(l, choice);
+  // ceil(64 / 16) = 4 sweeps of the padded ifmap.
+  EXPECT_EQ(t.ifmap_reads, l.padded_ifmap_elems() * 4);
+  EXPECT_EQ(t.filter_reads, l.filter_elems());
+}
+
+TEST(Estimator, Policy5ReloadFactorRoundsUp) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  const PolicyChoice choice{.policy = Policy::kPartialPerChannel,
+                            .filter_block = 24};
+  const auto t = est.traffic(l, choice);
+  // ceil(64 / 24) = 3.
+  EXPECT_EQ(t.ifmap_reads, l.padded_ifmap_elems() * 3);
+}
+
+TEST(Estimator, DepthwiseNeverReloadsUnderPartialPolicies) {
+  const Estimator est(spec_kb(1024));
+  const Layer dw = make_depthwise("dw", 28, 28, 64, 3, 3, 1, 1);
+  for (Policy p : {Policy::kPartialIfmap, Policy::kPartialPerChannel}) {
+    const auto t = est.traffic(dw, PolicyChoice{.policy = p, .filter_block = 8});
+    EXPECT_EQ(t.ifmap_reads, dw.padded_ifmap_elems()) << to_string(p);
+  }
+}
+
+TEST(Estimator, UnpaddedTrafficOption) {
+  const Estimator padded(spec_kb(1024), {.padded_traffic = true});
+  const Estimator unpadded(spec_kb(1024), {.padded_traffic = false});
+  const Layer l = small_conv();
+  EXPECT_EQ(padded.ifmap_read_base(l), l.padded_ifmap_elems());
+  EXPECT_EQ(unpadded.ifmap_read_base(l), l.ifmap_elems());
+  EXPECT_LT(unpadded.estimate(l, Policy::kIntraLayer, false).accesses(),
+            padded.estimate(l, Policy::kIntraLayer, false).accesses());
+}
+
+TEST(Estimator, ComputeCyclesFollowMacRate) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  EXPECT_DOUBLE_EQ(est.compute_cycles(l),
+                   static_cast<double>(l.macs()) / 256.0);
+}
+
+TEST(Estimator, SerializedLatencyIsComputePlusTransfer) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  const Estimate e = est.estimate(l, Policy::kIntraLayer, /*prefetch=*/false);
+  const double expected =
+      est.compute_cycles(l) + static_cast<double>(e.accesses()) / 16.0;
+  EXPECT_DOUBLE_EQ(e.latency_cycles, expected);
+}
+
+TEST(Estimator, PrefetchNeverSlower) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  for (Policy p : {Policy::kIntraLayer, Policy::kIfmapReuse,
+                   Policy::kFilterReuse, Policy::kPerChannel,
+                   Policy::kPartialIfmap, Policy::kPartialPerChannel}) {
+    const Estimate serial = est.estimate(l, p, false);
+    const Estimate overlap = est.estimate(l, p, true);
+    EXPECT_LE(overlap.latency_cycles, serial.latency_cycles) << to_string(p);
+    // Same traffic for the full-fit policies.
+    if (p != Policy::kPartialIfmap && p != Policy::kPartialPerChannel) {
+      EXPECT_EQ(overlap.accesses(), serial.accesses()) << to_string(p);
+    }
+  }
+}
+
+TEST(Estimator, PrefetchLatencyLowerBoundedByComputeAndTransfer) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  const Estimate e = est.estimate(l, Policy::kIfmapReuse, true);
+  EXPECT_GE(e.latency_cycles, e.compute_cycles);
+  EXPECT_GE(e.latency_cycles, static_cast<double>(e.accesses()) / 16.0);
+}
+
+TEST(Estimator, PrefetchDoublesFootprint) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  const Estimate serial = est.estimate(l, Policy::kFilterReuse, false);
+  const Estimate overlap = est.estimate(l, Policy::kFilterReuse, true);
+  EXPECT_EQ(overlap.memory_elems(), 2 * serial.memory_elems());
+}
+
+TEST(Estimator, FeasibilityAgainstGlb) {
+  const Layer big = make_conv("big", 7, 7, 512, 3, 3, 512, 1, 1);
+  // Intra-layer needs ~2.3 MB; infeasible at 64 kB, feasible at 4 MB.
+  EXPECT_FALSE(
+      Estimator(spec_kb(64)).estimate(big, Policy::kIntraLayer, false).feasible);
+  EXPECT_TRUE(
+      Estimator(spec_kb(4096)).estimate(big, Policy::kIntraLayer, false).feasible);
+}
+
+TEST(Estimator, AutoFilterBlockIsMaximalFeasible) {
+  const Estimator est(spec_kb(64));
+  const Layer big = make_conv("big", 7, 7, 512, 3, 3, 512, 1, 1);
+  const Estimate e = est.estimate(big, Policy::kPartialIfmap, false);
+  ASSERT_TRUE(e.feasible);
+  const int n = e.choice.filter_block;
+  EXPECT_GE(n, 1);
+  // n is feasible but n+1 is not (or n is at its upper bound F#-1).
+  EXPECT_LE(planned_footprint(big, e.choice).total(), est.spec().glb_elems());
+  if (n < big.filters() - 1) {
+    PolicyChoice next = e.choice;
+    next.filter_block = n + 1;
+    EXPECT_GT(planned_footprint(big, next).total(), est.spec().glb_elems());
+  }
+}
+
+TEST(Estimator, LargerBlocksMeanFewerAccesses) {
+  // More GLB -> larger feasible filter block -> fewer ifmap re-loads.
+  const Layer big = make_conv("big", 14, 14, 256, 3, 3, 512, 1, 1);
+  const Estimate small =
+      Estimator(spec_kb(64)).estimate(big, Policy::kPartialIfmap, false);
+  const Estimate large =
+      Estimator(spec_kb(512)).estimate(big, Policy::kPartialIfmap, false);
+  ASSERT_TRUE(small.feasible);
+  ASSERT_TRUE(large.feasible);
+  EXPECT_GE(large.choice.filter_block, small.choice.filter_block);
+  EXPECT_LE(large.accesses(), small.accesses());
+}
+
+TEST(Estimator, InfeasiblePolicyReportsItself) {
+  // A 1 kB GLB cannot even hold one sliding window of this layer.
+  arch::AcceleratorSpec tiny = spec_kb(64);
+  tiny.glb_bytes = 1024;
+  const Estimator est(tiny);
+  const Layer l = make_conv("c", 224, 224, 64, 3, 3, 64, 1, 1);
+  EXPECT_FALSE(est.estimate(l, Policy::kIfmapReuse, false).feasible);
+  EXPECT_FALSE(est.estimate(l, Policy::kPartialIfmap, false).feasible);
+}
+
+TEST(Estimator, FallbackSelectsFeasibleTiling) {
+  const Estimator est(spec_kb(64));
+  const Layer big = make_conv("big", 56, 56, 64, 3, 3, 192, 1, 1);
+  const Estimate e = est.estimate(big, Policy::kFallbackTiled, false);
+  ASSERT_TRUE(e.feasible);
+  EXPECT_GE(e.choice.row_stripe, 1);
+  EXPECT_GE(e.choice.filter_block, 1);
+  // Fallback pays re-load cost: never cheaper than the compulsory minimum.
+  const count_t compulsory =
+      big.padded_ifmap_elems() + big.filter_elems() + big.ofmap_elems();
+  EXPECT_GE(e.accesses(), compulsory);
+}
+
+TEST(Estimator, FallbackPrefersCheaperTiling) {
+  // With a roomier GLB the fallback tiler must find a tiling no worse than
+  // with a cramped one.
+  const Layer big = make_conv("big", 56, 56, 64, 3, 3, 192, 1, 1);
+  const Estimate cramped =
+      Estimator(spec_kb(64)).estimate(big, Policy::kFallbackTiled, false);
+  const Estimate roomy =
+      Estimator(spec_kb(512)).estimate(big, Policy::kFallbackTiled, false);
+  ASSERT_TRUE(cramped.feasible);
+  ASSERT_TRUE(roomy.feasible);
+  EXPECT_LE(roomy.accesses(), cramped.accesses());
+}
+
+TEST(Estimator, InterlayerResidentIfmapDropsReads) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  const InterlayerAdjust adjust{.ifmap_resident = true};
+  const Estimate e = est.estimate(l, Policy::kFilterReuse, false, adjust);
+  EXPECT_EQ(e.traffic.ifmap_reads, 0u);
+  EXPECT_EQ(e.traffic.filter_reads, l.filter_elems());
+  // Footprint still reserves the resident map.
+  EXPECT_EQ(e.footprint.ifmap, l.ifmap_elems());
+}
+
+TEST(Estimator, InterlayerKeepOfmapDropsWrites) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  const InterlayerAdjust adjust{.keep_ofmap = true};
+  const Estimate e = est.estimate(l, Policy::kIfmapReuse, false, adjust);
+  EXPECT_EQ(e.traffic.ofmap_writes, 0u);
+  EXPECT_EQ(e.footprint.ofmap, l.ofmap_elems());
+}
+
+TEST(Estimator, InterlayerResidencyIsNotDoubledByPrefetch) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  const InterlayerAdjust adjust{.ifmap_resident = true, .keep_ofmap = true};
+  const Estimate e = est.estimate(l, Policy::kIfmapReuse, true, adjust);
+  EXPECT_EQ(e.footprint.ifmap, l.ifmap_elems());       // single copy
+  EXPECT_EQ(e.footprint.ofmap, l.ofmap_elems());       // single copy
+  const Footprint working = working_footprint(l, {.policy = Policy::kIfmapReuse});
+  EXPECT_EQ(e.footprint.filter, 2 * working.filter);   // streamed: doubled
+}
+
+TEST(Estimator, InterlayerBothEndsLeaveOnlyFilterTraffic) {
+  const Estimator est(spec_kb(1024));
+  const Layer l = small_conv();
+  const InterlayerAdjust adjust{.ifmap_resident = true, .keep_ofmap = true};
+  const Estimate e = est.estimate(l, Policy::kIntraLayer, false, adjust);
+  EXPECT_EQ(e.accesses(), l.filter_elems());
+}
+
+TEST(Estimator, BatchMustBePositive) {
+  EXPECT_THROW(Estimator(spec_kb(64), {.batch = 0}), std::invalid_argument);
+  EXPECT_THROW(Estimator(spec_kb(64), {.batch = -3}), std::invalid_argument);
+}
+
+TEST(Estimator, BatchScalesActivationsAlways) {
+  const Layer l = small_conv();
+  const Estimator b1(spec_kb(1024), {.batch = 1});
+  const Estimator b8(spec_kb(1024), {.batch = 8});
+  for (Policy p : kAllPolicies) {
+    const auto t1 = b1.estimate(l, p, false).traffic;
+    const auto t8 = b8.estimate(l, p, false).traffic;
+    EXPECT_EQ(t8.ifmap_reads, 8 * t1.ifmap_reads) << to_string(p);
+    EXPECT_EQ(t8.ofmap_writes, 8 * t1.ofmap_writes) << to_string(p);
+  }
+}
+
+TEST(Estimator, BatchAmortizesResidentFilterPolicies) {
+  const Layer l = small_conv();
+  const Estimator b1(spec_kb(1024), {.batch = 1});
+  const Estimator b8(spec_kb(1024), {.batch = 8});
+  for (Policy p : {Policy::kIntraLayer, Policy::kIfmapReuse,
+                   Policy::kPartialIfmap}) {
+    EXPECT_EQ(b8.estimate(l, p, false).traffic.filter_reads,
+              b1.estimate(l, p, false).traffic.filter_reads)
+        << to_string(p);
+  }
+  for (Policy p : {Policy::kFilterReuse, Policy::kPerChannel,
+                   Policy::kPartialPerChannel}) {
+    EXPECT_EQ(b8.estimate(l, p, false).traffic.filter_reads,
+              8 * b1.estimate(l, p, false).traffic.filter_reads)
+        << to_string(p);
+  }
+}
+
+TEST(Estimator, BatchDoesNotGrowFootprints) {
+  const Layer l = small_conv();
+  const Estimator b1(spec_kb(1024), {.batch = 1});
+  const Estimator b8(spec_kb(1024), {.batch = 8});
+  for (Policy p : kAllPolicies) {
+    EXPECT_EQ(b8.estimate(l, p, false).memory_elems(),
+              b1.estimate(l, p, false).memory_elems())
+        << to_string(p);
+  }
+}
+
+TEST(Estimator, BatchScalesComputeLinearly) {
+  const Layer l = small_conv();
+  const Estimator b1(spec_kb(1024), {.batch = 1});
+  const Estimator b4(spec_kb(1024), {.batch = 4});
+  EXPECT_DOUBLE_EQ(b4.compute_cycles(l), 4.0 * b1.compute_cycles(l));
+}
+
+TEST(Estimator, BatchFlipsThePreferredPolicyOnDenseLayers) {
+  // A dense layer is weight-dominated: per image, P2 (whole input vector
+  // resident) and P1 (all weights resident) tie at batch 1, but at batch
+  // 16 the weight-amortizing policy must win the accesses objective.
+  const Layer fc = make_fully_connected("fc", 2048, 1024);
+  const Estimator b16(arch::paper_spec(util::mib(8)), {.batch = 16});
+  const auto p1 = b16.estimate(fc, Policy::kIfmapReuse, false);
+  const auto p2 = b16.estimate(fc, Policy::kFilterReuse, false);
+  EXPECT_LT(p1.accesses(), p2.accesses());
+  // Per-image amortized traffic approaches ifmap + ofmap + filters/16.
+  const count_t per_image = p1.accesses() / 16;
+  EXPECT_LT(per_image, fc.filter_elems() / 8);
+}
+
+TEST(Estimator, FullyConnectedPolicies) {
+  const Estimator est(spec_kb(1024));
+  const Layer fc = make_fully_connected("fc", 512, 1000);
+  const count_t compulsory = 512 + 512 * 1000 + 1000;
+  for (Policy p : {Policy::kIntraLayer, Policy::kIfmapReuse,
+                   Policy::kFilterReuse, Policy::kPerChannel}) {
+    EXPECT_EQ(est.estimate(fc, p, false).accesses(), compulsory)
+        << to_string(p);
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::core

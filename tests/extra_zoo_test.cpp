@@ -1,0 +1,79 @@
+// Tests for the extra (beyond-the-paper) zoo models and their interaction
+// with the planner — VGG16/AlexNet are the weight-dominated extreme the
+// six mobile-era models don't cover.
+#include <gtest/gtest.h>
+
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::model::zoo {
+namespace {
+
+TEST(ExtraZoo, Vgg16Structure) {
+  const Network net = vgg16();
+  EXPECT_EQ(net.size(), 16u);  // 13 convs + 3 dense layers
+  EXPECT_EQ(net.count_kind(LayerKind::kConv), 13u);
+  EXPECT_EQ(net.count_kind(LayerKind::kFullyConnected), 3u);
+  // ~15.5 GMACs for one 224x224 inference.
+  const double gmacs = static_cast<double>(net.total_macs()) / 1e9;
+  EXPECT_NEAR(gmacs, 15.5, 0.3);
+  // 138M parameters, ~134M of them in the dense layers + convs here
+  // (biases excluded).
+  const double mparams = static_cast<double>(net.total_filter_elems()) / 1e6;
+  EXPECT_NEAR(mparams, 138.0, 2.0);
+}
+
+TEST(ExtraZoo, AlexNetStructure) {
+  const Network net = alexnet();
+  EXPECT_EQ(net.size(), 8u);
+  EXPECT_EQ(net.count_kind(LayerKind::kConv), 5u);
+  EXPECT_EQ(net.count_kind(LayerKind::kFullyConnected), 3u);
+  EXPECT_EQ(net.layer(0).ofmap_h(), 55);  // 11x11/4 on 227
+  // Single-tower (ungrouped) AlexNet: the original's grouped convolutions
+  // halve conv2/4/5, giving the often-quoted ~0.7 GMACs; ungrouped is ~1.14.
+  const double gmacs = static_cast<double>(net.total_macs()) / 1e9;
+  EXPECT_NEAR(gmacs, 1.14, 0.1);
+}
+
+TEST(ExtraZoo, ByNameFindsExtras) {
+  EXPECT_EQ(by_name("vgg16").name(), "VGG16");
+  EXPECT_EQ(by_name("AlexNet").name(), "AlexNet");
+}
+
+TEST(ExtraZoo, ExtrasAreNotInThePaperSuite) {
+  for (const Network& net : all_models()) {
+    EXPECT_NE(net.name(), "VGG16");
+    EXPECT_NE(net.name(), "AlexNet");
+  }
+}
+
+TEST(ExtraZoo, PlannerHandlesWeightDominatedModels) {
+  // VGG16's fc6 weights are 98 MB at 8-bit: every policy that wants them
+  // resident is infeasible at 64 kB, yet the plan must still exist and the
+  // flexible scheme must still beat a weight-starved fixed split.
+  const core::MemoryManager manager(arch::paper_spec(util::kib(64)));
+  for (const Network& net : {vgg16(), alexnet()}) {
+    const auto plan = manager.plan(net, core::Objective::kAccesses);
+    EXPECT_TRUE(plan.feasible()) << net.name();
+    EXPECT_GT(plan.total_access_mb(), 0.0) << net.name();
+  }
+}
+
+TEST(ExtraZoo, BatchAmortizationIsDramaticForVgg) {
+  // 90% of VGG16's traffic is weights: batching should slash per-image
+  // traffic far harder than for any of the paper's models.
+  core::ManagerOptions b16;
+  b16.analyzer.estimator.batch = 16;
+  const auto spec = arch::paper_spec(util::kib(256));
+  const auto net = vgg16();
+  const auto plan1 =
+      core::MemoryManager(spec).plan(net, core::Objective::kAccesses);
+  const auto plan16 =
+      core::MemoryManager(spec, b16).plan(net, core::Objective::kAccesses);
+  const double per_image_1 = plan1.total_access_mb();
+  const double per_image_16 = plan16.total_access_mb() / 16.0;
+  EXPECT_LT(per_image_16, 0.5 * per_image_1);
+}
+
+}  // namespace
+}  // namespace rainbow::model::zoo

@@ -1,0 +1,108 @@
+// Unit tests for the Figure 2 access-direction re-load model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/fallback.hpp"
+
+namespace rainbow::core {
+namespace {
+
+using model::Layer;
+using model::make_conv;
+
+Layer conv() { return make_conv("c", 28, 28, 16, 3, 3, 32, 1, 1); }
+
+TEST(AccessDirection, Names) {
+  EXPECT_EQ(to_string(AccessDirection::kHeightWise), "height-wise");
+  EXPECT_EQ(to_string(AccessDirection::kWidthWise), "width-wise");
+  EXPECT_EQ(to_string(AccessDirection::kDepthWise), "depth-wise");
+}
+
+TEST(Reload, FullTileIsSinglePass) {
+  const Layer l = conv();
+  // Covering the whole direction in one tile loads the padded map once.
+  EXPECT_EQ(ifmap_traffic_with_reload(l, AccessDirection::kHeightWise,
+                                      l.ofmap_h()),
+            l.padded_ifmap_elems());
+  EXPECT_EQ(ifmap_traffic_with_reload(l, AccessDirection::kWidthWise,
+                                      l.ofmap_w()),
+            l.padded_ifmap_elems());
+  EXPECT_EQ(reload_overhead(l, AccessDirection::kHeightWise, l.ofmap_h()), 0u);
+}
+
+TEST(Reload, HeightWiseHaloPerCut) {
+  const Layer l = conv();  // F_H=3, S=1, O_H=28, padded 30x30x16
+  // Tiles of 7 output rows: 4 tiles, each loading (7-1)*1+3 = 9 input rows.
+  // 4*9 = 36 rows vs the single-pass 30: 6 halo rows re-loaded.
+  const count_t traffic =
+      ifmap_traffic_with_reload(l, AccessDirection::kHeightWise, 7);
+  EXPECT_EQ(traffic, 36u * 30 * 16);
+  EXPECT_EQ(reload_overhead(l, AccessDirection::kHeightWise, 7),
+            6u * 30 * 16);
+}
+
+TEST(Reload, WidthWiseHaloPerCut) {
+  const Layer l = conv();
+  const count_t traffic =
+      ifmap_traffic_with_reload(l, AccessDirection::kWidthWise, 7);
+  // Symmetric layer: same overhead as the height-wise cut.
+  EXPECT_EQ(traffic, 30u * 36 * 16);
+}
+
+TEST(Reload, SmallerTilesReloadMore) {
+  const Layer l = conv();
+  count_t prev = ifmap_traffic_with_reload(l, AccessDirection::kHeightWise,
+                                           l.ofmap_h());
+  for (int tile : {14, 7, 4, 2, 1}) {
+    const count_t t =
+        ifmap_traffic_with_reload(l, AccessDirection::kHeightWise, tile);
+    EXPECT_GE(t, prev) << "tile " << tile;
+    prev = t;
+  }
+}
+
+TEST(Reload, StrideReducesOverlap) {
+  // With S == F_H there is no overlap: any tiling is a single pass.
+  const Layer l = make_conv("s", 28, 28, 16, 2, 2, 32, 2, 0);
+  EXPECT_EQ(reload_overhead(l, AccessDirection::kHeightWise, 1), 0u);
+}
+
+TEST(Reload, DepthWiseCutsAreFree) {
+  const Layer l = conv();
+  for (int tile : {1, 2, 8, 16}) {
+    EXPECT_EQ(ifmap_traffic_with_reload(l, AccessDirection::kDepthWise, tile),
+              l.padded_ifmap_elems());
+  }
+}
+
+TEST(Reload, SingleRowTilesMaximizeHalo) {
+  const Layer l = conv();
+  // One output row per tile: each loads F_H rows; 28 * 3 = 84 rows total.
+  EXPECT_EQ(ifmap_traffic_with_reload(l, AccessDirection::kHeightWise, 1),
+            84u * 30 * 16);
+}
+
+TEST(Reload, OutOfRangeTileThrows) {
+  const Layer l = conv();
+  EXPECT_THROW((void)ifmap_traffic_with_reload(l, AccessDirection::kHeightWise, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)ifmap_traffic_with_reload(l, AccessDirection::kHeightWise, 29),
+               std::invalid_argument);
+  EXPECT_THROW((void)ifmap_traffic_with_reload(l, AccessDirection::kWidthWise, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)ifmap_traffic_with_reload(l, AccessDirection::kDepthWise, 17),
+               std::invalid_argument);
+}
+
+// The height-wise direction is never worse than width-wise for layers that
+// are at least as wide as tall (rows are contiguous in the padded width).
+TEST(Reload, HeightWiseIsTheCheapSpatialDirection) {
+  const Layer wide = make_conv("w", 14, 56, 8, 3, 3, 16, 1, 1);
+  const count_t h = ifmap_traffic_with_reload(wide, AccessDirection::kHeightWise, 2);
+  const count_t w = ifmap_traffic_with_reload(wide, AccessDirection::kWidthWise, 2);
+  EXPECT_LE(h, w);
+}
+
+}  // namespace
+}  // namespace rainbow::core

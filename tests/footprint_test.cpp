@@ -1,0 +1,190 @@
+// Unit tests for the per-policy footprint formulas of Section 3.2,
+// cross-checked against hand computations on the paper's own layers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/footprint.hpp"
+
+namespace rainbow::core {
+namespace {
+
+using model::Layer;
+using model::make_conv;
+using model::make_depthwise;
+using model::make_fully_connected;
+
+// ResNet18 conv5_2a: 7x7x512, 3x3, 512 filters, s1 p1 — the layer behind
+// the paper's 2353 kB intra-layer peak.
+Layer resnet_stage4() { return make_conv("c", 7, 7, 512, 3, 3, 512, 1, 1); }
+
+TEST(Footprint, TotalIsSumOfParts) {
+  const Footprint fp{10, 20, 30};
+  EXPECT_EQ(fp.total(), 60u);
+}
+
+TEST(Footprint, DoubledDoublesEveryTerm) {
+  const Footprint fp{10, 20, 30};
+  const Footprint d = fp.doubled();
+  EXPECT_EQ(d.ifmap, 20u);
+  EXPECT_EQ(d.filter, 40u);
+  EXPECT_EQ(d.ofmap, 60u);
+}
+
+TEST(Footprint, IntraLayerHoldsEverything) {
+  const Layer l = resnet_stage4();
+  const Footprint fp = working_footprint(l, {.policy = Policy::kIntraLayer});
+  EXPECT_EQ(fp.ifmap, 7u * 7 * 512);          // unpadded whole map
+  EXPECT_EQ(fp.filter, 3u * 3 * 512 * 512);
+  EXPECT_EQ(fp.ofmap, 7u * 7 * 512);
+  // The paper's Table 3 peak: 2,409,472 B = 2353.0 kB at 8-bit.
+  EXPECT_EQ(fp.total(), 2409472u);
+}
+
+TEST(Footprint, Policy1SlidingWindowAllFilters) {
+  const Layer l = resnet_stage4();
+  const Footprint fp = working_footprint(l, {.policy = Policy::kIfmapReuse});
+  EXPECT_EQ(fp.ifmap, 3u * 9 * 512);   // F_H x padded width x C_I
+  EXPECT_EQ(fp.filter, 3u * 3 * 512 * 512);
+  EXPECT_EQ(fp.ofmap, 7u * 512);       // one row, all output channels
+}
+
+TEST(Footprint, Policy2WholeIfmapOneFilter) {
+  const Layer l = make_conv("c", 56, 56, 64, 3, 3, 64, 1, 1);
+  const Footprint fp = working_footprint(l, {.policy = Policy::kFilterReuse});
+  EXPECT_EQ(fp.ifmap, 56u * 56 * 64);
+  EXPECT_EQ(fp.filter, 3u * 3 * 64);
+  EXPECT_EQ(fp.ofmap, 56u * 56);
+  // The paper's 199.7 kB cell (GoogLeNet conv2 / ResNet18 conv2_x).
+  EXPECT_EQ(fp.total(), 204416u);
+}
+
+TEST(Footprint, Policy3OneChannelOfAllFilters) {
+  const Layer l = make_conv("conv1", 224, 224, 3, 7, 7, 64, 2, 3);
+  const Footprint fp = working_footprint(l, {.policy = Policy::kPerChannel});
+  EXPECT_EQ(fp.ifmap, 7u * 229);       // one-channel window, padded width
+  EXPECT_EQ(fp.filter, 7u * 7 * 64);   // one channel of every filter
+  EXPECT_EQ(fp.ofmap, 112u * 112 * 64);// whole ofmap accumulates on-chip
+  // The paper's 788.6 kB cell.
+  EXPECT_NEAR(static_cast<double>(fp.total()) / 1024.0, 788.6, 0.2);
+}
+
+TEST(Footprint, Policy4BlocksFilters) {
+  const Layer l = resnet_stage4();
+  const Footprint fp = working_footprint(
+      l, {.policy = Policy::kPartialIfmap, .filter_block = 8});
+  EXPECT_EQ(fp.ifmap, 3u * 9 * 512);
+  EXPECT_EQ(fp.filter, 3u * 3 * 512 * 8);
+  EXPECT_EQ(fp.ofmap, 7u * 8);
+}
+
+TEST(Footprint, Policy5BlocksFilterChannels) {
+  const Layer l = resnet_stage4();
+  const Footprint fp = working_footprint(
+      l, {.policy = Policy::kPartialPerChannel, .filter_block = 8});
+  EXPECT_EQ(fp.ifmap, 3u * 9);
+  EXPECT_EQ(fp.filter, 3u * 3 * 8);
+  EXPECT_EQ(fp.ofmap, 7u * 7 * 8);
+}
+
+TEST(Footprint, FootprintGrowsWithFilterBlock) {
+  const Layer l = resnet_stage4();
+  count_t prev = 0;
+  for (int n = 1; n <= 64; n *= 2) {
+    const Footprint fp = working_footprint(
+        l, {.policy = Policy::kPartialIfmap, .filter_block = n});
+    EXPECT_GT(fp.total(), prev);
+    prev = fp.total();
+  }
+}
+
+TEST(Footprint, DepthwisePolicy3IsPerChannel) {
+  const Layer l = make_depthwise("dw", 112, 112, 32, 3, 3, 1, 1);
+  const Footprint fp = working_footprint(l, {.policy = Policy::kPerChannel});
+  EXPECT_EQ(fp.ifmap, 3u * 114);
+  EXPECT_EQ(fp.filter, 9u);            // a single per-channel filter
+  EXPECT_EQ(fp.ofmap, 112u * 112);     // no cross-channel accumulation
+}
+
+TEST(Footprint, DepthwisePolicy4BlocksChannels) {
+  const Layer l = make_depthwise("dw", 112, 112, 32, 3, 3, 1, 1);
+  const Footprint fp = working_footprint(
+      l, {.policy = Policy::kPartialIfmap, .filter_block = 4});
+  EXPECT_EQ(fp.ifmap, 3u * 114 * 4);
+  EXPECT_EQ(fp.filter, 9u * 4);
+  EXPECT_EQ(fp.ofmap, 112u * 4);
+}
+
+TEST(Footprint, FullyConnectedDegenerates) {
+  const Layer l = make_fully_connected("fc", 512, 1000);
+  const Footprint intra = working_footprint(l, {.policy = Policy::kIntraLayer});
+  EXPECT_EQ(intra.total(), 512u + 512 * 1000 + 1000);
+  const Footprint p2 = working_footprint(l, {.policy = Policy::kFilterReuse});
+  EXPECT_EQ(p2.total(), 512u + 512 + 1);
+}
+
+TEST(Footprint, FallbackStripe) {
+  const Layer l = resnet_stage4();
+  const Footprint fp = working_footprint(l, {.policy = Policy::kFallbackTiled,
+                                             .filter_block = 2,
+                                             .row_stripe = 3});
+  // stripe input rows = (3-1)*1 + 3 = 5, one channel wide window.
+  EXPECT_EQ(fp.ifmap, 5u * 9);
+  EXPECT_EQ(fp.filter, 3u * 3 * 2);
+  EXPECT_EQ(fp.ofmap, 3u * 7 * 2);
+}
+
+TEST(Footprint, PrefetchDoublesThroughPolicyFootprint) {
+  const Layer l = resnet_stage4();
+  const PolicyChoice base{.policy = Policy::kFilterReuse};
+  PolicyChoice prefetch = base;
+  prefetch.prefetch = true;
+  EXPECT_EQ(policy_footprint(l, prefetch).total(),
+            2 * policy_footprint(l, base).total());
+}
+
+TEST(Footprint, OutOfRangeFilterBlockThrows) {
+  const Layer l = resnet_stage4();
+  EXPECT_THROW((void)working_footprint(
+                   l, {.policy = Policy::kPartialIfmap, .filter_block = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)working_footprint(
+                   l, {.policy = Policy::kPartialIfmap, .filter_block = 513}),
+               std::invalid_argument);
+}
+
+TEST(Footprint, OutOfRangeStripeThrows) {
+  const Layer l = resnet_stage4();
+  EXPECT_THROW((void)working_footprint(l, {.policy = Policy::kFallbackTiled,
+                                     .filter_block = 1,
+                                     .row_stripe = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)working_footprint(l, {.policy = Policy::kFallbackTiled,
+                                     .filter_block = 1,
+                                     .row_stripe = 8}),
+               std::invalid_argument);
+}
+
+TEST(PolicyLabels, ShortLabels) {
+  EXPECT_EQ(short_label(Policy::kIntraLayer, false), "intra");
+  EXPECT_EQ(short_label(Policy::kIfmapReuse, false), "p1");
+  EXPECT_EQ(short_label(Policy::kFilterReuse, true), "p2+p");
+  EXPECT_EQ(short_label(Policy::kPartialPerChannel, false), "p5");
+  EXPECT_EQ(short_label(Policy::kFallbackTiled, true), "tiled+p");
+}
+
+TEST(PolicyLabels, MinimumTrafficClassification) {
+  const Layer conv = resnet_stage4();
+  const Layer dw = make_depthwise("dw", 14, 14, 64, 3, 3, 1, 1);
+  EXPECT_TRUE(is_minimum_traffic(Policy::kIntraLayer, conv));
+  EXPECT_TRUE(is_minimum_traffic(Policy::kPerChannel, conv));
+  EXPECT_FALSE(is_minimum_traffic(Policy::kPartialIfmap, conv));
+  EXPECT_FALSE(is_minimum_traffic(Policy::kPartialPerChannel, conv));
+  // Depthwise: P4/P5 reach minimum traffic (Section 5.1).
+  EXPECT_TRUE(is_minimum_traffic(Policy::kPartialIfmap, dw));
+  EXPECT_TRUE(is_minimum_traffic(Policy::kPartialPerChannel, dw));
+  EXPECT_FALSE(is_minimum_traffic(Policy::kFallbackTiled, conv));
+}
+
+}  // namespace
+}  // namespace rainbow::core

@@ -1,0 +1,153 @@
+// Tests for the layer-fusion analysis.
+#include <gtest/gtest.h>
+
+#include "core/fusion.hpp"
+#include "core/interlayer.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::core {
+namespace {
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+model::Network conv_chain() {
+  model::Network net("chain");
+  net.add(model::make_conv("a", 28, 28, 8, 3, 3, 16, 1, 1));
+  net.add(model::make_conv("b", 28, 28, 16, 3, 3, 16, 1, 1));
+  net.add(model::make_conv("c", 28, 28, 16, 3, 3, 16, 1, 1));
+  return net;
+}
+
+struct Fixture {
+  arch::AcceleratorSpec spec;
+  MemoryManager manager;
+  ExecutionPlan plan;
+  Estimator estimator;
+
+  Fixture(const model::Network& net, count_t kb)
+      : spec(spec_kb(kb)),
+        manager(spec),
+        plan(manager.plan(net, Objective::kAccesses)),
+        estimator(spec) {}
+};
+
+TEST(Fusion, FindsSequentialConvBoundaries) {
+  const auto net = conv_chain();
+  Fixture s(net, 64);
+  const auto candidates = fusion_candidates(net, s.plan, s.estimator);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].producer, 0u);
+  EXPECT_EQ(candidates[1].producer, 1u);
+  for (const auto& c : candidates) {
+    EXPECT_TRUE(c.feasible);
+    EXPECT_GT(c.saving(), 0u);
+  }
+}
+
+TEST(Fusion, MemoryFormula) {
+  const auto net = conv_chain();
+  Fixture s(net, 64);
+  const auto candidates = fusion_candidates(net, s.plan, s.estimator);
+  const auto& a = net.layer(0);
+  const auto& b = net.layer(1);
+  const count_t expected =
+      3u * a.padded_ifmap_w() * a.channels() + a.filter_elems() +
+      3u * b.padded_ifmap_w() * b.channels() + b.filter_elems() +
+      static_cast<count_t>(b.ofmap_w()) * b.ofmap_channels();
+  EXPECT_EQ(candidates[0].memory_elems, expected);
+}
+
+TEST(Fusion, FusedTrafficElidesTheIntermediate) {
+  const auto net = conv_chain();
+  Fixture s(net, 64);
+  const auto candidates = fusion_candidates(net, s.plan, s.estimator);
+  const auto& a = net.layer(0);
+  const auto& b = net.layer(1);
+  EXPECT_EQ(candidates[0].fused_accesses,
+            a.padded_ifmap_elems() + a.filter_elems() + b.filter_elems() +
+                b.ofmap_elems());
+  // The intermediate write+read is gone relative to the compulsory unfused
+  // minimum.
+  EXPECT_LE(candidates[0].fused_accesses + a.ofmap_elems() +
+                b.padded_ifmap_elems() - b.ifmap_elems(),
+            candidates[0].unfused_accesses + b.padded_ifmap_elems());
+}
+
+TEST(Fusion, DenseLayersAreNotFusible) {
+  model::Network net("with_fc");
+  net.add(model::make_conv("a", 8, 8, 4, 3, 3, 4, 1, 1));
+  net.add(model::make_fully_connected("fc", 256, 10));
+  Fixture s(net, 64);
+  EXPECT_TRUE(fusion_candidates(net, s.plan, s.estimator).empty());
+}
+
+TEST(Fusion, PoolingBoundariesAreNotFusible) {
+  // ResNet18's conv1 -> conv2_1a boundary has a pool between (shapes do
+  // not chain), so it must not appear as a candidate.
+  const auto net = model::zoo::resnet18();
+  Fixture s(net, 64);
+  for (const auto& c : fusion_candidates(net, s.plan, s.estimator)) {
+    EXPECT_NE(c.producer, 0u);
+  }
+}
+
+TEST(Fusion, SelectionIsNonOverlappingAndProfitable) {
+  const auto net = model::zoo::mobilenetv2();
+  Fixture s(net, 256);
+  const auto candidates = fusion_candidates(net, s.plan, s.estimator);
+  const auto chosen = select_fusions(candidates);
+  std::set<std::size_t> used;
+  for (const auto& c : chosen) {
+    EXPECT_TRUE(c.feasible);
+    EXPECT_GT(c.saving(), 0u);
+    EXPECT_FALSE(used.count(c.producer));
+    EXPECT_FALSE(used.count(c.producer + 1));
+    used.insert(c.producer);
+    used.insert(c.producer + 1);
+  }
+  EXPECT_FALSE(chosen.empty());
+}
+
+TEST(Fusion, FusedTotalSubtractsSavings) {
+  const auto net = conv_chain();
+  Fixture s(net, 64);
+  const auto chosen =
+      select_fusions(fusion_candidates(net, s.plan, s.estimator));
+  count_t saving = 0;
+  for (const auto& c : chosen) {
+    saving += c.saving();
+  }
+  EXPECT_EQ(fused_total_accesses(s.plan, chosen),
+            s.plan.total_accesses() - saving);
+}
+
+TEST(Fusion, WorksWhereInterlayerReuseCannot) {
+  // MobileNet's first boundary: the 112x112x32 intermediate (392 kB) can
+  // never sit whole in a 64 kB GLB, so Section 5.4 cannot link it — but a
+  // 3-row rolling window can, so fusion elides it anyway.
+  const auto net = model::zoo::mobilenet();
+  Fixture s(net, 64);
+  const Analyzer analyzer(s.spec);
+  const auto linked = apply_interlayer_reuse(s.plan, net, analyzer);
+  EXPECT_FALSE(linked.assignment(0).ofmap_stays_in_glb);
+
+  const auto candidates = fusion_candidates(net, s.plan, s.estimator);
+  const auto first = std::find_if(
+      candidates.begin(), candidates.end(),
+      [](const FusionCandidate& c) { return c.producer == 0; });
+  ASSERT_NE(first, candidates.end());
+  EXPECT_TRUE(first->feasible);
+  EXPECT_GT(first->saving(), 2 * net.layer(0).ofmap_elems() / 2);
+}
+
+TEST(Fusion, MismatchThrows) {
+  const auto net = conv_chain();
+  const ExecutionPlan empty("x", "y", spec_kb(64), Objective::kAccesses);
+  const Estimator est(spec_kb(64));
+  EXPECT_THROW((void)fusion_candidates(net, empty, est),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rainbow::core

@@ -1,0 +1,112 @@
+// Unit tests for the GLB region allocator.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "engine/glb.hpp"
+
+namespace rainbow::engine {
+namespace {
+
+TEST(Glb, ZeroCapacityThrows) { EXPECT_THROW(Glb(0), std::invalid_argument); }
+
+TEST(Glb, AllocatesSequentially) {
+  Glb glb(100);
+  const auto a = glb.allocate(40, "a");
+  const auto b = glb.allocate(60, "b");
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(b.offset, 40u);
+  EXPECT_EQ(glb.used(), 100u);
+  EXPECT_EQ(glb.free_elems(), 0u);
+}
+
+TEST(Glb, OverflowThrows) {
+  Glb glb(100);
+  (void)glb.allocate(80, "a");
+  EXPECT_THROW(glb.allocate(30, "b"), std::runtime_error);
+}
+
+TEST(Glb, ZeroSizeAllocationThrows) {
+  Glb glb(100);
+  EXPECT_THROW(glb.allocate(0, "z"), std::invalid_argument);
+}
+
+TEST(Glb, ReleaseMakesSpaceAvailable) {
+  Glb glb(100);
+  const auto a = glb.allocate(80, "a");
+  glb.release(a);
+  EXPECT_EQ(glb.used(), 0u);
+  const auto b = glb.allocate(100, "b");
+  EXPECT_EQ(b.offset, 0u);
+}
+
+TEST(Glb, CoalescesAdjacentFreeRanges) {
+  Glb glb(100);
+  const auto a = glb.allocate(30, "a");
+  const auto b = glb.allocate(30, "b");
+  const auto c = glb.allocate(40, "c");
+  // Free middle then first: the two ranges must merge so a 60-element
+  // region fits at the front.
+  glb.release(b);
+  glb.release(a);
+  const auto d = glb.allocate(60, "d");
+  EXPECT_EQ(d.offset, 0u);
+  glb.release(c);
+  glb.release(d);
+  EXPECT_EQ(glb.free_elems(), 100u);
+}
+
+TEST(Glb, CoalescesWithFollowingRange) {
+  Glb glb(100);
+  const auto a = glb.allocate(30, "a");
+  const auto b = glb.allocate(30, "b");
+  glb.release(a);
+  glb.release(b);  // merges backwards into a's range
+  const auto c = glb.allocate(60, "c");
+  EXPECT_EQ(c.offset, 0u);
+}
+
+TEST(Glb, PeakTracksHighWaterMark) {
+  Glb glb(100);
+  const auto a = glb.allocate(70, "a");
+  glb.release(a);
+  (void)glb.allocate(20, "b");
+  EXPECT_EQ(glb.used(), 20u);
+  EXPECT_EQ(glb.peak_used(), 70u);
+}
+
+TEST(Glb, DoubleFreeThrows) {
+  Glb glb(100);
+  const auto a = glb.allocate(10, "a");
+  glb.release(a);
+  EXPECT_THROW(glb.release(a), std::invalid_argument);
+}
+
+TEST(Glb, UnknownRegionThrows) {
+  Glb glb(100);
+  Glb::Region bogus{5, 10};
+  EXPECT_THROW(glb.release(bogus), std::invalid_argument);
+}
+
+TEST(Glb, ResetRestoresFullCapacity) {
+  Glb glb(100);
+  (void)glb.allocate(60, "a");
+  glb.reset();
+  EXPECT_EQ(glb.used(), 0u);
+  const auto b = glb.allocate(100, "b");
+  EXPECT_EQ(b.offset, 0u);
+}
+
+TEST(Glb, FragmentationIsVisible) {
+  Glb glb(100);
+  const auto a = glb.allocate(40, "a");
+  const auto b = glb.allocate(20, "b");
+  (void)glb.allocate(40, "c");
+  glb.release(a);
+  glb.release(b);  // coalesces into one 60-element hole at the front
+  const auto d = glb.allocate(60, "d");
+  EXPECT_EQ(d.offset, 0u);
+}
+
+}  // namespace
+}  // namespace rainbow::engine

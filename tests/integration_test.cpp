@@ -1,0 +1,227 @@
+// End-to-end integration tests: the paper's evaluation-level claims, run
+// on the real model zoo against the real baseline.  These pin the *shape*
+// of every headline result (who wins, roughly by how much, and where the
+// trends point), not the paper's absolute numbers.
+#include <gtest/gtest.h>
+
+#include "core/interlayer.hpp"
+#include "core/manager.hpp"
+#include "engine/engine.hpp"
+#include "model/zoo/zoo.hpp"
+#include "scalesim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace rainbow {
+namespace {
+
+using core::Analyzer;
+using core::ExecutionPlan;
+using core::MemoryManager;
+using core::Objective;
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+count_t best_baseline_accesses(const model::Network& net,
+                               const arch::AcceleratorSpec& spec) {
+  count_t best = ~0ull;
+  for (const auto& part : scalesim::paper_partitions()) {
+    const scalesim::Simulator sim(spec, part);
+    best = std::min(best, sim.run(net).total_accesses);
+  }
+  return best;
+}
+
+// Figure 5's headline: at 64 kB, Het cuts off-chip accesses versus the
+// best fixed-partition baseline for every model.  The paper reports
+// 43-80%; our baseline handles depthwise layers per-channel (SCALE-Sim's
+// topology format cannot express them), which makes it stronger on the
+// DW-heavy models, so the floor here is lower — the direction and the
+// suite-level magnitude are what we pin.
+TEST(PaperClaims, HetBeatsEveryBaselineAt64kB) {
+  const auto spec = spec_kb(64);
+  const MemoryManager manager(spec);
+  std::vector<double> reductions;
+  for (const auto& net : model::zoo::all_models()) {
+    const ExecutionPlan het = manager.plan(net, Objective::kAccesses);
+    const count_t baseline = best_baseline_accesses(net, spec);
+    const double reduction = util::benefit_percent(
+        static_cast<double>(baseline), static_cast<double>(het.total_accesses()));
+    EXPECT_GE(reduction, 10.0) << net.name() << ": " << reduction << "%";
+    reductions.push_back(reduction);
+  }
+  EXPECT_GE(util::mean(reductions), 30.0);
+}
+
+// The paper's strongest case: ~80% reduction for ResNet18 at 64 kB.
+TEST(PaperClaims, ResNet18ReductionIsLarge) {
+  const auto spec = spec_kb(64);
+  const MemoryManager manager(spec);
+  const auto net = model::zoo::resnet18();
+  const ExecutionPlan het = manager.plan(net, Objective::kAccesses);
+  const count_t baseline = best_baseline_accesses(net, spec);
+  const double reduction = util::benefit_percent(
+      static_cast<double>(baseline), static_cast<double>(het.total_accesses()));
+  EXPECT_GE(reduction, 55.0) << reduction << "%";
+}
+
+// Figure 5: Het's accesses are nearly independent of the buffer size — the
+// flexible scheme captures minimum reuse from the smallest buffer.
+TEST(PaperClaims, HetAccessesNearlyConstantAcrossBufferSizes) {
+  const MemoryManager small(spec_kb(64));
+  const MemoryManager large(spec_kb(1024));
+  for (const auto& net : model::zoo::all_models()) {
+    const count_t at64 =
+        small.plan(net, Objective::kAccesses).total_accesses();
+    const count_t at1m =
+        large.plan(net, Objective::kAccesses).total_accesses();
+    EXPECT_LE(static_cast<double>(at64),
+              1.30 * static_cast<double>(at1m))
+        << net.name();
+  }
+}
+
+// Figure 5's baseline trend: the best fixed partition differs per model —
+// filter-heavy models want sa_25_75, ifmap-heavy models want sa_75_25.
+TEST(PaperClaims, BaselinePartitionPreferenceMatchesModelShape) {
+  const auto spec = spec_kb(64);
+  auto accesses = [&](const model::Network& net, double frac) {
+    const scalesim::Simulator sim(
+        spec, scalesim::BufferPartition{.ifmap_fraction = frac});
+    return sim.run(net).total_accesses;
+  };
+  // Filter-dominated nets (paper: GoogLeNet, MobileNet, ResNet18).
+  for (const char* name : {"GoogLeNet", "ResNet18", "MobileNet"}) {
+    const auto net = model::zoo::by_name(name);
+    EXPECT_LE(accesses(net, 0.25), accesses(net, 0.75)) << name;
+  }
+  // Ifmap-dominated nets (paper: EfficientNetB0, MnasNet, MobileNetV2).
+  for (const char* name : {"EfficientNetB0", "MnasNet", "MobileNetV2"}) {
+    const auto net = model::zoo::by_name(name);
+    EXPECT_LE(accesses(net, 0.75), accesses(net, 0.25)) << name;
+  }
+}
+
+// Figure 8: plans optimized for latency are no slower than plans optimized
+// for accesses, and the latency objective pays with extra accesses at the
+// smallest buffer (Figure 9's tradeoff).
+TEST(PaperClaims, LatencyObjectiveTradesAccessesForSpeed) {
+  const MemoryManager manager(spec_kb(64));
+  bool some_model_trades = false;
+  for (const auto& net : model::zoo::all_models()) {
+    const ExecutionPlan het_a = manager.plan(net, Objective::kAccesses);
+    const ExecutionPlan het_l = manager.plan(net, Objective::kLatency);
+    EXPECT_LE(het_l.total_latency_cycles(), het_a.total_latency_cycles())
+        << net.name();
+    EXPECT_GE(het_l.total_accesses(), het_a.total_accesses()) << net.name();
+    if (het_l.total_accesses() > het_a.total_accesses()) {
+      some_model_trades = true;
+    }
+  }
+  EXPECT_TRUE(some_model_trades);
+}
+
+// Figure 10: allowing prefetch reduces latency; coverage is high.
+TEST(PaperClaims, PrefetchingImprovesLatencyWithHighCoverage) {
+  const auto net = model::zoo::mobilenet();
+  for (const auto glb : arch::paper_glb_sizes()) {
+    core::AnalyzerOptions no_prefetch;
+    no_prefetch.allow_prefetch = false;
+    const Analyzer with(arch::paper_spec(glb));
+    const Analyzer without(arch::paper_spec(glb), no_prefetch);
+    const ExecutionPlan p_with = with.heterogeneous(net, Objective::kLatency);
+    const ExecutionPlan p_without =
+        without.heterogeneous(net, Objective::kLatency);
+    EXPECT_LE(p_with.total_latency_cycles(), p_without.total_latency_cycles())
+        << glb;
+    EXPECT_GE(p_with.prefetch_coverage(), 0.5) << glb;
+    EXPECT_DOUBLE_EQ(p_without.prefetch_coverage(), 0.0);
+  }
+}
+
+// Figure 11: inter-layer reuse shows no benefit at 64 kB and a substantial
+// access reduction with high coverage at 1 MB.
+TEST(PaperClaims, InterlayerReuseNeedsLargeBuffers) {
+  const auto net = model::zoo::mnasnet();
+  const std::size_t boundaries = core::sequential_boundaries(net);
+
+  const Analyzer small(spec_kb(64));
+  const ExecutionPlan base_small =
+      small.heterogeneous(net, Objective::kAccesses);
+  const ExecutionPlan linked_small =
+      core::apply_interlayer_reuse(base_small, net, small);
+  // The paper reports 0% at 64 kB; our condition admits the late 7x7
+  // stages whose ofmaps are a few kB, so a modest fraction links.
+  EXPECT_LE(linked_small.interlayer_coverage(boundaries), 0.45);
+
+  const Analyzer large(spec_kb(1024));
+  const ExecutionPlan base_large =
+      large.heterogeneous(net, Objective::kAccesses);
+  const ExecutionPlan linked_large =
+      core::apply_interlayer_reuse(base_large, net, large);
+  EXPECT_GE(linked_large.interlayer_coverage(boundaries), 0.85);
+  const double reduction = util::benefit_percent(
+      static_cast<double>(base_large.total_accesses()),
+      static_cast<double>(linked_large.total_accesses()));
+  EXPECT_GE(reduction, 40.0) << reduction << "%";
+}
+
+// Figure 7: at wide data types and small buffers, Het beats Hom; the gap
+// fades as the buffer grows (to ~zero at 1 MB) and shrinks with narrower
+// data.  The paper reports up to 69% at 32-bit/64 kB; our Hom keeps the
+// paper's own memory-dependent per-layer filter blocks, which makes the
+// homogeneous scheme stronger and the gap smaller — the monotone shape is
+// what we pin (see EXPERIMENTS.md).
+TEST(PaperClaims, HetBeatsHomAtWideDataWidths) {
+  const auto net = model::zoo::mobilenetv2();
+  auto gap_at = [&](int width_bits, count_t glb_kb) {
+    arch::AcceleratorSpec spec = spec_kb(glb_kb);
+    spec.data_width_bits = width_bits;
+    const MemoryManager manager(spec);
+    const count_t het = manager.plan(net, Objective::kAccesses).total_accesses();
+    const count_t hom =
+        manager.plan_homogeneous(net, Objective::kAccesses).total_accesses();
+    EXPECT_LE(het, hom) << width_bits << "-bit @ " << glb_kb << " kB";
+    return 1.0 - static_cast<double>(het) / static_cast<double>(hom);
+  };
+  const double g32_small = gap_at(32, 64);
+  const double g32_big = gap_at(32, 1024);
+  const double g8_small = gap_at(8, 64);
+  EXPECT_GE(g32_small, 0.02);      // a real gap under pressure
+  EXPECT_LT(g32_big, g32_small);   // fades with buffer size
+  EXPECT_LT(g8_small, g32_small);  // grows with data width
+}
+
+// Our estimates are conservative about padding (Section 5.1): at 1 MB the
+// baseline can come out slightly ahead because it ignores padded pixels.
+TEST(PaperClaims, PaddingExplainsLargeBufferParity) {
+  const auto spec = spec_kb(1024);
+  const auto net = model::zoo::mobilenetv2();
+  core::AnalyzerOptions unpadded;
+  unpadded.estimator.padded_traffic = false;
+  const Analyzer fair(spec, unpadded);
+  const count_t het_unpadded =
+      fair.heterogeneous(net, Objective::kAccesses).total_accesses();
+  const count_t baseline = best_baseline_accesses(net, spec);
+  // With padding excluded on both sides, Het is never behind the baseline.
+  EXPECT_LE(het_unpadded, baseline);
+}
+
+// Cross-validation: engine-measured totals equal plan estimates for a
+// whole sweep (model x buffer size), i.e. the numbers every bench prints
+// are backed by executable schedules.
+TEST(Integration, PlansExecuteToTheirEstimates) {
+  for (const auto glb : {util::kib(64), util::kib(256)}) {
+    const auto spec = arch::paper_spec(glb);
+    const MemoryManager manager(spec);
+    const engine::Engine eng(spec);
+    for (const auto& net : model::zoo::all_models()) {
+      const ExecutionPlan plan = manager.plan(net, Objective::kAccesses);
+      const auto exec = eng.execute_plan(plan, net);
+      EXPECT_EQ(exec.total_accesses, plan.total_accesses())
+          << net.name() << " @ " << glb;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rainbow

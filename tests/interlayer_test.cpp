@@ -1,0 +1,123 @@
+// Unit tests for the inter-layer reuse pass (Section 5.4).
+#include <gtest/gtest.h>
+
+#include "core/interlayer.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::core {
+namespace {
+
+using model::Network;
+using model::make_conv;
+using model::make_projection;
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+Network small_chain() {
+  Network net("chain");
+  net.add(make_conv("a", 14, 14, 16, 3, 3, 16, 1, 1));
+  net.add(make_conv("b", 14, 14, 16, 3, 3, 16, 1, 1));
+  net.add(make_conv("c", 14, 14, 16, 3, 3, 16, 1, 1));
+  return net;
+}
+
+TEST(Interlayer, LinksSmallChainsCompletely) {
+  // All three ofmaps are ~3 kB: at 64 kB everything links.
+  const Analyzer analyzer(spec_kb(64));
+  const Network net = small_chain();
+  const ExecutionPlan base = analyzer.heterogeneous(net, Objective::kAccesses);
+  const ExecutionPlan linked = apply_interlayer_reuse(base, net, analyzer);
+  EXPECT_EQ(linked.interlayer_links(), 2u);
+  EXPECT_DOUBLE_EQ(linked.interlayer_coverage(sequential_boundaries(net)), 1.0);
+}
+
+TEST(Interlayer, ReducesAccessesByTheLinkedVolumes) {
+  const Analyzer analyzer(spec_kb(64));
+  const Network net = small_chain();
+  const ExecutionPlan base = analyzer.heterogeneous(net, Objective::kAccesses);
+  const ExecutionPlan linked = apply_interlayer_reuse(base, net, analyzer);
+  EXPECT_LT(linked.total_accesses(), base.total_accesses());
+  // Middle layer reads and writes on-chip only: its traffic is filters-only.
+  const Estimate& mid = linked.assignment(1).estimate;
+  EXPECT_EQ(mid.traffic.ifmap_reads, 0u);
+  EXPECT_EQ(mid.traffic.ofmap_writes, 0u);
+  EXPECT_EQ(mid.accesses(), net.layer(1).filter_elems());
+}
+
+TEST(Interlayer, NeverRegressesTheObjective) {
+  for (count_t kb : {64u, 128u, 512u}) {
+    const Analyzer analyzer(spec_kb(kb));
+    const Network net = model::zoo::mobilenet();
+    const ExecutionPlan base = analyzer.heterogeneous(net, Objective::kAccesses);
+    const ExecutionPlan linked = apply_interlayer_reuse(base, net, analyzer);
+    EXPECT_LE(linked.total_accesses(), base.total_accesses()) << kb;
+  }
+}
+
+TEST(Interlayer, RequiresResidentOfmapToFit) {
+  // conv1 of MobileNet produces a 112x112x32 = 392 kB ofmap; a 64 kB GLB
+  // cannot link that boundary.
+  const Analyzer analyzer(spec_kb(64));
+  const Network net = model::zoo::mobilenet();
+  const ExecutionPlan base = analyzer.heterogeneous(net, Objective::kAccesses);
+  const ExecutionPlan linked = apply_interlayer_reuse(base, net, analyzer);
+  EXPECT_FALSE(linked.assignment(0).ofmap_stays_in_glb);
+  EXPECT_FALSE(linked.assignment(1).ifmap_from_glb);
+}
+
+TEST(Interlayer, CoverageGrowsWithGlb) {
+  const Network net = model::zoo::mnasnet();
+  const std::size_t boundaries = sequential_boundaries(net);
+  double prev = -1.0;
+  for (count_t kb : {64u, 128u, 256u, 512u, 1024u}) {
+    const Analyzer analyzer(spec_kb(kb));
+    const ExecutionPlan base = analyzer.heterogeneous(net, Objective::kAccesses);
+    const ExecutionPlan linked = apply_interlayer_reuse(base, net, analyzer);
+    const double coverage = linked.interlayer_coverage(boundaries);
+    EXPECT_GE(coverage, prev) << kb << " kB";
+    prev = coverage;
+  }
+  // At 1 MB nearly all boundaries link (the paper reports 98%).
+  EXPECT_GE(prev, 0.85);
+}
+
+TEST(Interlayer, SkipsBranchBoundaries) {
+  Network net("branchy");
+  net.add(make_conv("a", 14, 14, 16, 3, 3, 16, 1, 1));
+  net.add(make_conv("b", 14, 14, 16, 3, 3, 16, 1, 1));
+  net.add_branch(make_projection("p", 14, 14, 16, 16, 1), 0);
+  const Analyzer analyzer(spec_kb(64));
+  const ExecutionPlan base = analyzer.heterogeneous(net, Objective::kAccesses);
+  const ExecutionPlan linked = apply_interlayer_reuse(base, net, analyzer);
+  // b -> p is a branch boundary (p reads a's output): must not link.
+  EXPECT_FALSE(linked.assignment(1).ofmap_stays_in_glb);
+  EXPECT_FALSE(linked.assignment(2).ifmap_from_glb);
+  // a -> b can link.
+  EXPECT_TRUE(linked.assignment(0).ofmap_stays_in_glb);
+}
+
+TEST(Interlayer, PlanNetworkMismatchThrows) {
+  const Analyzer analyzer(spec_kb(64));
+  const Network net = small_chain();
+  ExecutionPlan wrong("x", "y", spec_kb(64), Objective::kAccesses);
+  EXPECT_THROW(apply_interlayer_reuse(wrong, net, analyzer),
+               std::invalid_argument);
+}
+
+TEST(Interlayer, ChainResidencyIsConsistent) {
+  // When both boundaries of a middle layer link, its footprint must hold
+  // both resident maps simultaneously and still fit.
+  const Analyzer analyzer(spec_kb(64));
+  const Network net = small_chain();
+  const ExecutionPlan linked = apply_interlayer_reuse(
+      analyzer.heterogeneous(net, Objective::kAccesses), net, analyzer);
+  const LayerAssignment& mid = linked.assignment(1);
+  ASSERT_TRUE(mid.ifmap_from_glb);
+  ASSERT_TRUE(mid.ofmap_stays_in_glb);
+  EXPECT_GE(mid.estimate.footprint.ifmap, net.layer(1).ifmap_elems());
+  EXPECT_GE(mid.estimate.footprint.ofmap, net.layer(1).ofmap_elems());
+  EXPECT_LE(mid.estimate.memory_elems(), util::kib(64));
+}
+
+}  // namespace
+}  // namespace rainbow::core

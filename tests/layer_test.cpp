@@ -1,0 +1,182 @@
+// Unit tests for the Layer hyperparameter model (Table 1): derived output
+// dimensions, effective padded extents, per-data-type sizes, MAC counts,
+// and validation, across all five layer kinds.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "model/layer.hpp"
+
+namespace rainbow::model {
+namespace {
+
+// ResNet18 conv1: 224x224x3, 7x7, 64 filters, stride 2, pad 3 -> 112x112x64.
+Layer resnet_conv1() { return make_conv("conv1", 224, 224, 3, 7, 7, 64, 2, 3); }
+
+TEST(LayerKind, RoundTripsThroughStrings) {
+  for (LayerKind kind : {LayerKind::kConv, LayerKind::kDepthwise,
+                         LayerKind::kPointwise, LayerKind::kFullyConnected,
+                         LayerKind::kProjection}) {
+    EXPECT_EQ(layer_kind_from_string(to_string(kind)), kind);
+  }
+}
+
+TEST(LayerKind, UnknownCodeThrows) {
+  EXPECT_THROW((void)layer_kind_from_string("XX"), std::invalid_argument);
+}
+
+TEST(Layer, ConvOutputDims) {
+  const Layer l = resnet_conv1();
+  EXPECT_EQ(l.ofmap_h(), 112);
+  EXPECT_EQ(l.ofmap_w(), 112);
+  EXPECT_EQ(l.ofmap_channels(), 64);
+}
+
+TEST(Layer, Conv3x3SamePadding) {
+  const Layer l = make_conv("c", 56, 56, 64, 3, 3, 64, 1, 1);
+  EXPECT_EQ(l.ofmap_h(), 56);
+  EXPECT_EQ(l.ofmap_w(), 56);
+}
+
+TEST(Layer, StridedConvHalvesResolution) {
+  const Layer l = make_conv("c", 56, 56, 64, 3, 3, 128, 2, 1);
+  EXPECT_EQ(l.ofmap_h(), 28);
+  EXPECT_EQ(l.ofmap_w(), 28);
+}
+
+TEST(Layer, PaddedExtentIsConsumedSpan) {
+  // conv1: O=112, S=2, F=7 -> consumed span (112-1)*2 + 7 = 229.
+  const Layer l = resnet_conv1();
+  EXPECT_EQ(l.padded_ifmap_h(), 229);
+  EXPECT_EQ(l.padded_ifmap_w(), 229);
+}
+
+TEST(Layer, PaddedExtentForSameConv) {
+  // 3x3 s1 "same": consumed span (56-1)*1 + 3 = 58 = 56 + 2*1.
+  const Layer l = make_conv("c", 56, 56, 64, 3, 3, 64, 1, 1);
+  EXPECT_EQ(l.padded_ifmap_h(), 58);
+}
+
+TEST(Layer, PaddedExtentCanFallShortOfInput) {
+  // I=5, F=2, S=2, P=0: O=2, consumed span (2-1)*2+2 = 4 < 5; the last row
+  // is never touched and the schedules never stream it.
+  const Layer l = make_conv("c", 5, 5, 1, 2, 2, 1, 2, 0);
+  EXPECT_EQ(l.ofmap_h(), 2);
+  EXPECT_EQ(l.padded_ifmap_h(), 4);
+}
+
+TEST(Layer, ElementCounts) {
+  const Layer l = resnet_conv1();
+  EXPECT_EQ(l.ifmap_elems(), 224u * 224 * 3);
+  EXPECT_EQ(l.padded_ifmap_elems(), 229u * 229 * 3);
+  EXPECT_EQ(l.filter_elems(), 7u * 7 * 3 * 64);
+  EXPECT_EQ(l.single_filter_elems(), 7u * 7 * 3);
+  EXPECT_EQ(l.ofmap_elems(), 112u * 112 * 64);
+}
+
+TEST(Layer, MacCount) {
+  const Layer l = resnet_conv1();
+  // MACs = ofmap volume x filter volume per output.
+  EXPECT_EQ(l.macs(), 112u * 112 * 64 * 7 * 7 * 3);
+}
+
+TEST(Layer, DepthwiseSemantics) {
+  const Layer l = make_depthwise("dw", 112, 112, 32, 3, 3, 1, 1);
+  EXPECT_TRUE(l.is_depthwise());
+  EXPECT_EQ(l.ofmap_channels(), 32);          // C_O = C_I
+  EXPECT_EQ(l.filter_elems(), 3u * 3 * 32);   // one 2D filter per channel
+  EXPECT_EQ(l.single_filter_elems(), 9u);
+  EXPECT_EQ(l.macs(), 112u * 112 * 32 * 9);   // no cross-channel reduction
+}
+
+TEST(Layer, DepthwiseRequiresFiltersEqualChannels) {
+  Layer::Params p;
+  p.kind = LayerKind::kDepthwise;
+  p.name = "bad";
+  p.ifmap_h = p.ifmap_w = 8;
+  p.channels = 4;
+  p.filter_h = p.filter_w = 3;
+  p.filters = 8;  // != channels
+  p.padding = 1;
+  EXPECT_THROW(Layer{p}, std::invalid_argument);
+}
+
+TEST(Layer, PointwiseIsOneByOne) {
+  const Layer l = make_pointwise("pw", 56, 56, 64, 128);
+  EXPECT_EQ(l.filter_h(), 1);
+  EXPECT_EQ(l.filter_w(), 1);
+  EXPECT_EQ(l.ofmap_h(), 56);
+  EXPECT_EQ(l.ofmap_channels(), 128);
+  EXPECT_EQ(l.filter_elems(), 64u * 128);
+}
+
+TEST(Layer, FullyConnectedAsOneByOneConv) {
+  const Layer l = make_fully_connected("fc", 512, 1000);
+  EXPECT_EQ(l.ifmap_elems(), 512u);
+  EXPECT_EQ(l.filter_elems(), 512u * 1000);
+  EXPECT_EQ(l.ofmap_elems(), 1000u);
+  EXPECT_EQ(l.macs(), 512u * 1000);
+}
+
+TEST(Layer, ProjectionDownsamples) {
+  const Layer l = make_projection("proj", 56, 56, 64, 128, 2);
+  EXPECT_EQ(l.ofmap_h(), 28);
+  EXPECT_EQ(l.ofmap_channels(), 128);
+  // Stride-2 1x1: only every other input pixel is consumed.
+  EXPECT_EQ(l.padded_ifmap_h(), (28 - 1) * 2 + 1);
+}
+
+TEST(Layer, NonPositiveDimensionThrows) {
+  Layer::Params p;
+  p.name = "bad";
+  p.ifmap_h = 0;
+  p.ifmap_w = 8;
+  p.channels = p.filter_h = p.filter_w = p.filters = 1;
+  EXPECT_THROW(Layer{p}, std::invalid_argument);
+}
+
+TEST(Layer, NegativePaddingThrows) {
+  Layer::Params p;
+  p.name = "bad";
+  p.ifmap_h = p.ifmap_w = 8;
+  p.channels = p.filter_h = p.filter_w = p.filters = 1;
+  p.padding = -1;
+  EXPECT_THROW(Layer{p}, std::invalid_argument);
+}
+
+TEST(Layer, FilterLargerThanPaddedInputThrows) {
+  Layer::Params p;
+  p.name = "bad";
+  p.ifmap_h = p.ifmap_w = 4;
+  p.channels = 1;
+  p.filter_h = p.filter_w = 7;
+  p.filters = 1;
+  EXPECT_THROW(Layer{p}, std::invalid_argument);
+}
+
+TEST(Layer, PointwiseWithLargeFilterThrows) {
+  Layer::Params p;
+  p.kind = LayerKind::kPointwise;
+  p.name = "bad";
+  p.ifmap_h = p.ifmap_w = 8;
+  p.channels = 4;
+  p.filter_h = 3;  // PW must be 1x1
+  p.filter_w = 3;
+  p.filters = 8;
+  EXPECT_THROW(Layer{p}, std::invalid_argument);
+}
+
+TEST(Layer, EqualityAndStreaming) {
+  const Layer a = resnet_conv1();
+  const Layer b = resnet_conv1();
+  EXPECT_EQ(a, b);
+  std::ostringstream os;
+  os << a;
+  EXPECT_NE(os.str().find("conv1"), std::string::npos);
+  EXPECT_NE(os.str().find("CV"), std::string::npos);
+  EXPECT_NE(os.str().find("112x112x64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rainbow::model

@@ -1,0 +1,87 @@
+// Unit tests for the MemoryManager facade (the paper's Figure 4 flow).
+#include <gtest/gtest.h>
+
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::core {
+namespace {
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+TEST(Manager, PlanMatchesAnalyzerHet) {
+  const MemoryManager manager(spec_kb(64));
+  const auto net = model::zoo::mobilenet();
+  const ExecutionPlan plan = manager.plan(net, Objective::kAccesses);
+  const ExecutionPlan direct =
+      manager.analyzer().heterogeneous(net, Objective::kAccesses);
+  EXPECT_EQ(plan.total_accesses(), direct.total_accesses());
+  EXPECT_EQ(plan.scheme(), "Het");
+}
+
+TEST(Manager, InterlayerOptionChangesScheme) {
+  ManagerOptions options;
+  options.interlayer_reuse = true;
+  const MemoryManager manager(spec_kb(1024), options);
+  const auto net = model::zoo::mnasnet();
+  const ExecutionPlan plan = manager.plan(net, Objective::kAccesses);
+  EXPECT_EQ(plan.scheme(), "Het+inter");
+  EXPECT_GT(plan.interlayer_links(), 0u);
+
+  const MemoryManager plain(spec_kb(1024));
+  EXPECT_LT(plan.total_accesses(),
+            plain.plan(net, Objective::kAccesses).total_accesses());
+}
+
+TEST(Manager, HomogeneousPlansAreHomogeneous) {
+  const MemoryManager manager(spec_kb(256));
+  const auto net = model::zoo::resnet18();
+  const ExecutionPlan plan =
+      manager.plan_with_policy(net, Policy::kFilterReuse, false,
+                               Objective::kAccesses);
+  for (const LayerAssignment& a : plan.assignments()) {
+    // Either the requested policy or the fallback where it did not fit.
+    EXPECT_TRUE(a.estimate.choice.policy == Policy::kFilterReuse ||
+                a.estimate.choice.policy == Policy::kFallbackTiled);
+  }
+}
+
+TEST(Manager, BestHomogeneousNeverBeatsHet) {
+  const MemoryManager manager(spec_kb(64));
+  const auto net = model::zoo::googlenet();
+  const ExecutionPlan het = manager.plan(net, Objective::kAccesses);
+  const ExecutionPlan hom = manager.plan_homogeneous(net, Objective::kAccesses);
+  EXPECT_LE(het.total_accesses(), hom.total_accesses());
+}
+
+TEST(Manager, DescribeListsEveryLayerAndPolicy) {
+  const MemoryManager manager(spec_kb(64));
+  const auto net = model::zoo::resnet18();
+  const ExecutionPlan plan = manager.plan(net, Objective::kAccesses);
+  const std::string report = manager.describe(plan, net);
+  for (const auto& layer : net.layers()) {
+    EXPECT_NE(report.find(layer.name()), std::string::npos) << layer.name();
+  }
+  EXPECT_NE(report.find("Het"), std::string::npos);
+  EXPECT_NE(report.find("MB off-chip"), std::string::npos);
+  EXPECT_NE(report.find("prefetch coverage"), std::string::npos);
+}
+
+TEST(Manager, AllModelsPlanAtAllPaperSizes) {
+  // Every zoo model must produce a feasible plan at every evaluated GLB
+  // size under both objectives — the paper's entire sweep is executable.
+  for (const auto glb : arch::paper_glb_sizes()) {
+    const MemoryManager manager(arch::paper_spec(glb));
+    for (const auto& net : model::zoo::all_models()) {
+      for (Objective obj : {Objective::kAccesses, Objective::kLatency}) {
+        const ExecutionPlan plan = manager.plan(net, obj);
+        EXPECT_TRUE(plan.feasible()) << net.name() << " @ " << glb;
+        EXPECT_EQ(plan.size(), net.size());
+        EXPECT_GT(plan.total_accesses(), 0u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::core

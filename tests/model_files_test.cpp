@@ -1,0 +1,44 @@
+// The shipped models/*.model files must stay in sync with the built-in
+// zoo: users who start from the text files get exactly the evaluated
+// networks.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "model/parser.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::model {
+namespace {
+
+std::filesystem::path models_dir() {
+  // Tests run from the build tree; the data lives in the source tree.
+  return std::filesystem::path(RAINBOW_SOURCE_DIR) / "models";
+}
+
+class ModelFileTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModelFileTest, FileMatchesBuiltin) {
+  const std::string name = GetParam();
+  const auto path = models_dir() / (name + std::string(".model"));
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  const Network from_file = load_network(path);
+  const Network builtin = zoo::by_name(name);
+  ASSERT_EQ(from_file.size(), builtin.size()) << name;
+  EXPECT_EQ(from_file.name(), builtin.name());
+  for (std::size_t i = 0; i < builtin.size(); ++i) {
+    EXPECT_EQ(from_file.layer(i), builtin.layer(i)) << name << " layer " << i;
+    EXPECT_EQ(from_file.producer_of(i), builtin.producer_of(i))
+        << name << " layer " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shipped, ModelFileTest,
+                         ::testing::Values("efficientnetb0", "googlenet",
+                                           "mnasnet", "mobilenet",
+                                           "mobilenetv2", "resnet18", "vgg16",
+                                           "alexnet"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace rainbow::model

@@ -1,0 +1,126 @@
+// Tests for the multi-tenant co-scheduler: interleaving, the combined
+// capacity constraint, latency accounting, and superiority over a static
+// per-tenant split.
+#include <gtest/gtest.h>
+
+#include "core/manager.hpp"
+#include "core/multitenant.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::core {
+namespace {
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+model::Network tiny(const char* name, int layers, int channels) {
+  model::Network net(name);
+  for (int i = 0; i < layers; ++i) {
+    net.add(model::make_conv(std::string(name) + std::to_string(i), 14, 14,
+                             channels, 3, 3, channels, 1, 1));
+  }
+  return net;
+}
+
+TEST(MultiTenant, InterleavesRoundRobinWithSoloTail) {
+  const auto a = tiny("a", 4, 16);
+  const auto b = tiny("b", 2, 16);
+  const auto plan = plan_multi_tenant(a, b, spec_kb(256), Objective::kAccesses);
+  ASSERT_EQ(plan.steps.size(), 6u);
+  // A0 B0 A1 B1 A2 A3.
+  const int expected_tenant[] = {0, 1, 0, 1, 0, 0};
+  const std::size_t expected_layer[] = {0, 0, 1, 1, 2, 3};
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    EXPECT_EQ(plan.steps[i].tenant, expected_tenant[i]) << i;
+    EXPECT_EQ(plan.steps[i].layer_index, expected_layer[i]) << i;
+  }
+}
+
+TEST(MultiTenant, AdjacentWorkingSetsFitTogether) {
+  const auto a = model::zoo::mobilenetv2();
+  const auto b = model::zoo::resnet18();
+  const auto spec = spec_kb(256);
+  const auto plan = plan_multi_tenant(a, b, spec, Objective::kAccesses);
+  EXPECT_LE(plan.peak_combined_elems, spec.glb_elems());
+  for (std::size_t i = 0; i + 1 < plan.steps.size(); ++i) {
+    EXPECT_LE(plan.steps[i].estimate.memory_elems() +
+                  plan.steps[i + 1].estimate.memory_elems(),
+              spec.glb_elems())
+        << "steps " << i << "," << i + 1;
+  }
+}
+
+TEST(MultiTenant, AccessesSumOverSteps) {
+  const auto a = tiny("a", 3, 32);
+  const auto b = tiny("b", 3, 24);
+  const auto plan = plan_multi_tenant(a, b, spec_kb(256), Objective::kAccesses);
+  count_t sum = 0;
+  for (const auto& s : plan.steps) {
+    sum += s.estimate.accesses();
+  }
+  EXPECT_EQ(plan.total_accesses, sum);
+}
+
+TEST(MultiTenant, OverlapNeverSlowerThanSerialized) {
+  const auto a = model::zoo::mobilenet();
+  const auto b = model::zoo::mnasnet();
+  for (count_t kb : {128u, 512u}) {
+    const auto plan =
+        plan_multi_tenant(a, b, spec_kb(kb), Objective::kLatency);
+    EXPECT_LE(plan.overlapped_latency_cycles,
+              plan.serialized_latency_cycles + 1e-6)
+        << kb;
+    EXPECT_GT(plan.overlapped_latency_cycles, 0.0);
+  }
+}
+
+TEST(MultiTenant, BeatsStaticSplitOnAccesses) {
+  // Joint planning on the full GLB must move no more data than two
+  // independent plans each confined to half of it.
+  const auto a = model::zoo::mobilenetv2();
+  const auto b = model::zoo::resnet18();
+  const count_t total_kb = 256;
+  const auto joint =
+      plan_multi_tenant(a, b, spec_kb(total_kb), Objective::kAccesses);
+  const MemoryManager half(spec_kb(total_kb / 2));
+  const count_t split = half.plan(a, Objective::kAccesses).total_accesses() +
+                        half.plan(b, Objective::kAccesses).total_accesses();
+  EXPECT_LE(joint.total_accesses, split);
+}
+
+TEST(MultiTenant, SharingCostsLittleVersusExclusiveUse) {
+  // Each tenant alone with the whole GLB is the lower bound; co-scheduling
+  // should stay within a modest factor at a mid-size buffer.
+  const auto a = model::zoo::mobilenet();
+  const auto b = model::zoo::mnasnet();
+  const auto spec = spec_kb(512);
+  const auto joint = plan_multi_tenant(a, b, spec, Objective::kAccesses);
+  const MemoryManager full(spec);
+  const count_t exclusive =
+      full.plan(a, Objective::kAccesses).total_accesses() +
+      full.plan(b, Objective::kAccesses).total_accesses();
+  EXPECT_LE(static_cast<double>(joint.total_accesses),
+            1.25 * static_cast<double>(exclusive));
+}
+
+TEST(MultiTenant, ThrowsWhenTenantsCannotShare) {
+  arch::AcceleratorSpec micro = spec_kb(64);
+  micro.glb_bytes = 2 * 1024;  // 2 kB cannot host two working sets
+  const auto a = model::zoo::resnet18();
+  const auto b = model::zoo::mobilenet();
+  EXPECT_THROW(
+      (void)plan_multi_tenant(a, b, micro, Objective::kAccesses),
+      std::runtime_error);
+}
+
+TEST(MultiTenant, AccessMbConversion) {
+  const auto a = tiny("a", 2, 16);
+  const auto b = tiny("b", 2, 16);
+  const auto spec = spec_kb(256);
+  const auto plan = plan_multi_tenant(a, b, spec, Objective::kAccesses);
+  EXPECT_NEAR(plan.total_access_mb(spec),
+              static_cast<double>(plan.total_accesses) / (1024.0 * 1024.0),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace rainbow::core

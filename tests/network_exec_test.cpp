@@ -1,0 +1,107 @@
+// Network-level numerical validation: whole plans execute through their
+// assigned policies and reproduce the chained golden reference exactly.
+#include <gtest/gtest.h>
+
+#include "core/manager.hpp"
+#include "model/random.hpp"
+#include "ref/network_exec.hpp"
+
+namespace rainbow::ref {
+namespace {
+
+model::Network small_chain() {
+  model::Network net("chain");
+  net.add(model::make_conv("c1", 12, 12, 3, 3, 3, 8, 1, 1));
+  net.add(model::make_depthwise("dw", 12, 12, 8, 3, 3, 1, 1));
+  net.add(model::make_pointwise("pw", 12, 12, 8, 6));
+  net.add(model::make_conv("c2", 12, 12, 6, 5, 5, 4, 2, 2));
+  return net;
+}
+
+Tensor3 seeded_input(const model::Network& net, std::uint64_t seed) {
+  return random_operands(net.layer(0), seed).ifmap;
+}
+
+TEST(NetworkExec, ChainabilityCheck) {
+  EXPECT_TRUE(chainable(small_chain()));
+  model::Network broken("broken");
+  broken.add(model::make_conv("a", 8, 8, 3, 3, 3, 4, 1, 1));
+  broken.add(model::make_conv("b", 8, 8, 7, 3, 3, 4, 1, 1));  // 7 != 4
+  EXPECT_FALSE(chainable(broken));
+}
+
+TEST(NetworkExec, PlanReproducesChainedReference) {
+  const auto net = small_chain();
+  const Tensor3 input = seeded_input(net, 5);
+  for (count_t kb : {16u, 64u}) {
+    const core::MemoryManager manager(arch::paper_spec(util::kib(kb)));
+    for (core::Objective obj :
+         {core::Objective::kAccesses, core::Objective::kLatency}) {
+      const auto plan = manager.plan(net, obj);
+      const NetworkRun run = execute_network(net, plan, input, 77);
+      EXPECT_EQ(run.output, reference_network(net, input, 77))
+          << kb << " kB, " << core::to_string(obj);
+      ASSERT_EQ(run.peaks.size(), net.size());
+    }
+  }
+}
+
+TEST(NetworkExec, RandomNetworksReproduceReference) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    model::RandomNetworkOptions options;
+    options.input_size = 24;           // keep the numerics fast
+    options.min_layers = 4;
+    options.max_layers = 10;
+    options.max_channels = 32;
+    options.allow_dense_head = false;  // dense heads break spatial chaining
+    const auto net = model::random_network(seed, options);
+    if (!chainable(net)) {
+      continue;
+    }
+    const Tensor3 input = seeded_input(net, seed);
+    const core::MemoryManager manager(arch::paper_spec(util::kib(32)));
+    const auto plan = manager.plan(net, core::Objective::kAccesses);
+    const NetworkRun run = execute_network(net, plan, input, seed * 13);
+    EXPECT_EQ(run.output, reference_network(net, input, seed * 13))
+        << net.name();
+  }
+}
+
+TEST(NetworkExec, BufferPeaksRespectPlannedFootprints) {
+  const auto net = small_chain();
+  const core::MemoryManager manager(arch::paper_spec(util::kib(64)));
+  const auto plan = manager.plan(net, core::Objective::kAccesses);
+  const NetworkRun run =
+      execute_network(net, plan, seeded_input(net, 1), 99);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto fp = core::working_footprint(net.layer(i),
+                                            plan.assignment(i).estimate.choice);
+    EXPECT_LE(run.peaks[i].ifmap, fp.ifmap) << i;
+    EXPECT_LE(run.peaks[i].filter, fp.filter) << i;
+    EXPECT_LE(run.peaks[i].ofmap, fp.ofmap) << i;
+  }
+}
+
+TEST(NetworkExec, MismatchAndNonChainableThrow) {
+  const auto net = small_chain();
+  const core::MemoryManager manager(arch::paper_spec(util::kib(64)));
+  const auto plan = manager.plan(net, core::Objective::kAccesses);
+  const core::ExecutionPlan empty("x", "y", arch::paper_spec(util::kib(64)),
+                                  core::Objective::kAccesses);
+  EXPECT_THROW(
+      (void)execute_network(net, empty, seeded_input(net, 1), 1),
+      std::invalid_argument);
+
+  model::Network branchy("branchy");
+  branchy.add(model::make_conv("a", 8, 8, 3, 3, 3, 4, 1, 1));
+  branchy.add(model::make_conv("b", 8, 8, 4, 3, 3, 4, 1, 1));
+  branchy.add_branch(model::make_projection("p", 8, 8, 3, 4, 1), 0);
+  const auto bplan = manager.plan(branchy, core::Objective::kAccesses);
+  EXPECT_THROW((void)execute_network(branchy, bplan,
+                                     random_operands(branchy.layer(0), 1).ifmap,
+                                     1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rainbow::ref

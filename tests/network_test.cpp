@@ -1,0 +1,104 @@
+// Unit tests for the Network container: trunk/branch wiring, sequential
+// boundaries (the inter-layer-reuse eligibility), and aggregate counts.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/network.hpp"
+
+namespace rainbow::model {
+namespace {
+
+Network small_chain() {
+  Network net("chain");
+  net.add(make_conv("a", 8, 8, 3, 3, 3, 4, 1, 1));
+  net.add(make_conv("b", 8, 8, 4, 3, 3, 4, 1, 1));
+  net.add(make_conv("c", 8, 8, 4, 3, 3, 4, 1, 1));
+  return net;
+}
+
+TEST(Network, SizeAndAccess) {
+  const Network net = small_chain();
+  EXPECT_EQ(net.size(), 3u);
+  EXPECT_FALSE(net.empty());
+  EXPECT_EQ(net.layer(0).name(), "a");
+  EXPECT_EQ(net.layer(2).name(), "c");
+  EXPECT_THROW((void)net.layer(3), std::out_of_range);
+}
+
+TEST(Network, TrunkLayersHaveNoProducer) {
+  const Network net = small_chain();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_FALSE(net.producer_of(i).has_value());
+  }
+}
+
+TEST(Network, BranchRecordsProducer) {
+  Network net = small_chain();
+  net.add_branch(make_projection("proj", 8, 8, 3, 4, 1), 0);
+  ASSERT_TRUE(net.producer_of(3).has_value());
+  EXPECT_EQ(*net.producer_of(3), 0u);
+}
+
+TEST(Network, BranchWithInvalidProducerThrows) {
+  Network net = small_chain();
+  EXPECT_THROW(net.add_branch(make_projection("p", 8, 8, 3, 4, 1), 7),
+               std::out_of_range);
+}
+
+TEST(Network, SequentialBoundaries) {
+  Network net = small_chain();
+  EXPECT_TRUE(net.is_sequential_boundary(0));
+  EXPECT_TRUE(net.is_sequential_boundary(1));
+  // Last layer has no following boundary.
+  EXPECT_FALSE(net.is_sequential_boundary(2));
+
+  net.add_branch(make_projection("proj", 8, 8, 3, 4, 1), 0);
+  // c -> proj is NOT sequential: proj reads layer 0's output.
+  EXPECT_FALSE(net.is_sequential_boundary(2));
+}
+
+TEST(Network, ProducerOfOutOfRangeThrows) {
+  const Network net = small_chain();
+  EXPECT_THROW((void)net.producer_of(99), std::out_of_range);
+}
+
+TEST(Network, TotalMacsIsSumOfLayers) {
+  const Network net = small_chain();
+  count_t expected = 0;
+  for (const Layer& l : net.layers()) {
+    expected += l.macs();
+  }
+  EXPECT_EQ(net.total_macs(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST(Network, TotalFilterElems) {
+  const Network net = small_chain();
+  // 3x3x3x4 + 2 x 3x3x4x4
+  EXPECT_EQ(net.total_filter_elems(), 108u + 2 * 144);
+}
+
+TEST(Network, CountKind) {
+  Network net = small_chain();
+  net.add(make_fully_connected("fc", 16, 10));
+  EXPECT_EQ(net.count_kind(LayerKind::kConv), 3u);
+  EXPECT_EQ(net.count_kind(LayerKind::kFullyConnected), 1u);
+  EXPECT_EQ(net.count_kind(LayerKind::kDepthwise), 0u);
+}
+
+TEST(Network, NameRoundTrip) {
+  Network net;
+  EXPECT_EQ(net.name(), "");
+  net.set_name("model");
+  EXPECT_EQ(net.name(), "model");
+}
+
+TEST(Network, EmptyNetwork) {
+  const Network net("empty");
+  EXPECT_TRUE(net.empty());
+  EXPECT_EQ(net.total_macs(), 0u);
+}
+
+}  // namespace
+}  // namespace rainbow::model

@@ -1,0 +1,73 @@
+// Parameterized fuzzing of the model text parser: every malformed input
+// must produce a clean std::runtime_error — never a crash, never a
+// silently wrong network.
+#include <gtest/gtest.h>
+
+#include "model/parser.hpp"
+
+namespace rainbow::model {
+namespace {
+
+class ParserFuzzTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserFuzzTest, MalformedInputThrowsCleanly) {
+  EXPECT_THROW((void)parse_network(GetParam()), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ParserFuzzTest,
+    ::testing::Values(
+        // Header problems.
+        "",
+        "net, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\n",
+        "network\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\n",
+        "network, A, B\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\n",
+        // Arity problems.
+        "network, X\nCV\n",
+        "network, X\nCV, a\n",
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1\n",
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1, 0, 9\n",
+        // Kind problems.
+        "network, X\nXX, a, 8, 8, 3, 3, 3, 4, 1, 1\n",
+        "network, X\ncv, a, 8, 8, 3, 3, 3, 4, 1, 1\n",
+        // Numeric problems.
+        "network, X\nCV, a, eight, 8, 3, 3, 3, 4, 1, 1\n",
+        "network, X\nCV, a, 8.5, 8, 3, 3, 3, 4, 1, 1\n",
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, one\n",
+        "network, X\nCV, a, , 8, 3, 3, 3, 4, 1, 1\n",
+        // Geometry problems (Layer validation).
+        "network, X\nCV, a, 0, 8, 3, 3, 3, 4, 1, 1\n",
+        "network, X\nCV, a, 8, 8, -3, 3, 3, 4, 1, 1\n",
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 0, 1\n",
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, -1\n",
+        "network, X\nCV, a, 4, 4, 3, 9, 9, 4, 1, 0\n",      // filter too big
+        "network, X\nDW, a, 8, 8, 4, 3, 3, 8, 1, 1\n",      // DW filters != ci
+        "network, X\nPW, a, 8, 8, 4, 3, 3, 8, 1, 1\n",      // PW not 1x1
+        "network, X\nFC, a, 1, 1, 4, 2, 2, 8, 1, 0\n",      // FC not 1x1
+        // Producer problems.
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1, -1\n",
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1, 0\n",   // self/forward ref
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1, 7\n"));
+
+class ParserAcceptTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserAcceptTest, OddButValidInputParses) {
+  EXPECT_NO_THROW((void)parse_network(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Valid, ParserAcceptTest,
+    ::testing::Values(
+        // Whitespace and comment tolerance.
+        "network,X\nCV,a,8,8,3,3,3,4,1,1\n",
+        "  network ,  X  \n CV , a , 8 , 8 , 3 , 3 , 3 , 4 , 1 , 1 \n",
+        "# c1\nnetwork, X\n# c2\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1 # c3\n",
+        "network, X\r\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\r\n",
+        // No trailing newline.
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1",
+        // Degenerate but legal shapes.
+        "network, X\nCV, a, 1, 1, 1, 1, 1, 1, 1, 0\n",
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 7, 1\n"));  // huge stride
+
+}  // namespace
+}  // namespace rainbow::model

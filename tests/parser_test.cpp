@@ -1,0 +1,146 @@
+// Unit tests for the model text format: parsing, serialization round-trips
+// (including all six zoo models), and error diagnostics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "model/parser.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::model {
+namespace {
+
+constexpr const char* kValid = R"(# a tiny model
+network, Tiny
+CV, conv1, 8, 8, 3, 3, 3, 4, 1, 1
+DW, dw1, 8, 8, 4, 3, 3, 4, 1, 1
+PW, pw1, 8, 8, 4, 1, 1, 8, 1, 0
+FC, fc, 1, 1, 8, 1, 1, 10, 1, 0
+)";
+
+TEST(Parser, ParsesValidModel) {
+  const Network net = parse_network(kValid);
+  EXPECT_EQ(net.name(), "Tiny");
+  ASSERT_EQ(net.size(), 4u);
+  EXPECT_EQ(net.layer(0).kind(), LayerKind::kConv);
+  EXPECT_EQ(net.layer(1).kind(), LayerKind::kDepthwise);
+  EXPECT_EQ(net.layer(3).filters(), 10);
+}
+
+TEST(Parser, ParsesBranchProducer) {
+  const Network net = parse_network(
+      "network, B\n"
+      "CV, a, 8, 8, 3, 3, 3, 4, 1, 1\n"
+      "CV, b, 8, 8, 4, 3, 3, 4, 1, 1\n"
+      "PL, p, 8, 8, 3, 1, 1, 4, 1, 0, 0\n");
+  ASSERT_EQ(net.size(), 3u);
+  ASSERT_TRUE(net.producer_of(2).has_value());
+  EXPECT_EQ(*net.producer_of(2), 0u);
+  EXPECT_FALSE(net.is_sequential_boundary(1));
+}
+
+TEST(Parser, SkipsCommentsAndBlankLines) {
+  const Network net = parse_network(
+      "# leading comment\n"
+      "\n"
+      "network, X\n"
+      "   \n"
+      "CV, a, 8, 8, 3, 3, 3, 4, 1, 1  # trailing comment\n");
+  EXPECT_EQ(net.size(), 1u);
+}
+
+TEST(Parser, MissingHeaderThrows) {
+  EXPECT_THROW((void)parse_network("CV, a, 8, 8, 3, 3, 3, 4, 1, 1\n"),
+               std::runtime_error);
+}
+
+TEST(Parser, EmptyInputThrows) {
+  EXPECT_THROW((void)parse_network(""), std::runtime_error);
+}
+
+TEST(Parser, BadKindThrows) {
+  EXPECT_THROW((void)parse_network("network, X\nZZ, a, 8, 8, 3, 3, 3, 4, 1, 1\n"),
+               std::runtime_error);
+}
+
+TEST(Parser, BadIntegerReportsLineNumber) {
+  try {
+    (void)parse_network("network, X\nCV, a, eight, 8, 3, 3, 3, 4, 1, 1\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, WrongArityThrows) {
+  EXPECT_THROW((void)parse_network("network, X\nCV, a, 8, 8, 3\n"),
+               std::runtime_error);
+}
+
+TEST(Parser, NegativeProducerThrows) {
+  EXPECT_THROW(
+      parse_network("network, X\n"
+                    "CV, a, 8, 8, 3, 3, 3, 4, 1, 1\n"
+                    "CV, b, 8, 8, 4, 3, 3, 4, 1, 1, -1\n"),
+      std::runtime_error);
+}
+
+TEST(Parser, OutOfRangeProducerThrows) {
+  EXPECT_THROW(
+      parse_network("network, X\n"
+                    "CV, a, 8, 8, 3, 3, 3, 4, 1, 1, 5\n"),
+      std::runtime_error);
+}
+
+TEST(Parser, InvalidLayerGeometryReportsLine) {
+  // Depthwise with filters != channels is rejected by Layer's validation.
+  try {
+    (void)parse_network("network, X\nDW, d, 8, 8, 4, 3, 3, 8, 1, 1\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, SerializeRoundTrip) {
+  const Network original = parse_network(kValid);
+  const Network reparsed = parse_network(serialize_network(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  EXPECT_EQ(reparsed.name(), original.name());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed.layer(i), original.layer(i)) << "layer " << i;
+  }
+}
+
+TEST(Parser, AllZooModelsRoundTrip) {
+  for (const Network& original : zoo::all_models()) {
+    const Network reparsed = parse_network(serialize_network(original));
+    ASSERT_EQ(reparsed.size(), original.size()) << original.name();
+    EXPECT_EQ(reparsed.name(), original.name());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(reparsed.layer(i), original.layer(i))
+          << original.name() << " layer " << i;
+      EXPECT_EQ(reparsed.producer_of(i), original.producer_of(i))
+          << original.name() << " layer " << i;
+    }
+  }
+}
+
+TEST(Parser, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "rainbow_model_test.model";
+  const Network original = zoo::resnet18();
+  save_network(original, path);
+  const Network loaded = load_network(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.name(), original.name());
+  std::filesystem::remove(path);
+}
+
+TEST(Parser, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_network("/nonexistent/net.model"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rainbow::model

@@ -1,0 +1,121 @@
+// Tests for plan persistence: decision round-trips reconstruct identical
+// metrics, and the loader doubles as a validator for hand-edited plans.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/manager.hpp"
+#include "core/plan_io.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::core {
+namespace {
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+TEST(PlanIo, RoundTripPreservesMetrics) {
+  for (const auto& net : {model::zoo::resnet18(), model::zoo::mobilenetv2()}) {
+    for (Objective obj : {Objective::kAccesses, Objective::kLatency}) {
+      const MemoryManager manager(spec_kb(64));
+      const ExecutionPlan original = manager.plan(net, obj);
+      const ExecutionPlan loaded =
+          parse_plan(serialize_plan(original), net);
+      ASSERT_EQ(loaded.size(), original.size()) << net.name();
+      EXPECT_EQ(loaded.total_accesses(), original.total_accesses());
+      EXPECT_DOUBLE_EQ(loaded.total_latency_cycles(),
+                       original.total_latency_cycles());
+      EXPECT_EQ(loaded.objective(), obj);
+      for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded.assignment(i).estimate.choice,
+                  original.assignment(i).estimate.choice)
+            << net.name() << " layer " << i;
+      }
+    }
+  }
+}
+
+TEST(PlanIo, RoundTripPreservesInterlayerLinks) {
+  ManagerOptions options;
+  options.interlayer_reuse = true;
+  const MemoryManager manager(spec_kb(1024), options);
+  const auto net = model::zoo::mnasnet();
+  const ExecutionPlan original = manager.plan(net, Objective::kAccesses);
+  ASSERT_GT(original.interlayer_links(), 0u);
+  const ExecutionPlan loaded = parse_plan(serialize_plan(original), net);
+  EXPECT_EQ(loaded.interlayer_links(), original.interlayer_links());
+  EXPECT_EQ(loaded.total_accesses(), original.total_accesses());
+}
+
+TEST(PlanIo, FileRoundTrip) {
+  const auto net = model::zoo::mobilenet();
+  const MemoryManager manager(spec_kb(128));
+  const ExecutionPlan original = manager.plan(net, Objective::kAccesses);
+  const auto path =
+      std::filesystem::temp_directory_path() / "rainbow_plan_test.plan";
+  save_plan(original, path);
+  const ExecutionPlan loaded = load_plan(path, net);
+  EXPECT_EQ(loaded.total_accesses(), original.total_accesses());
+  std::filesystem::remove(path);
+}
+
+TEST(PlanIo, RejectsWrongModel) {
+  const MemoryManager manager(spec_kb(64));
+  const auto plan = manager.plan(model::zoo::resnet18(), Objective::kAccesses);
+  EXPECT_THROW((void)parse_plan(serialize_plan(plan), model::zoo::mobilenet()),
+               std::runtime_error);
+}
+
+TEST(PlanIo, RejectsMalformedInput) {
+  const auto net = model::zoo::mobilenet();
+  EXPECT_THROW((void)parse_plan("", net), std::runtime_error);
+  EXPECT_THROW((void)parse_plan("plan, MobileNet, 65536, 8\n", net),
+               std::runtime_error);  // short header
+  EXPECT_THROW((void)parse_plan("plan, MobileNet, 65536, 8, energy\n", net),
+               std::runtime_error);  // bad objective
+  // Right header, wrong decision count.
+  EXPECT_THROW((void)parse_plan(
+                   "plan, MobileNet, 65536, 8, accesses\n"
+                   "0, p1, 0, 1, 0, 0, 0\n",
+                   net),
+               std::runtime_error);
+}
+
+TEST(PlanIo, ValidatesEditedDecisions) {
+  // Hand-edit a decision into something infeasible (intra-layer reuse on
+  // a megabyte-scale layer at 64 kB): the loader must refuse.
+  const auto net = model::zoo::resnet18();
+  const MemoryManager manager(spec_kb(64));
+  std::string text = serialize_plan(manager.plan(net, Objective::kAccesses));
+  const auto pos = text.find("\n1, ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto line_end = text.find('\n', pos + 1);
+  text.replace(pos, line_end - pos, "\n1, intra, 0, 1, 0, 0, 0");
+  EXPECT_THROW((void)parse_plan(text, net), std::runtime_error);
+}
+
+TEST(PlanIo, AcceptsValidHandEdits) {
+  // Swapping a layer to another feasible policy re-derives its metrics.
+  const auto net = model::zoo::mobilenet();
+  const MemoryManager manager(spec_kb(64));
+  const ExecutionPlan original = manager.plan(net, Objective::kAccesses);
+  std::string text = serialize_plan(original);
+  const auto pos = text.find("\n25, ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto line_end = text.find('\n', pos + 1);
+  text.replace(pos, line_end - pos, "\n25, p2, 0, 1, 0, 0, 0");
+  const ExecutionPlan edited = parse_plan(text, net);
+  EXPECT_EQ(edited.assignment(25).estimate.choice.policy,
+            Policy::kFilterReuse);
+  EXPECT_NE(edited.total_accesses(), 0u);
+}
+
+TEST(PlanIo, PolicyLabelsRoundTrip) {
+  for (Policy p : kAllPolicies) {
+    EXPECT_EQ(policy_from_short_label(short_label(p, false)), p);
+  }
+  EXPECT_EQ(policy_from_short_label("tiled"), Policy::kFallbackTiled);
+  EXPECT_THROW((void)policy_from_short_label("p9"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rainbow::core

@@ -1,0 +1,101 @@
+// Unit tests for ExecutionPlan aggregation: totals, unit conversion,
+// coverage metrics, and feasibility.
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::core {
+namespace {
+
+using model::make_conv;
+using model::make_projection;
+
+arch::AcceleratorSpec spec() { return arch::paper_spec(util::kib(64)); }
+
+LayerAssignment assignment(std::size_t index, count_t accesses, double latency,
+                           bool prefetch = false, bool feasible = true) {
+  LayerAssignment a;
+  a.layer_index = index;
+  a.estimate.choice.prefetch = prefetch;
+  a.estimate.traffic.ifmap_reads = accesses;
+  a.estimate.latency_cycles = latency;
+  a.estimate.compute_cycles = latency / 2;
+  a.estimate.feasible = feasible;
+  return a;
+}
+
+TEST(Plan, TotalsSumOverLayers) {
+  ExecutionPlan plan("test", "net", spec(), Objective::kAccesses);
+  plan.add(assignment(0, 100, 10.0));
+  plan.add(assignment(1, 200, 30.0));
+  EXPECT_EQ(plan.total_accesses(), 300u);
+  EXPECT_DOUBLE_EQ(plan.total_latency_cycles(), 40.0);
+  EXPECT_DOUBLE_EQ(plan.total_compute_cycles(), 20.0);
+}
+
+TEST(Plan, ByteConversionUsesElementWidth) {
+  arch::AcceleratorSpec s = spec();
+  s.data_width_bits = 16;
+  ExecutionPlan plan("test", "net", s, Objective::kAccesses);
+  plan.add(assignment(0, 1024 * 1024, 1.0));
+  EXPECT_EQ(plan.total_access_bytes(), 2u * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(plan.total_access_mb(), 2.0);
+}
+
+TEST(Plan, PrefetchCoverage) {
+  ExecutionPlan plan("test", "net", spec(), Objective::kLatency);
+  plan.add(assignment(0, 1, 1.0, /*prefetch=*/true));
+  plan.add(assignment(1, 1, 1.0, /*prefetch=*/false));
+  plan.add(assignment(2, 1, 1.0, /*prefetch=*/true));
+  plan.add(assignment(3, 1, 1.0, /*prefetch=*/true));
+  EXPECT_DOUBLE_EQ(plan.prefetch_coverage(), 0.75);
+}
+
+TEST(Plan, EmptyPlanCoverageIsZero) {
+  const ExecutionPlan plan("test", "net", spec(), Objective::kAccesses);
+  EXPECT_DOUBLE_EQ(plan.prefetch_coverage(), 0.0);
+  EXPECT_EQ(plan.total_accesses(), 0u);
+}
+
+TEST(Plan, InterlayerCoverage) {
+  ExecutionPlan plan("test", "net", spec(), Objective::kAccesses);
+  LayerAssignment a = assignment(0, 1, 1.0);
+  a.ofmap_stays_in_glb = true;
+  plan.add(a);
+  plan.add(assignment(1, 1, 1.0));
+  EXPECT_EQ(plan.interlayer_links(), 1u);
+  EXPECT_DOUBLE_EQ(plan.interlayer_coverage(4), 0.25);
+  EXPECT_DOUBLE_EQ(plan.interlayer_coverage(0), 0.0);
+}
+
+TEST(Plan, FeasibilityRequiresEveryLayer) {
+  ExecutionPlan plan("test", "net", spec(), Objective::kAccesses);
+  plan.add(assignment(0, 1, 1.0));
+  EXPECT_TRUE(plan.feasible());
+  plan.add(assignment(1, 1, 1.0, false, /*feasible=*/false));
+  EXPECT_FALSE(plan.feasible());
+}
+
+TEST(Plan, AccessorsAndMetadata) {
+  ExecutionPlan plan("Het", "ResNet18", spec(), Objective::kLatency);
+  EXPECT_EQ(plan.scheme(), "Het");
+  EXPECT_EQ(plan.model(), "ResNet18");
+  EXPECT_EQ(plan.objective(), Objective::kLatency);
+  EXPECT_EQ(std::string(to_string(Objective::kLatency)), "latency");
+  EXPECT_EQ(std::string(to_string(Objective::kAccesses)), "accesses");
+}
+
+TEST(SequentialBoundaries, CountsTrunkEdgesOnly) {
+  model::Network net("n");
+  net.add(make_conv("a", 8, 8, 3, 3, 3, 4, 1, 1));
+  net.add(make_conv("b", 8, 8, 4, 3, 3, 4, 1, 1));
+  net.add(make_conv("c", 8, 8, 4, 3, 3, 4, 1, 1));
+  EXPECT_EQ(sequential_boundaries(net), 2u);
+  net.add_branch(make_projection("p", 8, 8, 3, 4, 1), 0);
+  // c -> p is a branch boundary; a->b, b->c remain.
+  EXPECT_EQ(sequential_boundaries(net), 2u);
+}
+
+}  // namespace
+}  // namespace rainbow::core

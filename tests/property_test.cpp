@@ -1,0 +1,219 @@
+// Property-based sweeps (parameterized gtest) over a grid of layer shapes:
+// the invariants of Section 3 must hold for every policy on every layer,
+// not just the paper's six networks.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/analyzer.hpp"
+#include "engine/engine.hpp"
+
+namespace rainbow {
+namespace {
+
+using core::Estimate;
+using core::Estimator;
+using core::Policy;
+using core::PolicyChoice;
+using model::Layer;
+using model::LayerKind;
+
+// Grid axes: (spatial size, channels, filters, kernel, stride, kind).
+using LayerParam = std::tuple<int, int, int, int, int, LayerKind>;
+
+Layer make_layer(const LayerParam& p) {
+  const auto [hw, ci, nf, k, s, kind] = p;
+  Layer::Params params;
+  params.kind = kind;
+  params.name = "grid";
+  params.ifmap_h = params.ifmap_w = hw;
+  params.channels = ci;
+  params.filter_h = params.filter_w = (kind == LayerKind::kConv) ? k : 1;
+  if (kind == LayerKind::kDepthwise) {
+    params.filter_h = params.filter_w = k;
+    params.filters = ci;
+  } else {
+    params.filters = nf;
+  }
+  params.stride = s;
+  params.padding = (params.filter_h > 1) ? params.filter_h / 2 : 0;
+  if (kind == LayerKind::kFullyConnected) {
+    params.ifmap_h = params.ifmap_w = 1;
+    params.stride = 1;
+    params.padding = 0;
+  }
+  return Layer(params);
+}
+
+class LayerGridTest : public ::testing::TestWithParam<LayerParam> {
+ protected:
+  static const Estimator& estimator() {
+    static const Estimator est(arch::paper_spec(util::kib(1024)));
+    return est;
+  }
+};
+
+TEST_P(LayerGridTest, AccessesNeverBelowCompulsoryTraffic) {
+  const Layer layer = make_layer(GetParam());
+  const count_t compulsory =
+      layer.padded_ifmap_elems() + layer.filter_elems() + layer.ofmap_elems();
+  for (Policy p : core::kAllPolicies) {
+    const Estimate e = estimator().estimate(layer, p, false);
+    EXPECT_GE(e.accesses(), compulsory) << core::to_string(p);
+    if (core::is_minimum_traffic(p, layer)) {
+      EXPECT_EQ(e.accesses(), compulsory) << core::to_string(p);
+    }
+  }
+}
+
+TEST_P(LayerGridTest, FootprintsArePositiveAndDecomposed) {
+  const Layer layer = make_layer(GetParam());
+  for (Policy p : core::kAllPolicies) {
+    const Estimate e = estimator().estimate(layer, p, false);
+    const auto& fp = e.footprint;
+    EXPECT_GT(fp.ifmap, 0u);
+    EXPECT_GT(fp.filter, 0u);
+    EXPECT_GT(fp.ofmap, 0u);
+    EXPECT_EQ(fp.total(), fp.ifmap + fp.filter + fp.ofmap);
+  }
+}
+
+TEST_P(LayerGridTest, PolicyFootprintOrdering) {
+  // Tiled policies never need more space than keeping the whole layer —
+  // modulo the padding halo: sliding windows span the padded width while
+  // whole-map terms are unpadded, so P1/P3 may exceed intra by at most the
+  // padded-vs-unpadded difference (tiny maps with big kernels).
+  const Layer layer = make_layer(GetParam());
+  const auto intra = estimator().estimate(layer, Policy::kIntraLayer, false);
+  const count_t halo =
+      layer.padded_ifmap_elems() - std::min(layer.padded_ifmap_elems(),
+                                            layer.ifmap_elems());
+  for (Policy p : {Policy::kIfmapReuse, Policy::kFilterReuse,
+                   Policy::kPerChannel}) {
+    const Estimate e = estimator().estimate(layer, p, false);
+    EXPECT_LE(e.memory_elems(), intra.memory_elems() + halo)
+        << core::to_string(p);
+  }
+  // Filter reuse involves no padded window: strict ordering holds.
+  EXPECT_LE(estimator().estimate(layer, Policy::kFilterReuse, false).memory_elems(),
+            intra.memory_elems());
+}
+
+TEST_P(LayerGridTest, PrefetchHalvesNothingButLatency) {
+  const Layer layer = make_layer(GetParam());
+  for (Policy p : core::kAllPolicies) {
+    const Estimate serial = estimator().estimate(layer, p, false);
+    const Estimate overlap =
+        estimator().estimate_choice(layer, [&] {
+          PolicyChoice c = serial.choice;
+          c.prefetch = true;
+          return c;
+        }());
+    EXPECT_EQ(overlap.accesses(), serial.accesses()) << core::to_string(p);
+    EXPECT_LE(overlap.latency_cycles, serial.latency_cycles)
+        << core::to_string(p);
+    EXPECT_EQ(overlap.memory_elems(), 2 * serial.memory_elems())
+        << core::to_string(p);
+  }
+}
+
+TEST_P(LayerGridTest, LatencyLowerBounds) {
+  const Layer layer = make_layer(GetParam());
+  const double bw = estimator().spec().elements_per_cycle();
+  for (Policy p : core::kAllPolicies) {
+    for (bool prefetch : {false, true}) {
+      const Estimate e = estimator().estimate(layer, p, prefetch);
+      EXPECT_GE(e.latency_cycles, e.compute_cycles - 1e-9);
+      EXPECT_GE(e.latency_cycles,
+                static_cast<double>(e.accesses()) / bw - 1e-9);
+    }
+  }
+}
+
+TEST_P(LayerGridTest, EngineReproducesEstimator) {
+  const Layer layer = make_layer(GetParam());
+  const engine::Engine eng(estimator().spec());
+  for (Policy p : core::kAllPolicies) {
+    const Estimate e = estimator().estimate(layer, p, false);
+    if (!e.feasible) {
+      continue;
+    }
+    const auto exec = eng.execute_layer(layer, e.choice);
+    EXPECT_EQ(exec.traffic.total(), e.accesses()) << core::to_string(p);
+    EXPECT_NEAR(exec.latency_cycles, e.latency_cycles,
+                1e-6 * e.latency_cycles + 1e-6)
+        << core::to_string(p);
+  }
+}
+
+TEST_P(LayerGridTest, AnalyzerPicksFeasibleOptimum) {
+  const Layer layer = make_layer(GetParam());
+  for (count_t kb : {32u, 128u}) {
+    const core::Analyzer analyzer(arch::paper_spec(util::kib(kb)));
+    const Estimate best =
+        analyzer.best_estimate(layer, core::Objective::kAccesses);
+    EXPECT_TRUE(best.feasible);
+    EXPECT_LE(best.memory_elems(), util::kib(kb));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConvGrid, LayerGridTest,
+    ::testing::Combine(::testing::Values(7, 14, 28, 56),     // spatial
+                       ::testing::Values(3, 16, 64),         // channels
+                       ::testing::Values(8, 32, 128),        // filters
+                       ::testing::Values(1, 3, 5),           // kernel
+                       ::testing::Values(1, 2),              // stride
+                       ::testing::Values(LayerKind::kConv)));
+
+// Extreme geometries: large kernels, stride 3 (stride > 1 with partial
+// window overlap), stride 4 with 1x1 (stride outruns the filter).
+INSTANTIATE_TEST_SUITE_P(
+    ExtremeGrid, LayerGridTest,
+    ::testing::Combine(::testing::Values(15, 29), ::testing::Values(4, 24),
+                       ::testing::Values(6, 48), ::testing::Values(7),
+                       ::testing::Values(1, 3),
+                       ::testing::Values(LayerKind::kConv)));
+
+INSTANTIATE_TEST_SUITE_P(
+    StrideOutrunsFilter, LayerGridTest,
+    ::testing::Combine(::testing::Values(16, 33), ::testing::Values(8),
+                       ::testing::Values(16), ::testing::Values(1),
+                       ::testing::Values(4),
+                       ::testing::Values(LayerKind::kConv,
+                                         LayerKind::kPointwise)));
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthwiseGrid, LayerGridTest,
+    ::testing::Combine(::testing::Values(14, 56, 112), ::testing::Values(16, 96),
+                       ::testing::Values(1), ::testing::Values(3, 5),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(LayerKind::kDepthwise)));
+
+INSTANTIATE_TEST_SUITE_P(
+    PointwiseAndDense, LayerGridTest,
+    ::testing::Combine(::testing::Values(7, 28), ::testing::Values(32, 256),
+                       ::testing::Values(64, 512), ::testing::Values(1),
+                       ::testing::Values(1),
+                       ::testing::Values(LayerKind::kPointwise,
+                                         LayerKind::kFullyConnected)));
+
+// Filter-block sweep: footprint monotone in n, traffic antitone in n.
+class FilterBlockTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterBlockTest, FootprintMonotoneTrafficAntitone) {
+  const Layer layer = model::make_conv("c", 14, 14, 64, 3, 3, 128, 1, 1);
+  const Estimator est(arch::paper_spec(util::kib(1024)));
+  const int n = GetParam();
+  const PolicyChoice a{.policy = Policy::kPartialIfmap, .filter_block = n};
+  const PolicyChoice b{.policy = Policy::kPartialIfmap, .filter_block = n + 1};
+  EXPECT_LT(core::planned_footprint(layer, a).total(),
+            core::planned_footprint(layer, b).total());
+  EXPECT_GE(est.traffic(layer, a).total(), est.traffic(layer, b).total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, FilterBlockTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 63, 100));
+
+}  // namespace
+}  // namespace rainbow

@@ -1,0 +1,126 @@
+// Network-level property tests over randomly generated CNNs: the whole
+// pipeline — parser, planner, engine, codegen — must uphold its invariants
+// on models nobody hand-tuned for.  Parameterized over seeds.
+#include <gtest/gtest.h>
+
+#include "codegen/interpret.hpp"
+#include "codegen/lower.hpp"
+#include "core/interlayer.hpp"
+#include "core/manager.hpp"
+#include "engine/engine.hpp"
+#include "model/parser.hpp"
+#include "model/random.hpp"
+
+namespace rainbow {
+namespace {
+
+using core::Objective;
+
+class RandomNetworkTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  model::Network net_ = model::random_network(GetParam());
+};
+
+TEST_P(RandomNetworkTest, GenerationIsDeterministic) {
+  const model::Network again = model::random_network(GetParam());
+  ASSERT_EQ(again.size(), net_.size());
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    EXPECT_EQ(again.layer(i), net_.layer(i));
+  }
+}
+
+TEST_P(RandomNetworkTest, DimensionsChain) {
+  for (std::size_t i = 0; i + 1 < net_.size(); ++i) {
+    const auto& producer = net_.layer(i);
+    const auto& consumer = net_.layer(i + 1);
+    if (consumer.kind() == model::LayerKind::kFullyConnected) {
+      continue;  // dense head follows a global pool
+    }
+    EXPECT_EQ(consumer.channels(), producer.ofmap_channels())
+        << net_.name() << " boundary " << i;
+    EXPECT_EQ(consumer.ifmap_h(), producer.ofmap_h())
+        << net_.name() << " boundary " << i;
+  }
+}
+
+TEST_P(RandomNetworkTest, TextFormatRoundTrips) {
+  const model::Network reparsed =
+      model::parse_network(model::serialize_network(net_));
+  ASSERT_EQ(reparsed.size(), net_.size());
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    EXPECT_EQ(reparsed.layer(i), net_.layer(i));
+  }
+}
+
+TEST_P(RandomNetworkTest, PlansAreFeasibleAcrossSizes) {
+  for (count_t kb : {64u, 256u}) {
+    const core::MemoryManager manager(arch::paper_spec(util::kib(kb)));
+    for (Objective obj : {Objective::kAccesses, Objective::kLatency}) {
+      const auto plan = manager.plan(net_, obj);
+      EXPECT_TRUE(plan.feasible()) << kb << " kB";
+      EXPECT_EQ(plan.size(), net_.size());
+    }
+  }
+}
+
+TEST_P(RandomNetworkTest, HetNeverWorseThanHom) {
+  const core::MemoryManager manager(arch::paper_spec(util::kib(128)));
+  const auto het = manager.plan(net_, Objective::kAccesses);
+  const auto hom = manager.plan_homogeneous(net_, Objective::kAccesses);
+  EXPECT_LE(het.total_accesses(), hom.total_accesses());
+}
+
+TEST_P(RandomNetworkTest, EngineReproducesPlans) {
+  const auto spec = arch::paper_spec(util::kib(128));
+  const core::MemoryManager manager(spec);
+  const engine::Engine engine(spec);
+  const auto plan = manager.plan(net_, Objective::kAccesses);
+  const auto exec = engine.execute_plan(plan, net_);
+  EXPECT_EQ(exec.total_accesses, plan.total_accesses());
+}
+
+TEST_P(RandomNetworkTest, InterlayerNeverRegresses) {
+  const core::Analyzer analyzer(arch::paper_spec(util::kib(512)));
+  const auto base = analyzer.heterogeneous(net_, Objective::kAccesses);
+  const auto linked = core::apply_interlayer_reuse(base, net_, analyzer);
+  EXPECT_LE(linked.total_accesses(), base.total_accesses());
+}
+
+TEST_P(RandomNetworkTest, CodegenRoundTrips) {
+  const auto spec = arch::paper_spec(util::kib(128));
+  const core::MemoryManager manager(spec);
+  const auto plan = manager.plan(net_, Objective::kAccesses);
+  const auto program = codegen::lower(plan, net_);
+  const auto run = codegen::Interpreter(spec).run(program);
+  EXPECT_EQ(run.total_accesses, plan.total_accesses());
+  EXPECT_LE(run.peak_glb_elems, spec.glb_elems());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(RandomNetwork, RespectsOptions) {
+  model::RandomNetworkOptions options;
+  options.allow_depthwise = false;
+  options.allow_dense_head = false;
+  options.min_layers = 3;
+  options.max_layers = 10;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto net = model::random_network(seed, options);
+    EXPECT_EQ(net.count_kind(model::LayerKind::kDepthwise), 0u);
+    EXPECT_EQ(net.count_kind(model::LayerKind::kFullyConnected), 0u);
+    EXPECT_LE(net.size(), 12u);  // target plus at most one block overshoot
+  }
+}
+
+TEST(RandomNetwork, BadOptionsThrow) {
+  model::RandomNetworkOptions options;
+  options.min_layers = 0;
+  EXPECT_THROW((void)model::random_network(1, options), std::invalid_argument);
+  options.min_layers = 10;
+  options.max_layers = 5;
+  EXPECT_THROW((void)model::random_network(1, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rainbow

@@ -1,0 +1,88 @@
+// Tests for the structured plan report and its JSON serialization.
+#include <gtest/gtest.h>
+
+#include "core/manager.hpp"
+#include "core/report.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::core {
+namespace {
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+TEST(Report, BuildsOneRowPerLayer) {
+  const auto spec = spec_kb(64);
+  const MemoryManager manager(spec);
+  const auto net = model::zoo::resnet18();
+  const auto plan = manager.plan(net, Objective::kAccesses);
+  const PlanReport report = build_report(plan, net);
+  ASSERT_EQ(report.layers.size(), net.size());
+  EXPECT_EQ(report.model, "ResNet18");
+  EXPECT_EQ(report.scheme, "Het");
+  EXPECT_EQ(report.objective, "accesses");
+  EXPECT_EQ(report.glb_bytes, util::kib(64));
+  EXPECT_EQ(report.total_accesses, plan.total_accesses());
+  count_t accesses = 0;
+  for (const auto& row : report.layers) {
+    accesses += row.accesses;
+    EXPECT_EQ(row.memory_elems,
+              row.ifmap_elems + row.filter_elems + row.ofmap_elems);
+    EXPECT_FALSE(row.policy.empty());
+  }
+  EXPECT_EQ(accesses, report.total_accesses);
+}
+
+TEST(Report, MismatchThrows) {
+  const auto spec = spec_kb(64);
+  const ExecutionPlan empty("x", "y", spec, Objective::kAccesses);
+  EXPECT_THROW((void)build_report(empty, model::zoo::mobilenet()),
+               std::invalid_argument);
+}
+
+TEST(Report, JsonContainsEveryLayerAndBalances) {
+  const auto spec = spec_kb(64);
+  const MemoryManager manager(spec);
+  const auto net = model::zoo::mobilenet();
+  const auto plan = manager.plan(net, Objective::kLatency);
+  const std::string json = to_json(build_report(plan, net));
+  for (const auto& layer : net.layers()) {
+    EXPECT_NE(json.find("\"" + layer.name() + "\""), std::string::npos)
+        << layer.name();
+  }
+  EXPECT_NE(json.find("\"objective\": \"latency\""), std::string::npos);
+  // Balanced braces/brackets — a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Report, JsonEscapesSpecialCharacters) {
+  model::Network net("quote\"and\\slash");
+  net.add(model::make_conv("layer\"1", 8, 8, 3, 3, 3, 4, 1, 1));
+  const MemoryManager manager(spec_kb(64));
+  const auto plan = manager.plan(net, Objective::kAccesses);
+  const std::string json = to_json(build_report(plan, net));
+  EXPECT_NE(json.find("quote\\\"and\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("layer\\\"1"), std::string::npos);
+}
+
+TEST(Report, InterlayerFlagsSurvive) {
+  ManagerOptions options;
+  options.interlayer_reuse = true;
+  const MemoryManager manager(spec_kb(1024), options);
+  const auto net = model::zoo::mnasnet();
+  const auto plan = manager.plan(net, Objective::kAccesses);
+  ASSERT_GT(plan.interlayer_links(), 0u);
+  const PlanReport report = build_report(plan, net);
+  std::size_t links = 0;
+  for (const auto& row : report.layers) {
+    links += row.ofmap_stays_in_glb ? 1 : 0;
+  }
+  EXPECT_EQ(links, plan.interlayer_links());
+  EXPECT_NE(to_json(report).find("\"ofmap_stays_in_glb\": true"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rainbow::core

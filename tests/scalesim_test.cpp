@@ -1,0 +1,226 @@
+// Unit tests for the SCALE-Sim-style baseline: fold geometry, zero-stall
+// timing, buffer partitions, and the traffic model's qualitative behaviour
+// (re-fetch under pressure, partition-direction sensitivity).
+#include <gtest/gtest.h>
+
+#include "model/zoo/zoo.hpp"
+#include "scalesim/simulator.hpp"
+
+namespace rainbow::scalesim {
+namespace {
+
+using model::make_conv;
+using model::make_depthwise;
+using model::make_fully_connected;
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+TEST(Systolic, FoldGeometryDense) {
+  const auto layer = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  const FoldGeometry g = fold_geometry(layer, spec_kb(64));
+  EXPECT_EQ(g.output_rows, 196u);
+  EXPECT_EQ(g.output_cols, 64u);
+  EXPECT_EQ(g.reduction, 3u * 3 * 32);
+  EXPECT_EQ(g.channel_groups, 1u);
+  EXPECT_EQ(g.row_folds, 13u);  // ceil(196/16)
+  EXPECT_EQ(g.col_folds, 4u);
+  EXPECT_EQ(g.folds(), 52u);
+}
+
+TEST(Systolic, FoldGeometryDepthwise) {
+  const auto layer = make_depthwise("dw", 14, 14, 32, 3, 3, 1, 1);
+  const FoldGeometry g = fold_geometry(layer, spec_kb(64));
+  EXPECT_EQ(g.output_cols, 1u);
+  EXPECT_EQ(g.reduction, 9u);
+  EXPECT_EQ(g.channel_groups, 32u);
+  EXPECT_EQ(g.col_folds, 1u);
+  EXPECT_EQ(g.folds(), 13u * 32);
+}
+
+TEST(Systolic, ComputeCyclesFormula) {
+  const auto layer = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  const auto spec = spec_kb(64);
+  // folds x (T + 2*16 - 2)
+  EXPECT_EQ(compute_cycles(layer, spec), 52u * (288 + 30));
+}
+
+TEST(Systolic, UtilizationBounded) {
+  const auto spec = spec_kb(64);
+  for (const auto& net : model::zoo::all_models()) {
+    for (const auto& layer : net.layers()) {
+      const double u = utilization(layer, spec);
+      EXPECT_GT(u, 0.0) << layer.name();
+      EXPECT_LE(u, 1.0) << layer.name();
+    }
+  }
+}
+
+TEST(Systolic, DepthwiseUtilizationIsLow) {
+  // One active column out of 16: utilization can never exceed 1/16.
+  const auto layer = make_depthwise("dw", 56, 56, 128, 3, 3, 1, 1);
+  EXPECT_LE(utilization(layer, spec_kb(64)), 1.0 / 16.0 + 1e-9);
+}
+
+TEST(Buffers, DoubleBufferHalvesUsableSpace) {
+  const DoubleBuffer buf(util::kib(32));
+  EXPECT_EQ(buf.assigned_bytes(), util::kib(32));
+  EXPECT_EQ(buf.usable_bytes(), util::kib(16));
+  EXPECT_EQ(buf.usable_elems(spec_kb(64)), util::kib(16));
+}
+
+TEST(Buffers, PartitionSplitsFeaturePool) {
+  const auto spec = spec_kb(64);
+  const BufferPartition part{.ifmap_fraction = 0.25};
+  const count_t pool = util::kib(64) - 4096;
+  EXPECT_EQ(part.ifmap_buffer(spec).assigned_bytes(), pool / 4);
+  EXPECT_EQ(part.filter_buffer(spec).assigned_bytes(), pool - pool / 4);
+  EXPECT_EQ(part.ofmap_buffer().assigned_bytes(), 4096u);
+}
+
+TEST(Buffers, PartitionLabels) {
+  EXPECT_EQ(BufferPartition{.ifmap_fraction = 0.25}.label(), "sa_25_75");
+  EXPECT_EQ(BufferPartition{.ifmap_fraction = 0.5}.label(), "sa_50_50");
+  EXPECT_EQ(BufferPartition{.ifmap_fraction = 0.75}.label(), "sa_75_25");
+}
+
+TEST(Buffers, InvalidPartitionsThrow) {
+  const auto spec = spec_kb(64);
+  EXPECT_THROW(BufferPartition{.ifmap_fraction = 0.0}.validate(spec),
+               std::invalid_argument);
+  EXPECT_THROW(BufferPartition{.ifmap_fraction = 1.0}.validate(spec),
+               std::invalid_argument);
+  BufferPartition huge_ofmap{.ifmap_fraction = 0.5,
+                             .ofmap_bytes = util::kib(128)};
+  EXPECT_THROW(huge_ofmap.validate(spec), std::invalid_argument);
+}
+
+TEST(Buffers, PaperPartitions) {
+  const auto parts = paper_partitions();
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_DOUBLE_EQ(parts[0].ifmap_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(parts[1].ifmap_fraction, 0.50);
+  EXPECT_DOUBLE_EQ(parts[2].ifmap_fraction, 0.75);
+}
+
+TEST(Simulator, TrafficNeverBelowCompulsory) {
+  // Every operand must cross the DRAM boundary at least once.
+  const Simulator sim(spec_kb(64), BufferPartition{.ifmap_fraction = 0.5});
+  for (const auto& net : model::zoo::all_models()) {
+    for (const auto& layer : net.layers()) {
+      const LayerResult r = sim.simulate_layer(layer);
+      EXPECT_GE(r.traffic.ifmap_reads, layer.ifmap_elems()) << layer.name();
+      EXPECT_GE(r.traffic.filter_reads, layer.filter_elems()) << layer.name();
+      EXPECT_EQ(r.traffic.ofmap_writes, layer.ofmap_elems()) << layer.name();
+    }
+  }
+}
+
+TEST(Simulator, BigBufferReachesCompulsoryTraffic) {
+  const Simulator sim(arch::paper_spec(util::mib(64)),
+                      BufferPartition{.ifmap_fraction = 0.5});
+  const auto layer = make_conv("c", 28, 28, 64, 3, 3, 128, 1, 1);
+  const LayerResult r = sim.simulate_layer(layer);
+  EXPECT_EQ(r.traffic.ifmap_reads, layer.ifmap_elems());
+  EXPECT_EQ(r.traffic.filter_reads, layer.filter_elems());
+}
+
+TEST(Simulator, TrafficMonotoneInBufferSize) {
+  const auto net = model::zoo::resnet18();
+  count_t prev = ~0ull;
+  for (const auto glb : arch::paper_glb_sizes()) {
+    const Simulator sim(arch::paper_spec(glb),
+                        BufferPartition{.ifmap_fraction = 0.5});
+    const RunResult run = sim.run(net);
+    EXPECT_LE(run.total_accesses, prev) << glb;
+    prev = run.total_accesses;
+  }
+}
+
+TEST(Simulator, FilterHeavyLayerPrefersFilterPartition) {
+  // Late ResNet stage: 2.3 MB of filters, 25 kB ifmap.  Assigning 75% of
+  // the memory to filters must not lose to assigning 25%.
+  const auto layer = make_conv("c", 7, 7, 512, 3, 3, 512, 1, 1);
+  const Simulator filters_big(spec_kb(256), BufferPartition{.ifmap_fraction = 0.25});
+  const Simulator ifmap_big(spec_kb(256), BufferPartition{.ifmap_fraction = 0.75});
+  EXPECT_LE(filters_big.simulate_layer(layer).traffic.total(),
+            ifmap_big.simulate_layer(layer).traffic.total());
+}
+
+TEST(Simulator, IfmapHeavyLayerPrefersIfmapPartition) {
+  // Early layer: 1.2 MB ifmap, 0.9 kB of filters.
+  const auto layer = make_conv("c", 112, 112, 96, 3, 3, 32, 2, 1);
+  const Simulator filters_big(spec_kb(256), BufferPartition{.ifmap_fraction = 0.25});
+  const Simulator ifmap_big(spec_kb(256), BufferPartition{.ifmap_fraction = 0.75});
+  EXPECT_LE(ifmap_big.simulate_layer(layer).traffic.total(),
+            filters_big.simulate_layer(layer).traffic.total());
+}
+
+TEST(Simulator, ZeroStallLatencyIndependentOfBuffers) {
+  const auto net = model::zoo::mobilenet();
+  count_t reference = 0;
+  for (const auto glb : arch::paper_glb_sizes()) {
+    for (const auto& part : paper_partitions()) {
+      const Simulator sim(arch::paper_spec(glb), part);
+      const RunResult run = sim.run(net);
+      if (reference == 0) {
+        reference = run.total_cycles;
+      }
+      EXPECT_EQ(run.total_cycles, reference);
+    }
+  }
+}
+
+TEST(Simulator, RunAggregatesLayers) {
+  const Simulator sim(spec_kb(64), BufferPartition{.ifmap_fraction = 0.5});
+  const auto net = model::zoo::mobilenet();
+  const RunResult run = sim.run(net);
+  ASSERT_EQ(run.layers.size(), net.size());
+  count_t accesses = 0;
+  count_t cycles = 0;
+  for (const LayerResult& r : run.layers) {
+    accesses += r.traffic.total();
+    cycles += r.compute_cycles;
+  }
+  EXPECT_EQ(run.total_accesses, accesses);
+  EXPECT_EQ(run.total_cycles, cycles);
+  EXPECT_GT(run.access_mb(sim.spec()), 0.0);
+}
+
+TEST(Simulator, TracedRunMatchesAnalyticTotals) {
+  // The cycle-level fold walk must reproduce the analytic model exactly —
+  // it is the same machine, just materialising its trace.
+  const Simulator sim(spec_kb(64), BufferPartition{.ifmap_fraction = 0.25});
+  const auto net = model::zoo::mobilenet();
+  const RunResult analytic = sim.run(net);
+  const TraceResult traced = sim.run_traced(net);
+  EXPECT_EQ(traced.aggregate.total_accesses, analytic.total_accesses);
+  EXPECT_EQ(traced.aggregate.total_cycles, analytic.total_cycles);
+  ASSERT_EQ(traced.aggregate.layers.size(), net.size());
+  // Every MAC consumes one ifmap and one filter operand; every output is
+  // drained once.
+  count_t expected_writes = 0;
+  for (const auto& layer : net.layers()) {
+    expected_writes += layer.ofmap_elems();
+  }
+  EXPECT_EQ(traced.sram_write_events, expected_writes);
+  // Each reduction step feeds one operand per active row plus one per
+  // active column: fewer events than 2 x MACs (which would be one pair per
+  // PE), more than the number of MAC steps.
+  EXPECT_GT(traced.sram_read_events, 0u);
+  EXPECT_LT(traced.sram_read_events, 2 * net.total_macs());
+  EXPECT_NE(traced.trace_checksum, 0u);
+}
+
+TEST(Simulator, FullyConnectedIsCompulsoryAtAnyPartition) {
+  // rt == 1 for FC layers: no re-fetch whatever the split.
+  const auto fc = make_fully_connected("fc", 2048, 1024);
+  for (const auto& part : paper_partitions()) {
+    const Simulator sim(spec_kb(64), part);
+    const LayerResult r = sim.simulate_layer(fc);
+    EXPECT_EQ(r.traffic.total(),
+              fc.ifmap_elems() + fc.filter_elems() + fc.ofmap_elems());
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::scalesim

@@ -1,0 +1,162 @@
+// Unit tests for the tile schedules: the unrolled loop nests must conserve
+// exactly the traffic and MAC totals the closed-form estimator predicts,
+// for every policy and layer kind.
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.hpp"
+#include "core/estimator.hpp"
+#include "engine/schedule.hpp"
+
+namespace rainbow::engine {
+namespace {
+
+using core::Estimator;
+using core::Policy;
+using core::PolicyChoice;
+using model::Layer;
+using model::make_conv;
+using model::make_depthwise;
+using model::make_fully_connected;
+using model::make_pointwise;
+
+const Estimator& estimator() {
+  static const Estimator est(arch::paper_spec(util::kib(1024)));
+  return est;
+}
+
+void expect_conservation(const Layer& layer, const PolicyChoice& choice) {
+  const auto schedule = build_schedule(layer, choice);
+  const ScheduleTotals sums = totals(schedule);
+  const auto traffic = estimator().traffic(layer, choice);
+  EXPECT_EQ(sums.ifmap_loads, traffic.ifmap_reads)
+      << layer.name() << " " << core::short_label(choice.policy, false);
+  EXPECT_EQ(sums.filter_loads, traffic.filter_reads)
+      << layer.name() << " " << core::short_label(choice.policy, false);
+  EXPECT_EQ(sums.ofmap_stores, traffic.ofmap_writes)
+      << layer.name() << " " << core::short_label(choice.policy, false);
+  EXPECT_EQ(sums.macs, layer.macs())
+      << layer.name() << " " << core::short_label(choice.policy, false);
+}
+
+std::vector<Layer> sample_layers() {
+  return {
+      make_conv("conv", 14, 14, 32, 3, 3, 64, 1, 1),
+      make_conv("strided", 28, 28, 16, 5, 5, 24, 2, 2),
+      make_conv("conv1", 56, 56, 3, 7, 7, 64, 2, 3),
+      make_depthwise("dw", 28, 28, 32, 3, 3, 1, 1),
+      make_depthwise("dw_s2", 28, 28, 32, 3, 3, 2, 1),
+      make_pointwise("pw", 28, 28, 32, 64),
+      make_fully_connected("fc", 256, 100),
+  };
+}
+
+TEST(Schedule, ConservesSimplePolicies) {
+  for (const Layer& layer : sample_layers()) {
+    for (Policy p : {Policy::kIntraLayer, Policy::kIfmapReuse,
+                     Policy::kFilterReuse, Policy::kPerChannel}) {
+      expect_conservation(layer, PolicyChoice{.policy = p});
+    }
+  }
+}
+
+TEST(Schedule, ConservesPartialPolicies) {
+  for (const Layer& layer : sample_layers()) {
+    const int units = layer.is_depthwise() ? layer.channels() : layer.filters();
+    for (int n : {1, 3, units / 2 > 0 ? units / 2 : 1}) {
+      if (n < 1 || n > units) {
+        continue;
+      }
+      expect_conservation(layer, PolicyChoice{.policy = Policy::kPartialIfmap,
+                                              .filter_block = n});
+      expect_conservation(layer,
+                          PolicyChoice{.policy = Policy::kPartialPerChannel,
+                                       .filter_block = n});
+    }
+  }
+}
+
+TEST(Schedule, ConservesFallbackTiling) {
+  for (const Layer& layer : sample_layers()) {
+    const int units = layer.is_depthwise() ? layer.channels() : layer.filters();
+    for (int n : {1, units / 3 > 0 ? units / 3 : 1}) {
+      for (int r : {1, 2, layer.ofmap_h()}) {
+        if (n < 1 || n > units || r < 1 || r > layer.ofmap_h()) {
+          continue;
+        }
+        expect_conservation(layer, PolicyChoice{.policy = Policy::kFallbackTiled,
+                                                .filter_block = n,
+                                                .row_stripe = r});
+      }
+    }
+  }
+}
+
+TEST(Schedule, TileCounts) {
+  const Layer conv = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  EXPECT_EQ(build_schedule(conv, {.policy = Policy::kIntraLayer}).size(), 1u);
+  EXPECT_EQ(build_schedule(conv, {.policy = Policy::kIfmapReuse}).size(), 14u);
+  EXPECT_EQ(build_schedule(conv, {.policy = Policy::kFilterReuse}).size(), 64u);
+  EXPECT_EQ(build_schedule(conv, {.policy = Policy::kPerChannel}).size(),
+            32u * 14);
+  // P4 with n=16: 4 blocks x 14 rows.
+  EXPECT_EQ(build_schedule(conv, {.policy = Policy::kPartialIfmap,
+                                  .filter_block = 16})
+                .size(),
+            4u * 14);
+}
+
+TEST(Schedule, FirstTileCarriesInitialWorkingSet) {
+  const Layer conv = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  const auto p1 = build_schedule(conv, {.policy = Policy::kIfmapReuse});
+  // First tile: all filters + F_H window rows; later tiles: S rows only.
+  EXPECT_EQ(p1.front().load_filter, conv.filter_elems());
+  EXPECT_EQ(p1.front().load_ifmap,
+            3u * static_cast<count_t>(conv.padded_ifmap_w()) * 32);
+  EXPECT_EQ(p1[1].load_filter, 0u);
+  EXPECT_EQ(p1[1].load_ifmap,
+            1u * static_cast<count_t>(conv.padded_ifmap_w()) * 32);
+}
+
+TEST(Schedule, PerChannelDrainsOfmapAtTheEnd) {
+  const Layer conv = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  const auto p3 = build_schedule(conv, {.policy = Policy::kPerChannel});
+  count_t stores_before_last = 0;
+  for (std::size_t i = 0; i + 1 < p3.size(); ++i) {
+    stores_before_last += p3[i].store_ofmap;
+  }
+  EXPECT_EQ(stores_before_last, 0u);
+  EXPECT_EQ(p3.back().store_ofmap, conv.ofmap_elems());
+}
+
+TEST(Schedule, InterlayerAdjustZeroesStreams) {
+  const Layer conv = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  const core::InterlayerAdjust adjust{.ifmap_resident = true,
+                                      .keep_ofmap = true};
+  const auto schedule =
+      build_schedule(conv, {.policy = Policy::kIfmapReuse}, adjust);
+  const ScheduleTotals sums = totals(schedule);
+  EXPECT_EQ(sums.ifmap_loads, 0u);
+  EXPECT_EQ(sums.ofmap_stores, 0u);
+  EXPECT_EQ(sums.filter_loads, conv.filter_elems());
+  EXPECT_EQ(sums.macs, conv.macs());
+}
+
+TEST(Schedule, MacsDistributedAcrossTiles) {
+  const Layer conv = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  const auto schedule = build_schedule(conv, {.policy = Policy::kIfmapReuse});
+  // Even split with the remainder on the last tile: no tile idles.
+  for (const TileOp& op : schedule) {
+    EXPECT_GT(op.macs, 0u);
+  }
+}
+
+TEST(Schedule, BadParametersThrow) {
+  const Layer conv = make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  EXPECT_THROW(build_schedule(conv, {.policy = Policy::kFallbackTiled,
+                                     .filter_block = 1,
+                                     .row_stripe = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rainbow::engine

@@ -1,0 +1,72 @@
+// Tests for the DSE sensitivity analysis.
+#include <gtest/gtest.h>
+
+#include "dse/sensitivity.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::dse {
+namespace {
+
+std::vector<SweepPoint> glb_sweep(const model::Network& net) {
+  SweepConfig config;
+  for (count_t kb = 32; kb <= 1024; kb *= 2) {
+    config.glb_bytes.push_back(util::kib(kb));
+  }
+  return run_sweep(net, config);
+}
+
+TEST(Sensitivity, MarginalUtilityArithmetic) {
+  std::vector<SweepPoint> points(2);
+  points[0].glb_bytes = util::kib(64);
+  points[0].accesses = 1'000'000;
+  points[0].latency_cycles = 5000.0;
+  points[1].glb_bytes = util::kib(128);
+  points[1].accesses = 900'000;
+  points[1].latency_cycles = 4000.0;
+  const auto m = marginal_utility(points, 8);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_DOUBLE_EQ(m[0].bytes_saved_per_byte,
+                   100'000.0 / util::kib(64));
+  EXPECT_DOUBLE_EQ(m[0].latency_saved_cycles, 1000.0);
+}
+
+TEST(Sensitivity, ValidatesInput) {
+  std::vector<SweepPoint> one(1);
+  EXPECT_THROW((void)marginal_utility(one), std::invalid_argument);
+  std::vector<SweepPoint> unsorted(2);
+  unsorted[0].glb_bytes = util::kib(128);
+  unsorted[1].glb_bytes = util::kib(64);
+  EXPECT_THROW((void)marginal_utility(unsorted), std::invalid_argument);
+}
+
+TEST(Sensitivity, MarginalUtilityDecaysOnRealModels) {
+  // Het's access curve flattens fast (Figure 5): the first doubling buys
+  // more than the last one.
+  for (const char* name : {"ResNet18", "GoogLeNet"}) {
+    const auto points = glb_sweep(model::zoo::by_name(name));
+    const auto m = marginal_utility(points);
+    EXPECT_GE(m.front().bytes_saved_per_byte,
+              m.back().bytes_saved_per_byte)
+        << name;
+  }
+}
+
+TEST(Sensitivity, KneeIsWithinTheSweep) {
+  const auto points = glb_sweep(model::zoo::mobilenetv2());
+  const count_t knee = knee_glb_bytes(points);
+  EXPECT_GE(knee, points.front().glb_bytes);
+  EXPECT_LE(knee, points.back().glb_bytes);
+  // MobileNetV2's Het curve is nearly flat (Figure 5): the knee sits at
+  // the small end.
+  EXPECT_LE(knee, util::kib(128));
+}
+
+TEST(Sensitivity, KneeRespectsThreshold) {
+  // A zero threshold is never undercut by a monotone curve until it goes
+  // perfectly flat; a huge threshold trips immediately.
+  const auto points = glb_sweep(model::zoo::resnet18());
+  EXPECT_EQ(knee_glb_bytes(points, 1e12), points.front().glb_bytes);
+}
+
+}  // namespace
+}  // namespace rainbow::dse

@@ -1,0 +1,173 @@
+// Tests for the register-level systolic array: functional correctness of
+// the skewed output-stationary dataflow (against naive GEMM and the golden
+// convolution reference) and cycle-exact agreement with the analytic fold
+// timing the scalesim baseline charges.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "scalesim/systolic.hpp"
+#include "systolic/conv_driver.hpp"
+
+namespace rainbow::systolic {
+namespace {
+
+Matrix random_matrix(int rows, int cols, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dist(-9, 9);
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m.at(r, c) = dist(rng);
+    }
+  }
+  return m;
+}
+
+TEST(PEArrayTest, RejectsBadDimensions) {
+  EXPECT_THROW(PEArray(0, 4), std::invalid_argument);
+  EXPECT_THROW(PEArray(4, -1), std::invalid_argument);
+}
+
+TEST(PEArrayTest, StepValidatesSpans) {
+  PEArray array(2, 3);
+  std::vector<value_t> two(2), three(3);
+  EXPECT_NO_THROW(array.step(two, three));
+  EXPECT_THROW(array.step(three, three), std::invalid_argument);
+  EXPECT_THROW((void)array.acc(2, 0), std::out_of_range);
+}
+
+TEST(PEArrayTest, SinglePEAccumulatesDotProduct) {
+  PEArray array(1, 1);
+  const value_t a[] = {1, 2, 3};
+  const value_t b[] = {4, 5, 6};
+  for (int k = 0; k < 3; ++k) {
+    array.step(std::span(&a[k], 1), std::span(&b[k], 1));
+  }
+  EXPECT_EQ(array.acc(0, 0), 4 + 10 + 18);
+  EXPECT_EQ(array.cycles(), 3u);
+  array.reset();
+  EXPECT_EQ(array.acc(0, 0), 0);
+  EXPECT_EQ(array.cycles(), 0u);
+}
+
+TEST(Gemm, NaiveMatmulKnownValues) {
+  Matrix a(2, 2), b(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const Matrix c = naive_matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  EXPECT_THROW((void)naive_matmul(Matrix(2, 3), Matrix(2, 2)),
+               std::invalid_argument);
+  EXPECT_THROW((void)systolic_matmul(Matrix(2, 3), Matrix(2, 2), 4, 4),
+               std::invalid_argument);
+}
+
+struct GemmShape {
+  int m, k, n, pe;
+};
+
+class SystolicGemmTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(SystolicGemmTest, MatchesNaiveProduct) {
+  const auto [m, k, n, pe] = GetParam();
+  const Matrix a = random_matrix(m, k, 11);
+  const Matrix b = random_matrix(k, n, 12);
+  const GemmRun run = systolic_matmul(a, b, pe, pe);
+  EXPECT_EQ(run.product, naive_matmul(a, b));
+  // Fold structure and cycle count match the closed form.
+  const count_t folds = util::ceil_div(m, pe) * util::ceil_div(n, pe);
+  EXPECT_EQ(run.folds, folds);
+  EXPECT_EQ(run.cycles, folds * (static_cast<count_t>(k) + 2 * pe - 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SystolicGemmTest,
+    ::testing::Values(GemmShape{1, 1, 1, 4}, GemmShape{4, 4, 4, 4},
+                      GemmShape{5, 7, 3, 4},     // ragged folds
+                      GemmShape{16, 9, 16, 16},  // exactly one fold
+                      GemmShape{33, 20, 18, 16}, // multi-fold ragged
+                      GemmShape{8, 64, 8, 8}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "m" + std::to_string(p.m) + "k" + std::to_string(p.k) + "n" +
+             std::to_string(p.n) + "pe" + std::to_string(p.pe);
+    });
+
+TEST(Im2col, MaterializesPaddedPatches) {
+  const auto layer = model::make_conv("c", 3, 3, 1, 3, 3, 1, 1, 1);
+  ref::Tensor3 ifmap(1, 3, 3);
+  int v = 1;
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      ifmap.at(0, y, x) = v++;
+    }
+  }
+  const Matrix a = im2col(layer, ifmap);
+  EXPECT_EQ(a.rows(), 9);
+  EXPECT_EQ(a.cols(), 9);
+  // Output (0,0): the patch around the top-left pixel, padded with zeros.
+  EXPECT_EQ(a.at(0, 0), 0);  // (-1,-1)
+  EXPECT_EQ(a.at(0, 4), 1);  // centre
+  EXPECT_EQ(a.at(0, 5), 2);
+  // Output (1,1): the full centre patch 1..9.
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(a.at(4, i), i + 1);
+  }
+}
+
+TEST(Im2col, ChannelSliceValidation) {
+  const auto layer = model::make_conv("c", 4, 4, 3, 3, 3, 2, 1, 1);
+  const auto ops = ref::random_operands(layer, 5);
+  EXPECT_THROW((void)im2col(layer, ops.ifmap, 2, 2), std::invalid_argument);
+  const Matrix slice = im2col(layer, ops.ifmap, 1, 2);
+  EXPECT_EQ(slice.cols(), 2 * 9);
+}
+
+struct ConvShape {
+  const char* name;
+  model::Layer layer;
+};
+
+class SystolicConvTest : public ::testing::TestWithParam<ConvShape> {};
+
+TEST_P(SystolicConvTest, MatchesReferenceAndTimingModel) {
+  const model::Layer& layer = GetParam().layer;
+  const auto spec = arch::paper_spec(util::kib(64));
+  const auto ops = ref::random_operands(layer, 21);
+
+  const ConvRun run = run_conv(layer, ops, spec);
+  EXPECT_EQ(run.ofmap, ref::reference_forward(layer, ops));
+
+  // Cycle-for-cycle agreement with the analytic fold model (square array).
+  EXPECT_EQ(run.cycles, scalesim::compute_cycles(layer, spec));
+  EXPECT_EQ(run.folds, scalesim::fold_geometry(layer, spec).folds());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layers, SystolicConvTest,
+    ::testing::Values(
+        ConvShape{"conv3x3", model::make_conv("c", 10, 10, 3, 3, 3, 20, 1, 1)},
+        ConvShape{"strided5x5", model::make_conv("c", 11, 11, 2, 5, 5, 7, 2, 2)},
+        ConvShape{"pointwise", model::make_pointwise("pw", 9, 9, 8, 18)},
+        ConvShape{"depthwise", model::make_depthwise("dw", 9, 9, 5, 3, 3, 1, 1)},
+        ConvShape{"depthwise_s2",
+                  model::make_depthwise("dw", 12, 12, 3, 3, 3, 2, 1)},
+        ConvShape{"dense", model::make_fully_connected("fc", 40, 25)},
+        ConvShape{"projection", model::make_projection("pl", 8, 8, 6, 10, 2)}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace rainbow::systolic

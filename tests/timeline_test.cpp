@@ -1,0 +1,80 @@
+// Tests for the engine timeline diagnostics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/estimator.hpp"
+#include "engine/engine.hpp"
+#include "engine/timeline.hpp"
+
+namespace rainbow::engine {
+namespace {
+
+using core::Policy;
+using core::PolicyChoice;
+
+arch::AcceleratorSpec spec_kb(count_t kb) { return arch::paper_spec(util::kib(kb)); }
+
+TEST(Timeline, TotalsMatchTheEngine) {
+  const auto spec = spec_kb(1024);
+  const Engine engine(spec);
+  const auto layer = model::make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  for (Policy p : {Policy::kIfmapReuse, Policy::kFilterReuse}) {
+    for (bool prefetch : {false, true}) {
+      const PolicyChoice choice{.policy = p, .prefetch = prefetch};
+      const TimelineStats stats = layer_timeline(spec, layer, choice);
+      const auto exec = engine.execute_layer(layer, choice);
+      EXPECT_NEAR(stats.total_cycles, exec.latency_cycles,
+                  1e-6 * exec.latency_cycles)
+          << core::to_string(p) << prefetch;
+    }
+  }
+}
+
+TEST(Timeline, BusyTimesEqualResourceDemands) {
+  const auto spec = spec_kb(1024);
+  const auto layer = model::make_conv("c", 14, 14, 32, 3, 3, 64, 1, 1);
+  const PolicyChoice choice{.policy = Policy::kIfmapReuse, .prefetch = true};
+  const TimelineStats stats = layer_timeline(spec, layer, choice);
+  const core::Estimator est(spec);
+  const auto e = est.estimate_choice(layer, choice);
+  EXPECT_NEAR(stats.dram_busy_cycles,
+              static_cast<double>(e.accesses()) / spec.elements_per_cycle(),
+              1.0);
+  EXPECT_NEAR(stats.compute_busy_cycles, e.compute_cycles, 1e-6);
+  EXPECT_LE(stats.dram_utilization(), 1.0 + 1e-9);
+  EXPECT_LE(stats.compute_utilization(), 1.0 + 1e-9);
+}
+
+TEST(Timeline, PrefetchRaisesComputeUtilization) {
+  const auto spec = spec_kb(1024);
+  const auto layer = model::make_conv("c", 28, 28, 64, 3, 3, 128, 1, 1);
+  const TimelineStats serial =
+      layer_timeline(spec, layer, {.policy = Policy::kIfmapReuse});
+  const TimelineStats overlap = layer_timeline(
+      spec, layer, {.policy = Policy::kIfmapReuse, .prefetch = true});
+  EXPECT_GT(overlap.compute_utilization(), serial.compute_utilization());
+  EXPECT_LT(overlap.exposed_transfer_cycles(),
+            serial.exposed_transfer_cycles());
+}
+
+TEST(Timeline, RenderProducesTwoAlignedRows) {
+  const auto spec = spec_kb(1024);
+  const auto layer = model::make_conv("c", 14, 14, 16, 3, 3, 32, 1, 1);
+  const std::string chart = render_timeline(
+      spec, layer, {.policy = Policy::kFilterReuse, .prefetch = true}, 40);
+  EXPECT_NE(chart.find("DRAM"), std::string::npos);
+  EXPECT_NE(chart.find("compute"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  // Both occupancy rows have exactly the requested width.
+  std::istringstream is(chart);
+  std::string line;
+  std::getline(is, line);  // header
+  std::getline(is, line);
+  EXPECT_EQ(line.size(), std::string("  DRAM    ").size() + 40);
+  std::getline(is, line);
+  EXPECT_EQ(line.size(), std::string("  compute ").size() + 40);
+}
+
+}  // namespace
+}  // namespace rainbow::engine

@@ -1,0 +1,120 @@
+// Tests for the SCALE-Sim-style trace writer: file structure, address
+// ranges, determinism, truncation, and consistency with the fold model.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "scalesim/trace_writer.hpp"
+#include "scalesim/systolic.hpp"
+#include "util/csv.hpp"
+
+namespace rainbow::scalesim {
+namespace {
+
+std::filesystem::path temp_trace(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(TraceWriter, RowCountMatchesStreamingCycles) {
+  const auto layer = model::make_conv("c", 6, 6, 4, 3, 3, 8, 1, 1);
+  const auto spec = arch::paper_spec(util::kib(64));
+  const auto path = temp_trace("rainbow_trace1.csv");
+  const auto info = write_sram_trace(layer, spec, path);
+  // One row per streaming cycle: folds x T.
+  const FoldGeometry g = fold_geometry(layer, spec);
+  EXPECT_EQ(info.rows_written, g.folds() * g.reduction);
+  EXPECT_EQ(info.cycles_total, info.rows_written);
+  EXPECT_FALSE(info.truncated);
+
+  const auto rows = util::read_csv(path);
+  EXPECT_EQ(rows.size(), info.rows_written + 1);  // + header
+  // Header: cycle + 16 ifmap + 16 filter columns.
+  EXPECT_EQ(rows[0].size(), 1u + 16 + 16);
+  EXPECT_EQ(rows[0][0], "cycle");
+  std::filesystem::remove(path);
+}
+
+TEST(TraceWriter, AddressesSeparateOperandSpaces) {
+  const auto layer = model::make_conv("c", 4, 4, 2, 3, 3, 4, 1, 1);
+  const auto spec = arch::paper_spec(util::kib(64));
+  const auto path = temp_trace("rainbow_trace2.csv");
+  const TraceWriterOptions options{.filter_base = 1u << 20};
+  (void)write_sram_trace(layer, spec, path, options);
+  const auto rows = util::read_csv(path);
+  const count_t ifmap_space =
+      static_cast<count_t>(layer.ofmap_h()) * layer.ofmap_w() *
+      layer.filter_h() * layer.filter_w() * layer.channels();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    for (std::size_t col = 1; col <= 16; ++col) {
+      if (rows[i][col] == "-") {
+        continue;
+      }
+      EXPECT_LT(std::stoull(rows[i][col]), ifmap_space);
+    }
+    for (std::size_t col = 17; col <= 32; ++col) {
+      if (rows[i][col] == "-") {
+        continue;
+      }
+      EXPECT_GE(std::stoull(rows[i][col]), options.filter_base);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceWriter, InactiveLanesAreMarked) {
+  // 4 filters on a 16-wide array: 12 filter lanes idle every cycle.
+  const auto layer = model::make_conv("c", 4, 4, 2, 3, 3, 4, 1, 1);
+  const auto spec = arch::paper_spec(util::kib(64));
+  const auto path = temp_trace("rainbow_trace3.csv");
+  (void)write_sram_trace(layer, spec, path);
+  const auto rows = util::read_csv(path);
+  ASSERT_GT(rows.size(), 1u);
+  int idle = 0;
+  for (std::size_t col = 17; col <= 32; ++col) {
+    if (rows[1][col] == "-") {
+      ++idle;
+    }
+  }
+  EXPECT_EQ(idle, 12);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceWriter, TruncationCapsRowsButCountsCycles) {
+  const auto layer = model::make_conv("c", 8, 8, 8, 3, 3, 16, 1, 1);
+  const auto spec = arch::paper_spec(util::kib(64));
+  const auto path = temp_trace("rainbow_trace4.csv");
+  const auto info = write_sram_trace(layer, spec, path, {.max_rows = 100});
+  EXPECT_EQ(info.rows_written, 100u);
+  EXPECT_TRUE(info.truncated);
+  const FoldGeometry g = fold_geometry(layer, spec);
+  EXPECT_EQ(info.cycles_total, g.folds() * g.reduction);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceWriter, DeterministicOutput) {
+  const auto layer = model::make_depthwise("dw", 5, 5, 3, 3, 3, 1, 1);
+  const auto spec = arch::paper_spec(util::kib(64));
+  const auto a = temp_trace("rainbow_trace5a.csv");
+  const auto b = temp_trace("rainbow_trace5b.csv");
+  (void)write_sram_trace(layer, spec, a);
+  (void)write_sram_trace(layer, spec, b);
+  std::ifstream fa(a), fb(b);
+  std::string sa((std::istreambuf_iterator<char>(fa)), {});
+  std::string sb((std::istreambuf_iterator<char>(fb)), {});
+  EXPECT_EQ(sa, sb);
+  EXPECT_FALSE(sa.empty());
+  std::filesystem::remove(a);
+  std::filesystem::remove(b);
+}
+
+TEST(TraceWriter, UnwritablePathThrows) {
+  const auto layer = model::make_conv("c", 4, 4, 2, 3, 3, 4, 1, 1);
+  const auto spec = arch::paper_spec(util::kib(64));
+  EXPECT_THROW(
+      (void)write_sram_trace(layer, spec, "/nonexistent/dir/trace.csv"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rainbow::scalesim

@@ -1,0 +1,235 @@
+// Unit tests for the utility layer: numeric helpers, statistics, table and
+// CSV rendering, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace rainbow::util {
+namespace {
+
+TEST(CeilDiv, ExactDivision) { EXPECT_EQ(ceil_div(12, 4), 3u); }
+
+TEST(CeilDiv, RoundsUp) {
+  EXPECT_EQ(ceil_div(13, 4), 4u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+}
+
+TEST(CeilDiv, ZeroNumerator) { EXPECT_EQ(ceil_div(0, 4), 0u); }
+
+TEST(CeilDiv, ZeroDenominatorThrows) {
+  EXPECT_THROW(ceil_div(1, 0), std::invalid_argument);
+}
+
+TEST(Units, KibAndMib) {
+  EXPECT_EQ(kib(64), 65536u);
+  EXPECT_EQ(mib(1), 1048576u);
+  EXPECT_EQ(mib(2), 2 * kib(1024));
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512.0), "512.0 B");
+  EXPECT_EQ(format_bytes(2048.0), "2.0 kB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.5 MB");
+}
+
+TEST(Geomean, SingleValue) {
+  const double v[] = {7.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 7.0);
+}
+
+TEST(Geomean, KnownValue) {
+  const double v[] = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-12);
+}
+
+TEST(Geomean, EmptyThrows) {
+  EXPECT_THROW(geomean(std::span<const double>{}), std::invalid_argument);
+}
+
+TEST(Geomean, NonPositiveThrows) {
+  const double v[] = {1.0, 0.0};
+  EXPECT_THROW(geomean(v), std::invalid_argument);
+  const double w[] = {1.0, -2.0};
+  EXPECT_THROW(geomean(w), std::invalid_argument);
+}
+
+TEST(Mean, KnownValue) {
+  const double v[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Mean, EmptyThrows) {
+  EXPECT_THROW(mean(std::span<const double>{}), std::invalid_argument);
+}
+
+TEST(BenefitPercent, Reduction) {
+  EXPECT_DOUBLE_EQ(benefit_percent(100.0, 20.0), 80.0);
+}
+
+TEST(BenefitPercent, Regression) {
+  EXPECT_DOUBLE_EQ(benefit_percent(100.0, 133.0), -33.0);
+}
+
+TEST(BenefitPercent, ZeroReferenceThrows) {
+  EXPECT_THROW(benefit_percent(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(RunningStats, TracksMinMaxMean) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(RunningStats, EmptyAccessThrows) {
+  RunningStats s;
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.max(), std::logic_error);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, PrintsCsv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+}
+
+TEST(FmtCount, GroupsThousands) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+TEST(Csv, SplitTrimsWhitespace) {
+  const auto fields = split_csv_line(" a , b,c ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Csv, SplitKeepsEmptyFields) {
+  const auto fields = split_csv_line("a,,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(Csv, RoundTripThroughFile) {
+  const auto path = std::filesystem::temp_directory_path() / "rainbow_csv_test.csv";
+  write_csv(path, {{"h1", "h2"}, {"1", "2"}});
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "h1");
+  EXPECT_EQ(rows[1][1], "2");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ReadSkipsCommentsAndBlanks) {
+  const auto path = std::filesystem::temp_directory_path() / "rainbow_csv_test2.csv";
+  {
+    std::ofstream out(path);
+    out << "# comment\n\na,b\n";
+  }
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/rainbow.csv"), std::runtime_error);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, SurvivesExceptionAndContinues) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();  // the earlier exception was consumed
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForEach, AppliesToEveryElement) {
+  std::vector<int> values(50, 0);
+  parallel_for_each(values, [](int& v) { v = 7; }, 4);
+  for (int v : values) {
+    EXPECT_EQ(v, 7);
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::util

@@ -1,0 +1,83 @@
+// Golden-dimension tests for the hand-encoded zoo: spot-checks of known
+// layer shapes from the original architecture papers, guarding the tables
+// against silent edits.  Parameterized as (model, layer name, expected
+// ih, ci, fh, nf, s, oh).
+#include <gtest/gtest.h>
+
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::model::zoo {
+namespace {
+
+struct GoldenLayer {
+  const char* model;
+  const char* layer;
+  int ih, ci, fh, nf, s, oh;
+};
+
+class GoldenDims : public ::testing::TestWithParam<GoldenLayer> {};
+
+TEST_P(GoldenDims, MatchesTheArchitecturePaper) {
+  const GoldenLayer g = GetParam();
+  const Network net = by_name(g.model);
+  const Layer* found = nullptr;
+  for (const Layer& layer : net.layers()) {
+    if (layer.name() == g.layer) {
+      found = &layer;
+      break;
+    }
+  }
+  ASSERT_NE(found, nullptr) << g.model << "/" << g.layer;
+  EXPECT_EQ(found->ifmap_h(), g.ih);
+  EXPECT_EQ(found->channels(), g.ci);
+  EXPECT_EQ(found->filter_h(), g.fh);
+  EXPECT_EQ(found->filters(), g.nf);
+  EXPECT_EQ(found->stride(), g.s);
+  EXPECT_EQ(found->ofmap_h(), g.oh);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, GoldenDims,
+    ::testing::Values(
+        // ResNet18: stem, stage transitions, projections, head.
+        GoldenLayer{"ResNet18", "conv1", 224, 3, 7, 64, 2, 112},
+        GoldenLayer{"ResNet18", "conv3_1a", 56, 64, 3, 128, 2, 28},
+        GoldenLayer{"ResNet18", "conv3_proj", 56, 64, 1, 128, 2, 28},
+        GoldenLayer{"ResNet18", "conv5_2b", 7, 512, 3, 512, 1, 7},
+        GoldenLayer{"ResNet18", "fc", 1, 512, 1, 1000, 1, 1},
+        // MobileNet: the 13 separable pairs' corner points.
+        GoldenLayer{"MobileNet", "sep1_dw", 112, 32, 3, 32, 1, 112},
+        GoldenLayer{"MobileNet", "sep2_dw", 112, 64, 3, 64, 2, 56},
+        GoldenLayer{"MobileNet", "sep12_pw", 7, 512, 1, 1024, 1, 7},
+        // MobileNetV2: the inverted-residual groups.
+        GoldenLayer{"MobileNetV2", "block2_expand", 112, 16, 1, 96, 1, 112},
+        GoldenLayer{"MobileNetV2", "block2_dw", 112, 96, 3, 96, 2, 56},
+        GoldenLayer{"MobileNetV2", "block17_project", 7, 960, 1, 320, 1, 7},
+        GoldenLayer{"MobileNetV2", "conv_head", 7, 320, 1, 1280, 1, 7},
+        // GoogLeNet: stem and inception 4e's 5x5 branch.
+        GoldenLayer{"GoogLeNet", "conv2", 56, 64, 3, 192, 1, 56},
+        GoldenLayer{"GoogLeNet", "4e_5x5", 14, 32, 5, 128, 1, 14},
+        GoldenLayer{"GoogLeNet", "5b_1x1", 7, 832, 1, 384, 1, 7},
+        GoldenLayer{"GoogLeNet", "aux1_fc1", 1, 2048, 1, 1024, 1, 1},
+        // MnasNet-B1: 5x5 stages.
+        GoldenLayer{"MnasNet", "block4_dw", 56, 72, 5, 72, 2, 28},
+        GoldenLayer{"MnasNet", "block16_project", 7, 1152, 1, 320, 1, 7},
+        // EfficientNet-B0: squeeze-and-excite shapes.
+        GoldenLayer{"EfficientNetB0", "block2_se_squeeze", 1, 96, 1, 4, 1, 1},
+        GoldenLayer{"EfficientNetB0", "block15_dw", 7, 1152, 5, 1152, 1, 7},
+        // Extras.
+        GoldenLayer{"VGG16", "conv5_3", 14, 512, 3, 512, 1, 14},
+        GoldenLayer{"AlexNet", "conv1", 227, 3, 11, 96, 4, 55}),
+    [](const auto& info) {
+      std::string name = std::string(info.param.model) + "_" +
+                         info.param.layer;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace rainbow::model::zoo

@@ -1,0 +1,168 @@
+// rainbow_dse: the co-design sweep as a command-line tool — evaluate a
+// model over a GLB/width/batch grid, print the points, the Pareto front,
+// the marginal utility of each size step, and the sizing recommendations.
+//
+//   rainbow_dse --model mobilenetv2
+//   rainbow_dse --model resnet18 --min-kb 16 --max-kb 4096 --widths 8,16
+//   rainbow_dse --model googlenet --interlayer --csv sweep.csv
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "dse/pareto.hpp"
+#include "dse/sensitivity.hpp"
+#include "model/parser.hpp"
+#include "model/summary.hpp"
+#include "model/zoo/zoo.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rainbow;
+
+std::vector<int> parse_int_list(const std::string& csv) {
+  std::vector<int> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const std::string item =
+        csv.substr(start, comma == std::string::npos ? csv.size() - start
+                                                     : comma - start);
+    if (!item.empty()) {
+      out.push_back(std::atoi(item.c_str()));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_name;
+  count_t min_kb = 32, max_kb = 2048;
+  std::vector<int> widths = {8};
+  std::vector<int> batches = {1};
+  bool interlayer = false;
+  std::optional<std::string> csv_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << '\n';
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--model") {
+      model_name = next();
+    } else if (flag == "--min-kb") {
+      min_kb = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--max-kb") {
+      max_kb = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--widths") {
+      widths = parse_int_list(next());
+    } else if (flag == "--batches") {
+      batches = parse_int_list(next());
+    } else if (flag == "--interlayer") {
+      interlayer = true;
+    } else if (flag == "--csv") {
+      csv_path = next();
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " --model <zoo-name|file.model> [--min-kb N] [--max-kb N]"
+                   " [--widths 8,16] [--batches 1,8] [--interlayer]"
+                   " [--csv path]\n";
+      return flag == "--help" || flag == "-h" ? 0 : 2;
+    }
+  }
+  if (model_name.empty()) {
+    std::cerr << "--model is required\n";
+    return 2;
+  }
+
+  try {
+    const model::Network net =
+        std::filesystem::exists(model_name)
+            ? model::load_network(model_name)
+            : model::zoo::by_name(model_name);
+
+    dse::SweepConfig config;
+    for (count_t kb = min_kb; kb <= max_kb; kb *= 2) {
+      config.glb_bytes.push_back(util::kib(kb));
+    }
+    config.data_width_bits = widths;
+    config.batch_sizes = batches;
+    config.with_interlayer = interlayer;
+    const auto points = dse::run_sweep(net, config);
+
+    const auto front = dse::pareto_front(
+        points, [](const dse::SweepPoint& p) { return p.access_mb; },
+        [](const dse::SweepPoint& p) { return p.latency_cycles; });
+    std::vector<char> on_front(points.size(), 0);
+    for (std::size_t i : front) {
+      on_front[i] = 1;
+    }
+
+    util::Table table({"GLB kB", "width", "batch", "inter", "MB/img",
+                       "Mcyc/img", "energy mJ", "pareto"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      table.add_row({std::to_string(p.glb_bytes / 1024),
+                     std::to_string(p.data_width_bits),
+                     std::to_string(p.batch), p.interlayer ? "y" : "-",
+                     util::fmt(p.access_mb_per_image(), 2),
+                     util::fmt(p.latency_per_image() / 1e6, 2),
+                     util::fmt(p.energy_mj, 2), on_front[i] ? "*" : ""});
+    }
+    std::cout << "co-design sweep for " << net.name() << " ("
+              << points.size() << " points, " << front.size()
+              << " on the accesses/latency Pareto front)\n";
+    table.print(std::cout);
+
+    // Size sensitivity needs a single-axis slice: only when the grid has
+    // one width/batch/interlayer setting.
+    if (widths.size() == 1 && batches.size() == 1 && !interlayer) {
+      std::cout << "\nmarginal utility per size step (bytes saved / byte):\n";
+      for (const auto& m : dse::marginal_utility(points, widths[0])) {
+        std::cout << "  " << m.from_bytes / 1024 << " -> "
+                  << m.to_bytes / 1024 << " kB: "
+                  << util::fmt(m.bytes_saved_per_byte, 2) << '\n';
+      }
+      std::cout << "knee: " << dse::knee_glb_bytes(points, 1.0, widths[0]) / 1024
+                << " kB\n";
+    }
+    const auto summary = model::summarize(net);
+    std::cout << "profile: " << model::to_string(summary.dominance)
+              << ", recommended fixed-split ifmap fraction "
+              << util::fmt(model::recommended_ifmap_fraction(summary), 2)
+              << " (if you must split)\n";
+
+    if (csv_path) {
+      std::ofstream out(*csv_path);
+      if (!out) {
+        std::cerr << "cannot open " << *csv_path << '\n';
+        return 1;
+      }
+      out << "glb_bytes,width_bits,batch,interlayer,accesses,latency_cycles,"
+             "energy_mj,pareto\n";
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto& p = points[i];
+        out << p.glb_bytes << ',' << p.data_width_bits << ',' << p.batch
+            << ',' << (p.interlayer ? 1 : 0) << ',' << p.accesses << ','
+            << p.latency_cycles << ',' << p.energy_mj << ','
+            << int(on_front[i]) << '\n';
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rainbow_dse: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,315 @@
+// rainbow_plan: command-line front end of the memory manager (the paper's
+// Figure 4 flow as a tool).  Takes a CNN description — a built-in zoo name
+// or a .model text file — and accelerator specifications, and emits the
+// execution plan, optionally as a per-layer table, CSV, or a lowered
+// command stream.
+//
+//   rainbow_plan --model resnet18 --glb 64 --objective accesses --describe
+//   rainbow_plan --model mynet.model --glb 256 --width 16 --interlayer
+//   rainbow_plan --model mobilenet --glb 64 --lower 2
+//   rainbow_plan --model googlenet --glb 64 --baseline
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "codegen/lower.hpp"
+#include "codegen/print.hpp"
+#include "core/energy.hpp"
+#include "core/manager.hpp"
+#include "core/plan_io.hpp"
+#include "core/report.hpp"
+#include "engine/timeline.hpp"
+#include "model/parser.hpp"
+#include "model/zoo/zoo.hpp"
+#include "scalesim/simulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rainbow;
+
+struct CliOptions {
+  std::string model;
+  count_t glb_kb = 64;
+  int width_bits = 8;
+  int batch = 1;
+  core::Objective objective = core::Objective::kAccesses;
+  bool homogeneous = false;
+  bool interlayer = false;
+  bool no_prefetch = false;
+  bool no_padding = false;
+  bool describe = false;
+  bool baseline = false;
+  std::optional<std::size_t> explain_layer;  // per-layer candidate table
+  std::optional<std::size_t> timeline_layer; // ASCII occupancy chart
+  std::optional<std::size_t> lower_layers;  // print the command stream
+  std::optional<std::string> csv_path;
+  std::optional<std::string> json_path;
+  std::optional<std::string> plan_out;  // save the decisions
+  std::optional<std::string> plan_in;   // load + validate instead of planning
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: " << argv0 << " --model <zoo-name|file.model> [options]\n"
+     << "  --glb <kB>          unified scratchpad size (default 64)\n"
+     << "  --width <bits>      element width, multiple of 8 (default 8)\n"
+     << "  --batch <N>         inference batch size (default 1)\n"
+     << "  --objective <o>     accesses | latency (default accesses)\n"
+     << "  --hom               best homogeneous plan instead of Het\n"
+     << "  --interlayer        enable inter-layer reuse\n"
+     << "  --no-prefetch       disable the +p policy variants\n"
+     << "  --no-padding        exclude ifmap padding from traffic\n"
+     << "  --describe          per-layer plan table\n"
+     << "  --explain <layer>   candidate table for one layer index\n"
+     << "  --timeline <layer>  DRAM/compute occupancy chart for one layer\n"
+     << "  --baseline          compare against the fixed-partition baseline\n"
+     << "  --lower [N]         print the lowered command stream (N layers)\n"
+     << "  --csv <path>        append a machine-readable summary\n"
+     << "  --json <path>       write the full plan report as JSON\n"
+     << "  --plan-out <path>   save the plan's decisions (.plan format)\n"
+     << "  --plan-in <path>    load + validate a saved plan instead of planning\n"
+     << "  --list-models       list built-in networks\n";
+  std::exit(code);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        usage(argv[0], 2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--model") {
+      opt.model = next("--model");
+    } else if (flag == "--glb") {
+      opt.glb_kb = std::strtoull(next("--glb").c_str(), nullptr, 10);
+    } else if (flag == "--width") {
+      opt.width_bits = std::atoi(next("--width").c_str());
+    } else if (flag == "--batch") {
+      opt.batch = std::atoi(next("--batch").c_str());
+    } else if (flag == "--objective") {
+      const std::string o = next("--objective");
+      if (o == "accesses") {
+        opt.objective = core::Objective::kAccesses;
+      } else if (o == "latency") {
+        opt.objective = core::Objective::kLatency;
+      } else {
+        std::cerr << "unknown objective '" << o << "'\n";
+        usage(argv[0], 2);
+      }
+    } else if (flag == "--hom") {
+      opt.homogeneous = true;
+    } else if (flag == "--interlayer") {
+      opt.interlayer = true;
+    } else if (flag == "--no-prefetch") {
+      opt.no_prefetch = true;
+    } else if (flag == "--no-padding") {
+      opt.no_padding = true;
+    } else if (flag == "--describe") {
+      opt.describe = true;
+    } else if (flag == "--explain") {
+      opt.explain_layer = std::strtoull(next("--explain").c_str(), nullptr, 10);
+    } else if (flag == "--timeline") {
+      opt.timeline_layer =
+          std::strtoull(next("--timeline").c_str(), nullptr, 10);
+    } else if (flag == "--baseline") {
+      opt.baseline = true;
+    } else if (flag == "--lower") {
+      std::size_t layers = 3;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        layers = std::strtoull(argv[++i], nullptr, 10);
+      }
+      opt.lower_layers = layers;
+    } else if (flag == "--csv") {
+      opt.csv_path = next("--csv");
+    } else if (flag == "--json") {
+      opt.json_path = next("--json");
+    } else if (flag == "--plan-out") {
+      opt.plan_out = next("--plan-out");
+    } else if (flag == "--plan-in") {
+      opt.plan_in = next("--plan-in");
+    } else if (flag == "--list-models") {
+      for (const auto& name : model::zoo::model_names()) {
+        std::cout << name << '\n';
+      }
+      std::exit(0);
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      usage(argv[0], 2);
+    }
+  }
+  if (opt.model.empty()) {
+    std::cerr << "--model is required\n";
+    usage(argv[0], 2);
+  }
+  return opt;
+}
+
+model::Network load_model(const std::string& name) {
+  if (std::filesystem::exists(name)) {
+    return model::load_network(name);
+  }
+  return model::zoo::by_name(name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+  try {
+    const model::Network net = load_model(opt.model);
+
+    arch::AcceleratorSpec spec = arch::paper_spec(util::kib(opt.glb_kb));
+    spec.data_width_bits = opt.width_bits;
+    spec.validate();
+
+    core::ManagerOptions options;
+    options.analyzer.allow_prefetch = !opt.no_prefetch;
+    options.analyzer.estimator.padded_traffic = !opt.no_padding;
+    options.analyzer.estimator.batch = opt.batch;
+    options.interlayer_reuse = opt.interlayer;
+    const core::MemoryManager manager(spec, options);
+
+    const core::ExecutionPlan plan =
+        opt.plan_in
+            ? core::load_plan(*opt.plan_in, net, options.analyzer.estimator)
+            : (opt.homogeneous ? manager.plan_homogeneous(net, opt.objective)
+                               : manager.plan(net, opt.objective));
+    const core::EnergyBreakdown energy = core::plan_energy(plan, net);
+
+    std::cout << plan.scheme() << " plan for " << net.name() << " ("
+              << net.size() << " layers) @ " << opt.glb_kb << " kB GLB, "
+              << opt.width_bits << "-bit, batch " << opt.batch
+              << ", objective " << core::to_string(opt.objective) << "\n"
+              << "  off-chip:  " << util::fmt(plan.total_access_mb(), 2)
+              << " MB (" << util::fmt_count(plan.total_accesses())
+              << " elements)\n"
+              << "  latency:   "
+              << util::fmt(plan.total_latency_cycles() / 1e6, 2)
+              << " Mcycles (compute floor "
+              << util::fmt(plan.total_compute_cycles() / 1e6, 2) << ")\n"
+              << "  energy:    " << util::fmt(energy.total_mj(), 2)
+              << " mJ (DRAM " << util::fmt(energy.dram_pj * 1e-9, 2)
+              << ")\n"
+              << "  prefetch:  "
+              << util::fmt(100.0 * plan.prefetch_coverage(), 0)
+              << "% of layers"
+              << (opt.interlayer
+                      ? ", inter-layer links: " +
+                            std::to_string(plan.interlayer_links())
+                      : std::string())
+              << '\n';
+
+    if (opt.describe) {
+      std::cout << '\n' << manager.describe(plan, net);
+    }
+
+    if (opt.explain_layer) {
+      if (*opt.explain_layer >= net.size()) {
+        std::cerr << "rainbow_plan: --explain layer index out of range\n";
+        return 1;
+      }
+      const model::Layer& layer = net.layer(*opt.explain_layer);
+      std::cout << "\ncandidates for layer " << *opt.explain_layer << " (";
+      std::cout << layer << "):\n";
+      util::Table table({"candidate", "memory kB", "accesses", "latency cyc",
+                         "feasible", "chosen"});
+      for (const auto& c :
+           manager.analyzer().explain(layer, opt.objective)) {
+        std::ostringstream label;
+        label << c.estimate.choice;
+        table.add_row(
+            {label.str(),
+             util::fmt(static_cast<double>(c.estimate.memory_elems() *
+                                           spec.element_bytes()) /
+                       1024.0),
+             util::fmt_count(c.estimate.accesses()),
+             util::fmt_count(static_cast<unsigned long long>(
+                 c.estimate.latency_cycles)),
+             c.estimate.feasible ? "yes" : "no", c.chosen ? "<-- " : ""});
+      }
+      table.print(std::cout);
+    }
+
+    if (opt.timeline_layer) {
+      if (*opt.timeline_layer >= net.size()) {
+        std::cerr << "rainbow_plan: --timeline layer index out of range\n";
+        return 1;
+      }
+      const auto& assignment = plan.assignment(*opt.timeline_layer);
+      std::cout << '\n'
+                << engine::render_timeline(spec,
+                                           net.layer(*opt.timeline_layer),
+                                           assignment.estimate.choice);
+      const auto stats = engine::layer_timeline(
+          spec, net.layer(*opt.timeline_layer), assignment.estimate.choice);
+      std::cout << "  DRAM busy " << util::fmt(100.0 * stats.dram_utilization())
+                << "%, compute busy "
+                << util::fmt(100.0 * stats.compute_utilization())
+                << "%, exposed transfer "
+                << util::fmt_count(static_cast<unsigned long long>(
+                       stats.exposed_transfer_cycles()))
+                << " cycles\n";
+    }
+
+    if (opt.baseline) {
+      std::cout << "\nfixed-partition baseline (SCALE-Sim-style, OS):\n";
+      for (const auto& part : scalesim::paper_partitions()) {
+        const scalesim::Simulator sim(spec, part);
+        const auto run = sim.run(net);
+        std::cout << "  " << part.label() << ": "
+                  << util::fmt(run.access_mb(spec), 2) << " MB, "
+                  << util::fmt(static_cast<double>(run.total_cycles) / 1e6, 2)
+                  << " Mcycles (zero-stall)\n";
+      }
+    }
+
+    if (opt.lower_layers) {
+      const codegen::Program program = codegen::lower(plan, net);
+      std::cout << '\n';
+      codegen::print(program, std::cout,
+                     {.compress_loops = true, .max_layers = *opt.lower_layers});
+    }
+
+    if (opt.plan_out) {
+      core::save_plan(plan, *opt.plan_out);
+    }
+
+    if (opt.json_path) {
+      std::ofstream out(*opt.json_path);
+      if (!out) {
+        std::cerr << "cannot open " << *opt.json_path << '\n';
+        return 1;
+      }
+      core::write_json(core::build_report(plan, net), out);
+    }
+
+    if (opt.csv_path) {
+      std::ofstream out(*opt.csv_path, std::ios::app);
+      if (!out) {
+        std::cerr << "cannot open " << *opt.csv_path << '\n';
+        return 1;
+      }
+      out << net.name() << ',' << plan.scheme() << ',' << opt.glb_kb << ','
+          << opt.width_bits << ',' << opt.batch << ','
+          << core::to_string(opt.objective) << ',' << plan.total_accesses()
+          << ',' << util::fmt(plan.total_latency_cycles(), 0) << ','
+          << util::fmt(energy.total_mj(), 4) << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rainbow_plan: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

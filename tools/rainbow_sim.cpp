@@ -1,0 +1,175 @@
+// rainbow_sim: command-line front end of the baseline simulator — the
+// SCALE-Sim replacement of this repository.  Simulates a network on the
+// fixed-partition systolic accelerator under a chosen dataflow and
+// partition, reports per-layer traffic/cycles/utilization, and optionally
+// writes SCALE-Sim-style SRAM traces.
+//
+//   rainbow_sim --model resnet18 --glb 64 --partition 25
+//   rainbow_sim --model mobilenet --dataflow ws --per-layer
+//   rainbow_sim --model mnasnet --trace-dir /tmp/traces --trace-rows 10000
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "model/parser.hpp"
+#include "model/zoo/zoo.hpp"
+#include "scalesim/simulator.hpp"
+#include "scalesim/trace_writer.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rainbow;
+
+struct CliOptions {
+  std::string model;
+  count_t glb_kb = 64;
+  int width_bits = 8;
+  int partition_pct = 50;  // ifmap share of the feature pool
+  scalesim::Dataflow dataflow = scalesim::Dataflow::kOutputStationary;
+  bool per_layer = false;
+  bool traced = false;  // cycle-level run with the fold walk
+  std::optional<std::string> trace_dir;
+  count_t trace_rows = 0;
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: " << argv0 << " --model <zoo-name|file.model> [options]\n"
+     << "  --glb <kB>         on-chip memory (default 64)\n"
+     << "  --width <bits>     element width (default 8)\n"
+     << "  --partition <pct>  ifmap share of the feature pool: 25|50|75\n"
+     << "  --dataflow <d>     os | ws | is (default os)\n"
+     << "  --per-layer        per-layer table\n"
+     << "  --traced           cycle-level fold walk (slow, like SCALE-Sim)\n"
+     << "  --trace-dir <dir>  write per-layer SRAM trace CSVs\n"
+     << "  --trace-rows <n>   cap rows per trace file (0 = unlimited)\n";
+  std::exit(code);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        usage(argv[0], 2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--model") {
+      opt.model = next("--model");
+    } else if (flag == "--glb") {
+      opt.glb_kb = std::strtoull(next("--glb").c_str(), nullptr, 10);
+    } else if (flag == "--width") {
+      opt.width_bits = std::atoi(next("--width").c_str());
+    } else if (flag == "--partition") {
+      opt.partition_pct = std::atoi(next("--partition").c_str());
+    } else if (flag == "--dataflow") {
+      try {
+        opt.dataflow = scalesim::dataflow_from_string(next("--dataflow"));
+      } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << '\n';
+        usage(argv[0], 2);
+      }
+    } else if (flag == "--per-layer") {
+      opt.per_layer = true;
+    } else if (flag == "--traced") {
+      opt.traced = true;
+    } else if (flag == "--trace-dir") {
+      opt.trace_dir = next("--trace-dir");
+    } else if (flag == "--trace-rows") {
+      opt.trace_rows = std::strtoull(next("--trace-rows").c_str(), nullptr, 10);
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      usage(argv[0], 2);
+    }
+  }
+  if (opt.model.empty()) {
+    std::cerr << "--model is required\n";
+    usage(argv[0], 2);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+  try {
+    const model::Network net =
+        std::filesystem::exists(opt.model)
+            ? model::load_network(opt.model)
+            : model::zoo::by_name(opt.model);
+
+    arch::AcceleratorSpec spec = arch::paper_spec(util::kib(opt.glb_kb));
+    spec.data_width_bits = opt.width_bits;
+    spec.validate();
+
+    const scalesim::BufferPartition partition{
+        .ifmap_fraction = opt.partition_pct / 100.0};
+    const scalesim::Simulator sim(spec, partition, opt.dataflow);
+
+    const scalesim::RunResult run = sim.run(net);
+    std::cout << "baseline " << partition.label() << " ("
+              << to_string(opt.dataflow) << ") on " << net.name() << " @ "
+              << opt.glb_kb << " kB:\n"
+              << "  DRAM traffic: " << util::fmt(run.access_mb(spec), 2)
+              << " MB (" << util::fmt_count(run.total_accesses)
+              << " elements)\n"
+              << "  compute:      "
+              << util::fmt(static_cast<double>(run.total_cycles) / 1e6, 2)
+              << " Mcycles (zero-stall)\n";
+
+    if (opt.traced) {
+      const scalesim::TraceResult traced = sim.run_traced(net);
+      std::cout << "  traced run:   "
+                << util::fmt_count(traced.sram_read_events)
+                << " SRAM reads, " << util::fmt_count(traced.sram_write_events)
+                << " writes (checksum " << traced.trace_checksum << ")\n";
+    }
+
+    if (opt.per_layer) {
+      util::Table table({"layer", "kind", "ifmap rd", "filter rd", "ofmap wr",
+                         "psum", "cycles", "util %", "order"});
+      for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto& r = run.layers[i];
+        const auto& layer = net.layer(i);
+        table.add_row({layer.name(),
+                       std::string(model::to_string(layer.kind())),
+                       util::fmt_count(r.traffic.ifmap_reads),
+                       util::fmt_count(r.traffic.filter_reads),
+                       util::fmt_count(r.traffic.ofmap_writes),
+                       util::fmt_count(r.traffic.psum_transfers),
+                       util::fmt_count(r.compute_cycles),
+                       util::fmt(100.0 * r.utilization),
+                       r.row_outer_order ? "row-outer" : "filter-outer"});
+      }
+      table.print(std::cout);
+    }
+
+    if (opt.trace_dir) {
+      std::filesystem::create_directories(*opt.trace_dir);
+      count_t total_rows = 0;
+      for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto path = std::filesystem::path(*opt.trace_dir) /
+                          (net.layer(i).name() + "_sram_read.csv");
+        const auto info = scalesim::write_sram_trace(
+            net.layer(i), spec, path, {.max_rows = opt.trace_rows});
+        total_rows += info.rows_written;
+      }
+      std::cout << "  traces:       " << net.size() << " files, "
+                << util::fmt_count(total_rows) << " rows in "
+                << *opt.trace_dir << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rainbow_sim: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

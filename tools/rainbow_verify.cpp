@@ -1,0 +1,128 @@
+// rainbow_verify: developer tool running the full cross-validation chain
+// on one layer shape — estimator vs engine vs codegen interpreter on the
+// accounting side, golden reference vs policy executors vs the
+// register-level systolic array on the numerical side.  Exit code 0 iff
+// everything agrees.
+//
+//   rainbow_verify --layer CV,14,14,32,3,3,64,1,1 [--glb 256] [--seed 7]
+//   rainbow_verify                      (a built-in default layer)
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "codegen/interpret.hpp"
+#include "codegen/lower.hpp"
+#include "core/estimator.hpp"
+#include "engine/engine.hpp"
+#include "model/parser.hpp"
+#include "ref/policy_exec.hpp"
+#include "scalesim/systolic.hpp"
+#include "systolic/conv_driver.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rainbow;
+
+model::Layer parse_layer_spec(const std::string& spec_str) {
+  // kind,ih,iw,ci,fh,fw,nf,s,p — reuse the model parser by wrapping the
+  // layer in a one-line network.
+  const std::string text =
+      "network, verify\n" +
+      spec_str.substr(0, spec_str.find(',')) + ", layer, " +
+      spec_str.substr(spec_str.find(',') + 1) + "\n";
+  const model::Network net = model::parse_network(text);
+  return net.layer(0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string layer_spec = "CV,14,14,16,3,3,32,1,1";
+  count_t glb_kb = 256;
+  std::uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--layer" && i + 1 < argc) {
+      layer_spec = argv[++i];
+    } else if (flag == "--glb" && i + 1 < argc) {
+      glb_kb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--layer kind,ih,iw,ci,fh,fw,nf,s,p] [--glb kB] "
+                   "[--seed N]\n";
+      return 2;
+    }
+  }
+
+  try {
+    const model::Layer layer = parse_layer_spec(layer_spec);
+    const auto spec = arch::paper_spec(util::kib(glb_kb));
+    std::cout << "verifying " << layer << " @ " << glb_kb << " kB\n\n";
+
+    const core::Estimator estimator(spec);
+    const engine::Engine engine(spec);
+    const codegen::Interpreter interpreter(spec);
+    const auto operands = ref::random_operands(layer, seed);
+    const auto golden = ref::reference_forward(layer, operands);
+
+    bool all_ok = true;
+    util::Table table({"policy", "accounting", "numerics", "footprint"});
+    for (core::Policy p : core::kAllPolicies) {
+      for (bool prefetch : {false, true}) {
+        const auto est = estimator.estimate(layer, p, prefetch);
+        if (!est.feasible) {
+          continue;
+        }
+        // Accounting: engine + lowered stream must land on the estimate.
+        const auto exec = engine.execute_layer(layer, est.choice);
+        core::LayerAssignment assignment;
+        assignment.layer_index = 0;
+        assignment.estimate = est;
+        codegen::Program program;
+        program.spec = spec;
+        program.layers.push_back(codegen::lower_layer(layer, 0, assignment));
+        const auto run = interpreter.run(program);
+        const bool accounting = exec.traffic.total() == est.accesses() &&
+                                run.total_accesses == est.accesses();
+
+        // Numerics: the policy's loop nest must reproduce the reference,
+        // inside its claimed footprint.
+        ref::BufferPeaks peaks;
+        const auto computed =
+            ref::execute_policy(layer, est.choice, operands, &peaks);
+        const bool numerics = computed == golden;
+        const auto fp = core::working_footprint(layer, est.choice);
+        const bool bounded = peaks.ifmap <= fp.ifmap &&
+                             peaks.filter <= fp.filter &&
+                             peaks.ofmap <= fp.ofmap;
+        std::ostringstream label;
+        label << est.choice;
+        table.add_row({label.str(), accounting ? "ok" : "MISMATCH",
+                       numerics ? "ok" : "MISMATCH",
+                       bounded ? "ok" : "EXCEEDED"});
+        all_ok = all_ok && accounting && numerics && bounded;
+      }
+    }
+    table.print(std::cout);
+
+    // The register-level array.
+    const auto conv = systolic::run_conv(layer, operands, spec);
+    const bool array_ok = conv.ofmap == golden &&
+                          conv.cycles == scalesim::compute_cycles(layer, spec);
+    std::cout << "\nsystolic array: "
+              << (array_ok ? "ok" : "MISMATCH") << " (" << conv.cycles
+              << " cycles, analytic "
+              << scalesim::compute_cycles(layer, spec) << ")\n";
+    all_ok = all_ok && array_ok;
+
+    std::cout << (all_ok ? "\nALL CHECKS PASSED\n" : "\nFAILURES FOUND\n");
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "rainbow_verify: " << e.what() << '\n';
+    return 1;
+  }
+}
