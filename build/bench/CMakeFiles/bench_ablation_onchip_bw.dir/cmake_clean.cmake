@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_onchip_bw.dir/bench_ablation_onchip_bw.cpp.o"
+  "CMakeFiles/bench_ablation_onchip_bw.dir/bench_ablation_onchip_bw.cpp.o.d"
+  "CMakeFiles/bench_ablation_onchip_bw.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_onchip_bw.dir/bench_common.cpp.o.d"
+  "bench_ablation_onchip_bw"
+  "bench_ablation_onchip_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_onchip_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

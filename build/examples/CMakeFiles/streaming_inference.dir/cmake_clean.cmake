@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_inference.dir/streaming_inference.cpp.o"
+  "CMakeFiles/streaming_inference.dir/streaming_inference.cpp.o.d"
+  "streaming_inference"
+  "streaming_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/verify_policies.cpp" "examples/CMakeFiles/verify_policies.dir/verify_policies.cpp.o" "gcc" "examples/CMakeFiles/verify_policies.dir/verify_policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rainbow_scalesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_policies.dir/verify_policies.cpp.o"
+  "CMakeFiles/verify_policies.dir/verify_policies.cpp.o.d"
+  "verify_policies"
+  "verify_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "engine check: measured" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;rainbow_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_model "/root/repo/build/examples/custom_model")
+set_tests_properties(example_custom_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;rainbow_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_design_space "/root/repo/build/examples/design_space")
+set_tests_properties(example_design_space PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;rainbow_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_edge_deployment "/root/repo/build/examples/edge_deployment")
+set_tests_properties(example_edge_deployment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;rainbow_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_tenant "/root/repo/build/examples/multi_tenant")
+set_tests_properties(example_multi_tenant PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;rainbow_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_streaming_inference "/root/repo/build/examples/streaming_inference")
+set_tests_properties(example_streaming_inference PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;rainbow_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_verify_policies "/root/repo/build/examples/verify_policies")
+set_tests_properties(example_verify_policies PROPERTIES  PASS_REGULAR_EXPRESSION "matches the reference" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;14;rainbow_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_plan_audit "/root/repo/build/examples/plan_audit")
+set_tests_properties(example_plan_audit PROPERTIES  PASS_REGULAR_EXPRESSION "invalid edit rejected" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;15;rainbow_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_arch.dir/arch/accelerator.cpp.o"
+  "CMakeFiles/rainbow_arch.dir/arch/accelerator.cpp.o.d"
+  "librainbow_arch.a"
+  "librainbow_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

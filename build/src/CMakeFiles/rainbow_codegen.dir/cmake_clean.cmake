@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_codegen.dir/codegen/interpret.cpp.o"
+  "CMakeFiles/rainbow_codegen.dir/codegen/interpret.cpp.o.d"
+  "CMakeFiles/rainbow_codegen.dir/codegen/lower.cpp.o"
+  "CMakeFiles/rainbow_codegen.dir/codegen/lower.cpp.o.d"
+  "CMakeFiles/rainbow_codegen.dir/codegen/print.cpp.o"
+  "CMakeFiles/rainbow_codegen.dir/codegen/print.cpp.o.d"
+  "librainbow_codegen.a"
+  "librainbow_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/CMakeFiles/rainbow_core.dir/core/analyzer.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/analyzer.cpp.o.d"
+  "/root/repo/src/core/compression.cpp" "src/CMakeFiles/rainbow_core.dir/core/compression.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/compression.cpp.o.d"
+  "/root/repo/src/core/energy.cpp" "src/CMakeFiles/rainbow_core.dir/core/energy.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/energy.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/CMakeFiles/rainbow_core.dir/core/estimator.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/estimator.cpp.o.d"
+  "/root/repo/src/core/fallback.cpp" "src/CMakeFiles/rainbow_core.dir/core/fallback.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/fallback.cpp.o.d"
+  "/root/repo/src/core/footprint.cpp" "src/CMakeFiles/rainbow_core.dir/core/footprint.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/footprint.cpp.o.d"
+  "/root/repo/src/core/fusion.cpp" "src/CMakeFiles/rainbow_core.dir/core/fusion.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/fusion.cpp.o.d"
+  "/root/repo/src/core/interlayer.cpp" "src/CMakeFiles/rainbow_core.dir/core/interlayer.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/interlayer.cpp.o.d"
+  "/root/repo/src/core/manager.cpp" "src/CMakeFiles/rainbow_core.dir/core/manager.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/manager.cpp.o.d"
+  "/root/repo/src/core/multitenant.cpp" "src/CMakeFiles/rainbow_core.dir/core/multitenant.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/multitenant.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/CMakeFiles/rainbow_core.dir/core/plan.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/plan.cpp.o.d"
+  "/root/repo/src/core/plan_io.cpp" "src/CMakeFiles/rainbow_core.dir/core/plan_io.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/plan_io.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/rainbow_core.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/rainbow_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/rainbow_core.dir/core/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rainbow_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

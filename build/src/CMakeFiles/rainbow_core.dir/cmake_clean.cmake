@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_core.dir/core/analyzer.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/analyzer.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/compression.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/compression.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/energy.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/energy.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/estimator.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/estimator.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/fallback.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/fallback.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/footprint.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/footprint.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/fusion.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/fusion.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/interlayer.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/interlayer.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/manager.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/manager.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/multitenant.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/multitenant.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/plan.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/plan.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/plan_io.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/plan_io.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/policy.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/policy.cpp.o.d"
+  "CMakeFiles/rainbow_core.dir/core/report.cpp.o"
+  "CMakeFiles/rainbow_core.dir/core/report.cpp.o.d"
+  "librainbow_core.a"
+  "librainbow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_dse.dir/dse/pareto.cpp.o"
+  "CMakeFiles/rainbow_dse.dir/dse/pareto.cpp.o.d"
+  "CMakeFiles/rainbow_dse.dir/dse/sensitivity.cpp.o"
+  "CMakeFiles/rainbow_dse.dir/dse/sensitivity.cpp.o.d"
+  "CMakeFiles/rainbow_dse.dir/dse/sweep.cpp.o"
+  "CMakeFiles/rainbow_dse.dir/dse/sweep.cpp.o.d"
+  "librainbow_dse.a"
+  "librainbow_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cpp" "src/CMakeFiles/rainbow_engine.dir/engine/engine.cpp.o" "gcc" "src/CMakeFiles/rainbow_engine.dir/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/glb.cpp" "src/CMakeFiles/rainbow_engine.dir/engine/glb.cpp.o" "gcc" "src/CMakeFiles/rainbow_engine.dir/engine/glb.cpp.o.d"
+  "/root/repo/src/engine/schedule.cpp" "src/CMakeFiles/rainbow_engine.dir/engine/schedule.cpp.o" "gcc" "src/CMakeFiles/rainbow_engine.dir/engine/schedule.cpp.o.d"
+  "/root/repo/src/engine/timeline.cpp" "src/CMakeFiles/rainbow_engine.dir/engine/timeline.cpp.o" "gcc" "src/CMakeFiles/rainbow_engine.dir/engine/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rainbow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

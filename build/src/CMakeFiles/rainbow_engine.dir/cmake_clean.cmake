@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_engine.dir/engine/engine.cpp.o"
+  "CMakeFiles/rainbow_engine.dir/engine/engine.cpp.o.d"
+  "CMakeFiles/rainbow_engine.dir/engine/glb.cpp.o"
+  "CMakeFiles/rainbow_engine.dir/engine/glb.cpp.o.d"
+  "CMakeFiles/rainbow_engine.dir/engine/schedule.cpp.o"
+  "CMakeFiles/rainbow_engine.dir/engine/schedule.cpp.o.d"
+  "CMakeFiles/rainbow_engine.dir/engine/timeline.cpp.o"
+  "CMakeFiles/rainbow_engine.dir/engine/timeline.cpp.o.d"
+  "librainbow_engine.a"
+  "librainbow_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/layer.cpp" "src/CMakeFiles/rainbow_model.dir/model/layer.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/layer.cpp.o.d"
+  "/root/repo/src/model/network.cpp" "src/CMakeFiles/rainbow_model.dir/model/network.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/network.cpp.o.d"
+  "/root/repo/src/model/parser.cpp" "src/CMakeFiles/rainbow_model.dir/model/parser.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/parser.cpp.o.d"
+  "/root/repo/src/model/random.cpp" "src/CMakeFiles/rainbow_model.dir/model/random.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/random.cpp.o.d"
+  "/root/repo/src/model/summary.cpp" "src/CMakeFiles/rainbow_model.dir/model/summary.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/summary.cpp.o.d"
+  "/root/repo/src/model/zoo/builders.cpp" "src/CMakeFiles/rainbow_model.dir/model/zoo/builders.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/zoo/builders.cpp.o.d"
+  "/root/repo/src/model/zoo/efficientnetb0.cpp" "src/CMakeFiles/rainbow_model.dir/model/zoo/efficientnetb0.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/zoo/efficientnetb0.cpp.o.d"
+  "/root/repo/src/model/zoo/extra.cpp" "src/CMakeFiles/rainbow_model.dir/model/zoo/extra.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/zoo/extra.cpp.o.d"
+  "/root/repo/src/model/zoo/googlenet.cpp" "src/CMakeFiles/rainbow_model.dir/model/zoo/googlenet.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/zoo/googlenet.cpp.o.d"
+  "/root/repo/src/model/zoo/mnasnet.cpp" "src/CMakeFiles/rainbow_model.dir/model/zoo/mnasnet.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/zoo/mnasnet.cpp.o.d"
+  "/root/repo/src/model/zoo/mobilenet.cpp" "src/CMakeFiles/rainbow_model.dir/model/zoo/mobilenet.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/zoo/mobilenet.cpp.o.d"
+  "/root/repo/src/model/zoo/mobilenetv2.cpp" "src/CMakeFiles/rainbow_model.dir/model/zoo/mobilenetv2.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/zoo/mobilenetv2.cpp.o.d"
+  "/root/repo/src/model/zoo/resnet18.cpp" "src/CMakeFiles/rainbow_model.dir/model/zoo/resnet18.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/zoo/resnet18.cpp.o.d"
+  "/root/repo/src/model/zoo/zoo.cpp" "src/CMakeFiles/rainbow_model.dir/model/zoo/zoo.cpp.o" "gcc" "src/CMakeFiles/rainbow_model.dir/model/zoo/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rainbow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

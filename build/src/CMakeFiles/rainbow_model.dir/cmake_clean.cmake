@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_model.dir/model/layer.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/layer.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/network.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/network.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/parser.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/parser.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/random.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/random.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/summary.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/summary.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/zoo/builders.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/zoo/builders.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/zoo/efficientnetb0.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/zoo/efficientnetb0.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/zoo/extra.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/zoo/extra.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/zoo/googlenet.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/zoo/googlenet.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/zoo/mnasnet.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/zoo/mnasnet.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/zoo/mobilenet.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/zoo/mobilenet.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/zoo/mobilenetv2.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/zoo/mobilenetv2.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/zoo/resnet18.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/zoo/resnet18.cpp.o.d"
+  "CMakeFiles/rainbow_model.dir/model/zoo/zoo.cpp.o"
+  "CMakeFiles/rainbow_model.dir/model/zoo/zoo.cpp.o.d"
+  "librainbow_model.a"
+  "librainbow_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ref/network_exec.cpp" "src/CMakeFiles/rainbow_ref.dir/ref/network_exec.cpp.o" "gcc" "src/CMakeFiles/rainbow_ref.dir/ref/network_exec.cpp.o.d"
+  "/root/repo/src/ref/policy_exec.cpp" "src/CMakeFiles/rainbow_ref.dir/ref/policy_exec.cpp.o" "gcc" "src/CMakeFiles/rainbow_ref.dir/ref/policy_exec.cpp.o.d"
+  "/root/repo/src/ref/reference.cpp" "src/CMakeFiles/rainbow_ref.dir/ref/reference.cpp.o" "gcc" "src/CMakeFiles/rainbow_ref.dir/ref/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rainbow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

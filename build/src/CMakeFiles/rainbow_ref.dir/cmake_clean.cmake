@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_ref.dir/ref/network_exec.cpp.o"
+  "CMakeFiles/rainbow_ref.dir/ref/network_exec.cpp.o.d"
+  "CMakeFiles/rainbow_ref.dir/ref/policy_exec.cpp.o"
+  "CMakeFiles/rainbow_ref.dir/ref/policy_exec.cpp.o.d"
+  "CMakeFiles/rainbow_ref.dir/ref/reference.cpp.o"
+  "CMakeFiles/rainbow_ref.dir/ref/reference.cpp.o.d"
+  "librainbow_ref.a"
+  "librainbow_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalesim/buffer.cpp" "src/CMakeFiles/rainbow_scalesim.dir/scalesim/buffer.cpp.o" "gcc" "src/CMakeFiles/rainbow_scalesim.dir/scalesim/buffer.cpp.o.d"
+  "/root/repo/src/scalesim/dataflow.cpp" "src/CMakeFiles/rainbow_scalesim.dir/scalesim/dataflow.cpp.o" "gcc" "src/CMakeFiles/rainbow_scalesim.dir/scalesim/dataflow.cpp.o.d"
+  "/root/repo/src/scalesim/simulator.cpp" "src/CMakeFiles/rainbow_scalesim.dir/scalesim/simulator.cpp.o" "gcc" "src/CMakeFiles/rainbow_scalesim.dir/scalesim/simulator.cpp.o.d"
+  "/root/repo/src/scalesim/systolic.cpp" "src/CMakeFiles/rainbow_scalesim.dir/scalesim/systolic.cpp.o" "gcc" "src/CMakeFiles/rainbow_scalesim.dir/scalesim/systolic.cpp.o.d"
+  "/root/repo/src/scalesim/trace_writer.cpp" "src/CMakeFiles/rainbow_scalesim.dir/scalesim/trace_writer.cpp.o" "gcc" "src/CMakeFiles/rainbow_scalesim.dir/scalesim/trace_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rainbow_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rainbow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

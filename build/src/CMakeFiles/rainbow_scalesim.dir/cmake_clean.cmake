@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_scalesim.dir/scalesim/buffer.cpp.o"
+  "CMakeFiles/rainbow_scalesim.dir/scalesim/buffer.cpp.o.d"
+  "CMakeFiles/rainbow_scalesim.dir/scalesim/dataflow.cpp.o"
+  "CMakeFiles/rainbow_scalesim.dir/scalesim/dataflow.cpp.o.d"
+  "CMakeFiles/rainbow_scalesim.dir/scalesim/simulator.cpp.o"
+  "CMakeFiles/rainbow_scalesim.dir/scalesim/simulator.cpp.o.d"
+  "CMakeFiles/rainbow_scalesim.dir/scalesim/systolic.cpp.o"
+  "CMakeFiles/rainbow_scalesim.dir/scalesim/systolic.cpp.o.d"
+  "CMakeFiles/rainbow_scalesim.dir/scalesim/trace_writer.cpp.o"
+  "CMakeFiles/rainbow_scalesim.dir/scalesim/trace_writer.cpp.o.d"
+  "librainbow_scalesim.a"
+  "librainbow_scalesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_scalesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_systolic.dir/systolic/conv_driver.cpp.o"
+  "CMakeFiles/rainbow_systolic.dir/systolic/conv_driver.cpp.o.d"
+  "CMakeFiles/rainbow_systolic.dir/systolic/gemm.cpp.o"
+  "CMakeFiles/rainbow_systolic.dir/systolic/gemm.cpp.o.d"
+  "CMakeFiles/rainbow_systolic.dir/systolic/pe_array.cpp.o"
+  "CMakeFiles/rainbow_systolic.dir/systolic/pe_array.cpp.o.d"
+  "librainbow_systolic.a"
+  "librainbow_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

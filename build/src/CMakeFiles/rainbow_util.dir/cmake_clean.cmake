@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_util.dir/util/csv.cpp.o"
+  "CMakeFiles/rainbow_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/rainbow_util.dir/util/stats.cpp.o"
+  "CMakeFiles/rainbow_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/rainbow_util.dir/util/table.cpp.o"
+  "CMakeFiles/rainbow_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/rainbow_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/rainbow_util.dir/util/thread_pool.cpp.o.d"
+  "librainbow_util.a"
+  "librainbow_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

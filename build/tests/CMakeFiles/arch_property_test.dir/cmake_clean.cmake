@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_property_test.dir/arch_property_test.cpp.o"
+  "CMakeFiles/arch_property_test.dir/arch_property_test.cpp.o.d"
+  "arch_property_test"
+  "arch_property_test.pdb"
+  "arch_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

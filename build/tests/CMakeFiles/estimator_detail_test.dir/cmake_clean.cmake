@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_detail_test.dir/estimator_detail_test.cpp.o"
+  "CMakeFiles/estimator_detail_test.dir/estimator_detail_test.cpp.o.d"
+  "estimator_detail_test"
+  "estimator_detail_test.pdb"
+  "estimator_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_zoo_test.dir/extra_zoo_test.cpp.o"
+  "CMakeFiles/extra_zoo_test.dir/extra_zoo_test.cpp.o.d"
+  "extra_zoo_test"
+  "extra_zoo_test.pdb"
+  "extra_zoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

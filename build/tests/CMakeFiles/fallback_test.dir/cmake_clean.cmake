@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallback_test.dir/fallback_test.cpp.o"
+  "CMakeFiles/fallback_test.dir/fallback_test.cpp.o.d"
+  "fallback_test"
+  "fallback_test.pdb"
+  "fallback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

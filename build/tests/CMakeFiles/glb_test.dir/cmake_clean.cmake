@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_test.dir/glb_test.cpp.o"
+  "CMakeFiles/glb_test.dir/glb_test.cpp.o.d"
+  "glb_test"
+  "glb_test.pdb"
+  "glb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

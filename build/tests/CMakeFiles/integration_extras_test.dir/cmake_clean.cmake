@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_extras_test.dir/integration_extras_test.cpp.o"
+  "CMakeFiles/integration_extras_test.dir/integration_extras_test.cpp.o.d"
+  "integration_extras_test"
+  "integration_extras_test.pdb"
+  "integration_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interlayer_test.dir/interlayer_test.cpp.o"
+  "CMakeFiles/interlayer_test.dir/interlayer_test.cpp.o.d"
+  "interlayer_test"
+  "interlayer_test.pdb"
+  "interlayer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interlayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_files_test.dir/model_files_test.cpp.o"
+  "CMakeFiles/model_files_test.dir/model_files_test.cpp.o.d"
+  "model_files_test"
+  "model_files_test.pdb"
+  "model_files_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

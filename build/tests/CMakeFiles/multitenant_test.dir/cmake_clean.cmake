@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitenant_test.dir/multitenant_test.cpp.o"
+  "CMakeFiles/multitenant_test.dir/multitenant_test.cpp.o.d"
+  "multitenant_test"
+  "multitenant_test.pdb"
+  "multitenant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitenant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_exec_test.dir/network_exec_test.cpp.o"
+  "CMakeFiles/network_exec_test.dir/network_exec_test.cpp.o.d"
+  "network_exec_test"
+  "network_exec_test.pdb"
+  "network_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_network_test.dir/random_network_test.cpp.o"
+  "CMakeFiles/random_network_test.dir/random_network_test.cpp.o.d"
+  "random_network_test"
+  "random_network_test.pdb"
+  "random_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalesim_detail_test.dir/scalesim_detail_test.cpp.o"
+  "CMakeFiles/scalesim_detail_test.dir/scalesim_detail_test.cpp.o.d"
+  "scalesim_detail_test"
+  "scalesim_detail_test.pdb"
+  "scalesim_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalesim_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

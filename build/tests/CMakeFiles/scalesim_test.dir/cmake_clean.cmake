@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalesim_test.dir/scalesim_test.cpp.o"
+  "CMakeFiles/scalesim_test.dir/scalesim_test.cpp.o.d"
+  "scalesim_test"
+  "scalesim_test.pdb"
+  "scalesim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalesim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_dims_test.dir/zoo_dims_test.cpp.o"
+  "CMakeFiles/zoo_dims_test.dir/zoo_dims_test.cpp.o.d"
+  "zoo_dims_test"
+  "zoo_dims_test.pdb"
+  "zoo_dims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_dims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_dse_cli.dir/rainbow_dse.cpp.o"
+  "CMakeFiles/rainbow_dse_cli.dir/rainbow_dse.cpp.o.d"
+  "rainbow_dse"
+  "rainbow_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_dse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_plan.dir/rainbow_plan.cpp.o"
+  "CMakeFiles/rainbow_plan.dir/rainbow_plan.cpp.o.d"
+  "rainbow_plan"
+  "rainbow_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

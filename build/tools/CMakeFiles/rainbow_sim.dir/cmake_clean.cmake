@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_sim.dir/rainbow_sim.cpp.o"
+  "CMakeFiles/rainbow_sim.dir/rainbow_sim.cpp.o.d"
+  "rainbow_sim"
+  "rainbow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

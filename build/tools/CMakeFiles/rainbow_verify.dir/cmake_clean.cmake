@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainbow_verify.dir/rainbow_verify.cpp.o"
+  "CMakeFiles/rainbow_verify.dir/rainbow_verify.cpp.o.d"
+  "rainbow_verify"
+  "rainbow_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainbow_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
