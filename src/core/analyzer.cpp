@@ -1,6 +1,10 @@
 #include "core/analyzer.hpp"
 
+#include <numeric>
 #include <stdexcept>
+
+#include "core/eval_cache.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rainbow::core {
 
@@ -31,6 +35,17 @@ bool Analyzer::better(const Estimate& candidate, const Estimate& incumbent,
 }
 
 Estimate Analyzer::best_estimate(const model::Layer& layer,
+                                 Objective objective,
+                                 const InterlayerAdjust& adjust) const {
+  if (options_.eval_cache) {
+    return options_.eval_cache->get_or_compute(
+        make_eval_key(layer, spec_, objective, options_, adjust),
+        [&] { return evaluate_best(layer, objective, adjust); });
+  }
+  return evaluate_best(layer, objective, adjust);
+}
+
+Estimate Analyzer::evaluate_best(const model::Layer& layer,
                                  Objective objective,
                                  const InterlayerAdjust& adjust) const {
   std::optional<Estimate> best;
@@ -108,6 +123,31 @@ ExecutionPlan Analyzer::heterogeneous(const model::Network& network,
     LayerAssignment assignment;
     assignment.layer_index = i;
     assignment.estimate = best_estimate(network.layer(i), objective);
+    plan.add(std::move(assignment));
+  }
+  return plan;
+}
+
+ExecutionPlan Analyzer::heterogeneous_parallel(const model::Network& network,
+                                               Objective objective,
+                                               std::size_t threads) const {
+  // Evaluate into an index-addressed buffer, then assemble in layer order:
+  // the plan is identical to heterogeneous() no matter how the pool
+  // interleaves the evaluations.
+  std::vector<Estimate> estimates(network.size());
+  std::vector<std::size_t> indices(network.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  util::parallel_for_each(
+      indices,
+      [&](std::size_t i) {
+        estimates[i] = best_estimate(network.layer(i), objective);
+      },
+      threads);
+  ExecutionPlan plan("Het", network.name(), spec_, objective);
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    LayerAssignment assignment;
+    assignment.layer_index = i;
+    assignment.estimate = std::move(estimates[i]);
     plan.add(std::move(assignment));
   }
   return plan;

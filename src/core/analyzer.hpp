@@ -6,6 +6,7 @@
 // "search for appropriate tile sizes", Section 3.3).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -15,12 +16,18 @@
 
 namespace rainbow::core {
 
+class EvalCache;
+
 struct AnalyzerOptions {
   /// Consider the "+p" prefetching variants (Figure 10 disables this).
   bool allow_prefetch = true;
   /// Candidate policies Algorithm 1 iterates over.  Defaults to all six.
   std::vector<Policy> policies{kAllPolicies, kAllPolicies + 6};
   EstimatorOptions estimator;
+  /// Memoizes best_estimate results when set (see core/eval_cache.hpp).
+  /// Share one cache across analyzers/sweep points freely: keys include
+  /// every input that can change the result.  Null disables caching.
+  std::shared_ptr<EvalCache> eval_cache;
 };
 
 class Analyzer {
@@ -55,6 +62,15 @@ class Analyzer {
   [[nodiscard]] ExecutionPlan heterogeneous(const model::Network& network,
                                             Objective objective) const;
 
+  /// heterogeneous() with the per-layer evaluations fanned across
+  /// `threads` workers (0 = hardware concurrency).  Layers are independent
+  /// and best_estimate is a pure function of its inputs, so the result is
+  /// byte-identical to the sequential path (the determinism tests pin
+  /// this).
+  [[nodiscard]] ExecutionPlan heterogeneous_parallel(
+      const model::Network& network, Objective objective,
+      std::size_t threads = 0) const;
+
   /// Homogeneous plan: one fixed policy for every layer; layers where the
   /// policy does not fit use constrained tiling so the plan stays
   /// executable.
@@ -77,6 +93,11 @@ class Analyzer {
   [[nodiscard]] static bool better(const Estimate& candidate,
                                    const Estimate& incumbent,
                                    Objective objective);
+
+  /// Algorithm 1 proper, bypassing the memoization cache.
+  [[nodiscard]] Estimate evaluate_best(const model::Layer& layer,
+                                       Objective objective,
+                                       const InterlayerAdjust& adjust) const;
 
   arch::AcceleratorSpec spec_;
   AnalyzerOptions options_;

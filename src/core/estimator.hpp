@@ -63,6 +63,10 @@ struct Estimate {
 
   [[nodiscard]] count_t memory_elems() const { return footprint.total(); }
   [[nodiscard]] count_t accesses() const { return traffic.total(); }
+
+  /// Exact (bitwise on the cycle counts) — the determinism tests compare
+  /// cached, uncached, and parallel-planned estimates with this.
+  friend bool operator==(const Estimate&, const Estimate&) = default;
 };
 
 /// Inter-layer-reuse adjustments applied to an estimate (Section 5.4):

@@ -1,0 +1,158 @@
+#include "core/eval_cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "core/analyzer.hpp"
+
+namespace rainbow::core {
+
+namespace {
+
+// Fixed-width little-endian field encoders.  Every field is written at a
+// fixed size so distinct field sequences can never alias (no separator
+// ambiguity), and the encoding is identical on every platform we build on.
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::uint64_t EvalKey::fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+EvalKey make_eval_key(const model::Layer& layer,
+                      const arch::AcceleratorSpec& spec, Objective objective,
+                      const AnalyzerOptions& options,
+                      const InterlayerAdjust& adjust) {
+  std::string bytes;
+  bytes.reserve(160);
+  put_u8(bytes, 1);  // signature version; bump on any encoding change
+
+  // Layer hyperparameters (Table 1).  The name is excluded on purpose:
+  // repeated identical shapes are the whole point of memoization.
+  put_u8(bytes, static_cast<std::uint8_t>(layer.kind()));
+  put_i64(bytes, layer.ifmap_h());
+  put_i64(bytes, layer.ifmap_w());
+  put_i64(bytes, layer.channels());
+  put_i64(bytes, layer.filter_h());
+  put_i64(bytes, layer.filter_w());
+  put_i64(bytes, layer.filters());
+  put_i64(bytes, layer.stride());
+  put_i64(bytes, layer.padding());
+
+  // Accelerator specification, every field.
+  put_i64(bytes, spec.pe_rows);
+  put_i64(bytes, spec.pe_cols);
+  put_i64(bytes, spec.ops_per_cycle);
+  put_i64(bytes, spec.data_width_bits);
+  put_u64(bytes, spec.glb_bytes);
+  put_f64(bytes, spec.dram_bytes_per_cycle);
+  put_f64(bytes, spec.sram_bytes_per_cycle);
+
+  put_u8(bytes, static_cast<std::uint8_t>(objective));
+
+  // Analyzer options that steer Algorithm 1.  The candidate-policy list is
+  // encoded in order: the tie-break winner is the first candidate
+  // considered, so order changes the result.
+  put_u8(bytes, options.allow_prefetch ? 1 : 0);
+  put_u64(bytes, options.policies.size());
+  for (Policy policy : options.policies) {
+    put_u8(bytes, static_cast<std::uint8_t>(policy));
+  }
+  put_u8(bytes, options.estimator.padded_traffic ? 1 : 0);
+  put_i64(bytes, options.estimator.batch);
+
+  put_u8(bytes, adjust.ifmap_resident ? 1 : 0);
+  put_u8(bytes, adjust.keep_ofmap ? 1 : 0);
+
+  return EvalKey(std::move(bytes));
+}
+
+EvalCache::EvalCache(std::size_t max_entries)
+    : per_shard_capacity_((max_entries + kShardCount - 1) / kShardCount) {
+  if (max_entries == 0) {
+    throw std::invalid_argument("EvalCache: zero capacity");
+  }
+}
+
+std::optional<Estimate> EvalCache::lookup(const EvalKey& key) {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void EvalCache::insert(const EvalKey& key, const Estimate& estimate) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  auto [it, inserted] = shard.map.try_emplace(key, estimate);
+  if (!inserted) {
+    return;  // first writer won a concurrent duplicate computation
+  }
+  shard.insertion_order.push_back(key);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.map.size() > per_shard_capacity_) {
+    shard.map.erase(shard.insertion_order.front());
+    shard.insertion_order.pop_front();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+EvalCacheStats EvalCache::stats() const {
+  EvalCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.lookups = s.hits + s.misses;
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = size();
+  s.capacity = per_shard_capacity_ * kShardCount;
+  return s;
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void EvalCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.map.clear();
+    shard.insertion_order.clear();
+  }
+}
+
+}  // namespace rainbow::core

@@ -1,0 +1,163 @@
+// Memoization cache for Algorithm 1 (Analyzer::best_estimate).  Paper-model
+// networks repeat identical layer shapes many times (ResNet-18's basic
+// blocks, MobileNetV2's inverted residuals), and a DSE sweep re-plans the
+// same network across thousands of (GLB, width, batch, objective) points —
+// so the same (layer, spec, options, objective, adjust) evaluation recurs
+// constantly.  The cache keys on a canonical *value* signature of every
+// input that can influence the result; identical inputs hash identically
+// across processes (no pointers, no addresses, no iteration-order
+// dependence), which the key-soundness tests lock down.
+//
+// Thread-safety: the cache is sharded by key hash; each shard holds its own
+// mutex, map, and FIFO eviction queue, so planner threads hammering the
+// cache contend only when they collide on a shard.  Statistics are relaxed
+// atomics with the invariants  hits + misses == lookups  and
+// inserts - evictions == entries  (checked by the concurrency stress test).
+//
+// The cache stores only *results*: Analyzer::best_estimate stays a pure
+// function of its inputs, so cached and uncached planning produce
+// byte-identical plans (the determinism golden tests assert exactly this).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "arch/accelerator.hpp"
+#include "core/estimator.hpp"
+#include "core/plan.hpp"
+#include "model/layer.hpp"
+
+namespace rainbow::core {
+
+struct AnalyzerOptions;
+
+/// Canonical byte-string signature of one best_estimate evaluation, with a
+/// precomputed FNV-1a hash.  Two keys compare equal iff every field that
+/// can influence the estimate is equal; the layer *name* is deliberately
+/// excluded so repeated identical shapes share one entry.
+class EvalKey {
+ public:
+  explicit EvalKey(std::string bytes)
+      : bytes_(std::move(bytes)), hash_(fnv1a(bytes_)) {}
+
+  [[nodiscard]] const std::string& bytes() const { return bytes_; }
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+  friend bool operator==(const EvalKey& a, const EvalKey& b) {
+    return a.hash_ == b.hash_ && a.bytes_ == b.bytes_;
+  }
+
+  /// 64-bit FNV-1a over a byte string: deterministic across processes and
+  /// platforms, unlike std::hash<std::string>.
+  [[nodiscard]] static std::uint64_t fnv1a(const std::string& bytes);
+
+ private:
+  std::string bytes_;
+  std::uint64_t hash_ = 0;
+};
+
+/// Builds the canonical signature of one evaluation: layer dimensions (not
+/// the name), every AcceleratorSpec field, the objective, the analyzer
+/// options that steer Algorithm 1 (prefetch toggle, candidate-policy list
+/// in order, estimator options), and the inter-layer residency adjustments.
+[[nodiscard]] EvalKey make_eval_key(const model::Layer& layer,
+                                    const arch::AcceleratorSpec& spec,
+                                    Objective objective,
+                                    const AnalyzerOptions& options,
+                                    const InterlayerAdjust& adjust);
+
+/// Counter snapshot.  hit_rate() is hits / lookups (0 when idle).
+struct EvalCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;    ///< new entries actually added
+  std::uint64_t evictions = 0;  ///< entries dropped by the size bound
+  std::uint64_t entries = 0;    ///< current resident entries
+  std::uint64_t capacity = 0;   ///< configured bound
+
+  [[nodiscard]] double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class EvalCache {
+ public:
+  static constexpr std::size_t kShardCount = 16;
+
+  /// `max_entries` bounds the total resident entries across all shards
+  /// (rounded up to a multiple of the shard count); each shard evicts its
+  /// oldest entry (FIFO) once full.  An Estimate is ~100 bytes, so the
+  /// default bound costs at most a few hundred MB in the worst case and
+  /// far less in practice.
+  explicit EvalCache(std::size_t max_entries = 1 << 20);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Returns the cached estimate, or nullopt on a miss.  Counts one lookup
+  /// and one hit or miss.
+  [[nodiscard]] std::optional<Estimate> lookup(const EvalKey& key);
+
+  /// Inserts `estimate` under `key` unless an entry already exists (the
+  /// first writer wins, so concurrent duplicate computations are benign).
+  /// Counts one insert only when a new entry is added.
+  void insert(const EvalKey& key, const Estimate& estimate);
+
+  /// lookup(); on a miss, computes via `fn()` and inserts.  Exceptions from
+  /// `fn` propagate and cache nothing.
+  template <typename Fn>
+  [[nodiscard]] Estimate get_or_compute(const EvalKey& key, Fn&& fn) {
+    if (std::optional<Estimate> cached = lookup(key)) {
+      return *std::move(cached);
+    }
+    Estimate computed = std::forward<Fn>(fn)();
+    insert(key, computed);
+    return computed;
+  }
+
+  [[nodiscard]] EvalCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const {
+    return per_shard_capacity_ * kShardCount;
+  }
+
+  /// Drops every entry; counters are retained.
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const EvalKey& key) const noexcept {
+      return static_cast<std::size_t>(key.hash());
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<EvalKey, Estimate, KeyHash> map;
+    std::deque<EvalKey> insertion_order;  // FIFO eviction
+  };
+
+  [[nodiscard]] Shard& shard_for(const EvalKey& key) {
+    // The low bits index the map buckets; take high bits for the shard so
+    // the two partitions stay independent.
+    return shards_[(key.hash() >> 59) % kShardCount];
+  }
+
+  std::array<Shard, kShardCount> shards_;
+  std::size_t per_shard_capacity_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace rainbow::core

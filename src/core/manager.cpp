@@ -14,7 +14,11 @@ MemoryManager::MemoryManager(const arch::AcceleratorSpec& spec,
 
 ExecutionPlan MemoryManager::plan(const model::Network& network,
                                   Objective objective) const {
-  ExecutionPlan het = analyzer_.heterogeneous(network, objective);
+  ExecutionPlan het =
+      options_.parallel_planning
+          ? analyzer_.heterogeneous_parallel(network, objective,
+                                             options_.planning_threads)
+          : analyzer_.heterogeneous(network, objective);
   if (options_.interlayer_reuse) {
     return apply_interlayer_reuse(het, network, analyzer_);
   }

@@ -21,6 +21,12 @@ struct ManagerOptions {
   AnalyzerOptions analyzer;
   /// Apply the Section 5.4 inter-layer-reuse pass on heterogeneous plans.
   bool interlayer_reuse = false;
+  /// Fan the per-layer evaluations of plan() across a thread pool.  The
+  /// resulting plan is byte-identical to the sequential path (layers are
+  /// independent); combine with analyzer.eval_cache for warm re-planning.
+  bool parallel_planning = false;
+  /// Worker count for parallel planning; 0 = hardware concurrency.
+  std::size_t planning_threads = 0;
 };
 
 class MemoryManager {

@@ -29,6 +29,8 @@ struct LayerAssignment {
   /// in the GLB.
   bool ifmap_from_glb = false;
   bool ofmap_stays_in_glb = false;
+
+  friend bool operator==(const LayerAssignment&, const LayerAssignment&) = default;
 };
 
 /// A complete execution plan for one network on one accelerator.

@@ -81,8 +81,16 @@ void write_json(const PlanReport& report, std::ostream& os) {
      << "  \"total_accesses\": " << report.total_accesses << ",\n"
      << "  \"total_latency_cycles\": " << report.total_latency_cycles << ",\n"
      << "  \"energy_mj\": " << report.energy_mj << ",\n"
-     << "  \"prefetch_coverage\": " << report.prefetch_coverage << ",\n"
-     << "  \"layers\": [\n";
+     << "  \"prefetch_coverage\": " << report.prefetch_coverage << ",\n";
+  if (report.eval_cache) {
+    const EvalCacheStats& c = *report.eval_cache;
+    os << "  \"eval_cache\": {\"lookups\": " << c.lookups
+       << ", \"hits\": " << c.hits << ", \"misses\": " << c.misses
+       << ", \"inserts\": " << c.inserts << ", \"evictions\": " << c.evictions
+       << ", \"entries\": " << c.entries << ", \"hit_rate\": " << c.hit_rate()
+       << "},\n";
+  }
+  os << "  \"layers\": [\n";
   for (std::size_t i = 0; i < report.layers.size(); ++i) {
     const LayerReport& l = report.layers[i];
     os << "    {\"index\": " << l.index << ", \"name\": \"" << escape(l.name)

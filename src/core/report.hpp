@@ -4,9 +4,11 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "core/energy.hpp"
+#include "core/eval_cache.hpp"
 #include "core/plan.hpp"
 #include "model/network.hpp"
 
@@ -38,6 +40,10 @@ struct PlanReport {
   double total_latency_cycles = 0.0;
   double energy_mj = 0.0;
   double prefetch_coverage = 0.0;
+  /// Evaluation-cache counters for the planning run that produced the
+  /// plan, when the caller attaches them (build_report cannot know which
+  /// cache — if any — the plan came from).
+  std::optional<EvalCacheStats> eval_cache;
   std::vector<LayerReport> layers;
 };
 

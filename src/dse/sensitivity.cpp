@@ -1,5 +1,7 @@
 #include "dse/sensitivity.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 namespace rainbow::dse {
@@ -42,6 +44,26 @@ count_t knee_glb_bytes(const std::vector<SweepPoint>& points, double threshold,
     }
   }
   return points.back().glb_bytes;
+}
+
+SensitivityReport glb_sensitivity(const model::Network& network,
+                                  std::vector<count_t> glb_bytes,
+                                  int data_width_bits, double knee_threshold,
+                                  std::size_t threads) {
+  std::sort(glb_bytes.begin(), glb_bytes.end());
+  glb_bytes.erase(std::unique(glb_bytes.begin(), glb_bytes.end()),
+                  glb_bytes.end());
+  SweepConfig config;
+  config.glb_bytes = std::move(glb_bytes);
+  config.data_width_bits = {data_width_bits};
+  config.eval_cache = std::make_shared<core::EvalCache>();
+  SensitivityReport report;
+  report.points = run_sweep(network, config, threads);
+  report.marginals = marginal_utility(report.points, data_width_bits);
+  report.knee_bytes = knee_glb_bytes(report.points, knee_threshold,
+                                     data_width_bits);
+  report.cache = config.eval_cache->stats();
+  return report;
 }
 
 }  // namespace rainbow::dse

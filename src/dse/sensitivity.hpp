@@ -33,4 +33,24 @@ struct MarginalPoint {
                                      double threshold = 1.0,
                                      int data_width_bits = 8);
 
+/// Everything the buffer-sizing question needs in one struct.
+struct SensitivityReport {
+  std::vector<SweepPoint> points;        ///< ascending GLB size
+  std::vector<MarginalPoint> marginals;  ///< between consecutive points
+  count_t knee_bytes = 0;
+  core::EvalCacheStats cache;            ///< evaluation-cache statistics
+};
+
+/// One-call GLB sensitivity: sweeps `glb_bytes` (sorted ascending; other
+/// axes at their defaults, `data_width_bits` wide) with a shared
+/// evaluation cache — adjacent sizes re-evaluate mostly identical layer
+/// signatures, so the cache does the heavy lifting — then derives the
+/// marginal utilities and the knee.  Throws like marginal_utility on
+/// fewer than two sizes.
+[[nodiscard]] SensitivityReport glb_sensitivity(const model::Network& network,
+                                                std::vector<count_t> glb_bytes,
+                                                int data_width_bits = 8,
+                                                double knee_threshold = 1.0,
+                                                std::size_t threads = 0);
+
 }  // namespace rainbow::dse

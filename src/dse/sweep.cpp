@@ -55,6 +55,10 @@ std::vector<SweepPoint> run_sweep(const model::Network& network,
   }
 
   const std::size_t boundaries = core::sequential_boundaries(network);
+  std::shared_ptr<core::EvalCache> cache = config.eval_cache;
+  if (!cache && config.use_eval_cache) {
+    cache = std::make_shared<core::EvalCache>();
+  }
   util::parallel_for_each(
       points,
       [&](SweepPoint& p) {
@@ -62,6 +66,7 @@ std::vector<SweepPoint> run_sweep(const model::Network& network,
         spec.data_width_bits = p.data_width_bits;
         core::ManagerOptions options;
         options.analyzer.estimator.batch = p.batch;
+        options.analyzer.eval_cache = cache;
         options.interlayer_reuse = p.interlayer;
         const core::MemoryManager manager(spec, options);
         const core::ExecutionPlan plan = manager.plan(network, p.objective);

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/energy.hpp"
+#include "core/eval_cache.hpp"
 #include "core/manager.hpp"
 #include "model/network.hpp"
 
@@ -24,6 +26,17 @@ struct SweepConfig {
   std::vector<core::Objective> objectives{core::Objective::kAccesses};
   bool with_interlayer = false;            ///< also evaluate Het+inter
   core::EnergyModel energy;
+
+  /// Memoize per-layer evaluations across the whole grid.  Points sharing
+  /// a (GLB, width) re-plan the same shapes per batch/objective, and many
+  /// layer evaluations coincide even across sizes — sharing one cache
+  /// makes warm sweeps measurably faster (bench_plancache) while keeping
+  /// every point's plan byte-identical (keys cover all axes).
+  bool use_eval_cache = true;
+  /// Optional externally shared cache (e.g. across repeated sweeps or the
+  /// sensitivity helper).  Null + use_eval_cache → run_sweep creates a
+  /// private one per call.
+  std::shared_ptr<core::EvalCache> eval_cache;
 
   /// Throws std::invalid_argument when an axis is empty or a value is
   /// out of range.

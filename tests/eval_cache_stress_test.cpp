@@ -1,0 +1,148 @@
+// Concurrency stress for the evaluation cache and the planner paths built
+// on it.  One shared cache is hammered from the thread pool with a mixed
+// workload of hot (repeated) and cold (unique) layer signatures; afterwards
+// the counter invariants must hold exactly — hits + misses == lookups,
+// inserts - evictions == entries — and every thread must have observed the
+// same estimate the sequential path computes (no lost or torn inserts).
+// These binaries are also the ones the CI ThreadSanitizer job runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/eval_cache.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rainbow::core {
+namespace {
+
+model::Layer hot_layer(int i) {
+  // 16 distinct shapes, requested over and over.
+  return model::make_conv("hot", 14 + (i % 4), 14 + (i % 4), 32, 3, 3,
+                          64 + 16 * (i % 4), 1, 1);
+}
+
+model::Layer cold_layer(int i) {
+  // Unique shape per call: forces a miss + insert every time.
+  return model::make_conv("cold", 8 + i % 97, 8 + (i * 7) % 89, 3 + i % 13, 3,
+                          3, 8 + i % 31, 1, 1);
+}
+
+TEST(EvalCacheStress, MixedHotColdWorkloadKeepsCountersConsistent) {
+  const arch::AcceleratorSpec spec = arch::paper_spec(util::kib(256));
+  AnalyzerOptions options;
+  auto cache = std::make_shared<EvalCache>();
+  options.eval_cache = cache;
+  const Analyzer analyzer(spec, options);
+  const Analyzer uncached(spec, AnalyzerOptions{});
+
+  constexpr int kTasks = 64;
+  constexpr int kIterations = 200;
+  std::atomic<int> mismatches{0};
+  std::vector<int> task_ids(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    task_ids[t] = t;
+  }
+  util::parallel_for_each(
+      task_ids,
+      [&](int t) {
+        for (int i = 0; i < kIterations; ++i) {
+          const model::Layer layer = (i % 3 == 0)
+                                         ? cold_layer(t * kIterations + i)
+                                         : hot_layer(i);
+          const Objective objective =
+              (i % 2 == 0) ? Objective::kAccesses : Objective::kLatency;
+          const Estimate via_cache = analyzer.best_estimate(layer, objective);
+          const Estimate direct = uncached.best_estimate(layer, objective);
+          if (!(via_cache == direct)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      /*threads=*/8);
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const EvalCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.lookups,
+            static_cast<std::uint64_t>(kTasks) * kIterations);
+  // No lost inserts: every resident entry is accounted for by an insert
+  // that was not later evicted, and nothing fell through the cracks.
+  EXPECT_EQ(stats.inserts - stats.evictions, stats.entries);
+  EXPECT_LE(stats.inserts, stats.misses);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST(EvalCacheStress, RawInsertLookupRaceOnOneKeySetIsCoherent) {
+  EvalCache cache(/*max_entries=*/64);  // small: force constant eviction
+  const arch::AcceleratorSpec spec = arch::paper_spec(util::kib(64));
+  const AnalyzerOptions options;
+
+  std::vector<EvalKey> keys;
+  for (int i = 0; i < 128; ++i) {
+    keys.push_back(make_eval_key(cold_layer(i), spec, Objective::kAccesses,
+                                 options,
+                                 {.ifmap_resident = (i % 2) != 0,
+                                  .keep_ofmap = (i % 4) == 0}));
+  }
+
+  std::vector<int> workers(8);
+  std::atomic<int> bad_values{0};
+  util::parallel_for_each(
+      workers,
+      [&](int&) {
+        for (int round = 0; round < 500; ++round) {
+          const EvalKey& key = keys[round % keys.size()];
+          Estimate est;
+          est.feasible = true;
+          // The value is derived from the key so a torn read is detectable.
+          est.traffic.ifmap_reads = key.hash();
+          cache.insert(key, est);
+          if (auto hit = cache.lookup(key)) {
+            if (hit->traffic.ifmap_reads != key.hash()) {
+              bad_values.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+
+  EXPECT_EQ(bad_values.load(), 0);
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.inserts - stats.evictions, stats.entries);
+  EXPECT_LE(stats.entries, cache.capacity());
+}
+
+TEST(EvalCacheStress, ParallelPlansShareOneCacheAcrossManagers) {
+  const arch::AcceleratorSpec spec = arch::paper_spec(util::kib(256));
+  auto cache = std::make_shared<EvalCache>();
+  const auto net = model::zoo::mobilenetv2();
+
+  const MemoryManager sequential(spec);
+  const ExecutionPlan golden = sequential.plan(net, Objective::kAccesses);
+
+  std::vector<int> runs(12);
+  std::atomic<int> divergences{0};
+  util::parallel_for_each(runs, [&](int&) {
+    ManagerOptions options;
+    options.analyzer.eval_cache = cache;
+    options.parallel_planning = true;
+    options.planning_threads = 2;
+    const MemoryManager manager(spec, options);
+    const ExecutionPlan plan = manager.plan(net, Objective::kAccesses);
+    if (!(plan.assignments() == golden.assignments())) {
+      divergences.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  EXPECT_EQ(divergences.load(), 0);
+  const EvalCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.inserts - stats.evictions, stats.entries);
+}
+
+}  // namespace
+}  // namespace rainbow::core

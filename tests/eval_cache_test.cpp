@@ -1,0 +1,386 @@
+// The evaluation cache's contract, locked down three ways:
+//  * unit behaviour — lookup/insert/eviction/counter semantics,
+//  * key soundness — every input that can change an estimate changes the
+//    signature (no false hits), and signatures are pure value functions
+//    (no pointer/address/process dependence),
+//  * determinism goldens — cached, uncached, and parallel-planned plans
+//    are exactly equal for every zoo model, both objectives, and
+//    inter-layer reuse on/off.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/eval_cache.hpp"
+#include "core/manager.hpp"
+#include "dse/sensitivity.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::core {
+namespace {
+
+model::Layer::Params base_params() {
+  model::Layer::Params p;
+  p.kind = model::LayerKind::kConv;
+  p.name = "conv";
+  p.ifmap_h = 28;
+  p.ifmap_w = 28;
+  p.channels = 64;
+  p.filter_h = 3;
+  p.filter_w = 3;
+  p.filters = 128;
+  p.stride = 1;
+  p.padding = 1;
+  return p;
+}
+
+EvalKey key_of(const model::Layer::Params& params,
+               const arch::AcceleratorSpec& spec, Objective objective,
+               const AnalyzerOptions& options, const InterlayerAdjust& adjust) {
+  return make_eval_key(model::Layer(params), spec, objective, options, adjust);
+}
+
+Estimate some_estimate(count_t accesses) {
+  Estimate est;
+  est.choice.policy = Policy::kIfmapReuse;
+  est.traffic.ifmap_reads = accesses;
+  est.feasible = true;
+  return est;
+}
+
+// ---------------------------------------------------------------- unit ----
+
+TEST(EvalCache, MissThenInsertThenHit) {
+  EvalCache cache;
+  const EvalKey key = key_of(base_params(), arch::paper_spec(util::kib(64)),
+                             Objective::kAccesses, AnalyzerOptions{}, {});
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.insert(key, some_estimate(42));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->accesses(), 42u);
+
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+}
+
+TEST(EvalCache, FirstInsertWinsOnDuplicateKey) {
+  EvalCache cache;
+  const EvalKey key = key_of(base_params(), arch::paper_spec(util::kib(64)),
+                             Objective::kAccesses, AnalyzerOptions{}, {});
+  cache.insert(key, some_estimate(1));
+  cache.insert(key, some_estimate(2));  // a concurrent duplicate computation
+  EXPECT_EQ(cache.lookup(key)->accesses(), 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(EvalCache, GetOrComputeComputesOnceAndDoesNotCacheExceptions) {
+  EvalCache cache;
+  const EvalKey key = key_of(base_params(), arch::paper_spec(util::kib(64)),
+                             Objective::kAccesses, AnalyzerOptions{}, {});
+  int calls = 0;
+  EXPECT_THROW(
+      (void)cache.get_or_compute(
+          key,
+          [&]() -> Estimate {
+            ++calls;
+            throw std::runtime_error("infeasible");
+          }),
+      std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+
+  const Estimate first = cache.get_or_compute(key, [&] {
+    ++calls;
+    return some_estimate(7);
+  });
+  const Estimate second = cache.get_or_compute(key, [&] {
+    ++calls;
+    return some_estimate(8);  // must not run
+  });
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second.accesses(), 7u);
+}
+
+TEST(EvalCache, BoundedSizeEvictsOldestAndCountsEvictions) {
+  EvalCache cache(/*max_entries=*/EvalCache::kShardCount);  // 1 per shard
+  auto params = base_params();
+  for (int i = 0; i < 256; ++i) {
+    params.ifmap_h = 8 + i;
+    cache.insert(key_of(params, arch::paper_spec(util::kib(64)),
+                        Objective::kAccesses, AnalyzerOptions{}, {}),
+                 some_estimate(static_cast<count_t>(i)));
+  }
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, cache.capacity());
+  EXPECT_EQ(stats.inserts, 256u);
+  EXPECT_EQ(stats.inserts - stats.evictions, stats.entries);
+}
+
+TEST(EvalCache, ClearDropsEntriesButKeepsCounters) {
+  EvalCache cache;
+  const EvalKey key = key_of(base_params(), arch::paper_spec(util::kib(64)),
+                             Objective::kAccesses, AnalyzerOptions{}, {});
+  cache.insert(key, some_estimate(1));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+// ------------------------------------------------------- key soundness ----
+
+TEST(EvalKey, IdenticalInputsHashIdenticallyAndValueOnly) {
+  const arch::AcceleratorSpec spec = arch::paper_spec(util::kib(256));
+  const AnalyzerOptions options;
+  const EvalKey a = key_of(base_params(), spec, Objective::kAccesses, options,
+                           {.ifmap_resident = true, .keep_ofmap = false});
+  // Freshly constructed objects at different addresses — including a
+  // heap-allocated copy — must produce byte-identical signatures: the key
+  // is a pure function of field values.
+  const auto layer_copy =
+      std::make_unique<model::Layer>(model::Layer(base_params()));
+  const auto options_copy = std::make_unique<AnalyzerOptions>(options);
+  const EvalKey b =
+      make_eval_key(*layer_copy, arch::paper_spec(util::kib(256)),
+                    Objective::kAccesses, *options_copy,
+                    {.ifmap_resident = true, .keep_ofmap = false});
+  EXPECT_EQ(a.bytes(), b.bytes());
+  EXPECT_EQ(a.hash(), b.hash());
+  // The FNV-1a hash of the canonical bytes is reproducible from the bytes
+  // alone — nothing address- or process-dependent feeds it.
+  EXPECT_EQ(a.hash(), EvalKey::fnv1a(a.bytes()));
+}
+
+TEST(EvalKey, LayerNameIsDeliberatelyExcluded) {
+  auto renamed = base_params();
+  renamed.name = "same-shape-different-name";
+  const arch::AcceleratorSpec spec = arch::paper_spec(util::kib(256));
+  EXPECT_EQ(
+      key_of(base_params(), spec, Objective::kAccesses, AnalyzerOptions{}, {}),
+      key_of(renamed, spec, Objective::kAccesses, AnalyzerOptions{}, {}));
+}
+
+TEST(EvalKey, EveryLayerFieldMutationChangesTheSignature) {
+  const arch::AcceleratorSpec spec = arch::paper_spec(util::kib(256));
+  const AnalyzerOptions options;
+  const EvalKey base =
+      key_of(base_params(), spec, Objective::kAccesses, options, {});
+
+  const std::vector<void (*)(model::Layer::Params&)> mutations = {
+      [](model::Layer::Params& p) { p.ifmap_h += 1; },
+      [](model::Layer::Params& p) { p.ifmap_w += 1; },
+      [](model::Layer::Params& p) { p.channels += 1; },
+      [](model::Layer::Params& p) { p.filter_h += 2; },
+      [](model::Layer::Params& p) { p.filter_w += 2; },
+      [](model::Layer::Params& p) { p.filters += 1; },
+      [](model::Layer::Params& p) { p.stride += 1; },
+      [](model::Layer::Params& p) { p.padding += 1; },
+  };
+  for (std::size_t i = 0; i < mutations.size(); ++i) {
+    auto params = base_params();
+    mutations[i](params);
+    EXPECT_NE(base, key_of(params, spec, Objective::kAccesses, options, {}))
+        << "layer mutation " << i << " did not change the signature";
+  }
+
+  // Kind in isolation: a CV layer with a 1x1 filter and a PW layer of the
+  // same dimensions differ only in kind.
+  auto conv1x1 = base_params();
+  conv1x1.filter_h = conv1x1.filter_w = 1;
+  conv1x1.padding = 0;
+  auto pointwise = conv1x1;
+  pointwise.kind = model::LayerKind::kPointwise;
+  EXPECT_NE(key_of(conv1x1, spec, Objective::kAccesses, options, {}),
+            key_of(pointwise, spec, Objective::kAccesses, options, {}));
+}
+
+TEST(EvalKey, EverySpecFieldMutationChangesTheSignature) {
+  const AnalyzerOptions options;
+  const arch::AcceleratorSpec base_spec = arch::paper_spec(util::kib(256));
+  const EvalKey base =
+      key_of(base_params(), base_spec, Objective::kAccesses, options, {});
+
+  const std::vector<void (*)(arch::AcceleratorSpec&)> mutations = {
+      [](arch::AcceleratorSpec& s) { s.pe_rows *= 2; },
+      [](arch::AcceleratorSpec& s) { s.pe_cols *= 2; },
+      [](arch::AcceleratorSpec& s) { s.ops_per_cycle *= 2; },
+      [](arch::AcceleratorSpec& s) { s.data_width_bits = 16; },
+      [](arch::AcceleratorSpec& s) { s.glb_bytes *= 2; },
+      [](arch::AcceleratorSpec& s) { s.dram_bytes_per_cycle *= 2.0; },
+      [](arch::AcceleratorSpec& s) { s.sram_bytes_per_cycle = 32.0; },
+  };
+  for (std::size_t i = 0; i < mutations.size(); ++i) {
+    arch::AcceleratorSpec spec = base_spec;
+    mutations[i](spec);
+    EXPECT_NE(base, key_of(base_params(), spec, Objective::kAccesses, options,
+                           {}))
+        << "spec mutation " << i << " did not change the signature";
+  }
+}
+
+TEST(EvalKey, ObjectiveOptionsAndAdjustChangeTheSignature) {
+  const arch::AcceleratorSpec spec = arch::paper_spec(util::kib(256));
+  const AnalyzerOptions options;
+  const EvalKey base =
+      key_of(base_params(), spec, Objective::kAccesses, options, {});
+
+  EXPECT_NE(base,
+            key_of(base_params(), spec, Objective::kLatency, options, {}));
+
+  AnalyzerOptions no_prefetch;
+  no_prefetch.allow_prefetch = false;
+  EXPECT_NE(base, key_of(base_params(), spec, Objective::kAccesses,
+                         no_prefetch, {}));
+
+  AnalyzerOptions fewer_policies;
+  fewer_policies.policies.pop_back();
+  EXPECT_NE(base, key_of(base_params(), spec, Objective::kAccesses,
+                         fewer_policies, {}));
+
+  // Order matters: the first-considered candidate wins exact ties.
+  AnalyzerOptions reordered;
+  std::swap(reordered.policies.front(), reordered.policies.back());
+  EXPECT_NE(base, key_of(base_params(), spec, Objective::kAccesses,
+                         reordered, {}));
+
+  AnalyzerOptions unpadded;
+  unpadded.estimator.padded_traffic = false;
+  EXPECT_NE(base,
+            key_of(base_params(), spec, Objective::kAccesses, unpadded, {}));
+
+  AnalyzerOptions batched;
+  batched.estimator.batch = 8;
+  EXPECT_NE(base,
+            key_of(base_params(), spec, Objective::kAccesses, batched, {}));
+
+  EXPECT_NE(base, key_of(base_params(), spec, Objective::kAccesses, options,
+                         {.ifmap_resident = true, .keep_ofmap = false}));
+  EXPECT_NE(base, key_of(base_params(), spec, Objective::kAccesses, options,
+                         {.ifmap_resident = false, .keep_ofmap = true}));
+}
+
+// ------------------------------------------------- determinism goldens ----
+
+void expect_plans_identical(const ExecutionPlan& expected,
+                            const ExecutionPlan& actual,
+                            const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  EXPECT_EQ(expected.scheme(), actual.scheme()) << label;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const LayerAssignment& e = expected.assignment(i);
+    const LayerAssignment& a = actual.assignment(i);
+    ASSERT_EQ(e, a) << label << ": layer " << i << " diverged (policy "
+                    << short_label(e.estimate.choice.policy,
+                                   e.estimate.choice.prefetch)
+                    << " vs "
+                    << short_label(a.estimate.choice.policy,
+                                   a.estimate.choice.prefetch) << ")";
+  }
+  EXPECT_EQ(expected.total_accesses(), actual.total_accesses()) << label;
+  EXPECT_EQ(expected.total_latency_cycles(), actual.total_latency_cycles())
+      << label;
+}
+
+TEST(EvalCacheDeterminism, CachedUncachedAndParallelPlansAreIdentical) {
+  const arch::AcceleratorSpec spec = arch::paper_spec(util::kib(256));
+  for (const auto& net : model::zoo::all_models()) {
+    for (Objective objective : {Objective::kAccesses, Objective::kLatency}) {
+      for (bool interlayer : {false, true}) {
+        ManagerOptions plain_options;
+        plain_options.interlayer_reuse = interlayer;
+        const MemoryManager plain(spec, plain_options);
+        const ExecutionPlan golden = plain.plan(net, objective);
+
+        const std::string label =
+            net.name() + "/" + std::string(to_string(objective)) +
+            (interlayer ? "/inter" : "");
+
+        ManagerOptions cached_options = plain_options;
+        cached_options.analyzer.eval_cache = std::make_shared<EvalCache>();
+        const MemoryManager cached(spec, cached_options);
+        expect_plans_identical(golden, cached.plan(net, objective),
+                               label + "/cached-cold");
+        // The second pass answers everything from the cache.
+        expect_plans_identical(golden, cached.plan(net, objective),
+                               label + "/cached-warm");
+        EXPECT_GT(cached_options.analyzer.eval_cache->stats().hits, 0u)
+            << label;
+
+        ManagerOptions parallel_options = plain_options;
+        parallel_options.parallel_planning = true;
+        parallel_options.planning_threads = 4;
+        const MemoryManager parallel(spec, parallel_options);
+        expect_plans_identical(golden, parallel.plan(net, objective),
+                               label + "/parallel");
+
+        ManagerOptions both_options = cached_options;
+        both_options.parallel_planning = true;
+        both_options.planning_threads = 4;
+        const MemoryManager both(spec, both_options);
+        expect_plans_identical(golden, both.plan(net, objective),
+                               label + "/parallel+cached");
+      }
+    }
+  }
+}
+
+TEST(EvalCacheDeterminism, SweepPointsIdenticalWithAndWithoutCache) {
+  const auto net = model::zoo::mobilenetv2();
+  dse::SweepConfig config;
+  config.glb_bytes = {util::kib(64), util::kib(256), util::kib(1024)};
+  config.data_width_bits = {8, 16};
+  config.objectives = {Objective::kAccesses, Objective::kLatency};
+  config.with_interlayer = true;
+
+  dse::SweepConfig uncached = config;
+  uncached.use_eval_cache = false;
+  const auto plain = dse::run_sweep(net, uncached);
+
+  dse::SweepConfig cached = config;
+  cached.eval_cache = std::make_shared<EvalCache>();
+  const auto memoized = dse::run_sweep(net, cached);
+
+  ASSERT_EQ(plain.size(), memoized.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].accesses, memoized[i].accesses) << "point " << i;
+    EXPECT_EQ(plain[i].latency_cycles, memoized[i].latency_cycles)
+        << "point " << i;
+    EXPECT_EQ(plain[i].energy_mj, memoized[i].energy_mj) << "point " << i;
+    EXPECT_EQ(plain[i].prefetch_coverage, memoized[i].prefetch_coverage)
+        << "point " << i;
+    EXPECT_EQ(plain[i].interlayer_coverage, memoized[i].interlayer_coverage)
+        << "point " << i;
+  }
+  EXPECT_GT(cached.eval_cache->stats().hit_rate(), 0.5);
+}
+
+TEST(EvalCacheDeterminism, GlbSensitivityMatchesManualSweep) {
+  const auto net = model::zoo::resnet18();
+  const std::vector<count_t> sizes = {util::kib(64), util::kib(128),
+                                      util::kib(256)};
+  const auto report = dse::glb_sensitivity(net, sizes);
+  ASSERT_EQ(report.points.size(), sizes.size());
+  ASSERT_EQ(report.marginals.size(), sizes.size() - 1);
+  EXPECT_GT(report.cache.lookups, 0u);
+
+  dse::SweepConfig config;
+  config.glb_bytes = sizes;
+  config.use_eval_cache = false;
+  const auto plain = dse::run_sweep(net, config);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(report.points[i].accesses, plain[i].accesses);
+    EXPECT_EQ(report.points[i].latency_cycles, plain[i].latency_cycles);
+  }
+  EXPECT_EQ(report.knee_bytes, dse::knee_glb_bytes(plain));
+}
+
+}  // namespace
+}  // namespace rainbow::core

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "core/eval_cache.hpp"
 #include "dse/pareto.hpp"
 #include "dse/sensitivity.hpp"
 #include "model/parser.hpp"
@@ -50,6 +51,8 @@ int main(int argc, char** argv) {
   std::vector<int> widths = {8};
   std::vector<int> batches = {1};
   bool interlayer = false;
+  bool no_eval_cache = false;
+  bool cache_stats = false;
   std::optional<std::string> csv_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -72,13 +75,17 @@ int main(int argc, char** argv) {
       batches = parse_int_list(next());
     } else if (flag == "--interlayer") {
       interlayer = true;
+    } else if (flag == "--no-eval-cache") {
+      no_eval_cache = true;
+    } else if (flag == "--cache-stats") {
+      cache_stats = true;
     } else if (flag == "--csv") {
       csv_path = next();
     } else {
       std::cerr << "usage: " << argv[0]
                 << " --model <zoo-name|file.model> [--min-kb N] [--max-kb N]"
                    " [--widths 8,16] [--batches 1,8] [--interlayer]"
-                   " [--csv path]\n";
+                   " [--no-eval-cache] [--cache-stats] [--csv path]\n";
       return flag == "--help" || flag == "-h" ? 0 : 2;
     }
   }
@@ -100,6 +107,10 @@ int main(int argc, char** argv) {
     config.data_width_bits = widths;
     config.batch_sizes = batches;
     config.with_interlayer = interlayer;
+    config.use_eval_cache = !no_eval_cache;
+    if (config.use_eval_cache) {
+      config.eval_cache = std::make_shared<core::EvalCache>();
+    }
     const auto points = dse::run_sweep(net, config);
 
     const auto front = dse::pareto_front(
@@ -125,6 +136,18 @@ int main(int argc, char** argv) {
               << points.size() << " points, " << front.size()
               << " on the accesses/latency Pareto front)\n";
     table.print(std::cout);
+    if (cache_stats) {
+      if (config.eval_cache) {
+        const core::EvalCacheStats stats = config.eval_cache->stats();
+        std::cout << "eval cache: " << stats.lookups << " lookups, "
+                  << stats.hits << " hits ("
+                  << util::fmt(100.0 * stats.hit_rate(), 1) << "%), "
+                  << stats.inserts << " inserts, " << stats.evictions
+                  << " evictions\n";
+      } else {
+        std::cout << "eval cache: disabled (--no-eval-cache)\n";
+      }
+    }
 
     // Size sensitivity needs a single-axis slice: only when the grid has
     // one width/batch/interlayer setting.

@@ -19,6 +19,7 @@
 #include "codegen/lower.hpp"
 #include "codegen/print.hpp"
 #include "core/energy.hpp"
+#include "core/eval_cache.hpp"
 #include "core/manager.hpp"
 #include "core/plan_io.hpp"
 #include "core/report.hpp"
@@ -42,6 +43,9 @@ struct CliOptions {
   bool interlayer = false;
   bool no_prefetch = false;
   bool no_padding = false;
+  bool no_eval_cache = false;
+  bool cache_stats = false;
+  bool parallel = false;
   bool describe = false;
   bool baseline = false;
   std::optional<std::size_t> explain_layer;  // per-layer candidate table
@@ -64,6 +68,9 @@ struct CliOptions {
      << "  --interlayer        enable inter-layer reuse\n"
      << "  --no-prefetch       disable the +p policy variants\n"
      << "  --no-padding        exclude ifmap padding from traffic\n"
+     << "  --no-eval-cache     disable the layer-evaluation memo cache\n"
+     << "  --cache-stats       print evaluation-cache hit/miss statistics\n"
+     << "  --parallel          plan layers in parallel (same plan, faster)\n"
      << "  --describe          per-layer plan table\n"
      << "  --explain <layer>   candidate table for one layer index\n"
      << "  --timeline <layer>  DRAM/compute occupancy chart for one layer\n"
@@ -114,6 +121,12 @@ CliOptions parse(int argc, char** argv) {
       opt.no_prefetch = true;
     } else if (flag == "--no-padding") {
       opt.no_padding = true;
+    } else if (flag == "--no-eval-cache") {
+      opt.no_eval_cache = true;
+    } else if (flag == "--cache-stats") {
+      opt.cache_stats = true;
+    } else if (flag == "--parallel") {
+      opt.parallel = true;
     } else if (flag == "--describe") {
       opt.describe = true;
     } else if (flag == "--explain") {
@@ -178,7 +191,13 @@ int main(int argc, char** argv) {
     options.analyzer.allow_prefetch = !opt.no_prefetch;
     options.analyzer.estimator.padded_traffic = !opt.no_padding;
     options.analyzer.estimator.batch = opt.batch;
+    std::shared_ptr<core::EvalCache> cache;
+    if (!opt.no_eval_cache) {
+      cache = std::make_shared<core::EvalCache>();
+      options.analyzer.eval_cache = cache;
+    }
     options.interlayer_reuse = opt.interlayer;
+    options.parallel_planning = opt.parallel;
     const core::MemoryManager manager(spec, options);
 
     const core::ExecutionPlan plan =
@@ -210,6 +229,19 @@ int main(int argc, char** argv) {
                             std::to_string(plan.interlayer_links())
                       : std::string())
               << '\n';
+
+    if (opt.cache_stats) {
+      if (cache) {
+        const core::EvalCacheStats stats = cache->stats();
+        std::cout << "  cache:     " << stats.lookups << " lookups, "
+                  << stats.hits << " hits ("
+                  << util::fmt(100.0 * stats.hit_rate(), 1) << "%), "
+                  << stats.inserts << " inserts, " << stats.evictions
+                  << " evictions, " << stats.entries << " resident\n";
+      } else {
+        std::cout << "  cache:     disabled (--no-eval-cache)\n";
+      }
+    }
 
     if (opt.describe) {
       std::cout << '\n' << manager.describe(plan, net);
@@ -292,7 +324,11 @@ int main(int argc, char** argv) {
         std::cerr << "cannot open " << *opt.json_path << '\n';
         return 1;
       }
-      core::write_json(core::build_report(plan, net), out);
+      core::PlanReport report = core::build_report(plan, net);
+      if (cache) {
+        report.eval_cache = cache->stats();
+      }
+      core::write_json(report, out);
     }
 
     if (opt.csv_path) {
