@@ -1,0 +1,328 @@
+// Execution-backend benchmark: what the blocked im2col GEMM kernel and
+// the layer-parallel simulation paths buy over the naive oracles, with
+// every timed pair checked bit-exact before a speedup is reported.
+//
+// Three sections:
+//   1. kernel: naive triple-loop matmul vs the cache-blocked kernel on an
+//      im2col-shaped product, single thread (the >= 5x claim), plus the
+//      blocked kernel's thread scaling,
+//   2. conv: the per-element golden reference vs blocked_forward over the
+//      distinct conv shapes of the paper's model zoo,
+//   3. parallel: scalesim's traced fold walk and the engine's tile replay
+//      fanned across 1/2/4/all threads, results pinned identical.
+//
+//   bench_execbackend [--quick] [--check] [--json <path>] [--csv <path>]
+//
+// --quick caps the work (CI smoke); --check exits non-zero on any
+// naive/blocked mismatch; --json writes the machine-readable report
+// committed as BENCH_execbackend.json.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "engine/engine.hpp"
+#include "model/zoo/zoo.hpp"
+#include "ref/blocked_kernel.hpp"
+#include "ref/policy_exec.hpp"
+#include "scalesim/simulator.hpp"
+#include "systolic/gemm.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rainbow;
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - start)
+      .count();
+}
+
+struct Options {
+  bool quick = false;
+  bool check = false;
+  std::optional<std::string> json_path;
+  std::optional<std::string> csv_path;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--quick") {
+      opt.quick = true;
+    } else if (flag == "--check") {
+      opt.check = true;
+    } else if (flag == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (flag == "--csv" && i + 1 < argc) {
+      opt.csv_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--quick] [--check] [--json path] [--csv path]\n";
+      std::exit(flag == "--help" || flag == "-h" ? 0 : 2);
+    }
+  }
+  return opt;
+}
+
+systolic::Matrix random_matrix(int rows, int cols, std::uint64_t seed) {
+  systolic::Matrix m(rows, cols);
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      m.at(r, c) = static_cast<systolic::value_t>((state >> 33) % 17) - 8;
+    }
+  }
+  return m;
+}
+
+/// Shape signature for de-duplicating conv layers across the zoo.
+std::string shape_key(const model::Layer& layer) {
+  std::ostringstream key;
+  key << (layer.is_depthwise() ? "DW" : "CV") << ',' << layer.ifmap_h() << ','
+      << layer.ifmap_w() << ',' << layer.channels() << ',' << layer.filter_h()
+      << ',' << layer.filter_w() << ',' << layer.filters() << ','
+      << layer.stride() << ',' << layer.padding();
+  return key.str();
+}
+
+struct ConvRow {
+  std::string model;
+  std::size_t shapes = 0;
+  count_t macs = 0;
+  double naive_ms = 0.0;
+  double blocked_ms = 0.0;
+  bool exact = true;
+};
+
+struct ScalingRow {
+  std::string section;
+  int threads = 1;
+  double ms = 0.0;
+  bool exact = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  bool all_exact = true;
+
+  // --- 1. kernel: naive vs blocked matmul, im2col-shaped -----------------
+  // M = output pixels, K = channels x taps, N = filters: the product a
+  // mid-network ResNet conv lowers to (half-size in --quick mode).
+  const int m = opt.quick ? 196 : 784;
+  const int k = opt.quick ? 288 : 576;
+  const int n = opt.quick ? 64 : 128;
+  const systolic::Matrix a = random_matrix(m, k, 11);
+  const systolic::Matrix b = random_matrix(k, n, 23);
+  const int reps = opt.quick ? 1 : 3;
+
+  double naive_gemm_ms = 1e300;
+  systolic::Matrix naive_product;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = clock_type::now();
+    naive_product = systolic::naive_matmul(a, b);
+    naive_gemm_ms = std::min(naive_gemm_ms, ms_since(start));
+  }
+  double blocked_gemm_ms = 1e300;
+  systolic::Matrix blocked_product;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = clock_type::now();
+    blocked_product = systolic::blocked_matmul(a, b);
+    blocked_gemm_ms = std::min(blocked_gemm_ms, ms_since(start));
+  }
+  const bool gemm_exact = naive_product == blocked_product;
+  all_exact = all_exact && gemm_exact;
+  const double gemm_speedup = naive_gemm_ms / blocked_gemm_ms;
+
+  // Thread scaling of the blocked kernel on a larger product.
+  std::vector<ScalingRow> gemm_scaling;
+  {
+    const int sm = opt.quick ? 512 : 2048;
+    const int sk = opt.quick ? 256 : 512;
+    const int sn = opt.quick ? 128 : 512;
+    const systolic::Matrix sa = random_matrix(sm, sk, 31);
+    const systolic::Matrix sb = random_matrix(sk, sn, 47);
+    const systolic::Matrix reference = systolic::blocked_matmul(sa, sb, 1);
+    // Oversubscribed rows still run: the result must stay identical for
+    // every thread count, on any machine.
+    const std::set<int> thread_counts{1, 2, 4, static_cast<int>(hw)};
+    for (int threads : thread_counts) {
+      const auto start = clock_type::now();
+      const systolic::Matrix out = systolic::blocked_matmul(sa, sb, threads);
+      ScalingRow row{"gemm", threads, ms_since(start), out == reference};
+      all_exact = all_exact && row.exact;
+      gemm_scaling.push_back(row);
+    }
+  }
+
+  // --- 2. conv: golden per-element reference vs blocked_forward ----------
+  const count_t mac_cap = opt.quick ? 30'000'000ull : ~0ull;
+  std::vector<ConvRow> conv_rows;
+  std::set<std::string> seen;
+  for (const auto& net : model::zoo::all_models()) {
+    ConvRow row;
+    row.model = net.name();
+    for (const model::Layer& layer : net.layers()) {
+      if (!seen.insert(shape_key(layer)).second || layer.macs() > mac_cap) {
+        continue;
+      }
+      const auto operands = ref::random_operands(layer, 7);
+      const auto start_naive = clock_type::now();
+      const auto golden = ref::reference_forward(layer, operands);
+      row.naive_ms += ms_since(start_naive);
+      const auto start_blocked = clock_type::now();
+      const auto fast = ref::blocked_forward(layer, operands, 1);
+      row.blocked_ms += ms_since(start_blocked);
+      row.exact = row.exact && fast == golden;
+      row.macs += layer.macs();
+      ++row.shapes;
+    }
+    all_exact = all_exact && row.exact;
+    if (row.shapes > 0) {
+      conv_rows.push_back(row);
+    }
+    if (opt.quick && seen.size() >= 12) {
+      break;
+    }
+  }
+
+  // --- 3. parallel simulation: traced scalesim + engine replay -----------
+  std::vector<ScalingRow> sim_scaling;
+  {
+    const model::Network net =
+        model::zoo::by_name(opt.quick ? "mobilenet" : "resnet18");
+    const arch::AcceleratorSpec spec = arch::paper_spec(util::kib(256));
+    const scalesim::Simulator sim(spec, scalesim::BufferPartition{});
+    const scalesim::TraceResult reference = sim.run_traced(net, 1);
+    const core::MemoryManager manager(spec);
+    const core::ExecutionPlan plan =
+        manager.plan(net, core::Objective::kAccesses);
+    const engine::Engine engine(spec);
+    const engine::PlanExecution engine_ref = engine.execute_plan(plan, net, 1);
+    const std::set<int> thread_counts{1, 2, 4, static_cast<int>(hw)};
+    for (int threads : thread_counts) {
+      auto start = clock_type::now();
+      const scalesim::TraceResult traced = sim.run_traced(net, threads);
+      ScalingRow traced_row{"scalesim_traced", threads, ms_since(start),
+                            traced.trace_checksum ==
+                                    reference.trace_checksum &&
+                                traced.aggregate.total_accesses ==
+                                    reference.aggregate.total_accesses &&
+                                traced.aggregate.total_cycles ==
+                                    reference.aggregate.total_cycles};
+      all_exact = all_exact && traced_row.exact;
+      sim_scaling.push_back(traced_row);
+
+      start = clock_type::now();
+      const engine::PlanExecution exec = engine.execute_plan(plan, net, threads);
+      ScalingRow engine_row{"engine_replay", threads, ms_since(start),
+                            exec.total_accesses == engine_ref.total_accesses &&
+                                exec.total_latency_cycles ==
+                                    engine_ref.total_latency_cycles};
+      all_exact = all_exact && engine_row.exact;
+      sim_scaling.push_back(engine_row);
+    }
+  }
+
+  // --- report -------------------------------------------------------------
+  std::cout << "kernel: naive " << util::fmt(naive_gemm_ms, 3)
+            << " ms vs blocked " << util::fmt(blocked_gemm_ms, 3) << " ms ("
+            << m << "x" << k << "x" << n << "), speedup "
+            << util::fmt(gemm_speedup, 1) << "x, "
+            << (gemm_exact ? "bit-exact" : "MISMATCH") << '\n';
+
+  util::Table conv_table({"model", "shapes", "MMACs", "naive ms", "blocked ms",
+                          "speedup", "exact"});
+  for (const ConvRow& row : conv_rows) {
+    conv_table.add_row(
+        {row.model, std::to_string(row.shapes),
+         util::fmt(static_cast<double>(row.macs) / 1e6, 1),
+         util::fmt(row.naive_ms, 1), util::fmt(row.blocked_ms, 1),
+         util::fmt(row.naive_ms / row.blocked_ms, 1) + "x",
+         row.exact ? "yes" : "NO"});
+  }
+  std::cout << "\nconv forward, distinct zoo shapes (naive reference vs "
+               "blocked backend):\n";
+  conv_table.print(std::cout);
+
+  util::Table scaling_table({"section", "threads", "ms", "exact"});
+  for (const auto& rows : {gemm_scaling, sim_scaling}) {
+    for (const ScalingRow& row : rows) {
+      scaling_table.add_row({row.section, std::to_string(row.threads),
+                             util::fmt(row.ms, 2), row.exact ? "yes" : "NO"});
+    }
+  }
+  std::cout << "\nthread scaling (identical results pinned per row):\n";
+  scaling_table.print(std::cout);
+
+  if (opt.csv_path) {
+    std::ofstream out(*opt.csv_path);
+    out << "section,threads,ms,exact\n";
+    for (const auto& rows : {gemm_scaling, sim_scaling}) {
+      for (const ScalingRow& row : rows) {
+        out << row.section << ',' << row.threads << ',' << row.ms << ','
+            << (row.exact ? 1 : 0) << '\n';
+      }
+    }
+  }
+
+  if (opt.json_path) {
+    std::ofstream out(*opt.json_path);
+    out << "{\n  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"quick\": " << (opt.quick ? "true" : "false") << ",\n"
+        << "  \"gemm\": {\"m\": " << m << ", \"k\": " << k << ", \"n\": " << n
+        << ", \"naive_ms\": " << naive_gemm_ms
+        << ", \"blocked_ms\": " << blocked_gemm_ms
+        << ", \"speedup\": " << gemm_speedup
+        << ", \"exact\": " << (gemm_exact ? "true" : "false") << "},\n"
+        << "  \"conv\": [\n";
+    for (std::size_t i = 0; i < conv_rows.size(); ++i) {
+      const ConvRow& row = conv_rows[i];
+      out << "    {\"model\": \"" << row.model
+          << "\", \"shapes\": " << row.shapes << ", \"macs\": " << row.macs
+          << ", \"naive_ms\": " << row.naive_ms
+          << ", \"blocked_ms\": " << row.blocked_ms
+          << ", \"speedup\": " << row.naive_ms / row.blocked_ms
+          << ", \"exact\": " << (row.exact ? "true" : "false") << "}"
+          << (i + 1 < conv_rows.size() ? "," : "") << '\n';
+    }
+    out << "  ],\n  \"scaling\": [\n";
+    std::vector<ScalingRow> all_rows = gemm_scaling;
+    all_rows.insert(all_rows.end(), sim_scaling.begin(), sim_scaling.end());
+    for (std::size_t i = 0; i < all_rows.size(); ++i) {
+      const ScalingRow& row = all_rows[i];
+      out << "    {\"section\": \"" << row.section
+          << "\", \"threads\": " << row.threads << ", \"ms\": " << row.ms
+          << ", \"exact\": " << (row.exact ? "true" : "false") << "}"
+          << (i + 1 < all_rows.size() ? "," : "") << '\n';
+    }
+    out << "  ],\n  \"all_exact\": " << (all_exact ? "true" : "false")
+        << "\n}\n";
+  }
+
+  if (!all_exact) {
+    std::cerr << "bench_execbackend: blocked backend diverged from the naive "
+                 "oracle\n";
+    return 1;
+  }
+  std::cout << "\nreading: the blocked kernel packs im2col panels once and "
+               "streams them through a register-tiled GEMM, so the naive "
+               "per-element loops are outrun while every output stays "
+               "bit-identical (int32 sums reorder losslessly); layer-level "
+               "fan-out scales the traced simulator near-linearly because "
+               "layers are independent and totals combine in layer order.\n";
+  return opt.check && !all_exact ? 1 : 0;
+}

@@ -1,7 +1,9 @@
 #include "dse/sweep.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "engine/engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rainbow::dse {
@@ -76,6 +78,18 @@ std::vector<SweepPoint> run_sweep(const model::Network& network,
         p.energy_mj = core::plan_energy(plan, network, config.energy).total_mj();
         p.prefetch_coverage = plan.prefetch_coverage();
         p.interlayer_coverage = plan.interlayer_coverage(boundaries);
+        if (config.simulate_execution) {
+          const engine::Engine engine(spec);
+          const engine::PlanExecution sim =
+              engine.execute_plan(plan, network, config.simulate_threads);
+          p.simulated = true;
+          p.sim_accesses = sim.total_accesses;
+          p.sim_latency_cycles = sim.total_latency_cycles;
+          for (const engine::LayerExecution& exec : sim.layers) {
+            p.sim_peak_glb_elems =
+                std::max(p.sim_peak_glb_elems, exec.peak_glb_elems);
+          }
+        }
       },
       threads);
   return points;

@@ -38,6 +38,14 @@ struct SweepConfig {
   /// private one per call.
   std::shared_ptr<core::EvalCache> eval_cache;
 
+  /// Simulation mode: additionally replay every point's plan tile by tile
+  /// on engine::Engine (the measured cross-check of the analytic numbers)
+  /// and fill the sim_* fields of each SweepPoint.  Layer replays within a
+  /// point run on `simulate_threads` workers (0 = hardware concurrency;
+  /// keep 1 when the sweep itself already saturates the machine).
+  bool simulate_execution = false;
+  int simulate_threads = 1;
+
   /// Throws std::invalid_argument when an axis is empty or a value is
   /// out of range.
   void validate() const;
@@ -63,6 +71,14 @@ struct SweepPoint {
   double energy_mj = 0.0;
   double prefetch_coverage = 0.0;
   double interlayer_coverage = 0.0;
+
+  // Filled when SweepConfig::simulate_execution is set: the engine replay
+  // of this point's plan (traffic agrees with `accesses` exactly; latency
+  // agrees within one tile of pipeline skew per layer).
+  bool simulated = false;
+  count_t sim_accesses = 0;
+  double sim_latency_cycles = 0.0;
+  count_t sim_peak_glb_elems = 0;   ///< max over layers
 
   [[nodiscard]] double access_mb_per_image() const {
     return access_mb / batch;

@@ -1,7 +1,11 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
+#include <thread>
+
+#include "util/thread_pool.hpp"
 
 namespace rainbow::engine {
 
@@ -82,20 +86,38 @@ LayerExecution Engine::execute_layer(const model::Layer& layer,
 }
 
 PlanExecution Engine::execute_plan(const core::ExecutionPlan& plan,
-                                   const model::Network& network) const {
+                                   const model::Network& network,
+                                   int threads) const {
   if (plan.size() != network.size()) {
     throw std::invalid_argument("Engine::execute_plan: plan/network mismatch");
   }
   PlanExecution result;
-  result.layers.reserve(plan.size());
-  for (const core::LayerAssignment& a : plan.assignments()) {
+  result.layers.resize(plan.size());
+  const auto& assignments = plan.assignments();
+  const auto replay = [&](std::size_t i) {
+    const core::LayerAssignment& a = assignments[i];
     core::InterlayerAdjust adjust{.ifmap_resident = a.ifmap_from_glb,
                                   .keep_ofmap = a.ofmap_stays_in_glb};
-    LayerExecution exec =
+    result.layers[i] =
         execute_layer(network.layer(a.layer_index), a.estimate.choice, adjust);
+  };
+  std::size_t workers =
+      threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                   : static_cast<std::size_t>(std::max(threads, 1));
+  workers = std::min(workers, plan.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      replay(i);
+    }
+  } else {
+    std::vector<std::size_t> indices(plan.size());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    util::parallel_for_each(indices, replay, workers);
+  }
+  // Totals accumulate in layer order, independent of the replay schedule.
+  for (const LayerExecution& exec : result.layers) {
     result.total_accesses += exec.traffic.total();
     result.total_latency_cycles += exec.latency_cycles;
-    result.layers.push_back(std::move(exec));
   }
   return result;
 }

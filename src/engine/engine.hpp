@@ -46,9 +46,14 @@ class Engine {
       const model::Layer& layer, const core::PolicyChoice& choice,
       const core::InterlayerAdjust& adjust = {}) const;
 
-  /// Executes a full plan layer-by-layer.
+  /// Executes a full plan layer-by-layer.  Each layer replays against its
+  /// own Glb allocator, so layers are independent: `threads` > 1 (0 =
+  /// hardware concurrency) replays them concurrently on a private pool,
+  /// with totals summed in layer order — the result is bit-identical to
+  /// the serial replay for every thread count.
   [[nodiscard]] PlanExecution execute_plan(const core::ExecutionPlan& plan,
-                                           const model::Network& network) const;
+                                           const model::Network& network,
+                                           int threads = 1) const;
 
  private:
   arch::AcceleratorSpec spec_;

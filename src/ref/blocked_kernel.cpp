@@ -1,0 +1,241 @@
+#include "ref/blocked_kernel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ref/reference.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rainbow::ref {
+
+namespace {
+
+int resolve_threads(int threads, int work_items) {
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return std::clamp(threads, 1, std::max(1, work_items));
+}
+
+/// Runs fn(begin, end) over [0, total) in contiguous chunks, one per
+/// worker.  threads == 1 (or trivial totals) runs inline — the serial and
+/// parallel paths execute the identical arithmetic on disjoint ranges, so
+/// results are independent of the thread count.
+template <typename Fn>
+void parallel_chunks(int total, int threads, Fn&& fn) {
+  threads = resolve_threads(threads, total);
+  if (threads <= 1 || total <= 1) {
+    fn(0, total);
+    return;
+  }
+  util::ThreadPool pool(static_cast<std::size_t>(threads));
+  const int chunk = (total + threads - 1) / threads;
+  for (int begin = 0; begin < total; begin += chunk) {
+    const int end = std::min(total, begin + chunk);
+    pool.submit([&fn, begin, end] { fn(begin, end); });
+  }
+  pool.wait();
+}
+
+// Cache blocking: a kKC x kJC panel of B (1 MB at int32, L2-resident on
+// anything modern) is reused by kMR unrolled A rows, so the hot loop reads
+// one contiguous B row per k step instead of striding the whole matrix.
+constexpr int kKC = 256;
+constexpr int kJC = 1024;
+constexpr int kMR = 4;
+
+// The portable build targets baseline x86-64 (SSE2), where int32 SIMD
+// multiply does not exist — the saxpy loop vectorizes poorly.  On x86
+// compilers that support per-function ISA targeting, the same body is
+// additionally compiled for AVX2 and picked at runtime.  The arithmetic
+// is untouched, so both instantiations are bit-identical.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RAINBOW_GEMM_AVX2_DISPATCH 1
+#else
+#define RAINBOW_GEMM_AVX2_DISPATCH 0
+#endif
+
+__attribute__((always_inline)) inline void gemm_rows_body(
+    const value_t* a, const value_t* b, value_t* c, int m_begin, int m_end,
+    int n, int k) {
+  for (int jj = 0; jj < n; jj += kJC) {
+    const int j_end = std::min(n, jj + kJC);
+    for (int kk = 0; kk < k; kk += kKC) {
+      const int k_end = std::min(k, kk + kKC);
+      int i = m_begin;
+      for (; i + kMR <= m_end; i += kMR) {
+        value_t* c0 = c + static_cast<std::size_t>(i) * n;
+        value_t* c1 = c0 + n;
+        value_t* c2 = c1 + n;
+        value_t* c3 = c2 + n;
+        const value_t* a0 = a + static_cast<std::size_t>(i) * k;
+        const value_t* a1 = a0 + k;
+        const value_t* a2 = a1 + k;
+        const value_t* a3 = a2 + k;
+        for (int l = kk; l < k_end; ++l) {
+          const value_t av0 = a0[l];
+          const value_t av1 = a1[l];
+          const value_t av2 = a2[l];
+          const value_t av3 = a3[l];
+          const value_t* brow = b + static_cast<std::size_t>(l) * n;
+          for (int j = jj; j < j_end; ++j) {
+            const value_t bv = brow[j];
+            c0[j] += av0 * bv;
+            c1[j] += av1 * bv;
+            c2[j] += av2 * bv;
+            c3[j] += av3 * bv;
+          }
+        }
+      }
+      for (; i < m_end; ++i) {
+        value_t* crow = c + static_cast<std::size_t>(i) * n;
+        const value_t* arow = a + static_cast<std::size_t>(i) * k;
+        for (int l = kk; l < k_end; ++l) {
+          const value_t av = arow[l];
+          const value_t* brow = b + static_cast<std::size_t>(l) * n;
+          for (int j = jj; j < j_end; ++j) {
+            crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_rows_generic(const value_t* a, const value_t* b, value_t* c,
+                       int m_begin, int m_end, int n, int k) {
+  gemm_rows_body(a, b, c, m_begin, m_end, n, k);
+}
+
+#if RAINBOW_GEMM_AVX2_DISPATCH
+__attribute__((target("avx2"))) void gemm_rows_avx2(const value_t* a,
+                                                    const value_t* b,
+                                                    value_t* c, int m_begin,
+                                                    int m_end, int n, int k) {
+  gemm_rows_body(a, b, c, m_begin, m_end, n, k);
+}
+#endif
+
+using GemmRowsFn = void (*)(const value_t*, const value_t*, value_t*, int,
+                            int, int, int);
+
+GemmRowsFn select_gemm_rows() {
+#if RAINBOW_GEMM_AVX2_DISPATCH
+  if (__builtin_cpu_supports("avx2")) {
+    return gemm_rows_avx2;
+  }
+#endif
+  return gemm_rows_generic;
+}
+
+const GemmRowsFn gemm_rows = select_gemm_rows();
+
+}  // namespace
+
+void gemm_blocked(const value_t* a, const value_t* b, value_t* c, int m,
+                  int n, int k, int threads) {
+  if (m <= 0 || n <= 0 || k <= 0) {
+    throw std::invalid_argument("gemm_blocked: non-positive dims");
+  }
+  std::fill(c, c + static_cast<std::size_t>(m) * n, 0);
+  parallel_chunks(m, threads, [&](int begin, int end) {
+    gemm_rows(a, b, c, begin, end, n, k);
+  });
+}
+
+void im2col_rows(const model::Layer& layer, const Tensor3& ifmap,
+                 int channel_first, int channel_count, value_t* col) {
+  if (channel_count < 0) {
+    channel_count = layer.channels() - channel_first;
+  }
+  if (channel_first < 0 || channel_first + channel_count > layer.channels()) {
+    throw std::invalid_argument("im2col_rows: channel slice out of range");
+  }
+  const int oh = layer.ofmap_h();
+  const int ow = layer.ofmap_w();
+  const int ih = layer.ifmap_h();
+  const int iw = layer.ifmap_w();
+  const int fh = layer.filter_h();
+  const int fw = layer.filter_w();
+  const int s = layer.stride();
+  const int p = layer.padding();
+  const std::size_t m = static_cast<std::size_t>(oh) * ow;
+  value_t* dst = col;
+  for (int c = 0; c < channel_count; ++c) {
+    for (int ky = 0; ky < fh; ++ky) {
+      for (int kx = 0; kx < fw; ++kx, dst += m) {
+        for (int y = 0; y < oh; ++y) {
+          value_t* drow = dst + static_cast<std::size_t>(y) * ow;
+          const int sy = y * s + ky - p;
+          if (sy < 0 || sy >= ih) {
+            std::fill(drow, drow + ow, 0);
+            continue;
+          }
+          const value_t* src = ifmap.row(channel_first + c, sy);
+          if (s == 1) {
+            // Source column is x + (kx - p): one interior span, padded ends.
+            const int off = kx - p;
+            const int x0 = std::clamp(-off, 0, ow);
+            const int x1 = std::clamp(iw - off, x0, ow);
+            std::fill(drow, drow + x0, 0);
+            std::copy(src + x0 + off, src + x1 + off, drow + x0);
+            std::fill(drow + x1, drow + ow, 0);
+          } else {
+            for (int x = 0; x < ow; ++x) {
+              const int sx = x * s + kx - p;
+              drow[x] = (sx < 0 || sx >= iw) ? 0 : src[sx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor3 blocked_forward(const model::Layer& layer,
+                        const LayerOperands& operands, int threads) {
+  validate_operands(layer, operands);
+  const int oh = layer.ofmap_h();
+  const int ow = layer.ofmap_w();
+  const std::size_t m = static_cast<std::size_t>(oh) * ow;
+  const int fh = layer.filter_h();
+  const int fw = layer.filter_w();
+  Tensor3 out(layer.ofmap_channels(), oh, ow);
+
+  if (layer.is_depthwise()) {
+    const int taps = fh * fw;
+    // Channel c's output row is an axpy over its im2col tap rows with its
+    // own single filter — channels are independent, hence the chunking.
+    parallel_chunks(layer.channels(), threads, [&](int begin, int end) {
+      std::vector<value_t> col(static_cast<std::size_t>(taps) * m);
+      for (int c = begin; c < end; ++c) {
+        im2col_rows(layer, operands.ifmap, c, 1, col.data());
+        const value_t* f =
+            operands.filters.data() + static_cast<std::size_t>(c) * taps;
+        value_t* orow = out.data() + static_cast<std::size_t>(c) * m;
+        std::fill(orow, orow + m, 0);
+        for (int t = 0; t < taps; ++t) {
+          const value_t fv = f[t];
+          const value_t* crow = col.data() + static_cast<std::size_t>(t) * m;
+          for (std::size_t j = 0; j < m; ++j) {
+            orow[j] += fv * crow[j];
+          }
+        }
+      }
+    });
+    return out;
+  }
+
+  // Dense kinds: out (N x M) = filters (N x K) x im2col (K x M), and the
+  // GEMM product's row-major layout IS the ofmap's CHW layout.
+  const int kdim = layer.channels() * fh * fw;
+  std::vector<value_t> col(static_cast<std::size_t>(kdim) * m);
+  im2col_rows(layer, operands.ifmap, 0, layer.channels(), col.data());
+  gemm_blocked(operands.filters.data(), col.data(), out.data(),
+               layer.filters(), static_cast<int>(m), kdim, threads);
+  return out;
+}
+
+}  // namespace rainbow::ref

@@ -1,0 +1,43 @@
+// The blocked execution backend's compute kernels: a cache-blocked,
+// SIMD-friendly integer GEMM and an im2col convolution built on it.
+//
+// Bit-exactness with the naive oracle is structural, not approximate:
+// every output element is the same set of int32 products, and int32
+// addition is associative and commutative, so any summation order yields
+// the identical bit pattern.  What the blocking changes is purely the
+// memory-access pattern — contiguous row spans, bounded working sets, no
+// per-element bounds checks — which is where the >= 5x single-thread
+// speedup (bench_execbackend) comes from.
+#pragma once
+
+#include "model/layer.hpp"
+#include "ref/tensor.hpp"
+
+namespace rainbow::ref {
+
+/// C (m x n, row-major) = A (m x k, row-major) * B (k x n, row-major).
+/// C is fully overwritten.  Blocked over k and n with an i-unrolled
+/// saxpy-style inner loop that compilers vectorize; bit-exact with the
+/// naive triple loop.  `threads` splits the m dimension (disjoint C rows):
+/// 1 = serial, 0 = hardware concurrency.
+void gemm_blocked(const value_t* a, const value_t* b, value_t* c, int m,
+                  int n, int k, int threads = 1);
+
+/// Materializes the K x M im2col operand (K = channels*fh*fw taps down the
+/// rows, M = oh*ow output pixels across the columns) for a channel slice,
+/// interior spans copied row-wise.  `col` must hold
+/// channel_count*fh*fw*oh*ow elements.
+void im2col_rows(const model::Layer& layer, const Tensor3& ifmap,
+                 int channel_first, int channel_count, value_t* col);
+
+/// The blocked backend's forward convolution: im2col + gemm_blocked,
+/// writing the (ofmap_channels x oh x ow) output directly as the GEMM
+/// product.  Handles every layer kind (CV / DW / PW / PL / FC); depthwise
+/// layers run channel by channel.  Bit-exact with reference_forward.
+/// `threads`: within-layer parallelism (disjoint output channels);
+/// 1 = serial, 0 = hardware concurrency.
+[[nodiscard]] Tensor3 blocked_forward(const model::Layer& layer,
+                                      const LayerOperands& operands,
+                                      int threads = 1);
+
+}  // namespace rainbow::ref

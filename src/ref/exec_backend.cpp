@@ -1,0 +1,54 @@
+#include "ref/exec_backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace rainbow::ref {
+
+std::string_view to_string(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::kNaive:
+      return "naive";
+    case ExecBackend::kBlocked:
+      return "blocked";
+  }
+  throw std::logic_error("to_string: invalid ExecBackend");
+}
+
+ExecBackend exec_backend_from_string(std::string_view name) {
+  if (name == "naive") {
+    return ExecBackend::kNaive;
+  }
+  if (name == "blocked") {
+    return ExecBackend::kBlocked;
+  }
+  throw std::invalid_argument("unknown exec backend '" + std::string(name) +
+                              "' (expected naive|blocked)");
+}
+
+namespace {
+
+std::atomic<ExecBackend> g_default{ExecBackend::kBlocked};
+std::once_flag g_env_read;
+
+void apply_env_override() {
+  if (const char* env = std::getenv("RAINBOW_EXEC_BACKEND")) {
+    g_default.store(exec_backend_from_string(env), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+ExecBackend default_exec_backend() {
+  std::call_once(g_env_read, apply_env_override);
+  return g_default.load(std::memory_order_relaxed);
+}
+
+void set_default_exec_backend(ExecBackend backend) {
+  std::call_once(g_env_read, apply_env_override);  // flag beats environment
+  g_default.store(backend, std::memory_order_relaxed);
+}
+
+}  // namespace rainbow::ref

@@ -1,0 +1,36 @@
+// Execution-backend selection seam for the functional simulation paths.
+// The naive loop nests (reference_forward, the policy executors, the
+// register-level systolic array) are the correctness *oracle*; the blocked
+// backend recomputes the same integer arithmetic through an im2col +
+// cache-blocked GEMM kernel (blocked_kernel.hpp) that is bit-exact by
+// construction — int32 addition commutes — and an order of magnitude
+// faster.  Every consumer defaults to the oracle unless it opts into
+// default_exec_backend(), which honours the RAINBOW_EXEC_BACKEND
+// environment variable and the tools' --exec-backend flag.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rainbow::ref {
+
+enum class ExecBackend {
+  kNaive,    ///< the original per-element loop nests (the oracle)
+  kBlocked,  ///< im2col + cache-blocked GEMM, bit-exact with the oracle
+};
+
+[[nodiscard]] std::string_view to_string(ExecBackend backend);
+
+/// Inverse of to_string ("naive" | "blocked"); throws std::invalid_argument
+/// on anything else.
+[[nodiscard]] ExecBackend exec_backend_from_string(std::string_view name);
+
+/// The process-wide default backend: starts as kBlocked (fast paths opt in
+/// to it explicitly), overridden by RAINBOW_EXEC_BACKEND=naive|blocked at
+/// first use, and by set_default_exec_backend (e.g. a --exec-backend flag)
+/// afterwards.  A malformed environment value throws on first query rather
+/// than being silently ignored.
+[[nodiscard]] ExecBackend default_exec_backend();
+void set_default_exec_backend(ExecBackend backend);
+
+}  // namespace rainbow::ref

@@ -1,5 +1,6 @@
 #include "ref/network_exec.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace rainbow::ref {
@@ -33,7 +34,8 @@ LayerOperands operands_for(const model::Layer& layer, const Tensor3& input,
 
 NetworkRun execute_network(const model::Network& network,
                            const core::ExecutionPlan& plan,
-                           const Tensor3& input, std::uint64_t filter_seed) {
+                           const Tensor3& input, std::uint64_t filter_seed,
+                           const ExecOptions& options) {
   if (plan.size() != network.size()) {
     throw std::invalid_argument("execute_network: plan/network mismatch");
   }
@@ -42,13 +44,19 @@ NetworkRun execute_network(const model::Network& network,
   }
   NetworkRun run;
   run.peaks.reserve(network.size());
+  run.layer_ms.reserve(network.size());
   Tensor3 current = input;
   for (std::size_t i = 0; i < network.size(); ++i) {
     const model::Layer& layer = network.layer(i);
     const LayerOperands ops = operands_for(layer, current, filter_seed + i);
     BufferPeaks peaks;
+    const auto start = std::chrono::steady_clock::now();
     current = execute_policy(layer, plan.assignment(i).estimate.choice, ops,
-                             &peaks);
+                             &peaks, options);
+    run.layer_ms.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
     run.peaks.push_back(peaks);
   }
   run.output = std::move(current);

@@ -15,6 +15,8 @@ namespace rainbow::ref {
 struct NetworkRun {
   Tensor3 output;                 ///< the last layer's ofmap
   std::vector<BufferPeaks> peaks; ///< per-layer staging high-water marks
+  std::vector<double> layer_ms;   ///< per-layer wall time (the counters the
+                                  ///< backend benches report speedup from)
 };
 
 /// True when every adjacent pair of layers is shape-compatible for direct
@@ -24,12 +26,17 @@ struct NetworkRun {
 
 /// Runs `network` under `plan`, seeding layer 0 with `input` and chaining
 /// outputs forward.  Filters for every layer come from
-/// random_operands(layer, seed + index).  Throws std::invalid_argument on
-/// plan/network mismatch or a non-chainable network.
+/// random_operands(layer, seed + index).  Layers chain, so parallelism
+/// lives *inside* each layer: `options` selects the backend (default:
+/// default_exec_backend()) and its within-layer thread count; outputs and
+/// peaks are identical for every backend/thread combination (tests pin
+/// this).  Throws std::invalid_argument on plan/network mismatch or a
+/// non-chainable network.
 [[nodiscard]] NetworkRun execute_network(const model::Network& network,
                                          const core::ExecutionPlan& plan,
                                          const Tensor3& input,
-                                         std::uint64_t filter_seed);
+                                         std::uint64_t filter_seed,
+                                         const ExecOptions& options = {});
 
 /// The chained golden reference with the same filters.
 [[nodiscard]] Tensor3 reference_network(const model::Network& network,

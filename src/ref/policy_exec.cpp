@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ref/blocked_kernel.hpp"
+
 namespace rainbow::ref {
 
 namespace {
@@ -31,15 +33,30 @@ class WindowBuffer {
   [[nodiscard]] count_t size() const { return data_.size(); }
 
   /// Loads rows [first, first + rows_) of channel `src_c` (padded
-  /// coordinates: row/col offset by -padding) from the ifmap.
+  /// coordinates: row/col offset by -padding) from the ifmap.  Interior
+  /// spans are copied row-wise; only the padding fringe is zero-filled.
   void fill(const Tensor3& ifmap, int src_c, int slot_c, int first,
             int padding) {
     base_[static_cast<std::size_t>(slot_c)] = first;
+    const int ih = ifmap.height();
+    const int iw = ifmap.width();
+    // Buffer column x reads source column x - padding: one contiguous
+    // interior span [x0, x1), zeros on both sides.
+    const int x0 = std::clamp(padding, 0, width_);
+    const int x1 = std::clamp(iw + padding, x0, width_);
     for (int r = 0; r < rows_; ++r) {
-      for (int x = 0; x < width_; ++x) {
-        at(slot_c, r, x) =
-            ifmap.padded_at(src_c, first + r - padding, x - padding);
+      value_t* dst = &at(slot_c, r, 0);
+      const int sy = first + r - padding;
+      if (sy < 0 || sy >= ih) {
+        std::fill(dst, dst + width_, 0);
+        continue;
       }
+      std::fill(dst, dst + x0, 0);
+      if (x1 > x0) {
+        const value_t* src = ifmap.row(src_c, sy);
+        std::copy(src + x0 - padding, src + x1 - padding, dst + x0);
+      }
+      std::fill(dst + x1, dst + width_, 0);
     }
   }
 
@@ -408,6 +425,129 @@ Tensor3 execute_policy(const Layer& layer, const PolicyChoice& choice,
     }
   }
   throw std::logic_error("execute_policy: invalid Policy");
+}
+
+BufferPeaks policy_peaks(const Layer& layer, const PolicyChoice& choice) {
+  const int fh = layer.filter_h();
+  const int fw = layer.filter_w();
+  const int ci = layer.channels();
+  const int nf = layer.filters();
+  const int oh = layer.ofmap_h();
+  const int ow = layer.ofmap_w();
+  const int we = effective_width(layer);
+  const bool dw = layer.is_depthwise();
+  const int units = filter_units(layer);
+
+  const count_t ifmap_full =
+      static_cast<count_t>(ci) * layer.ifmap_h() * layer.ifmap_w();
+  const count_t filter_full =
+      static_cast<count_t>(nf) * (dw ? 1 : ci) * fh * fw;
+  const count_t ofmap_full =
+      static_cast<count_t>(layer.ofmap_channels()) * oh * ow;
+
+  auto check_block = [&](int n) {
+    if (n < 1 || n > units) {
+      throw std::invalid_argument("execute_policy: filter block out of range");
+    }
+  };
+
+  BufferPeaks peak;
+  switch (choice.policy) {
+    case Policy::kIntraLayer:
+      peak.ifmap = ifmap_full;
+      peak.filter = filter_full;
+      peak.ofmap = ofmap_full;
+      return peak;
+
+    case Policy::kIfmapReuse:
+      peak.filter = filter_full;
+      peak.ifmap = static_cast<count_t>(ci) * fh * we;
+      peak.ofmap = static_cast<count_t>(ow) * layer.ofmap_channels();
+      return peak;
+
+    case Policy::kFilterReuse:
+      peak.ifmap = ifmap_full;
+      peak.filter = layer.single_filter_elems();
+      peak.ofmap = static_cast<count_t>(oh) * ow;
+      return peak;
+
+    case Policy::kPerChannel:
+      if (dw) {
+        peak.ifmap = static_cast<count_t>(fh) * we;
+        peak.filter = static_cast<count_t>(fh) * fw;
+        peak.ofmap = static_cast<count_t>(oh) * ow;
+        return peak;
+      }
+      peak.filter = static_cast<count_t>(fh) * fw * nf;
+      peak.ifmap = static_cast<count_t>(fh) * we;
+      peak.ofmap = ofmap_full;
+      return peak;
+
+    case Policy::kPartialIfmap: {
+      check_block(choice.filter_block);
+      // The first block is the largest; later (tail) blocks only shrink.
+      const count_t block =
+          static_cast<count_t>(std::min(choice.filter_block, units));
+      if (dw) {
+        peak.ifmap = block * fh * we;
+        peak.filter = static_cast<count_t>(fh) * fw * block;
+        peak.ofmap = block * ow;
+        return peak;
+      }
+      peak.filter = static_cast<count_t>(fh) * fw * ci * block;
+      peak.ifmap = static_cast<count_t>(ci) * fh * we;
+      peak.ofmap = block * ow;
+      return peak;
+    }
+
+    case Policy::kPartialPerChannel: {
+      check_block(choice.filter_block);
+      if (dw) {
+        PolicyChoice p3 = choice;
+        p3.policy = Policy::kPerChannel;
+        return policy_peaks(layer, p3);
+      }
+      const count_t block =
+          static_cast<count_t>(std::min(choice.filter_block, nf));
+      peak.ofmap = block * oh * ow;
+      peak.filter = static_cast<count_t>(fh) * fw * block;
+      peak.ifmap = static_cast<count_t>(fh) * we;
+      return peak;
+    }
+
+    case Policy::kFallbackTiled: {
+      check_block(choice.filter_block);
+      if (choice.row_stripe < 1 || choice.row_stripe > oh) {
+        throw std::invalid_argument("execute_policy: row stripe out of range");
+      }
+      const count_t rows =
+          static_cast<count_t>(std::min(choice.row_stripe, oh));
+      const count_t in_rows = (rows - 1) * layer.stride() + fh;
+      const count_t block =
+          static_cast<count_t>(std::min(choice.filter_block, units));
+      peak.ofmap = block * rows * ow;
+      peak.filter = static_cast<count_t>(fh) * fw * block;
+      peak.ifmap = in_rows * we;
+      return peak;
+    }
+  }
+  throw std::logic_error("policy_peaks: invalid Policy");
+}
+
+Tensor3 execute_policy(const Layer& layer, const PolicyChoice& choice,
+                       const LayerOperands& operands, BufferPeaks* peaks,
+                       const ExecOptions& options) {
+  if (options.backend == ExecBackend::kNaive) {
+    return execute_policy(layer, choice, operands, peaks);
+  }
+  validate_operands(layer, operands);
+  // Validates the choice exactly like the oracle, then reports the peaks
+  // its staging buffers would have reached.
+  const BufferPeaks analytic = policy_peaks(layer, choice);
+  if (peaks) {
+    *peaks = analytic;
+  }
+  return blocked_forward(layer, operands, options.threads);
 }
 
 }  // namespace rainbow::ref

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "core/footprint.hpp"
+#include "ref/exec_backend.hpp"
 #include "ref/reference.hpp"
 
 namespace rainbow::ref {
@@ -18,15 +19,46 @@ struct BufferPeaks {
   count_t ifmap = 0;
   count_t filter = 0;
   count_t ofmap = 0;
+
+  friend bool operator==(const BufferPeaks&, const BufferPeaks&) = default;
+};
+
+/// Execution options for the backend-aware entry points.  The default
+/// backend follows default_exec_backend() (env / --exec-backend override);
+/// construct explicitly for a pinned choice.
+struct ExecOptions {
+  ExecBackend backend = default_exec_backend();
+  /// Within-layer parallelism of the blocked backend (disjoint output
+  /// tiles; results are thread-count-independent).  1 = serial, 0 = all
+  /// hardware threads.  Ignored by the naive oracle.
+  int threads = 1;
 };
 
 /// Executes `layer` under `choice.policy` with the choice's tiling
-/// parameters.  Returns the computed ofmap; fills `peaks` (if non-null)
+/// parameters through the *naive oracle* — the policy's actual staging
+/// loop nest.  Returns the computed ofmap; fills `peaks` (if non-null)
 /// with the staging-buffer high-water marks.  Throws std::invalid_argument
 /// for malformed choices or operand shape mismatches.
 [[nodiscard]] Tensor3 execute_policy(const model::Layer& layer,
                                      const core::PolicyChoice& choice,
                                      const LayerOperands& operands,
                                      BufferPeaks* peaks = nullptr);
+
+/// Backend-aware executor.  kNaive runs the oracle above; kBlocked computes
+/// the same output through the im2col + blocked GEMM kernel (bit-exact) and
+/// reports the oracle's staging peaks via policy_peaks.  Tests pin both
+/// equalities across every policy.
+[[nodiscard]] Tensor3 execute_policy(const model::Layer& layer,
+                                     const core::PolicyChoice& choice,
+                                     const LayerOperands& operands,
+                                     BufferPeaks* peaks,
+                                     const ExecOptions& options);
+
+/// The staging-buffer high-water marks the naive executor would report for
+/// (layer, choice), computed from shapes alone — byte-identical to running
+/// the oracle, at zero cost.  Throws std::invalid_argument for malformed
+/// choices (same validation as execute_policy).
+[[nodiscard]] BufferPeaks policy_peaks(const model::Layer& layer,
+                                       const core::PolicyChoice& choice);
 
 }  // namespace rainbow::ref

@@ -48,6 +48,16 @@ class Tensor3 {
     return at(c, y, x);
   }
 
+  /// Raw storage, CHW row-major — the blocked kernel's span copies.
+  [[nodiscard]] const value_t* data() const { return data_.data(); }
+  [[nodiscard]] value_t* data() { return data_.data(); }
+
+  /// Pointer to the `w_` contiguous elements of row (c, y).
+  [[nodiscard]] const value_t* row(int c, int y) const {
+    check(c, y, 0);
+    return data_.data() + (static_cast<std::size_t>(c) * h_ + y) * w_;
+  }
+
   friend bool operator==(const Tensor3&, const Tensor3&) = default;
 
  private:
@@ -89,6 +99,10 @@ class Tensor4 {
     check(n, c, y, x);
     return data_[((static_cast<std::size_t>(n) * c_ + c) * h_ + y) * w_ + x];
   }
+
+  /// Raw storage, NCHW row-major: filter n's channels*height*width weights
+  /// are contiguous — exactly one row of the GEMM filter matrix.
+  [[nodiscard]] const value_t* data() const { return data_.data(); }
 
  private:
   void check(int n, int c, int y, int x) const {

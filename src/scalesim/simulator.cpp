@@ -1,8 +1,11 @@
 #include "scalesim/simulator.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
+#include <thread>
 
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace rainbow::scalesim {
@@ -23,6 +26,26 @@ double spill_fraction(count_t working_set, count_t usable) {
 
 count_t scaled(count_t base, double factor) {
   return static_cast<count_t>(static_cast<double>(base) * factor + 0.5);
+}
+
+/// Runs fn(i) for i in [0, n), inline when a single worker suffices,
+/// otherwise on a private pool.  fn must only touch slot i of shared
+/// state, which keeps every schedule bit-identical to the serial one.
+template <typename Fn>
+void for_each_index(std::size_t n, int threads, Fn fn) {
+  std::size_t workers = threads == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : static_cast<std::size_t>(std::max(threads, 1));
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  util::parallel_for_each(indices, fn, workers);
 }
 
 }  // namespace
@@ -109,27 +132,45 @@ LayerResult Simulator::simulate_layer(const Layer& layer) const {
   return result;
 }
 
-RunResult Simulator::run(const model::Network& network) const {
+RunResult Simulator::run(const model::Network& network, int threads) const {
   RunResult run;
-  run.layers.reserve(network.size());
-  for (const Layer& layer : network.layers()) {
-    LayerResult r = simulate_layer(layer);
+  run.layers.resize(network.size());
+  for_each_index(network.size(), threads, [&](std::size_t i) {
+    run.layers[i] = simulate_layer(network.layer(i));
+  });
+  // Totals are summed in layer order regardless of evaluation schedule.
+  for (const LayerResult& r : run.layers) {
     run.total_accesses += r.traffic.total();
     run.total_cycles += r.compute_cycles;
-    run.layers.push_back(std::move(r));
   }
   return run;
 }
 
-TraceResult Simulator::run_traced(const model::Network& network) const {
+namespace {
+
+/// One layer's traced walk, self-contained: the checksum starts from zero
+/// so layers can walk concurrently and combine in order afterwards.
+struct LayerWalk {
+  LayerResult analytic;
+  count_t read_events = 0;
+  count_t write_events = 0;
+  count_t checksum = 0;
+};
+
+}  // namespace
+
+TraceResult Simulator::run_traced(const model::Network& network,
+                                  int threads) const {
   if (dataflow_ != Dataflow::kOutputStationary) {
     throw std::invalid_argument(
         "run_traced: trace generation is implemented for the output-"
         "stationary baseline only");
   }
-  TraceResult result;
-  for (const model::Layer& layer : network.layers()) {
-    LayerResult analytic = simulate_layer(layer);
+  std::vector<LayerWalk> walks(network.size());
+  for_each_index(network.size(), threads, [&](std::size_t index) {
+    LayerWalk& walk = walks[index];
+    const model::Layer& layer = network.layer(index);
+    walk.analytic = simulate_layer(layer);
     const FoldGeometry g = fold_geometry(layer, spec_);
     const count_t rows = static_cast<count_t>(spec_.pe_rows);
     const count_t cols = static_cast<count_t>(spec_.pe_cols);
@@ -139,7 +180,7 @@ TraceResult Simulator::run_traced(const model::Network& network) const {
     // address generation is kept live through a checksum so the optimizer
     // cannot elide the walk.
     count_t cycles_walked = 0;
-    count_t checksum = result.trace_checksum;
+    count_t checksum = 0;
     for (count_t group = 0; group < g.channel_groups; ++group) {
       for (count_t rf = 0; rf < g.row_folds; ++rf) {
         const count_t active_rows =
@@ -152,30 +193,40 @@ TraceResult Simulator::run_traced(const model::Network& network) const {
             for (count_t r = 0; r < active_rows; ++r) {
               const count_t pixel = rf * rows + r;
               checksum += group * 0x9e3779b9u + pixel * g.reduction + t;
-              ++result.sram_read_events;
+              ++walk.read_events;
             }
             // ...and one filter element per active array column.
             for (count_t c = 0; c < active_cols; ++c) {
               const count_t filter = cf * cols + c;
               checksum ^= (filter * g.reduction + t) + (checksum << 6) +
                           (checksum >> 2);
-              ++result.sram_read_events;
+              ++walk.read_events;
             }
           }
-          result.sram_write_events += active_rows * active_cols;
+          walk.write_events += active_rows * active_cols;
           cycles_walked += g.reduction + 2 * rows - 2;
         }
       }
     }
-    result.trace_checksum = checksum;
+    walk.checksum = checksum;
     // Cross-check: the fold walk must land on the analytic cycle count.
-    if (cycles_walked != analytic.compute_cycles) {
+    if (cycles_walked != walk.analytic.compute_cycles) {
       throw std::logic_error(
           "run_traced: fold walk diverged from the analytic timing model");
     }
-    result.aggregate.total_accesses += analytic.traffic.total();
-    result.aggregate.total_cycles += analytic.compute_cycles;
-    result.aggregate.layers.push_back(std::move(analytic));
+  });
+
+  // Deterministic combine: layer order, independent of who walked what.
+  TraceResult result;
+  for (LayerWalk& walk : walks) {
+    result.sram_read_events += walk.read_events;
+    result.sram_write_events += walk.write_events;
+    result.trace_checksum ^= walk.checksum + 0x9e3779b9u +
+                             (result.trace_checksum << 6) +
+                             (result.trace_checksum >> 2);
+    result.aggregate.total_accesses += walk.analytic.traffic.total();
+    result.aggregate.total_cycles += walk.analytic.compute_cycles;
+    result.aggregate.layers.push_back(std::move(walk.analytic));
   }
   return result;
 }

@@ -74,13 +74,23 @@ class Simulator {
   [[nodiscard]] Dataflow dataflow() const { return dataflow_; }
 
   [[nodiscard]] LayerResult simulate_layer(const model::Layer& layer) const;
-  [[nodiscard]] RunResult run(const model::Network& network) const;
+
+  /// Evaluates every layer (layers are independent) and sums totals in
+  /// layer order.  `threads` > 1 fans the per-layer evaluations onto a
+  /// private pool, 0 means hardware concurrency; results are identical to
+  /// the serial walk for every thread count (tests pin this).
+  [[nodiscard]] RunResult run(const model::Network& network,
+                              int threads = 1) const;
 
   /// Cycle-level run: walks every fold of every layer and generates the
   /// per-cycle operand address streams (like SCALE-Sim's trace files),
   /// cross-checking the fold walk against the analytic timing model.
-  /// Aggregate totals equal run()'s exactly; tests pin this.
-  [[nodiscard]] TraceResult run_traced(const model::Network& network) const;
+  /// Aggregate totals equal run()'s exactly; tests pin this.  Each layer's
+  /// checksum is computed independently from zero and folded into the
+  /// trace checksum in layer order, so traced runs too are bit-identical
+  /// across thread counts.
+  [[nodiscard]] TraceResult run_traced(const model::Network& network,
+                                       int threads = 1) const;
 
  private:
   arch::AcceleratorSpec spec_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ref/blocked_kernel.hpp"
+
 namespace rainbow::systolic {
 
 Matrix im2col(const model::Layer& layer, const ref::Tensor3& ifmap,
@@ -61,10 +63,42 @@ Matrix filter_matrix(const model::Layer& layer, const ref::Tensor4& filters,
   return b;
 }
 
+namespace {
+
+count_t ceil_div(count_t a, count_t b) { return (a + b - 1) / b; }
+
+// The fold/cycle counts the stepped array arrives at, computed in closed
+// form: every fold runs reduction + pe_rows + pe_cols - 2 steps.
+void charge_folds(count_t m, count_t n, count_t reduction,
+                  const arch::AcceleratorSpec& spec, ConvRun& run) {
+  const count_t folds = ceil_div(m, static_cast<count_t>(spec.pe_rows)) *
+                        ceil_div(n, static_cast<count_t>(spec.pe_cols));
+  run.folds += folds;
+  run.cycles += folds * (reduction + spec.pe_rows + spec.pe_cols - 2);
+}
+
+}  // namespace
+
 ConvRun run_conv(const model::Layer& layer, const ref::LayerOperands& operands,
-                 const arch::AcceleratorSpec& spec) {
+                 const arch::AcceleratorSpec& spec, ref::ExecBackend backend,
+                 int threads) {
   ref::validate_operands(layer, operands);
   ConvRun run;
+  if (backend == ref::ExecBackend::kBlocked) {
+    run.ofmap = ref::blocked_forward(layer, operands, threads);
+    const count_t m = static_cast<count_t>(layer.ofmap_h()) * layer.ofmap_w();
+    const count_t taps =
+        static_cast<count_t>(layer.filter_h()) * layer.filter_w();
+    if (layer.is_depthwise()) {
+      for (int c = 0; c < layer.channels(); ++c) {
+        charge_folds(m, 1, taps, spec, run);
+      }
+    } else {
+      charge_folds(m, static_cast<count_t>(layer.filters()),
+                   taps * layer.channels(), spec, run);
+    }
+    return run;
+  }
   run.ofmap = ref::Tensor3(layer.ofmap_channels(), layer.ofmap_h(),
                            layer.ofmap_w());
   if (layer.is_depthwise()) {
@@ -78,7 +112,8 @@ ConvRun run_conv(const model::Layer& layer, const ref::LayerOperands& operands,
           b.at(row++, 0) = operands.filters.at(c, 0, ky, kx);
         }
       }
-      const GemmRun gemm = systolic_matmul(a, b, spec.pe_rows, spec.pe_cols);
+      const GemmRun gemm =
+          systolic_matmul(a, b, spec.pe_rows, spec.pe_cols, threads);
       run.folds += gemm.folds;
       run.cycles += gemm.cycles;
       for (int y = 0; y < layer.ofmap_h(); ++y) {
@@ -91,7 +126,8 @@ ConvRun run_conv(const model::Layer& layer, const ref::LayerOperands& operands,
   }
   const Matrix a = im2col(layer, operands.ifmap);
   const Matrix b = filter_matrix(layer, operands.filters);
-  const GemmRun gemm = systolic_matmul(a, b, spec.pe_rows, spec.pe_cols);
+  const GemmRun gemm =
+      systolic_matmul(a, b, spec.pe_rows, spec.pe_cols, threads);
   run.folds = gemm.folds;
   run.cycles = gemm.cycles;
   for (int f = 0; f < layer.filters(); ++f) {

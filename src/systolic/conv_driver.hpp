@@ -6,6 +6,7 @@
 #pragma once
 
 #include "arch/accelerator.hpp"
+#include "ref/exec_backend.hpp"
 #include "ref/reference.hpp"
 #include "systolic/gemm.hpp"
 
@@ -31,8 +32,17 @@ struct ConvRun {
 /// Runs `layer` on a pe_rows x pe_cols output-stationary array (depthwise
 /// layers run channel by channel, one column active — the utilization
 /// cliff the timing model charges).
-[[nodiscard]] ConvRun run_conv(const model::Layer& layer,
-                               const ref::LayerOperands& operands,
-                               const arch::AcceleratorSpec& spec);
+///
+/// `backend` selects how the numerics are produced: kNaive steps the PE
+/// array register by register (the oracle); kBlocked computes the same
+/// ofmap through ref::blocked_forward and charges folds/cycles with the
+/// closed form `reduction + pe_rows + pe_cols - 2` per fold — the count
+/// the stepped array provably lands on, so both backends return
+/// bit-identical ConvRuns.  `threads` parallelises fold simulation
+/// (naive) or the blocked kernel; results are thread-count independent.
+[[nodiscard]] ConvRun run_conv(
+    const model::Layer& layer, const ref::LayerOperands& operands,
+    const arch::AcceleratorSpec& spec,
+    ref::ExecBackend backend = ref::default_exec_backend(), int threads = 1);
 
 }  // namespace rainbow::systolic

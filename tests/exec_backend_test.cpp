@@ -1,0 +1,305 @@
+// Equivalence suite for the blocked execution backend: every output it
+// produces must be bit-identical to the naive oracle's, every reported
+// peak must equal the oracle's measured peak, across the policy grid, the
+// paper's model zoo, plan-assigned choices, and the odd shapes (stride >
+// filter, padding, C_I = 1, 1x1 kernels) that break tiling arithmetic
+// first.  int32 addition commutes, so exact equality is the contract —
+// no tolerances anywhere.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "core/footprint.hpp"
+#include "core/manager.hpp"
+#include "model/random.hpp"
+#include "model/zoo/zoo.hpp"
+#include "ref/blocked_kernel.hpp"
+#include "ref/exec_backend.hpp"
+#include "ref/network_exec.hpp"
+#include "ref/policy_exec.hpp"
+#include "scalesim/systolic.hpp"
+#include "systolic/conv_driver.hpp"
+
+namespace rainbow::ref {
+namespace {
+
+using core::Policy;
+using core::PolicyChoice;
+using model::Layer;
+
+constexpr ExecOptions kBlockedSerial{.backend = ExecBackend::kBlocked,
+                                     .threads = 1};
+constexpr ExecOptions kBlockedThreaded{.backend = ExecBackend::kBlocked,
+                                       .threads = 3};
+
+/// All policies valid for `layer`, prefetch off and on.
+std::vector<PolicyChoice> policy_grid(const Layer& layer) {
+  const int units = layer.is_depthwise() ? layer.channels() : layer.filters();
+  std::vector<PolicyChoice> grid;
+  for (Policy p : core::kAllPolicies) {
+    PolicyChoice choice{.policy = p};
+    if (p == Policy::kPartialIfmap || p == Policy::kPartialPerChannel) {
+      choice.filter_block = std::min(4, units);
+    }
+    for (bool prefetch : {false, true}) {
+      choice.prefetch = prefetch;
+      grid.push_back(choice);
+    }
+  }
+  PolicyChoice tiled{.policy = Policy::kFallbackTiled,
+                     .filter_block = std::min(2, units),
+                     .row_stripe = std::min(2, layer.ofmap_h())};
+  grid.push_back(tiled);
+  return grid;
+}
+
+/// Runs one (layer, choice) through the oracle and the blocked backend
+/// (serial and threaded) and asserts bit-identical outputs and peaks,
+/// with policy_peaks matching the oracle's measurement exactly.
+void expect_equivalent(const Layer& layer, const PolicyChoice& choice,
+                       const LayerOperands& ops, const Tensor3& expected) {
+  std::ostringstream context;
+  context << layer << " / " << choice;
+
+  BufferPeaks naive_peaks;
+  const Tensor3 naive_out = execute_policy(layer, choice, ops, &naive_peaks);
+  ASSERT_EQ(naive_out, expected) << context.str();
+
+  BufferPeaks blocked_peaks;
+  const Tensor3 blocked_out =
+      execute_policy(layer, choice, ops, &blocked_peaks, kBlockedSerial);
+  EXPECT_EQ(blocked_out, expected) << context.str();
+  EXPECT_EQ(blocked_peaks, naive_peaks) << context.str();
+
+  BufferPeaks threaded_peaks;
+  const Tensor3 threaded_out =
+      execute_policy(layer, choice, ops, &threaded_peaks, kBlockedThreaded);
+  EXPECT_EQ(threaded_out, expected) << context.str();
+  EXPECT_EQ(threaded_peaks, naive_peaks) << context.str();
+
+  EXPECT_EQ(policy_peaks(layer, choice), naive_peaks) << context.str();
+}
+
+TEST(ExecBackend, StringRoundTrip) {
+  EXPECT_EQ(exec_backend_from_string("naive"), ExecBackend::kNaive);
+  EXPECT_EQ(exec_backend_from_string("blocked"), ExecBackend::kBlocked);
+  EXPECT_EQ(to_string(ExecBackend::kNaive), "naive");
+  EXPECT_EQ(to_string(ExecBackend::kBlocked), "blocked");
+  EXPECT_THROW((void)exec_backend_from_string("fast"), std::invalid_argument);
+}
+
+TEST(ExecBackend, DefaultIsSettable) {
+  const ExecBackend before = default_exec_backend();
+  set_default_exec_backend(ExecBackend::kNaive);
+  EXPECT_EQ(default_exec_backend(), ExecBackend::kNaive);
+  set_default_exec_backend(before);
+  EXPECT_EQ(default_exec_backend(), before);
+}
+
+// The shapes whose tiling arithmetic breaks first: stride outrunning the
+// filter, padding wider than the border, single input channel, 1x1
+// kernels, non-square-friendly strides.
+TEST(ExecBackend, OddShapesMatchOracle) {
+  const std::vector<Layer> layers = {
+      model::make_conv("s2", 13, 13, 5, 3, 3, 7, 2, 1),
+      model::make_conv("pad2", 9, 9, 3, 5, 5, 6, 1, 2),
+      model::make_conv("ci1", 11, 11, 1, 3, 3, 9, 1, 1),
+      model::make_conv("one", 8, 8, 6, 1, 1, 10, 1, 0),
+      model::make_pointwise("pw", 10, 10, 7, 5),
+      model::make_conv("s3", 13, 13, 4, 1, 1, 6, 3, 0),
+      model::make_depthwise("dw", 12, 12, 9, 3, 3, 1, 1),
+      model::make_depthwise("dws2", 11, 11, 6, 3, 3, 2, 1),
+      model::make_depthwise("dw5", 10, 10, 4, 5, 5, 1, 2),
+      model::make_conv("even", 14, 14, 8, 2, 2, 12, 2, 0),
+  };
+  for (const Layer& layer : layers) {
+    const LayerOperands ops = random_operands(layer, 17);
+    const Tensor3 expected = reference_forward(layer, ops);
+    for (const PolicyChoice& choice : policy_grid(layer)) {
+      expect_equivalent(layer, choice, ops, expected);
+    }
+  }
+}
+
+// Whole zoo, full policy grid on every distinct small shape, and a
+// blocked-vs-reference spot check on one large shape per model.
+TEST(ExecBackend, ZooShapesMatchOracle) {
+  constexpr count_t kFullGridMacCap = 2'000'000;
+  constexpr count_t kSpotCheckMacCap = 80'000'000;
+  std::set<std::string> seen;
+  for (const auto& net : model::zoo::all_models()) {
+    const Layer* spot_check = nullptr;
+    for (const Layer& layer : net.layers()) {
+      std::ostringstream key;
+      key << layer;
+      if (!seen.insert(key.str()).second) {
+        continue;
+      }
+      if (layer.macs() <= kFullGridMacCap) {
+        const LayerOperands ops = random_operands(layer, 29);
+        const Tensor3 expected = reference_forward(layer, ops);
+        for (const PolicyChoice& choice : policy_grid(layer)) {
+          expect_equivalent(layer, choice, ops, expected);
+        }
+      } else if (layer.macs() <= kSpotCheckMacCap &&
+                 (spot_check == nullptr ||
+                  layer.macs() > spot_check->macs())) {
+        spot_check = &layer;
+      }
+    }
+    if (spot_check != nullptr) {
+      const LayerOperands ops = random_operands(*spot_check, 31);
+      const Tensor3 expected = reference_forward(*spot_check, ops);
+      EXPECT_EQ(blocked_forward(*spot_check, ops, 1), expected)
+          << net.name() << " / " << *spot_check;
+      EXPECT_EQ(blocked_forward(*spot_check, ops, 3), expected)
+          << net.name() << " / " << *spot_check;
+    }
+  }
+}
+
+// Plan-assigned choices: whatever the manager picks, both backends agree
+// end to end through the network chain, for every objective.
+TEST(ExecBackend, PlanAssignedChoicesMatchOracle) {
+  model::Network net("chain");
+  net.add(model::make_conv("c1", 12, 12, 3, 3, 3, 8, 1, 1));
+  net.add(model::make_depthwise("dw", 12, 12, 8, 3, 3, 1, 1));
+  net.add(model::make_pointwise("pw", 12, 12, 8, 6));
+  net.add(model::make_conv("c2", 12, 12, 6, 5, 5, 4, 2, 2));
+  const Tensor3 input = random_operands(net.layer(0), 5).ifmap;
+  const Tensor3 golden = reference_network(net, input, 77);
+  for (count_t kb : {16u, 64u, 256u}) {
+    const core::MemoryManager manager(arch::paper_spec(util::kib(kb)));
+    for (core::Objective obj :
+         {core::Objective::kAccesses, core::Objective::kLatency}) {
+      const auto plan = manager.plan(net, obj);
+      const NetworkRun naive = execute_network(
+          net, plan, input, 77, {.backend = ExecBackend::kNaive});
+      const NetworkRun blocked =
+          execute_network(net, plan, input, 77, kBlockedSerial);
+      const NetworkRun threaded =
+          execute_network(net, plan, input, 77, kBlockedThreaded);
+      EXPECT_EQ(naive.output, golden);
+      EXPECT_EQ(blocked.output, golden);
+      EXPECT_EQ(threaded.output, golden);
+      ASSERT_EQ(blocked.peaks.size(), naive.peaks.size());
+      for (std::size_t i = 0; i < naive.peaks.size(); ++i) {
+        EXPECT_EQ(blocked.peaks[i], naive.peaks[i]) << "layer " << i;
+        EXPECT_EQ(threaded.peaks[i], naive.peaks[i]) << "layer " << i;
+      }
+    }
+  }
+}
+
+TEST(ExecBackend, RandomNetworksMatchOracle) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    model::RandomNetworkOptions options;
+    options.input_size = 20;
+    options.min_layers = 3;
+    options.max_layers = 8;
+    options.max_channels = 24;
+    options.allow_dense_head = false;
+    const auto net = model::random_network(seed, options);
+    if (!chainable(net)) {
+      continue;
+    }
+    const Tensor3 input = random_operands(net.layer(0), seed).ifmap;
+    const core::MemoryManager manager(arch::paper_spec(util::kib(64)));
+    const auto plan = manager.plan(net, core::Objective::kAccesses);
+    const NetworkRun naive = execute_network(
+        net, plan, input, seed, {.backend = ExecBackend::kNaive});
+    const NetworkRun blocked =
+        execute_network(net, plan, input, seed, kBlockedThreaded);
+    EXPECT_EQ(blocked.output, naive.output) << "seed " << seed;
+    ASSERT_EQ(blocked.peaks.size(), naive.peaks.size());
+    for (std::size_t i = 0; i < naive.peaks.size(); ++i) {
+      EXPECT_EQ(blocked.peaks[i], naive.peaks[i])
+          << "seed " << seed << " layer " << i;
+    }
+  }
+}
+
+TEST(ExecBackend, BlockedMatmulMatchesNaive) {
+  using systolic::Matrix;
+  const std::vector<std::tuple<int, int, int>> shapes = {
+      {1, 1, 1}, {1, 7, 3}, {17, 23, 5}, {33, 64, 33}, {64, 256, 48},
+      {5, 1, 9}, {130, 3, 2}};
+  std::uint64_t state = 99;
+  for (const auto& [m, k, n] : shapes) {
+    Matrix a(m, k), b(k, n);
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < k; ++c) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        a.at(r, c) = static_cast<systolic::value_t>((state >> 33) % 13) - 6;
+      }
+    }
+    for (int r = 0; r < k; ++r) {
+      for (int c = 0; c < n; ++c) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        b.at(r, c) = static_cast<systolic::value_t>((state >> 33) % 13) - 6;
+      }
+    }
+    const Matrix expected = systolic::naive_matmul(a, b);
+    EXPECT_EQ(systolic::blocked_matmul(a, b, 1), expected)
+        << m << "x" << k << "x" << n;
+    EXPECT_EQ(systolic::blocked_matmul(a, b, 3), expected)
+        << m << "x" << k << "x" << n;
+  }
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_THROW((void)systolic::blocked_matmul(a, b), std::invalid_argument);
+}
+
+// The register-level array and its closed-form fast path return identical
+// ConvRuns — ofmap, fold count and cycle count — and both land on the
+// analytic timing model.
+TEST(ExecBackend, RunConvBackendsAgree) {
+  const auto spec = arch::paper_spec(util::kib(256));
+  const std::vector<Layer> layers = {
+      model::make_conv("cv", 10, 10, 6, 3, 3, 20, 1, 1),
+      model::make_conv("s2", 11, 11, 4, 3, 3, 9, 2, 1),
+      model::make_depthwise("dw", 9, 9, 5, 3, 3, 1, 1),
+      model::make_pointwise("pw", 8, 8, 7, 40),
+  };
+  for (const Layer& layer : layers) {
+    const LayerOperands ops = random_operands(layer, 13);
+    const auto naive =
+        systolic::run_conv(layer, ops, spec, ExecBackend::kNaive);
+    const auto blocked =
+        systolic::run_conv(layer, ops, spec, ExecBackend::kBlocked);
+    const auto blocked_mt =
+        systolic::run_conv(layer, ops, spec, ExecBackend::kBlocked, 3);
+    EXPECT_EQ(blocked.ofmap, naive.ofmap) << layer;
+    EXPECT_EQ(blocked.folds, naive.folds) << layer;
+    EXPECT_EQ(blocked.cycles, naive.cycles) << layer;
+    EXPECT_EQ(blocked_mt.ofmap, naive.ofmap) << layer;
+    EXPECT_EQ(blocked_mt.cycles, naive.cycles) << layer;
+    EXPECT_EQ(naive.cycles, scalesim::compute_cycles(layer, spec)) << layer;
+    EXPECT_EQ(naive.ofmap, reference_forward(layer, ops)) << layer;
+  }
+}
+
+// Invalid choices fail identically on both backends (policy_peaks replays
+// the oracle's validation, not just its accounting).
+TEST(ExecBackend, InvalidChoicesThrowOnBothBackends) {
+  const Layer layer = model::make_conv("c", 9, 9, 4, 3, 3, 8, 1, 1);
+  const LayerOperands ops = random_operands(layer, 3);
+  const PolicyChoice bad_block{.policy = Policy::kPartialIfmap,
+                               .filter_block = 0};
+  const PolicyChoice bad_stripe{.policy = Policy::kFallbackTiled,
+                                .filter_block = 1,
+                                .row_stripe = 100};
+  for (const PolicyChoice& choice : {bad_block, bad_stripe}) {
+    EXPECT_THROW((void)execute_policy(layer, choice, ops),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)execute_policy(layer, choice, ops, nullptr, kBlockedSerial),
+        std::invalid_argument);
+    EXPECT_THROW((void)policy_peaks(layer, choice), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::ref

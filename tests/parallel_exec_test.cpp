@@ -1,0 +1,182 @@
+// Determinism of every parallel simulation path: fanning work across a
+// pool must produce bit-identical results for every thread count — the
+// property that makes the parallel backends safe defaults.  Kept small
+// and fast so the TSan CI job can hammer these paths cheaply.
+#include <gtest/gtest.h>
+
+#include "core/manager.hpp"
+#include "dse/sweep.hpp"
+#include "engine/engine.hpp"
+#include "model/layer.hpp"
+#include "model/network.hpp"
+#include "ref/blocked_kernel.hpp"
+#include "ref/network_exec.hpp"
+#include "scalesim/simulator.hpp"
+#include "systolic/gemm.hpp"
+
+namespace rainbow {
+namespace {
+
+model::Network small_chain() {
+  model::Network net("chain");
+  net.add(model::make_conv("c1", 12, 12, 3, 3, 3, 8, 1, 1));
+  net.add(model::make_depthwise("dw", 12, 12, 8, 3, 3, 1, 1));
+  net.add(model::make_pointwise("pw", 12, 12, 8, 6));
+  net.add(model::make_conv("c2", 12, 12, 6, 5, 5, 4, 2, 2));
+  return net;
+}
+
+systolic::Matrix seeded_matrix(int rows, int cols, std::uint64_t seed) {
+  systolic::Matrix m(rows, cols);
+  std::uint64_t state = seed;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      m.at(r, c) = static_cast<systolic::value_t>((state >> 33) % 11) - 5;
+    }
+  }
+  return m;
+}
+
+TEST(ParallelExec, BlockedMatmulThreadCountInvariant) {
+  const auto a = seeded_matrix(37, 53, 3);
+  const auto b = seeded_matrix(53, 29, 5);
+  const auto reference = systolic::blocked_matmul(a, b, 1);
+  for (int threads : {2, 3, 4, 0}) {
+    EXPECT_EQ(systolic::blocked_matmul(a, b, threads), reference) << threads;
+  }
+}
+
+TEST(ParallelExec, BlockedForwardThreadCountInvariant) {
+  for (const model::Layer& layer :
+       {model::make_conv("cv", 11, 11, 5, 3, 3, 9, 1, 1),
+        model::make_depthwise("dw", 10, 10, 7, 3, 3, 1, 1)}) {
+    const auto ops = ref::random_operands(layer, 21);
+    const auto reference = ref::blocked_forward(layer, ops, 1);
+    for (int threads : {2, 3, 4, 0}) {
+      EXPECT_EQ(ref::blocked_forward(layer, ops, threads), reference)
+          << layer << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelExec, SystolicMatmulFoldsParallelizeDeterministically) {
+  const auto a = seeded_matrix(23, 9, 7);
+  const auto b = seeded_matrix(9, 31, 11);
+  const auto serial = systolic::systolic_matmul(a, b, 8, 8, 1);
+  for (int threads : {2, 4, 0}) {
+    const auto parallel = systolic::systolic_matmul(a, b, 8, 8, threads);
+    EXPECT_EQ(parallel.product, serial.product) << threads;
+    EXPECT_EQ(parallel.folds, serial.folds) << threads;
+    EXPECT_EQ(parallel.cycles, serial.cycles) << threads;
+  }
+}
+
+TEST(ParallelExec, SimulatorRunThreadCountInvariant) {
+  const auto net = small_chain();
+  const scalesim::Simulator sim(arch::paper_spec(util::kib(64)),
+                                scalesim::BufferPartition{});
+  const auto serial = sim.run(net, 1);
+  for (int threads : {2, 3, 0}) {
+    const auto parallel = sim.run(net, threads);
+    EXPECT_EQ(parallel.total_accesses, serial.total_accesses) << threads;
+    EXPECT_EQ(parallel.total_cycles, serial.total_cycles) << threads;
+    ASSERT_EQ(parallel.layers.size(), serial.layers.size());
+    for (std::size_t i = 0; i < serial.layers.size(); ++i) {
+      EXPECT_EQ(parallel.layers[i].traffic.total(),
+                serial.layers[i].traffic.total());
+      EXPECT_EQ(parallel.layers[i].compute_cycles,
+                serial.layers[i].compute_cycles);
+    }
+  }
+}
+
+TEST(ParallelExec, TracedRunThreadCountInvariant) {
+  const auto net = small_chain();
+  const scalesim::Simulator sim(arch::paper_spec(util::kib(64)),
+                                scalesim::BufferPartition{});
+  const auto serial = sim.run_traced(net, 1);
+  EXPECT_NE(serial.trace_checksum, 0u);
+  for (int threads : {2, 3, 0}) {
+    const auto parallel = sim.run_traced(net, threads);
+    EXPECT_EQ(parallel.trace_checksum, serial.trace_checksum) << threads;
+    EXPECT_EQ(parallel.sram_read_events, serial.sram_read_events) << threads;
+    EXPECT_EQ(parallel.sram_write_events, serial.sram_write_events) << threads;
+    EXPECT_EQ(parallel.aggregate.total_accesses,
+              serial.aggregate.total_accesses)
+        << threads;
+    EXPECT_EQ(parallel.aggregate.total_cycles, serial.aggregate.total_cycles)
+        << threads;
+  }
+  // The traced aggregate still equals the plain run exactly.
+  const auto plain = sim.run(net, 2);
+  EXPECT_EQ(serial.aggregate.total_accesses, plain.total_accesses);
+  EXPECT_EQ(serial.aggregate.total_cycles, plain.total_cycles);
+}
+
+TEST(ParallelExec, EnginePlanReplayThreadCountInvariant) {
+  const auto net = small_chain();
+  const auto spec = arch::paper_spec(util::kib(64));
+  const core::MemoryManager manager(spec);
+  const auto plan = manager.plan(net, core::Objective::kAccesses);
+  const engine::Engine engine(spec);
+  const auto serial = engine.execute_plan(plan, net, 1);
+  for (int threads : {2, 3, 0}) {
+    const auto parallel = engine.execute_plan(plan, net, threads);
+    EXPECT_EQ(parallel.total_accesses, serial.total_accesses) << threads;
+    EXPECT_EQ(parallel.total_latency_cycles, serial.total_latency_cycles)
+        << threads;
+    ASSERT_EQ(parallel.layers.size(), serial.layers.size());
+    for (std::size_t i = 0; i < serial.layers.size(); ++i) {
+      EXPECT_EQ(parallel.layers[i].peak_glb_elems,
+                serial.layers[i].peak_glb_elems);
+      EXPECT_EQ(parallel.layers[i].tiles, serial.layers[i].tiles);
+    }
+  }
+}
+
+TEST(ParallelExec, NetworkExecutionThreadCountInvariant) {
+  const auto net = small_chain();
+  const auto input = ref::random_operands(net.layer(0), 5).ifmap;
+  const core::MemoryManager manager(arch::paper_spec(util::kib(64)));
+  const auto plan = manager.plan(net, core::Objective::kAccesses);
+  const auto serial = ref::execute_network(
+      net, plan, input, 7, {.backend = ref::ExecBackend::kBlocked});
+  for (int threads : {2, 3, 0}) {
+    const auto parallel = ref::execute_network(
+        net, plan, input, 7,
+        {.backend = ref::ExecBackend::kBlocked, .threads = threads});
+    EXPECT_EQ(parallel.output, serial.output) << threads;
+    ASSERT_EQ(parallel.peaks.size(), serial.peaks.size());
+    for (std::size_t i = 0; i < serial.peaks.size(); ++i) {
+      EXPECT_EQ(parallel.peaks[i], serial.peaks[i]) << threads;
+    }
+    EXPECT_EQ(parallel.layer_ms.size(), net.size());
+  }
+}
+
+TEST(ParallelExec, SweepSimulationModeFillsSimFields) {
+  const auto net = small_chain();
+  dse::SweepConfig config;
+  config.glb_bytes = {util::kib(32), util::kib(64)};
+  config.simulate_execution = true;
+  config.simulate_threads = 2;
+  const auto points = dse::run_sweep(net, config, 2);
+  ASSERT_EQ(points.size(), config.point_count());
+  for (const auto& p : points) {
+    EXPECT_TRUE(p.simulated);
+    // The engine replay's traffic agrees with the analytic plan exactly.
+    EXPECT_EQ(p.sim_accesses, p.accesses);
+    EXPECT_GT(p.sim_latency_cycles, 0.0);
+    EXPECT_GT(p.sim_peak_glb_elems, 0u);
+  }
+  // Without the flag the sim fields stay untouched.
+  config.simulate_execution = false;
+  for (const auto& p : dse::run_sweep(net, config, 2)) {
+    EXPECT_FALSE(p.simulated);
+    EXPECT_EQ(p.sim_accesses, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rainbow

@@ -5,6 +5,8 @@
 //   rainbow_dse --model mobilenetv2
 //   rainbow_dse --model resnet18 --min-kb 16 --max-kb 4096 --widths 8,16
 //   rainbow_dse --model googlenet --interlayer --csv sweep.csv
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   bool interlayer = false;
   bool no_eval_cache = false;
   bool cache_stats = false;
+  bool simulate = false;
   std::optional<std::string> csv_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -79,13 +82,16 @@ int main(int argc, char** argv) {
       no_eval_cache = true;
     } else if (flag == "--cache-stats") {
       cache_stats = true;
+    } else if (flag == "--simulate") {
+      simulate = true;
     } else if (flag == "--csv") {
       csv_path = next();
     } else {
       std::cerr << "usage: " << argv[0]
                 << " --model <zoo-name|file.model> [--min-kb N] [--max-kb N]"
                    " [--widths 8,16] [--batches 1,8] [--interlayer]"
-                   " [--no-eval-cache] [--cache-stats] [--csv path]\n";
+                   " [--no-eval-cache] [--cache-stats] [--simulate]"
+                   " [--csv path]\n";
       return flag == "--help" || flag == "-h" ? 0 : 2;
     }
   }
@@ -107,6 +113,7 @@ int main(int argc, char** argv) {
     config.data_width_bits = widths;
     config.batch_sizes = batches;
     config.with_interlayer = interlayer;
+    config.simulate_execution = simulate;
     config.use_eval_cache = !no_eval_cache;
     if (config.use_eval_cache) {
       config.eval_cache = std::make_shared<core::EvalCache>();
@@ -136,6 +143,23 @@ int main(int argc, char** argv) {
               << points.size() << " points, " << front.size()
               << " on the accesses/latency Pareto front)\n";
     table.print(std::cout);
+    if (simulate) {
+      std::size_t traffic_match = 0;
+      double max_skew = 0.0;
+      for (const auto& p : points) {
+        if (p.sim_accesses == p.accesses) {
+          ++traffic_match;
+        }
+        if (p.latency_cycles > 0.0) {
+          max_skew = std::max(
+              max_skew, std::abs(p.sim_latency_cycles - p.latency_cycles) /
+                            p.latency_cycles);
+        }
+      }
+      std::cout << "engine replay: " << traffic_match << "/" << points.size()
+                << " points match analytic traffic exactly; max latency skew "
+                << util::fmt(100.0 * max_skew, 2) << "%\n";
+    }
     if (cache_stats) {
       if (config.eval_cache) {
         const core::EvalCacheStats stats = config.eval_cache->stats();

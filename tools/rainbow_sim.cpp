@@ -31,6 +31,7 @@ struct CliOptions {
   scalesim::Dataflow dataflow = scalesim::Dataflow::kOutputStationary;
   bool per_layer = false;
   bool traced = false;  // cycle-level run with the fold walk
+  int threads = 1;      // per-layer simulation fan-out (0 = hw concurrency)
   std::optional<std::string> trace_dir;
   count_t trace_rows = 0;
 };
@@ -44,6 +45,8 @@ struct CliOptions {
      << "  --dataflow <d>     os | ws | is (default os)\n"
      << "  --per-layer        per-layer table\n"
      << "  --traced           cycle-level fold walk (slow, like SCALE-Sim)\n"
+     << "  --threads <n>      simulate layers in parallel (0 = all cores;\n"
+     << "                     results identical for every thread count)\n"
      << "  --trace-dir <dir>  write per-layer SRAM trace CSVs\n"
      << "  --trace-rows <n>   cap rows per trace file (0 = unlimited)\n";
   std::exit(code);
@@ -79,6 +82,8 @@ CliOptions parse(int argc, char** argv) {
       opt.per_layer = true;
     } else if (flag == "--traced") {
       opt.traced = true;
+    } else if (flag == "--threads") {
+      opt.threads = std::atoi(next("--threads").c_str());
     } else if (flag == "--trace-dir") {
       opt.trace_dir = next("--trace-dir");
     } else if (flag == "--trace-rows") {
@@ -115,7 +120,7 @@ int main(int argc, char** argv) {
         .ifmap_fraction = opt.partition_pct / 100.0};
     const scalesim::Simulator sim(spec, partition, opt.dataflow);
 
-    const scalesim::RunResult run = sim.run(net);
+    const scalesim::RunResult run = sim.run(net, opt.threads);
     std::cout << "baseline " << partition.label() << " ("
               << to_string(opt.dataflow) << ") on " << net.name() << " @ "
               << opt.glb_kb << " kB:\n"
@@ -127,7 +132,7 @@ int main(int argc, char** argv) {
               << " Mcycles (zero-stall)\n";
 
     if (opt.traced) {
-      const scalesim::TraceResult traced = sim.run_traced(net);
+      const scalesim::TraceResult traced = sim.run_traced(net, opt.threads);
       std::cout << "  traced run:   "
                 << util::fmt_count(traced.sram_read_events)
                 << " SRAM reads, " << util::fmt_count(traced.sram_write_events)

@@ -16,6 +16,7 @@
 #include "core/estimator.hpp"
 #include "engine/engine.hpp"
 #include "model/parser.hpp"
+#include "ref/exec_backend.hpp"
 #include "ref/policy_exec.hpp"
 #include "scalesim/systolic.hpp"
 #include "systolic/conv_driver.hpp"
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   std::string layer_spec = "CV,14,14,16,3,3,32,1,1";
   count_t glb_kb = 256;
   std::uint64_t seed = 7;
+  int threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--layer" && i + 1 < argc) {
@@ -50,10 +52,19 @@ int main(int argc, char** argv) {
       glb_kb = std::strtoull(argv[++i], nullptr, 10);
     } else if (flag == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--exec-backend" && i + 1 < argc) {
+      try {
+        ref::set_default_exec_backend(ref::exec_backend_from_string(argv[++i]));
+      } catch (const std::exception& e) {
+        std::cerr << "rainbow_verify: " << e.what() << '\n';
+        return 2;
+      }
+    } else if (flag == "--threads" && i + 1 < argc) {
+      threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--layer kind,ih,iw,ci,fh,fw,nf,s,p] [--glb kB] "
-                   "[--seed N]\n";
+                   "[--seed N] [--exec-backend naive|blocked] [--threads N]\n";
       return 2;
     }
   }
@@ -89,12 +100,19 @@ int main(int argc, char** argv) {
         const bool accounting = exec.traffic.total() == est.accesses() &&
                                 run.total_accesses == est.accesses();
 
-        // Numerics: the policy's loop nest must reproduce the reference,
-        // inside its claimed footprint.
+        // Numerics: the naive loop nest must reproduce the reference
+        // inside its claimed footprint — and whichever backend is
+        // selected must agree bit for bit, reporting the same peaks.
         ref::BufferPeaks peaks;
         const auto computed =
             ref::execute_policy(layer, est.choice, operands, &peaks);
-        const bool numerics = computed == golden;
+        ref::BufferPeaks backend_peaks;
+        const auto backend_out = ref::execute_policy(
+            layer, est.choice, operands, &backend_peaks,
+            ref::ExecOptions{.backend = ref::default_exec_backend(),
+                             .threads = threads});
+        const bool numerics = computed == golden && backend_out == golden &&
+                              backend_peaks == peaks;
         const auto fp = core::working_footprint(layer, est.choice);
         const bool bounded = peaks.ifmap <= fp.ifmap &&
                              peaks.filter <= fp.filter &&
@@ -109,15 +127,25 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
 
-    // The register-level array.
-    const auto conv = systolic::run_conv(layer, operands, spec);
+    // The register-level array (naive = stepped PE registers), and the
+    // blocked fast path, which must return the identical ConvRun.
+    const auto conv = systolic::run_conv(layer, operands, spec,
+                                         ref::ExecBackend::kNaive, threads);
+    const auto conv_fast = systolic::run_conv(
+        layer, operands, spec, ref::ExecBackend::kBlocked, threads);
     const bool array_ok = conv.ofmap == golden &&
                           conv.cycles == scalesim::compute_cycles(layer, spec);
+    const bool fast_ok = conv_fast.ofmap == golden &&
+                         conv_fast.cycles == conv.cycles &&
+                         conv_fast.folds == conv.folds;
     std::cout << "\nsystolic array: "
               << (array_ok ? "ok" : "MISMATCH") << " (" << conv.cycles
               << " cycles, analytic "
               << scalesim::compute_cycles(layer, spec) << ")\n";
-    all_ok = all_ok && array_ok;
+    std::cout << "blocked backend: " << (fast_ok ? "ok" : "MISMATCH")
+              << " (backend " << ref::to_string(ref::default_exec_backend())
+              << ", " << threads << " thread(s))\n";
+    all_ok = all_ok && array_ok && fast_ok;
 
     std::cout << (all_ok ? "\nALL CHECKS PASSED\n" : "\nFAILURES FOUND\n");
     return all_ok ? 0 : 1;
