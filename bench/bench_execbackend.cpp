@@ -107,7 +107,8 @@ struct ConvRow {
 
 struct ScalingRow {
   std::string section;
-  int threads = 1;
+  int threads = 1;            ///< requested fan-out
+  std::size_t workers = 1;    ///< workers the dispatch actually resolved to
   double ms = 0.0;
   bool exact = true;
 };
@@ -162,7 +163,10 @@ int main(int argc, char** argv) {
     for (int threads : thread_counts) {
       const auto start = clock_type::now();
       const systolic::Matrix out = systolic::blocked_matmul(sa, sb, threads);
-      ScalingRow row{"gemm", threads, ms_since(start), out == reference};
+      ScalingRow row{"gemm", threads,
+                     threads == 0 ? static_cast<std::size_t>(hw)
+                                  : static_cast<std::size_t>(threads),
+                     ms_since(start), out == reference};
       all_exact = all_exact && row.exact;
       gemm_scaling.push_back(row);
     }
@@ -216,7 +220,8 @@ int main(int argc, char** argv) {
     for (int threads : thread_counts) {
       auto start = clock_type::now();
       const scalesim::TraceResult traced = sim.run_traced(net, threads);
-      ScalingRow traced_row{"scalesim_traced", threads, ms_since(start),
+      ScalingRow traced_row{"scalesim_traced", threads, traced.workers_used,
+                            ms_since(start),
                             traced.trace_checksum ==
                                     reference.trace_checksum &&
                                 traced.aggregate.total_accesses ==
@@ -228,7 +233,8 @@ int main(int argc, char** argv) {
 
       start = clock_type::now();
       const engine::PlanExecution exec = engine.execute_plan(plan, net, threads);
-      ScalingRow engine_row{"engine_replay", threads, ms_since(start),
+      ScalingRow engine_row{"engine_replay", threads, exec.workers_used,
+                            ms_since(start),
                             exec.total_accesses == engine_ref.total_accesses &&
                                 exec.total_latency_cycles ==
                                     engine_ref.total_latency_cycles};
@@ -258,23 +264,29 @@ int main(int argc, char** argv) {
                "blocked backend):\n";
   conv_table.print(std::cout);
 
-  util::Table scaling_table({"section", "threads", "ms", "exact"});
+  util::Table scaling_table({"section", "threads", "workers", "ms", "exact"});
   for (const auto& rows : {gemm_scaling, sim_scaling}) {
     for (const ScalingRow& row : rows) {
       scaling_table.add_row({row.section, std::to_string(row.threads),
-                             util::fmt(row.ms, 2), row.exact ? "yes" : "NO"});
+                             std::to_string(row.workers), util::fmt(row.ms, 2),
+                             row.exact ? "yes" : "NO"});
     }
   }
   std::cout << "\nthread scaling (identical results pinned per row):\n";
   scaling_table.print(std::cout);
+  if (hw == 1) {
+    std::cout << "note: hardware_concurrency == 1 — scaling rows are "
+                 "degenerate (they demonstrate determinism, not speedup).\n";
+  }
 
   if (opt.csv_path) {
     std::ofstream out(*opt.csv_path);
-    out << "section,threads,ms,exact\n";
+    out << "section,threads,workers,degenerate,ms,exact\n";
     for (const auto& rows : {gemm_scaling, sim_scaling}) {
       for (const ScalingRow& row : rows) {
-        out << row.section << ',' << row.threads << ',' << row.ms << ','
-            << (row.exact ? 1 : 0) << '\n';
+        out << row.section << ',' << row.threads << ',' << row.workers << ','
+            << (hw == 1 ? 1 : 0) << ',' << row.ms << ',' << (row.exact ? 1 : 0)
+            << '\n';
       }
     }
   }
@@ -305,7 +317,10 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < all_rows.size(); ++i) {
       const ScalingRow& row = all_rows[i];
       out << "    {\"section\": \"" << row.section
-          << "\", \"threads\": " << row.threads << ", \"ms\": " << row.ms
+          << "\", \"threads\": " << row.threads
+          << ", \"effective_workers\": " << row.workers
+          << ", \"degenerate\": " << (hw == 1 ? "true" : "false")
+          << ", \"ms\": " << row.ms
           << ", \"exact\": " << (row.exact ? "true" : "false") << "}"
           << (i + 1 < all_rows.size() ? "," : "") << '\n';
     }

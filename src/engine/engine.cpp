@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
-#include <thread>
 
 #include "util/thread_pool.hpp"
 
@@ -101,10 +100,13 @@ PlanExecution Engine::execute_plan(const core::ExecutionPlan& plan,
     result.layers[i] =
         execute_layer(network.layer(a.layer_index), a.estimate.choice, adjust);
   };
-  std::size_t workers =
-      threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                   : static_cast<std::size_t>(std::max(threads, 1));
-  workers = std::min(workers, plan.size());
+  // A per-layer replay is tens of microseconds; pool spawn costs more than
+  // replaying a dozen layers, so small plans stay inline (the bench's
+  // engine_replay section regressed 0.43 -> 0.65 ms at 2 threads without
+  // this threshold).
+  const std::size_t workers =
+      util::resolve_workers(threads, plan.size(), /*min_items_per_worker=*/16);
+  result.workers_used = workers;
   if (workers <= 1) {
     for (std::size_t i = 0; i < plan.size(); ++i) {
       replay(i);

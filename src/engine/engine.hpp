@@ -32,6 +32,10 @@ struct PlanExecution {
   std::vector<LayerExecution> layers;
   count_t total_accesses = 0;  ///< elements
   double total_latency_cycles = 0.0;
+  /// Workers the replay dispatch resolved to (1 = ran inline: replaying a
+  /// layer costs a few tens of microseconds, so small plans skip the pool
+  /// entirely).  Informational only — results are identical regardless.
+  std::size_t workers_used = 1;
 };
 
 class Engine {

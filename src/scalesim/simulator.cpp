@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
-#include <thread>
 
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
@@ -28,15 +27,20 @@ count_t scaled(count_t base, double factor) {
   return static_cast<count_t>(static_cast<double>(base) * factor + 0.5);
 }
 
-/// Runs fn(i) for i in [0, n), inline when a single worker suffices,
-/// otherwise on a private pool.  fn must only touch slot i of shared
-/// state, which keeps every schedule bit-identical to the serial one.
+/// A layer evaluation is a few microseconds of arithmetic; spawning a pool
+/// costs more than re-evaluating dozens of layers.  Runs below this many
+/// layers per worker stay inline (the engine-replay regression fix).
+constexpr std::size_t kMinLayersPerWorker = 32;
+
+/// Runs fn(i) for i in [0, n), inline when a single worker suffices or the
+/// run is too small to amortise pool spawn, otherwise on a private pool.
+/// fn must only touch slot i of shared state, which keeps every schedule
+/// bit-identical to the serial one.
 template <typename Fn>
-void for_each_index(std::size_t n, int threads, Fn fn) {
-  std::size_t workers = threads == 0
-                            ? std::max(1u, std::thread::hardware_concurrency())
-                            : static_cast<std::size_t>(std::max(threads, 1));
-  workers = std::min(workers, n);
+void for_each_index(std::size_t n, int threads, Fn fn,
+                    std::size_t min_items_per_worker = kMinLayersPerWorker) {
+  const std::size_t workers =
+      util::resolve_workers(threads, n, min_items_per_worker);
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
       fn(i);
@@ -148,12 +152,72 @@ RunResult Simulator::run(const model::Network& network, int threads) const {
 
 namespace {
 
-/// One layer's traced walk, self-contained: the checksum starts from zero
-/// so layers can walk concurrently and combine in order afterwards.
-struct LayerWalk {
-  LayerResult analytic;
+constexpr count_t kGolden64 = 0x9e3779b97f4a7c15ull;
+
+/// splitmix64 finalizer: avalanches a closed-form address sum so the
+/// per-fold signature still depends on every address the fold streams.
+constexpr count_t mix64(count_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Extends an order-dependent checksum by one value (the seed walk's
+/// xor-shift mixing, kept as the within-chunk and cross-level combiner).
+constexpr count_t mix_into(count_t acc, count_t value) {
+  return acc ^ (value + (acc << 6) + (acc >> 2));
+}
+
+/// Sum of the integers in [first, first + n): the closed form behind the
+/// per-fold address sums.  Wraps mod 2^64, which is fine — the checksum
+/// only needs determinism, not magnitude.
+constexpr count_t arith_sum(count_t first, count_t n) {
+  return n * first + (n * (n - 1)) / 2;
+}
+
+/// Signature of one fold: a hash of the exact operand address multiset the
+/// per-cycle walk would stream (ifmap address pixel*T + t per active row,
+/// filter address filter*T + t per active column, offset by the channel
+/// group), computed in closed form instead of T x (rows + cols) steps.
+count_t fold_signature(const FoldGeometry& g, const FoldCoord& f,
+                       const arch::AcceleratorSpec& spec) {
+  const count_t T = g.reduction;
+  const count_t rows = static_cast<count_t>(spec.pe_rows);
+  const count_t cols = static_cast<count_t>(spec.pe_cols);
+  // sum over r < active_rows, t < T of (pixel * T + t),
+  // pixel = row_fold * rows + r.
+  const count_t pixel_sum = arith_sum(f.row_fold * rows, f.active_rows);
+  const count_t ifmap_sum = T * T * pixel_sum +
+                            f.active_rows * arith_sum(0, T) +
+                            f.active_rows * T * f.group * kGolden64;
+  // sum over c < active_cols, t < T of (filter * T + t),
+  // filter = col_fold * cols + c.
+  const count_t filter_sum = arith_sum(f.col_fold * cols, f.active_cols);
+  const count_t filter_total =
+      T * T * filter_sum + f.active_cols * arith_sum(0, T);
+  return mix64(ifmap_sum + kGolden64 * filter_total);
+}
+
+/// Fold-range chunk grain: small enough that the chunks of one large layer
+/// outnumber any sane worker count, large enough (a fold costs ~tens of
+/// nanoseconds closed-form) that per-chunk dispatch overhead stays noise.
+/// Boundaries are a pure function of the geometry — never of the thread
+/// count — so the position-keyed combine is thread-count-invariant.
+constexpr count_t kFoldChunkGrain = 256;
+
+/// One fold-range chunk of one layer's walk, self-contained: counters and
+/// checksum start from zero so chunks can run concurrently anywhere.
+struct FoldChunk {
+  std::size_t layer = 0;      ///< index into the network
+  std::size_t position = 0;   ///< chunk position within the layer, 0-based
+  count_t fold_begin = 0;
+  count_t fold_end = 0;
   count_t read_events = 0;
   count_t write_events = 0;
+  count_t cycles = 0;
   count_t checksum = 0;
 };
 
@@ -166,67 +230,99 @@ TraceResult Simulator::run_traced(const model::Network& network,
         "run_traced: trace generation is implemented for the output-"
         "stationary baseline only");
   }
-  std::vector<LayerWalk> walks(network.size());
-  for_each_index(network.size(), threads, [&](std::size_t index) {
-    LayerWalk& walk = walks[index];
-    const model::Layer& layer = network.layer(index);
-    walk.analytic = simulate_layer(layer);
-    const FoldGeometry g = fold_geometry(layer, spec_);
-    const count_t rows = static_cast<count_t>(spec_.pe_rows);
-    const count_t cols = static_cast<count_t>(spec_.pe_cols);
 
-    // Walk every fold and stream its operand addresses cycle by cycle,
-    // exactly the work SCALE-Sim performs to write its trace files.  The
-    // address generation is kept live through a checksum so the optimizer
-    // cannot elide the walk.
-    count_t cycles_walked = 0;
-    count_t checksum = 0;
-    for (count_t group = 0; group < g.channel_groups; ++group) {
-      for (count_t rf = 0; rf < g.row_folds; ++rf) {
-        const count_t active_rows =
-            std::min(rows, g.output_rows - rf * rows);
-        for (count_t cf = 0; cf < g.col_folds; ++cf) {
-          const count_t active_cols =
-              std::min(cols, g.output_cols - cf * cols);
-          for (count_t t = 0; t < g.reduction; ++t) {
-            // One im2col element per active array row...
-            for (count_t r = 0; r < active_rows; ++r) {
-              const count_t pixel = rf * rows + r;
-              checksum += group * 0x9e3779b9u + pixel * g.reduction + t;
-              ++walk.read_events;
-            }
-            // ...and one filter element per active array column.
-            for (count_t c = 0; c < active_cols; ++c) {
-              const count_t filter = cf * cols + c;
-              checksum ^= (filter * g.reduction + t) + (checksum << 6) +
-                          (checksum >> 2);
-              ++walk.read_events;
-            }
-          }
-          walk.write_events += active_rows * active_cols;
-          cycles_walked += g.reduction + 2 * rows - 2;
-        }
-      }
+  // Phase 1: analytic model + fold geometry per layer (microseconds each).
+  struct LayerMeta {
+    LayerResult analytic;
+    FoldGeometry g;
+  };
+  std::vector<LayerMeta> meta(network.size());
+  for_each_index(network.size(), threads, [&](std::size_t i) {
+    meta[i].analytic = simulate_layer(network.layer(i));
+    meta[i].g = fold_geometry(network.layer(i), spec_);
+  });
+
+  // Phase 2: cut every layer's fold space into fixed-grain chunks and
+  // schedule the chunks of all layers together — a layer with thousands of
+  // folds spreads across the whole pool instead of pinning one worker.
+  std::vector<FoldChunk> chunks;
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    const count_t folds = meta[i].g.folds();
+    const count_t n_chunks =
+        static_cast<count_t>(util::chunk_count(folds, kFoldChunkGrain));
+    for (count_t c = 0; c < n_chunks; ++c) {
+      FoldChunk chunk;
+      chunk.layer = i;
+      chunk.position = static_cast<std::size_t>(c);
+      chunk.fold_begin = c * kFoldChunkGrain;
+      chunk.fold_end = std::min(folds, (c + 1) * kFoldChunkGrain);
+      chunks.push_back(chunk);
     }
-    walk.checksum = checksum;
+  }
+  const std::size_t workers = util::resolve_workers(
+      threads, chunks.size(), /*min_items_per_worker=*/2);
+  const auto walk_chunk = [&](FoldChunk& chunk) {
+    const FoldGeometry& g = meta[chunk.layer].g;
+    const count_t span = fold_cycle_span(g, spec_);
+    for (count_t f = chunk.fold_begin; f < chunk.fold_end; ++f) {
+      const FoldCoord coord = fold_at(g, spec_, f);
+      // Closed-form event counting: the naive walk streams one ifmap
+      // operand per active row and one filter operand per active column
+      // on each of the T reduction cycles, and drains one result per
+      // active PE — none of which needs the per-cycle loops.
+      chunk.read_events +=
+          g.reduction * (coord.active_rows + coord.active_cols);
+      chunk.write_events += coord.active_rows * coord.active_cols;
+      chunk.cycles += span;
+      // Order-dependent mixing over the folds of the chunk (level one of
+      // the two-level combine).
+      chunk.checksum = mix_into(chunk.checksum, fold_signature(g, coord, spec_));
+    }
+  };
+  if (workers <= 1) {
+    for (FoldChunk& chunk : chunks) {
+      walk_chunk(chunk);
+    }
+  } else {
+    util::parallel_for_each(chunks, walk_chunk, workers);
+  }
+
+  // Phase 3: deterministic combine.  Chunk results enter their layer's
+  // checksum keyed by chunk position (level two), layers enter the run
+  // checksum in layer order (level three) — independent of who ran what.
+  struct LayerTotals {
+    count_t read_events = 0;
+    count_t write_events = 0;
+    count_t cycles = 0;
+    count_t checksum = 0;
+  };
+  std::vector<LayerTotals> totals(network.size());
+  for (const FoldChunk& chunk : chunks) {
+    LayerTotals& t = totals[chunk.layer];
+    t.read_events += chunk.read_events;
+    t.write_events += chunk.write_events;
+    t.cycles += chunk.cycles;
+    t.checksum = mix_into(
+        t.checksum,
+        mix64(chunk.checksum + kGolden64 * (chunk.position + 1)));
+  }
+
+  TraceResult result;
+  result.workers_used = workers;
+  for (std::size_t i = 0; i < totals.size(); ++i) {
     // Cross-check: the fold walk must land on the analytic cycle count.
-    if (cycles_walked != walk.analytic.compute_cycles) {
+    if (totals[i].cycles != meta[i].analytic.compute_cycles) {
       throw std::logic_error(
           "run_traced: fold walk diverged from the analytic timing model");
     }
-  });
-
-  // Deterministic combine: layer order, independent of who walked what.
-  TraceResult result;
-  for (LayerWalk& walk : walks) {
-    result.sram_read_events += walk.read_events;
-    result.sram_write_events += walk.write_events;
-    result.trace_checksum ^= walk.checksum + 0x9e3779b9u +
+    result.sram_read_events += totals[i].read_events;
+    result.sram_write_events += totals[i].write_events;
+    result.trace_checksum ^= totals[i].checksum + 0x9e3779b9u +
                              (result.trace_checksum << 6) +
                              (result.trace_checksum >> 2);
-    result.aggregate.total_accesses += walk.analytic.traffic.total();
-    result.aggregate.total_cycles += walk.analytic.compute_cycles;
-    result.aggregate.layers.push_back(std::move(walk.analytic));
+    result.aggregate.total_accesses += meta[i].analytic.traffic.total();
+    result.aggregate.total_cycles += meta[i].analytic.compute_cycles;
+    result.aggregate.layers.push_back(std::move(meta[i].analytic));
   }
   return result;
 }

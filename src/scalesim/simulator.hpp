@@ -62,6 +62,10 @@ struct TraceResult {
   count_t sram_read_events = 0;   ///< operand fetches streamed into the array
   count_t sram_write_events = 0;  ///< results drained from the array
   count_t trace_checksum = 0;     ///< fold-ordered address checksum
+  /// Workers the fold-chunk dispatch resolved to (1 = ran inline).  Purely
+  /// informational — results are identical for every value — but benches
+  /// record it so scaling rows on a 1-core host read as degenerate.
+  std::size_t workers_used = 1;
 };
 
 class Simulator {
@@ -82,13 +86,22 @@ class Simulator {
   [[nodiscard]] RunResult run(const model::Network& network,
                               int threads = 1) const;
 
-  /// Cycle-level run: walks every fold of every layer and generates the
-  /// per-cycle operand address streams (like SCALE-Sim's trace files),
+  /// Cycle-level run: enumerates every fold of every layer and accounts
+  /// the per-cycle operand streams a SCALE-Sim run would materialise,
   /// cross-checking the fold walk against the analytic timing model.
-  /// Aggregate totals equal run()'s exactly; tests pin this.  Each layer's
-  /// checksum is computed independently from zero and folded into the
-  /// trace checksum in layer order, so traced runs too are bit-identical
-  /// across thread counts.
+  /// Aggregate totals equal run()'s exactly; tests pin this.
+  ///
+  /// Parallelism is fold-granular, not layer-granular: each layer's
+  /// group x row_fold x col_fold space is cut into fixed-grain fold-range
+  /// chunks and the chunks of *all* layers are scheduled together on one
+  /// pool, so one large layer no longer pins the critical path.  Inside a
+  /// fold, event counts and address sums are closed-form (the per-cycle
+  /// loops of the naive walk collapse), which is where the wall-time goes.
+  /// The checksum is a two-level combine — order-dependent mixing over
+  /// folds within a chunk, position-keyed across chunks, layer-order
+  /// across layers — and chunk boundaries depend only on the geometry,
+  /// never on `threads`, so the result is bit-identical for every thread
+  /// count (tests pin 1/2/4/8).
   [[nodiscard]] TraceResult run_traced(const model::Network& network,
                                        int threads = 1) const;
 

@@ -1,5 +1,7 @@
 #include "scalesim/systolic.hpp"
 
+#include <algorithm>
+
 #include "util/units.hpp"
 
 namespace rainbow::scalesim {
@@ -24,6 +26,21 @@ FoldGeometry fold_geometry(const model::Layer& layer,
   g.row_folds = ceil_div(g.output_rows, static_cast<count_t>(spec.pe_rows));
   g.col_folds = ceil_div(g.output_cols, static_cast<count_t>(spec.pe_cols));
   return g;
+}
+
+FoldCoord fold_at(const FoldGeometry& g, const arch::AcceleratorSpec& spec,
+                  count_t index) {
+  FoldCoord f;
+  const count_t per_group = g.row_folds * g.col_folds;
+  f.group = index / per_group;
+  const count_t rem = index % per_group;
+  f.row_fold = rem / g.col_folds;
+  f.col_fold = rem % g.col_folds;
+  const count_t rows = static_cast<count_t>(spec.pe_rows);
+  const count_t cols = static_cast<count_t>(spec.pe_cols);
+  f.active_rows = std::min(rows, g.output_rows - f.row_fold * rows);
+  f.active_cols = std::min(cols, g.output_cols - f.col_fold * cols);
+  return f;
 }
 
 count_t compute_cycles(const model::Layer& layer,

@@ -29,6 +29,32 @@ struct FoldGeometry {
 [[nodiscard]] FoldGeometry fold_geometry(const model::Layer& layer,
                                          const arch::AcceleratorSpec& spec);
 
+/// One fold of the walk, addressed by its flat index in the canonical
+/// group-major order (group outer, row fold, column fold inner) — the
+/// order the per-layer loop nest visits and every trace file serializes.
+/// Exposing the decode lets the traced simulator and the trace writer
+/// start mid-walk, which is what makes fold-range chunking possible.
+struct FoldCoord {
+  count_t group = 0;
+  count_t row_fold = 0;
+  count_t col_fold = 0;
+  count_t active_rows = 0;  ///< array rows carrying live output pixels
+  count_t active_cols = 0;  ///< array columns carrying live filters
+};
+
+/// Decodes flat fold index `index` in [0, g.folds()) against `g`.
+[[nodiscard]] FoldCoord fold_at(const FoldGeometry& g,
+                                const arch::AcceleratorSpec& spec,
+                                count_t index);
+
+/// Cycles one fold occupies the array: reduction + pipeline fill/drain.
+/// Identical for every fold of a layer, so fold `i` starts at
+/// i * fold_cycle_span(...) — the closed form behind chunked walks.
+[[nodiscard]] constexpr count_t fold_cycle_span(
+    const FoldGeometry& g, const arch::AcceleratorSpec& spec) {
+  return g.reduction + 2 * static_cast<count_t>(spec.pe_rows) - 2;
+}
+
 /// Zero-stall compute cycles for one layer: folds x (T + 2*dim - 2).
 [[nodiscard]] count_t compute_cycles(const model::Layer& layer,
                                      const arch::AcceleratorSpec& spec);

@@ -1,16 +1,162 @@
 #include "scalesim/trace_writer.hpp"
 
+#include <algorithm>
+#include <charconv>
+#include <cstring>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "scalesim/systolic.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rainbow::scalesim {
+
+namespace {
+
+/// Decimal-formats `value` straight into `out` (std::to_chars produces the
+/// same digits operator<< would, without the stream machinery per field).
+void append_count(std::string& out, count_t value) {
+  char buf[20];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, res.ptr);
+}
+
+/// A decimal counter cell for the row formatter.  Within one fold every
+/// field of the trace (cycle and each operand address) advances by exactly
+/// +1 per row, so each field is formatted once with std::to_chars and then
+/// incremented in place: an emit is a short memcpy and an increment is
+/// usually a single digit bump, instead of a full integer-to-decimal
+/// conversion per field per row.  Digits are right-aligned so a carry that
+/// grows the number (999 -> 1000) just extends the span leftward.
+struct DecimalCell {
+  char digits[20];
+  unsigned start = 20;  ///< index of the most significant digit
+};
+
+void cell_init(DecimalCell& cell, count_t value) {
+  char buf[20];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  const auto len = static_cast<unsigned>(res.ptr - buf);
+  cell.start = 20 - len;
+  std::memcpy(cell.digits + cell.start, buf, len);
+}
+
+void cell_increment(DecimalCell& cell) {
+  unsigned i = 20;
+  while (i-- > cell.start) {
+    if (cell.digits[i] != '9') {
+      ++cell.digits[i];
+      return;
+    }
+    cell.digits[i] = '0';
+  }
+  cell.digits[--cell.start] = '1';
+}
+
+char* cell_emit(char* p, const DecimalCell& cell) {
+  const unsigned len = 20 - cell.start;
+  std::memcpy(p, cell.digits + cell.start, len);
+  return p + len;
+}
+
+/// Rows per shard the formatter aims for: big enough that one shard is one
+/// large block write, small enough that a windowed pipeline over shards
+/// bounds memory to a few MB per worker.
+constexpr count_t kShardRowTarget = 8192;
+
+/// Formats the trace rows of folds [fold_begin, fold_end) into `out`,
+/// honoring the global data-row cap.  Row j of fold f (j < reduction) is
+/// global row f * reduction + j; rows at or past `row_limit` are elided
+/// exactly like the naive writer's truncation path.
+///
+/// The hot loop writes through a raw pointer into worst-case-reserved
+/// storage — one capacity check per shard instead of seventy string
+/// appends per row — and every field runs as a DecimalCell counter seeded
+/// by std::to_chars at the top of each fold, so the per-row cost is a few
+/// short copies and digit bumps rather than full decimal conversions.
+void format_shard(const FoldGeometry& g, const arch::AcceleratorSpec& spec,
+                  const TraceWriterOptions& options, count_t fold_begin,
+                  count_t fold_end, count_t row_limit, std::string& out,
+                  std::vector<DecimalCell>& cells) {
+  const count_t T = g.reduction;
+  const count_t rows = static_cast<count_t>(spec.pe_rows);
+  const count_t cols = static_cast<count_t>(spec.pe_cols);
+  const count_t span = fold_cycle_span(g, spec);
+  // Worst case per row: every field a 20-digit count plus its comma, one
+  // cycle field, one newline.
+  const count_t shard_rows =
+      std::min(fold_end * T, row_limit) -
+      std::min(std::min(fold_begin * T, row_limit), fold_end * T);
+  const std::size_t max_row_bytes =
+      static_cast<std::size_t>(1 + rows + cols) * 21 + 2;
+  out.resize(static_cast<std::size_t>(shard_rows) * max_row_bytes);
+  cells.resize(static_cast<std::size_t>(1 + rows + cols));
+  DecimalCell* const cycle_cell = cells.data();
+  DecimalCell* const row_cells = cells.data() + 1;
+  DecimalCell* const col_cells = cells.data() + 1 + rows;
+  char* p = out.data();
+  for (count_t f = fold_begin; f < fold_end; ++f) {
+    const count_t steps = std::min(T, row_limit - std::min(row_limit, f * T));
+    if (steps == 0) {
+      break;  // every later fold starts past the cap too
+    }
+    const FoldCoord coord = fold_at(g, spec, f);
+    const count_t group_base = coord.group * g.output_rows * T;
+    const count_t ifmap_base = group_base + coord.row_fold * rows * T;
+    const count_t filter_base =
+        options.filter_base + group_base + coord.col_fold * cols * T;
+    cell_init(*cycle_cell, f * span);
+    for (count_t r = 0; r < coord.active_rows; ++r) {
+      cell_init(row_cells[r], ifmap_base + r * T);
+    }
+    for (count_t c = 0; c < coord.active_cols; ++c) {
+      cell_init(col_cells[c], filter_base + c * T);
+    }
+    // Idle-lane padding is constant per fold: emit it as one copy per row
+    // section instead of a branch per PE lane.
+    const std::size_t row_pad = static_cast<std::size_t>(rows - coord.active_rows);
+    const std::size_t col_pad = static_cast<std::size_t>(cols - coord.active_cols);
+    static constexpr char kPad[] = ",-,-,-,-,-,-,-,-,-,-,-,-,-,-,-,-";
+    static_assert(sizeof(kPad) >= 33);
+    for (count_t t = 0; t < steps; ++t) {
+      p = cell_emit(p, *cycle_cell);
+      cell_increment(*cycle_cell);
+      for (count_t r = 0; r < coord.active_rows; ++r) {
+        *p++ = ',';
+        p = cell_emit(p, row_cells[r]);
+        cell_increment(row_cells[r]);
+      }
+      for (std::size_t n = row_pad; n > 0;) {
+        const std::size_t take = std::min<std::size_t>(n, 16);
+        std::memcpy(p, kPad, take * 2);
+        p += take * 2;
+        n -= take;
+      }
+      for (count_t c = 0; c < coord.active_cols; ++c) {
+        *p++ = ',';
+        p = cell_emit(p, col_cells[c]);
+        cell_increment(col_cells[c]);
+      }
+      for (std::size_t n = col_pad; n > 0;) {
+        const std::size_t take = std::min<std::size_t>(n, 16);
+        std::memcpy(p, kPad, take * 2);
+        p += take * 2;
+        n -= take;
+      }
+      *p++ = '\n';
+    }
+  }
+  out.resize(static_cast<std::size_t>(p - out.data()));
+}
+
+}  // namespace
 
 TraceFileInfo write_sram_trace(const model::Layer& layer,
                                const arch::AcceleratorSpec& spec,
                                const std::filesystem::path& path,
                                TraceWriterOptions options) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) {
     throw std::runtime_error("write_sram_trace: cannot create " +
                              path.string());
@@ -18,56 +164,82 @@ TraceFileInfo write_sram_trace(const model::Layer& layer,
   const FoldGeometry g = fold_geometry(layer, spec);
   const count_t rows = static_cast<count_t>(spec.pe_rows);
   const count_t cols = static_cast<count_t>(spec.pe_cols);
+  const count_t folds = g.folds();
 
-  out << "cycle";
+  std::string header = "cycle";
   for (count_t r = 0; r < rows; ++r) {
-    out << ",ifmap_row" << r;
+    header += ",ifmap_row";
+    append_count(header, r);
   }
   for (count_t c = 0; c < cols; ++c) {
-    out << ",filter_col" << c;
+    header += ",filter_col";
+    append_count(header, c);
   }
-  out << '\n';
+  header.push_back('\n');
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
 
+  // Every streaming cycle is one potential row; the cap elides the tail
+  // but the cycle count still covers the full walk (like the naive
+  // writer's `continue` path, computed closed-form here).
   TraceFileInfo info;
-  count_t cycle = 0;
-  for (count_t group = 0; group < g.channel_groups; ++group) {
-    const count_t group_base = group * g.output_rows * g.reduction;
-    for (count_t rf = 0; rf < g.row_folds; ++rf) {
-      const count_t active_rows = std::min(rows, g.output_rows - rf * rows);
-      for (count_t cf = 0; cf < g.col_folds; ++cf) {
-        const count_t active_cols = std::min(cols, g.output_cols - cf * cols);
-        // Streaming portion of the fold (fill/drain cycles carry no new
-        // operands and are omitted, like SCALE-Sim's SRAM read trace).
-        for (count_t t = 0; t < g.reduction; ++t) {
-          info.cycles_total++;
-          if (options.max_rows != 0 && info.rows_written >= options.max_rows) {
-            info.truncated = true;
-            continue;  // keep counting cycles, stop writing
-          }
-          out << cycle + t;
-          for (count_t r = 0; r < rows; ++r) {
-            if (r < active_rows) {
-              const count_t pixel = rf * rows + r;
-              out << ',' << group_base + pixel * g.reduction + t;
-            } else {
-              out << ",-";
-            }
-          }
-          for (count_t c = 0; c < cols; ++c) {
-            if (c < active_cols) {
-              const count_t filter = cf * cols + c;
-              out << ','
-                  << options.filter_base + group_base +
-                         filter * g.reduction + t;
-            } else {
-              out << ",-";
-            }
-          }
-          out << '\n';
-          ++info.rows_written;
-        }
-        cycle += g.reduction + 2 * rows - 2;
-      }
+  const count_t total_rows = folds * g.reduction;
+  const count_t row_limit =
+      options.max_rows == 0 ? total_rows : std::min(total_rows, options.max_rows);
+  info.cycles_total = total_rows;
+  info.rows_written = row_limit;
+  info.truncated = options.max_rows != 0 && total_rows > options.max_rows;
+  info.bytes_written = header.size();
+
+  // Shards cover fold ranges; only folds below the row cap format rows.
+  const count_t grain_folds =
+      std::max<count_t>(1, kShardRowTarget / std::max<count_t>(1, g.reduction));
+  const count_t live_folds = util::ceil_div(row_limit, g.reduction);
+  const std::size_t shards = util::chunk_count(
+      static_cast<std::size_t>(live_folds), static_cast<std::size_t>(grain_folds));
+  const std::size_t workers =
+      util::resolve_workers(options.threads, shards, /*min_items_per_worker=*/2);
+  info.workers_used = workers;
+
+  const auto shard_range = [&](std::size_t s) {
+    const count_t begin = static_cast<count_t>(s) * grain_folds;
+    const count_t end = std::min(live_folds, begin + grain_folds);
+    return std::pair<count_t, count_t>{begin, end};
+  };
+
+  if (workers <= 1) {
+    // Serial fast path: one reusable buffer, one block write per shard.
+    std::string buffer;
+    std::vector<DecimalCell> cells;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto [begin, end] = shard_range(s);
+      format_shard(g, spec, options, begin, end, row_limit, buffer, cells);
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      info.bytes_written += buffer.size();
+    }
+    return info;
+  }
+
+  // Pipelined path: windows of shards are formatted in parallel into
+  // reusable buffers, then concatenated to the stream in shard order —
+  // the bytes never depend on who formatted what.
+  util::ThreadPool pool(workers);
+  const std::size_t window = workers * 2;
+  std::vector<std::string> buffers(window);
+  std::vector<std::vector<DecimalCell>> cell_scratch(window);
+  for (std::size_t base = 0; base < shards; base += window) {
+    const std::size_t count = std::min(window, shards - base);
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.submit([&, i, base] {
+        const auto [begin, end] = shard_range(base + i);
+        format_shard(g, spec, options, begin, end, row_limit, buffers[i],
+                     cell_scratch[i]);
+      });
+    }
+    pool.wait();
+    for (std::size_t i = 0; i < count; ++i) {
+      out.write(buffers[i].data(),
+                static_cast<std::streamsize>(buffers[i].size()));
+      info.bytes_written += buffers[i].size();
     }
   }
   return info;

@@ -7,6 +7,12 @@
 //
 // Address space: im2col — ifmap operand (pixel, t) at pixel*T + t, filter
 // operand (filter, t) at FILTER_BASE + filter*T + t, per channel group.
+//
+// The writer is pipelined: rows are formatted with std::to_chars into
+// reusable fold-range shard buffers (optionally by several workers in
+// parallel) and flushed to the stream as large block writes in shard
+// order, so the bytes are identical to a naive per-field serial writer
+// for every thread count — tests pin this against a golden file.
 #pragma once
 
 #include <filesystem>
@@ -22,12 +28,19 @@ struct TraceWriterOptions {
   count_t max_rows = 0;
   /// Base address of the filter operand space.
   count_t filter_base = 1u << 30;
+  /// Shard-formatting fan-out (0 = hardware concurrency).  Output bytes
+  /// are identical for every value; small traces stay inline regardless.
+  int threads = 1;
 };
 
 struct TraceFileInfo {
   count_t rows_written = 0;   ///< data rows (excluding the header)
   count_t cycles_total = 0;   ///< cycles the full trace would cover
+  count_t bytes_written = 0;  ///< file size, header included
   bool truncated = false;
+  /// Workers the shard dispatch resolved to (1 = serial fast path).
+  /// Informational — the bytes are identical for every value.
+  std::size_t workers_used = 1;
 };
 
 /// Writes the output-stationary SRAM-read trace of one layer.  Throws

@@ -4,6 +4,18 @@
 
 namespace rainbow::util {
 
+std::size_t resolve_workers(int threads, std::size_t items,
+                            std::size_t min_items_per_worker) {
+  std::size_t workers =
+      threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                   : static_cast<std::size_t>(std::max(threads, 1));
+  if (min_items_per_worker == 0) {
+    min_items_per_worker = 1;
+  }
+  workers = std::min(workers, items / min_items_per_worker);
+  return std::max<std::size_t>(workers, 1);
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());

@@ -4,14 +4,21 @@
 // and fast so the TSan CI job can hammer these paths cheaply.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
 #include "core/manager.hpp"
 #include "dse/sweep.hpp"
 #include "engine/engine.hpp"
 #include "model/layer.hpp"
 #include "model/network.hpp"
 #include "ref/blocked_kernel.hpp"
+#include "model/zoo/zoo.hpp"
 #include "ref/network_exec.hpp"
 #include "scalesim/simulator.hpp"
+#include "scalesim/trace_writer.hpp"
 #include "systolic/gemm.hpp"
 
 namespace rainbow {
@@ -112,6 +119,55 @@ TEST(ParallelExec, TracedRunThreadCountInvariant) {
   const auto plain = sim.run(net, 2);
   EXPECT_EQ(serial.aggregate.total_accesses, plain.total_accesses);
   EXPECT_EQ(serial.aggregate.total_cycles, plain.total_cycles);
+}
+
+TEST(ParallelExec, TracedRunFoldChunkInvariantOnZooModel) {
+  // The fold-chunk decomposition cuts each layer's group x row_fold x
+  // col_fold space into fixed-grain chunks scheduled across all layers;
+  // a zoo model is large enough that many chunks actually run (small_chain
+  // fits in one chunk and stays inline).  Checksum and event counts must
+  // be bit-identical across 1/2/4/8 workers.
+  const auto net = model::zoo::mobilenet();
+  const scalesim::Simulator sim(arch::paper_spec(util::kib(64)),
+                                scalesim::BufferPartition{});
+  const auto serial = sim.run_traced(net, 1);
+  EXPECT_NE(serial.trace_checksum, 0u);
+  EXPECT_EQ(serial.workers_used, 1u);
+  for (int threads : {2, 4, 8}) {
+    const auto parallel = sim.run_traced(net, threads);
+    EXPECT_EQ(parallel.trace_checksum, serial.trace_checksum) << threads;
+    EXPECT_EQ(parallel.sram_read_events, serial.sram_read_events) << threads;
+    EXPECT_EQ(parallel.sram_write_events, serial.sram_write_events)
+        << threads;
+    EXPECT_EQ(parallel.aggregate.total_accesses,
+              serial.aggregate.total_accesses)
+        << threads;
+    EXPECT_EQ(parallel.aggregate.total_cycles, serial.aggregate.total_cycles)
+        << threads;
+    EXPECT_EQ(parallel.workers_used, static_cast<std::size_t>(threads))
+        << threads;
+  }
+}
+
+TEST(ParallelExec, TraceWriterShardsThreadCountInvariant) {
+  // The pipelined writer's shard fan-out must never change the bytes; a
+  // multi-fold layer exercises several shards per window.
+  const auto layer = model::make_conv("c", 10, 10, 6, 3, 3, 20, 1, 1);
+  const auto spec = arch::paper_spec(util::kib(64));
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto ref_path = dir / "rainbow_parallel_trace_ref.csv";
+  (void)scalesim::write_sram_trace(layer, spec, ref_path, {.threads = 1});
+  std::ifstream ref_in(ref_path, std::ios::binary);
+  const std::string reference((std::istreambuf_iterator<char>(ref_in)), {});
+  for (int threads : {2, 4, 8, 0}) {
+    const auto path = dir / "rainbow_parallel_trace.csv";
+    (void)scalesim::write_sram_trace(layer, spec, path, {.threads = threads});
+    std::ifstream in(path, std::ios::binary);
+    const std::string bytes((std::istreambuf_iterator<char>(in)), {});
+    EXPECT_EQ(bytes, reference) << threads;
+    std::filesystem::remove(path);
+  }
+  std::filesystem::remove(ref_path);
 }
 
 TEST(ParallelExec, EnginePlanReplayThreadCountInvariant) {

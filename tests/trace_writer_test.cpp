@@ -1,9 +1,14 @@
 // Tests for the SCALE-Sim-style trace writer: file structure, address
-// ranges, determinism, truncation, and consistency with the fold model.
+// ranges, determinism, truncation, consistency with the fold model, and
+// byte-identity of the pipelined fast formatter against the naive
+// per-field seed writer (kept verbatim below as the golden oracle).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <string>
 
 #include "scalesim/trace_writer.hpp"
 #include "scalesim/systolic.hpp"
@@ -14,6 +19,71 @@ namespace {
 
 std::filesystem::path temp_trace(const char* name) {
   return std::filesystem::temp_directory_path() / name;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), {});
+}
+
+/// The seed writer's loop nest, verbatim (modulo writing to a string):
+/// per-field operator<< over every cycle of every fold, including the
+/// truncation `continue` and the ",-" idle-lane padding.  The pipelined
+/// writer must reproduce these bytes exactly for every thread count.
+std::string reference_sram_trace(const model::Layer& layer,
+                                 const arch::AcceleratorSpec& spec,
+                                 TraceWriterOptions options = {}) {
+  std::ostringstream out;
+  const FoldGeometry g = fold_geometry(layer, spec);
+  const count_t rows = static_cast<count_t>(spec.pe_rows);
+  const count_t cols = static_cast<count_t>(spec.pe_cols);
+  out << "cycle";
+  for (count_t r = 0; r < rows; ++r) {
+    out << ",ifmap_row" << r;
+  }
+  for (count_t c = 0; c < cols; ++c) {
+    out << ",filter_col" << c;
+  }
+  out << '\n';
+  count_t rows_written = 0;
+  count_t cycle = 0;
+  for (count_t group = 0; group < g.channel_groups; ++group) {
+    const count_t group_base = group * g.output_rows * g.reduction;
+    for (count_t rf = 0; rf < g.row_folds; ++rf) {
+      const count_t active_rows = std::min(rows, g.output_rows - rf * rows);
+      for (count_t cf = 0; cf < g.col_folds; ++cf) {
+        const count_t active_cols = std::min(cols, g.output_cols - cf * cols);
+        for (count_t t = 0; t < g.reduction; ++t) {
+          if (options.max_rows != 0 && rows_written >= options.max_rows) {
+            continue;
+          }
+          out << cycle + t;
+          for (count_t r = 0; r < rows; ++r) {
+            if (r < active_rows) {
+              const count_t pixel = rf * rows + r;
+              out << ',' << group_base + pixel * g.reduction + t;
+            } else {
+              out << ",-";
+            }
+          }
+          for (count_t c = 0; c < cols; ++c) {
+            if (c < active_cols) {
+              const count_t filter = cf * cols + c;
+              out << ','
+                  << options.filter_base + group_base +
+                         filter * g.reduction + t;
+            } else {
+              out << ",-";
+            }
+          }
+          out << '\n';
+          ++rows_written;
+        }
+        cycle += g.reduction + 2 * rows - 2;
+      }
+    }
+  }
+  return out.str();
 }
 
 TEST(TraceWriter, RowCountMatchesStreamingCycles) {
@@ -106,6 +176,70 @@ TEST(TraceWriter, DeterministicOutput) {
   EXPECT_FALSE(sa.empty());
   std::filesystem::remove(a);
   std::filesystem::remove(b);
+}
+
+TEST(TraceWriter, GoldenByteIdentityAgainstSeedWriter) {
+  // Byte-identical to the seed writer across layer shapes that hit every
+  // path: idle-lane ",-" padding (4 filters on 16 columns), depthwise
+  // multi-group walks, multi-fold dense layers — for every thread count.
+  const auto spec = arch::paper_spec(util::kib(64));
+  const model::Layer layers[] = {
+      model::make_conv("pad", 4, 4, 2, 3, 3, 4, 1, 1),
+      model::make_depthwise("dw", 7, 7, 5, 3, 3, 1, 1),
+      model::make_conv("folds", 12, 12, 8, 3, 3, 24, 1, 1),
+  };
+  const auto path = temp_trace("rainbow_trace_golden.csv");
+  for (const auto& layer : layers) {
+    const std::string golden = reference_sram_trace(layer, spec);
+    for (int threads : {1, 2, 4, 0}) {
+      const auto info =
+          write_sram_trace(layer, spec, path, {.threads = threads});
+      EXPECT_EQ(read_file(path), golden) << layer << " threads=" << threads;
+      EXPECT_EQ(info.bytes_written, golden.size());
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceWriter, GoldenByteIdentityUnderTruncation) {
+  // The max_rows path: rows past the cap are elided, cycles keep counting,
+  // and the cap may land mid-fold.  Bytes must still match the seed writer
+  // for every thread count.
+  const auto spec = arch::paper_spec(util::kib(64));
+  const auto layer = model::make_conv("c", 8, 8, 8, 3, 3, 16, 1, 1);
+  const auto path = temp_trace("rainbow_trace_golden_trunc.csv");
+  const FoldGeometry g = fold_geometry(layer, spec);
+  // Caps: mid-fold, exact fold boundary, everything, beyond-total.
+  for (count_t cap : {count_t{37}, g.reduction * 2, count_t{100},
+                      g.folds() * g.reduction, g.folds() * g.reduction + 50}) {
+    TraceWriterOptions options;
+    options.max_rows = cap;
+    const std::string golden = reference_sram_trace(layer, spec, options);
+    for (int threads : {1, 3, 0}) {
+      options.threads = threads;
+      const auto info = write_sram_trace(layer, spec, path, options);
+      EXPECT_EQ(read_file(path), golden) << "cap=" << cap
+                                         << " threads=" << threads;
+      EXPECT_EQ(info.bytes_written, golden.size());
+      EXPECT_EQ(info.truncated, cap < g.folds() * g.reduction);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceWriter, GoldenFileMatchesCommitted) {
+  // Belt and braces against the in-test oracle drifting together with the
+  // writer: the exact bytes of one small trace are committed to the repo.
+  const auto spec = arch::paper_spec(util::kib(64));
+  const auto layer = model::make_conv("c", 4, 4, 2, 3, 3, 4, 1, 1);
+  const auto path = temp_trace("rainbow_trace_committed.csv");
+  (void)write_sram_trace(layer, spec, path);
+  const std::string committed = read_file(
+      std::filesystem::path(RAINBOW_SOURCE_DIR) / "tests" / "data" /
+      "golden_trace_small.csv");
+  ASSERT_FALSE(committed.empty());
+  EXPECT_EQ(read_file(path), committed);
+  std::filesystem::remove(path);
 }
 
 TEST(TraceWriter, UnwritablePathThrows) {

@@ -231,5 +231,68 @@ TEST(ParallelForEach, AppliesToEveryElement) {
   }
 }
 
+TEST(ResolveWorkers, EnforcesMinimumWorkPerWorker) {
+  // Tiny runs resolve to a single (inline) worker; the pool only spins up
+  // once every worker has at least min_items_per_worker items.
+  EXPECT_EQ(resolve_workers(4, 3, 16), 1u);
+  EXPECT_EQ(resolve_workers(4, 31, 16), 1u);
+  EXPECT_EQ(resolve_workers(4, 32, 16), 2u);
+  EXPECT_EQ(resolve_workers(4, 64, 16), 4u);
+  EXPECT_EQ(resolve_workers(4, 1000, 16), 4u);  // capped by the request
+  EXPECT_EQ(resolve_workers(1, 1000, 1), 1u);
+  EXPECT_EQ(resolve_workers(-3, 1000, 1), 1u);  // negative clamps to 1
+  EXPECT_EQ(resolve_workers(8, 0, 1), 1u);      // no work, no pool
+  EXPECT_GE(resolve_workers(0, 1 << 20, 1), 1u);  // 0 = hw concurrency
+}
+
+TEST(ChunkCount, IsPureFunctionOfSizeAndGrain) {
+  EXPECT_EQ(chunk_count(0, 8), 0u);
+  EXPECT_EQ(chunk_count(1, 8), 1u);
+  EXPECT_EQ(chunk_count(8, 8), 1u);
+  EXPECT_EQ(chunk_count(9, 8), 2u);
+  EXPECT_EQ(chunk_count(17, 8), 3u);
+  EXPECT_EQ(chunk_count(5, 0), 5u);  // zero grain clamps to 1
+}
+
+TEST(ParallelForChunked, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 0}) {
+    std::vector<std::atomic<int>> hits(103);
+    std::vector<std::atomic<int>> chunk_of(103);
+    parallel_for_chunked(
+        hits.size(), 8, threads,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          EXPECT_LT(begin, end);
+          for (std::size_t i = begin; i < end; ++i) {
+            hits[i].fetch_add(1);
+            chunk_of[i].store(static_cast<int>(chunk));
+          }
+        });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << i << " threads=" << threads;
+      // Chunk boundaries are a pure function of (n, grain), independent of
+      // the thread count.
+      EXPECT_EQ(chunk_of[i].load(), static_cast<int>(i / 8)) << i;
+    }
+  }
+}
+
+TEST(ParallelForChunked, PropagatesTaskExceptions) {
+  EXPECT_THROW(
+      parallel_for_chunked(64, 4, 4,
+                           [](std::size_t chunk, std::size_t, std::size_t) {
+                             if (chunk == 7) {
+                               throw std::runtime_error("chunk failed");
+                             }
+                           }),
+      std::runtime_error);
+}
+
+TEST(ParallelForChunked, EmptyRangeRunsNothing) {
+  int calls = 0;
+  parallel_for_chunked(0, 8, 4,
+                       [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
 }  // namespace
 }  // namespace rainbow::util

@@ -45,8 +45,9 @@ struct CliOptions {
      << "  --dataflow <d>     os | ws | is (default os)\n"
      << "  --per-layer        per-layer table\n"
      << "  --traced           cycle-level fold walk (slow, like SCALE-Sim)\n"
-     << "  --threads <n>      simulate layers in parallel (0 = all cores;\n"
-     << "                     results identical for every thread count)\n"
+     << "  --threads <n>      parallel fold-chunk simulation and trace\n"
+     << "                     shard formatting (0 = all cores; results and\n"
+     << "                     trace bytes identical for every thread count)\n"
      << "  --trace-dir <dir>  write per-layer SRAM trace CSVs\n"
      << "  --trace-rows <n>   cap rows per trace file (0 = unlimited)\n";
   std::exit(code);
@@ -161,15 +162,21 @@ int main(int argc, char** argv) {
     if (opt.trace_dir) {
       std::filesystem::create_directories(*opt.trace_dir);
       count_t total_rows = 0;
+      count_t total_bytes = 0;
       for (std::size_t i = 0; i < net.size(); ++i) {
         const auto path = std::filesystem::path(*opt.trace_dir) /
                           (net.layer(i).name() + "_sram_read.csv");
+        // --threads also drives the writer's shard pipeline; the bytes are
+        // identical for every value.
         const auto info = scalesim::write_sram_trace(
-            net.layer(i), spec, path, {.max_rows = opt.trace_rows});
+            net.layer(i), spec, path,
+            {.max_rows = opt.trace_rows, .threads = opt.threads});
         total_rows += info.rows_written;
+        total_bytes += info.bytes_written;
       }
       std::cout << "  traces:       " << net.size() << " files, "
-                << util::fmt_count(total_rows) << " rows in "
+                << util::fmt_count(total_rows) << " rows ("
+                << util::format_bytes(total_bytes) << ") in "
                 << *opt.trace_dir << '\n';
     }
   } catch (const std::exception& e) {
