@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/checked.hpp"
 #include "util/units.hpp"
 
 namespace rainbow::core {
@@ -10,7 +11,9 @@ namespace rainbow::core {
 namespace {
 
 using model::Layer;
+using util::cadd;
 using util::ceil_div;
+using util::cmul;
 
 /// Number of filter "units" the partial policies block over: 3D filters for
 /// regular convolutions, per-channel filters (== channels) for depthwise.
@@ -28,7 +31,7 @@ count_t stripe_input_rows(const Layer& layer, int stripe) {
   count_t rows = 0;
   for (count_t first = 0; first < oh; first += stripe) {
     const count_t out_rows = std::min<count_t>(stripe, oh - first);
-    rows += (out_rows - 1) * s + fh;
+    rows = cadd(rows, cadd(cmul(out_rows - 1, s), fh));
   }
   return rows;
 }
@@ -93,7 +96,7 @@ TrafficBreakdown Estimator::traffic(const Layer& layer,
               ? 1
               : ceil_div(static_cast<count_t>(layer.filters()),
                          static_cast<count_t>(choice.filter_block));
-      t.ifmap_reads = if_base * reloads;
+      t.ifmap_reads = cmul(if_base, reloads);
       t.filter_reads = layer.filter_elems();
       break;
     }
@@ -112,11 +115,11 @@ TrafficBreakdown Estimator::traffic(const Layer& layer,
       if (!options_.padded_traffic) {
         // Scale the striped row count down by the unpadded/padded ratio so
         // the no-padding ablation stays consistent.
-        rows = rows * layer.ifmap_elems() / layer.padded_ifmap_elems();
+        rows = cmul(rows, layer.ifmap_elems()) / layer.padded_ifmap_elems();
       }
-      t.ifmap_reads = rows * pw * ci * reloads;
+      t.ifmap_reads = cmul(cmul(cmul(rows, pw), ci), reloads);
       // Filters are re-streamed for every ofmap row stripe.
-      t.filter_reads = layer.filter_elems() * stripes;
+      t.filter_reads = cmul(layer.filter_elems(), stripes);
       break;
     }
   }
@@ -125,10 +128,10 @@ TrafficBreakdown Estimator::traffic(const Layer& layer,
   // Batch scaling: activations stream per image; filters amortize when the
   // policy keeps its filter working set resident across the sweep.
   const count_t batch = static_cast<count_t>(options_.batch);
-  t.ifmap_reads *= batch;
-  t.ofmap_writes *= batch;
+  t.ifmap_reads = cmul(t.ifmap_reads, batch);
+  t.ofmap_writes = cmul(t.ofmap_writes, batch);
   if (!filters_amortize_over_batch(choice.policy)) {
-    t.filter_reads *= batch;
+    t.filter_reads = cmul(t.filter_reads, batch);
   }
 
   if (adjust.ifmap_resident) {
@@ -181,40 +184,42 @@ Estimator::Exposure Estimator::exposure(const Layer& layer,
   Exposure e;
   switch (choice.policy) {
     case Policy::kIntraLayer:
-      e.init = ifmap_read_base(layer) + layer.filter_elems();
+      e.init = cadd(ifmap_read_base(layer), layer.filter_elems());
       e.final = layer.ofmap_elems();
       break;
     case Policy::kIfmapReuse:
-      e.init = layer.filter_elems() + fh * pw * ci;
-      e.final = ow * co;
+      e.init = cadd(layer.filter_elems(), cmul(cmul(fh, pw), ci));
+      e.final = cmul(ow, co);
       break;
     case Policy::kFilterReuse:
-      e.init = ifmap_read_base(layer) + layer.single_filter_elems();
-      e.final = oh * ow;
+      e.init = cadd(ifmap_read_base(layer), layer.single_filter_elems());
+      e.final = cmul(oh, ow);
       break;
     case Policy::kPerChannel:
       if (layer.is_depthwise()) {
-        e.init = fh * fw + fh * pw;
-        e.final = oh * ow;
+        e.init = cadd(cmul(fh, fw), cmul(fh, pw));
+        e.final = cmul(oh, ow);
       } else {
-        e.init = fh * fw * nf + fh * pw;
+        e.init = cadd(cmul(cmul(fh, fw), nf), cmul(fh, pw));
         e.final = layer.ofmap_elems();
       }
       break;
     case Policy::kPartialIfmap:
-      e.init = fh * fw * (layer.is_depthwise() ? n : ci * n) +
-               fh * pw * (layer.is_depthwise() ? n : ci);
-      e.final = ow * n;
+      e.init = cadd(cmul(cmul(fh, fw),
+                         layer.is_depthwise() ? n : cmul(ci, n)),
+                    cmul(cmul(fh, pw), layer.is_depthwise() ? n : ci));
+      e.final = cmul(ow, n);
       break;
     case Policy::kPartialPerChannel:
-      e.init = fh * fw * n + fh * pw;
-      e.final = oh * ow * n;
+      e.init = cadd(cmul(cmul(fh, fw), n), cmul(fh, pw));
+      e.final = cmul(cmul(oh, ow), n);
       break;
     case Policy::kFallbackTiled: {
       const count_t r = static_cast<count_t>(choice.row_stripe);
       const count_t s = static_cast<count_t>(layer.stride());
-      e.init = fh * fw * n + ((r - 1) * s + fh) * pw;
-      e.final = r * ow * n;
+      e.init = cadd(cmul(cmul(fh, fw), n),
+                    cmul(cadd(cmul(r - 1, s), fh), pw));
+      e.final = cmul(cmul(r, ow), n);
       break;
     }
   }

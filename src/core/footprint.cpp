@@ -2,11 +2,15 @@
 
 #include <stdexcept>
 
+#include "util/checked.hpp"
+
 namespace rainbow::core {
 
 namespace {
 
 using model::Layer;
+using util::cadd;
+using util::cmul;
 
 void check_filter_block(const Layer& layer, int n) {
   const int max_n = layer.is_depthwise() ? layer.channels() : layer.filters();
@@ -37,11 +41,11 @@ Footprint working_footprint(const Layer& layer, const PolicyChoice& choice) {
     case Policy::kIfmapReuse:
       // Sliding window of F_H rows across all channels; all filters; one
       // ofmap row across all output channels.
-      return {fh * pw * ci, layer.filter_elems(), ow * co};
+      return {cmul(cmul(fh, pw), ci), layer.filter_elems(), cmul(ow, co)};
 
     case Policy::kFilterReuse:
       // Whole ifmap; one 3D filter; one ofmap channel.
-      return {layer.ifmap_elems(), layer.single_filter_elems(), oh * ow};
+      return {layer.ifmap_elems(), layer.single_filter_elems(), cmul(oh, ow)};
 
     case Policy::kPerChannel:
       // One-channel sliding window; one channel of every filter; the whole
@@ -49,9 +53,9 @@ Footprint working_footprint(const Layer& layer, const PolicyChoice& choice) {
       // Depthwise layers have no cross-channel accumulation, so one ofmap
       // channel suffices.
       if (layer.is_depthwise()) {
-        return {fh * pw, fh * fw, oh * ow};
+        return {cmul(fh, pw), cmul(fh, fw), cmul(oh, ow)};
       }
-      return {fh * pw, fh * fw * nf, layer.ofmap_elems()};
+      return {cmul(fh, pw), cmul(cmul(fh, fw), nf), layer.ofmap_elems()};
 
     case Policy::kPartialIfmap:
       // P1 with a block of n filters; ofmap row spans only the block.
@@ -59,14 +63,15 @@ Footprint working_footprint(const Layer& layer, const PolicyChoice& choice) {
       if (layer.is_depthwise()) {
         // Block of n per-channel filters; only those n channels of the
         // window are needed.
-        return {fh * pw * n, fh * fw * n, ow * n};
+        return {cmul(cmul(fh, pw), n), cmul(cmul(fh, fw), n), cmul(ow, n)};
       }
-      return {fh * pw * ci, fh * fw * ci * n, ow * n};
+      return {cmul(cmul(fh, pw), ci), cmul(cmul(cmul(fh, fw), ci), n),
+              cmul(ow, n)};
 
     case Policy::kPartialPerChannel:
       // P3 with a block of n filter channels; ofmap spans only the block.
       check_filter_block(layer, choice.filter_block);
-      return {fh * pw, fh * fw * n, oh * ow * n};
+      return {cmul(fh, pw), cmul(cmul(fh, fw), n), cmul(cmul(oh, ow), n)};
 
     case Policy::kFallbackTiled: {
       // Ofmap row-stripe of height R for a block of n filters, streamed one
@@ -80,8 +85,10 @@ Footprint working_footprint(const Layer& layer, const PolicyChoice& choice) {
             layer.name() + "'");
       }
       const count_t s = static_cast<count_t>(layer.stride());
-      const count_t stripe_rows = (r - 1) * s + fh;  // input rows per stripe
-      return {stripe_rows * pw, fh * fw * n, r * ow * n};
+      // Input rows per stripe.
+      const count_t stripe_rows = cadd(cmul(r - 1, s), fh);
+      return {cmul(stripe_rows, pw), cmul(cmul(fh, fw), n),
+              cmul(cmul(r, ow), n)};
     }
   }
   throw std::logic_error("working_footprint: invalid Policy");

@@ -9,6 +9,7 @@
 
 #include "core/policy.hpp"
 #include "model/layer.hpp"
+#include "util/checked.hpp"
 
 namespace rainbow::core {
 
@@ -18,11 +19,13 @@ struct Footprint {
   count_t filter = 0;
   count_t ofmap = 0;
 
-  [[nodiscard]] count_t total() const { return ifmap + filter + ofmap; }
+  [[nodiscard]] count_t total() const {
+    return util::cadd(util::cadd(ifmap, filter), ofmap);
+  }
 
   /// Eq. 2: double buffering every term for prefetching.
   [[nodiscard]] Footprint doubled() const {
-    return {2 * ifmap, 2 * filter, 2 * ofmap};
+    return {util::cmul(2, ifmap), util::cmul(2, filter), util::cmul(2, ofmap)};
   }
 
   friend bool operator==(const Footprint&, const Footprint&) = default;

@@ -4,7 +4,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/checked.hpp"
 #include "util/thread_pool.hpp"
+#include "validate/plan_validator.hpp"
 
 namespace rainbow::engine {
 
@@ -89,6 +91,20 @@ PlanExecution Engine::execute_plan(const core::ExecutionPlan& plan,
                                    int threads) const {
   if (plan.size() != network.size()) {
     throw std::invalid_argument("Engine::execute_plan: plan/network mismatch");
+  }
+  if (util::runtime_checked()) {
+    // Checked mode: re-derive the plan's structural invariants (footprint
+    // closed forms, Eq. 2 doubling, GLB fit, tiling bounds, inter-layer
+    // links) before replaying it.  Traffic/latency re-derivation is skipped
+    // here because the engine does not know the EstimatorOptions the plan
+    // was produced under.
+    const validate::PlanValidator validator(
+        validate::PlanValidator::structural_only());
+    const validate::ValidationReport report = validator.validate(plan, network);
+    if (!report.ok()) {
+      throw std::runtime_error("Engine::execute_plan: plan fails validation\n" +
+                               report.summary());
+    }
   }
   PlanExecution result;
   result.layers.resize(plan.size());

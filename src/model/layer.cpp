@@ -4,7 +4,11 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/checked.hpp"
+
 namespace rainbow::model {
+
+using util::cmul;
 
 std::string_view to_string(LayerKind kind) {
   switch (kind) {
@@ -99,37 +103,40 @@ int Layer::padded_ifmap_w() const {
 }
 
 count_t Layer::ifmap_elems() const {
-  return static_cast<count_t>(params_.ifmap_h) * params_.ifmap_w *
-         params_.channels;
+  return cmul(cmul(static_cast<count_t>(params_.ifmap_h), params_.ifmap_w),
+              params_.channels);
 }
 
 count_t Layer::padded_ifmap_elems() const {
-  return static_cast<count_t>(padded_ifmap_h()) * padded_ifmap_w() *
-         params_.channels;
+  return cmul(cmul(static_cast<count_t>(padded_ifmap_h()), padded_ifmap_w()),
+              params_.channels);
 }
 
 count_t Layer::filter_elems() const {
-  const count_t per_filter = static_cast<count_t>(params_.filter_h) * params_.filter_w;
+  const count_t per_filter =
+      cmul(static_cast<count_t>(params_.filter_h), params_.filter_w);
   if (is_depthwise()) {
-    return per_filter * params_.channels;
+    return cmul(per_filter, params_.channels);
   }
-  return per_filter * params_.channels * params_.filters;
+  return cmul(cmul(per_filter, params_.channels), params_.filters);
 }
 
 count_t Layer::single_filter_elems() const {
-  const count_t per_filter = static_cast<count_t>(params_.filter_h) * params_.filter_w;
-  return is_depthwise() ? per_filter : per_filter * params_.channels;
+  const count_t per_filter =
+      cmul(static_cast<count_t>(params_.filter_h), params_.filter_w);
+  return is_depthwise() ? per_filter : cmul(per_filter, params_.channels);
 }
 
 count_t Layer::ofmap_elems() const {
-  return static_cast<count_t>(ofmap_h_) * ofmap_w_ * ofmap_channels();
+  return cmul(cmul(static_cast<count_t>(ofmap_h_), ofmap_w_),
+              ofmap_channels());
 }
 
 count_t Layer::macs() const {
-  const count_t per_output = static_cast<count_t>(params_.filter_h) *
-                             params_.filter_w *
-                             (is_depthwise() ? 1 : params_.channels);
-  return ofmap_elems() * per_output;
+  const count_t per_output =
+      cmul(cmul(static_cast<count_t>(params_.filter_h), params_.filter_w),
+           is_depthwise() ? 1 : params_.channels);
+  return cmul(ofmap_elems(), per_output);
 }
 
 std::ostream& operator<<(std::ostream& os, const Layer& layer) {

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/checked.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
@@ -140,7 +141,7 @@ RunResult Simulator::run(const model::Network& network, int threads) const {
   RunResult run;
   run.layers.resize(network.size());
   for_each_index(network.size(), threads, [&](std::size_t i) {
-    run.layers[i] = simulate_layer(network.layer(i));
+    util::at(run.layers, i) = simulate_layer(network.layer(i));
   });
   // Totals are summed in layer order regardless of evaluation schedule.
   for (const LayerResult& r : run.layers) {
@@ -238,9 +239,30 @@ TraceResult Simulator::run_traced(const model::Network& network,
   };
   std::vector<LayerMeta> meta(network.size());
   for_each_index(network.size(), threads, [&](std::size_t i) {
-    meta[i].analytic = simulate_layer(network.layer(i));
-    meta[i].g = fold_geometry(network.layer(i), spec_);
+    util::at(meta, i).analytic = simulate_layer(network.layer(i));
+    util::at(meta, i).g = fold_geometry(network.layer(i), spec_);
   });
+
+  if (util::runtime_checked()) {
+    // Checked mode: re-derive every layer's fold geometry from its ceiling
+    // forms with always-checked arithmetic before walking fold ranges built
+    // on top of it.
+    for (std::size_t i = 0; i < meta.size(); ++i) {
+      const FoldGeometry& g = meta[i].g;
+      const count_t row_folds =
+          util::ceil_div(g.output_rows, static_cast<count_t>(spec_.pe_rows));
+      const count_t col_folds =
+          util::ceil_div(g.output_cols, static_cast<count_t>(spec_.pe_cols));
+      const count_t folds = util::checked_mul(
+          util::checked_mul(row_folds, col_folds), g.channel_groups);
+      if (g.row_folds != row_folds || g.col_folds != col_folds ||
+          g.folds() != folds) {
+        throw std::logic_error(
+            "run_traced: fold geometry of layer " + std::to_string(i) +
+            " disagrees with its ceiling-division forms");
+      }
+    }
+  }
 
   // Phase 2: cut every layer's fold space into fixed-grain chunks and
   // schedule the chunks of all layers together — a layer with thousands of
@@ -262,7 +284,7 @@ TraceResult Simulator::run_traced(const model::Network& network,
   const std::size_t workers = util::resolve_workers(
       threads, chunks.size(), /*min_items_per_worker=*/2);
   const auto walk_chunk = [&](FoldChunk& chunk) {
-    const FoldGeometry& g = meta[chunk.layer].g;
+    const FoldGeometry& g = util::at(meta, chunk.layer).g;
     const count_t span = fold_cycle_span(g, spec_);
     for (count_t f = chunk.fold_begin; f < chunk.fold_end; ++f) {
       const FoldCoord coord = fold_at(g, spec_, f);
@@ -298,7 +320,7 @@ TraceResult Simulator::run_traced(const model::Network& network,
   };
   std::vector<LayerTotals> totals(network.size());
   for (const FoldChunk& chunk : chunks) {
-    LayerTotals& t = totals[chunk.layer];
+    LayerTotals& t = util::at(totals, chunk.layer);
     t.read_events += chunk.read_events;
     t.write_events += chunk.write_events;
     t.cycles += chunk.cycles;

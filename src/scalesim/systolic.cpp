@@ -2,25 +2,29 @@
 
 #include <algorithm>
 
+#include "util/checked.hpp"
 #include "util/units.hpp"
 
 namespace rainbow::scalesim {
 
 using util::ceil_div;
+using util::cmul;
 
 FoldGeometry fold_geometry(const model::Layer& layer,
                            const arch::AcceleratorSpec& spec) {
   FoldGeometry g;
   g.output_rows =
-      static_cast<count_t>(layer.ofmap_h()) * layer.ofmap_w();
+      cmul(static_cast<count_t>(layer.ofmap_h()), layer.ofmap_w());
   if (layer.is_depthwise()) {
     g.output_cols = 1;
-    g.reduction = static_cast<count_t>(layer.filter_h()) * layer.filter_w();
+    g.reduction =
+        cmul(static_cast<count_t>(layer.filter_h()), layer.filter_w());
     g.channel_groups = static_cast<count_t>(layer.channels());
   } else {
     g.output_cols = static_cast<count_t>(layer.filters());
-    g.reduction = static_cast<count_t>(layer.filter_h()) * layer.filter_w() *
-                  layer.channels();
+    g.reduction = cmul(cmul(static_cast<count_t>(layer.filter_h()),
+                            layer.filter_w()),
+                       layer.channels());
     g.channel_groups = 1;
   }
   g.row_folds = ceil_div(g.output_rows, static_cast<count_t>(spec.pe_rows));
@@ -46,9 +50,7 @@ FoldCoord fold_at(const FoldGeometry& g, const arch::AcceleratorSpec& spec,
 count_t compute_cycles(const model::Layer& layer,
                        const arch::AcceleratorSpec& spec) {
   const FoldGeometry g = fold_geometry(layer, spec);
-  const count_t fill_drain =
-      2 * static_cast<count_t>(spec.pe_rows) - 2;
-  return g.folds() * (g.reduction + fill_drain);
+  return cmul(g.folds(), fold_cycle_span(g, spec));
 }
 
 double utilization(const model::Layer& layer,

@@ -9,6 +9,7 @@
 
 #include "arch/accelerator.hpp"
 #include "model/layer.hpp"
+#include "util/checked.hpp"
 
 namespace rainbow::scalesim {
 
@@ -22,7 +23,7 @@ struct FoldGeometry {
   count_t col_folds = 0;
 
   [[nodiscard]] count_t folds() const {
-    return row_folds * col_folds * channel_groups;
+    return util::cmul(util::cmul(row_folds, col_folds), channel_groups);
   }
 };
 
@@ -52,7 +53,7 @@ struct FoldCoord {
 /// i * fold_cycle_span(...) — the closed form behind chunked walks.
 [[nodiscard]] constexpr count_t fold_cycle_span(
     const FoldGeometry& g, const arch::AcceleratorSpec& spec) {
-  return g.reduction + 2 * static_cast<count_t>(spec.pe_rows) - 2;
+  return util::cadd(g.reduction, 2 * static_cast<count_t>(spec.pe_rows) - 2);
 }
 
 /// Zero-stall compute cycles for one layer: folds x (T + 2*dim - 2).

@@ -1,0 +1,28 @@
+#include "util/checked.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace rainbow::util {
+
+void throw_overflow(const char* op, count_t a, count_t b) {
+  throw OverflowError("u64 " + std::string(op) + " overflow: " +
+                      std::to_string(a) + " and " + std::to_string(b));
+}
+
+bool checked_env_enabled(const char* value) {
+  if (value == nullptr) {
+    return false;
+  }
+  const std::string_view v(value);
+  return !(v.empty() || v == "0" || v == "off" || v == "OFF" || v == "no" ||
+           v == "false" || v == "FALSE");
+}
+
+bool runtime_checked() {
+  static const bool enabled =
+      kCheckedBuild || checked_env_enabled(std::getenv("RAINBOW_CHECKED"));
+  return enabled;
+}
+
+}  // namespace rainbow::util

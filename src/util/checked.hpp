@@ -1,0 +1,101 @@
+// Overflow-checked integer arithmetic and bounds-checked element access.
+//
+// Two tiers share one vocabulary:
+//  * checked_mul / checked_add always detect u64 wraparound and throw
+//    OverflowError — the validator's cold-path re-derivations use these so a
+//    plan whose closed forms wrap reports a diagnostic instead of a bogus
+//    number.
+//  * cmul / cadd / at are checked only in RAINBOW_CHECKED builds and compile
+//    to the plain operation otherwise — the footprint / estimator / systolic
+//    hot paths use these, so unchecked builds are bit-identical to the seed
+//    while checked builds trap wraparound and out-of-range access at the
+//    faulting site.
+//
+// The runtime side of the mode: runtime_checked() is true in RAINBOW_CHECKED
+// builds and when the RAINBOW_CHECKED environment variable is set to a
+// truthy value.  Entry points (engine plan replay, traced simulation) gate
+// their invariant re-validation on it.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace rainbow::util {
+
+#ifdef RAINBOW_CHECKED
+inline constexpr bool kCheckedBuild = true;
+#else
+inline constexpr bool kCheckedBuild = false;
+#endif
+
+/// Thrown when a checked operation would wrap a 64-bit counter.
+class OverflowError : public std::overflow_error {
+ public:
+  using std::overflow_error::overflow_error;
+};
+
+[[noreturn]] void throw_overflow(const char* op, count_t a, count_t b);
+
+/// a * b, throwing OverflowError on u64 wraparound.  Always checked.
+[[nodiscard]] constexpr count_t checked_mul(count_t a, count_t b) {
+  count_t result = 0;
+  if (__builtin_mul_overflow(a, b, &result)) {
+    throw_overflow("multiply", a, b);
+  }
+  return result;
+}
+
+/// a + b, throwing OverflowError on u64 wraparound.  Always checked.
+[[nodiscard]] constexpr count_t checked_add(count_t a, count_t b) {
+  count_t result = 0;
+  if (__builtin_add_overflow(a, b, &result)) {
+    throw_overflow("add", a, b);
+  }
+  return result;
+}
+
+/// Hot-path multiply: checked in RAINBOW_CHECKED builds, plain otherwise.
+[[nodiscard]] constexpr count_t cmul(count_t a, count_t b) {
+  if constexpr (kCheckedBuild) {
+    return checked_mul(a, b);
+  } else {
+    return a * b;
+  }
+}
+
+/// Hot-path add: checked in RAINBOW_CHECKED builds, plain otherwise.
+[[nodiscard]] constexpr count_t cadd(count_t a, count_t b) {
+  if constexpr (kCheckedBuild) {
+    return checked_add(a, b);
+  } else {
+    return a + b;
+  }
+}
+
+/// Element access: bounds-checked in RAINBOW_CHECKED builds (throwing
+/// std::out_of_range with the offending index), operator[] otherwise.
+template <typename Container>
+[[nodiscard]] inline decltype(auto) at(Container&& container, std::size_t i) {
+  if constexpr (kCheckedBuild) {
+    if (i >= container.size()) {
+      throw std::out_of_range("checked access: index " + std::to_string(i) +
+                              " past size " +
+                              std::to_string(container.size()));
+    }
+  }
+  return container[i];
+}
+
+/// Parses a RAINBOW_CHECKED-style environment value: unset/empty/"0"/"off"/
+/// "false"/"no" disable, anything else enables.  Exposed for tests.
+[[nodiscard]] bool checked_env_enabled(const char* value);
+
+/// True when invariant re-validation should run at entry points: compiled
+/// with RAINBOW_CHECKED, or RAINBOW_CHECKED=1 in the environment (read
+/// once).
+[[nodiscard]] bool runtime_checked();
+
+}  // namespace rainbow::util

@@ -1,0 +1,159 @@
+#include "validate/diagnostics.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rainbow::validate {
+
+std::string_view code_string(Code code) {
+  switch (code) {
+    case Code::kSpecInvalid:          return "V001";
+    case Code::kLayerIndexMismatch:   return "V002";
+    case Code::kTileOutOfRange:       return "V003";
+    case Code::kFootprintMismatch:    return "V004";
+    case Code::kPrefetchDoubling:     return "V005";
+    case Code::kGlbOverflow:          return "V006";
+    case Code::kFeasibilityFlag:      return "V007";
+    case Code::kFoldCountMismatch:    return "V008";
+    case Code::kTrafficMismatch:      return "V009";
+    case Code::kLatencyMismatch:      return "V010";
+    case Code::kInterlayerBroken:     return "V011";
+    case Code::kInterlayerWindow:     return "V012";
+    case Code::kFoldGeometryMismatch: return "V013";
+    case Code::kArithmeticOverflow:   return "V014";
+    case Code::kModelParse:           return "L001";
+    case Code::kModelShape:           return "L002";
+    case Code::kModelDivisibility:    return "L003";
+    case Code::kModelTrunkMismatch:   return "L004";
+    case Code::kModelOverflow:        return "L005";
+    case Code::kPlanParse:            return "L006";
+    case Code::kPlanRange:            return "L007";
+    case Code::kSpecSanity:           return "L008";
+  }
+  throw std::logic_error("code_string: invalid Code");
+}
+
+std::string_view code_description(Code code) {
+  switch (code) {
+    case Code::kSpecInvalid:
+      return "accelerator spec fails validation";
+    case Code::kLayerIndexMismatch:
+      return "plan assignments disagree with the network's layer order";
+    case Code::kTileOutOfRange:
+      return "tiling parameter outside the layer's bounds";
+    case Code::kFootprintMismatch:
+      return "stored footprint differs from the policy closed form";
+    case Code::kPrefetchDoubling:
+      return "prefetch footprint violates Eq. 2 double buffering";
+    case Code::kGlbOverflow:
+      return "on-chip footprint exceeds the GLB capacity";
+    case Code::kFeasibilityFlag:
+      return "plan stores an estimate marked infeasible";
+    case Code::kFoldCountMismatch:
+      return "reload/stripe count differs from its ceiling-division form";
+    case Code::kTrafficMismatch:
+      return "off-chip traffic differs from the policy closed form";
+    case Code::kLatencyMismatch:
+      return "latency or compute cycles differ from the closed form";
+    case Code::kInterlayerBroken:
+      return "inter-layer reuse link flags are inconsistent";
+    case Code::kInterlayerWindow:
+      return "resident reuse window differs from the consumer's ifmap";
+    case Code::kFoldGeometryMismatch:
+      return "systolic fold geometry differs from its ceiling forms";
+    case Code::kArithmeticOverflow:
+      return "closed form overflows 64-bit arithmetic";
+    case Code::kModelParse:
+      return "model file is malformed";
+    case Code::kModelShape:
+      return "layer shape is non-positive or inconsistent";
+    case Code::kModelDivisibility:
+      return "layer dims leave partial systolic folds";
+    case Code::kModelTrunkMismatch:
+      return "trunk boundary dimensions are discontinuous";
+    case Code::kModelOverflow:
+      return "layer shape overflows 64-bit closed forms";
+    case Code::kPlanParse:
+      return "plan file is malformed";
+    case Code::kPlanRange:
+      return "plan decision out of range for its layer";
+    case Code::kSpecSanity:
+      return "accelerator configuration invalid or suspicious";
+  }
+  throw std::logic_error("code_description: invalid Code");
+}
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+  }
+  throw std::logic_error("to_string: invalid Severity");
+}
+
+std::string Diagnostic::message() const {
+  std::ostringstream os;
+  os << '[' << code_string(code) << "][" << to_string(severity) << ']';
+  if (layer) {
+    os << " layer " << *layer;
+  }
+  if (!context.empty()) {
+    os << (layer ? " (" : " ") << context << (layer ? ")" : "");
+  }
+  os << ": " << (detail.empty() ? code_description(code) : detail);
+  if (!expected.empty() || !actual.empty()) {
+    os << " (expected " << (expected.empty() ? "-" : expected) << ", actual "
+       << (actual.empty() ? "-" : actual) << ')';
+  }
+  return os.str();
+}
+
+void ValidationReport::add(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::kError) {
+    ++errors_;
+  }
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+bool ValidationReport::has(Code code) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t ValidationReport::count(Code code) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void ValidationReport::merge(const ValidationReport& other) {
+  for (const Diagnostic& d : other.diagnostics_) {
+    add(d);
+  }
+}
+
+std::string ValidationReport::summary() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) {
+    os << d.message() << '\n';
+  }
+  os << error_count() << " error(s), " << warning_count() << " warning(s)";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ValidationReport& report) {
+  return os << report.summary();
+}
+
+}  // namespace rainbow::validate

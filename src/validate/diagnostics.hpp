@@ -1,0 +1,106 @@
+// Structured diagnostics for the invariant-checking layer (PlanValidator)
+// and the static linter (rainbow_lint).  A diagnostic carries a stable code
+// ("V006", "L002"), a severity, the layer (or input line) it anchors to,
+// and the expected-vs-actual values, so callers and tests can assert on the
+// precise invariant that failed instead of parsing prose.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rainbow::validate {
+
+/// Every invariant / lint rule the validation layer can report.
+/// V0xx: plan invariants re-derived from the paper's closed forms.
+/// L0xx: static lint rules over model files, plan files, and specs.
+enum class Code {
+  // Plan validator.
+  kSpecInvalid,          ///< V001: accelerator spec fails its own validation
+  kLayerIndexMismatch,   ///< V002: assignment order / count disagrees with net
+  kTileOutOfRange,       ///< V003: filter block / row stripe outside bounds
+  kFootprintMismatch,    ///< V004: stored footprint != re-derived closed form
+  kPrefetchDoubling,     ///< V005: Eq. 2 double-buffering violated
+  kGlbOverflow,          ///< V006: footprint exceeds the GLB capacity
+  kFeasibilityFlag,      ///< V007: plan stores an infeasible estimate
+  kFoldCountMismatch,    ///< V008: reload/stripe count != ceil(F#/n), ceil(OH/R)
+  kTrafficMismatch,      ///< V009: off-chip traffic != policy closed form
+  kLatencyMismatch,      ///< V010: latency/compute cycles != closed form
+  kInterlayerBroken,     ///< V011: reuse link flags structurally inconsistent
+  kInterlayerWindow,     ///< V012: resident window != consumer ifmap volume
+  kFoldGeometryMismatch, ///< V013: systolic fold counts != ceil-division forms
+  kArithmeticOverflow,   ///< V014: a closed form wraps 64-bit arithmetic
+  // Linter.
+  kModelParse,           ///< L001: model file malformed (CSV / integer / header)
+  kModelShape,           ///< L002: non-positive or inconsistent layer shape
+  kModelDivisibility,    ///< L003: dims leave partial systolic folds (waste)
+  kModelTrunkMismatch,   ///< L004: trunk boundary dims discontinuous
+  kModelOverflow,        ///< L005: layer shape overflows 64-bit closed forms
+  kPlanParse,            ///< L006: plan file malformed
+  kPlanRange,            ///< L007: plan decision out of range for its layer
+  kSpecSanity,           ///< L008: accelerator config invalid or suspicious
+};
+
+/// Stable short code ("V006") used in output and asserted on by tests.
+[[nodiscard]] std::string_view code_string(Code code);
+
+/// One-line human description of the rule behind a code.
+[[nodiscard]] std::string_view code_description(Code code);
+
+enum class Severity { kError, kWarning };
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+struct Diagnostic {
+  Code code = Code::kSpecInvalid;
+  Severity severity = Severity::kError;
+  /// Layer index (validator) or 1-based input line (linter), when anchored.
+  std::optional<std::size_t> layer;
+  std::string context;   ///< layer name, file, or field the finding is about
+  std::string expected;  ///< value the invariant requires (may be empty)
+  std::string actual;    ///< value observed (may be empty)
+  std::string detail;    ///< one-sentence explanation
+
+  /// "[V006][error] layer 3 (conv2_1): footprint exceeds GLB
+  ///  (expected <= 65536, actual 131072)"
+  [[nodiscard]] std::string message() const;
+};
+
+/// Ordered collection of diagnostics with error/warning accounting.
+class ValidationReport {
+ public:
+  void add(Diagnostic diagnostic);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] std::size_t error_count() const { return errors_; }
+  [[nodiscard]] std::size_t warning_count() const {
+    return diagnostics_.size() - errors_;
+  }
+  /// True when no *errors* were recorded (warnings allowed).
+  [[nodiscard]] bool ok() const { return errors_ == 0; }
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+
+  /// True when any diagnostic (of either severity) carries `code`.
+  [[nodiscard]] bool has(Code code) const;
+  /// Number of diagnostics carrying `code`.
+  [[nodiscard]] std::size_t count(Code code) const;
+
+  /// Appends another report's diagnostics (used by multi-input lint runs).
+  void merge(const ValidationReport& other);
+
+  /// All messages, one per line, followed by an error/warning tally.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t errors_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const ValidationReport& report);
+
+}  // namespace rainbow::validate

@@ -1,0 +1,544 @@
+#include "validate/lint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "util/checked.hpp"
+#include "util/csv.hpp"
+
+namespace rainbow::validate {
+
+namespace {
+
+using util::checked_mul;
+
+Diagnostic line_diag(Code code, Severity severity, std::size_t line_no,
+                     std::string context, std::string expected,
+                     std::string actual, std::string detail) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.layer = line_no;
+  d.context = std::move(context);
+  d.expected = std::move(expected);
+  d.actual = std::move(actual);
+  d.detail = std::move(detail);
+  return d;
+}
+
+std::optional<long long> parse_integer(const std::string& field) {
+  try {
+    std::size_t consumed = 0;
+    const long long value = std::stoll(field, &consumed);
+    if (consumed != field.size()) {
+      return std::nullopt;
+    }
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Iterates the content lines of a file (comments stripped, blanks
+/// skipped), calling fn(line_no, fields).
+template <typename Fn>
+void for_each_row(const std::string& text, Fn&& fn) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) {
+      continue;
+    }
+    fn(line_no, util::split_csv_line(line));
+  }
+}
+
+std::string read_file(const std::filesystem::path& path, const char* what) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error(std::string(what) + ": cannot open " +
+                             path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Output dims of one linted model row, kept so later rows can check trunk
+/// continuity; nullopt when the row was too broken to derive them.
+struct RowDims {
+  long long ofmap_h = 0;
+  long long ofmap_w = 0;
+  long long ofmap_c = 0;
+};
+
+}  // namespace
+
+ValidationReport lint_model_text(const std::string& text,
+                                 const LintOptions& options) {
+  ValidationReport report;
+  bool saw_header = false;
+  std::vector<std::optional<RowDims>> outputs;  // one per layer row
+
+  for_each_row(text, [&](std::size_t line_no,
+                         const std::vector<std::string>& fields) {
+    if (!saw_header) {
+      saw_header = true;
+      if (fields.size() != 2 || fields[0] != "network") {
+        report.add(line_diag(Code::kModelParse, Severity::kError, line_no,
+                             "header", "network, <name>",
+                             fields.empty() ? "" : fields[0],
+                             "model files start with a 'network' header"));
+      }
+      return;
+    }
+    outputs.emplace_back();  // filled in below when the row checks out
+    if (fields.size() != 10 && fields.size() != 11) {
+      report.add(line_diag(Code::kModelParse, Severity::kError, line_no,
+                           "field count", "10 or 11",
+                           std::to_string(fields.size()),
+                           "layer rows are kind, name, I_H, I_W, C_I, F_H, "
+                           "F_W, F#, S, P [, producer]"));
+      return;
+    }
+
+    bool kind_ok = true;
+    model::LayerKind kind = model::LayerKind::kConv;
+    try {
+      kind = model::layer_kind_from_string(fields[0]);
+    } catch (const std::exception&) {
+      kind_ok = false;
+      report.add(line_diag(Code::kModelParse, Severity::kError, line_no,
+                           "kind", "CV/DW/PW/FC/PL", fields[0],
+                           "unknown layer kind"));
+    }
+
+    static constexpr const char* kInts[] = {"I_H", "I_W", "C_I", "F_H",
+                                            "F_W", "F#",  "S",   "P"};
+    long long v[8] = {};
+    bool ints_ok = true;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const auto parsed = parse_integer(fields[i + 2]);
+      if (!parsed) {
+        ints_ok = false;
+        report.add(line_diag(Code::kModelParse, Severity::kError, line_no,
+                             kInts[i], "integer", fields[i + 2],
+                             "non-integer field"));
+      } else {
+        v[i] = *parsed;
+      }
+    }
+    if (!ints_ok || !kind_ok) {
+      return;
+    }
+    const long long ih = v[0], iw = v[1], ci = v[2], fh = v[3], fw = v[4],
+                    nf = v[5], s = v[6], p = v[7];
+    const std::string& name = fields[1];
+
+    bool shape_ok = true;
+    auto shape_error = [&](std::string expected, std::string actual,
+                           std::string detail) {
+      shape_ok = false;
+      report.add(line_diag(Code::kModelShape, Severity::kError, line_no, name,
+                           std::move(expected), std::move(actual),
+                           std::move(detail)));
+    };
+    static constexpr const char* kPositive[] = {"I_H", "I_W", "C_I", "F_H",
+                                                "F_W", "F#",  "S"};
+    for (std::size_t i = 0; i < 7; ++i) {
+      if (v[i] <= 0) {
+        shape_error("> 0", std::to_string(v[i]),
+                    std::string(kPositive[i]) + " must be positive");
+      }
+    }
+    if (p < 0) {
+      shape_error(">= 0", std::to_string(p), "P must be non-negative");
+    }
+    if (shape_ok && kind == model::LayerKind::kDepthwise && nf != ci) {
+      shape_error("F# == C_I (" + std::to_string(ci) + ")",
+                  std::to_string(nf),
+                  "depthwise layers require filters == channels");
+    }
+    if (shape_ok &&
+        (kind == model::LayerKind::kPointwise ||
+         kind == model::LayerKind::kProjection ||
+         kind == model::LayerKind::kFullyConnected) &&
+        (fh != 1 || fw != 1)) {
+      shape_error("1x1", std::to_string(fh) + "x" + std::to_string(fw),
+                  "PW/PL/FC layers require a 1x1 filter");
+    }
+    if (shape_ok && (ih + 2 * p < fh || iw + 2 * p < fw)) {
+      shape_error("filter within padded input",
+                  std::to_string(fh) + "x" + std::to_string(fw) + " on " +
+                      std::to_string(ih + 2 * p) + "x" +
+                      std::to_string(iw + 2 * p),
+                  "filter exceeds the padded input extent");
+    }
+    if (fields.size() == 11) {
+      const auto producer = parse_integer(fields[10]);
+      if (!producer) {
+        report.add(line_diag(Code::kModelParse, Severity::kError, line_no,
+                             "producer", "integer", fields[10],
+                             "non-integer producer index"));
+      } else if (*producer < 0 ||
+                 static_cast<std::size_t>(*producer) + 1 >= outputs.size()) {
+        shape_error("earlier layer index", fields[10],
+                    "producer must reference an earlier layer");
+      }
+    }
+    if (!shape_ok) {
+      return;
+    }
+
+    const long long oh = (ih + 2 * p - fh) / s + 1;
+    const long long ow = (iw + 2 * p - fw) / s + 1;
+    const long long co = kind == model::LayerKind::kDepthwise ? ci : nf;
+    outputs.back() = RowDims{oh, ow, co};
+
+    // L005: the closed forms every estimator path computes must stay within
+    // uint64.  Mirror the Layer accessors with checked multiplication.
+    try {
+      const count_t uoh = static_cast<count_t>(oh);
+      const count_t uow = static_cast<count_t>(ow);
+      const count_t ufh = static_cast<count_t>(fh);
+      const count_t ufw = static_cast<count_t>(fw);
+      const count_t uci = static_cast<count_t>(ci);
+      (void)checked_mul(checked_mul(static_cast<count_t>(ih),
+                                    static_cast<count_t>(iw)),
+                        uci);
+      const count_t per_filter = checked_mul(ufh, ufw);
+      (void)(kind == model::LayerKind::kDepthwise
+                 ? checked_mul(per_filter, uci)
+                 : checked_mul(checked_mul(per_filter, uci),
+                               static_cast<count_t>(nf)));
+      const count_t ofmap = checked_mul(checked_mul(uoh, uow),
+                                        static_cast<count_t>(co));
+      (void)checked_mul(
+          ofmap, checked_mul(per_filter,
+                             kind == model::LayerKind::kDepthwise ? 1 : uci));
+    } catch (const util::OverflowError& e) {
+      report.add(line_diag(Code::kModelOverflow, Severity::kError, line_no,
+                           name, "volumes within uint64", "overflow",
+                           e.what()));
+      return;
+    }
+
+    // L003 (advisory): partial systolic folds.  The array processes
+    // pe_rows x pe_cols tiles of the im2col GEMM; a remainder fold under
+    // half occupancy wastes cycles (depthwise's single-column mapping is
+    // structural, not a model bug, so only its row dimension is checked).
+    const long long pe_rows = options.spec.pe_rows;
+    const long long pe_cols = options.spec.pe_cols;
+    const long long out_rows = oh * ow;
+    const long long row_rem = out_rows % pe_rows;
+    if (row_rem != 0 && row_rem < (pe_rows + 1) / 2) {
+      report.add(line_diag(Code::kModelDivisibility, Severity::kWarning,
+                           line_no, name,
+                           "O_H*O_W a multiple of " + std::to_string(pe_rows),
+                           std::to_string(out_rows),
+                           "last row fold uses " + std::to_string(row_rem) +
+                               " of " + std::to_string(pe_rows) +
+                               " array rows"));
+    }
+    if (kind != model::LayerKind::kDepthwise) {
+      const long long col_rem = nf % pe_cols;
+      if (col_rem != 0 && col_rem < (pe_cols + 1) / 2) {
+        report.add(line_diag(Code::kModelDivisibility, Severity::kWarning,
+                             line_no, name,
+                             "F# a multiple of " + std::to_string(pe_cols),
+                             std::to_string(nf),
+                             "last column fold uses " +
+                                 std::to_string(col_rem) + " of " +
+                                 std::to_string(pe_cols) +
+                                 " array columns"));
+      }
+    }
+
+    // L004 (advisory): trunk continuity.  The consumed input should match
+    // the producer's output; a mismatch usually marks an implicit pooling /
+    // resize step that the estimators never see.
+    std::optional<RowDims> producer_dims;
+    if (fields.size() == 11) {
+      const auto producer = parse_integer(fields[10]);
+      if (producer && *producer >= 0 &&
+          static_cast<std::size_t>(*producer) + 1 < outputs.size()) {
+        producer_dims = outputs[static_cast<std::size_t>(*producer)];
+      }
+    } else if (outputs.size() >= 2) {
+      producer_dims = outputs[outputs.size() - 2];
+    }
+    if (producer_dims &&
+        (producer_dims->ofmap_h != ih || producer_dims->ofmap_w != iw ||
+         producer_dims->ofmap_c != ci)) {
+      report.add(line_diag(
+          Code::kModelTrunkMismatch, Severity::kWarning, line_no, name,
+          std::to_string(producer_dims->ofmap_h) + "x" +
+              std::to_string(producer_dims->ofmap_w) + "x" +
+              std::to_string(producer_dims->ofmap_c),
+          std::to_string(ih) + "x" + std::to_string(iw) + "x" +
+              std::to_string(ci),
+          "ifmap differs from the producer's ofmap (implicit pooling or "
+          "resize between layers)"));
+    }
+  });
+
+  if (!saw_header) {
+    Diagnostic d;
+    d.code = Code::kModelParse;
+    d.context = "header";
+    d.expected = "network, <name>";
+    d.detail = "file has no content lines";
+    report.add(std::move(d));
+  }
+  return report;
+}
+
+ValidationReport lint_model_file(const std::filesystem::path& path,
+                                 const LintOptions& options) {
+  return lint_model_text(read_file(path, "lint_model_file"), options);
+}
+
+ValidationReport lint_plan_text(const std::string& text,
+                                const model::Network* network,
+                                const LintOptions& options) {
+  ValidationReport report;
+  bool saw_header = false;
+  std::size_t rows = 0;
+  long long expected_index = 0;
+
+  for_each_row(text, [&](std::size_t line_no,
+                         const std::vector<std::string>& fields) {
+    if (!saw_header) {
+      saw_header = true;
+      if (fields.size() != 5 || fields[0] != "plan") {
+        report.add(line_diag(Code::kPlanParse, Severity::kError, line_no,
+                             "header",
+                             "plan, <model>, <glb_bytes>, <width_bits>, "
+                             "<objective>",
+                             fields.empty() ? "" : fields[0],
+                             "plan files start with a 'plan' header"));
+        return;
+      }
+      const auto glb = parse_integer(fields[2]);
+      const auto width = parse_integer(fields[3]);
+      if (!glb || *glb <= 0) {
+        report.add(line_diag(Code::kPlanParse, Severity::kError, line_no,
+                             "glb_bytes", "positive integer", fields[2],
+                             "bad GLB size"));
+      }
+      if (!width || *width <= 0) {
+        report.add(line_diag(Code::kPlanParse, Severity::kError, line_no,
+                             "width_bits", "positive integer", fields[3],
+                             "bad data width"));
+      }
+      if (fields[4] != "accesses" && fields[4] != "latency") {
+        report.add(line_diag(Code::kPlanParse, Severity::kError, line_no,
+                             "objective", "accesses | latency", fields[4],
+                             "unknown objective"));
+      }
+      if (glb && *glb > 0 && width && *width > 0) {
+        arch::AcceleratorSpec spec = options.spec;
+        spec.glb_bytes = static_cast<count_t>(*glb);
+        spec.data_width_bits = static_cast<int>(*width);
+        report.merge(lint_spec(spec));
+      }
+      if (network && fields[1] != network->name()) {
+        report.add(line_diag(Code::kPlanRange, Severity::kError, line_no,
+                             "model", network->name(), fields[1],
+                             "plan is for a different model"));
+      }
+      return;
+    }
+
+    ++rows;
+    if (fields.size() != 7) {
+      report.add(line_diag(Code::kPlanParse, Severity::kError, line_no,
+                           "field count", "7", std::to_string(fields.size()),
+                           "decision rows are index, policy, prefetch, "
+                           "filter_block, row_stripe, ifmap_from_glb, "
+                           "ofmap_stays"));
+      return;
+    }
+
+    bool policy_ok = true;
+    core::Policy policy = core::Policy::kIntraLayer;
+    try {
+      policy = core::policy_from_short_label(fields[1]);
+    } catch (const std::exception&) {
+      policy_ok = false;
+      report.add(line_diag(Code::kPlanParse, Severity::kError, line_no,
+                           "policy", "intra/p1..p5/tiled", fields[1],
+                           "unknown policy label"));
+    }
+
+    static constexpr const char* kCols[] = {"index", nullptr, "prefetch",
+                                            "filter_block", "row_stripe",
+                                            "ifmap_from_glb", "ofmap_stays"};
+    long long v[7] = {};
+    bool ints_ok = true;
+    for (std::size_t i = 0; i < 7; ++i) {
+      if (i == 1) {
+        continue;
+      }
+      const auto parsed = parse_integer(fields[i]);
+      if (!parsed) {
+        ints_ok = false;
+        report.add(line_diag(Code::kPlanParse, Severity::kError, line_no,
+                             kCols[i], "integer", fields[i],
+                             "non-integer field"));
+      } else {
+        v[i] = *parsed;
+      }
+    }
+    if (!ints_ok || !policy_ok) {
+      return;
+    }
+
+    if (v[0] != expected_index) {
+      report.add(line_diag(Code::kPlanRange, Severity::kError, line_no,
+                           "index", std::to_string(expected_index),
+                           std::to_string(v[0]),
+                           "decisions must be in layer order"));
+    }
+    expected_index = v[0] + 1;
+
+    for (std::size_t i : {std::size_t{2}, std::size_t{5}, std::size_t{6}}) {
+      if (v[i] != 0 && v[i] != 1) {
+        report.add(line_diag(Code::kPlanRange, Severity::kWarning, line_no,
+                             kCols[i], "0 or 1", std::to_string(v[i]),
+                             "flag treated as boolean"));
+      }
+    }
+    if (v[3] < 1) {
+      report.add(line_diag(Code::kPlanRange, Severity::kError, line_no,
+                           "filter_block", ">= 1", std::to_string(v[3]),
+                           "filter block must be positive"));
+    }
+    const bool tiled = policy == core::Policy::kFallbackTiled;
+    if (v[4] < (tiled ? 1 : 0)) {
+      report.add(line_diag(Code::kPlanRange, Severity::kError, line_no,
+                           "row_stripe", tiled ? ">= 1" : ">= 0",
+                           std::to_string(v[4]),
+                           "row stripe out of range"));
+    }
+
+    if (network && v[0] >= 0 &&
+        static_cast<std::size_t>(v[0]) < network->size()) {
+      const model::Layer& layer =
+          network->layer(static_cast<std::size_t>(v[0]));
+      const long long units =
+          layer.is_depthwise() ? layer.channels() : layer.filters();
+      const bool blocked = policy == core::Policy::kPartialIfmap ||
+                           policy == core::Policy::kPartialPerChannel ||
+                           tiled;
+      if (blocked && v[3] > units) {
+        report.add(line_diag(Code::kPlanRange, Severity::kError, line_no,
+                             layer.name(), "<= " + std::to_string(units),
+                             std::to_string(v[3]),
+                             "filter block exceeds the layer's filter "
+                             "units"));
+      }
+      if (tiled && v[4] > layer.ofmap_h()) {
+        report.add(line_diag(Code::kPlanRange, Severity::kError, line_no,
+                             layer.name(),
+                             "<= " + std::to_string(layer.ofmap_h()),
+                             std::to_string(v[4]),
+                             "row stripe exceeds the layer's ofmap "
+                             "height"));
+      }
+    } else if (network && v[0] >= 0) {
+      report.add(line_diag(Code::kPlanRange, Severity::kError, line_no,
+                           "index",
+                           "< " + std::to_string(network->size()),
+                           std::to_string(v[0]),
+                           "decision references a layer the network does "
+                           "not have"));
+    }
+  });
+
+  if (!saw_header) {
+    Diagnostic d;
+    d.code = Code::kPlanParse;
+    d.context = "header";
+    d.expected = "plan, <model>, <glb_bytes>, <width_bits>, <objective>";
+    d.detail = "file has no content lines";
+    report.add(std::move(d));
+  } else if (network && rows != network->size()) {
+    Diagnostic d;
+    d.code = Code::kPlanRange;
+    d.context = network->name();
+    d.expected = std::to_string(network->size()) + " decisions";
+    d.actual = std::to_string(rows);
+    d.detail = "plan covers a different number of layers than the network";
+    report.add(std::move(d));
+  }
+  return report;
+}
+
+ValidationReport lint_plan_file(const std::filesystem::path& path,
+                                const model::Network* network,
+                                const LintOptions& options) {
+  return lint_plan_text(read_file(path, "lint_plan_file"), network, options);
+}
+
+ValidationReport lint_spec(const arch::AcceleratorSpec& spec) {
+  ValidationReport report;
+  try {
+    spec.validate();
+  } catch (const std::invalid_argument& e) {
+    Diagnostic d;
+    d.code = Code::kSpecSanity;
+    d.context = "accelerator spec";
+    d.detail = e.what();
+    report.add(std::move(d));
+    return report;
+  }
+  auto warn = [&](std::string context, std::string expected,
+                  std::string actual, std::string detail) {
+    Diagnostic d;
+    d.code = Code::kSpecSanity;
+    d.severity = Severity::kWarning;
+    d.context = std::move(context);
+    d.expected = std::move(expected);
+    d.actual = std::move(actual);
+    d.detail = std::move(detail);
+    report.add(std::move(d));
+  };
+  if (spec.sram_bytes_per_cycle < 0.0) {
+    Diagnostic d;
+    d.code = Code::kSpecSanity;
+    d.context = "sram_bytes_per_cycle";
+    d.expected = ">= 0";
+    d.actual = std::to_string(spec.sram_bytes_per_cycle);
+    d.detail = "negative on-chip bandwidth";
+    report.add(std::move(d));
+  }
+  if (spec.glb_bytes % spec.element_bytes() != 0) {
+    warn("glb_bytes",
+         "multiple of " + std::to_string(spec.element_bytes()) + " bytes",
+         std::to_string(spec.glb_bytes),
+         "capacity truncates to whole elements");
+  }
+  if (spec.glb_bytes < util::kib(64) || spec.glb_bytes > util::kib(1024)) {
+    warn("glb_bytes", "64 kB .. 1024 kB (the paper's swept range)",
+         std::to_string(spec.glb_bytes), "GLB outside the evaluated range");
+  }
+  if (spec.data_width_bits != 8 && spec.data_width_bits != 16 &&
+      spec.data_width_bits != 32) {
+    warn("data_width_bits", "8, 16, or 32",
+         std::to_string(spec.data_width_bits), "unusual element width");
+  }
+  return report;
+}
+
+}  // namespace rainbow::validate

@@ -1,0 +1,60 @@
+// Static lint for the repository's on-disk artifacts: model zoo files, plan
+// files, and accelerator configurations.  Unlike PlanValidator, nothing here
+// runs the planner or estimator — every check is a raw scan of the text (so
+// a malformed file yields *all* of its findings, line-numbered, instead of
+// the first parse exception) plus cheap closed-form sanity on the values.
+//
+// Rules (L0xx in diagnostics.hpp; docs/validation.md has the catalog):
+//  * L001  model file malformed (header / field count / integer / kind)
+//  * L002  layer shape invalid (non-positive dims, DW filters != channels,
+//          PW/PL/FC filter not 1x1, filter exceeds padded input, bad
+//          producer index)
+//  * L003  (warning) shapes that underfill the systolic array (partial or
+//          permanently idle folds)
+//  * L004  (warning) trunk boundary dims discontinuous (consumer ifmap !=
+//          producer ofmap — usually an implicit pooling layer, worth eyes)
+//  * L005  layer closed forms (ifmap/filter/ofmap volumes, MACs) overflow
+//          uint64
+//  * L006  plan file malformed (header / field count / integer / label)
+//  * L007  plan decision out of range (bad index order, filter_block or
+//          row_stripe outside the layer's bounds, non-boolean flags)
+//  * L008  accelerator config invalid or suspicious
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "arch/accelerator.hpp"
+#include "model/network.hpp"
+#include "validate/diagnostics.hpp"
+
+namespace rainbow::validate {
+
+struct LintOptions {
+  /// Context for array-utilization (L003) and spec-dependent plan checks.
+  arch::AcceleratorSpec spec;
+};
+
+/// Lints model text (the src/model/parser.hpp format).  Diagnostics carry
+/// the 1-based line number in `layer`.
+[[nodiscard]] ValidationReport lint_model_text(const std::string& text,
+                                               const LintOptions& options = {});
+[[nodiscard]] ValidationReport lint_model_file(
+    const std::filesystem::path& path, const LintOptions& options = {});
+
+/// Lints plan text (the src/core/plan_io.hpp format) without re-running the
+/// estimator.  When `network` is non-null, per-layer decisions are
+/// range-checked against the layer bounds (filter units, ofmap height).
+[[nodiscard]] ValidationReport lint_plan_text(
+    const std::string& text, const model::Network* network = nullptr,
+    const LintOptions& options = {});
+[[nodiscard]] ValidationReport lint_plan_file(
+    const std::filesystem::path& path, const model::Network* network = nullptr,
+    const LintOptions& options = {});
+
+/// Lints an accelerator configuration: hard validity (spec.validate()) plus
+/// advisory sanity (GLB not a whole number of elements, GLB outside the
+/// paper's swept range, PE array smaller than a fold).
+[[nodiscard]] ValidationReport lint_spec(const arch::AcceleratorSpec& spec);
+
+}  // namespace rainbow::validate

@@ -1,0 +1,633 @@
+#include "validate/plan_validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/footprint.hpp"
+#include "core/policy.hpp"
+#include "scalesim/systolic.hpp"
+#include "util/checked.hpp"
+#include "util/units.hpp"
+
+namespace rainbow::validate {
+
+namespace {
+
+using core::Estimator;
+using core::Footprint;
+using core::Policy;
+using core::PolicyChoice;
+using core::TrafficBreakdown;
+using model::Layer;
+using util::ceil_div;
+using util::checked_add;
+using util::checked_mul;
+
+std::string fmt(count_t v) { return std::to_string(v); }
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// All per-layer closed forms the validator re-derives, computed from the
+/// raw integer hyperparameters with always-checked multiplication so wrapped
+/// intermediates surface as OverflowError instead of bogus agreement.
+struct LayerForms {
+  count_t fh, fw, ci, nf, co, oh, ow, ph, pw, s;
+  count_t ifmap_elems;
+  count_t padded_ifmap_elems;
+  count_t filter_elems;
+  count_t single_filter_elems;
+  count_t ofmap_elems;
+  count_t macs;
+  bool depthwise;
+
+  explicit LayerForms(const Layer& layer)
+      : fh(static_cast<count_t>(layer.filter_h())),
+        fw(static_cast<count_t>(layer.filter_w())),
+        ci(static_cast<count_t>(layer.channels())),
+        nf(static_cast<count_t>(layer.filters())),
+        co(static_cast<count_t>(layer.ofmap_channels())),
+        oh(static_cast<count_t>(layer.ofmap_h())),
+        ow(static_cast<count_t>(layer.ofmap_w())),
+        ph(static_cast<count_t>(layer.padded_ifmap_h())),
+        pw(static_cast<count_t>(layer.padded_ifmap_w())),
+        s(static_cast<count_t>(layer.stride())),
+        depthwise(layer.is_depthwise()) {
+    const count_t ih = static_cast<count_t>(layer.ifmap_h());
+    const count_t iw = static_cast<count_t>(layer.ifmap_w());
+    ifmap_elems = checked_mul(checked_mul(ih, iw), ci);
+    padded_ifmap_elems = checked_mul(checked_mul(ph, pw), ci);
+    single_filter_elems =
+        depthwise ? checked_mul(fh, fw) : checked_mul(checked_mul(fh, fw), ci);
+    filter_elems = depthwise ? checked_mul(single_filter_elems, ci)
+                             : checked_mul(single_filter_elems, nf);
+    ofmap_elems = checked_mul(checked_mul(oh, ow), co);
+    macs = checked_mul(ofmap_elems,
+                       checked_mul(checked_mul(fh, fw), depthwise ? 1 : ci));
+  }
+
+  [[nodiscard]] count_t filter_units() const { return depthwise ? ci : nf; }
+};
+
+/// Checked mirror of core::working_footprint (Table 3 closed forms).
+Footprint derive_working(const LayerForms& f, const PolicyChoice& choice) {
+  const count_t n = static_cast<count_t>(choice.filter_block);
+  switch (choice.policy) {
+    case Policy::kIntraLayer:
+      return {f.ifmap_elems, f.filter_elems, f.ofmap_elems};
+    case Policy::kIfmapReuse:
+      return {checked_mul(checked_mul(f.fh, f.pw), f.ci), f.filter_elems,
+              checked_mul(f.ow, f.co)};
+    case Policy::kFilterReuse:
+      return {f.ifmap_elems, f.single_filter_elems, checked_mul(f.oh, f.ow)};
+    case Policy::kPerChannel:
+      if (f.depthwise) {
+        return {checked_mul(f.fh, f.pw), checked_mul(f.fh, f.fw),
+                checked_mul(f.oh, f.ow)};
+      }
+      return {checked_mul(f.fh, f.pw),
+              checked_mul(checked_mul(f.fh, f.fw), f.nf), f.ofmap_elems};
+    case Policy::kPartialIfmap:
+      if (f.depthwise) {
+        return {checked_mul(checked_mul(f.fh, f.pw), n),
+                checked_mul(checked_mul(f.fh, f.fw), n), checked_mul(f.ow, n)};
+      }
+      return {checked_mul(checked_mul(f.fh, f.pw), f.ci),
+              checked_mul(checked_mul(checked_mul(f.fh, f.fw), f.ci), n),
+              checked_mul(f.ow, n)};
+    case Policy::kPartialPerChannel:
+      return {checked_mul(f.fh, f.pw),
+              checked_mul(checked_mul(f.fh, f.fw), n),
+              checked_mul(checked_mul(f.oh, f.ow), n)};
+    case Policy::kFallbackTiled: {
+      const count_t r = static_cast<count_t>(choice.row_stripe);
+      const count_t stripe_rows = checked_add(checked_mul(r - 1, f.s), f.fh);
+      return {checked_mul(stripe_rows, f.pw),
+              checked_mul(checked_mul(f.fh, f.fw), n),
+              checked_mul(checked_mul(r, f.ow), n)};
+    }
+  }
+  throw std::logic_error("derive_working: invalid Policy");
+}
+
+/// Checked mirror of core::planned_footprint (inter-layer residency + Eq. 2).
+Footprint derive_planned(const LayerForms& f, const PolicyChoice& choice,
+                         const core::InterlayerAdjust& adjust) {
+  Footprint fp = derive_working(f, choice);
+  if (adjust.ifmap_resident) {
+    fp.ifmap = f.ifmap_elems;
+  }
+  if (adjust.keep_ofmap) {
+    fp.ofmap = f.ofmap_elems;
+  }
+  if (choice.prefetch) {
+    Footprint doubled{checked_mul(2, fp.ifmap), checked_mul(2, fp.filter),
+                      checked_mul(2, fp.ofmap)};
+    if (adjust.ifmap_resident) {
+      doubled.ifmap = fp.ifmap;
+    }
+    if (adjust.keep_ofmap) {
+      doubled.ofmap = fp.ofmap;
+    }
+    return doubled;
+  }
+  return fp;
+}
+
+count_t checked_total(const Footprint& fp) {
+  return checked_add(checked_add(fp.ifmap, fp.filter), fp.ofmap);
+}
+
+/// Checked mirror of Estimator::traffic (Section 3.1 access closed forms).
+TrafficBreakdown derive_traffic(const LayerForms& f, const PolicyChoice& choice,
+                                const core::EstimatorOptions& options,
+                                const core::InterlayerAdjust& adjust) {
+  TrafficBreakdown t;
+  const count_t if_base =
+      options.padded_traffic ? f.padded_ifmap_elems : f.ifmap_elems;
+  switch (choice.policy) {
+    case Policy::kIntraLayer:
+    case Policy::kIfmapReuse:
+    case Policy::kFilterReuse:
+    case Policy::kPerChannel:
+      t.ifmap_reads = if_base;
+      t.filter_reads = f.filter_elems;
+      break;
+    case Policy::kPartialIfmap:
+    case Policy::kPartialPerChannel: {
+      const count_t reloads =
+          f.depthwise
+              ? 1
+              : ceil_div(f.nf, static_cast<count_t>(choice.filter_block));
+      t.ifmap_reads = checked_mul(if_base, reloads);
+      t.filter_reads = f.filter_elems;
+      break;
+    }
+    case Policy::kFallbackTiled: {
+      const count_t r = static_cast<count_t>(choice.row_stripe);
+      const count_t stripes = ceil_div(f.oh, r);
+      const count_t reloads =
+          f.depthwise
+              ? 1
+              : ceil_div(f.nf, static_cast<count_t>(choice.filter_block));
+      count_t rows = 0;
+      for (count_t first = 0; first < f.oh; first += r) {
+        const count_t out_rows = std::min<count_t>(r, f.oh - first);
+        rows = checked_add(rows,
+                           checked_add(checked_mul(out_rows - 1, f.s), f.fh));
+      }
+      if (!options.padded_traffic) {
+        rows = checked_mul(rows, f.ifmap_elems) / f.padded_ifmap_elems;
+      }
+      t.ifmap_reads =
+          checked_mul(checked_mul(checked_mul(rows, f.pw), f.ci), reloads);
+      t.filter_reads = checked_mul(f.filter_elems, stripes);
+      break;
+    }
+  }
+  t.ofmap_writes = f.ofmap_elems;
+
+  const count_t batch = static_cast<count_t>(options.batch);
+  t.ifmap_reads = checked_mul(t.ifmap_reads, batch);
+  t.ofmap_writes = checked_mul(t.ofmap_writes, batch);
+  if (!Estimator::filters_amortize_over_batch(choice.policy)) {
+    t.filter_reads = checked_mul(t.filter_reads, batch);
+  }
+
+  if (adjust.ifmap_resident) {
+    t.ifmap_reads = 0;
+  }
+  if (adjust.keep_ofmap) {
+    t.ofmap_writes = 0;
+  }
+  return t;
+}
+
+struct Exposure {
+  count_t init = 0;
+  count_t final = 0;
+};
+
+/// Checked mirror of Estimator::exposure (first/last non-hideable transfer).
+Exposure derive_exposure(const LayerForms& f, const PolicyChoice& choice,
+                         const core::EstimatorOptions& options,
+                         const core::InterlayerAdjust& adjust) {
+  const count_t n = static_cast<count_t>(choice.filter_block);
+  const count_t if_base =
+      options.padded_traffic ? f.padded_ifmap_elems : f.ifmap_elems;
+  Exposure e;
+  switch (choice.policy) {
+    case Policy::kIntraLayer:
+      e.init = checked_add(if_base, f.filter_elems);
+      e.final = f.ofmap_elems;
+      break;
+    case Policy::kIfmapReuse:
+      e.init = checked_add(f.filter_elems,
+                           checked_mul(checked_mul(f.fh, f.pw), f.ci));
+      e.final = checked_mul(f.ow, f.co);
+      break;
+    case Policy::kFilterReuse:
+      e.init = checked_add(if_base, f.single_filter_elems);
+      e.final = checked_mul(f.oh, f.ow);
+      break;
+    case Policy::kPerChannel:
+      if (f.depthwise) {
+        e.init = checked_add(checked_mul(f.fh, f.fw), checked_mul(f.fh, f.pw));
+        e.final = checked_mul(f.oh, f.ow);
+      } else {
+        e.init = checked_add(checked_mul(checked_mul(f.fh, f.fw), f.nf),
+                             checked_mul(f.fh, f.pw));
+        e.final = f.ofmap_elems;
+      }
+      break;
+    case Policy::kPartialIfmap:
+      e.init = checked_add(
+          checked_mul(checked_mul(f.fh, f.fw),
+                      f.depthwise ? n : checked_mul(f.ci, n)),
+          checked_mul(checked_mul(f.fh, f.pw), f.depthwise ? n : f.ci));
+      e.final = checked_mul(f.ow, n);
+      break;
+    case Policy::kPartialPerChannel:
+      e.init = checked_add(checked_mul(checked_mul(f.fh, f.fw), n),
+                           checked_mul(f.fh, f.pw));
+      e.final = checked_mul(checked_mul(f.oh, f.ow), n);
+      break;
+    case Policy::kFallbackTiled: {
+      const count_t r = static_cast<count_t>(choice.row_stripe);
+      const count_t stripe_rows = checked_add(checked_mul(r - 1, f.s), f.fh);
+      e.init = checked_add(checked_mul(checked_mul(f.fh, f.fw), n),
+                           checked_mul(stripe_rows, f.pw));
+      e.final = checked_mul(checked_mul(r, f.ow), n);
+      break;
+    }
+  }
+  if (adjust.ifmap_resident) {
+    e.init = std::min(e.init, f.filter_elems);
+  }
+  if (adjust.keep_ofmap) {
+    e.final = 0;
+  }
+  return e;
+}
+
+bool cycles_match(double a, double b, double tolerance) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tolerance * scale;
+}
+
+Diagnostic make(Code code, Severity severity, std::size_t layer,
+                const std::string& context, std::string expected,
+                std::string actual, std::string detail) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.layer = layer;
+  d.context = context;
+  d.expected = std::move(expected);
+  d.actual = std::move(actual);
+  d.detail = std::move(detail);
+  return d;
+}
+
+}  // namespace
+
+PlanValidator::PlanValidator(ValidatorOptions options)
+    : options_(options) {}
+
+ValidatorOptions PlanValidator::structural_only() {
+  ValidatorOptions options;
+  options.check_traffic = false;
+  options.check_latency = false;
+  return options;
+}
+
+ValidationReport PlanValidator::validate(const core::ExecutionPlan& plan,
+                                         const model::Network& network) const {
+  ValidationReport report;
+
+  try {
+    plan.spec().validate();
+  } catch (const std::invalid_argument& e) {
+    Diagnostic d;
+    d.code = Code::kSpecInvalid;
+    d.context = "accelerator spec";
+    d.detail = e.what();
+    report.add(std::move(d));
+    return report;  // glb_elems() etc. are meaningless past this point
+  }
+
+  if (plan.size() != network.size()) {
+    Diagnostic d;
+    d.code = Code::kLayerIndexMismatch;
+    d.context = network.name();
+    d.expected = fmt(static_cast<count_t>(network.size())) + " assignments";
+    d.actual = fmt(static_cast<count_t>(plan.size()));
+    d.detail = "plan covers a different number of layers than the network";
+    report.add(std::move(d));
+    return report;
+  }
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    validate_layer(plan, network, i, report);
+  }
+  validate_interlayer(plan, network, report);
+  return report;
+}
+
+void PlanValidator::validate_layer(const core::ExecutionPlan& plan,
+                                   const model::Network& network,
+                                   std::size_t index,
+                                   ValidationReport& report) const {
+  const core::LayerAssignment& a = plan.assignment(index);
+  const Layer& layer = network.layer(index);
+  const std::string& name = layer.name();
+  const PolicyChoice& choice = a.estimate.choice;
+
+  if (a.layer_index != index) {
+    report.add(make(Code::kLayerIndexMismatch, Severity::kError, index, name,
+                    fmt(static_cast<count_t>(index)),
+                    fmt(static_cast<count_t>(a.layer_index)),
+                    "assignment is out of order"));
+  }
+
+  try {
+    const LayerForms f(layer);
+    const count_t units = f.filter_units();
+    const bool blocked = choice.policy == Policy::kPartialIfmap ||
+                         choice.policy == Policy::kPartialPerChannel ||
+                         choice.policy == Policy::kFallbackTiled;
+
+    // V003: tiling parameters within the layer's bounds.
+    if (blocked) {
+      const count_t n = static_cast<count_t>(choice.filter_block);
+      if (choice.filter_block < 1 || n > units) {
+        report.add(make(Code::kTileOutOfRange, Severity::kError, index, name,
+                        "filter block in [1, " + fmt(units) + "]",
+                        std::to_string(choice.filter_block),
+                        "filter block outside the layer's filter-unit range"));
+        return;  // footprint/traffic forms are undefined for this choice
+      }
+      if (n == units && choice.policy != Policy::kFallbackTiled) {
+        report.add(make(Code::kTileOutOfRange, Severity::kWarning, index, name,
+                        "filter block < " + fmt(units),
+                        std::to_string(choice.filter_block),
+                        "full-size filter block degenerates to the "
+                        "non-partial policy"));
+      }
+    } else if (choice.filter_block != 1) {
+      report.add(make(Code::kTileOutOfRange, Severity::kWarning, index, name,
+                      "1", std::to_string(choice.filter_block),
+                      "filter block is ignored by this policy"));
+    }
+    if (choice.policy == Policy::kFallbackTiled) {
+      const count_t r = static_cast<count_t>(choice.row_stripe);
+      if (choice.row_stripe < 1 || r > f.oh) {
+        report.add(make(Code::kTileOutOfRange, Severity::kError, index, name,
+                        "row stripe in [1, " + fmt(f.oh) + "]",
+                        std::to_string(choice.row_stripe),
+                        "row stripe outside the layer's ofmap height"));
+        return;
+      }
+    } else if (choice.row_stripe != 0) {
+      report.add(make(Code::kTileOutOfRange, Severity::kWarning, index, name,
+                      "0", std::to_string(choice.row_stripe),
+                      "row stripe is ignored by this policy"));
+    }
+
+    const core::InterlayerAdjust adjust{.ifmap_resident = a.ifmap_from_glb,
+                                        .keep_ofmap = a.ofmap_stays_in_glb};
+    const Footprint working = derive_working(f, choice);
+    const Footprint planned = derive_planned(f, choice, adjust);
+    const Footprint& stored = a.estimate.footprint;
+
+    // V004 / V005: the stored footprint must equal the re-derived closed
+    // form.  When the prefetch flag is set and the stored footprint instead
+    // matches the *single-buffered* form, the specific invariant broken is
+    // Eq. 2's doubling.
+    if (stored != planned) {
+      Footprint working_resident = working;
+      if (adjust.ifmap_resident) {
+        working_resident.ifmap = f.ifmap_elems;
+      }
+      if (adjust.keep_ofmap) {
+        working_resident.ofmap = f.ofmap_elems;
+      }
+      if (choice.prefetch && stored == working_resident) {
+        report.add(make(Code::kPrefetchDoubling, Severity::kError, index, name,
+                        fmt(checked_total(planned)),
+                        fmt(checked_total(stored)),
+                        "prefetch footprint is single-buffered; Eq. 2 "
+                        "requires every streamed term doubled"));
+      } else {
+        report.add(make(
+            Code::kFootprintMismatch, Severity::kError, index, name,
+            fmt(planned.ifmap) + "/" + fmt(planned.filter) + "/" +
+                fmt(planned.ofmap),
+            fmt(stored.ifmap) + "/" + fmt(stored.filter) + "/" +
+                fmt(stored.ofmap),
+            "stored ifmap/filter/ofmap footprint differs from the policy "
+            "closed form"));
+      }
+    }
+
+    // V006: the re-derived footprint must fit the GLB.
+    const count_t glb = plan.spec().glb_elems();
+    const count_t planned_total = checked_total(planned);
+    if (planned_total > glb) {
+      report.add(make(Code::kGlbOverflow, Severity::kError, index, name,
+                      "<= " + fmt(glb), fmt(planned_total),
+                      "planned footprint exceeds the GLB capacity"));
+    }
+
+    // V007: plans must store feasible estimates.
+    if (!a.estimate.feasible) {
+      report.add(make(Code::kFeasibilityFlag, Severity::kError, index, name,
+                      "feasible", "infeasible",
+                      "plan stores an estimate marked infeasible"));
+    }
+
+    if (options_.check_traffic) {
+      const TrafficBreakdown derived =
+          derive_traffic(f, choice, options_.estimator, adjust);
+      const TrafficBreakdown& t = a.estimate.traffic;
+      if (t.ifmap_reads != derived.ifmap_reads) {
+        // The partial policies' ifmap term is (base volume) x ceil(F#/n);
+        // a wrong term there is a fold-count error, the paper's Section 3.2
+        // re-load invariant.
+        const bool fold_form = !f.depthwise &&
+                               (choice.policy == Policy::kPartialIfmap ||
+                                choice.policy == Policy::kPartialPerChannel);
+        if (fold_form) {
+          const count_t reloads =
+              ceil_div(f.nf, static_cast<count_t>(choice.filter_block));
+          report.add(make(Code::kFoldCountMismatch, Severity::kError, index,
+                          name,
+                          fmt(derived.ifmap_reads) + " (ceil(F#/n) = " +
+                              fmt(reloads) + " re-loads)",
+                          fmt(t.ifmap_reads),
+                          "ifmap re-load volume disagrees with ceil(F#/n)"));
+        } else {
+          report.add(make(Code::kTrafficMismatch, Severity::kError, index,
+                          name, fmt(derived.ifmap_reads), fmt(t.ifmap_reads),
+                          "ifmap read volume differs from the closed form"));
+        }
+      }
+      if (t.filter_reads != derived.filter_reads) {
+        if (choice.policy == Policy::kFallbackTiled) {
+          const count_t stripes =
+              ceil_div(f.oh, static_cast<count_t>(choice.row_stripe));
+          report.add(make(Code::kFoldCountMismatch, Severity::kError, index,
+                          name,
+                          fmt(derived.filter_reads) + " (ceil(OH/R) = " +
+                              fmt(stripes) + " stripes)",
+                          fmt(t.filter_reads),
+                          "filter re-stream volume disagrees with "
+                          "ceil(OH/R)"));
+        } else {
+          report.add(make(Code::kTrafficMismatch, Severity::kError, index,
+                          name, fmt(derived.filter_reads), fmt(t.filter_reads),
+                          "filter read volume differs from the closed form"));
+        }
+      }
+      if (t.ofmap_writes != derived.ofmap_writes) {
+        report.add(make(Code::kTrafficMismatch, Severity::kError, index, name,
+                        fmt(derived.ofmap_writes), fmt(t.ofmap_writes),
+                        "ofmap write volume differs from the closed form"));
+      }
+    }
+
+    if (options_.check_latency) {
+      const double bw = plan.spec().elements_per_cycle();
+      const double compute = static_cast<double>(f.macs) *
+                             options_.estimator.batch /
+                             plan.spec().effective_macs_per_cycle();
+      if (!cycles_match(a.estimate.compute_cycles, compute,
+                        options_.cycle_tolerance)) {
+        report.add(make(Code::kLatencyMismatch, Severity::kError, index, name,
+                        fmt(compute), fmt(a.estimate.compute_cycles),
+                        "compute cycles differ from MACs / (OPs/2)"));
+      }
+      const TrafficBreakdown derived =
+          derive_traffic(f, choice, options_.estimator, adjust);
+      const count_t total = checked_add(
+          checked_add(derived.ifmap_reads, derived.filter_reads),
+          derived.ofmap_writes);
+      double latency = 0.0;
+      if (choice.prefetch) {
+        const Exposure e = derive_exposure(f, choice, options_.estimator,
+                                           adjust);
+        const count_t exposed =
+            std::min(checked_add(e.init, e.final), total);
+        const double hidden = static_cast<double>(total - exposed) / bw;
+        latency = static_cast<double>(exposed) / bw +
+                  std::max(compute, hidden);
+      } else {
+        latency = compute + static_cast<double>(total) / bw;
+      }
+      if (!cycles_match(a.estimate.latency_cycles, latency,
+                        options_.cycle_tolerance)) {
+        report.add(make(Code::kLatencyMismatch, Severity::kError, index, name,
+                        fmt(latency), fmt(a.estimate.latency_cycles),
+                        "latency cycles differ from the Section 3.1 model"));
+      }
+    }
+
+    if (options_.check_fold_geometry) {
+      const count_t pe_rows = static_cast<count_t>(plan.spec().pe_rows);
+      const count_t pe_cols = static_cast<count_t>(plan.spec().pe_cols);
+      const count_t out_rows = checked_mul(f.oh, f.ow);
+      const count_t out_cols = f.depthwise ? 1 : f.nf;
+      const count_t reduction = f.depthwise
+                                    ? checked_mul(f.fh, f.fw)
+                                    : checked_mul(checked_mul(f.fh, f.fw),
+                                                  f.ci);
+      const count_t groups = f.depthwise ? f.ci : 1;
+      const count_t folds = checked_mul(
+          checked_mul(ceil_div(out_rows, pe_rows), ceil_div(out_cols, pe_cols)),
+          groups);
+      const count_t span = checked_add(reduction, 2 * pe_rows - 2);
+      const count_t cycles = checked_mul(folds, span);
+
+      const scalesim::FoldGeometry g =
+          scalesim::fold_geometry(layer, plan.spec());
+      if (g.folds() != folds ||
+          scalesim::fold_cycle_span(g, plan.spec()) != span ||
+          scalesim::compute_cycles(layer, plan.spec()) != cycles) {
+        report.add(make(
+            Code::kFoldGeometryMismatch, Severity::kError, index, name,
+            fmt(folds) + " folds x " + fmt(span) + " cycles",
+            fmt(g.folds()) + " folds x " +
+                fmt(scalesim::fold_cycle_span(g, plan.spec())) + " cycles",
+            "systolic fold geometry differs from its ceiling-division "
+            "forms"));
+      }
+    }
+  } catch (const util::OverflowError& e) {
+    report.add(make(Code::kArithmeticOverflow, Severity::kError, index, name,
+                    "closed forms within uint64", "overflow", e.what()));
+  }
+}
+
+void PlanValidator::validate_interlayer(const core::ExecutionPlan& plan,
+                                        const model::Network& network,
+                                        ValidationReport& report) const {
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const core::LayerAssignment& a = plan.assignment(i);
+    const std::string& name = network.layer(i).name();
+
+    if (a.ifmap_from_glb) {
+      const bool linked = i > 0 && network.is_sequential_boundary(i - 1) &&
+                          plan.assignment(i - 1).ofmap_stays_in_glb;
+      if (!linked) {
+        report.add(make(Code::kInterlayerBroken, Severity::kError, i, name,
+                        "producer at layer " +
+                            (i > 0 ? fmt(static_cast<count_t>(i - 1)) : "-") +
+                            " keeps its ofmap resident",
+                        "no resident producer",
+                        "ifmap_from_glb set without a matching producer "
+                        "across a sequential boundary"));
+      }
+    }
+    if (a.ofmap_stays_in_glb) {
+      const bool linked = i + 1 < plan.size() &&
+                          network.is_sequential_boundary(i) &&
+                          plan.assignment(i + 1).ifmap_from_glb;
+      if (!linked) {
+        report.add(make(Code::kInterlayerBroken, Severity::kError, i, name,
+                        "consumer at layer " + fmt(static_cast<count_t>(i + 1)) +
+                            " reads its ifmap from the GLB",
+                        "no resident consumer",
+                        "ofmap_stays_in_glb set without a matching consumer "
+                        "across a sequential boundary"));
+      } else {
+        // V012 (warning): the resident window handed over should match the
+        // consumer's ifmap volume.  Zoo models legitimately shrink the map
+        // between trunk layers (implicit pooling), so this is advisory.
+        try {
+          const LayerForms producer(network.layer(i));
+          const LayerForms consumer(network.layer(i + 1));
+          if (producer.ofmap_elems != consumer.ifmap_elems) {
+            report.add(make(Code::kInterlayerWindow, Severity::kWarning, i,
+                            name, fmt(consumer.ifmap_elems),
+                            fmt(producer.ofmap_elems),
+                            "resident ofmap window differs from the "
+                            "consumer's ifmap volume (implicit resize "
+                            "between layers)"));
+          }
+        } catch (const util::OverflowError& e) {
+          report.add(make(Code::kArithmeticOverflow, Severity::kError, i, name,
+                          "closed forms within uint64", "overflow", e.what()));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rainbow::validate

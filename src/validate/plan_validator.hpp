@@ -1,0 +1,75 @@
+// PlanValidator: re-derives every paper invariant from a plan + accelerator
+// + network and reports structured diagnostics (see diagnostics.hpp for the
+// catalog).  The validator is deliberately independent of the estimator: it
+// recomputes each closed form from the raw layer hyperparameters with
+// always-checked 64-bit arithmetic (util::checked_mul / checked_add), so a
+// plan whose numbers silently wrapped is reported as V014 instead of
+// "matching" equally-wrapped re-derivations.
+//
+// Invariants checked (docs/validation.md has the full catalog):
+//  * V001  accelerator spec self-validation
+//  * V002  assignment count and layer_index order match the network
+//  * V003  filter_block in [1, F#] (P4/P5/fallback), row_stripe in [1, O_H]
+//  * V004  stored footprint == policy closed form (Table 3)
+//  * V005  prefetch variants double every streamed term (Eq. 2)
+//  * V006  planned footprint <= GLB capacity
+//  * V007  the stored estimate is marked feasible
+//  * V008  ifmap re-load count == ceil(F#/n) (P4/P5); filter re-stream
+//          count == ceil(O_H/R) (fallback)
+//  * V009  off-chip traffic == policy closed form, per data type
+//  * V010  latency / compute cycles == the Section 3.1 latency model
+//  * V011  inter-layer reuse flags pair up across sequential boundaries
+//  * V012  (warning) resident window == consumer ifmap volume
+//  * V013  systolic fold geometry == its ceiling-division forms
+//  * V014  any re-derived closed form overflows uint64
+#pragma once
+
+#include "core/estimator.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+#include "validate/diagnostics.hpp"
+
+namespace rainbow::validate {
+
+struct ValidatorOptions {
+  /// Estimator knobs the plan was produced under (batch size, padded
+  /// traffic accounting).  Traffic and latency re-derivations depend on
+  /// these; structural checks do not.
+  core::EstimatorOptions estimator;
+  bool check_traffic = true;
+  bool check_latency = true;
+  bool check_fold_geometry = true;
+  /// Relative tolerance for cycle-count (double) comparisons.
+  double cycle_tolerance = 1e-9;
+};
+
+class PlanValidator {
+ public:
+  explicit PlanValidator(ValidatorOptions options = {});
+
+  /// Options for callers that do not know the EstimatorOptions a plan was
+  /// produced under (engine replay, simulator entry points): footprint /
+  /// tiling / GLB / inter-layer structure only, no traffic or latency
+  /// re-derivation.
+  [[nodiscard]] static ValidatorOptions structural_only();
+
+  [[nodiscard]] const ValidatorOptions& options() const { return options_; }
+
+  /// Re-derives every invariant of `plan` against `network`.  Never throws
+  /// on invalid plans — all findings (including arithmetic overflow in a
+  /// closed form) come back as diagnostics.
+  [[nodiscard]] ValidationReport validate(const core::ExecutionPlan& plan,
+                                          const model::Network& network) const;
+
+ private:
+  void validate_layer(const core::ExecutionPlan& plan,
+                      const model::Network& network, std::size_t index,
+                      ValidationReport& report) const;
+  void validate_interlayer(const core::ExecutionPlan& plan,
+                           const model::Network& network,
+                           ValidationReport& report) const;
+
+  ValidatorOptions options_;
+};
+
+}  // namespace rainbow::validate

@@ -1,0 +1,163 @@
+// Tests for the static linter: the shipped artifacts (zoo models, the
+// models/ directory, serialized plans) must lint clean of errors, and each
+// corruption class must land on its own L-code with a line number.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/manager.hpp"
+#include "core/plan_io.hpp"
+#include "model/parser.hpp"
+#include "model/zoo/zoo.hpp"
+#include "validate/lint.hpp"
+
+namespace rainbow::validate {
+namespace {
+
+TEST(LintModel, SerializedZooModelsHaveNoErrors) {
+  for (const auto& net : model::zoo::all_models()) {
+    const auto report = lint_model_text(model::serialize_network(net));
+    EXPECT_EQ(report.error_count(), 0u) << net.name() << "\n"
+                                        << report.summary();
+  }
+}
+
+TEST(LintModel, ShippedModelFilesHaveNoErrors) {
+  const std::filesystem::path dir =
+      std::filesystem::path(RAINBOW_SOURCE_DIR) / "models";
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".model") {
+      continue;
+    }
+    ++seen;
+    const auto report = lint_model_file(entry.path());
+    EXPECT_EQ(report.error_count(), 0u) << entry.path() << "\n"
+                                        << report.summary();
+  }
+  EXPECT_GE(seen, 8u);
+}
+
+TEST(LintModel, BadShapesFixtureTripsEveryRule) {
+  const auto report = lint_model_file(std::filesystem::path(
+      RAINBOW_SOURCE_DIR) / "tests" / "data" / "bad_shapes.model");
+  EXPECT_EQ(report.count(Code::kModelParse), 3u) << report.summary();
+  EXPECT_EQ(report.count(Code::kModelShape), 5u) << report.summary();
+  EXPECT_FALSE(report.ok());
+  // Findings are line-anchored so a hand-editor can jump to them.
+  for (const auto& d : report.diagnostics()) {
+    EXPECT_TRUE(d.layer.has_value()) << d.message();
+  }
+}
+
+TEST(LintModel, MissingHeaderIsL001) {
+  const auto report = lint_model_text("CV, c, 8, 8, 4, 3, 3, 8, 1, 1\n");
+  EXPECT_TRUE(report.has(Code::kModelParse)) << report.summary();
+}
+
+TEST(LintModel, HugeShapeOverflowIsL005) {
+  const auto report = lint_model_text(
+      "network, huge\n"
+      "CV, blowup, 2000000, 2000000, 2000, 3, 3, 2000, 1, 1\n");
+  EXPECT_TRUE(report.has(Code::kModelOverflow)) << report.summary();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(LintModel, PartialFoldsWarnL003) {
+  // 2x2 output = 4 pixels on a 16x16 array: the only row fold is 4/16 busy.
+  const auto report = lint_model_text(
+      "network, tiny\n"
+      "CV, c, 2, 2, 4, 1, 1, 16, 1, 0\n");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.has(Code::kModelDivisibility)) << report.summary();
+}
+
+TEST(LintModel, TrunkDiscontinuityWarnsL004) {
+  const auto report = lint_model_text(
+      "network, pooled\n"
+      "CV, a, 16, 16, 8, 3, 3, 16, 1, 1\n"
+      "CV, b, 8, 8, 16, 3, 3, 16, 1, 1\n");  // implicit 2x2 pool before b
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.has(Code::kModelTrunkMismatch)) << report.summary();
+}
+
+class LintPlanFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_.emplace(model::zoo::resnet18());
+    const core::MemoryManager manager(arch::paper_spec(util::kib(64)));
+    text_ = core::serialize_plan(
+        manager.plan(*net_, core::Objective::kAccesses));
+  }
+
+  std::optional<model::Network> net_;
+  std::string text_;
+};
+
+TEST_F(LintPlanFixture, SerializedPlanIsClean) {
+  const auto report = lint_plan_text(text_, &*net_);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST_F(LintPlanFixture, UnknownPolicyLabelIsL006) {
+  const auto report = lint_plan_text(
+      "plan, resnet18, 65536, 8, accesses\n"
+      "0, warp9x, 0, 1, 0, 0, 0\n");
+  EXPECT_TRUE(report.has(Code::kPlanParse)) << report.summary();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(LintPlanFixture, OutOfOrderIndexIsL007) {
+  std::string bad = text_;
+  const auto pos = bad.find("\n0, ");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 4, "\n5, ");
+  const auto report = lint_plan_text(bad, &*net_);
+  EXPECT_TRUE(report.has(Code::kPlanRange)) << report.summary();
+}
+
+TEST_F(LintPlanFixture, WrongModelNameIsL007) {
+  const auto other = model::zoo::mobilenet();
+  const auto report = lint_plan_text(text_, &other);
+  EXPECT_TRUE(report.has(Code::kPlanRange)) << report.summary();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(LintPlanFixture, MissingRowsIsL007) {
+  const std::string truncated = text_.substr(0, text_.rfind('\n', text_.size() - 2) + 1);
+  const auto report = lint_plan_text(truncated, &*net_);
+  EXPECT_TRUE(report.has(Code::kPlanRange)) << report.summary();
+}
+
+TEST_F(LintPlanFixture, HeaderGarbageIsL006) {
+  const auto report = lint_plan_text("plan, resnet18, -4, zero, speed\n");
+  EXPECT_GE(report.count(Code::kPlanParse), 3u) << report.summary();
+}
+
+TEST(LintSpec, PaperSpecIsClean) {
+  const auto report = lint_spec(arch::paper_spec(util::kib(256)));
+  EXPECT_TRUE(report.empty()) << report.summary();
+}
+
+TEST(LintSpec, OutOfRangeGlbWarns) {
+  const auto report = lint_spec(arch::paper_spec(util::kib(16)));
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.has(Code::kSpecSanity)) << report.summary();
+}
+
+TEST(LintSpec, UnusualWidthWarns) {
+  auto spec = arch::paper_spec(util::kib(256));
+  spec.data_width_bits = 24;
+  const auto report = lint_spec(spec);
+  EXPECT_TRUE(report.has(Code::kSpecSanity)) << report.summary();
+}
+
+TEST(LintSpec, InvalidSpecIsAnError) {
+  auto spec = arch::paper_spec(util::kib(256));
+  spec.data_width_bits = 12;  // not a whole number of bytes
+  const auto report = lint_spec(spec);
+  EXPECT_FALSE(report.ok()) << report.summary();
+}
+
+}  // namespace
+}  // namespace rainbow::validate

@@ -1,0 +1,121 @@
+// Overflow-edge coverage: shapes whose closed forms wrap uint64 must be
+// reported as clean diagnostics (validator V014 / lint L005), never as
+// silently wrapped numbers.  In RAINBOW_CHECKED builds the instrumented hot
+// paths themselves throw OverflowError; in unchecked builds they keep their
+// wrapping (and fast) arithmetic, which is exactly why the validator and
+// linter always re-derive with checked math.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "core/estimator.hpp"
+#include "core/footprint.hpp"
+#include "core/plan.hpp"
+#include "model/parser.hpp"
+#include "scalesim/systolic.hpp"
+#include "util/checked.hpp"
+#include "validate/lint.hpp"
+#include "validate/plan_validator.hpp"
+
+namespace rainbow {
+namespace {
+
+constexpr count_t kMax = std::numeric_limits<count_t>::max();
+
+// MACs ~ 1.4e20 > 2^64-1 ~ 1.8e19, while the per-tensor volumes still fit:
+// only the deepest closed form wraps.
+model::Network macs_overflow_net() {
+  return model::parse_network(
+      "network, huge\n"
+      "CV, blowup, 2000000, 2000000, 2000, 3, 3, 2000, 1, 1\n");
+}
+
+// ifmap volume alone ~ 8e21: even the first accessor wraps.
+model::Network volume_overflow_net() {
+  return model::parse_network(
+      "network, huger\n"
+      "CV, blowup, 2000000000, 2000000000, 2000, 3, 3, 2000, 1, 1\n");
+}
+
+TEST(CheckedMath, ExplicitHelpersAlwaysThrow) {
+  EXPECT_EQ(util::checked_mul(count_t{3}, count_t{7}), 21u);
+  EXPECT_EQ(util::checked_add(kMax - 1, count_t{1}), kMax);
+  EXPECT_THROW((void)util::checked_mul(kMax / 2 + 1, count_t{2}),
+               util::OverflowError);
+  EXPECT_THROW((void)util::checked_add(kMax, count_t{1}),
+               util::OverflowError);
+  // Near-INT64_MAX products that fit uint64 must not be rejected.
+  const count_t i64max = static_cast<count_t>(
+      std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(util::checked_mul(i64max, count_t{2}), i64max * 2);
+}
+
+TEST(CheckedMath, HotPathHelpersMatchBuildMode) {
+  if constexpr (util::kCheckedBuild) {
+    EXPECT_THROW((void)util::cmul(kMax / 2 + 1, count_t{2}),
+                 util::OverflowError);
+    EXPECT_THROW((void)util::cadd(kMax, count_t{1}), util::OverflowError);
+  } else {
+    // Unchecked builds keep two's-complement wrapping — bit-identical to
+    // the pre-instrumentation arithmetic.
+    EXPECT_EQ(util::cmul(kMax / 2 + 1, count_t{2}), count_t{0});
+    EXPECT_EQ(util::cadd(kMax, count_t{1}), count_t{0});
+  }
+}
+
+TEST(OverflowEdge, InstrumentedHotPathsFollowBuildMode) {
+  const model::Network macs_net = macs_overflow_net();
+  const model::Network vol_net = volume_overflow_net();
+  const model::Layer& macs_layer = macs_net.layer(0);
+  const model::Layer& vol_layer = vol_net.layer(0);
+  [[maybe_unused]] const auto spec = arch::paper_spec(util::kib(256));
+  const core::PolicyChoice intra{};  // kIntraLayer, no prefetch
+#ifdef RAINBOW_CHECKED
+  EXPECT_THROW((void)macs_layer.macs(), util::OverflowError);
+  EXPECT_THROW((void)vol_layer.ifmap_elems(), util::OverflowError);
+  EXPECT_THROW((void)core::working_footprint(vol_layer, intra),
+               util::OverflowError);
+  EXPECT_THROW((void)core::Estimator(spec).estimate(
+                   macs_layer, core::Policy::kIntraLayer, false),
+               util::OverflowError);
+  EXPECT_THROW((void)scalesim::fold_geometry(vol_layer, spec).folds(),
+               util::OverflowError);
+#else
+  // Wraps silently; the point of V014/L005 is that nothing downstream
+  // trusts these numbers without the validator.
+  EXPECT_NO_THROW((void)macs_layer.macs());
+  EXPECT_NO_THROW((void)core::working_footprint(vol_layer, intra));
+#endif
+}
+
+TEST(OverflowEdge, ValidatorReportsV014NotWrappedAgreement) {
+  const auto net = macs_overflow_net();
+  const auto spec = arch::paper_spec(util::kib(1024));
+  core::ExecutionPlan plan("het", net.name(), spec,
+                           core::Objective::kAccesses);
+  core::LayerAssignment a;
+  a.layer_index = 0;
+  a.estimate.feasible = true;
+  plan.add(a);
+  const auto report =
+      validate::PlanValidator(validate::ValidatorOptions{}).validate(plan, net);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(validate::Code::kArithmeticOverflow))
+      << report.summary();
+  // Overflow preempts every downstream comparison for the layer: no bogus
+  // footprint/traffic diagnostics derived from wrapped numbers.
+  EXPECT_EQ(report.error_count(),
+            report.count(validate::Code::kArithmeticOverflow));
+}
+
+TEST(OverflowEdge, LintReportsL005) {
+  const auto report = validate::lint_model_text(
+      "network, huge\n"
+      "CV, blowup, 2000000, 2000000, 2000, 3, 3, 2000, 1, 1\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(validate::Code::kModelOverflow)) << report.summary();
+}
+
+}  // namespace
+}  // namespace rainbow

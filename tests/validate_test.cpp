@@ -1,0 +1,308 @@
+// Tests for the invariant-checking validation layer: every planner output
+// must re-derive clean, and each class of plan corruption must surface as
+// its own diagnostic code (not a generic failure), so regressions in the
+// closed forms are attributed to the precise paper invariant they break.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+#include "validate/plan_validator.hpp"
+
+namespace rainbow::validate {
+namespace {
+
+using core::Estimator;
+using core::ExecutionPlan;
+using core::ManagerOptions;
+using core::MemoryManager;
+using core::Objective;
+using core::Policy;
+
+arch::AcceleratorSpec spec_kb(count_t kb) {
+  return arch::paper_spec(util::kib(kb));
+}
+
+ValidationReport run(const ExecutionPlan& plan, const model::Network& net) {
+  return PlanValidator(ValidatorOptions{}).validate(plan, net);
+}
+
+/// Deep-copies `plan` so a test can corrupt one assignment.
+ExecutionPlan clone(const ExecutionPlan& plan,
+                    std::optional<arch::AcceleratorSpec> spec = {}) {
+  ExecutionPlan copy(plan.scheme(), plan.model(), spec.value_or(plan.spec()),
+                     plan.objective());
+  for (const auto& a : plan.assignments()) {
+    copy.add(a);
+  }
+  return copy;
+}
+
+TEST(PlanValidator, AllZooPlansAreClean) {
+  for (const auto& name : model::zoo::model_names()) {
+    const auto net = model::zoo::by_name(name);
+    for (count_t kb : {count_t{64}, count_t{256}}) {
+      const MemoryManager manager(spec_kb(kb));
+      for (Objective obj : {Objective::kAccesses, Objective::kLatency}) {
+        const auto het = run(manager.plan(net, obj), net);
+        EXPECT_TRUE(het.ok()) << name << " het @ " << kb << " kB\n"
+                              << het.summary();
+        const auto hom = run(manager.plan_homogeneous(net, obj), net);
+        EXPECT_TRUE(hom.ok()) << name << " hom @ " << kb << " kB\n"
+                              << hom.summary();
+      }
+    }
+  }
+}
+
+TEST(PlanValidator, InterlayerPlansAreClean) {
+  ManagerOptions options;
+  options.interlayer_reuse = true;
+  const MemoryManager manager(spec_kb(1024), options);
+  for (const auto& net : {model::zoo::mnasnet(), model::zoo::mobilenetv2()}) {
+    const auto plan = manager.plan(net, Objective::kAccesses);
+    ASSERT_GT(plan.interlayer_links(), 0u) << net.name();
+    const auto report = run(plan, net);
+    EXPECT_TRUE(report.ok()) << net.name() << "\n" << report.summary();
+  }
+}
+
+TEST(PlanValidator, BatchedAndUnpaddedPlansAreClean) {
+  ManagerOptions options;
+  options.analyzer.estimator.batch = 8;
+  options.analyzer.estimator.padded_traffic = false;
+  const MemoryManager manager(spec_kb(128), options);
+  const auto net = model::zoo::googlenet();
+  const auto plan = manager.plan(net, Objective::kLatency);
+  ValidatorOptions voptions;
+  voptions.estimator = options.analyzer.estimator;
+  const auto report = PlanValidator(voptions).validate(plan, net);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// Every feasible policy x prefetch applied network-wide must also re-derive
+// clean — the validator's closed forms mirror the estimator across the full
+// policy grid, not just the choices Algorithm 1 happens to pick.
+TEST(PlanValidator, PolicyGridIsClean) {
+  for (const auto& net : {model::zoo::resnet18(), model::zoo::mobilenet()}) {
+    const auto spec = spec_kb(256);
+    const MemoryManager manager(spec);
+    const Estimator estimator(spec);
+    const auto base = manager.plan(net, Objective::kAccesses);
+    for (Policy policy : core::kAllPolicies) {
+      for (bool prefetch : {false, true}) {
+        auto plan = clone(base);
+        for (std::size_t i = 0; i < net.size(); ++i) {
+          const auto est = estimator.estimate(net.layer(i), policy, prefetch);
+          if (est.feasible) {
+            plan.mutable_assignment(i).estimate = est;
+          }
+        }
+        const auto report = run(plan, net);
+        EXPECT_TRUE(report.ok())
+            << net.name() << " " << core::to_string(policy) << " prefetch="
+            << prefetch << "\n" << report.summary();
+      }
+    }
+  }
+}
+
+class BadPlanFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_.emplace(model::zoo::resnet18());
+    plan_.emplace(MemoryManager(spec_kb(64)).plan(*net_,
+                                                  Objective::kAccesses));
+  }
+
+  /// First assignment whose choice satisfies `pred`; fails the test if none.
+  std::size_t find(auto pred) {
+    for (std::size_t i = 0; i < plan_->size(); ++i) {
+      if (pred(plan_->assignment(i))) {
+        return i;
+      }
+    }
+    ADD_FAILURE() << "no assignment matches the fixture predicate";
+    return 0;
+  }
+
+  std::optional<model::Network> net_;
+  std::optional<ExecutionPlan> plan_;
+};
+
+TEST_F(BadPlanFixture, TruncatedPlanIsV002) {
+  ExecutionPlan short_plan(plan_->scheme(), plan_->model(), plan_->spec(),
+                           plan_->objective());
+  for (std::size_t i = 0; i + 1 < plan_->size(); ++i) {
+    short_plan.add(plan_->assignment(i));
+  }
+  const auto report = run(short_plan, *net_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kLayerIndexMismatch)) << report.summary();
+}
+
+TEST_F(BadPlanFixture, OversizedFilterBlockIsV003) {
+  auto plan = clone(*plan_);
+  const std::size_t i = find([](const core::LayerAssignment& a) {
+    return a.estimate.choice.policy == Policy::kPartialIfmap ||
+           a.estimate.choice.policy == Policy::kPartialPerChannel ||
+           a.estimate.choice.policy == Policy::kFallbackTiled;
+  });
+  plan.mutable_assignment(i).estimate.choice.filter_block = 1 << 30;
+  const auto report = run(plan, *net_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kTileOutOfRange)) << report.summary();
+}
+
+TEST_F(BadPlanFixture, TamperedFootprintIsV004) {
+  auto plan = clone(*plan_);
+  plan.mutable_assignment(0).estimate.footprint.filter += 1;
+  const auto report = run(plan, *net_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kFootprintMismatch)) << report.summary();
+  EXPECT_FALSE(report.has(Code::kPrefetchDoubling)) << report.summary();
+}
+
+TEST_F(BadPlanFixture, SingleBufferedPrefetchIsV005) {
+  // Flip the prefetch flag without re-deriving the footprint: the stored
+  // footprint is exactly the single-buffered form, which is the specific
+  // Eq. 2 violation (not a generic V004 mismatch).
+  auto plan = clone(*plan_);
+  const std::size_t i = find([](const core::LayerAssignment& a) {
+    return !a.estimate.choice.prefetch;
+  });
+  plan.mutable_assignment(i).estimate.choice.prefetch = true;
+  ValidatorOptions options = PlanValidator::structural_only();
+  const auto report = PlanValidator(options).validate(plan, *net_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kPrefetchDoubling)) << report.summary();
+  EXPECT_FALSE(report.has(Code::kFootprintMismatch)) << report.summary();
+}
+
+TEST_F(BadPlanFixture, ShrunkGlbIsV006) {
+  // Same assignments, 1 kB header spec: every footprint re-derives fine but
+  // no longer fits.
+  const auto plan = clone(*plan_, spec_kb(1));
+  const auto report =
+      PlanValidator(PlanValidator::structural_only()).validate(plan, *net_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kGlbOverflow)) << report.summary();
+}
+
+TEST_F(BadPlanFixture, InfeasibleEstimateIsV007) {
+  auto plan = clone(*plan_);
+  plan.mutable_assignment(0).estimate.feasible = false;
+  const auto report = run(plan, *net_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kFeasibilityFlag)) << report.summary();
+}
+
+TEST_F(BadPlanFixture, WrongIfmapReloadVolumeIsV008) {
+  // A partial-policy ifmap term is base x ceil(F#/n); corrupting it must be
+  // attributed to the fold-count invariant, not generic traffic.
+  const auto spec = spec_kb(64);
+  const Estimator estimator(spec);
+  auto plan = clone(*plan_);
+  const std::size_t i = find([&](const core::LayerAssignment& a) {
+    const auto& layer = net_->layer(a.layer_index);
+    if (layer.is_depthwise()) {
+      return false;
+    }
+    return estimator.estimate(layer, Policy::kPartialIfmap, false).feasible;
+  });
+  plan.mutable_assignment(i).estimate =
+      estimator.estimate(net_->layer(i), Policy::kPartialIfmap, false);
+  plan.mutable_assignment(i).estimate.traffic.ifmap_reads += 12345;
+  ValidatorOptions options;
+  options.check_latency = false;  // isolate the traffic diagnostic
+  const auto report = PlanValidator(options).validate(plan, *net_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kFoldCountMismatch)) << report.summary();
+  EXPECT_FALSE(report.has(Code::kTrafficMismatch)) << report.summary();
+}
+
+TEST_F(BadPlanFixture, WrongOfmapVolumeIsV009) {
+  auto plan = clone(*plan_);
+  plan.mutable_assignment(0).estimate.traffic.ofmap_writes += 1;
+  ValidatorOptions options;
+  options.check_latency = false;
+  const auto report = PlanValidator(options).validate(plan, *net_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kTrafficMismatch)) << report.summary();
+}
+
+TEST_F(BadPlanFixture, TamperedLatencyIsV010) {
+  auto plan = clone(*plan_);
+  plan.mutable_assignment(0).estimate.latency_cycles *= 2.0;
+  const auto report = run(plan, *net_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kLatencyMismatch)) << report.summary();
+}
+
+TEST_F(BadPlanFixture, DanglingReuseLinkIsV011) {
+  auto plan = clone(*plan_);
+  plan.mutable_assignment(0).ifmap_from_glb = true;  // layer 0 has no producer
+  const auto report =
+      PlanValidator(PlanValidator::structural_only()).validate(plan, *net_);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Code::kInterlayerBroken)) << report.summary();
+}
+
+TEST(PlanValidatorOptions, StructuralOnlySkipsTrafficAndLatency) {
+  const auto net = model::zoo::mobilenet();
+  auto plan = MemoryManager(spec_kb(64)).plan(net, Objective::kAccesses);
+  plan.mutable_assignment(0).estimate.traffic.ofmap_writes += 7;
+  plan.mutable_assignment(0).estimate.latency_cycles *= 3.0;
+  const auto structural =
+      PlanValidator(PlanValidator::structural_only()).validate(plan, net);
+  EXPECT_TRUE(structural.ok()) << structural.summary();
+  const auto full = PlanValidator(ValidatorOptions{}).validate(plan, net);
+  EXPECT_FALSE(full.ok());
+}
+
+TEST(Diagnostics, MessageCarriesCodeSeverityLayerAndValues) {
+  Diagnostic d;
+  d.code = Code::kGlbOverflow;
+  d.severity = Severity::kError;
+  d.layer = 3;
+  d.context = "conv2_1";
+  d.expected = "<= 65536";
+  d.actual = "131072";
+  d.detail = "planned footprint exceeds the GLB capacity";
+  const std::string m = d.message();
+  EXPECT_NE(m.find("V006"), std::string::npos) << m;
+  EXPECT_NE(m.find("error"), std::string::npos) << m;
+  EXPECT_NE(m.find("layer 3"), std::string::npos) << m;
+  EXPECT_NE(m.find("conv2_1"), std::string::npos) << m;
+  EXPECT_NE(m.find("65536"), std::string::npos) << m;
+  EXPECT_NE(m.find("131072"), std::string::npos) << m;
+}
+
+TEST(Diagnostics, ReportAccounting) {
+  ValidationReport report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.empty());
+  Diagnostic warn;
+  warn.code = Code::kInterlayerWindow;
+  warn.severity = Severity::kWarning;
+  report.add(warn);
+  EXPECT_TRUE(report.ok());  // warnings alone do not fail validation
+  EXPECT_EQ(report.warning_count(), 1u);
+  Diagnostic err;
+  err.code = Code::kGlbOverflow;
+  report.add(err);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_TRUE(report.has(Code::kGlbOverflow));
+  EXPECT_EQ(report.count(Code::kInterlayerWindow), 1u);
+
+  ValidationReport other;
+  other.add(err);
+  report.merge(other);
+  EXPECT_EQ(report.error_count(), 2u);
+  EXPECT_EQ(report.count(Code::kGlbOverflow), 2u);
+}
+
+}  // namespace
+}  // namespace rainbow::validate

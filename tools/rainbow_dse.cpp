@@ -15,12 +15,14 @@
 #include <string>
 
 #include "core/eval_cache.hpp"
+#include "core/manager.hpp"
 #include "dse/pareto.hpp"
 #include "dse/sensitivity.hpp"
 #include "model/parser.hpp"
 #include "model/summary.hpp"
 #include "model/zoo/zoo.hpp"
 #include "util/table.hpp"
+#include "validate/plan_validator.hpp"
 
 namespace {
 
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
   bool no_eval_cache = false;
   bool cache_stats = false;
   bool simulate = false;
+  bool validate = false;
   std::optional<std::string> csv_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -84,6 +87,8 @@ int main(int argc, char** argv) {
       cache_stats = true;
     } else if (flag == "--simulate") {
       simulate = true;
+    } else if (flag == "--validate") {
+      validate = true;
     } else if (flag == "--csv") {
       csv_path = next();
     } else {
@@ -91,7 +96,7 @@ int main(int argc, char** argv) {
                 << " --model <zoo-name|file.model> [--min-kb N] [--max-kb N]"
                    " [--widths 8,16] [--batches 1,8] [--interlayer]"
                    " [--no-eval-cache] [--cache-stats] [--simulate]"
-                   " [--csv path]\n";
+                   " [--validate] [--csv path]\n";
       return flag == "--help" || flag == "-h" ? 0 : 2;
     }
   }
@@ -185,6 +190,48 @@ int main(int argc, char** argv) {
       std::cout << "knee: " << dse::knee_glb_bytes(points, 1.0, widths[0]) / 1024
                 << " kB\n";
     }
+    if (validate) {
+      // Re-plan every grid point (Het, both objectives) and re-derive each
+      // plan's invariants; sweeps must never publish an inconsistent point.
+      std::size_t plans = 0, errors = 0, warnings = 0;
+      for (count_t glb : config.glb_bytes) {
+        for (int width : widths) {
+          for (int batch : batches) {
+            auto spec = arch::paper_spec(glb);
+            spec.data_width_bits = width;
+            core::ManagerOptions moptions;
+            moptions.analyzer.estimator.batch = batch;
+            moptions.interlayer_reuse = interlayer;
+            const core::MemoryManager manager(spec, moptions);
+            validate::ValidatorOptions voptions;
+            voptions.estimator = moptions.analyzer.estimator;
+            const validate::PlanValidator validator(voptions);
+            for (core::Objective objective :
+                 {core::Objective::kAccesses, core::Objective::kLatency}) {
+              const auto plan = manager.plan(net, objective);
+              const auto report = validator.validate(plan, net);
+              ++plans;
+              errors += report.error_count();
+              warnings += report.warning_count();
+              for (const auto& d : report.diagnostics()) {
+                if (d.severity == validate::Severity::kError) {
+                  std::cerr << "  [" << glb / 1024 << " kB, w" << width
+                            << ", b" << batch << ", "
+                            << core::to_string(objective) << "] "
+                            << d.message() << '\n';
+                }
+              }
+            }
+          }
+        }
+      }
+      std::cout << "validate: " << plans << " plan(s) re-derived, " << errors
+                << " error(s), " << warnings << " warning(s)\n";
+      if (errors > 0) {
+        return 1;
+      }
+    }
+
     const auto summary = model::summarize(net);
     std::cout << "profile: " << model::to_string(summary.dominance)
               << ", recommended fixed-split ifmap fraction "

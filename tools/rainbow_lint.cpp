@@ -1,0 +1,157 @@
+// rainbow_lint: static checks on the repository's on-disk artifacts —
+// model zoo files, plan files, and accelerator configurations — without
+// running the planner.  Every finding is line-numbered and coded (L0xx,
+// see docs/validation.md).
+//
+//   rainbow_lint --model models/mobilenet.model
+//   rainbow_lint --all-zoo
+//   rainbow_lint --plan out.plan --plan-model resnet18 --glb 256
+//
+// Exit codes: 0 clean, 1 findings (errors, or warnings under --strict),
+// 2 usage error.
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/parser.hpp"
+#include "model/zoo/zoo.hpp"
+#include "util/units.hpp"
+#include "validate/lint.hpp"
+
+namespace {
+
+using namespace rainbow;
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [inputs] [options]\n"
+      << "inputs (at least one):\n"
+      << "  --model <file|zoo-name>  lint a model file (repeatable)\n"
+      << "  --all-zoo                lint every built-in zoo model\n"
+      << "  --plan <file>            lint a plan file (repeatable)\n"
+      << "  --spec-only              lint just the accelerator config\n"
+      << "options:\n"
+      << "  --plan-model <file|zoo-name>  cross-check plan rows against\n"
+      << "                                this network's layer bounds\n"
+      << "  --glb <kB>               GLB size for spec context (default 64)\n"
+      << "  --width <bits>           data width for spec context (default 8)\n"
+      << "  --strict                 warnings also fail (exit 1)\n"
+      << "  --quiet                  print only the summary line\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> model_inputs;
+  std::vector<std::string> plan_inputs;
+  std::string plan_model;
+  count_t glb_kb = 64;
+  int width_bits = 8;
+  bool all_zoo = false;
+  bool spec_only = false;
+  bool strict = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "rainbow_lint: missing value for " << flag << '\n';
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--model") {
+      model_inputs.push_back(next());
+    } else if (flag == "--all-zoo") {
+      all_zoo = true;
+    } else if (flag == "--plan") {
+      plan_inputs.push_back(next());
+    } else if (flag == "--plan-model") {
+      plan_model = next();
+    } else if (flag == "--glb") {
+      glb_kb = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--width") {
+      width_bits = std::atoi(next().c_str());
+    } else if (flag == "--spec-only") {
+      spec_only = true;
+    } else if (flag == "--strict") {
+      strict = true;
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else {
+      usage(argv[0]);
+      return flag == "--help" || flag == "-h" ? 0 : 2;
+    }
+  }
+  if (model_inputs.empty() && plan_inputs.empty() && !all_zoo && !spec_only) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    validate::LintOptions options;
+    options.spec = arch::paper_spec(util::kib(glb_kb));
+    options.spec.data_width_bits = width_bits;
+
+    validate::ValidationReport all;
+    auto run = [&](const std::string& what,
+                   const validate::ValidationReport& report) {
+      if (!quiet) {
+        if (report.empty()) {
+          std::cout << what << ": clean\n";
+        } else {
+          std::cout << what << ": " << report.error_count() << " error(s), "
+                    << report.warning_count() << " warning(s)\n";
+          for (const auto& d : report.diagnostics()) {
+            std::cout << "  " << d.message() << '\n';
+          }
+        }
+      }
+      all.merge(report);
+    };
+
+    if (spec_only || !model_inputs.empty() || !plan_inputs.empty() ||
+        all_zoo) {
+      run("spec", validate::lint_spec(options.spec));
+    }
+    if (all_zoo) {
+      for (const auto& net : model::zoo::all_models()) {
+        run("zoo:" + net.name(),
+            validate::lint_model_text(model::serialize_network(net), options));
+      }
+    }
+    for (const auto& input : model_inputs) {
+      if (std::filesystem::exists(input)) {
+        run(input, validate::lint_model_file(input, options));
+      } else {
+        run("zoo:" + input,
+            validate::lint_model_text(
+                model::serialize_network(model::zoo::by_name(input)),
+                options));
+      }
+    }
+    std::optional<model::Network> cross;
+    if (!plan_model.empty()) {
+      cross = std::filesystem::exists(plan_model)
+                  ? model::load_network(plan_model)
+                  : model::zoo::by_name(plan_model);
+    }
+    for (const auto& input : plan_inputs) {
+      run(input, validate::lint_plan_file(
+                     input, cross ? &*cross : nullptr, options));
+    }
+
+    std::cout << "rainbow_lint: " << all.error_count() << " error(s), "
+              << all.warning_count() << " warning(s)\n";
+    if (all.error_count() > 0 || (strict && all.warning_count() > 0)) {
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "rainbow_lint: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -28,6 +28,7 @@
 #include "model/zoo/zoo.hpp"
 #include "scalesim/simulator.hpp"
 #include "util/table.hpp"
+#include "validate/plan_validator.hpp"
 
 namespace {
 
@@ -48,6 +49,7 @@ struct CliOptions {
   bool parallel = false;
   bool describe = false;
   bool baseline = false;
+  bool validate = false;
   std::optional<std::size_t> explain_layer;  // per-layer candidate table
   std::optional<std::size_t> timeline_layer; // ASCII occupancy chart
   std::optional<std::size_t> lower_layers;  // print the command stream
@@ -72,6 +74,8 @@ struct CliOptions {
      << "  --cache-stats       print evaluation-cache hit/miss statistics\n"
      << "  --parallel          plan layers in parallel (same plan, faster)\n"
      << "  --describe          per-layer plan table\n"
+     << "  --validate          re-derive every plan invariant; non-zero exit\n"
+     << "                      on any diagnostic (see docs/validation.md)\n"
      << "  --explain <layer>   candidate table for one layer index\n"
      << "  --timeline <layer>  DRAM/compute occupancy chart for one layer\n"
      << "  --baseline          compare against the fixed-partition baseline\n"
@@ -129,6 +133,8 @@ CliOptions parse(int argc, char** argv) {
       opt.parallel = true;
     } else if (flag == "--describe") {
       opt.describe = true;
+    } else if (flag == "--validate") {
+      opt.validate = true;
     } else if (flag == "--explain") {
       opt.explain_layer = std::strtoull(next("--explain").c_str(), nullptr, 10);
     } else if (flag == "--timeline") {
@@ -229,6 +235,25 @@ int main(int argc, char** argv) {
                             std::to_string(plan.interlayer_links())
                       : std::string())
               << '\n';
+
+    if (opt.validate) {
+      validate::ValidatorOptions voptions;
+      voptions.estimator = options.analyzer.estimator;
+      const validate::PlanValidator validator(voptions);
+      const validate::ValidationReport report = validator.validate(plan, net);
+      if (report.empty()) {
+        std::cout << "  validate:  ok (all invariants hold)\n";
+      } else {
+        std::cout << "  validate:  " << report.error_count() << " error(s), "
+                  << report.warning_count() << " warning(s)\n";
+        for (const auto& d : report.diagnostics()) {
+          std::cout << "    " << d.message() << '\n';
+        }
+      }
+      if (!report.ok()) {
+        return 1;
+      }
+    }
 
     if (opt.cache_stats) {
       if (cache) {

@@ -21,20 +21,20 @@
 #include "scalesim/systolic.hpp"
 #include "systolic/conv_driver.hpp"
 #include "util/table.hpp"
+#include "validate/plan_validator.hpp"
 
 namespace {
 
 using namespace rainbow;
 
-model::Layer parse_layer_spec(const std::string& spec_str) {
+model::Network parse_layer_spec(const std::string& spec_str) {
   // kind,ih,iw,ci,fh,fw,nf,s,p — reuse the model parser by wrapping the
   // layer in a one-line network.
   const std::string text =
       "network, verify\n" +
       spec_str.substr(0, spec_str.find(',')) + ", layer, " +
       spec_str.substr(spec_str.find(',') + 1) + "\n";
-  const model::Network net = model::parse_network(text);
-  return net.layer(0);
+  return model::parse_network(text);
 }
 
 }  // namespace
@@ -70,18 +70,21 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const model::Layer layer = parse_layer_spec(layer_spec);
+    const model::Network net = parse_layer_spec(layer_spec);
+    const model::Layer& layer = net.layer(0);
     const auto spec = arch::paper_spec(util::kib(glb_kb));
     std::cout << "verifying " << layer << " @ " << glb_kb << " kB\n\n";
 
     const core::Estimator estimator(spec);
     const engine::Engine engine(spec);
     const codegen::Interpreter interpreter(spec);
+    const validate::PlanValidator validator{validate::ValidatorOptions{}};
     const auto operands = ref::random_operands(layer, seed);
     const auto golden = ref::reference_forward(layer, operands);
 
     bool all_ok = true;
-    util::Table table({"policy", "accounting", "numerics", "footprint"});
+    util::Table table({"policy", "accounting", "numerics", "footprint",
+                       "invariants"});
     for (core::Policy p : core::kAllPolicies) {
       for (bool prefetch : {false, true}) {
         const auto est = estimator.estimate(layer, p, prefetch);
@@ -117,12 +120,27 @@ int main(int argc, char** argv) {
         const bool bounded = peaks.ifmap <= fp.ifmap &&
                              peaks.filter <= fp.filter &&
                              peaks.ofmap <= fp.ofmap;
+
+        // Invariants: a one-layer plan built from this choice must survive
+        // the full re-derivation in the validator.
+        core::ExecutionPlan plan("verify", net.name(), spec,
+                                 core::Objective::kAccesses);
+        core::LayerAssignment slot;
+        slot.layer_index = 0;
+        slot.estimate = est;
+        plan.add(slot);
+        const auto report = validator.validate(plan, net);
+        const bool invariants = report.ok();
+        if (!invariants) {
+          std::cerr << report.summary();
+        }
         std::ostringstream label;
         label << est.choice;
         table.add_row({label.str(), accounting ? "ok" : "MISMATCH",
                        numerics ? "ok" : "MISMATCH",
-                       bounded ? "ok" : "EXCEEDED"});
-        all_ok = all_ok && accounting && numerics && bounded;
+                       bounded ? "ok" : "EXCEEDED",
+                       invariants ? "ok" : "VIOLATED"});
+        all_ok = all_ok && accounting && numerics && bounded && invariants;
       }
     }
     table.print(std::cout);
