@@ -1,0 +1,101 @@
+#include "analysis/hazards.hpp"
+
+#include <string>
+
+namespace rainbow::analysis {
+
+using codegen::DataKind;
+using validate::Code;
+using validate::Diagnostic;
+using validate::Severity;
+using validate::ValidationReport;
+
+void HazardChecker::begin_layer() {
+  dma_in_epoch_ = false;
+  compute_in_epoch_ = false;
+  layer_computed_ = false;
+  store_reported_ = false;
+  barrier_reported_ = false;
+}
+
+void HazardChecker::on_dma() { dma_in_epoch_ = true; }
+
+void HazardChecker::on_compute(RegionTable& regions, const Site& site,
+                               ValidationReport& report) {
+  for (auto& [id, state] : regions.live()) {
+    // Only this layer's own inputs: an inherited region was filled by its
+    // producer (its alloc kind is kOfmap and its birth layer is earlier).
+    const bool input = state.kind == DataKind::kIfmap ||
+                       state.kind == DataKind::kFilter;
+    if (!input || state.birth_layer != site.layer_index) {
+      continue;
+    }
+    if (state.loaded == 0 && !state.use_reported) {
+      Diagnostic d =
+          stream_diag(Code::kStreamUseBeforeLoad, Severity::kError, site);
+      d.detail = "compute runs while input region " + std::to_string(id) +
+                 " (" + std::string(codegen::to_string(state.kind)) +
+                 ") has received no data";
+      report.add(std::move(d));
+      state.use_reported = true;
+    }
+    if (state.loaded > 0) {
+      state.computed = true;
+    }
+  }
+  compute_in_epoch_ = true;
+  layer_computed_ = true;
+}
+
+void HazardChecker::on_store(const Site& site, ValidationReport& report) {
+  if (!layer_computed_ && !store_reported_) {
+    Diagnostic d =
+        stream_diag(Code::kStreamStoreBeforeCompute, Severity::kError, site);
+    d.detail = "store issued before this layer's first compute; nothing has "
+               "produced the data being drained";
+    report.add(std::move(d));
+    store_reported_ = true;
+  }
+  dma_in_epoch_ = true;
+}
+
+void HazardChecker::on_free(bool prefetch, const Site& site,
+                            ValidationReport& report) {
+  if (prefetch && epoch_active() && !barrier_reported_) {
+    Diagnostic d =
+        stream_diag(Code::kStreamMissingBarrier, Severity::kError, site);
+    d.detail = "free issued while the epoch's DMA/compute may still be in "
+               "flight; a kBarrier must drain the layer first";
+    report.add(std::move(d));
+    barrier_reported_ = true;
+  }
+}
+
+void HazardChecker::on_barrier() {
+  dma_in_epoch_ = false;
+  compute_in_epoch_ = false;
+}
+
+void HazardChecker::end_layer(bool prefetch, std::size_t layer_index,
+                              std::string_view layer_name,
+                              ValidationReport& report) {
+  if (!epoch_active() || barrier_reported_) {
+    return;
+  }
+  if (prefetch) {
+    Diagnostic d = layer_diag(Code::kStreamMissingBarrier, Severity::kError,
+                              layer_index, layer_name);
+    d.detail = "prefetch layer ends with DMA/compute still in flight; no "
+               "kBarrier drains the final epoch";
+    report.add(std::move(d));
+  } else {
+    Diagnostic d = layer_diag(Code::kStreamUnterminatedLayer,
+                              Severity::kWarning, layer_index, layer_name);
+    d.detail = "layer stream is not barrier-terminated (benign under serial "
+               "semantics, but every lowering emits a closing kBarrier)";
+    report.add(std::move(d));
+  }
+  barrier_reported_ = true;
+}
+
+}  // namespace rainbow::analysis

@@ -1,0 +1,67 @@
+// DMA <-> compute hazard checking: the concurrency half of the stream
+// analyzer.  Commands between two kBarriers form one epoch; under
+// prefetching everything in an epoch may be in flight simultaneously (the
+// engine's two-resource model starts a compute against all previously
+// issued loads and overlaps later DMA with it), so ordering inside an
+// epoch is only safe when the data dependencies hold structurally.  This
+// is exactly the correctness property Eq. 2's doubled footprint exists to
+// buy: the barrier drains the epoch before its regions are freed.
+//
+// Diagnostics emitted here: S006 (compute consumes a region no load has
+// filled), S007 (store precedes the layer's first compute), S008 (prefetch
+// layer frees or ends with an undrained epoch), S009 (serial layer not
+// barrier-terminated — benign under serial semantics, hence a warning).
+#pragma once
+
+#include "analysis/lifetime.hpp"
+#include "validate/diagnostics.hpp"
+
+namespace rainbow::analysis {
+
+/// Tracks one layer's barrier-delimited epochs.  Feed commands in program
+/// order; call end_layer before moving to the next LayerProgram.
+class HazardChecker {
+ public:
+  /// Resets all per-layer state (epoch flags and once-per-layer latches).
+  void begin_layer();
+
+  /// Any DMA transfer (load or store) joins the current epoch.
+  void on_dma();
+
+  /// S006: every input region born in this layer must have received data
+  /// before the first compute that could consume it.  Marks regions so
+  /// each is reported at most once per layer.
+  void on_compute(RegionTable& regions, const Site& site,
+                  validate::ValidationReport& report);
+
+  /// S007: a store issued before the layer computed anything.
+  void on_store(const Site& site, validate::ValidationReport& report);
+
+  /// S008 (prefetch only): freeing a region while the epoch is undrained
+  /// races the free against in-flight DMA or compute.
+  void on_free(bool prefetch, const Site& site,
+               validate::ValidationReport& report);
+
+  /// A barrier drains the epoch.
+  void on_barrier();
+
+  /// S008/S009: a layer must not end with an undrained epoch — an error
+  /// under prefetch (real hazard), a warning under serial semantics
+  /// (structural convention).
+  void end_layer(bool prefetch, std::size_t layer_index,
+                 std::string_view layer_name,
+                 validate::ValidationReport& report);
+
+ private:
+  bool dma_in_epoch_ = false;
+  bool compute_in_epoch_ = false;
+  bool layer_computed_ = false;
+  bool store_reported_ = false;
+  bool barrier_reported_ = false;
+
+  [[nodiscard]] bool epoch_active() const {
+    return dma_in_epoch_ || compute_in_epoch_;
+  }
+};
+
+}  // namespace rainbow::analysis

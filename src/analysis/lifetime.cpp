@@ -1,0 +1,262 @@
+#include "analysis/lifetime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace rainbow::analysis {
+
+using codegen::Command;
+using codegen::DataKind;
+using validate::Code;
+using validate::Diagnostic;
+using validate::Severity;
+using validate::ValidationReport;
+
+validate::Diagnostic stream_diag(Code code, Severity severity,
+                                 const Site& site) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.layer = site.layer_index;
+  d.context =
+      std::string(site.layer_name) + " cmd " + std::to_string(site.command);
+  return d;
+}
+
+validate::Diagnostic layer_diag(Code code, Severity severity,
+                                std::size_t layer_index,
+                                std::string_view layer_name) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.layer = layer_index;
+  d.context = std::string(layer_name);
+  return d;
+}
+
+RegionTable::RegionTable(count_t capacity_elems) : glb_(capacity_elems) {}
+
+void RegionTable::begin_layer() { layer_peak_ = live_sum_; }
+
+RegionState* RegionTable::find(int id) {
+  auto it = live_.find(id);
+  return it == live_.end() ? nullptr : &it->second;
+}
+
+void RegionTable::on_alloc(const Command& cmd, const Site& site,
+                           ValidationReport& report) {
+  if (auto it = live_.find(cmd.region); it != live_.end()) {
+    Diagnostic d = stream_diag(Code::kStreamDoubleAlloc, Severity::kError, site);
+    d.detail = "region " + std::to_string(cmd.region) +
+               " allocated while already live (born in layer " +
+               std::to_string(it->second.birth_layer) +
+               "); re-allocation ignored";
+    report.add(std::move(d));
+    return;
+  }
+  RegionState state;
+  state.kind = cmd.kind;
+  state.size = cmd.elems;
+  state.birth_layer = site.layer_index;
+  ++regions_seen_;
+  live_sum_ += cmd.elems;
+  layer_peak_ = std::max(layer_peak_, live_sum_);
+  peak_live_ = std::max(peak_live_, live_sum_);
+  if (live_sum_ > glb_.capacity()) {
+    Diagnostic d = stream_diag(Code::kStreamOverCommit, Severity::kError, site);
+    d.expected = "<= " + std::to_string(glb_.capacity());
+    d.actual = std::to_string(live_sum_);
+    d.detail = "allocating region " + std::to_string(cmd.region) + " (" +
+               std::to_string(cmd.elems) +
+               " elems) raises live occupancy above the GLB capacity";
+    report.add(std::move(d));
+  } else {
+    // Only replay placements while the abstract occupancy fits: once the
+    // stream over-commits (S005) a first-fit failure is implied, not news.
+    try {
+      state.slot = glb_.allocate(
+          cmd.elems, std::string(site.layer_name) + "/" +
+                         std::string(codegen::to_string(cmd.kind)));
+      state.placed = true;
+    } catch (const std::runtime_error& e) {
+      Diagnostic d =
+          stream_diag(Code::kStreamPlacementFailure, Severity::kError, site);
+      d.detail = "stream fits by size (" + std::to_string(live_sum_) + " of " +
+                 std::to_string(glb_.capacity()) +
+                 " elems live) but first-fit placement failed: " + e.what();
+      report.add(std::move(d));
+    }
+  }
+  live_.emplace(cmd.region, state);
+}
+
+void RegionTable::on_load(const Command& cmd, const Site& site,
+                          ValidationReport& report) {
+  RegionState* state = find(cmd.region);
+  if (state == nullptr) {
+    Diagnostic d = stream_diag(Code::kStreamDeadRegion, Severity::kError, site);
+    d.detail = "load targets region " + std::to_string(cmd.region) +
+               ", which is not live (never allocated or already freed)";
+    report.add(std::move(d));
+    return;
+  }
+  // Streaming-ifmap leniency (mirrors the interpreter): sliding-window
+  // ifmap loads may exceed the window when stride > F_H discards rows in
+  // flight, so they are bounded by the whole GLB, not the region.
+  const bool streaming = cmd.kind == DataKind::kIfmap;
+  const count_t bound = streaming ? glb_.capacity() : state->size;
+  if (cmd.elems > bound) {
+    Diagnostic d =
+        stream_diag(Code::kStreamTransferOverflow, Severity::kError, site);
+    d.expected = "<= " + std::to_string(bound);
+    d.actual = std::to_string(cmd.elems);
+    d.detail = "load of " + std::to_string(cmd.elems) + " elems overflows " +
+               (streaming ? "the GLB capacity"
+                          : "region " + std::to_string(cmd.region) + " (" +
+                                std::to_string(state->size) + " elems)");
+    report.add(std::move(d));
+  }
+  state->loaded = std::max(state->loaded, std::min(cmd.elems, state->size));
+}
+
+void RegionTable::on_store(const Command& cmd, const Site& site,
+                           ValidationReport& report) {
+  RegionState* state = find(cmd.region);
+  if (state == nullptr) {
+    Diagnostic d = stream_diag(Code::kStreamDeadRegion, Severity::kError, site);
+    d.detail = "store drains region " + std::to_string(cmd.region) +
+               ", which is not live (never allocated or already freed)";
+    report.add(std::move(d));
+    return;
+  }
+  if (state->kind != DataKind::kOfmap) {
+    Diagnostic d = stream_diag(Code::kStreamMalformed, Severity::kError, site);
+    d.detail = "store drains region " + std::to_string(cmd.region) +
+               " of kind " + std::string(codegen::to_string(state->kind)) +
+               "; only ofmap regions are written back to DRAM";
+    report.add(std::move(d));
+  }
+  if (cmd.elems > state->size) {
+    Diagnostic d =
+        stream_diag(Code::kStreamTransferOverflow, Severity::kError, site);
+    d.expected = "<= " + std::to_string(state->size);
+    d.actual = std::to_string(cmd.elems);
+    d.detail = "store of " + std::to_string(cmd.elems) +
+               " elems overflows region " + std::to_string(cmd.region) + " (" +
+               std::to_string(state->size) + " elems)";
+    report.add(std::move(d));
+  }
+  state->stored += cmd.elems;
+}
+
+void RegionTable::on_free(const Command& cmd, const Site& site,
+                          ValidationReport& report) {
+  RegionState* state = find(cmd.region);
+  if (state == nullptr) {
+    Diagnostic d = stream_diag(Code::kStreamBadFree, Severity::kError, site);
+    d.detail = "free of region " + std::to_string(cmd.region) +
+               ", which is not live (double free or never allocated)";
+    report.add(std::move(d));
+    return;
+  }
+  // One kind change is sanctioned: an ofmap handed to the next layer is
+  // freed by its consumer as that layer's ifmap (inter-layer reuse).  A
+  // hand-off free names the consumer's ifmap view of the window, which
+  // can be smaller or larger than the producer's allocation (zoo trunks
+  // resize maps between layers, see V012); the allocator releases the
+  // whole region regardless, so no size check applies to hand-offs.
+  const bool handoff = state->kind == DataKind::kOfmap &&
+                       cmd.kind == DataKind::kIfmap &&
+                       state->birth_layer < site.layer_index;
+  if (cmd.kind != state->kind && !handoff) {
+    Diagnostic d = stream_diag(Code::kStreamMalformed, Severity::kError, site);
+    d.expected = std::string(codegen::to_string(state->kind));
+    d.actual = std::string(codegen::to_string(cmd.kind));
+    d.detail = "free kind disagrees with region " +
+               std::to_string(cmd.region) + "'s allocation kind";
+    report.add(std::move(d));
+  }
+  const bool size_ok =
+      handoff || cmd.elems == 0 || cmd.elems == state->size;
+  if (!size_ok) {
+    Diagnostic d = stream_diag(Code::kStreamMalformed, Severity::kError, site);
+    d.expected = std::to_string(state->size);
+    d.actual = std::to_string(cmd.elems);
+    d.detail = "free size disagrees with region " +
+               std::to_string(cmd.region) + "'s allocation size";
+    report.add(std::move(d));
+  }
+  if (state->loaded > 0 && !state->computed && state->stored == 0) {
+    Diagnostic d =
+        stream_diag(Code::kStreamDeadLoad, Severity::kWarning, site);
+    d.detail = "region " + std::to_string(cmd.region) + " received " +
+               std::to_string(state->loaded) +
+               " elems from DRAM but no compute consumed them and nothing "
+               "was stored back";
+    report.add(std::move(d));
+  }
+  live_sum_ -= state->size;
+  if (state->placed) {
+    glb_.release(state->slot);
+  }
+  live_.erase(cmd.region);
+}
+
+void RegionTable::end_layer(const Site& site, ValidationReport& report) {
+  std::size_t survivors = 0;
+  for (auto& [id, state] : live_) {
+    if (state.birth_layer < site.layer_index) {
+      // The hand-off window is exactly one layer boundary: a persisted
+      // ofmap must be consumed — and freed — by the very next layer.
+      if (!state.leak_reported) {
+        Diagnostic d = layer_diag(Code::kStreamRegionLeak, Severity::kError,
+                                  site.layer_index, site.layer_name);
+        d.detail = "region " + std::to_string(id) + " born in layer " +
+                   std::to_string(state.birth_layer) +
+                   " is still live past its hand-off window";
+        report.add(std::move(d));
+        state.leak_reported = true;
+      }
+      continue;
+    }
+    ++survivors;
+    if (state.kind != DataKind::kOfmap && !state.leak_reported) {
+      Diagnostic d = layer_diag(Code::kStreamRegionLeak, Severity::kError,
+                                site.layer_index, site.layer_name);
+      d.detail = "region " + std::to_string(id) + " of kind " +
+                 std::string(codegen::to_string(state.kind)) +
+                 " outlives its layer; only an ofmap may be handed onward";
+      report.add(std::move(d));
+      state.leak_reported = true;
+    }
+  }
+  if (survivors > 1) {
+    Diagnostic d = layer_diag(Code::kStreamRegionLeak, Severity::kError,
+                              site.layer_index, site.layer_name);
+    d.expected = "<= 1";
+    d.actual = std::to_string(survivors);
+    d.detail = "more than one region born in this layer survives it; the "
+               "hand-off carries a single ofmap";
+    report.add(std::move(d));
+  }
+}
+
+void RegionTable::end_program(ValidationReport& report) {
+  for (const auto& [id, state] : live_) {
+    if (state.leak_reported) {
+      continue;
+    }
+    Diagnostic d;
+    d.code = Code::kStreamRegionLeak;
+    d.severity = Severity::kError;
+    d.layer = state.birth_layer;
+    d.context = "program end";
+    d.detail = "region " + std::to_string(id) + " (" +
+               std::to_string(state.size) +
+               " elems) is still live at the end of the program";
+    report.add(std::move(d));
+  }
+}
+
+}  // namespace rainbow::analysis

@@ -1,0 +1,112 @@
+// Region-lifetime tracking: the abstract-state half of the stream
+// analyzer.  A RegionTable mirrors what a scratchpad allocator would do —
+// alloc, transfer, free — symbolically: it tracks which regions are live,
+// how much data each holds, the exact occupancy timeline (whose maximum is
+// the interval-graph lower bound on the GLB a stream needs), and replays
+// every placement against the real engine::Glb first-fit allocator so
+// fragmentation failures surface statically, before any execution.
+//
+// Diagnostics emitted here: S001 (transfer to a dead region), S002 (double
+// alloc), S003 (bad free), S004 (region leak), S005 (capacity over-commit),
+// S010 (dead load), S011 (free size/kind misuse), S012 (transfer
+// overflow), S013 (first-fit placement failure).  docs/static_analysis.md
+// documents the catalog and the abstract semantics behind each rule.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string_view>
+
+#include "codegen/command.hpp"
+#include "engine/glb.hpp"
+#include "util/units.hpp"
+#include "validate/diagnostics.hpp"
+
+namespace rainbow::analysis {
+
+/// Where in the program a diagnostic anchors: the layer and the index of
+/// the offending command inside that layer's stream.
+struct Site {
+  std::size_t layer_index = 0;
+  std::string_view layer_name;
+  std::size_t command = 0;
+};
+
+/// Diagnostic skeleton anchored to one command (context "name cmd k").
+[[nodiscard]] validate::Diagnostic stream_diag(validate::Code code,
+                                               validate::Severity severity,
+                                               const Site& site);
+
+/// Diagnostic skeleton anchored to a whole layer (no command index).
+[[nodiscard]] validate::Diagnostic layer_diag(validate::Code code,
+                                              validate::Severity severity,
+                                              std::size_t layer_index,
+                                              std::string_view layer_name);
+
+/// Abstract state of one live scratchpad region.
+struct RegionState {
+  codegen::DataKind kind = codegen::DataKind::kIfmap;  ///< kind at alloc
+  count_t size = 0;           ///< allocated elements
+  std::size_t birth_layer = 0;
+  count_t loaded = 0;         ///< data known present, saturated at size
+  count_t stored = 0;         ///< elements drained to DRAM
+  bool computed = false;      ///< a compute consumed it after data arrived
+  bool use_reported = false;  ///< S006 already reported for this region
+  bool leak_reported = false; ///< S004 already reported for this region
+  bool placed = false;        ///< engine::Glb placement succeeded
+  engine::Glb::Region slot;   ///< first-fit placement, when placed
+};
+
+/// The live-region map plus the symbolic occupancy timeline.  Commands are
+/// fed in program order; every rule violation lands in the report instead
+/// of throwing, so one walk collects every finding in a stream.
+class RegionTable {
+ public:
+  explicit RegionTable(count_t capacity_elems);
+
+  /// Resets the per-layer occupancy peak (carried regions still count).
+  void begin_layer();
+
+  void on_alloc(const codegen::Command& cmd, const Site& site,
+                validate::ValidationReport& report);
+  void on_load(const codegen::Command& cmd, const Site& site,
+               validate::ValidationReport& report);
+  void on_store(const codegen::Command& cmd, const Site& site,
+                validate::ValidationReport& report);
+  void on_free(const codegen::Command& cmd, const Site& site,
+               validate::ValidationReport& report);
+
+  /// Leak checks at a layer boundary: anything older than one hand-off
+  /// window, more than one survivor, or a survivor that is not an ofmap.
+  void end_layer(const Site& site, validate::ValidationReport& report);
+
+  /// Leak check at program end: nothing may remain live.
+  void end_program(validate::ValidationReport& report);
+
+  /// Live-region lookup; nullptr when `id` is not live.
+  [[nodiscard]] RegionState* find(int id);
+
+  [[nodiscard]] const std::map<int, RegionState>& live() const {
+    return live_;
+  }
+  [[nodiscard]] std::map<int, RegionState>& live() { return live_; }
+  [[nodiscard]] count_t capacity() const { return glb_.capacity(); }
+  [[nodiscard]] count_t live_elems() const { return live_sum_; }
+  /// Interval-graph lower bound: max simultaneous live elements.
+  [[nodiscard]] count_t peak_live_elems() const { return peak_live_; }
+  /// Same, within the current layer only (reset by begin_layer).
+  [[nodiscard]] count_t layer_peak_elems() const { return layer_peak_; }
+  /// Peak of the engine::Glb first-fit replay (>= peak_live_elems).
+  [[nodiscard]] count_t glb_peak_elems() const { return glb_.peak_used(); }
+  [[nodiscard]] std::size_t regions_seen() const { return regions_seen_; }
+
+ private:
+  engine::Glb glb_;
+  std::map<int, RegionState> live_;  // ordered: deterministic diagnostics
+  count_t live_sum_ = 0;
+  count_t peak_live_ = 0;
+  count_t layer_peak_ = 0;
+  std::size_t regions_seen_ = 0;
+};
+
+}  // namespace rainbow::analysis

@@ -1,0 +1,292 @@
+#include "analysis/stream_analyzer.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "analysis/hazards.hpp"
+#include "analysis/lifetime.hpp"
+#include "core/estimator.hpp"
+
+namespace rainbow::analysis {
+namespace {
+
+using codegen::Command;
+using codegen::DataKind;
+using validate::Code;
+using validate::Diagnostic;
+using validate::Severity;
+using validate::ValidationReport;
+
+void add_malformed(const Site& site, std::string detail,
+                   ValidationReport& report) {
+  Diagnostic d = stream_diag(Code::kStreamMalformed, Severity::kError, site);
+  d.detail = std::move(detail);
+  report.add(std::move(d));
+}
+
+/// True when the command is well-formed enough to feed the region table
+/// (a negative region id has nothing to anchor abstract state to).
+bool check_shape(const Command& cmd, const Site& site,
+                 ValidationReport& report) {
+  switch (cmd.op) {
+    case Command::Op::kAlloc:
+    case Command::Op::kLoad:
+    case Command::Op::kStore:
+      if (cmd.region < 0) {
+        add_malformed(site,
+                      std::string(codegen::to_string(cmd.op)) +
+                          " carries a negative region id",
+                      report);
+        return false;
+      }
+      if (cmd.elems == 0) {
+        add_malformed(site,
+                      std::string(codegen::to_string(cmd.op)) +
+                          " of zero elements (region " +
+                          std::to_string(cmd.region) + ")",
+                      report);
+      }
+      return true;
+    case Command::Op::kFree:
+      if (cmd.region < 0) {
+        add_malformed(site, "free carries a negative region id", report);
+        return false;
+      }
+      return true;
+    case Command::Op::kCompute:
+      if (cmd.macs == 0) {
+        add_malformed(site, "compute of zero MACs", report);
+      }
+      return true;
+    case Command::Op::kBarrier:
+      return true;
+  }
+  return true;
+}
+
+AnalysisResult walk(const codegen::Program& program) {
+  AnalysisResult result;
+  result.capacity_elems = program.spec.glb_elems();
+  RegionTable regions(result.capacity_elems);
+  HazardChecker hazards;
+
+  for (const codegen::LayerProgram& layer : program.layers) {
+    regions.begin_layer();
+    hazards.begin_layer();
+    LayerAnalysis la;
+    la.layer_index = layer.layer_index;
+    la.layer_name = layer.layer_name;
+    la.choice = layer.choice;
+    la.commands = layer.commands.size();
+    Site site{layer.layer_index, layer.layer_name, 0};
+    for (std::size_t i = 0; i < layer.commands.size(); ++i) {
+      const Command& cmd = layer.commands[i];
+      site.command = i;
+      if (!check_shape(cmd, site, result.report)) {
+        continue;
+      }
+      switch (cmd.op) {
+        case Command::Op::kAlloc:
+          la.allocs.emplace_back(cmd.kind, cmd.elems);
+          regions.on_alloc(cmd, site, result.report);
+          break;
+        case Command::Op::kLoad:
+          if (cmd.kind == DataKind::kIfmap) {
+            la.sums.ifmap_loads += cmd.elems;
+          } else if (cmd.kind == DataKind::kFilter) {
+            la.sums.filter_loads += cmd.elems;
+          }
+          hazards.on_dma();
+          regions.on_load(cmd, site, result.report);
+          break;
+        case Command::Op::kCompute:
+          la.sums.macs += cmd.macs;
+          hazards.on_compute(regions, site, result.report);
+          break;
+        case Command::Op::kStore:
+          la.sums.ofmap_stores += cmd.elems;
+          hazards.on_store(site, result.report);
+          regions.on_store(cmd, site, result.report);
+          break;
+        case Command::Op::kFree:
+          hazards.on_free(layer.choice.prefetch, site, result.report);
+          regions.on_free(cmd, site, result.report);
+          break;
+        case Command::Op::kBarrier:
+          ++la.barriers;
+          hazards.on_barrier();
+          break;
+      }
+    }
+    hazards.end_layer(layer.choice.prefetch, layer.layer_index,
+                      layer.layer_name, result.report);
+    site.command = layer.commands.size();
+    regions.end_layer(site, result.report);
+    la.peak_live_elems = regions.layer_peak_elems();
+    result.layers.push_back(std::move(la));
+  }
+  regions.end_program(result.report);
+  result.peak_live_elems = regions.peak_live_elems();
+  result.glb_peak_elems = regions.glb_peak_elems();
+  result.regions = regions.regions_seen();
+  result.commands = program.total_commands();
+  return result;
+}
+
+std::string format_allocs(
+    const std::vector<std::pair<DataKind, count_t>>& allocs) {
+  std::string out;
+  for (const auto& [kind, elems] : allocs) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += std::string(codegen::to_string(kind)) + ":" + std::to_string(elems);
+  }
+  return out.empty() ? "none" : out;
+}
+
+Diagnostic cross_diag(Code code, const LayerAnalysis& la) {
+  return layer_diag(code, Severity::kError, la.layer_index, la.layer_name);
+}
+
+core::InterlayerAdjust adjust_of(const core::LayerAssignment& assignment) {
+  return {.ifmap_resident = assignment.ifmap_from_glb,
+          .keep_ofmap = assignment.ofmap_stays_in_glb};
+}
+
+/// S014/S015 for one layer: the stream must realize exactly the footprint
+/// and the tile schedule the plan claims for it.  `inherited_elems` is the
+/// size of the producer's kept ofmap when this layer reads its ifmap from
+/// the GLB (it can exceed the layer's own ifmap term: zoo trunks shrink
+/// maps between layers, see V012), nullopt otherwise.
+void cross_check_layer(const LayerAnalysis& la,
+                       const core::LayerAssignment& assignment,
+                       const model::Network& network,
+                       std::optional<count_t> inherited_elems,
+                       ValidationReport& report) {
+  if (la.layer_index != assignment.layer_index ||
+      assignment.layer_index >= network.size()) {
+    Diagnostic d = cross_diag(Code::kStreamFootprintMismatch, la);
+    d.expected = std::to_string(assignment.layer_index);
+    d.actual = std::to_string(la.layer_index);
+    d.detail = "stream layer order disagrees with the plan's assignments";
+    report.add(std::move(d));
+    return;
+  }
+  const core::PolicyChoice& claimed = assignment.estimate.choice;
+  if (la.choice != claimed) {
+    Diagnostic d = cross_diag(Code::kStreamFootprintMismatch, la);
+    d.expected = core::short_label(claimed.policy, claimed.prefetch);
+    d.actual = core::short_label(la.choice.policy, la.choice.prefetch);
+    d.detail = "stream policy choice differs from the plan's (policy, "
+               "prefetch, or tiling parameters)";
+    report.add(std::move(d));
+  }
+  const model::Layer& layer = network.layer(assignment.layer_index);
+  const core::InterlayerAdjust adjust = adjust_of(assignment);
+  const core::Footprint footprint =
+      core::planned_footprint(layer, claimed, adjust);
+
+  std::vector<std::pair<DataKind, count_t>> expected;
+  if (!assignment.ifmap_from_glb) {
+    expected.emplace_back(DataKind::kIfmap, footprint.ifmap);
+  }
+  expected.emplace_back(DataKind::kFilter, footprint.filter);
+  expected.emplace_back(DataKind::kOfmap, footprint.ofmap);
+  if (la.allocs != expected) {
+    Diagnostic d = cross_diag(Code::kStreamFootprintMismatch, la);
+    d.expected = format_allocs(expected);
+    d.actual = format_allocs(la.allocs);
+    d.detail = "stream allocations differ from the plan's footprint terms";
+    report.add(std::move(d));
+  }
+  // The peak a faithful lowering realizes: the plan's footprint terms —
+  // with the inherited window's true size in place of the ifmap term,
+  // since the producer hands over its whole kept ofmap.
+  const count_t expected_peak =
+      inherited_elems ? *inherited_elems + footprint.filter + footprint.ofmap
+                      : footprint.total();
+  if (la.peak_live_elems != expected_peak) {
+    Diagnostic d = cross_diag(Code::kStreamFootprintMismatch, la);
+    d.expected = std::to_string(expected_peak);
+    d.actual = std::to_string(la.peak_live_elems);
+    d.detail = "peak live occupancy while the layer ran differs from the "
+               "plan's claimed footprint total";
+    report.add(std::move(d));
+  }
+
+  try {
+    const engine::ScheduleTotals claimed_sums =
+        engine::totals(engine::build_schedule(layer, claimed, adjust));
+    const bool match = la.sums.ifmap_loads == claimed_sums.ifmap_loads &&
+                       la.sums.filter_loads == claimed_sums.filter_loads &&
+                       la.sums.ofmap_stores == claimed_sums.ofmap_stores &&
+                       la.sums.macs == claimed_sums.macs;
+    if (!match) {
+      Diagnostic d = cross_diag(Code::kStreamScheduleMismatch, la);
+      d.expected = "ifmap=" + std::to_string(claimed_sums.ifmap_loads) +
+                   " filter=" + std::to_string(claimed_sums.filter_loads) +
+                   " ofmap=" + std::to_string(claimed_sums.ofmap_stores) +
+                   " macs=" + std::to_string(claimed_sums.macs);
+      d.actual = "ifmap=" + std::to_string(la.sums.ifmap_loads) +
+                 " filter=" + std::to_string(la.sums.filter_loads) +
+                 " ofmap=" + std::to_string(la.sums.ofmap_stores) +
+                 " macs=" + std::to_string(la.sums.macs);
+      d.detail = "per-layer command sums differ from the totals of the "
+                 "schedule the plan implies";
+      report.add(std::move(d));
+    }
+  } catch (const std::invalid_argument& e) {
+    Diagnostic d = cross_diag(Code::kStreamScheduleMismatch, la);
+    d.detail = std::string("the plan's schedule could not be rebuilt for "
+                           "comparison: ") +
+               e.what();
+    report.add(std::move(d));
+  }
+}
+
+}  // namespace
+
+AnalysisResult analyze_stream(const codegen::Program& program) {
+  return walk(program);
+}
+
+AnalysisResult analyze_lowering(const codegen::Program& program,
+                                const core::ExecutionPlan& plan,
+                                const model::Network& network) {
+  AnalysisResult result = walk(program);
+  if (program.layers.size() != plan.size() ||
+      plan.size() != network.size()) {
+    Diagnostic d;
+    d.code = Code::kStreamFootprintMismatch;
+    d.severity = Severity::kError;
+    d.context = "program";
+    d.expected = std::to_string(plan.size()) + " layers";
+    d.actual = std::to_string(program.layers.size()) + " layers";
+    d.detail = "stream/plan/network layer counts disagree; per-layer "
+               "cross-checks skipped";
+    result.report.add(std::move(d));
+    return result;
+  }
+  for (std::size_t i = 0; i < result.layers.size(); ++i) {
+    const core::LayerAssignment& assignment = plan.assignment(i);
+    std::optional<count_t> inherited;
+    if (assignment.ifmap_from_glb && i > 0) {
+      const core::LayerAssignment& producer = plan.assignment(i - 1);
+      if (producer.layer_index < network.size()) {
+        inherited = core::planned_footprint(
+                        network.layer(producer.layer_index),
+                        producer.estimate.choice, adjust_of(producer))
+                        .ofmap;
+      }
+    }
+    cross_check_layer(result.layers[i], assignment, network, inherited,
+                      result.report);
+  }
+  return result;
+}
+
+}  // namespace rainbow::analysis

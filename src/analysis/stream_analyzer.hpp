@@ -1,0 +1,69 @@
+// Static analyzer for lowered command streams: abstractly interprets every
+// codegen::LayerProgram without executing it, combining the lifetime state
+// machine (analysis/lifetime.hpp) and the epoch hazard checker
+// (analysis/hazards.hpp) into one walk, and — when the originating plan is
+// available — cross-checking the stream against the plan's claims: the
+// footprint the allocs realize (S014) and the schedule the commands sum to
+// (S015).  The PlanValidator proves a Plan consistent with the paper's
+// closed forms; this module proves the *lowering* of that plan consistent
+// with the Plan.  Catalog: docs/static_analysis.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "codegen/command.hpp"
+#include "core/plan.hpp"
+#include "engine/schedule.hpp"
+#include "model/network.hpp"
+#include "util/units.hpp"
+#include "validate/diagnostics.hpp"
+
+namespace rainbow::analysis {
+
+/// Per-layer facts gathered during the walk (also the inputs to the
+/// S014/S015 cross-checks, and to the well-formedness property tests).
+struct LayerAnalysis {
+  std::size_t layer_index = 0;
+  std::string layer_name;
+  core::PolicyChoice choice;
+  std::size_t commands = 0;
+  std::size_t barriers = 0;
+  /// Max simultaneous live elements while this layer ran (equals the
+  /// plan's claimed footprint total on a faithful lowering).
+  count_t peak_live_elems = 0;
+  /// What the layer's transfer/compute commands sum to, in the same shape
+  /// the engine reports for a schedule.
+  engine::ScheduleTotals sums;
+  /// (kind, elems) of each kAlloc, in stream order.
+  std::vector<std::pair<codegen::DataKind, count_t>> allocs;
+};
+
+/// Everything one analysis run produced.
+struct AnalysisResult {
+  validate::ValidationReport report;
+  std::vector<LayerAnalysis> layers;
+  count_t capacity_elems = 0;
+  /// Interval-graph lower bound on the GLB this stream needs.
+  count_t peak_live_elems = 0;
+  /// Peak of the engine::Glb first-fit replay (>= peak_live_elems).
+  count_t glb_peak_elems = 0;
+  std::size_t regions = 0;
+  std::size_t commands = 0;
+
+  [[nodiscard]] bool ok() const { return report.ok(); }
+  [[nodiscard]] bool clean() const { return report.empty(); }
+};
+
+/// Analyzes a stream on its own: lifetimes, occupancy, epochs, structural
+/// well-formedness (S001-S013).
+[[nodiscard]] AnalysisResult analyze_stream(const codegen::Program& program);
+
+/// Same walk plus the plan cross-checks (S014/S015).  `plan` must be the
+/// plan `program` was lowered from and `network` the model it plans.
+[[nodiscard]] AnalysisResult analyze_lowering(const codegen::Program& program,
+                                              const core::ExecutionPlan& plan,
+                                              const model::Network& network);
+
+}  // namespace rainbow::analysis

@@ -11,7 +11,8 @@ namespace rainbow::codegen {
 LayerProgram lower_layer(const model::Layer& layer, std::size_t layer_index,
                          const core::LayerAssignment& assignment,
                          int first_region,
-                         std::optional<int> inherited_ifmap_region) {
+                         std::optional<int> inherited_ifmap_region,
+                         count_t glb_capacity_elems) {
   if (assignment.ifmap_from_glb != inherited_ifmap_region.has_value()) {
     throw std::invalid_argument(
         "lower_layer: inter-layer input flag and inherited region disagree "
@@ -51,10 +52,21 @@ LayerProgram lower_layer(const model::Layer& layer, std::size_t layer_index,
 
   for (const engine::TileOp& tile : schedule) {
     if (tile.load_ifmap != 0) {
-      program.commands.push_back({.op = Command::Op::kLoad,
-                                  .region = ifmap_region,
-                                  .kind = DataKind::kIfmap,
-                                  .elems = tile.load_ifmap});
+      // A schedule entry can stream more ifmap data than the scratchpad
+      // holds (the window retains only part of what flows through); one
+      // DMA command may not, so oversized entries become chains of
+      // capacity-sized loads with the same total.
+      count_t remaining = tile.load_ifmap;
+      const count_t chunk =
+          glb_capacity_elems != 0 ? glb_capacity_elems : remaining;
+      while (remaining != 0) {
+        const count_t elems = std::min(remaining, chunk);
+        program.commands.push_back({.op = Command::Op::kLoad,
+                                    .region = ifmap_region,
+                                    .kind = DataKind::kIfmap,
+                                    .elems = elems});
+        remaining -= elems;
+      }
     }
     if (tile.load_filter != 0) {
       program.commands.push_back({.op = Command::Op::kLoad,
@@ -115,7 +127,8 @@ Program lower(const core::ExecutionPlan& plan, const model::Network& network) {
     }
     LayerProgram layer_program =
         lower_layer(network.layer(assignment.layer_index),
-                    assignment.layer_index, assignment, next_region, inherited);
+                    assignment.layer_index, assignment, next_region, inherited,
+                    program.spec.glb_elems());
     // Region ids are assigned deterministically: ifmap (unless inherited),
     // filter, ofmap.
     const int consumed = assignment.ifmap_from_glb ? 2 : 3;

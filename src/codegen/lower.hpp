@@ -18,10 +18,15 @@ namespace rainbow::codegen {
 /// Lowers one layer.  Fresh region ids start at `first_region`; when
 /// `inherited_ifmap_region` is set the layer reads its ifmap from that
 /// already-resident region (no alloc, no loads) and frees it when done.
+/// When `glb_capacity_elems` is nonzero, streaming ifmap loads larger
+/// than the scratchpad are split into capacity-sized chunks so every
+/// command honours the interpreter's transfer bound (one DMA descriptor
+/// can stage at most a scratchpad's worth of data in flight).
 [[nodiscard]] LayerProgram lower_layer(
     const model::Layer& layer, std::size_t layer_index,
     const core::LayerAssignment& assignment, int first_region = 0,
-    std::optional<int> inherited_ifmap_region = std::nullopt);
+    std::optional<int> inherited_ifmap_region = std::nullopt,
+    count_t glb_capacity_elems = 0);
 
 /// Lowers a whole plan, threading inter-layer regions between adjacent
 /// layers.  Throws std::invalid_argument on plan/network mismatch or on a

@@ -1,6 +1,10 @@
 #include "core/interlayer.hpp"
 
+#include <optional>
 #include <stdexcept>
+
+#include "core/estimator.hpp"
+#include "engine/glb.hpp"
 
 namespace rainbow::core {
 
@@ -10,6 +14,57 @@ double metric(const Estimate& est, Objective objective) {
   return objective == Objective::kAccesses
              ? static_cast<double>(est.accesses())
              : est.latency_cycles;
+}
+
+/// Replays the plan's allocation/free skeleton — the same region order the
+/// lowering emits — against a real first-fit allocator.  Fitting by size
+/// is not enough once a hand-off window pins part of the scratchpad: the
+/// window lands wherever first-fit left it, and the holes around it can be
+/// too fragmented for the next layer's regions even when their sum fits.
+/// A link that fragments the scratchpad this way must stay off-chip.
+bool placements_fit(const ExecutionPlan& plan, const model::Network& network) {
+  engine::Glb glb(plan.spec().glb_elems());
+  std::optional<engine::Glb::Region> persisted;
+  try {
+    for (const LayerAssignment& a : plan.assignments()) {
+      const model::Layer& layer = network.layer(a.layer_index);
+      const InterlayerAdjust adjust{.ifmap_resident = a.ifmap_from_glb,
+                                    .keep_ofmap = a.ofmap_stays_in_glb};
+      const Footprint fp =
+          planned_footprint(layer, a.estimate.choice, adjust);
+      std::optional<engine::Glb::Region> ifmap;
+      if (a.ifmap_from_glb) {
+        ifmap = persisted;
+        persisted.reset();
+      } else if (fp.ifmap != 0) {
+        ifmap = glb.allocate(fp.ifmap, layer.name());
+      }
+      std::optional<engine::Glb::Region> filter;
+      if (fp.filter != 0) {
+        filter = glb.allocate(fp.filter, layer.name());
+      }
+      std::optional<engine::Glb::Region> ofmap;
+      if (fp.ofmap != 0) {
+        ofmap = glb.allocate(fp.ofmap, layer.name());
+      }
+      if (ifmap) {
+        glb.release(*ifmap);
+      }
+      if (filter) {
+        glb.release(*filter);
+      }
+      if (ofmap) {
+        if (a.ofmap_stays_in_glb) {
+          persisted = ofmap;
+        } else {
+          glb.release(*ofmap);
+        }
+      }
+    }
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -65,10 +120,21 @@ ExecutionPlan apply_interlayer_reuse(const ExecutionPlan& plan,
     if (new_cost > old_cost) {
       continue;
     }
+    // Apply tentatively, then replay the whole plan's placements: the
+    // resident window can fragment the scratchpad for a later layer even
+    // though every layer fits by size.  An unplaceable link is reverted.
+    const Estimate old_producer = producer.estimate;
+    const Estimate old_consumer = consumer.estimate;
     producer.estimate = new_producer;
     producer.ofmap_stays_in_glb = true;
     consumer.estimate = new_consumer;
     consumer.ifmap_from_glb = true;
+    if (!placements_fit(result, network)) {
+      producer.estimate = old_producer;
+      producer.ofmap_stays_in_glb = false;
+      consumer.estimate = old_consumer;
+      consumer.ifmap_from_glb = false;
+    }
   }
   return result;
 }

@@ -13,9 +13,12 @@ namespace rainbow::core {
 
 /// Greedy left-to-right application of inter-layer reuse to `plan`.
 /// At each sequential boundary, both adjacent layers are re-planned with
-/// the residency adjustments; the link is kept when both remain feasible
-/// and the plan's objective metric does not regress.  Returns the improved
-/// plan (the input plan is the no-reuse baseline of Figure 11).
+/// the residency adjustments; the link is kept when both remain feasible,
+/// the plan's objective metric does not regress, and the whole plan's
+/// region sequence still places on a first-fit allocator (a resident
+/// window can fragment the scratchpad for a later layer even when every
+/// layer fits by size).  Returns the improved plan (the input plan is the
+/// no-reuse baseline of Figure 11).
 [[nodiscard]] ExecutionPlan apply_interlayer_reuse(const ExecutionPlan& plan,
                                                    const model::Network& network,
                                                    const Analyzer& analyzer);

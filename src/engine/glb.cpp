@@ -30,10 +30,18 @@ Glb::Region Glb::allocate(count_t elems, const std::string& what) {
       return region;
     }
   }
+  // Requested size, total free, and the largest hole distinguish genuine
+  // exhaustion (free < requested) from fragmentation (free >= requested
+  // but no hole is big enough) straight from the exception text.
+  count_t largest_hole = 0;
+  for (const FreeRange& range : free_list_) {
+    largest_hole = std::max(largest_hole, range.size);
+  }
   throw std::runtime_error("Glb: cannot allocate " + std::to_string(elems) +
                            " elements for " + what + " (" +
                            std::to_string(free_elems()) + " free of " +
-                           std::to_string(capacity_) + ")");
+                           std::to_string(capacity_) + ", largest free hole " +
+                           std::to_string(largest_hole) + ")");
 }
 
 void Glb::release(const Region& region) {

@@ -30,6 +30,21 @@ std::string_view code_string(Code code) {
     case Code::kPlanParse:            return "L006";
     case Code::kPlanRange:            return "L007";
     case Code::kSpecSanity:           return "L008";
+    case Code::kStreamDeadRegion:          return "S001";
+    case Code::kStreamDoubleAlloc:         return "S002";
+    case Code::kStreamBadFree:             return "S003";
+    case Code::kStreamRegionLeak:          return "S004";
+    case Code::kStreamOverCommit:          return "S005";
+    case Code::kStreamUseBeforeLoad:       return "S006";
+    case Code::kStreamStoreBeforeCompute:  return "S007";
+    case Code::kStreamMissingBarrier:      return "S008";
+    case Code::kStreamUnterminatedLayer:   return "S009";
+    case Code::kStreamDeadLoad:            return "S010";
+    case Code::kStreamMalformed:           return "S011";
+    case Code::kStreamTransferOverflow:    return "S012";
+    case Code::kStreamPlacementFailure:    return "S013";
+    case Code::kStreamFootprintMismatch:   return "S014";
+    case Code::kStreamScheduleMismatch:    return "S015";
   }
   throw std::logic_error("code_string: invalid Code");
 }
@@ -80,6 +95,36 @@ std::string_view code_description(Code code) {
       return "plan decision out of range for its layer";
     case Code::kSpecSanity:
       return "accelerator configuration invalid or suspicious";
+    case Code::kStreamDeadRegion:
+      return "transfer targets an unallocated or freed region";
+    case Code::kStreamDoubleAlloc:
+      return "region id allocated while already live";
+    case Code::kStreamBadFree:
+      return "free of a region that is not live (double-free)";
+    case Code::kStreamRegionLeak:
+      return "region outlives its inter-layer hand-off window";
+    case Code::kStreamOverCommit:
+      return "live regions exceed the GLB capacity at a program point";
+    case Code::kStreamUseBeforeLoad:
+      return "compute consumes an input region with no data loaded";
+    case Code::kStreamStoreBeforeCompute:
+      return "store drains data no compute has produced";
+    case Code::kStreamMissingBarrier:
+      return "prefetch layer ends with in-flight DMA or compute";
+    case Code::kStreamUnterminatedLayer:
+      return "serial layer stream is not barrier-terminated";
+    case Code::kStreamDeadLoad:
+      return "region loaded but never computed-on or stored";
+    case Code::kStreamMalformed:
+      return "malformed command (size, region id, or kind misuse)";
+    case Code::kStreamTransferOverflow:
+      return "transfer overflows its region or the scratchpad";
+    case Code::kStreamPlacementFailure:
+      return "first-fit allocator cannot place a stream that fits";
+    case Code::kStreamFootprintMismatch:
+      return "stream allocations differ from the plan's footprint";
+    case Code::kStreamScheduleMismatch:
+      return "command sums differ from the schedule's totals";
   }
   throw std::logic_error("code_description: invalid Code");
 }

@@ -17,6 +17,8 @@ namespace rainbow::validate {
 /// Every invariant / lint rule the validation layer can report.
 /// V0xx: plan invariants re-derived from the paper's closed forms.
 /// L0xx: static lint rules over model files, plan files, and specs.
+/// S0xx: stream hazards found by the static analyzer over lowered
+///       command streams (src/analysis, docs/static_analysis.md).
 enum class Code {
   // Plan validator.
   kSpecInvalid,          ///< V001: accelerator spec fails its own validation
@@ -42,6 +44,22 @@ enum class Code {
   kPlanParse,            ///< L006: plan file malformed
   kPlanRange,            ///< L007: plan decision out of range for its layer
   kSpecSanity,           ///< L008: accelerator config invalid or suspicious
+  // Stream analyzer.
+  kStreamDeadRegion,     ///< S001: transfer targets an unallocated/freed region
+  kStreamDoubleAlloc,    ///< S002: region id allocated while already live
+  kStreamBadFree,        ///< S003: free of a region that is not live
+  kStreamRegionLeak,     ///< S004: region outlives its hand-off window
+  kStreamOverCommit,     ///< S005: live regions exceed the GLB capacity
+  kStreamUseBeforeLoad,  ///< S006: compute consumes an input region with no data
+  kStreamStoreBeforeCompute, ///< S007: store precedes the layer's first compute
+  kStreamMissingBarrier, ///< S008: prefetch layer ends with in-flight DMA/compute
+  kStreamUnterminatedLayer,  ///< S009: serial layer not barrier-terminated
+  kStreamDeadLoad,       ///< S010: region loaded, never computed-on or stored
+  kStreamMalformed,      ///< S011: malformed command (size/id/kind misuse)
+  kStreamTransferOverflow,   ///< S012: transfer overflows its region / the GLB
+  kStreamPlacementFailure,   ///< S013: first-fit cannot place a fitting stream
+  kStreamFootprintMismatch,  ///< S014: allocs/peak differ from the plan footprint
+  kStreamScheduleMismatch,   ///< S015: command sums differ from schedule totals
 };
 
 /// Stable short code ("V006") used in output and asserted on by tests.

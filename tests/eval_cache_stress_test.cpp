@@ -82,6 +82,7 @@ TEST(EvalCacheStress, RawInsertLookupRaceOnOneKeySetIsCoherent) {
   const AnalyzerOptions options;
 
   std::vector<EvalKey> keys;
+  keys.reserve(128);
   for (int i = 0; i < 128; ++i) {
     keys.push_back(make_eval_key(cold_layer(i), spec, Objective::kAccesses,
                                  options,

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -39,6 +40,7 @@ constexpr ExecOptions kBlockedThreaded{.backend = ExecBackend::kBlocked,
 std::vector<PolicyChoice> policy_grid(const Layer& layer) {
   const int units = layer.is_depthwise() ? layer.channels() : layer.filters();
   std::vector<PolicyChoice> grid;
+  grid.reserve(2 * std::size(core::kAllPolicies) + 1);
   for (Policy p : core::kAllPolicies) {
     PolicyChoice choice{.policy = p};
     if (p == Policy::kPartialIfmap || p == Policy::kPartialPerChannel) {

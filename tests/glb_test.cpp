@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "engine/glb.hpp"
 
@@ -24,6 +25,41 @@ TEST(Glb, OverflowThrows) {
   Glb glb(100);
   (void)glb.allocate(80, "a");
   EXPECT_THROW(glb.allocate(30, "b"), std::runtime_error);
+}
+
+TEST(Glb, ExhaustionMessageNamesRequestFreeAndLargestHole) {
+  Glb glb(100);
+  (void)glb.allocate(80, "a");
+  try {
+    (void)glb.allocate(30, "conv1/filter");
+    FAIL() << "allocation past capacity must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cannot allocate 30"), std::string::npos) << what;
+    EXPECT_NE(what.find("conv1/filter"), std::string::npos) << what;
+    EXPECT_NE(what.find("20 free of 100"), std::string::npos) << what;
+    EXPECT_NE(what.find("largest free hole 20"), std::string::npos) << what;
+  }
+}
+
+TEST(Glb, FragmentationMessageShowsHoleSmallerThanTotalFree) {
+  // Two 20-element holes around a surviving region: 40 elements free in
+  // total, but nothing contiguous for a 30-element request.  The message
+  // must expose the distinction (free >= requested, hole < requested).
+  Glb glb(100);
+  const auto a = glb.allocate(20, "a");
+  (void)glb.allocate(60, "b");
+  const auto c = glb.allocate(20, "c");
+  glb.release(a);
+  glb.release(c);
+  try {
+    (void)glb.allocate(30, "d");
+    FAIL() << "fragmented allocation must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("40 free of 100"), std::string::npos) << what;
+    EXPECT_NE(what.find("largest free hole 20"), std::string::npos) << what;
+  }
 }
 
 TEST(Glb, ZeroSizeAllocationThrows) {

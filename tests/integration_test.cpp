@@ -41,6 +41,7 @@ TEST(PaperClaims, HetBeatsEveryBaselineAt64kB) {
   const auto spec = spec_kb(64);
   const MemoryManager manager(spec);
   std::vector<double> reductions;
+  reductions.reserve(model::zoo::all_models().size());
   for (const auto& net : model::zoo::all_models()) {
     const ExecutionPlan het = manager.plan(net, Objective::kAccesses);
     const count_t baseline = best_baseline_accesses(net, spec);

@@ -1,0 +1,228 @@
+// Unit tests for the stream analyzer library: the abstract machine's
+// clean-path metrics, the streaming-ifmap leniency, inter-layer hand-off
+// semantics (kind change, size change in either direction), structural
+// shape checks, and the plan cross-check happy path.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "analysis/stream_analyzer.hpp"
+#include "codegen/lower.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::analysis {
+namespace {
+
+using codegen::Command;
+using codegen::DataKind;
+using codegen::LayerProgram;
+using codegen::Program;
+using validate::Code;
+
+Program empty_program(count_t capacity_bytes) {
+  Program program;
+  program.model = "unit";
+  program.spec = arch::paper_spec(util::kib(64));
+  program.spec.glb_bytes = capacity_bytes;  // 8-bit data: elements == bytes
+  return program;
+}
+
+LayerProgram simple_layer(std::size_t index, const char* name) {
+  LayerProgram layer;
+  layer.layer_index = index;
+  layer.layer_name = name;
+  return layer;
+}
+
+TEST(StreamAnalyzer, CleanSingleLayerMetrics) {
+  Program program = empty_program(64);
+  LayerProgram layer = simple_layer(0, "l0");
+  layer.commands = {
+      {.op = Command::Op::kAlloc, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kAlloc, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kAlloc, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kLoad, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kLoad, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kCompute, .macs = 128},
+      {.op = Command::Op::kStore, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kBarrier},
+      {.op = Command::Op::kFree, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kFree, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kFree, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+  };
+  program.layers.push_back(std::move(layer));
+
+  const AnalysisResult result = analyze_stream(program);
+  EXPECT_TRUE(result.clean()) << result.report.summary();
+  EXPECT_EQ(result.capacity_elems, 64u);
+  EXPECT_EQ(result.peak_live_elems, 32u);
+  EXPECT_EQ(result.glb_peak_elems, 32u);
+  EXPECT_EQ(result.regions, 3u);
+  EXPECT_EQ(result.commands, 11u);
+  ASSERT_EQ(result.layers.size(), 1u);
+  const LayerAnalysis& la = result.layers[0];
+  EXPECT_EQ(la.barriers, 1u);
+  EXPECT_EQ(la.peak_live_elems, 32u);
+  EXPECT_EQ(la.sums.ifmap_loads, 16u);
+  EXPECT_EQ(la.sums.filter_loads, 8u);
+  EXPECT_EQ(la.sums.ofmap_stores, 8u);
+  EXPECT_EQ(la.sums.macs, 128u);
+  ASSERT_EQ(la.allocs.size(), 3u);
+  EXPECT_EQ(la.allocs[0], (std::pair{DataKind::kIfmap, count_t{16}}));
+}
+
+TEST(StreamAnalyzer, StreamingIfmapLoadMayExceedItsWindow) {
+  // A sliding-window ifmap region retains less than what streams through
+  // it; loads are bounded by the scratchpad, not the window (the same
+  // leniency the interpreter applies).
+  Program program = empty_program(64);
+  LayerProgram layer = simple_layer(0, "l0");
+  layer.commands = {
+      {.op = Command::Op::kAlloc, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kLoad, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 60},
+      {.op = Command::Op::kCompute, .macs = 10},
+      {.op = Command::Op::kBarrier},
+      {.op = Command::Op::kFree, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+  };
+  program.layers.push_back(std::move(layer));
+  EXPECT_TRUE(analyze_stream(program).clean());
+
+  // One element past the scratchpad is a genuine overflow.
+  program.layers[0].commands[1].elems = 65;
+  const AnalysisResult result = analyze_stream(program);
+  EXPECT_TRUE(result.report.has(Code::kStreamTransferOverflow));
+}
+
+/// Two layers linked by a hand-off: layer 0 keeps its ofmap, layer 1
+/// consumes it as an inherited ifmap and frees it with its own view of
+/// the window size.
+Program handoff_program(count_t consumer_free_elems) {
+  Program program = empty_program(64);
+  LayerProgram first = simple_layer(0, "producer");
+  first.commands = {
+      {.op = Command::Op::kAlloc, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kAlloc, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kAlloc, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kLoad, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kLoad, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kCompute, .macs = 64},
+      {.op = Command::Op::kBarrier},
+      {.op = Command::Op::kFree, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kFree, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      // region 2 stays resident for the next layer
+  };
+  LayerProgram second = simple_layer(1, "consumer");
+  second.commands = {
+      {.op = Command::Op::kAlloc, .region = 3, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kAlloc, .region = 4, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kLoad, .region = 3, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kCompute, .macs = 64},
+      {.op = Command::Op::kStore, .region = 4, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kBarrier},
+      {.op = Command::Op::kFree, .region = 2, .kind = DataKind::kIfmap,
+       .elems = consumer_free_elems},
+      {.op = Command::Op::kFree, .region = 3, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kFree, .region = 4, .kind = DataKind::kOfmap,
+       .elems = 8},
+  };
+  program.layers.push_back(std::move(first));
+  program.layers.push_back(std::move(second));
+  return program;
+}
+
+TEST(StreamAnalyzer, HandoffFreeToleratesEitherResize) {
+  // Exact, shrunk, and grown consumer views are all sanctioned: zoo
+  // trunks resize maps between layers (V012), and the allocator frees
+  // the whole region regardless of the elems the free names.
+  for (const count_t elems : {count_t{8}, count_t{4}, count_t{100}}) {
+    const AnalysisResult result = analyze_stream(handoff_program(elems));
+    EXPECT_TRUE(result.clean())
+        << "free elems " << elems << "\n" << result.report.summary();
+    EXPECT_EQ(result.peak_live_elems, 32u);
+  }
+}
+
+TEST(StreamAnalyzer, HandoffSurvivorPastItsWindowIsALeak) {
+  // Keep the inherited region past its consumer: the hand-off window is
+  // exactly one layer boundary.
+  Program program = handoff_program(8);
+  auto& cmds = program.layers[1].commands;
+  cmds.erase(cmds.begin() + 6);  // drop the hand-off free
+  const AnalysisResult result = analyze_stream(program);
+  EXPECT_TRUE(result.report.has(Code::kStreamRegionLeak));
+}
+
+TEST(StreamAnalyzer, MalformedShapesAreReported) {
+  Program negative = empty_program(64);
+  LayerProgram layer = simple_layer(0, "l0");
+  layer.commands = {
+      {.op = Command::Op::kAlloc, .region = -3, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kBarrier},
+  };
+  negative.layers.push_back(std::move(layer));
+  EXPECT_TRUE(
+      analyze_stream(negative).report.has(Code::kStreamMalformed));
+
+  Program zero_macs = empty_program(64);
+  LayerProgram zl = simple_layer(0, "l0");
+  zl.commands = {
+      {.op = Command::Op::kCompute, .macs = 0},
+      {.op = Command::Op::kBarrier},
+  };
+  zero_macs.layers.push_back(std::move(zl));
+  EXPECT_TRUE(
+      analyze_stream(zero_macs).report.has(Code::kStreamMalformed));
+}
+
+TEST(StreamAnalyzer, LayerCountMismatchIsASingleProgramFinding) {
+  const model::Network net = model::zoo::mobilenet();
+  const core::MemoryManager manager(arch::paper_spec(util::kib(128)));
+  const auto plan = manager.plan(net, core::Objective::kAccesses);
+  codegen::Program program = codegen::lower(plan, net);
+  program.layers.pop_back();
+  const AnalysisResult result = analyze_lowering(program, plan, net);
+  EXPECT_EQ(result.report.count(Code::kStreamFootprintMismatch), 1u);
+}
+
+TEST(StreamAnalyzer, LoweredPlanCrossChecksClean) {
+  const model::Network net = model::zoo::resnet18();
+  core::ManagerOptions options;
+  options.interlayer_reuse = true;
+  const core::MemoryManager manager(arch::paper_spec(util::kib(1024)),
+                                    options);
+  const auto plan = manager.plan(net, core::Objective::kLatency);
+  const codegen::Program program = codegen::lower(plan, net);
+  const AnalysisResult result = analyze_lowering(program, plan, net);
+  EXPECT_TRUE(result.clean()) << result.report.summary();
+  EXPECT_LE(result.peak_live_elems, result.capacity_elems);
+  EXPECT_LE(result.peak_live_elems, result.glb_peak_elems);
+}
+
+}  // namespace
+}  // namespace rainbow::analysis

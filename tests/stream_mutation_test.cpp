@@ -1,0 +1,265 @@
+// Mutation matrix for the stream analyzer: one deliberately corrupted
+// command stream per S-diagnostic, each asserting that exactly its own
+// code fires and every other S-code stays quiet.  The base fixture is a
+// minimal clean one-layer stream; S014/S015 mutate a real lowering so the
+// plan cross-checks have a plan to disagree with.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/stream_analyzer.hpp"
+#include "codegen/lower.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::analysis {
+namespace {
+
+using codegen::Command;
+using codegen::DataKind;
+using codegen::LayerProgram;
+using codegen::Program;
+using validate::Code;
+
+constexpr Code kAllStreamCodes[] = {
+    Code::kStreamDeadRegion,        Code::kStreamDoubleAlloc,
+    Code::kStreamBadFree,           Code::kStreamRegionLeak,
+    Code::kStreamOverCommit,        Code::kStreamUseBeforeLoad,
+    Code::kStreamStoreBeforeCompute, Code::kStreamMissingBarrier,
+    Code::kStreamUnterminatedLayer, Code::kStreamDeadLoad,
+    Code::kStreamMalformed,         Code::kStreamTransferOverflow,
+    Code::kStreamPlacementFailure,  Code::kStreamFootprintMismatch,
+    Code::kStreamScheduleMismatch};
+
+/// The mutated stream must fire `expected` (exactly `hits` times) and no
+/// other S-code at all.
+void expect_only(const validate::ValidationReport& report, Code expected,
+                 std::size_t hits = 1) {
+  for (const Code code : kAllStreamCodes) {
+    if (code == expected) {
+      EXPECT_EQ(report.count(code), hits)
+          << validate::code_string(code) << "\n" << report.summary();
+    } else {
+      EXPECT_EQ(report.count(code), 0u)
+          << validate::code_string(code) << "\n" << report.summary();
+    }
+  }
+}
+
+/// Minimal clean stream: three regions, both inputs loaded, one compute,
+/// the ofmap drained, a barrier, balanced frees.  32 of `capacity_bytes`
+/// elements live at peak (8-bit data, so elements == bytes).
+Program base_program(count_t capacity_bytes, bool prefetch) {
+  Program program;
+  program.model = "fixture";
+  program.spec = arch::paper_spec(util::kib(64));
+  program.spec.glb_bytes = capacity_bytes;
+  LayerProgram layer;
+  layer.layer_index = 0;
+  layer.layer_name = "l0";
+  layer.choice.prefetch = prefetch;
+  layer.commands = {
+      {.op = Command::Op::kAlloc, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kAlloc, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kAlloc, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kLoad, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kLoad, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kCompute, .macs = 100},
+      {.op = Command::Op::kStore, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kBarrier},
+      {.op = Command::Op::kFree, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kFree, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kFree, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+  };
+  program.layers.push_back(std::move(layer));
+  return program;
+}
+
+std::vector<Command>& commands(Program& program) {
+  return program.layers[0].commands;
+}
+
+void erase_at(Program& program, std::size_t index) {
+  auto& cmds = commands(program);
+  cmds.erase(cmds.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+TEST(StreamMutation, BaseFixtureIsClean) {
+  const auto result = analyze_stream(base_program(64, false));
+  EXPECT_TRUE(result.clean()) << result.report.summary();
+  EXPECT_EQ(result.peak_live_elems, 32u);
+  const auto prefetched = analyze_stream(base_program(64, true));
+  EXPECT_TRUE(prefetched.clean()) << prefetched.report.summary();
+}
+
+TEST(StreamMutation, S001DeadRegionTransfer) {
+  auto program = base_program(64, false);
+  commands(program)[6].region = 99;  // store drains a region never allocated
+  expect_only(analyze_stream(program).report, Code::kStreamDeadRegion);
+}
+
+TEST(StreamMutation, S002DoubleAlloc) {
+  auto program = base_program(64, false);
+  auto& cmds = commands(program);
+  cmds.insert(cmds.begin() + 2, cmds[1]);  // re-allocate the filter region
+  expect_only(analyze_stream(program).report, Code::kStreamDoubleAlloc);
+}
+
+TEST(StreamMutation, S003DoubleFree) {
+  auto program = base_program(64, false);
+  commands(program).push_back({.op = Command::Op::kFree, .region = 1,
+                               .kind = DataKind::kFilter, .elems = 8});
+  expect_only(analyze_stream(program).report, Code::kStreamBadFree);
+}
+
+TEST(StreamMutation, S004RegionLeak) {
+  auto program = base_program(64, false);
+  erase_at(program, 10);  // the ofmap is never freed
+  // A lone surviving ofmap is a legal hand-off at the layer boundary; the
+  // leak is only certain at the end of the program.
+  expect_only(analyze_stream(program).report, Code::kStreamRegionLeak);
+}
+
+TEST(StreamMutation, S005OverCommit) {
+  // Same stream, quarter-size scratchpad: the second and third allocation
+  // each push occupancy past capacity.  S013 must stay suppressed — a
+  // placement failure is implied by over-commit, not separate news.
+  const auto program = base_program(16, false);
+  expect_only(analyze_stream(program).report, Code::kStreamOverCommit, 2);
+}
+
+TEST(StreamMutation, S006UseBeforeLoad) {
+  auto program = base_program(64, false);
+  erase_at(program, 4);  // the filter region is never filled
+  expect_only(analyze_stream(program).report, Code::kStreamUseBeforeLoad);
+}
+
+TEST(StreamMutation, S007StoreBeforeCompute) {
+  auto program = base_program(64, false);
+  std::swap(commands(program)[5], commands(program)[6]);
+  expect_only(analyze_stream(program).report,
+              Code::kStreamStoreBeforeCompute);
+}
+
+TEST(StreamMutation, S008MissingBarrierUnderPrefetch) {
+  auto program = base_program(64, true);
+  erase_at(program, 7);  // frees tear down regions with DMA still in flight
+  expect_only(analyze_stream(program).report, Code::kStreamMissingBarrier);
+}
+
+TEST(StreamMutation, S009UnterminatedSerialLayer) {
+  auto program = base_program(64, false);
+  erase_at(program, 7);
+  const auto result = analyze_stream(program);
+  expect_only(result.report, Code::kStreamUnterminatedLayer);
+  EXPECT_TRUE(result.ok());  // a warning, not an error
+  EXPECT_EQ(result.report.warning_count(), 1u);
+}
+
+TEST(StreamMutation, S010DeadLoad) {
+  auto program = base_program(64, false);
+  erase_at(program, 6);  // drop the store...
+  erase_at(program, 5);  // ...and the compute: both loads feed nothing
+  expect_only(analyze_stream(program).report, Code::kStreamDeadLoad, 2);
+}
+
+TEST(StreamMutation, S011FreeKindMismatch) {
+  auto program = base_program(64, false);
+  // filter freed as ofmap: not the sanctioned ofmap->ifmap hand-off
+  commands(program)[9].kind = DataKind::kOfmap;
+  expect_only(analyze_stream(program).report, Code::kStreamMalformed);
+}
+
+TEST(StreamMutation, S012TransferOverflow) {
+  auto program = base_program(64, false);
+  commands(program)[4].elems = 999;  // filter load overflows its region
+  expect_only(analyze_stream(program).report,
+              Code::kStreamTransferOverflow);
+}
+
+TEST(StreamMutation, S013PlacementFailure) {
+  // Fits by size (70 of 100 live) but first-fit cannot place: freeing the
+  // first region leaves holes of 40 and 40 around the survivor, and the
+  // third allocation needs 50 contiguous.
+  Program program;
+  program.model = "fixture";
+  program.spec = arch::paper_spec(util::kib(64));
+  program.spec.glb_bytes = 100;
+  LayerProgram layer;
+  layer.layer_index = 0;
+  layer.layer_name = "l0";
+  layer.commands = {
+      {.op = Command::Op::kAlloc, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 40},
+      {.op = Command::Op::kAlloc, .region = 1, .kind = DataKind::kOfmap,
+       .elems = 20},
+      {.op = Command::Op::kFree, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 40},
+      {.op = Command::Op::kAlloc, .region = 2, .kind = DataKind::kIfmap,
+       .elems = 50},
+      {.op = Command::Op::kFree, .region = 1, .kind = DataKind::kOfmap,
+       .elems = 20},
+      {.op = Command::Op::kFree, .region = 2, .kind = DataKind::kIfmap,
+       .elems = 50},
+  };
+  program.layers.push_back(std::move(layer));
+  expect_only(analyze_stream(program).report,
+              Code::kStreamPlacementFailure);
+}
+
+/// Real plan + lowering for the cross-check mutations.
+struct Lowered {
+  model::Network net = model::zoo::mobilenet();
+  core::ExecutionPlan plan;
+  Program program;
+  Lowered()
+      : plan(core::MemoryManager(arch::paper_spec(util::kib(128)))
+                 .plan(net, core::Objective::kAccesses)),
+        program(codegen::lower(plan, net)) {}
+};
+
+TEST(StreamMutation, CrossCheckBaselineIsClean) {
+  const Lowered fixture;
+  const auto result =
+      analyze_lowering(fixture.program, fixture.plan, fixture.net);
+  EXPECT_TRUE(result.clean()) << result.report.summary();
+}
+
+TEST(StreamMutation, S014ChoiceDisagreesWithPlan) {
+  Lowered fixture;
+  fixture.program.layers[0].choice.prefetch =
+      !fixture.program.layers[0].choice.prefetch;
+  const auto result =
+      analyze_lowering(fixture.program, fixture.plan, fixture.net);
+  // The stream's claimed policy choice no longer matches the plan's; the
+  // schedule sums still compare against the *plan's* choice, so S015
+  // stays quiet and attributes the fault to the right invariant.
+  expect_only(result.report, Code::kStreamFootprintMismatch);
+}
+
+TEST(StreamMutation, S015ScheduleSumsDisagreeWithPlan) {
+  Lowered fixture;
+  auto& cmds = fixture.program.layers[0].commands;
+  const auto compute =
+      std::find_if(cmds.begin(), cmds.end(), [](const Command& cmd) {
+        return cmd.op == Command::Op::kCompute;
+      });
+  ASSERT_NE(compute, cmds.end());
+  compute->macs += 1;
+  const auto result =
+      analyze_lowering(fixture.program, fixture.plan, fixture.net);
+  expect_only(result.report, Code::kStreamScheduleMismatch);
+}
+
+}  // namespace
+}  // namespace rainbow::analysis

@@ -1,0 +1,143 @@
+// Property tests over the whole zoo: every plan the manager produces must
+// lower to a well-formed command stream — balanced alloc/free for every
+// region, exactly one barrier per layer with nothing but frees behind it,
+// per-layer command sums equal to the engine totals of the schedule the
+// plan implies — and the stream analyzer must find nothing to report.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "analysis/stream_analyzer.hpp"
+#include "codegen/lower.hpp"
+#include "core/estimator.hpp"
+#include "core/manager.hpp"
+#include "engine/schedule.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::analysis {
+namespace {
+
+using codegen::Command;
+using codegen::Program;
+
+struct RegionEvents {
+  int allocs = 0;
+  int frees = 0;
+};
+
+void check_well_formed(const Program& program,
+                       const core::ExecutionPlan& plan,
+                       const model::Network& network,
+                       const std::string& label) {
+  std::map<int, RegionEvents> events;
+  for (std::size_t i = 0; i < program.layers.size(); ++i) {
+    const codegen::LayerProgram& layer = program.layers[i];
+    const core::LayerAssignment& assignment = plan.assignment(i);
+
+    std::size_t barriers = 0;
+    bool past_barrier = false;
+    engine::ScheduleTotals sums;
+    for (const Command& cmd : layer.commands) {
+      switch (cmd.op) {
+        case Command::Op::kAlloc:
+          ++events[cmd.region].allocs;
+          break;
+        case Command::Op::kFree:
+          EXPECT_TRUE(past_barrier)
+              << label << ": free before the barrier in " << layer.layer_name;
+          ++events[cmd.region].frees;
+          break;
+        case Command::Op::kBarrier:
+          ++barriers;
+          past_barrier = true;
+          break;
+        case Command::Op::kLoad:
+          EXPECT_FALSE(past_barrier)
+              << label << ": load after the barrier in " << layer.layer_name;
+          if (cmd.kind == codegen::DataKind::kIfmap) {
+            sums.ifmap_loads += cmd.elems;
+          } else {
+            sums.filter_loads += cmd.elems;
+          }
+          break;
+        case Command::Op::kCompute:
+          EXPECT_FALSE(past_barrier) << label << ": compute after the "
+                                     << "barrier in " << layer.layer_name;
+          sums.macs += cmd.macs;
+          break;
+        case Command::Op::kStore:
+          EXPECT_FALSE(past_barrier)
+              << label << ": store after the barrier in " << layer.layer_name;
+          sums.ofmap_stores += cmd.elems;
+          break;
+      }
+    }
+    EXPECT_EQ(barriers, 1u)
+        << label << ": layer " << layer.layer_name
+        << " is not terminated by exactly one barrier";
+
+    // The stream's transfer/compute sums must be exactly the totals of
+    // the schedule the plan claims for this layer.
+    const core::InterlayerAdjust adjust{
+        .ifmap_resident = assignment.ifmap_from_glb,
+        .keep_ofmap = assignment.ofmap_stays_in_glb};
+    const engine::ScheduleTotals claimed = engine::totals(engine::build_schedule(
+        network.layer(assignment.layer_index), assignment.estimate.choice,
+        adjust));
+    EXPECT_EQ(sums.ifmap_loads, claimed.ifmap_loads)
+        << label << ": " << layer.layer_name;
+    EXPECT_EQ(sums.filter_loads, claimed.filter_loads)
+        << label << ": " << layer.layer_name;
+    EXPECT_EQ(sums.ofmap_stores, claimed.ofmap_stores)
+        << label << ": " << layer.layer_name;
+    EXPECT_EQ(sums.macs, claimed.macs) << label << ": " << layer.layer_name;
+  }
+  for (const auto& [region, counts] : events) {
+    EXPECT_EQ(counts.allocs, 1)
+        << label << ": region " << region << " allocated "
+        << counts.allocs << " times";
+    EXPECT_EQ(counts.frees, 1) << label << ": region " << region
+                               << " freed " << counts.frees << " times";
+  }
+}
+
+void check_model(const model::Network& net, count_t glb_kb, bool interlayer) {
+  const std::string label = net.name() + " @ " + std::to_string(glb_kb) +
+                            " kB" + (interlayer ? " +inter" : "");
+  core::ManagerOptions options;
+  options.interlayer_reuse = interlayer;
+  const core::MemoryManager manager(arch::paper_spec(util::kib(glb_kb)),
+                                    options);
+  const auto plan = manager.plan(net, core::Objective::kAccesses);
+  ASSERT_TRUE(plan.feasible()) << label;
+  const Program program = codegen::lower(plan, net);
+
+  check_well_formed(program, plan, net, label);
+
+  const AnalysisResult result = analyze_lowering(program, plan, net);
+  EXPECT_TRUE(result.clean()) << label << "\n" << result.report.summary();
+  EXPECT_LE(result.peak_live_elems, result.capacity_elems) << label;
+  EXPECT_LE(result.peak_live_elems, result.glb_peak_elems) << label;
+}
+
+TEST(StreamProperty, EveryZooPlanLowersWellFormedSmallGlb) {
+  for (const auto& net : model::zoo::all_models()) {
+    check_model(net, 64, false);
+  }
+}
+
+TEST(StreamProperty, EveryZooPlanLowersWellFormedLargeGlb) {
+  for (const auto& net : model::zoo::all_models()) {
+    check_model(net, 1024, false);
+  }
+}
+
+TEST(StreamProperty, EveryZooPlanLowersWellFormedWithInterlayerReuse) {
+  for (const auto& net : model::zoo::all_models()) {
+    check_model(net, 1024, true);
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::analysis

@@ -1,0 +1,374 @@
+// rainbow_analyze: static analysis of lowered command streams.  For every
+// requested (model, GLB, policy, prefetch) combination the tool plans,
+// lowers the plan to a codegen::Program, and abstractly interprets the
+// stream — region lifetimes, occupancy timeline, barrier epochs, and the
+// plan cross-checks — reporting coded S0xx findings (see
+// docs/static_analysis.md) without executing anything.
+//
+//   rainbow_analyze --all-zoo --strict
+//   rainbow_analyze --model resnet18 --glb 64 --policy het
+//   rainbow_analyze --model mobilenet --policy p2 --prefetch on
+//   rainbow_analyze --all-zoo --strict --format json > report.json
+//
+// Exit codes: 0 clean, 1 findings (errors, or warnings under --strict),
+// 2 usage error.
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/stream_analyzer.hpp"
+#include "codegen/lower.hpp"
+#include "core/eval_cache.hpp"
+#include "core/manager.hpp"
+#include "model/parser.hpp"
+#include "model/zoo/zoo.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace rainbow;
+
+/// One planning configuration to lower and analyze.
+struct Combo {
+  std::string model;
+  count_t glb_kib = 64;
+  std::string policy;  ///< "het" or a short policy label
+  bool prefetch = false;
+  bool interlayer = false;
+  core::Objective objective = core::Objective::kAccesses;
+};
+
+struct ComboOutcome {
+  Combo combo;
+  std::string status;  ///< "ok", "findings", or "skipped (...)"
+  analysis::AnalysisResult result;
+};
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [inputs] [options]\n"
+      << "inputs (at least one):\n"
+      << "  --model <file|zoo-name>  analyze this model (repeatable)\n"
+      << "  --all-zoo                analyze every built-in zoo model\n"
+      << "options:\n"
+      << "  --glb <kB[,kB...]>       GLB sizes to analyze (default 64,1024)\n"
+      << "  --width <bits>           element width (default 8)\n"
+      << "  --policy <p>             het | all | intra | p1..p5 | tiled\n"
+      << "                           (default all: het plans plus every\n"
+      << "                           forced policy)\n"
+      << "  --prefetch <m>           on | off | both — prefetch variants of\n"
+      << "                           the forced policies (default both)\n"
+      << "  --objective <o>          accesses | latency | both — objectives\n"
+      << "                           for the het plans (default both)\n"
+      << "  --no-interlayer          skip the inter-layer-reuse het plans\n"
+      << "  --strict                 warnings also fail (exit 1)\n"
+      << "  --format <f>             text | json (default text)\n"
+      << "  --quiet                  print only the summary line\n";
+}
+
+std::vector<count_t> parse_kib_list(const std::string& csv) {
+  std::vector<count_t> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const std::string item =
+        csv.substr(start, comma == std::string::npos ? csv.size() - start
+                                                     : comma - start);
+    if (!item.empty()) {
+      out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string combo_label(const Combo& combo) {
+  std::string label = combo.model + " @ " + std::to_string(combo.glb_kib) +
+                      " kB, " + combo.policy;
+  if (combo.policy == "het") {
+    label += std::string("/") + std::string(core::to_string(combo.objective));
+    if (combo.interlayer) {
+      label += "+inter";
+    }
+  } else if (combo.prefetch) {
+    label += "+p";
+  }
+  return label;
+}
+
+void write_json(const std::vector<ComboOutcome>& outcomes, bool strict,
+                std::ostream& os) {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t skipped = 0;
+  os << "{\n  \"tool\": \"rainbow_analyze\",\n"
+     << "  \"strict\": " << (strict ? "true" : "false") << ",\n"
+     << "  \"combos\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const ComboOutcome& o = outcomes[i];
+    errors += o.result.report.error_count();
+    warnings += o.result.report.warning_count();
+    if (o.status.rfind("skipped", 0) == 0) {
+      ++skipped;
+    }
+    os << "    {\"model\": \"" << json_escape(o.combo.model)
+       << "\", \"glb_kib\": " << o.combo.glb_kib << ", \"policy\": \""
+       << json_escape(o.combo.policy) << "\", \"prefetch\": "
+       << (o.combo.prefetch ? "true" : "false") << ", \"interlayer\": "
+       << (o.combo.interlayer ? "true" : "false") << ", \"objective\": \""
+       << core::to_string(o.combo.objective) << "\", \"status\": \""
+       << json_escape(o.status) << "\", \"errors\": "
+       << o.result.report.error_count() << ", \"warnings\": "
+       << o.result.report.warning_count() << ", \"commands\": "
+       << o.result.commands << ", \"regions\": " << o.result.regions
+       << ", \"capacity_elems\": " << o.result.capacity_elems
+       << ", \"peak_live_elems\": " << o.result.peak_live_elems
+       << ", \"glb_peak_elems\": " << o.result.glb_peak_elems
+       << ", \"diagnostics\": [";
+    const auto& diags = o.result.report.diagnostics();
+    for (std::size_t j = 0; j < diags.size(); ++j) {
+      const auto& d = diags[j];
+      os << (j == 0 ? "" : ", ") << "{\"code\": \""
+         << validate::code_string(d.code) << "\", \"severity\": \""
+         << validate::to_string(d.severity) << "\", \"message\": \""
+         << json_escape(d.message()) << "\"}";
+    }
+    os << "]}" << (i + 1 == outcomes.size() ? "" : ",") << '\n';
+  }
+  os << "  ],\n"
+     << "  \"total\": {\"combos\": " << outcomes.size()
+     << ", \"skipped\": " << skipped << ", \"errors\": " << errors
+     << ", \"warnings\": " << warnings << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> model_inputs;
+  std::vector<count_t> glb_kib = {64, 1024};
+  int width_bits = 8;
+  std::string policy_mode = "all";
+  std::string prefetch_mode = "both";
+  std::string objective_mode = "both";
+  bool all_zoo = false;
+  bool no_interlayer = false;
+  bool strict = false;
+  bool quiet = false;
+  std::string format = "text";
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    // Accept both "--format json" and "--format=json" style.
+    std::string inline_value;
+    if (const auto eq = flag.find('='); eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+    }
+    auto next = [&]() -> std::string {
+      if (!inline_value.empty()) {
+        return inline_value;
+      }
+      if (i + 1 >= argc) {
+        std::cerr << "rainbow_analyze: missing value for " << flag << '\n';
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--model") {
+      model_inputs.push_back(next());
+    } else if (flag == "--all-zoo") {
+      all_zoo = true;
+    } else if (flag == "--glb") {
+      glb_kib = parse_kib_list(next());
+    } else if (flag == "--width") {
+      width_bits = std::atoi(next().c_str());
+    } else if (flag == "--policy") {
+      policy_mode = next();
+    } else if (flag == "--prefetch") {
+      prefetch_mode = next();
+    } else if (flag == "--objective") {
+      objective_mode = next();
+    } else if (flag == "--no-interlayer") {
+      no_interlayer = true;
+    } else if (flag == "--strict") {
+      strict = true;
+    } else if (flag == "--format") {
+      format = next();
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else {
+      usage(argv[0]);
+      return flag == "--help" || flag == "-h" ? 0 : 2;
+    }
+  }
+  if ((model_inputs.empty() && !all_zoo) || glb_kib.empty() ||
+      (format != "text" && format != "json") ||
+      (prefetch_mode != "on" && prefetch_mode != "off" &&
+       prefetch_mode != "both") ||
+      (objective_mode != "accesses" && objective_mode != "latency" &&
+       objective_mode != "both")) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    std::vector<std::string> models;
+    if (all_zoo) {
+      for (const auto& name : model::zoo::model_names()) {
+        models.push_back(name);
+      }
+    }
+    models.insert(models.end(), model_inputs.begin(), model_inputs.end());
+
+    std::vector<core::Objective> objectives;
+    if (objective_mode != "latency") {
+      objectives.push_back(core::Objective::kAccesses);
+    }
+    if (objective_mode != "accesses") {
+      objectives.push_back(core::Objective::kLatency);
+    }
+    std::vector<bool> prefetches;
+    if (prefetch_mode != "on") {
+      prefetches.push_back(false);
+    }
+    if (prefetch_mode != "off") {
+      prefetches.push_back(true);
+    }
+    std::vector<std::string> forced;  // short labels of forced policies
+    if (policy_mode == "all") {
+      for (core::Policy p : core::kAllPolicies) {
+        forced.push_back(core::short_label(p, false));
+      }
+      forced.emplace_back("tiled");
+    } else if (policy_mode != "het") {
+      // Validates the label up front (throws on anything unknown).
+      static_cast<void>(core::policy_from_short_label(policy_mode));
+      forced.push_back(policy_mode);
+    }
+
+    std::vector<Combo> combos;
+    for (const std::string& model : models) {
+      for (count_t kib : glb_kib) {
+        if (policy_mode == "het" || policy_mode == "all") {
+          for (core::Objective objective : objectives) {
+            combos.push_back({model, kib, "het", false, false, objective});
+            if (!no_interlayer) {
+              combos.push_back({model, kib, "het", false, true, objective});
+            }
+          }
+        }
+        for (const std::string& label : forced) {
+          for (bool prefetch : prefetches) {
+            combos.push_back({model, kib, label, prefetch, false,
+                              core::Objective::kAccesses});
+          }
+        }
+      }
+    }
+
+    // One evaluation cache across the whole grid: the sweep re-plans the
+    // same layers under many specs, which is exactly what it memoizes.
+    const auto cache = std::make_shared<core::EvalCache>();
+    std::vector<ComboOutcome> outcomes;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t skipped = 0;
+    for (const Combo& combo : combos) {
+      const model::Network net =
+          std::filesystem::exists(combo.model)
+              ? model::load_network(combo.model)
+              : model::zoo::by_name(combo.model);
+      arch::AcceleratorSpec spec = arch::paper_spec(util::kib(combo.glb_kib));
+      spec.data_width_bits = width_bits;
+      spec.validate();
+
+      core::ManagerOptions options;
+      options.analyzer.eval_cache = cache;
+      options.interlayer_reuse = combo.interlayer;
+      const core::MemoryManager manager(spec, options);
+
+      ComboOutcome outcome;
+      outcome.combo = combo;
+      std::optional<core::ExecutionPlan> plan;
+      try {
+        plan = combo.policy == "het"
+                   ? manager.plan(net, combo.objective)
+                   : manager.plan_with_policy(
+                         net, core::policy_from_short_label(combo.policy),
+                         combo.prefetch, combo.objective);
+      } catch (const std::runtime_error& e) {
+        // The forced policy cannot execute this model in this GLB at all;
+        // nothing to lower.
+        outcome.status = std::string("skipped (") + e.what() + ")";
+      }
+      if (plan && !plan->feasible()) {
+        outcome.status = "skipped (plan infeasible for this GLB)";
+        plan.reset();
+      }
+      if (plan) {
+        const codegen::Program program = codegen::lower(*plan, net);
+        outcome.result = analysis::analyze_lowering(program, *plan, net);
+        outcome.status = outcome.result.clean() ? "ok" : "findings";
+        errors += outcome.result.report.error_count();
+        warnings += outcome.result.report.warning_count();
+      } else {
+        ++skipped;
+      }
+      if (!quiet && format == "text") {
+        std::cout << combo_label(outcome.combo) << ": " << outcome.status;
+        if (outcome.status == "ok") {
+          std::cout << " (" << outcome.result.commands << " commands, "
+                    << outcome.result.regions << " regions, peak "
+                    << outcome.result.peak_live_elems << "/"
+                    << outcome.result.capacity_elems << " elems)";
+        }
+        std::cout << '\n';
+        for (const auto& d : outcome.result.report.diagnostics()) {
+          std::cout << "  " << d.message() << '\n';
+        }
+      }
+      outcomes.push_back(std::move(outcome));
+    }
+
+    if (format == "json") {
+      write_json(outcomes, strict, std::cout);
+    } else {
+      std::cout << "rainbow_analyze: " << outcomes.size() << " combo(s), "
+                << skipped << " skipped, " << errors << " error(s), "
+                << warnings << " warning(s)\n";
+    }
+    if (errors > 0 || (strict && warnings > 0)) {
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "rainbow_analyze: " << e.what() << '\n';
+    return 2;
+  }
+}

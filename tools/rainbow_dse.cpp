@@ -14,6 +14,8 @@
 #include <optional>
 #include <string>
 
+#include "analysis/stream_analyzer.hpp"
+#include "codegen/lower.hpp"
 #include "core/eval_cache.hpp"
 #include "core/manager.hpp"
 #include "dse/pareto.hpp"
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
   bool cache_stats = false;
   bool simulate = false;
   bool validate = false;
+  bool analyze = false;
   std::optional<std::string> csv_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -89,6 +92,8 @@ int main(int argc, char** argv) {
       simulate = true;
     } else if (flag == "--validate") {
       validate = true;
+    } else if (flag == "--analyze") {
+      analyze = true;
     } else if (flag == "--csv") {
       csv_path = next();
     } else {
@@ -96,7 +101,7 @@ int main(int argc, char** argv) {
                 << " --model <zoo-name|file.model> [--min-kb N] [--max-kb N]"
                    " [--widths 8,16] [--batches 1,8] [--interlayer]"
                    " [--no-eval-cache] [--cache-stats] [--simulate]"
-                   " [--validate] [--csv path]\n";
+                   " [--validate] [--analyze] [--csv path]\n";
       return flag == "--help" || flag == "-h" ? 0 : 2;
     }
   }
@@ -226,6 +231,50 @@ int main(int argc, char** argv) {
         }
       }
       std::cout << "validate: " << plans << " plan(s) re-derived, " << errors
+                << " error(s), " << warnings << " warning(s)\n";
+      if (errors > 0) {
+        return 1;
+      }
+    }
+    if (analyze) {
+      // Lower every grid point's plan (Het, both objectives) and statically
+      // analyze the command stream (docs/static_analysis.md): lifetimes,
+      // occupancy, barrier epochs, and the plan cross-checks.
+      std::size_t streams = 0, errors = 0, warnings = 0;
+      for (count_t glb : config.glb_bytes) {
+        for (int width : widths) {
+          for (int batch : batches) {
+            auto spec = arch::paper_spec(glb);
+            spec.data_width_bits = width;
+            core::ManagerOptions moptions;
+            moptions.analyzer.estimator.batch = batch;
+            moptions.interlayer_reuse = interlayer;
+            const core::MemoryManager manager(spec, moptions);
+            for (core::Objective objective :
+                 {core::Objective::kAccesses, core::Objective::kLatency}) {
+              const auto plan = manager.plan(net, objective);
+              if (!plan.feasible()) {
+                continue;
+              }
+              const auto program = codegen::lower(plan, net);
+              const auto result =
+                  analysis::analyze_lowering(program, plan, net);
+              ++streams;
+              errors += result.report.error_count();
+              warnings += result.report.warning_count();
+              for (const auto& d : result.report.diagnostics()) {
+                if (d.severity == validate::Severity::kError) {
+                  std::cerr << "  [" << glb / 1024 << " kB, w" << width
+                            << ", b" << batch << ", "
+                            << core::to_string(objective) << "] "
+                            << d.message() << '\n';
+                }
+              }
+            }
+          }
+        }
+      }
+      std::cout << "analyze: " << streams << " stream(s) analyzed, " << errors
                 << " error(s), " << warnings << " warning(s)\n";
       if (errors > 0) {
         return 1;

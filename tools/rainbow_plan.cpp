@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/stream_analyzer.hpp"
 #include "codegen/lower.hpp"
 #include "codegen/print.hpp"
 #include "core/energy.hpp"
@@ -50,6 +51,7 @@ struct CliOptions {
   bool describe = false;
   bool baseline = false;
   bool validate = false;
+  bool analyze = false;
   std::optional<std::size_t> explain_layer;  // per-layer candidate table
   std::optional<std::size_t> timeline_layer; // ASCII occupancy chart
   std::optional<std::size_t> lower_layers;  // print the command stream
@@ -76,6 +78,8 @@ struct CliOptions {
      << "  --describe          per-layer plan table\n"
      << "  --validate          re-derive every plan invariant; non-zero exit\n"
      << "                      on any diagnostic (see docs/validation.md)\n"
+     << "  --analyze           lower the plan and statically analyze the\n"
+     << "                      command stream (docs/static_analysis.md)\n"
      << "  --explain <layer>   candidate table for one layer index\n"
      << "  --timeline <layer>  DRAM/compute occupancy chart for one layer\n"
      << "  --baseline          compare against the fixed-partition baseline\n"
@@ -135,6 +139,8 @@ CliOptions parse(int argc, char** argv) {
       opt.describe = true;
     } else if (flag == "--validate") {
       opt.validate = true;
+    } else if (flag == "--analyze") {
+      opt.analyze = true;
     } else if (flag == "--explain") {
       opt.explain_layer = std::strtoull(next("--explain").c_str(), nullptr, 10);
     } else if (flag == "--timeline") {
@@ -251,6 +257,28 @@ int main(int argc, char** argv) {
         }
       }
       if (!report.ok()) {
+        return 1;
+      }
+    }
+
+    if (opt.analyze) {
+      const codegen::Program program = codegen::lower(plan, net);
+      const analysis::AnalysisResult result =
+          analysis::analyze_lowering(program, plan, net);
+      if (result.clean()) {
+        std::cout << "  analyze:   ok (" << result.commands << " commands, "
+                  << result.regions << " regions, peak "
+                  << result.peak_live_elems << "/" << result.capacity_elems
+                  << " elems)\n";
+      } else {
+        std::cout << "  analyze:   " << result.report.error_count()
+                  << " error(s), " << result.report.warning_count()
+                  << " warning(s)\n";
+        for (const auto& d : result.report.diagnostics()) {
+          std::cout << "    " << d.message() << '\n';
+        }
+      }
+      if (!result.ok()) {
         return 1;
       }
     }
