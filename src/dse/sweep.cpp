@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "engine/engine.hpp"
+#include "oracle/oracle.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rainbow::dse {
@@ -89,6 +90,22 @@ std::vector<SweepPoint> run_sweep(const model::Network& network,
             p.sim_peak_glb_elems =
                 std::max(p.sim_peak_glb_elems, exec.peak_glb_elems);
           }
+        }
+        if (config.with_oracle) {
+          oracle::OracleOptions ooptions;
+          ooptions.analyzer = options.analyzer;
+          ooptions.analyzer.eval_cache = nullptr;  // oracle enumerates
+          ooptions.interlayer = p.interlayer;
+          ooptions.node_budget = config.oracle_node_budget;
+          const oracle::OraclePlanner planner(spec, ooptions);
+          const oracle::OracleResult best = planner.plan(network, p.objective);
+          p.oracle_ran = true;
+          p.oracle_exact = best.exact;
+          p.oracle_cost = best.best_cost.primary;
+          p.oracle_lower_bound = best.lower_bound;
+          p.oracle_nodes = best.nodes_expanded;
+          p.gap_vs_oracle = oracle::optimality_gap(
+              oracle::plan_cost(plan).primary, best.best_cost.primary);
         }
       },
       threads);

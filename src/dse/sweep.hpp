@@ -7,6 +7,7 @@
 // pruning.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -46,6 +47,18 @@ struct SweepConfig {
   bool simulate_execution = false;
   int simulate_threads = 1;
 
+  /// Oracle mode: additionally run the exact branch-and-bound planner
+  /// (src/oracle) at every grid point, over the same feature space the
+  /// point's plan used (links searched iff the point is an interlayer
+  /// point), and fill the oracle_* / gap_vs_oracle fields.  The gap is the
+  /// point's headline answer to "how far is Algorithm 1 from optimal
+  /// here?".
+  bool with_oracle = false;
+  /// Branch-and-bound node budget per point; 0 = unlimited (exact).  The
+  /// default closes every zoo network exactly in practice while bounding a
+  /// pathological point instead of hanging the sweep.
+  std::uint64_t oracle_node_budget = 2'000'000;
+
   /// Throws std::invalid_argument when an axis is empty or a value is
   /// out of range.
   void validate() const;
@@ -79,6 +92,17 @@ struct SweepPoint {
   count_t sim_accesses = 0;
   double sim_latency_cycles = 0.0;
   count_t sim_peak_glb_elems = 0;   ///< max over layers
+
+  // Filled when SweepConfig::with_oracle is set: the exact planner's view
+  // of this point.  `gap_vs_oracle` is relative — (heuristic − oracle) /
+  // oracle on the point's primary metric; 0 means Algorithm 1 was optimal
+  // here (provably, when oracle_exact).
+  bool oracle_ran = false;
+  bool oracle_exact = false;
+  double oracle_cost = 0.0;        ///< primary metric of the oracle plan
+  double oracle_lower_bound = 0.0; ///< admissible bound (== cost when exact)
+  double gap_vs_oracle = 0.0;
+  std::uint64_t oracle_nodes = 0;  ///< branch-and-bound nodes expanded
 
   [[nodiscard]] double access_mb_per_image() const {
     return access_mb / batch;

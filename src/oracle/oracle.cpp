@@ -1,0 +1,424 @@
+#include "oracle/oracle.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/interlayer.hpp"
+#include "engine/glb.hpp"
+
+namespace rainbow::oracle {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Floating-point slack for the bound comparisons.  The latency metric is a
+/// double whose DP-bound summation order differs from the leaf accumulation
+/// order; a subtree is only kept when its bound undercuts the incumbent by
+/// more than this relative tolerance, so an improvement below ULP noise is
+/// indistinguishable from a tie and treated as one.  (The accesses metric is
+/// integral in a double: sums are exact and real improvements are >= 1, far
+/// above the slack.)
+double tol(double reference) {
+  return 1e-9 * std::max(1.0, std::abs(reference));
+}
+
+/// One fully evaluated (policy, prefetch) point of a layer's search space,
+/// with its objective-ordered cost split out for the bound arithmetic.
+struct Candidate {
+  core::Estimate estimate;
+  double primary = 0.0;
+  double secondary = 0.0;
+};
+
+double primary_of(const core::Estimate& est, core::Objective objective) {
+  return objective == core::Objective::kAccesses
+             ? static_cast<double>(est.accesses())
+             : est.latency_cycles;
+}
+
+double secondary_of(const core::Estimate& est, core::Objective objective) {
+  return objective == core::Objective::kAccesses
+             ? est.latency_cycles
+             : static_cast<double>(est.accesses());
+}
+
+/// Feasible candidates of one layer under one residency state, sorted by
+/// (primary, secondary, enumeration order) — the front is the state's
+/// lexicographic minimum.
+struct StateCandidates {
+  std::vector<Candidate> candidates;
+};
+
+/// The four residency states of a layer, indexed (in ? 2 : 0) + (out ? 1:0).
+/// Disallowed states (boundary not sequential, or interlayer search off)
+/// keep empty candidate lists and infinite minima.
+struct LayerSpace {
+  std::array<StateCandidates, 4> state;
+  bool in_allowed = false;   ///< boundary i-1 -> i can hand a window over
+  bool out_allowed = false;  ///< boundary i -> i+1 can hand a window over
+
+  [[nodiscard]] const StateCandidates& at(bool in, bool out) const {
+    return state[(in ? 2 : 0) + (out ? 1 : 0)];
+  }
+};
+
+/// One decided layer on the DFS path / in a completed solution.
+struct PathNode {
+  const Candidate* candidate = nullptr;
+  bool in = false;
+  bool out = false;
+};
+
+struct Incumbent {
+  PlanCost cost{kInf, kInf};
+  /// Set once the search improves on the seed; empty means the seed
+  /// (Algorithm 1's plan) is still the best known solution.
+  std::optional<std::vector<PathNode>> path;
+};
+
+class Search {
+ public:
+  Search(const model::Network& network, const arch::AcceleratorSpec& spec,
+         const OracleOptions& options, core::Objective objective,
+         OracleResult& result)
+      : network_(network),
+        spec_(spec),
+        options_(options),
+        objective_(objective),
+        result_(result) {}
+
+  void run(const PlanCost& seed_cost) {
+    enumerate_candidates();
+    build_suffix_bounds();
+    incumbent_.cost = seed_cost;
+    if (!network_.empty()) {
+      engine::Glb glb(spec_.glb_elems());
+      path_.reserve(network_.size());
+      dfs(0, /*prev_link=*/false, glb, std::nullopt, PlanCost{0.0, 0.0});
+    }
+    result_.exact = !exhausted_;
+    result_.lower_bound = exhausted_ ? root_bound_ : incumbent_.cost.primary;
+  }
+
+  [[nodiscard]] const Incumbent& incumbent() const { return incumbent_; }
+
+ private:
+  /// Mirrors Analyzer::evaluate_best's candidate set exactly (policies ×
+  /// prefetch variants plus the always-considered fallback tiler) so the
+  /// heuristic's choice is always one of the oracle's points.
+  void enumerate_candidates() {
+    const core::Estimator estimator(spec_, options_.analyzer.estimator);
+    const std::size_t n = network_.size();
+    layers_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      LayerSpace& space = layers_[i];
+      space.in_allowed = options_.interlayer && i > 0 &&
+                         network_.is_sequential_boundary(i - 1);
+      space.out_allowed = options_.interlayer && i + 1 < n &&
+                          network_.is_sequential_boundary(i);
+      for (int in = 0; in <= (space.in_allowed ? 1 : 0); ++in) {
+        for (int out = 0; out <= (space.out_allowed ? 1 : 0); ++out) {
+          StateCandidates& sc = space.state[(in ? 2 : 0) + (out ? 1 : 0)];
+          const core::InterlayerAdjust adjust{.ifmap_resident = in != 0,
+                                              .keep_ofmap = out != 0};
+          auto consider = [&](core::Policy policy, bool prefetch) {
+            ++result_.candidates_evaluated;
+            core::Estimate est =
+                estimator.estimate(network_.layer(i), policy, prefetch, adjust);
+            if (!est.feasible) {
+              return;
+            }
+            Candidate cand;
+            cand.primary = primary_of(est, objective_);
+            cand.secondary = secondary_of(est, objective_);
+            cand.estimate = std::move(est);
+            sc.candidates.push_back(std::move(cand));
+          };
+          for (core::Policy policy : options_.analyzer.policies) {
+            consider(policy, false);
+            if (options_.analyzer.allow_prefetch) {
+              consider(policy, true);
+            }
+          }
+          consider(core::Policy::kFallbackTiled, false);
+          if (options_.analyzer.allow_prefetch) {
+            consider(core::Policy::kFallbackTiled, true);
+          }
+          std::stable_sort(sc.candidates.begin(), sc.candidates.end(),
+                           [](const Candidate& a, const Candidate& b) {
+                             if (a.primary != b.primary) {
+                               return a.primary < b.primary;
+                             }
+                             return a.secondary < b.secondary;
+                           });
+        }
+      }
+      if (space.at(false, false).candidates.empty()) {
+        throw std::runtime_error(
+            "OraclePlanner: layer '" + network_.layer(i).name() +
+            "' cannot execute within a " +
+            std::to_string(spec_.glb_bytes / 1024) +
+            " kB GLB under any policy or tiling");
+      }
+    }
+  }
+
+  /// Suffix DP over link states, ignoring placement: lb_[i][prev] is the
+  /// lexicographic (primary, secondary) optimum of layers i..n-1 in the
+  /// placement-free relaxation, given whether boundary i-1 handed a window
+  /// over.  Placement only removes completions, so every reachable leaf
+  /// costs at least this — an admissible bound that also carries exact
+  /// tie-break information (pair addition is monotone under the lex
+  /// order), which is what collapses equal-primary plateaus: under the
+  /// accesses objective many policies move every element once and tie on
+  /// the primary metric, and a primary-only bound would leave those
+  /// subtrees unprunable.
+  void build_suffix_bounds() {
+    const std::size_t n = network_.size();
+    lb_.assign(n + 1, {PlanCost{0.0, 0.0}, PlanCost{0.0, 0.0}});
+    for (std::size_t i = n; i-- > 0;) {
+      const LayerSpace& space = layers_[i];
+      for (int prev = 0; prev <= 1; ++prev) {
+        PlanCost best{kInf, kInf};
+        if (prev == 0 || space.in_allowed) {
+          for (int out = 0; out <= (space.out_allowed ? 1 : 0); ++out) {
+            const StateCandidates& sc = space.at(prev != 0, out != 0);
+            if (sc.candidates.empty()) {
+              continue;
+            }
+            // Candidates are sorted, so the front is the state's lex-min;
+            // for a fixed suffix the lex-min composition uses it.
+            const Candidate& cand = sc.candidates.front();
+            const PlanCost total{cand.primary + lb_[i + 1][out].primary,
+                                 cand.secondary + lb_[i + 1][out].secondary};
+            if (total.better_than(best)) {
+              best = total;
+            }
+          }
+        }
+        lb_[i][prev] = best;
+      }
+    }
+    root_bound_ = network_.empty() ? 0.0 : lb_[0][0].primary;
+  }
+
+  /// Expands layer i given the link decision at boundary i-1, the current
+  /// scratchpad free-list state, and the producer's persisted window.
+  void dfs(std::size_t i, bool prev_link, const engine::Glb& glb,
+           const std::optional<engine::Glb::Region>& persisted,
+           PlanCost partial) {
+    if (exhausted_) {
+      return;
+    }
+    if (i == network_.size()) {
+      if (partial.better_than(incumbent_.cost)) {
+        incumbent_.cost = partial;
+        incumbent_.path = path_;
+      }
+      return;
+    }
+    const LayerSpace& space = layers_[i];
+
+    // Order the children best-bound-first so the DP optimum is reached on
+    // the first descent whenever placement does not bind.
+    struct Child {
+      double bound1;
+      double bound2;
+      bool out;
+      const Candidate* candidate;
+    };
+    std::vector<Child> children;
+    for (int out = 0; out <= (space.out_allowed ? 1 : 0); ++out) {
+      const StateCandidates& sc = space.at(prev_link, out != 0);
+      for (const Candidate& cand : sc.candidates) {
+        children.push_back(
+            {partial.primary + cand.primary + lb_[i + 1][out].primary,
+             partial.secondary + cand.secondary + lb_[i + 1][out].secondary,
+             out != 0, &cand});
+      }
+    }
+    std::stable_sort(children.begin(), children.end(),
+                     [](const Child& a, const Child& b) {
+                       if (a.bound1 != b.bound1) {
+                         return a.bound1 < b.bound1;
+                       }
+                       return a.bound2 < b.bound2;
+                     });
+
+    for (const Child& child : children) {
+      if (exhausted_) {
+        return;
+      }
+      // Admissible prune: the incumbent is an *achieved* cost (seeded with
+      // Algorithm 1's plan), so a subtree is worth expanding only when its
+      // bound strictly lex-undercuts it.  Ties must be cut too — otherwise
+      // the search enumerates every alternative optimum on the equal-cost
+      // plateau (MobileNet at 64 kB has thousands) instead of terminating.
+      const double inc1 = incumbent_.cost.primary;
+      const double inc2 = incumbent_.cost.secondary;
+      const bool can_improve =
+          child.bound1 < inc1 - tol(inc1) ||
+          (child.bound1 <= inc1 + tol(inc1) &&
+           child.bound2 < inc2 - tol(inc2));
+      if (!can_improve) {
+        ++result_.nodes_pruned;
+        continue;
+      }
+      ++result_.nodes_expanded;
+      if (options_.node_budget != 0 &&
+          result_.nodes_expanded > options_.node_budget) {
+        exhausted_ = true;
+        return;
+      }
+
+      // Replay this layer's region skeleton against the inherited first-fit
+      // state — the same order the lowering emits (core/interlayer.cpp).
+      const model::Layer& layer = network_.layer(i);
+      const core::InterlayerAdjust adjust{.ifmap_resident = prev_link,
+                                          .keep_ofmap = child.out};
+      const core::Footprint fp = core::planned_footprint(
+          layer, child.candidate->estimate.choice, adjust);
+      engine::Glb next = glb;
+      std::optional<engine::Glb::Region> ifmap;
+      std::optional<engine::Glb::Region> filter;
+      std::optional<engine::Glb::Region> ofmap;
+      try {
+        if (prev_link) {
+          ifmap = persisted;
+        } else if (fp.ifmap != 0) {
+          ifmap = next.allocate(fp.ifmap, layer.name());
+        }
+        if (fp.filter != 0) {
+          filter = next.allocate(fp.filter, layer.name());
+        }
+        if (fp.ofmap != 0) {
+          ofmap = next.allocate(fp.ofmap, layer.name());
+        }
+      } catch (const std::runtime_error&) {
+        ++result_.placement_rejections;
+        continue;
+      }
+      if (ifmap) {
+        next.release(*ifmap);
+      }
+      if (filter) {
+        next.release(*filter);
+      }
+      std::optional<engine::Glb::Region> handoff;
+      if (ofmap) {
+        if (child.out) {
+          handoff = ofmap;
+        } else {
+          next.release(*ofmap);
+        }
+      }
+
+      path_.push_back({child.candidate, prev_link, child.out});
+      dfs(i + 1, child.out, next, handoff,
+          PlanCost{partial.primary + child.candidate->primary,
+                   partial.secondary + child.candidate->secondary});
+      path_.pop_back();
+    }
+  }
+
+  const model::Network& network_;
+  const arch::AcceleratorSpec& spec_;
+  const OracleOptions& options_;
+  core::Objective objective_;
+  OracleResult& result_;
+
+  std::vector<LayerSpace> layers_;
+  std::vector<std::array<PlanCost, 2>> lb_;
+  double root_bound_ = 0.0;
+  Incumbent incumbent_;
+  std::vector<PathNode> path_;
+  bool exhausted_ = false;
+};
+
+core::ExecutionPlan plan_from_path(const std::vector<PathNode>& path,
+                                   const model::Network& network,
+                                   const arch::AcceleratorSpec& spec,
+                                   core::Objective objective) {
+  core::ExecutionPlan plan("Oracle", network.name(), spec, objective);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    core::LayerAssignment assignment;
+    assignment.layer_index = i;
+    assignment.estimate = path[i].candidate->estimate;
+    assignment.ifmap_from_glb = path[i].in;
+    assignment.ofmap_stays_in_glb = path[i].out;
+    plan.add(std::move(assignment));
+  }
+  return plan;
+}
+
+core::ExecutionPlan relabel(const core::ExecutionPlan& plan) {
+  core::ExecutionPlan copy("Oracle", plan.model(), plan.spec(),
+                           plan.objective());
+  for (const core::LayerAssignment& a : plan.assignments()) {
+    copy.add(a);
+  }
+  return copy;
+}
+
+}  // namespace
+
+PlanCost plan_cost(const core::ExecutionPlan& plan) {
+  double accesses = 0.0;
+  double latency = 0.0;
+  for (const core::LayerAssignment& a : plan.assignments()) {
+    accesses += static_cast<double>(a.estimate.accesses());
+    latency += a.estimate.latency_cycles;
+  }
+  if (plan.objective() == core::Objective::kAccesses) {
+    return {accesses, latency};
+  }
+  return {latency, accesses};
+}
+
+double optimality_gap(double heuristic_cost, double oracle_cost) {
+  if (oracle_cost <= 0.0) {
+    return 0.0;
+  }
+  return (heuristic_cost - oracle_cost) / oracle_cost;
+}
+
+OraclePlanner::OraclePlanner(const arch::AcceleratorSpec& spec,
+                             OracleOptions options)
+    : spec_(spec), options_(std::move(options)) {
+  spec_.validate();
+  if (options_.analyzer.policies.empty()) {
+    throw std::invalid_argument("OraclePlanner: empty candidate policy set");
+  }
+}
+
+OracleResult OraclePlanner::plan(const model::Network& network,
+                                 core::Objective objective) const {
+  // Seed the incumbent with Algorithm 1's plan: a finite node budget can
+  // then only improve on the heuristic, never regress it, and a search
+  // that proves the seed optimal terminates after pruning everything.
+  const core::Analyzer analyzer(spec_, options_.analyzer);
+  core::ExecutionPlan seed = analyzer.heterogeneous(network, objective);
+  if (options_.interlayer) {
+    seed = apply_interlayer_reuse(seed, network, analyzer);
+  }
+  const PlanCost seed_cost = plan_cost(seed);
+
+  OracleResult result{relabel(seed), PlanCost{}, 0.0, false, 0, 0, 0, 0};
+  Search search(network, spec_, options_, objective, result);
+  search.run(seed_cost);
+  if (search.incumbent().path) {
+    result.plan = plan_from_path(*search.incumbent().path, network, spec_,
+                                 objective);
+  }
+  result.best_cost = search.incumbent().cost;
+  return result;
+}
+
+}  // namespace rainbow::oracle

@@ -1,0 +1,109 @@
+// Exact planning oracle: branch-and-bound / DP search over the joint space
+// of (per-layer policy × prefetch on/off × inter-layer link selection) under
+// the GLB capacity bound, including the first-fit placement constraint the
+// greedy inter-layer pass enforces (core/interlayer.cpp).  Algorithm 1 is a
+// per-layer greedy heuristic followed by a left-to-right link pass; the
+// oracle quantifies how far those plans are from optimal (`gap_vs_oracle`)
+// and doubles as a differential-testing adversary for the V/L/S gates.
+//
+// Search-space convention (docs/oracle.md): every candidate keeps the
+// paper's auto-tuned tiling parameters (largest feasible filter block for
+// P4/P5, minimum-access (R, n) for the fallback tiler) — the same
+// parameterisation Algorithm 1 evaluates — so the heuristic's plan is
+// always a point of the oracle's space and `oracle cost <= heuristic cost`
+// holds unconditionally.
+//
+// Exactness: with an unlimited node budget the depth-first search, pruned
+// only by admissible bounds (a suffix DP over link states that ignores the
+// placement constraint), enumerates the whole space — the returned plan is
+// provably optimal under the lexicographic objective (primary metric, other
+// metric as tie-breaker).  With a finite budget the search is
+// bounded-suboptimal: the incumbent is seeded with Algorithm 1's plan, so
+// the result never regresses the heuristic, and `lower_bound` reports the
+// admissible root bound as the optimality certificate.
+#pragma once
+
+#include <cstdint>
+
+#include "core/analyzer.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::oracle {
+
+struct OracleOptions {
+  /// Candidate policies / prefetch variants / estimator knobs; identical
+  /// semantics to the options Algorithm 1 plans under.  The eval cache is
+  /// unused (the oracle enumerates candidates, not per-layer winners).
+  core::AnalyzerOptions analyzer;
+  /// Search inter-layer link decisions at sequential boundaries.  Off, the
+  /// oracle degenerates to the exact per-layer optimum — which equals
+  /// Algorithm 1's Het plan by construction (pinned by tests).
+  bool interlayer = true;
+  /// Maximum branch-and-bound nodes expanded (candidate placements tried);
+  /// 0 = unlimited, i.e. exact.  When exhausted the best-found-so-far plan
+  /// is returned with `exact == false`.
+  std::uint64_t node_budget = 0;
+};
+
+/// Lexicographic plan cost under an objective: the primary metric with the
+/// other metric as tie-breaker (the same ordering Algorithm 1 uses).
+struct PlanCost {
+  double primary = 0.0;
+  double secondary = 0.0;
+
+  [[nodiscard]] bool better_than(const PlanCost& other) const {
+    if (primary != other.primary) {
+      return primary < other.primary;
+    }
+    return secondary < other.secondary;
+  }
+};
+
+/// Primary/secondary cost of `plan` under its own objective.
+[[nodiscard]] PlanCost plan_cost(const core::ExecutionPlan& plan);
+
+/// Relative optimality gap (heuristic - oracle) / oracle; 0 when the oracle
+/// cost is zero (both must then be zero for a consistent pair).
+[[nodiscard]] double optimality_gap(double heuristic_cost, double oracle_cost);
+
+struct OracleResult {
+  core::ExecutionPlan plan;   ///< scheme "Oracle"; passes PlanValidator
+  PlanCost best_cost;         ///< cost of `plan` (== plan_cost(plan))
+  /// Admissible lower bound on the optimum's primary metric.  Equals
+  /// best_cost.primary when `exact`; the placement-free suffix-DP root
+  /// bound otherwise.
+  double lower_bound = 0.0;
+  /// The search ran to completion: `plan` is provably optimal over the
+  /// policy × prefetch × link space (lexicographic objective).
+  bool exact = false;
+  std::uint64_t nodes_expanded = 0;   ///< candidate placements tried
+  std::uint64_t nodes_pruned = 0;     ///< subtrees cut by the bounds
+  /// Placement attempts rejected by the first-fit replay — the constraint
+  /// the suffix DP cannot see.
+  std::uint64_t placement_rejections = 0;
+  std::uint64_t candidates_evaluated = 0;  ///< estimator calls made
+};
+
+class OraclePlanner {
+ public:
+  explicit OraclePlanner(const arch::AcceleratorSpec& spec,
+                         OracleOptions options = {});
+
+  [[nodiscard]] const arch::AcceleratorSpec& spec() const { return spec_; }
+  [[nodiscard]] const OracleOptions& options() const { return options_; }
+
+  /// Searches the joint space for `network` under `objective`.  Throws
+  /// std::runtime_error when some layer cannot execute within the GLB
+  /// under any candidate (the same condition that fails Algorithm 1).
+  /// Deterministic: same inputs, same plan, regardless of surrounding
+  /// thread count (the search itself is sequential).
+  [[nodiscard]] OracleResult plan(const model::Network& network,
+                                  core::Objective objective) const;
+
+ private:
+  arch::AcceleratorSpec spec_;
+  OracleOptions options_;
+};
+
+}  // namespace rainbow::oracle

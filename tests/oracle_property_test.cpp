@@ -1,0 +1,133 @@
+// Property tests for the planning oracle on the paper's model zoo, at
+// reduced sizes (layer-prefix slices) so every search closes exactly in
+// test time.  The properties: the oracle's plan is valid and fits the GLB,
+// it never loses to Algorithm 1, its reported cost is what its plan costs,
+// and the whole computation is bitwise reproducible across repeated runs
+// and concurrent executions (the search is deterministic by construction).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/stream_analyzer.hpp"
+#include "codegen/lower.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+#include "oracle/oracle.hpp"
+#include "util/thread_pool.hpp"
+#include "validate/plan_validator.hpp"
+
+namespace rainbow::oracle {
+namespace {
+
+using core::Objective;
+using model::Network;
+
+arch::AcceleratorSpec spec_kb(count_t kb) {
+  return arch::paper_spec(util::kib(kb));
+}
+
+/// First `max_layers` layers of `net` — a consumer always follows its
+/// producer in layer order, so a prefix is itself a well-formed network.
+Network prefix(const Network& net, std::size_t max_layers) {
+  Network out(net.name() + "-prefix");
+  for (std::size_t i = 0; i < net.size() && i < max_layers; ++i) {
+    out.add(net.layer(i));
+  }
+  return out;
+}
+
+struct Case {
+  Network net;
+  count_t glb_kb;
+  Objective objective;
+};
+
+std::vector<Case> reduced_zoo_cases() {
+  std::vector<Case> cases;
+  for (const std::string& name : model::zoo::model_names()) {
+    const Network sliced = prefix(model::zoo::by_name(name), 12);
+    for (count_t kb : {64u, 256u}) {
+      for (Objective objective : {Objective::kAccesses, Objective::kLatency}) {
+        cases.push_back({sliced, kb, objective});
+      }
+    }
+  }
+  return cases;
+}
+
+void check_plan_is_clean(const core::ExecutionPlan& plan, const Network& net) {
+  ASSERT_TRUE(plan.feasible());
+  const validate::PlanValidator validator;
+  const validate::ValidationReport report = validator.validate(plan, net);
+  EXPECT_EQ(report.error_count(), 0u)
+      << net.name() << ": " << (report.diagnostics().empty()
+                                    ? ""
+                                    : report.diagnostics().front().message());
+  const auto program = codegen::lower(plan, net);
+  const auto analysis = analysis::analyze_lowering(program, plan, net);
+  EXPECT_EQ(analysis.report.error_count(), 0u)
+      << net.name() << ": "
+      << (analysis.report.diagnostics().empty()
+              ? ""
+              : analysis.report.diagnostics().front().message());
+}
+
+TEST(OracleProperty, ReducedZooPlansAreValidOptimalAndReproducible) {
+  for (const Case& c : reduced_zoo_cases()) {
+    const arch::AcceleratorSpec spec = spec_kb(c.glb_kb);
+    const OraclePlanner planner(spec);
+    const OracleResult result = planner.plan(c.net, c.objective);
+    ASSERT_TRUE(result.exact)
+        << c.net.name() << " @ " << c.glb_kb << " kB did not close";
+
+    // The plan achieves the reported optimum and fits the machine.
+    EXPECT_DOUBLE_EQ(plan_cost(result.plan).primary, result.best_cost.primary);
+    EXPECT_DOUBLE_EQ(result.lower_bound, result.best_cost.primary);
+    check_plan_is_clean(result.plan, c.net);
+
+    // Never worse than Algorithm 1 + greedy links.
+    core::ManagerOptions moptions;
+    moptions.interlayer_reuse = true;
+    const core::MemoryManager manager(spec, moptions);
+    const core::ExecutionPlan heuristic = manager.plan(c.net, c.objective);
+    EXPECT_LE(result.best_cost.primary, plan_cost(heuristic).primary)
+        << c.net.name() << " @ " << c.glb_kb << " kB";
+
+    // Re-running the identical search reproduces the objective bitwise.
+    const OracleResult again = planner.plan(c.net, c.objective);
+    EXPECT_DOUBLE_EQ(again.best_cost.primary, result.best_cost.primary);
+    EXPECT_DOUBLE_EQ(again.best_cost.secondary, result.best_cost.secondary);
+    EXPECT_EQ(again.nodes_expanded, result.nodes_expanded);
+  }
+}
+
+TEST(OracleProperty, ObjectiveIsStableAcrossConcurrentSearches) {
+  // Eight concurrent searches of the same case must agree bitwise with a
+  // sequential one — the planner shares no mutable state, so thread count
+  // and scheduling cannot leak into the objective.
+  const Network net = prefix(model::zoo::mobilenet(), 12);
+  const arch::AcceleratorSpec spec = spec_kb(64);
+  const OraclePlanner planner(spec);
+  const OracleResult reference = planner.plan(net, Objective::kAccesses);
+
+  struct Slot {
+    double primary = -1.0;
+    double secondary = -1.0;
+    std::uint64_t nodes = 0;
+  };
+  std::vector<Slot> slots(8);
+  util::parallel_for_each(slots, [&](Slot& s) {
+    const OracleResult r = planner.plan(net, Objective::kAccesses);
+    s.primary = r.best_cost.primary;
+    s.secondary = r.best_cost.secondary;
+    s.nodes = r.nodes_expanded;
+  });
+  for (const Slot& s : slots) {
+    EXPECT_DOUBLE_EQ(s.primary, reference.best_cost.primary);
+    EXPECT_DOUBLE_EQ(s.secondary, reference.best_cost.secondary);
+    EXPECT_EQ(s.nodes, reference.nodes_expanded);
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::oracle

@@ -1,0 +1,359 @@
+// Unit tests for the exact planning oracle (src/oracle): exhaustiveness is
+// asserted against an independent brute force that enumerates the full
+// (per-layer candidate x link vector) product with its own first-fit
+// placement replay, and the committed golden fixtures pin the provably
+// optimal objective values for the small networks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/interlayer.hpp"
+#include "core/manager.hpp"
+#include "engine/glb.hpp"
+#include "model/zoo/zoo.hpp"
+#include "oracle/oracle.hpp"
+
+namespace rainbow::oracle {
+namespace {
+
+using core::Objective;
+using model::Network;
+using model::make_conv;
+
+arch::AcceleratorSpec spec_kb(count_t kb) {
+  return arch::paper_spec(util::kib(kb));
+}
+
+Network small_chain() {
+  Network net("chain");
+  net.add(make_conv("a", 14, 14, 16, 3, 3, 16, 1, 1));
+  net.add(make_conv("b", 14, 14, 16, 3, 3, 16, 1, 1));
+  net.add(make_conv("c", 14, 14, 16, 3, 3, 16, 1, 1));
+  return net;
+}
+
+Network mixed_chain() {
+  Network net("mixed");
+  net.add(make_conv("stem", 28, 28, 8, 3, 3, 16, 2, 1));
+  net.add(make_conv("mid", 14, 14, 16, 3, 3, 32, 1, 1));
+  net.add(make_conv("down", 14, 14, 32, 3, 3, 32, 2, 1));
+  net.add(make_conv("head", 7, 7, 32, 1, 1, 64, 1, 0));
+  return net;
+}
+
+/// The heuristic baseline the oracle must never lose to: Algorithm 1 plus
+/// the greedy Section 5.4 link pass.
+core::ExecutionPlan heuristic_plan(const Network& net,
+                                   const arch::AcceleratorSpec& spec,
+                                   Objective objective, bool interlayer) {
+  core::ManagerOptions options;
+  options.interlayer_reuse = interlayer;
+  const core::MemoryManager manager(spec, options);
+  return manager.plan(net, objective);
+}
+
+// ---------------------------------------------------------------------------
+// Independent brute force: the oracle's search space, enumerated as a plain
+// cross product.  For every link vector over the sequential boundaries it
+// tries *every* combination of feasible per-layer candidates (policy x
+// prefetch under the matching residency state), replays the first-fit
+// placement skeleton, and keeps the lexicographic minimum.  Exponential and
+// proud of it — only run on tiny chains.
+// ---------------------------------------------------------------------------
+
+struct BruteCandidate {
+  core::Estimate estimate;
+  double primary = 0.0;
+  double secondary = 0.0;
+};
+
+std::vector<BruteCandidate> brute_candidates(const core::Estimator& estimator,
+                                             const model::Layer& layer,
+                                             Objective objective,
+                                             const core::InterlayerAdjust& adj) {
+  std::vector<BruteCandidate> out;
+  auto consider = [&](core::Policy policy, bool prefetch) {
+    core::Estimate est = estimator.estimate(layer, policy, prefetch, adj);
+    if (!est.feasible) {
+      return;
+    }
+    BruteCandidate cand;
+    cand.primary = objective == Objective::kAccesses
+                       ? static_cast<double>(est.accesses())
+                       : est.latency_cycles;
+    cand.secondary = objective == Objective::kAccesses
+                         ? est.latency_cycles
+                         : static_cast<double>(est.accesses());
+    cand.estimate = std::move(est);
+    out.push_back(std::move(cand));
+  };
+  for (core::Policy policy : core::kAllPolicies) {
+    consider(policy, false);
+    consider(policy, true);
+  }
+  consider(core::Policy::kFallbackTiled, false);
+  consider(core::Policy::kFallbackTiled, true);
+  return out;
+}
+
+/// Recursively assigns candidates to layers under the fixed link vector,
+/// replaying placement, and minimizes (primary, secondary) over complete
+/// assignments.  `links[b]` covers boundary b -> b+1.
+void brute_assign(const core::Estimator& estimator, const Network& net,
+                  Objective objective, const std::vector<bool>& links,
+                  std::size_t i, const engine::Glb& glb,
+                  const std::optional<engine::Glb::Region>& persisted,
+                  double p1, double p2, double& best1, double& best2) {
+  if (i == net.size()) {
+    if (p1 < best1 || (p1 == best1 && p2 < best2)) {
+      best1 = p1;
+      best2 = p2;
+    }
+    return;
+  }
+  const bool in = i > 0 && links[i - 1];
+  const bool out = i < links.size() && links[i];
+  const core::InterlayerAdjust adjust{.ifmap_resident = in,
+                                      .keep_ofmap = out};
+  for (const BruteCandidate& cand :
+       brute_candidates(estimator, net.layer(i), objective, adjust)) {
+    const core::Footprint fp =
+        core::planned_footprint(net.layer(i), cand.estimate.choice, adjust);
+    engine::Glb next = glb;
+    std::optional<engine::Glb::Region> ifmap;
+    std::optional<engine::Glb::Region> filter;
+    std::optional<engine::Glb::Region> ofmap;
+    try {
+      if (in) {
+        ifmap = persisted;
+      } else if (fp.ifmap != 0) {
+        ifmap = next.allocate(fp.ifmap, net.layer(i).name());
+      }
+      if (fp.filter != 0) {
+        filter = next.allocate(fp.filter, net.layer(i).name());
+      }
+      if (fp.ofmap != 0) {
+        ofmap = next.allocate(fp.ofmap, net.layer(i).name());
+      }
+    } catch (const std::runtime_error&) {
+      continue;  // this candidate does not place under the inherited state
+    }
+    if (ifmap) {
+      next.release(*ifmap);
+    }
+    if (filter) {
+      next.release(*filter);
+    }
+    std::optional<engine::Glb::Region> handoff;
+    if (ofmap) {
+      if (out) {
+        handoff = ofmap;
+      } else {
+        next.release(*ofmap);
+      }
+    }
+    brute_assign(estimator, net, objective, links, i + 1, next, handoff,
+                 p1 + cand.primary, p2 + cand.secondary, best1, best2);
+  }
+}
+
+/// Lexicographic optimum over the full joint space, or +inf when nothing
+/// completes (never the case for the chains used here).
+PlanCost brute_force_optimum(const Network& net,
+                             const arch::AcceleratorSpec& spec,
+                             Objective objective, bool interlayer) {
+  const core::Estimator estimator(spec);
+  double best1 = std::numeric_limits<double>::infinity();
+  double best2 = std::numeric_limits<double>::infinity();
+  const std::size_t boundaries = net.size() > 0 ? net.size() - 1 : 0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << boundaries);
+       ++mask) {
+    std::vector<bool> links(boundaries, false);
+    bool allowed = true;
+    for (std::size_t b = 0; b < boundaries; ++b) {
+      links[b] = (mask >> b) & 1;
+      if (links[b] && !(interlayer && net.is_sequential_boundary(b))) {
+        allowed = false;
+      }
+    }
+    if (!allowed) {
+      continue;
+    }
+    engine::Glb glb(spec.glb_elems());
+    brute_assign(estimator, net, objective, links, 0, glb, std::nullopt, 0.0,
+                 0.0, best1, best2);
+  }
+  return PlanCost{best1, best2};
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Oracle, MatchesBruteForceOnSmallChains) {
+  for (const Network& net : {small_chain(), mixed_chain()}) {
+    for (count_t kb : {32u, 64u}) {
+      for (Objective objective : {Objective::kAccesses, Objective::kLatency}) {
+        const arch::AcceleratorSpec spec = spec_kb(kb);
+        const OraclePlanner planner(spec);
+        const OracleResult result = planner.plan(net, objective);
+        const PlanCost brute = brute_force_optimum(net, spec, objective,
+                                                   /*interlayer=*/true);
+        ASSERT_TRUE(result.exact) << net.name() << " @ " << kb;
+        EXPECT_DOUBLE_EQ(result.best_cost.primary, brute.primary)
+            << net.name() << " @ " << kb << " kB, "
+            << core::to_string(objective);
+        EXPECT_DOUBLE_EQ(result.best_cost.secondary, brute.secondary)
+            << net.name() << " @ " << kb << " kB, "
+            << core::to_string(objective);
+        // The returned plan must actually achieve the reported optimum.
+        EXPECT_DOUBLE_EQ(plan_cost(result.plan).primary,
+                         result.best_cost.primary);
+      }
+    }
+  }
+}
+
+TEST(Oracle, MatchesBruteForceWithoutInterlayer) {
+  const Network net = small_chain();
+  const arch::AcceleratorSpec spec = spec_kb(64);
+  OracleOptions options;
+  options.interlayer = false;
+  const OraclePlanner planner(spec, options);
+  const OracleResult result = planner.plan(net, Objective::kAccesses);
+  const PlanCost brute =
+      brute_force_optimum(net, spec, Objective::kAccesses, false);
+  ASSERT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.best_cost.primary, brute.primary);
+}
+
+TEST(Oracle, NeverWorseThanAlgorithmOne) {
+  for (const char* name : {"resnet18", "mobilenet"}) {
+    const Network net = model::zoo::by_name(name);
+    for (count_t kb : {64u, 256u}) {
+      for (Objective objective : {Objective::kAccesses, Objective::kLatency}) {
+        const arch::AcceleratorSpec spec = spec_kb(kb);
+        const OraclePlanner planner(spec);
+        const OracleResult result = planner.plan(net, objective);
+        const core::ExecutionPlan heuristic =
+            heuristic_plan(net, spec, objective, /*interlayer=*/true);
+        EXPECT_LE(result.best_cost.primary, plan_cost(heuristic).primary)
+            << name << " @ " << kb << " kB, " << core::to_string(objective);
+        EXPECT_GE(optimality_gap(plan_cost(heuristic).primary,
+                                 result.best_cost.primary),
+                  0.0);
+      }
+    }
+  }
+}
+
+TEST(Oracle, MatchesHeterogeneousWhenInterlayerOff) {
+  // Without links, layers are independent and Algorithm 1's per-layer
+  // lexicographic minimum IS the global optimum; the oracle must agree
+  // exactly (it prunes everything at the root).
+  const Network net = model::zoo::resnet18();
+  const arch::AcceleratorSpec spec = spec_kb(64);
+  OracleOptions options;
+  options.interlayer = false;
+  const OraclePlanner planner(spec, options);
+  const OracleResult result = planner.plan(net, Objective::kAccesses);
+  const core::Analyzer analyzer(spec);
+  const core::ExecutionPlan het =
+      analyzer.heterogeneous(net, Objective::kAccesses);
+  ASSERT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.best_cost.primary, plan_cost(het).primary);
+  EXPECT_DOUBLE_EQ(result.best_cost.secondary, plan_cost(het).secondary);
+}
+
+TEST(Oracle, EmptyNetworkIsTriviallyExact) {
+  const Network net("empty");
+  const OraclePlanner planner(spec_kb(64));
+  const OracleResult result = planner.plan(net, Objective::kAccesses);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.best_cost.primary, 0.0);
+  EXPECT_EQ(result.nodes_expanded, 0u);
+}
+
+TEST(Oracle, NodeBudgetDegradesGracefully) {
+  // One expandable node is not a search; the result must still be a valid
+  // bounded-suboptimal answer: no worse than the heuristic seed, with an
+  // admissible lower bound and the exhaustion flagged.
+  const Network net = model::zoo::mnasnet();
+  const arch::AcceleratorSpec spec = spec_kb(256);
+  OracleOptions options;
+  options.node_budget = 1;
+  const OraclePlanner planner(spec, options);
+  const OracleResult result = planner.plan(net, Objective::kAccesses);
+  const core::ExecutionPlan heuristic =
+      heuristic_plan(net, spec, Objective::kAccesses, /*interlayer=*/true);
+  EXPECT_FALSE(result.exact);
+  EXPECT_LE(result.best_cost.primary, plan_cost(heuristic).primary);
+  EXPECT_LE(result.lower_bound, result.best_cost.primary);
+  EXPECT_GT(result.lower_bound, 0.0);
+}
+
+TEST(Oracle, BudgetedCostNeverBelowExactOptimum) {
+  // The budget can only lose improvements, never invent them.
+  const Network net = small_chain();
+  const arch::AcceleratorSpec spec = spec_kb(64);
+  const OracleResult exact = OraclePlanner(spec).plan(net, Objective::kAccesses);
+  OracleOptions options;
+  options.node_budget = 2;
+  const OracleResult bounded =
+      OraclePlanner(spec, options).plan(net, Objective::kAccesses);
+  EXPECT_GE(bounded.best_cost.primary, exact.best_cost.primary);
+  EXPECT_LE(bounded.lower_bound, exact.best_cost.primary);
+}
+
+TEST(Oracle, ThrowsWhenALayerCannotExecute) {
+  // 256 bytes is smaller than any working set of this layer — even the
+  // fallback tiler has nothing that fits (same setup the Analyzer's own
+  // infeasibility test uses).
+  arch::AcceleratorSpec micro = spec_kb(64);
+  micro.glb_bytes = 256;
+  Network net("giant");
+  net.add(make_conv("huge", 224, 224, 64, 3, 3, 128, 1, 1));
+  const OraclePlanner planner(micro);
+  EXPECT_THROW(planner.plan(net, Objective::kAccesses), std::runtime_error);
+}
+
+TEST(Oracle, GoldenOptimalValues) {
+  // Committed provably optimal objective values (tests/data/oracle_golden.txt,
+  // generated by `rainbow_oracle --small-set --json`).  A planner or
+  // estimator change that shifts any of these must update the fixture —
+  // knowingly.
+  std::ifstream in(std::string(RAINBOW_SOURCE_DIR) +
+                   "/tests/data/oracle_golden.txt");
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t cases = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string model_name, objective_name;
+    count_t kb = 0;
+    double optimal = 0.0;
+    ASSERT_TRUE(fields >> model_name >> kb >> objective_name >> optimal)
+        << line;
+    const Objective objective = objective_name == "latency"
+                                    ? Objective::kLatency
+                                    : Objective::kAccesses;
+    const OraclePlanner planner(spec_kb(kb));
+    const OracleResult result =
+        planner.plan(model::zoo::by_name(model_name), objective);
+    ASSERT_TRUE(result.exact) << model_name << " @ " << kb;
+    EXPECT_DOUBLE_EQ(result.best_cost.primary, optimal)
+        << model_name << " @ " << kb << " kB, " << objective_name;
+    ++cases;
+  }
+  EXPECT_GE(cases, 8u);
+}
+
+}  // namespace
+}  // namespace rainbow::oracle

@@ -62,7 +62,10 @@ int main(int argc, char** argv) {
   bool simulate = false;
   bool validate = false;
   bool analyze = false;
+  bool oracle = false;
+  std::uint64_t oracle_budget = 2'000'000;
   std::optional<std::string> csv_path;
+  std::optional<std::string> json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> std::string {
@@ -94,14 +97,21 @@ int main(int argc, char** argv) {
       validate = true;
     } else if (flag == "--analyze") {
       analyze = true;
+    } else if (flag == "--oracle") {
+      oracle = true;
+    } else if (flag == "--oracle-budget") {
+      oracle_budget = std::strtoull(next().c_str(), nullptr, 10);
     } else if (flag == "--csv") {
       csv_path = next();
+    } else if (flag == "--json") {
+      json_path = next();
     } else {
       std::cerr << "usage: " << argv[0]
                 << " --model <zoo-name|file.model> [--min-kb N] [--max-kb N]"
                    " [--widths 8,16] [--batches 1,8] [--interlayer]"
                    " [--no-eval-cache] [--cache-stats] [--simulate]"
-                   " [--validate] [--analyze] [--csv path]\n";
+                   " [--oracle] [--oracle-budget N]"
+                   " [--validate] [--analyze] [--csv path] [--json path]\n";
       return flag == "--help" || flag == "-h" ? 0 : 2;
     }
   }
@@ -124,6 +134,8 @@ int main(int argc, char** argv) {
     config.batch_sizes = batches;
     config.with_interlayer = interlayer;
     config.simulate_execution = simulate;
+    config.with_oracle = oracle;
+    config.oracle_node_budget = oracle_budget;
     config.use_eval_cache = !no_eval_cache;
     if (config.use_eval_cache) {
       config.eval_cache = std::make_shared<core::EvalCache>();
@@ -138,16 +150,29 @@ int main(int argc, char** argv) {
       on_front[i] = 1;
     }
 
-    util::Table table({"GLB kB", "width", "batch", "inter", "MB/img",
-                       "Mcyc/img", "energy mJ", "pareto"});
+    std::vector<std::string> header = {"GLB kB", "width",     "batch",
+                                       "inter",  "MB/img",    "Mcyc/img",
+                                       "energy mJ", "pareto"};
+    if (oracle) {
+      header.insert(header.end(), {"gap %", "exact"});
+    }
+    util::Table table(std::move(header));
     for (std::size_t i = 0; i < points.size(); ++i) {
       const auto& p = points[i];
-      table.add_row({std::to_string(p.glb_bytes / 1024),
-                     std::to_string(p.data_width_bits),
-                     std::to_string(p.batch), p.interlayer ? "y" : "-",
-                     util::fmt(p.access_mb_per_image(), 2),
-                     util::fmt(p.latency_per_image() / 1e6, 2),
-                     util::fmt(p.energy_mj, 2), on_front[i] ? "*" : ""});
+      std::vector<std::string> row = {
+          std::to_string(p.glb_bytes / 1024),
+          std::to_string(p.data_width_bits),
+          std::to_string(p.batch),
+          p.interlayer ? "y" : "-",
+          util::fmt(p.access_mb_per_image(), 2),
+          util::fmt(p.latency_per_image() / 1e6, 2),
+          util::fmt(p.energy_mj, 2),
+          on_front[i] ? "*" : ""};
+      if (oracle) {
+        row.push_back(util::fmt(100.0 * p.gap_vs_oracle, 3));
+        row.push_back(p.oracle_exact ? "y" : "bounded");
+      }
+      table.add_row(std::move(row));
     }
     std::cout << "co-design sweep for " << net.name() << " ("
               << points.size() << " points, " << front.size()
@@ -169,6 +194,19 @@ int main(int argc, char** argv) {
       std::cout << "engine replay: " << traffic_match << "/" << points.size()
                 << " points match analytic traffic exactly; max latency skew "
                 << util::fmt(100.0 * max_skew, 2) << "%\n";
+    }
+    if (oracle) {
+      double max_gap = 0.0;
+      std::size_t exact = 0, optimal = 0;
+      for (const auto& p : points) {
+        max_gap = std::max(max_gap, p.gap_vs_oracle);
+        exact += p.oracle_exact ? 1 : 0;
+        optimal += (p.oracle_exact && p.gap_vs_oracle == 0.0) ? 1 : 0;
+      }
+      std::cout << "oracle: " << exact << "/" << points.size()
+                << " points searched exactly; Algorithm 1 provably optimal on "
+                << optimal << "; max gap " << util::fmt(100.0 * max_gap, 3)
+                << "%\n";
     }
     if (cache_stats) {
       if (config.eval_cache) {
@@ -302,6 +340,38 @@ int main(int argc, char** argv) {
             << p.latency_cycles << ',' << p.energy_mj << ','
             << int(on_front[i]) << '\n';
       }
+    }
+    if (json_path) {
+      // The machine-readable sweep report: every grid point with its
+      // analytic numbers and, under --oracle, the optimality gap.
+      std::ofstream out(*json_path);
+      if (!out) {
+        std::cerr << "cannot open " << *json_path << '\n';
+        return 1;
+      }
+      out.precision(17);  // doubles must round-trip
+      out << "{\n  \"model\": \"" << net.name() << "\",\n  \"points\": [\n";
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto& p = points[i];
+        out << "    {\"glb_bytes\": " << p.glb_bytes
+            << ", \"width_bits\": " << p.data_width_bits
+            << ", \"batch\": " << p.batch << ", \"objective\": \""
+            << core::to_string(p.objective) << "\", \"interlayer\": "
+            << (p.interlayer ? "true" : "false")
+            << ", \"accesses\": " << p.accesses
+            << ", \"latency_cycles\": " << p.latency_cycles
+            << ", \"energy_mj\": " << p.energy_mj
+            << ", \"pareto\": " << (on_front[i] ? "true" : "false");
+        if (p.oracle_ran) {
+          out << ", \"oracle_cost\": " << p.oracle_cost
+              << ", \"oracle_lower_bound\": " << p.oracle_lower_bound
+              << ", \"oracle_exact\": " << (p.oracle_exact ? "true" : "false")
+              << ", \"oracle_nodes\": " << p.oracle_nodes
+              << ", \"gap_vs_oracle\": " << p.gap_vs_oracle;
+        }
+        out << "}" << (i + 1 < points.size() ? "," : "") << '\n';
+      }
+      out << "  ]\n}\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "rainbow_dse: " << e.what() << '\n';

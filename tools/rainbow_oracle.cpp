@@ -1,0 +1,291 @@
+// rainbow_oracle: the exact planning oracle as a command-line tool —
+// branch-and-bound over (policy x prefetch x inter-layer links), reporting
+// Algorithm 1's optimality gap, and cross-checking both plans through the
+// PlanValidator (V codes) and the static stream analyzer (S codes) so the
+// oracle and the heuristic vouch for each other.
+//
+//   rainbow_oracle --model resnet18 --glb 64
+//   rainbow_oracle --model mobilenet --glb 64,256 --objective both
+//   rainbow_oracle --small-set --strict          # the CI gap gate
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/stream_analyzer.hpp"
+#include "codegen/lower.hpp"
+#include "core/manager.hpp"
+#include "model/parser.hpp"
+#include "model/zoo/zoo.hpp"
+#include "oracle/oracle.hpp"
+#include "util/table.hpp"
+#include "validate/plan_validator.hpp"
+
+namespace {
+
+using namespace rainbow;
+
+struct CaseResult {
+  std::string model;
+  count_t glb_kb = 0;
+  core::Objective objective = core::Objective::kAccesses;
+  double heuristic_cost = 0.0;
+  double oracle_cost = 0.0;
+  double lower_bound = 0.0;
+  double gap = 0.0;
+  bool exact = false;
+  std::uint64_t nodes = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t placement_rejections = 0;
+  std::size_t diag_errors = 0;
+  std::size_t diag_warnings = 0;
+  bool consistent = true;  ///< oracle <= heuristic on the primary metric
+};
+
+std::vector<count_t> parse_kb_list(const std::string& csv) {
+  std::vector<count_t> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const std::string item =
+        csv.substr(start, comma == std::string::npos ? csv.size() - start
+                                                     : comma - start);
+    if (!item.empty()) {
+      out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Validates `plan` and statically analyzes its lowering, folding the
+/// diagnostic counts into `result` and echoing errors to stderr.
+void cross_check(const core::ExecutionPlan& plan, const model::Network& net,
+                 const core::EstimatorOptions& estimator, CaseResult& result) {
+  validate::ValidatorOptions voptions;
+  voptions.estimator = estimator;
+  const validate::PlanValidator validator(voptions);
+  const validate::ValidationReport vreport = validator.validate(plan, net);
+  result.diag_errors += vreport.error_count();
+  result.diag_warnings += vreport.warning_count();
+  for (const auto& d : vreport.diagnostics()) {
+    if (d.severity == validate::Severity::kError) {
+      std::cerr << "  [" << plan.scheme() << "] " << d.message() << '\n';
+    }
+  }
+  if (plan.feasible()) {
+    const auto program = codegen::lower(plan, net);
+    const auto analysis = analysis::analyze_lowering(program, plan, net);
+    result.diag_errors += analysis.report.error_count();
+    result.diag_warnings += analysis.report.warning_count();
+    for (const auto& d : analysis.report.diagnostics()) {
+      if (d.severity == validate::Severity::kError) {
+        std::cerr << "  [" << plan.scheme() << "] " << d.message() << '\n';
+      }
+    }
+  }
+}
+
+void write_json(const std::vector<CaseResult>& results, std::ostream& os) {
+  os.precision(17);  // doubles must round-trip (golden fixtures diff them)
+  os << "{\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    os << "    {\"model\": \"" << r.model << "\", \"glb_kb\": " << r.glb_kb
+       << ", \"objective\": \"" << core::to_string(r.objective)
+       << "\", \"heuristic_cost\": " << r.heuristic_cost
+       << ", \"oracle_cost\": " << r.oracle_cost
+       << ", \"lower_bound\": " << r.lower_bound
+       << ", \"gap_vs_oracle\": " << r.gap
+       << ", \"exact\": " << (r.exact ? "true" : "false")
+       << ", \"nodes_expanded\": " << r.nodes
+       << ", \"nodes_pruned\": " << r.pruned
+       << ", \"placement_rejections\": " << r.placement_rejections
+       << ", \"diag_errors\": " << r.diag_errors
+       << ", \"diag_warnings\": " << r.diag_warnings << "}"
+       << (i + 1 < results.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> model_names;
+  std::vector<count_t> glb_kbs = {64};
+  int width = 8;
+  int batch = 1;
+  std::string objective_arg = "accesses";
+  std::uint64_t budget = 0;
+  bool interlayer = true;
+  bool prefetch = true;
+  bool describe = false;
+  bool strict = false;
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << '\n';
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--model") {
+      model_names.push_back(next());
+    } else if (flag == "--glb") {
+      glb_kbs = parse_kb_list(next());
+    } else if (flag == "--width") {
+      width = std::atoi(next().c_str());
+    } else if (flag == "--batch") {
+      batch = std::atoi(next().c_str());
+    } else if (flag == "--objective") {
+      objective_arg = next();
+    } else if (flag == "--budget") {
+      budget = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--no-interlayer") {
+      interlayer = false;
+    } else if (flag == "--no-prefetch") {
+      prefetch = false;
+    } else if (flag == "--describe") {
+      describe = true;
+    } else if (flag == "--strict") {
+      strict = true;
+    } else if (flag == "--json") {
+      json_path = next();
+    } else if (flag == "--small-set") {
+      // The CI gap gate: the networks whose joint space the search closes
+      // exactly in well under a second each, under both objectives.
+      model_names.insert(model_names.end(), {"resnet18", "mobilenet"});
+      glb_kbs = {64, 256};
+      objective_arg = "both";
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " --model <zoo-name|file.model> [--model ...] |"
+                   " --small-set\n"
+                   "  [--glb kB[,kB...]] [--width bits] [--batch N]\n"
+                   "  [--objective accesses|latency|both] [--budget nodes]\n"
+                   "  [--no-interlayer] [--no-prefetch] [--describe]\n"
+                   "  [--strict] [--json path]\n";
+      return flag == "--help" || flag == "-h" ? 0 : 2;
+    }
+  }
+  if (model_names.empty()) {
+    std::cerr << "--model (or --small-set) is required\n";
+    return 2;
+  }
+  std::vector<core::Objective> objectives;
+  if (objective_arg == "accesses") {
+    objectives = {core::Objective::kAccesses};
+  } else if (objective_arg == "latency") {
+    objectives = {core::Objective::kLatency};
+  } else if (objective_arg == "both") {
+    objectives = {core::Objective::kAccesses, core::Objective::kLatency};
+  } else {
+    std::cerr << "unknown objective '" << objective_arg << "'\n";
+    return 2;
+  }
+
+  try {
+    std::vector<CaseResult> results;
+    bool strict_failure = false;
+    util::Table table({"model", "GLB kB", "objective", "heuristic", "oracle",
+                       "gap %", "exact", "nodes", "pruned", "plc-rej",
+                       "diags"});
+    for (const std::string& name : model_names) {
+      const model::Network net = std::filesystem::exists(name)
+                                     ? model::load_network(name)
+                                     : model::zoo::by_name(name);
+      for (count_t kb : glb_kbs) {
+        arch::AcceleratorSpec spec = arch::paper_spec(util::kib(kb));
+        spec.data_width_bits = width;
+
+        core::ManagerOptions moptions;
+        moptions.analyzer.allow_prefetch = prefetch;
+        moptions.analyzer.estimator.batch = batch;
+        moptions.interlayer_reuse = interlayer;
+        const core::MemoryManager manager(spec, moptions);
+
+        oracle::OracleOptions ooptions;
+        ooptions.analyzer = moptions.analyzer;
+        ooptions.interlayer = interlayer;
+        ooptions.node_budget = budget;
+        const oracle::OraclePlanner planner(spec, ooptions);
+
+        for (core::Objective objective : objectives) {
+          const core::ExecutionPlan heuristic = manager.plan(net, objective);
+          const oracle::OracleResult best = planner.plan(net, objective);
+
+          CaseResult r;
+          r.model = net.name();
+          r.glb_kb = kb;
+          r.objective = objective;
+          r.heuristic_cost = oracle::plan_cost(heuristic).primary;
+          r.oracle_cost = best.best_cost.primary;
+          r.lower_bound = best.lower_bound;
+          r.gap = oracle::optimality_gap(r.heuristic_cost, r.oracle_cost);
+          r.exact = best.exact;
+          r.nodes = best.nodes_expanded;
+          r.pruned = best.nodes_pruned;
+          r.placement_rejections = best.placement_rejections;
+          r.consistent = r.oracle_cost <= r.heuristic_cost;
+          cross_check(heuristic, net, moptions.analyzer.estimator, r);
+          cross_check(best.plan, net, moptions.analyzer.estimator, r);
+          results.push_back(r);
+
+          table.add_row(
+              {r.model, std::to_string(kb),
+               std::string(core::to_string(objective)),
+               util::fmt(r.heuristic_cost, 0), util::fmt(r.oracle_cost, 0),
+               util::fmt(100.0 * r.gap, 3), r.exact ? "y" : "bounded",
+               std::to_string(r.nodes), std::to_string(r.pruned),
+               std::to_string(r.placement_rejections),
+               std::to_string(r.diag_errors + r.diag_warnings)});
+
+          if (!r.consistent) {
+            std::cerr << "INCONSISTENT: heuristic beats the oracle on "
+                      << r.model << " @ " << kb << " kB ("
+                      << core::to_string(objective)
+                      << ") — the search space is missing the heuristic's "
+                         "plan\n";
+            strict_failure = true;
+          }
+          if (strict && (r.diag_errors > 0 || !r.exact)) {
+            strict_failure = true;
+          }
+          if (describe) {
+            std::cout << manager.describe(best.plan, net);
+          }
+        }
+      }
+    }
+    std::cout << "planning oracle vs Algorithm 1 (" << results.size()
+              << " case(s); gap = (heuristic - oracle) / oracle on the "
+                 "primary metric)\n";
+    table.print(std::cout);
+    if (json_path) {
+      std::ofstream out(*json_path);
+      if (!out) {
+        std::cerr << "cannot open " << *json_path << '\n';
+        return 1;
+      }
+      write_json(results, out);
+    }
+    if (strict_failure) {
+      std::cerr << (strict ? "--strict: " : "")
+                << "oracle gate failed (inexact search, validator/analyzer "
+                   "error, or consistency violation)\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rainbow_oracle: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
