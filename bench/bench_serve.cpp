@@ -1,0 +1,503 @@
+// bench_serve: load harness for rainbowd (docs/serving.md).  Measures
+// daemon planning throughput (plans/sec) and latency (p50/p99) at several
+// concurrent-client counts, the evaluation-cache hit rate, and the warm
+// re-plan speedup over a cold one-shot plan — the number that justifies
+// keeping models resident at all.
+//
+//   bench_serve                         # in-process daemon, full sweep
+//   bench_serve --clients 1,4,16 --requests 400 --json BENCH_serve.json
+//   bench_serve --socket /tmp/rainbowd.sock --smoke   # CI smoke driver
+//   bench_serve --rate 200              # open-loop at 200 plans/sec
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/accelerator.hpp"
+#include "core/eval_cache.hpp"
+#include "core/manager.hpp"
+#include "model/parser.hpp"
+#include "model/zoo/zoo.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace rainbow;
+using Clock = std::chrono::steady_clock;
+
+struct CliOptions {
+  std::string socket_path;  // external daemon; empty = in-process server
+  int port = -1;
+  std::vector<int> clients = {1, 4, 16};
+  int requests = 400;  // per client level, split across clients
+  double rate = 0.0;   // open-loop arrival rate in plans/sec; 0 = closed
+  bool smoke = false;
+  std::optional<std::string> json_path;
+  std::optional<std::string> cold_exec;  // rainbow_plan binary for cold ref
+  std::size_t threads = 0;               // in-process planning workers
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: " << argv0 << " [options]\n"
+     << "  --socket <path>     drive an external rainbowd (default:\n"
+     << "                      in-process daemon on an ephemeral socket)\n"
+     << "  --port <N>          drive an external rainbowd over TCP\n"
+     << "  --clients <a,b,..>  concurrent-client sweep (default 1,4,16)\n"
+     << "  --requests <N>      plan requests per client level (default 400)\n"
+     << "  --rate <R>          open-loop arrival rate, plans/sec across all\n"
+     << "                      clients (default 0 = closed loop)\n"
+     << "  --threads <N>       in-process planning workers (default: hw)\n"
+     << "  --cold-exec <path>  rainbow_plan binary for the cold one-shot\n"
+     << "                      reference (includes process startup)\n"
+     << "  --json <path>       write results as JSON (BENCH_serve.json)\n"
+     << "  --smoke             CI mode: upload the zoo, plan each model\n"
+     << "                      twice, assert a warm cache hit rate > 0\n";
+  std::exit(code);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        usage(argv[0], 2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--socket") {
+      opt.socket_path = next("--socket");
+    } else if (flag == "--port") {
+      opt.port = std::atoi(next("--port").c_str());
+    } else if (flag == "--clients") {
+      opt.clients.clear();
+      std::istringstream in(next("--clients"));
+      std::string field;
+      while (std::getline(in, field, ',')) {
+        opt.clients.push_back(std::atoi(field.c_str()));
+      }
+    } else if (flag == "--requests") {
+      opt.requests = std::atoi(next("--requests").c_str());
+    } else if (flag == "--rate") {
+      opt.rate = std::atof(next("--rate").c_str());
+    } else if (flag == "--threads") {
+      opt.threads = std::strtoull(next("--threads").c_str(), nullptr, 10);
+    } else if (flag == "--cold-exec") {
+      opt.cold_exec = next("--cold-exec");
+    } else if (flag == "--json") {
+      opt.json_path = next("--json");
+    } else if (flag == "--smoke") {
+      opt.smoke = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      usage(argv[0], 2);
+    }
+  }
+  for (const int n : opt.clients) {
+    if (n <= 0) {
+      std::cerr << "--clients entries must be positive\n";
+      usage(argv[0], 2);
+    }
+  }
+  return opt;
+}
+
+/// In-process daemon for self-contained runs: service + server on an
+/// ephemeral loopback TCP port (no socket-path bookkeeping needed).
+struct InProcessDaemon {
+  InProcessDaemon(std::size_t threads) {
+    serve::ServiceOptions service_options;
+    service_options.preload_zoo = true;
+    service = std::make_unique<serve::PlanningService>(service_options);
+    serve::ServerConfig config;
+    config.tcp_port = 0;
+    config.threads = threads;
+    server = std::make_unique<serve::Server>(*service, config);
+    server->start();
+  }
+  ~InProcessDaemon() {
+    if (server) {
+      server->stop();
+    }
+  }
+  std::unique_ptr<serve::PlanningService> service;
+  std::unique_ptr<serve::Server> server;
+};
+
+struct Target {
+  std::string socket_path;
+  int port = -1;
+
+  [[nodiscard]] serve::Client connect() const {
+    return socket_path.empty() ? serve::Client::connect_tcp(port)
+                               : serve::Client::connect_unix(socket_path);
+  }
+};
+
+/// The request mix: every zoo model on both objectives, round-robin.
+struct WorkItem {
+  std::string model;
+  std::string objective;
+};
+
+std::vector<WorkItem> work_mix() {
+  std::vector<WorkItem> mix;
+  for (const std::string& name : model::zoo::model_names()) {
+    mix.push_back({name, "accesses"});
+    mix.push_back({name, "latency"});
+  }
+  return mix;
+}
+
+serve::Request plan_request(const WorkItem& item) {
+  serve::Request request;
+  request.verb = "plan";
+  request.headers["model"] = item.model;
+  request.headers["objective"] = item.objective;
+  return request;
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) {
+    return 0.0;
+  }
+  const double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+struct LevelResult {
+  int clients = 0;
+  int requests = 0;
+  double wall_s = 0.0;
+  double plans_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  long long coalesced = 0;
+};
+
+LevelResult run_level(const Target& target, int clients, int requests,
+                      double rate) {
+  const std::vector<WorkItem> mix = work_mix();
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(requests));
+  std::mutex latencies_mutex;
+  long long coalesced = 0;
+
+  const int per_client = std::max(1, requests / clients);
+  // Open-loop: each client fires on its own schedule at rate/clients.
+  const std::chrono::duration<double> interval(
+      rate > 0.0 ? static_cast<double>(clients) / rate : 0.0);
+
+  std::vector<std::thread> threads;
+  std::string first_error;
+  const Clock::time_point start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::Client client = target.connect();
+        std::vector<double> local_ms;
+        local_ms.reserve(static_cast<std::size_t>(per_client));
+        long long local_coalesced = 0;
+        for (int k = 0; k < per_client; ++k) {
+          // Stagger clients across the mix so concurrent requests hit
+          // different models (plus occasional same-model collisions,
+          // which exercise single-flight coalescing).
+          const WorkItem& item =
+              mix[static_cast<std::size_t>(c + k) % mix.size()];
+          Clock::time_point issue = Clock::now();
+          if (interval.count() > 0.0) {
+            // Open-loop: latency counts from the *scheduled* send time, so
+            // queueing delay is not hidden (no coordinated omission).
+            const Clock::time_point scheduled =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            interval * (k + 1));
+            std::this_thread::sleep_until(scheduled);
+            issue = scheduled;
+          }
+          const serve::Response response =
+              client.call_ok(plan_request(item));
+          const std::chrono::duration<double, std::milli> took =
+              Clock::now() - issue;
+          local_ms.push_back(took.count());
+          if (response.get("coalesced") == "1") {
+            ++local_coalesced;
+          }
+        }
+        std::lock_guard lock(latencies_mutex);
+        latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                            local_ms.end());
+        coalesced += local_coalesced;
+      } catch (const std::exception& e) {
+        std::lock_guard lock(latencies_mutex);
+        if (first_error.empty()) {
+          first_error = e.what();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  if (!first_error.empty()) {
+    throw std::runtime_error("client failed: " + first_error);
+  }
+  const std::chrono::duration<double> wall = Clock::now() - start;
+
+  LevelResult result;
+  result.clients = clients;
+  result.requests = static_cast<int>(latencies_ms.size());
+  result.wall_s = wall.count();
+  result.plans_per_sec =
+      wall.count() > 0.0 ? static_cast<double>(latencies_ms.size()) /
+                               wall.count()
+                         : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = percentile(latencies_ms, 0.50);
+  result.p99_ms = percentile(latencies_ms, 0.99);
+  result.coalesced = coalesced;
+
+  serve::Client stats_client = target.connect();
+  serve::Request stats_request;
+  stats_request.verb = "stats";
+  const serve::Response stats = stats_client.call_ok(stats_request);
+  result.cache_hit_rate = std::atof(stats.get("cache_hit_rate").c_str());
+  return result;
+}
+
+/// Cold one-shot reference, in-process: parse the model text, build a
+/// manager with a fresh cache, plan — everything a cold CLI run does
+/// except process startup.
+double cold_plan_ms_in_process() {
+  double total_ms = 0.0;
+  int count = 0;
+  for (const std::string& name : model::zoo::model_names()) {
+    const std::string text =
+        model::serialize_network(model::zoo::by_name(name));
+    const Clock::time_point start = Clock::now();
+    const model::Network net = model::parse_network(text);
+    arch::AcceleratorSpec spec = arch::paper_spec(64 * 1024);
+    core::ManagerOptions options;
+    options.analyzer.eval_cache = std::make_shared<core::EvalCache>();
+    const core::MemoryManager manager(spec, options);
+    const core::ExecutionPlan plan =
+        manager.plan(net, core::Objective::kAccesses);
+    const std::chrono::duration<double, std::milli> took =
+        Clock::now() - start;
+    if (plan.size() == 0) {
+      throw std::runtime_error("cold reference produced an empty plan");
+    }
+    total_ms += took.count();
+    ++count;
+  }
+  return total_ms / count;
+}
+
+/// Cold one-shot reference via the real binary (includes exec + startup).
+double cold_plan_ms_exec(const std::string& binary) {
+  const std::vector<std::string> models = model::zoo::model_names();
+  double total_ms = 0.0;
+  for (const std::string& name : models) {
+    const std::string command =
+        binary + " --model " + name + " --glb 64 > /dev/null 2>&1";
+    const Clock::time_point start = Clock::now();
+    const int rc = std::system(command.c_str());
+    const std::chrono::duration<double, std::milli> took =
+        Clock::now() - start;
+    if (rc != 0) {
+      throw std::runtime_error("--cold-exec command failed: " + command);
+    }
+    total_ms += took.count();
+  }
+  return total_ms / static_cast<double>(models.size());
+}
+
+int run_smoke(const Target& target) {
+  serve::Client client = target.connect();
+  serve::Request ping;
+  ping.verb = "ping";
+  client.call_ok(ping);
+
+  // Upload every zoo model over the wire (replace: the daemon may have
+  // preloaded them already) — exercises the full parse-from-socket path.
+  for (const std::string& name : model::zoo::model_names()) {
+    serve::Request upload;
+    upload.verb = "upload";
+    upload.headers["name"] = name;
+    upload.headers["replace"] = "1";
+    upload.body = model::serialize_network(model::zoo::by_name(name));
+    client.call_ok(upload);
+  }
+
+  // Plan each model twice; the re-plan must be served from a warm cache
+  // and must return byte-identical plan text.
+  for (const std::string& name : model::zoo::model_names()) {
+    const serve::Response cold = client.call_ok(plan_request({name,
+                                                              "accesses"}));
+    const serve::Response warm = client.call_ok(plan_request({name,
+                                                              "accesses"}));
+    if (cold.body.empty() || cold.body != warm.body) {
+      std::cerr << "bench_serve: warm re-plan of " << name
+                << " is not byte-identical\n";
+      return 1;
+    }
+    if (std::atof(warm.get("cache_hit_rate").c_str()) <= 0.0) {
+      std::cerr << "bench_serve: no warm cache hits for " << name << "\n";
+      return 1;
+    }
+  }
+
+  serve::Request stats;
+  stats.verb = "stats";
+  const serve::Response response = client.call_ok(stats);
+  if (std::atoll(response.get("cache_hits").c_str()) <= 0) {
+    std::cerr << "bench_serve: daemon-wide cache hits are zero\n";
+    return 1;
+  }
+  std::cout << "bench_serve: smoke ok (" << model::zoo::model_names().size()
+            << " models, hit rate " << response.get("cache_hit_rate")
+            << ")\n";
+  return 0;
+}
+
+void write_json(const std::string& path, const CliOptions& opt,
+                const std::vector<LevelResult>& levels, double cold_ms,
+                std::optional<double> cold_exec_ms, double warm_p50_ms) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  char buffer[256];
+  out << "{\n  \"benchmark\": \"bench_serve\",\n";
+  out << "  \"transport\": \""
+      << (opt.socket_path.empty() ? "tcp" : "unix") << "\",\n";
+  out << "  \"mode\": \"" << (opt.rate > 0.0 ? "open-loop" : "closed-loop")
+      << "\",\n";
+  out << "  \"models\": " << model::zoo::model_names().size()
+      << ",\n  \"objectives\": 2,\n";
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"cold_plan_ms_in_process\": %.3f,\n", cold_ms);
+  out << buffer;
+  if (cold_exec_ms) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "  \"cold_plan_ms_exec\": %.3f,\n", *cold_exec_ms);
+    out << buffer;
+    std::snprintf(buffer, sizeof(buffer),
+                  "  \"warm_speedup_vs_cold_exec\": %.1f,\n",
+                  warm_p50_ms > 0.0 ? *cold_exec_ms / warm_p50_ms : 0.0);
+    out << buffer;
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"warm_speedup_vs_cold_in_process\": %.1f,\n",
+                warm_p50_ms > 0.0 ? cold_ms / warm_p50_ms : 0.0);
+  out << buffer;
+  out << "  \"levels\": [\n";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelResult& r = levels[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"clients\": %d, \"requests\": %d, "
+                  "\"plans_per_sec\": %.1f, \"p50_ms\": %.3f, "
+                  "\"p99_ms\": %.3f, \"cache_hit_rate\": %.4f, "
+                  "\"coalesced\": %lld}%s\n",
+                  r.clients, r.requests, r.plans_per_sec, r.p50_ms, r.p99_ms,
+                  r.cache_hit_rate, r.coalesced,
+                  i + 1 < levels.size() ? "," : "");
+    out << buffer;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+  try {
+    std::unique_ptr<InProcessDaemon> daemon;
+    Target target{opt.socket_path, opt.port};
+    if (opt.socket_path.empty() && opt.port < 0) {
+      daemon = std::make_unique<InProcessDaemon>(opt.threads);
+      target.port = daemon->server->port();
+    }
+
+    if (opt.smoke) {
+      return run_smoke(target);
+    }
+
+    // Warmup: one pass over the mix fills the per-model caches, so the
+    // sweep below measures the daemon's steady (warm) state.
+    {
+      serve::Client client = target.connect();
+      for (const WorkItem& item : work_mix()) {
+        client.call_ok(plan_request(item));
+      }
+    }
+
+    const double cold_ms = cold_plan_ms_in_process();
+    std::optional<double> cold_exec_ms;
+    if (opt.cold_exec) {
+      cold_exec_ms = cold_plan_ms_exec(*opt.cold_exec);
+    }
+
+    std::vector<LevelResult> levels;
+    double warm_p50_single = 0.0;
+    std::cout << "bench_serve: "
+              << (opt.socket_path.empty() && opt.port < 0 ? "in-process"
+                                                          : "external")
+              << " daemon, " << work_mix().size() << "-item mix, "
+              << opt.requests << " plans per level\n";
+    std::cout << "clients  plans/sec   p50 ms   p99 ms  hit-rate  coalesced\n";
+    for (const int clients : opt.clients) {
+      const LevelResult result =
+          run_level(target, clients, opt.requests, opt.rate);
+      if (clients == 1) {
+        warm_p50_single = result.p50_ms;
+      }
+      std::printf("%7d %10.1f %8.3f %8.3f %9.4f %10lld\n", result.clients,
+                  result.plans_per_sec, result.p50_ms, result.p99_ms,
+                  result.cache_hit_rate, result.coalesced);
+      levels.push_back(result);
+    }
+    if (warm_p50_single == 0.0 && !levels.empty()) {
+      warm_p50_single = levels.front().p50_ms;
+    }
+
+    std::printf("cold one-shot plan: %.3f ms in-process", cold_ms);
+    if (cold_exec_ms) {
+      std::printf(", %.3f ms exec", *cold_exec_ms);
+    }
+    std::printf("; warm p50 %.3f ms (%.1fx vs cold in-process",
+                warm_p50_single,
+                warm_p50_single > 0.0 ? cold_ms / warm_p50_single : 0.0);
+    if (cold_exec_ms && warm_p50_single > 0.0) {
+      std::printf(", %.1fx vs cold exec", *cold_exec_ms / warm_p50_single);
+    }
+    std::printf(")\n");
+
+    if (opt.json_path) {
+      write_json(*opt.json_path, opt, levels, cold_ms, cold_exec_ms,
+                 warm_p50_single);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_serve: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "arch/spec_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/line_reader.hpp"
+
+namespace rainbow::arch {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("spec parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+long long parse_ll(const std::string& field, std::size_t line_no,
+                   const std::string& key) {
+  long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    fail(line_no, "bad integer for " + key + " '" + field + "'");
+  }
+  return value;
+}
+
+double parse_double(const std::string& field, std::size_t line_no,
+                    const std::string& key) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(field, &consumed);
+    if (consumed != field.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return value;
+  } catch (const std::exception&) {
+    fail(line_no, "bad number for " + key + " '" + field + "'");
+  }
+}
+
+}  // namespace
+
+NamedSpec parse_spec(const std::string& text) {
+  NamedSpec named;
+  named.spec = paper_spec(256 * 1024);  // field defaults: the Section 4 spec
+  util::LineReader reader(text);
+  bool saw_header = false;
+  std::set<std::string> seen;
+  std::optional<util::TextLine> line;
+  while (true) {
+    try {
+      line = reader.next();
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string("spec parse error at ") + e.what());
+    }
+    if (!line) {
+      break;
+    }
+    const std::size_t line_no = line->number;
+    const auto fields = util::split_csv_line(line->text);
+    if (!saw_header) {
+      if (fields.size() != 2 || fields[0] != "spec" || fields[1].empty()) {
+        fail(line_no, "expected 'spec, <name>' header");
+      }
+      named.name = fields[1];
+      saw_header = true;
+      continue;
+    }
+    if (fields.size() != 2) {
+      fail(line_no, "expected '<key>, <value>'");
+    }
+    const std::string& key = fields[0];
+    const std::string& value = fields[1];
+    if (!seen.insert(key).second) {
+      fail(line_no, "duplicate key '" + key + "'");
+    }
+    AcceleratorSpec& spec = named.spec;
+    if (key == "pe_rows") {
+      spec.pe_rows = static_cast<int>(parse_ll(value, line_no, key));
+    } else if (key == "pe_cols") {
+      spec.pe_cols = static_cast<int>(parse_ll(value, line_no, key));
+    } else if (key == "ops_per_cycle") {
+      spec.ops_per_cycle = static_cast<int>(parse_ll(value, line_no, key));
+    } else if (key == "data_width_bits") {
+      spec.data_width_bits = static_cast<int>(parse_ll(value, line_no, key));
+    } else if (key == "glb_bytes") {
+      const long long bytes = parse_ll(value, line_no, key);
+      if (bytes <= 0) {
+        fail(line_no, "glb_bytes must be positive");
+      }
+      spec.glb_bytes = static_cast<count_t>(bytes);
+    } else if (key == "dram_bytes_per_cycle") {
+      spec.dram_bytes_per_cycle = parse_double(value, line_no, key);
+    } else if (key == "sram_bytes_per_cycle") {
+      spec.sram_bytes_per_cycle = parse_double(value, line_no, key);
+    } else {
+      fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  if (!saw_header) {
+    throw std::runtime_error("spec parse error: missing 'spec' header");
+  }
+  try {
+    named.spec.validate();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("spec parse error: ") + e.what());
+  }
+  return named;
+}
+
+std::string serialize_spec(const NamedSpec& named) {
+  std::ostringstream out;
+  out << "spec, " << named.name << '\n'
+      << "pe_rows, " << named.spec.pe_rows << '\n'
+      << "pe_cols, " << named.spec.pe_cols << '\n'
+      << "ops_per_cycle, " << named.spec.ops_per_cycle << '\n'
+      << "data_width_bits, " << named.spec.data_width_bits << '\n'
+      << "glb_bytes, " << named.spec.glb_bytes << '\n'
+      << "dram_bytes_per_cycle, " << named.spec.dram_bytes_per_cycle << '\n'
+      << "sram_bytes_per_cycle, " << named.spec.sram_bytes_per_cycle << '\n';
+  return out.str();
+}
+
+NamedSpec load_spec(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_spec: cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_spec(buffer.str());
+}
+
+void save_spec(const NamedSpec& named, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_spec: cannot create " + path.string());
+  }
+  out << serialize_spec(named);
+}
+
+}  // namespace rainbow::arch

@@ -1,0 +1,44 @@
+// Plain-text format for accelerator specifications, the spec counterpart
+// of the model text format: rainbowd accepts spec uploads so a deployment
+// can register the machines it plans for once and reference them by name.
+//
+//   spec, edge-64
+//   pe_rows, 16
+//   pe_cols, 16
+//   ops_per_cycle, 512
+//   data_width_bits, 8
+//   glb_bytes, 65536
+//   dram_bytes_per_cycle, 16
+//   sram_bytes_per_cycle, 0
+//
+// Every field line is optional (omitted fields keep the Section 4 paper
+// defaults); unknown or repeated keys are errors, and the parsed spec must
+// pass AcceleratorSpec::validate().  Input is read through the shared
+// wire-hardened line reader (CRLF, comments, control-byte rejection).
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "arch/accelerator.hpp"
+
+namespace rainbow::arch {
+
+/// A spec plus the name it is registered under.
+struct NamedSpec {
+  std::string name;
+  AcceleratorSpec spec;
+};
+
+/// Parses a spec from text.  Throws std::runtime_error with a line number
+/// on malformed input or an invalid field combination.
+[[nodiscard]] NamedSpec parse_spec(const std::string& text);
+
+/// Serializes a spec into the text format (round-trips with parse_spec).
+[[nodiscard]] std::string serialize_spec(const NamedSpec& named);
+
+/// File convenience wrappers.
+[[nodiscard]] NamedSpec load_spec(const std::filesystem::path& path);
+void save_spec(const NamedSpec& named, const std::filesystem::path& path);
+
+}  // namespace rainbow::arch

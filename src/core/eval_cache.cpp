@@ -118,9 +118,12 @@ void EvalCache::insert(const EvalKey& key, const Estimate& estimate) {
     return;  // first writer won a concurrent duplicate computation
   }
   shard.insertion_order.push_back(key);
+  shard.key_bytes += key.bytes().size();
   inserts_.fetch_add(1, std::memory_order_relaxed);
   if (shard.map.size() > per_shard_capacity_) {
-    shard.map.erase(shard.insertion_order.front());
+    const EvalKey& oldest = shard.insertion_order.front();
+    shard.key_bytes -= oldest.bytes().size();
+    shard.map.erase(oldest);
     shard.insertion_order.pop_front();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -135,7 +138,20 @@ EvalCacheStats EvalCache::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.entries = size();
   s.capacity = per_shard_capacity_ * kShardCount;
+  s.approx_bytes = approx_bytes();
   return s;
+}
+
+std::uint64_t EvalCache::approx_bytes() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    // Key bytes are resident twice (map key + FIFO copy); each entry also
+    // carries its Estimate and fixed node/queue overhead.
+    total += 2 * shard.key_bytes +
+             shard.map.size() * (sizeof(Estimate) + kPerEntryOverhead);
+  }
+  return total;
 }
 
 std::size_t EvalCache::size() const {
@@ -152,6 +168,7 @@ void EvalCache::clear() {
     std::lock_guard lock(shard.mutex);
     shard.map.clear();
     shard.insertion_order.clear();
+    shard.key_bytes = 0;
   }
 }
 

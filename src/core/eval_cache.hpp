@@ -82,10 +82,20 @@ struct EvalCacheStats {
   std::uint64_t evictions = 0;  ///< entries dropped by the size bound
   std::uint64_t entries = 0;    ///< current resident entries
   std::uint64_t capacity = 0;   ///< configured bound
+  /// Approximate resident heap bytes: per entry, the key's byte string
+  /// (stored twice — map key and FIFO queue copy) plus the Estimate value
+  /// and a fixed allowance for map-node/queue overhead.  Makes cache
+  /// sizing observable when many models share one daemon (`--cache-stats`,
+  /// the rainbowd stats request); it is an estimate, not malloc truth.
+  std::uint64_t approx_bytes = 0;
 
   [[nodiscard]] double hit_rate() const {
     return lookups == 0 ? 0.0
                         : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
+  [[nodiscard]] double approx_mb() const {
+    return static_cast<double>(approx_bytes) / (1024.0 * 1024.0);
   }
 };
 
@@ -126,6 +136,14 @@ class EvalCache {
 
   [[nodiscard]] EvalCacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
+
+  /// Approximate resident heap bytes (see EvalCacheStats::approx_bytes).
+  [[nodiscard]] std::uint64_t approx_bytes() const;
+
+  /// Fixed per-entry overhead allowance: two EvalKey objects, the hash-map
+  /// node (bucket pointer + hash + alignment), and the FIFO queue slot.
+  static constexpr std::uint64_t kPerEntryOverhead =
+      2 * sizeof(void*) * 8;  // ~128 bytes on LP64
   [[nodiscard]] std::size_t capacity() const {
     return per_shard_capacity_ * kShardCount;
   }
@@ -144,6 +162,7 @@ class EvalCache {
     mutable std::mutex mutex;
     std::unordered_map<EvalKey, Estimate, KeyHash> map;
     std::deque<EvalKey> insertion_order;  // FIFO eviction
+    std::uint64_t key_bytes = 0;  ///< sum of resident key byte-string sizes
   };
 
   [[nodiscard]] Shard& shard_for(const EvalKey& key) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/line_reader.hpp"
 
 namespace rainbow::core {
 
@@ -47,23 +48,27 @@ int parse_int(const std::string& field, std::size_t line_no) {
 ExecutionPlan parse_plan(const std::string& text,
                          const model::Network& network,
                          const EstimatorOptions& options) {
-  std::istringstream in(text);
-  std::string line;
-  std::size_t line_no = 0;
+  // Plans cross the rainbowd wire too (validate/analyze requests carry a
+  // plan body), so they go through the same hardened line reader as model
+  // text: CRLF normalization, comment stripping, control-byte rejection.
+  util::LineReader reader(text);
   bool saw_header = false;
   std::string model_name;
   arch::AcceleratorSpec spec;
   Objective objective = Objective::kAccesses;
   std::vector<std::vector<std::string>> rows;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (const auto hash = line.find('#'); hash != std::string::npos) {
-      line.erase(hash);
+  std::optional<util::TextLine> text_line;
+  while (true) {
+    try {
+      text_line = reader.next();
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string("plan parse error at ") + e.what());
     }
-    if (line.find_first_not_of(" \t\r\n") == std::string::npos) {
-      continue;
+    if (!text_line) {
+      break;
     }
-    const auto fields = util::split_csv_line(line);
+    const std::size_t line_no = text_line->number;
+    const auto fields = util::split_csv_line(text_line->text);
     if (!saw_header) {
       if (fields.size() != 5 || fields[0] != "plan") {
         throw std::runtime_error("plan parse error at line " +

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/line_reader.hpp"
 
 namespace rainbow::model {
 
@@ -29,22 +30,28 @@ int parse_int(const std::string& field, std::size_t line_no, const char* what) {
 
 Network parse_network(const std::string& text) {
   Network network;
-  std::istringstream in(text);
-  std::string line;
-  std::size_t line_no = 0;
+  // The line reader normalizes CRLF, strips comments, skips blank lines,
+  // and rejects control bytes — model text arrives over the rainbowd wire
+  // from untrusted clients, not only from files we wrote ourselves.
+  util::LineReader reader(text);
   bool saw_header = false;
-  while (std::getline(in, line)) {
-    ++line_no;
-    // Strip comments and whitespace-only lines.
-    if (const auto hash = line.find('#'); hash != std::string::npos) {
-      line.erase(hash);
+  std::optional<util::TextLine> text_line;
+  while (true) {
+    try {
+      text_line = reader.next();
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string("model parse error at ") +
+                               e.what());
     }
-    if (line.find_first_not_of(" \t\r\n") == std::string::npos) {
-      continue;
+    if (!text_line) {
+      break;
     }
-    const auto fields = util::split_csv_line(line);
+    const std::size_t line_no = text_line->number;
+    const auto fields = util::split_csv_line(text_line->text);
     if (!saw_header) {
-      if (fields.size() != 2 || fields[0] != "network") {
+      // An empty name is what a truncated "network," upload looks like —
+      // reject it rather than registering a nameless model.
+      if (fields.size() != 2 || fields[0] != "network" || fields[1].empty()) {
         throw std::runtime_error("model parse error at line " +
                                  std::to_string(line_no) +
                                  ": expected 'network, <name>' header");

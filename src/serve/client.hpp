@@ -1,0 +1,44 @@
+// Blocking client for the rainbowd protocol.  Owns one connection and
+// serialises request/response pairs over it; create one Client per thread
+// for concurrent load (bench_serve does exactly that).
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace rainbow::serve {
+
+class Client {
+ public:
+  /// Connects to a unix-domain socket (throws std::runtime_error on
+  /// failure).
+  static Client connect_unix(const std::string& path);
+  /// Connects to a loopback TCP port.
+  static Client connect_tcp(int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request and blocks for its response.  Throws on transport
+  /// errors (including server-side disconnect); protocol-level failures
+  /// come back as Response{ok=false}.
+  Response call(const Request& request);
+
+  /// call() that throws std::runtime_error when the response is an error,
+  /// using its `message` header.
+  Response call_ok(const Request& request);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace rainbow::serve

@@ -1,0 +1,86 @@
+// rainbowd wire protocol: length-prefixed frames carrying a small text
+// message, chosen over HTTP so the daemon has zero dependencies and the
+// whole stack stays fuzzable from the repo's own tests.
+//
+// Frame layout (all on the wire, little-endian):
+//
+//   +------+------+----------------+
+//   | RNBW | u32  |  payload bytes |
+//   +------+------+----------------+
+//    magic  length
+//
+// The length counts payload bytes only and is bounded (kMaxFrameBytes) so
+// a garbage or hostile peer cannot make the daemon allocate unbounded
+// memory.  A short read inside a frame is a hard "truncated frame" error —
+// the transport guarantees a parser never sees a partially delivered
+// upload (mid-line truncation inside a *complete* frame is the parser's
+// job to reject; see util/line_reader.hpp).
+//
+// Payload layout (requests and responses share it):
+//
+//   <verb-or-status>\n
+//   <key> <value>\n        (zero or more headers)
+//   \n
+//   <body bytes, verbatim to end of payload>
+//
+// Verbs, keys, and status tokens are lowercase [a-z0-9_]+; header values
+// are single-line free text.  The body is uninterpreted at this layer —
+// model text, plan text, spec text, or CSV, depending on the verb.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace rainbow::serve {
+
+inline constexpr char kMagic[4] = {'R', 'N', 'B', 'W'};
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+inline constexpr int kProtocolVersion = 1;
+
+struct Request {
+  std::string verb;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Header accessors with defaults; throw std::runtime_error on a present
+  /// but malformed numeric value.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+};
+
+struct Response {
+  bool ok = true;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+
+  static Response error(std::string message);
+};
+
+/// Payload (de)serialization.  Decoders throw std::runtime_error on any
+/// malformed payload: unknown status token, non-token verb/key, missing
+/// blank-line separator, header value with an embedded newline.
+[[nodiscard]] std::string encode_request(const Request& request);
+[[nodiscard]] Request decode_request(std::string_view payload);
+[[nodiscard]] std::string encode_response(const Response& response);
+[[nodiscard]] Response decode_response(std::string_view payload);
+
+/// Blocking frame I/O on a connected socket.  write_frame throws on any
+/// short write or payload over kMaxFrameBytes.  read_frame returns false
+/// on clean EOF at a frame boundary; it throws on bad magic, an oversized
+/// length, or EOF mid-frame ("truncated frame").
+void write_frame(int fd, std::string_view payload);
+[[nodiscard]] bool read_frame(int fd, std::string& payload,
+                              std::uint32_t max_bytes = kMaxFrameBytes);
+
+/// True iff `token` is a valid verb/status/header-key token.
+[[nodiscard]] bool is_token(std::string_view token);
+
+}  // namespace rainbow::serve

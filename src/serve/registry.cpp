@@ -1,0 +1,192 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::serve {
+
+namespace {
+
+std::string lowercase(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return name;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::size_t cache_entries)
+    : cache_entries_(cache_entries) {}
+
+std::shared_ptr<ModelEntry>* ModelRegistry::locate(const std::string& name) {
+  for (auto& [key, entry] : models_) {
+    if (key == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<SpecEntry>* ModelRegistry::locate_spec(
+    const std::string& name) {
+  for (auto& [key, entry] : specs_) {
+    if (key == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+bool ModelRegistry::register_model(const std::string& raw_name,
+                                   model::Network network, bool builtin,
+                                   bool replace) {
+  const std::string name = lowercase(raw_name);
+  if (name.empty()) {
+    throw std::runtime_error("registry: empty model name");
+  }
+  auto entry = std::make_shared<ModelEntry>();
+  entry->network = std::move(network);
+  entry->cache = std::make_shared<core::EvalCache>(cache_entries_);
+  entry->builtin = builtin;
+  std::unique_lock lock(mutex_);
+  if (std::shared_ptr<ModelEntry>* slot = locate(name)) {
+    if (!replace) {
+      return false;
+    }
+    *slot = std::move(entry);  // replacing resets the model's cache
+    return true;
+  }
+  models_.emplace_back(name, std::move(entry));
+  return true;
+}
+
+void ModelRegistry::preload_zoo() {
+  for (const std::string& name : model::zoo::model_names()) {
+    register_model(name, model::zoo::by_name(name), /*builtin=*/true);
+  }
+}
+
+std::shared_ptr<const ModelEntry> ModelRegistry::find(
+    const std::string& raw_name) const {
+  const std::string name = lowercase(raw_name);
+  std::shared_lock lock(mutex_);
+  for (const auto& [key, entry] : models_) {
+    if (key == name) {
+      return entry;
+    }
+  }
+  return nullptr;
+}
+
+bool ModelRegistry::evict(const std::string& raw_name) {
+  const std::string name = lowercase(raw_name);
+  std::unique_lock lock(mutex_);
+  for (auto it = models_.begin(); it != models_.end(); ++it) {
+    if (it->first == name) {
+      models_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return models_.size();
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [key, entry] : models_) {
+    names.push_back(key);
+  }
+  return names;
+}
+
+std::vector<RegistrySnapshotRow> ModelRegistry::snapshot() const {
+  std::shared_lock lock(mutex_);
+  std::vector<RegistrySnapshotRow> rows;
+  rows.reserve(models_.size());
+  for (const auto& [key, entry] : models_) {
+    RegistrySnapshotRow row;
+    row.name = key;
+    row.layers = entry->network.size();
+    row.builtin = entry->builtin;
+    row.plans_served = entry->plans_served.load(std::memory_order_relaxed);
+    row.cache = entry->cache->stats();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::uint64_t ModelRegistry::cache_bytes() const {
+  std::shared_lock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, entry] : models_) {
+    total += entry->cache->approx_bytes();
+  }
+  return total;
+}
+
+bool ModelRegistry::register_spec(const std::string& raw_name,
+                                  const arch::AcceleratorSpec& spec,
+                                  bool replace) {
+  const std::string name = lowercase(raw_name);
+  if (name.empty()) {
+    throw std::runtime_error("registry: empty spec name");
+  }
+  spec.validate();
+  auto entry = std::make_shared<SpecEntry>(SpecEntry{spec});
+  std::unique_lock lock(mutex_);
+  if (std::shared_ptr<SpecEntry>* slot = locate_spec(name)) {
+    if (!replace) {
+      return false;
+    }
+    *slot = std::move(entry);
+    return true;
+  }
+  specs_.emplace_back(name, std::move(entry));
+  return true;
+}
+
+std::shared_ptr<const SpecEntry> ModelRegistry::find_spec(
+    const std::string& raw_name) const {
+  const std::string name = lowercase(raw_name);
+  std::shared_lock lock(mutex_);
+  for (const auto& [key, entry] : specs_) {
+    if (key == name) {
+      return entry;
+    }
+  }
+  return nullptr;
+}
+
+bool ModelRegistry::evict_spec(const std::string& raw_name) {
+  const std::string name = lowercase(raw_name);
+  std::unique_lock lock(mutex_);
+  for (auto it = specs_.begin(); it != specs_.end(); ++it) {
+    if (it->first == name) {
+      specs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> ModelRegistry::spec_names() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const auto& [key, entry] : specs_) {
+    names.push_back(key);
+  }
+  return names;
+}
+
+}  // namespace rainbow::serve

@@ -1,0 +1,95 @@
+// Resident model/spec registry for rainbowd: parsed networks and
+// accelerator specs stay in memory across requests, each model paired with
+// its own EvalCache shard so (a) warm re-plans hit PR-1's memoization
+// without re-parsing anything and (b) evicting a model frees its cache
+// share instead of polluting a global LRU.  The DynaPlex
+// registrationmanager is the structural exemplar: many dynamically
+// registered models behind one uniform facade.
+//
+// Thread-safety: a shared_mutex guards the maps; entries hand out
+// shared_ptrs, so an eviction never invalidates an in-flight request that
+// already resolved its model (the plan completes against the old entry and
+// the memory is reclaimed when the last request drops it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.hpp"
+#include "core/eval_cache.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::serve {
+
+/// One resident model: the parsed network plus its private eval cache.
+struct ModelEntry {
+  model::Network network;
+  std::shared_ptr<core::EvalCache> cache;
+  bool builtin = false;  ///< preloaded from the zoo (uploads are false)
+  mutable std::atomic<std::uint64_t> plans_served{0};
+};
+
+/// One registered accelerator spec.
+struct SpecEntry {
+  arch::AcceleratorSpec spec;
+};
+
+struct RegistrySnapshotRow {
+  std::string name;
+  std::size_t layers = 0;
+  bool builtin = false;
+  std::uint64_t plans_served = 0;
+  core::EvalCacheStats cache;
+};
+
+class ModelRegistry {
+ public:
+  /// `cache_entries` bounds each per-model EvalCache.
+  explicit ModelRegistry(std::size_t cache_entries = 1 << 20);
+
+  /// Registers `network` under `name`.  Returns false (and leaves the
+  /// existing entry untouched) when the name is taken and `replace` is
+  /// off; replacing resets the model's cache.  Throws on an empty name.
+  bool register_model(const std::string& name, model::Network network,
+                      bool builtin = false, bool replace = false);
+
+  /// Preloads every built-in zoo model under its lowercase zoo name.
+  void preload_zoo();
+
+  /// nullptr when unknown.  The returned entry stays valid after eviction.
+  [[nodiscard]] std::shared_ptr<const ModelEntry> find(
+      const std::string& name) const;
+
+  bool evict(const std::string& name);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::vector<RegistrySnapshotRow> snapshot() const;
+
+  /// Sum of the per-model caches' approximate resident bytes.
+  [[nodiscard]] std::uint64_t cache_bytes() const;
+
+  // Named accelerator specs (uploaded via the spec text format).
+  bool register_spec(const std::string& name, const arch::AcceleratorSpec& spec,
+                     bool replace = false);
+  [[nodiscard]] std::shared_ptr<const SpecEntry> find_spec(
+      const std::string& name) const;
+  bool evict_spec(const std::string& name);
+  [[nodiscard]] std::vector<std::string> spec_names() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::size_t cache_entries_;
+  std::vector<std::pair<std::string, std::shared_ptr<ModelEntry>>> models_;
+  std::vector<std::pair<std::string, std::shared_ptr<SpecEntry>>> specs_;
+
+  [[nodiscard]] std::shared_ptr<ModelEntry>* locate(const std::string& name);
+  [[nodiscard]] std::shared_ptr<SpecEntry>* locate_spec(
+      const std::string& name);
+};
+
+}  // namespace rainbow::serve

@@ -1,0 +1,221 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+
+namespace rainbow::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error("server: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(PlanningService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  if (!config_.unix_path.empty()) {
+    if (config_.unix_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::runtime_error("server: unix socket path too long: " +
+                               config_.unix_path);
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      fail_errno("socket(AF_UNIX)");
+    }
+    ::unlink(config_.unix_path.c_str());  // a stale path from a dead daemon
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      fail_errno("bind(" + config_.unix_path + ")");
+    }
+  } else if (config_.tcp_port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      fail_errno("socket(AF_INET)");
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      fail_errno("bind(port " + std::to_string(config_.tcp_port) + ")");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      fail_errno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+  } else {
+    throw std::runtime_error("server: configure a unix path or a TCP port");
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    fail_errno("listen");
+  }
+  pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+}
+
+Server::~Server() {
+  request_stop();
+  if (acceptor_.joinable() || !connections_.empty()) {
+    (void)wait();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!config_.unix_path.empty()) {
+    ::unlink(config_.unix_path.c_str());
+  }
+}
+
+void Server::start() {
+  if (acceptor_.joinable()) {
+    throw std::runtime_error("server: already started");
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+std::uint64_t Server::wait() {
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  // Wake every connection blocked in recv, then join them all.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(connections_mutex_);
+    for (int fd : connection_fds_) {
+      if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+      }
+    }
+    to_join.swap(connections_);
+    connection_fds_.clear();
+  }
+  for (std::thread& thread : to_join) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  pool_.reset();  // drain the planning queue
+  return served_.load();
+}
+
+std::uint64_t Server::stop() {
+  request_stop();
+  return wait();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (ready == 0) {
+      continue;  // timeout: re-check the stop flag
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      break;
+    }
+    if (port_ >= 0) {
+      // Request/response over loopback: never trade latency for
+      // batching (Nagle would add delayed-ACK stalls to small frames).
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    std::lock_guard lock(connections_mutex_);
+    // Reap finished connection threads so a long-lived daemon's thread
+    // list stays proportional to *live* connections.  A finished thread
+    // marked its fd slot -2.
+    for (std::size_t i = 0; i < connections_.size();) {
+      if (connection_fds_[i] == -2) {
+        connections_[i].join();
+        connections_.erase(connections_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        connection_fds_.erase(connection_fds_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    const std::size_t slot = connections_.size();
+    connection_fds_.push_back(fd);
+    connections_.emplace_back([this, fd, slot] {
+      serve_connection(fd);
+      std::lock_guard inner(connections_mutex_);
+      if (slot < connection_fds_.size() && connection_fds_[slot] == fd) {
+        connection_fds_[slot] = -2;
+      }
+    });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string payload;
+  while (!stopping_.load()) {
+    bool got = false;
+    try {
+      got = read_frame(fd, payload, config_.max_frame_bytes);
+    } catch (const std::exception&) {
+      break;  // framing is unrecoverable: bad magic / truncated frame
+    }
+    if (!got) {
+      break;  // clean EOF
+    }
+    Response response;
+    bool shutdown_requested = false;
+    try {
+      const Request request = decode_request(payload);
+      shutdown_requested = request.verb == "shutdown";
+      // Planning runs on the bounded pool; this thread only does I/O.
+      auto task = std::make_shared<std::packaged_task<Response()>>(
+          [this, &request] { return service_.handle(request); });
+      std::future<Response> result = task->get_future();
+      pool_->submit([task] { (*task)(); });
+      response = result.get();
+    } catch (const std::exception& e) {
+      response = Response::error(e.what());
+    }
+    try {
+      write_frame(fd, encode_response(response));
+    } catch (const std::exception&) {
+      break;  // peer vanished mid-response
+    }
+    served_.fetch_add(1, std::memory_order_relaxed);
+    if (shutdown_requested) {
+      request_stop();
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace rainbow::serve

@@ -1,0 +1,85 @@
+// rainbowd transport: accepts unix-domain or loopback TCP connections,
+// reads length-prefixed frames, and dispatches decoded requests onto the
+// shared util::ThreadPool (the planning workers).  Connection threads do
+// only blocking I/O; all planning work runs on the bounded pool, so a slow
+// client cannot hold a planning worker and N connections contend for at
+// most `threads` concurrent plans.
+//
+// Shutdown: request_stop() only sets an atomic flag (async-signal-safe —
+// rainbowd's SIGTERM handler calls it).  The acceptor polls the flag,
+// stops accepting, wakes every connection (shutdown(2) on the socket),
+// lets in-flight requests drain, and wait() joins everything.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rainbow::serve {
+
+struct ServerConfig {
+  /// Unix-domain socket path; takes precedence over TCP when non-empty.
+  std::string unix_path;
+  /// TCP port on loopback; 0 picks an ephemeral port (see Server::port()).
+  int tcp_port = -1;
+  /// Planning workers; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on failure);
+  /// call start() to begin accepting.
+  Server(PlanningService& service, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the acceptor thread.
+  void start();
+
+  /// Async-signal-safe stop request: sets the flag the acceptor polls.
+  void request_stop() noexcept { stopping_.store(true); }
+
+  /// Blocks until the acceptor and every connection thread have exited.
+  /// Returns the number of requests served over the server's lifetime.
+  std::uint64_t wait();
+
+  /// request_stop() + wait().
+  std::uint64_t stop();
+
+  /// Bound TCP port (resolved when the config asked for port 0), or -1 for
+  /// unix-domain servers.
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] const std::string& unix_path() const {
+    return config_.unix_path;
+  }
+  [[nodiscard]] bool stopping() const { return stopping_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  PlanningService& service_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connections_;
+  std::vector<int> connection_fds_;
+};
+
+}  // namespace rainbow::serve

@@ -1,0 +1,555 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/stream_analyzer.hpp"
+#include "arch/spec_io.hpp"
+#include "codegen/lower.hpp"
+#include "core/manager.hpp"
+#include "core/plan_io.hpp"
+#include "dse/sweep.hpp"
+#include "model/parser.hpp"
+#include "validate/plan_validator.hpp"
+
+namespace rainbow::serve {
+
+namespace {
+
+std::string lowercase(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return name;
+}
+
+std::string fmt_f0(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  return buffer;
+}
+
+std::string fmt_f4(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4f", value);
+  return buffer;
+}
+
+core::Objective parse_objective(const std::string& name) {
+  if (name == "accesses") {
+    return core::Objective::kAccesses;
+  }
+  if (name == "latency") {
+    return core::Objective::kLatency;
+  }
+  throw std::runtime_error("unknown objective '" + name + "'");
+}
+
+std::vector<long long> parse_int_list(const std::string& text,
+                                      const std::string& key) {
+  std::vector<long long> values;
+  std::string field;
+  std::istringstream in(text);
+  while (std::getline(in, field, ',')) {
+    try {
+      std::size_t consumed = 0;
+      values.push_back(std::stoll(field, &consumed));
+      if (consumed != field.size()) {
+        throw std::invalid_argument("trailing characters");
+      }
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad integer list header '" + key + "': '" +
+                               text + "'");
+    }
+  }
+  if (values.empty()) {
+    throw std::runtime_error("empty integer list header '" + key + "'");
+  }
+  return values;
+}
+
+/// Planning options shared by the plan / dse paths, derived from request
+/// headers exactly the way the rainbow_plan CLI derives them from flags —
+/// the byte-identity guarantee depends on this mapping staying aligned.
+core::ManagerOptions manager_options_for(const Request& request) {
+  core::ManagerOptions options;
+  options.analyzer.allow_prefetch = request.get_bool("prefetch", true);
+  options.analyzer.estimator.padded_traffic = request.get_bool("padded", true);
+  options.analyzer.estimator.batch =
+      static_cast<int>(request.get_int("batch", 1));
+  options.interlayer_reuse = request.get_bool("interlayer", false);
+  return options;
+}
+
+void append_cache_headers(Response& response,
+                          const core::EvalCacheStats& stats) {
+  response.headers["cache_lookups"] = std::to_string(stats.lookups);
+  response.headers["cache_hits"] = std::to_string(stats.hits);
+  response.headers["cache_hit_rate"] = fmt_f4(stats.hit_rate());
+  response.headers["cache_entries"] = std::to_string(stats.entries);
+  response.headers["cache_bytes"] = std::to_string(stats.approx_bytes);
+}
+
+}  // namespace
+
+PlanningService::PlanningService(ServiceOptions options)
+    : registry_(options.cache_entries) {
+  if (options.preload_zoo) {
+    registry_.preload_zoo();
+  }
+}
+
+ServiceStats PlanningService::stats() const {
+  ServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.plan_requests = plan_requests_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Response PlanningService::handle(const Request& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    if (request.verb == "ping") {
+      return do_ping(request);
+    }
+    if (request.verb == "upload") {
+      return do_upload(request);
+    }
+    if (request.verb == "upload_spec") {
+      return do_upload_spec(request);
+    }
+    if (request.verb == "list") {
+      return do_list(request);
+    }
+    if (request.verb == "evict") {
+      return do_evict(request);
+    }
+    if (request.verb == "stats") {
+      return do_stats(request);
+    }
+    if (request.verb == "plan") {
+      return do_plan(request);
+    }
+    if (request.verb == "dse") {
+      return do_dse(request);
+    }
+    if (request.verb == "validate") {
+      return do_validate(request);
+    }
+    if (request.verb == "analyze") {
+      return do_analyze(request);
+    }
+    if (request.verb == "shutdown") {
+      // The transport layer owns process lifetime; acknowledging here keeps
+      // the service drivable without a server (tests, future transports).
+      Response response;
+      response.headers["stopping"] = "1";
+      return response;
+    }
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return Response::error("unknown verb '" + request.verb + "'");
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return Response::error(e.what());
+  }
+}
+
+Response PlanningService::do_ping(const Request&) {
+  Response response;
+  response.headers["server"] = "rainbowd";
+  response.headers["protocol"] = std::to_string(kProtocolVersion);
+  return response;
+}
+
+Response PlanningService::do_upload(const Request& request) {
+  if (request.body.empty()) {
+    return Response::error("upload: empty model body");
+  }
+  const model::Network network = model::parse_network(request.body);
+  const std::string name =
+      lowercase(request.get("name", network.name()));
+  const bool replace = request.get_bool("replace", false);
+  if (!registry_.register_model(name, network, /*builtin=*/false, replace)) {
+    return Response::error("upload: model '" + name +
+                           "' already registered (set 'replace 1')");
+  }
+  Response response;
+  response.headers["model"] = name;
+  response.headers["layers"] = std::to_string(network.size());
+  return response;
+}
+
+Response PlanningService::do_upload_spec(const Request& request) {
+  if (request.body.empty()) {
+    return Response::error("upload_spec: empty spec body");
+  }
+  const arch::NamedSpec named = arch::parse_spec(request.body);
+  const std::string name = lowercase(request.get("name", named.name));
+  const bool replace = request.get_bool("replace", false);
+  if (!registry_.register_spec(name, named.spec, replace)) {
+    return Response::error("upload_spec: spec '" + name +
+                           "' already registered (set 'replace 1')");
+  }
+  Response response;
+  response.headers["spec"] = name;
+  return response;
+}
+
+Response PlanningService::do_list(const Request&) {
+  Response response;
+  std::ostringstream body;
+  body << "# kind, name, layers, builtin, plans_served\n";
+  for (const RegistrySnapshotRow& row : registry_.snapshot()) {
+    body << "model, " << row.name << ", " << row.layers << ", "
+         << (row.builtin ? 1 : 0) << ", " << row.plans_served << '\n';
+  }
+  for (const std::string& name : registry_.spec_names()) {
+    body << "spec, " << name << ", 0, 0, 0\n";
+  }
+  response.headers["models"] = std::to_string(registry_.size());
+  response.headers["specs"] =
+      std::to_string(registry_.spec_names().size());
+  response.body = body.str();
+  return response;
+}
+
+Response PlanningService::do_evict(const Request& request) {
+  const std::string name = request.get("model");
+  const std::string spec = request.get("spec");
+  if (name.empty() == spec.empty()) {
+    return Response::error("evict: set exactly one of 'model' or 'spec'");
+  }
+  const bool evicted =
+      name.empty() ? registry_.evict_spec(spec) : registry_.evict(name);
+  if (!evicted) {
+    return Response::error("evict: unknown " +
+                           std::string(name.empty() ? "spec '" + spec
+                                                    : "model '" + name) +
+                           "'");
+  }
+  Response response;
+  response.headers["evicted"] = name.empty() ? spec : name;
+  return response;
+}
+
+Response PlanningService::do_stats(const Request&) {
+  Response response;
+  const ServiceStats s = stats();
+  response.headers["requests"] = std::to_string(s.requests);
+  response.headers["plan_requests"] = std::to_string(s.plan_requests);
+  response.headers["coalesced"] = std::to_string(s.coalesced);
+  response.headers["errors"] = std::to_string(s.errors);
+  response.headers["models"] = std::to_string(registry_.size());
+
+  core::EvalCacheStats total;
+  std::ostringstream body;
+  body << "# model, layers, plans_served, lookups, hits, hit_rate, entries, "
+          "approx_bytes\n";
+  for (const RegistrySnapshotRow& row : registry_.snapshot()) {
+    total.lookups += row.cache.lookups;
+    total.hits += row.cache.hits;
+    total.misses += row.cache.misses;
+    total.inserts += row.cache.inserts;
+    total.evictions += row.cache.evictions;
+    total.entries += row.cache.entries;
+    total.approx_bytes += row.cache.approx_bytes;
+    body << row.name << ", " << row.layers << ", " << row.plans_served << ", "
+         << row.cache.lookups << ", " << row.cache.hits << ", "
+         << fmt_f4(row.cache.hit_rate()) << ", " << row.cache.entries << ", "
+         << row.cache.approx_bytes << '\n';
+  }
+  append_cache_headers(response, total);
+  response.body = body.str();
+  return response;
+}
+
+arch::AcceleratorSpec PlanningService::spec_for(const Request& request) const {
+  arch::AcceleratorSpec spec;
+  const std::string spec_name = request.get("spec");
+  if (!spec_name.empty()) {
+    const std::shared_ptr<const SpecEntry> entry =
+        registry_.find_spec(spec_name);
+    if (!entry) {
+      throw std::runtime_error("unknown spec '" + spec_name + "'");
+    }
+    spec = entry->spec;
+    if (const long long glb_kb = request.get_int("glb_kb", 0); glb_kb > 0) {
+      spec.glb_bytes = static_cast<count_t>(glb_kb) * 1024;
+    }
+  } else {
+    spec = arch::paper_spec(
+        static_cast<count_t>(request.get_int("glb_kb", 64)) * 1024);
+  }
+  if (const long long width = request.get_int("width_bits", 0); width > 0) {
+    spec.data_width_bits = static_cast<int>(width);
+  }
+  spec.validate();
+  return spec;
+}
+
+Response PlanningService::do_plan(const Request& request) {
+  plan_requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Canonical single-flight key: every header that can influence the plan
+  // bytes, plus the resolved spec (a named spec may change under the same
+  // name, so the key uses its field values, not its name).
+  const arch::AcceleratorSpec spec = spec_for(request);
+  std::ostringstream key;
+  key << lowercase(request.get("model")) << '\n'
+      << request.get("scheme", "het") << '\n'
+      << request.get("objective", "accesses") << '\n'
+      << request.get_bool("interlayer", false) << '\n'
+      << request.get_bool("prefetch", true) << '\n'
+      << request.get_bool("padded", true) << '\n'
+      << request.get_int("batch", 1) << '\n'
+      << request.get_bool("validate", false) << '\n'
+      << request.get_bool("analyze", false) << '\n'
+      << spec.pe_rows << ' ' << spec.pe_cols << ' ' << spec.ops_per_cycle
+      << ' ' << spec.data_width_bits << ' ' << spec.glb_bytes << ' '
+      << spec.dram_bytes_per_cycle << ' ' << spec.sram_bytes_per_cycle;
+
+  std::shared_future<Response> flight;
+  std::shared_ptr<std::promise<Response>> owner;
+  {
+    std::lock_guard lock(flights_mutex_);
+    const auto it = flights_.find(key.str());
+    if (it != flights_.end()) {
+      flight = it->second;
+    } else {
+      owner = std::make_shared<std::promise<Response>>();
+      flight = owner->get_future().share();
+      flights_.emplace(key.str(), flight);
+    }
+  }
+  if (!owner) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    Response shared = flight.get();
+    shared.headers["coalesced"] = "1";
+    return shared;
+  }
+  Response response;
+  try {
+    response = compute_plan(request);
+  } catch (const std::exception& e) {
+    response = Response::error(e.what());
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard lock(flights_mutex_);
+    flights_.erase(key.str());
+  }
+  owner->set_value(response);
+  return response;
+}
+
+Response PlanningService::compute_plan(const Request& request) {
+  const std::string model_name = request.get("model");
+  if (model_name.empty()) {
+    throw std::runtime_error("plan: missing 'model' header");
+  }
+  const std::shared_ptr<const ModelEntry> entry = registry_.find(model_name);
+  if (!entry) {
+    throw std::runtime_error("plan: unknown model '" + model_name +
+                             "' (upload or preload it first)");
+  }
+  const arch::AcceleratorSpec spec = spec_for(request);
+  const core::Objective objective =
+      parse_objective(request.get("objective", "accesses"));
+  const std::string scheme = request.get("scheme", "het");
+  if (scheme != "het" && scheme != "hom") {
+    throw std::runtime_error("plan: unknown scheme '" + scheme + "'");
+  }
+
+  core::ManagerOptions options = manager_options_for(request);
+  options.analyzer.eval_cache = entry->cache;
+  const core::MemoryManager manager(spec, options);
+  const core::ExecutionPlan plan =
+      scheme == "hom" ? manager.plan_homogeneous(entry->network, objective)
+                      : manager.plan(entry->network, objective);
+  entry->plans_served.fetch_add(1, std::memory_order_relaxed);
+
+  if (request.get_bool("validate", false)) {
+    validate::ValidatorOptions voptions;
+    voptions.estimator = options.analyzer.estimator;
+    const validate::ValidationReport report =
+        validate::PlanValidator(voptions).validate(plan, entry->network);
+    if (!report.ok()) {
+      std::string message = "plan failed validation:";
+      for (const auto& d : report.diagnostics()) {
+        message += ' ' + d.message();
+      }
+      throw std::runtime_error(message);
+    }
+  }
+  if (request.get_bool("analyze", false)) {
+    const codegen::Program program = codegen::lower(plan, entry->network);
+    const analysis::AnalysisResult result =
+        analysis::analyze_lowering(program, plan, entry->network);
+    if (!result.ok()) {
+      std::string message = "plan failed stream analysis:";
+      for (const auto& d : result.report.diagnostics()) {
+        message += ' ' + d.message();
+      }
+      throw std::runtime_error(message);
+    }
+  }
+
+  Response response;
+  response.headers["model"] = plan.model();
+  response.headers["scheme"] = plan.scheme();
+  response.headers["objective"] = std::string(core::to_string(objective));
+  response.headers["layers"] = std::to_string(plan.size());
+  response.headers["accesses"] = std::to_string(plan.total_accesses());
+  response.headers["latency_cycles"] = fmt_f0(plan.total_latency_cycles());
+  response.headers["feasible"] = plan.feasible() ? "1" : "0";
+  response.headers["interlayer_links"] =
+      std::to_string(plan.interlayer_links());
+  append_cache_headers(response, entry->cache->stats());
+  response.body = core::serialize_plan(plan);
+  return response;
+}
+
+Response PlanningService::do_dse(const Request& request) {
+  const std::string model_name = request.get("model");
+  if (model_name.empty()) {
+    throw std::runtime_error("dse: missing 'model' header");
+  }
+  const std::shared_ptr<const ModelEntry> entry = registry_.find(model_name);
+  if (!entry) {
+    throw std::runtime_error("dse: unknown model '" + model_name + "'");
+  }
+
+  dse::SweepConfig config;
+  for (const long long kb : parse_int_list(request.get("glb_kb", "64"),
+                                           "glb_kb")) {
+    if (kb <= 0) {
+      throw std::runtime_error("dse: glb_kb values must be positive");
+    }
+    config.glb_bytes.push_back(static_cast<count_t>(kb) * 1024);
+  }
+  config.data_width_bits.clear();
+  for (const long long width : parse_int_list(
+           request.get("width_bits", "8"), "width_bits")) {
+    config.data_width_bits.push_back(static_cast<int>(width));
+  }
+  config.batch_sizes.clear();
+  for (const long long batch : parse_int_list(request.get("batch", "1"),
+                                              "batch")) {
+    config.batch_sizes.push_back(static_cast<int>(batch));
+  }
+  const std::string objective = request.get("objective", "accesses");
+  config.objectives =
+      objective == "both"
+          ? std::vector<core::Objective>{core::Objective::kAccesses,
+                                         core::Objective::kLatency}
+          : std::vector<core::Objective>{parse_objective(objective)};
+  config.with_interlayer = request.get_bool("interlayer", false);
+  config.eval_cache = entry->cache;
+  config.validate();
+
+  // One worker: the daemon's concurrency axis is requests, not grid points
+  // — a wide sweep must not starve latency-sensitive plan requests.
+  const std::vector<dse::SweepPoint> points =
+      dse::run_sweep(entry->network, config, 1);
+
+  std::ostringstream body;
+  body << "# glb_kb, width_bits, batch, objective, interlayer, accesses, "
+          "access_mb, latency_cycles, energy_mj\n";
+  for (const dse::SweepPoint& p : points) {
+    body << (p.glb_bytes / 1024) << ", " << p.data_width_bits << ", "
+         << p.batch << ", " << core::to_string(p.objective) << ", "
+         << (p.interlayer ? 1 : 0) << ", " << p.accesses << ", "
+         << fmt_f4(p.access_mb) << ", " << fmt_f0(p.latency_cycles) << ", "
+         << fmt_f4(p.energy_mj) << '\n';
+  }
+  Response response;
+  response.headers["model"] = model_name;
+  response.headers["points"] = std::to_string(points.size());
+  append_cache_headers(response, entry->cache->stats());
+  response.body = body.str();
+  return response;
+}
+
+Response PlanningService::do_validate(const Request& request) {
+  const std::string model_name = request.get("model");
+  if (model_name.empty()) {
+    throw std::runtime_error("validate: missing 'model' header");
+  }
+  const std::shared_ptr<const ModelEntry> entry = registry_.find(model_name);
+  if (!entry) {
+    throw std::runtime_error("validate: unknown model '" + model_name + "'");
+  }
+  if (request.body.empty()) {
+    throw std::runtime_error("validate: empty plan body");
+  }
+  core::EstimatorOptions estimator;
+  estimator.padded_traffic = request.get_bool("padded", true);
+  estimator.batch = static_cast<int>(request.get_int("batch", 1));
+  const core::ExecutionPlan plan =
+      core::parse_plan(request.body, entry->network, estimator);
+
+  validate::ValidatorOptions voptions;
+  voptions.estimator = estimator;
+  const validate::ValidationReport report =
+      validate::PlanValidator(voptions).validate(plan, entry->network);
+
+  Response response;
+  response.ok = report.ok();
+  response.headers["model"] = model_name;
+  response.headers["errors"] = std::to_string(report.error_count());
+  response.headers["warnings"] = std::to_string(report.warning_count());
+  std::ostringstream body;
+  for (const auto& d : report.diagnostics()) {
+    body << d.message() << '\n';
+  }
+  response.body = body.str();
+  return response;
+}
+
+Response PlanningService::do_analyze(const Request& request) {
+  const std::string model_name = request.get("model");
+  if (model_name.empty()) {
+    throw std::runtime_error("analyze: missing 'model' header");
+  }
+  const std::shared_ptr<const ModelEntry> entry = registry_.find(model_name);
+  if (!entry) {
+    throw std::runtime_error("analyze: unknown model '" + model_name + "'");
+  }
+  if (request.body.empty()) {
+    throw std::runtime_error("analyze: empty plan body");
+  }
+  core::EstimatorOptions estimator;
+  estimator.padded_traffic = request.get_bool("padded", true);
+  estimator.batch = static_cast<int>(request.get_int("batch", 1));
+  const core::ExecutionPlan plan =
+      core::parse_plan(request.body, entry->network, estimator);
+
+  const codegen::Program program = codegen::lower(plan, entry->network);
+  const analysis::AnalysisResult result =
+      analysis::analyze_lowering(program, plan, entry->network);
+
+  Response response;
+  response.ok = result.ok();
+  response.headers["model"] = model_name;
+  response.headers["errors"] = std::to_string(result.report.error_count());
+  response.headers["warnings"] =
+      std::to_string(result.report.warning_count());
+  response.headers["commands"] = std::to_string(result.commands);
+  response.headers["regions"] = std::to_string(result.regions);
+  response.headers["peak_live_elems"] =
+      std::to_string(result.peak_live_elems);
+  std::ostringstream body;
+  for (const auto& d : result.report.diagnostics()) {
+    body << d.message() << '\n';
+  }
+  response.body = body.str();
+  return response;
+}
+
+}  // namespace rainbow::serve

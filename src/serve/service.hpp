@@ -1,0 +1,86 @@
+// PlanningService: the transport-independent brain of rainbowd.  Maps one
+// decoded protocol::Request to one Response — upload / list / evict
+// models and specs, plan, DSE sweeps, plan validation, static stream
+// analysis, and statistics — against the resident ModelRegistry.
+//
+// Reentrancy contract: handle() may be called from any number of threads
+// at once.  Handlers keep all per-request state in locals (bounded by the
+// frame size cap), the registry hands out shared_ptr snapshots, and the
+// per-model EvalCaches are the only shared mutable planning state — they
+// are sharded and lock-protected, and their keys cover every input that
+// can change a result, so cache sharing never changes plan bytes (the
+// serve tests pin daemon output byte-identical to one-shot rainbow_plan).
+//
+// Single-flight: identical plan requests that arrive while the first one
+// is still computing coalesce onto one computation and share its response
+// (marked with a `coalesced` header), so a thundering herd of clients
+// asking for the same (model, spec, objective) costs one planning pass.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace rainbow::serve {
+
+struct ServiceOptions {
+  bool preload_zoo = false;          ///< register the built-in zoo at start
+  std::size_t cache_entries = 1 << 20;  ///< per-model EvalCache bound
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t plan_requests = 0;
+  std::uint64_t coalesced = 0;  ///< plan requests served by another flight
+  std::uint64_t errors = 0;
+};
+
+class PlanningService {
+ public:
+  explicit PlanningService(ServiceOptions options = {});
+
+  /// Thread-safe request dispatch.  Never throws: failures come back as
+  /// error responses with a `message` header.
+  [[nodiscard]] Response handle(const Request& request);
+
+  [[nodiscard]] ModelRegistry& registry() { return registry_; }
+  [[nodiscard]] const ModelRegistry& registry() const { return registry_; }
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  [[nodiscard]] Response do_ping(const Request& request);
+  [[nodiscard]] Response do_upload(const Request& request);
+  [[nodiscard]] Response do_upload_spec(const Request& request);
+  [[nodiscard]] Response do_list(const Request& request);
+  [[nodiscard]] Response do_evict(const Request& request);
+  [[nodiscard]] Response do_stats(const Request& request);
+  [[nodiscard]] Response do_plan(const Request& request);
+  [[nodiscard]] Response do_dse(const Request& request);
+  [[nodiscard]] Response do_validate(const Request& request);
+  [[nodiscard]] Response do_analyze(const Request& request);
+
+  /// The plan computation proper (no single-flight bookkeeping).
+  [[nodiscard]] Response compute_plan(const Request& request);
+
+  /// Resolves the request's accelerator spec: a named registered spec when
+  /// the `spec` header is present (error if unknown), the paper spec
+  /// otherwise; `glb_kb` / `width_bits` headers override either base.
+  [[nodiscard]] arch::AcceleratorSpec spec_for(const Request& request) const;
+
+  ModelRegistry registry_;
+  std::mutex flights_mutex_;
+  std::unordered_map<std::string, std::shared_future<Response>> flights_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> plan_requests_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace rainbow::serve

@@ -1,0 +1,63 @@
+#include "util/line_reader.hpp"
+
+#include <stdexcept>
+
+namespace rainbow::util {
+
+namespace {
+
+bool is_blank(std::string_view s) {
+  return s.find_first_not_of(" \t") == std::string_view::npos;
+}
+
+}  // namespace
+
+LineReader::LineReader(std::string_view text, Options options)
+    : text_(text), options_(options) {}
+
+std::optional<TextLine> LineReader::next() {
+  while (pos_ < text_.size()) {
+    ++line_number_;
+    // Find the terminator: '\n', "\r\n", or a lone '\r'.
+    std::size_t end = pos_;
+    while (end < text_.size() && text_[end] != '\n' && text_[end] != '\r') {
+      ++end;
+    }
+    std::string line(text_.substr(pos_, end - pos_));
+    if (end < text_.size()) {
+      if (text_[end] == '\r' && end + 1 < text_.size() &&
+          text_[end + 1] == '\n') {
+        pos_ = end + 2;  // CRLF
+      } else {
+        pos_ = end + 1;  // LF or lone CR
+      }
+    } else {
+      pos_ = end;  // last line without a terminator
+    }
+    if (options_.reject_control) {
+      for (char ch : line) {
+        const auto byte = static_cast<unsigned char>(ch);
+        if (byte < 0x20 && ch != '\t') {
+          throw std::runtime_error(
+              "line " + std::to_string(line_number_) +
+              ": control byte 0x" +
+              std::string{"0123456789abcdef"[byte >> 4],
+                          "0123456789abcdef"[byte & 0xf]} +
+              " in text input");
+        }
+      }
+    }
+    if (options_.strip_comments) {
+      if (const auto hash = line.find('#'); hash != std::string::npos) {
+        line.erase(hash);
+      }
+    }
+    if (options_.skip_blank && is_blank(line)) {
+      continue;
+    }
+    return TextLine{line_number_, std::move(line)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace rainbow::util

@@ -1,0 +1,62 @@
+// Wire-hardened line reader shared by every text parser that can see
+// untrusted bytes (model uploads over the rainbowd socket, plan files,
+// spec files).  Centralizes the input-normalization rules so each parser
+// gets identical behaviour:
+//
+//   * "\n", "\r\n", and lone "\r" all terminate a line (uploads arrive
+//     from Windows clients and hand-rolled scripts alike);
+//   * '#' starts a comment (optional);
+//   * blank / whitespace-only lines are skipped (optional);
+//   * NUL bytes and C0 control characters other than '\t' are rejected
+//     with the line number — binary garbage spliced into an upload fails
+//     loudly instead of parsing as a surprising field value.
+//
+// Line numbers are 1-based and count *physical* lines, including the
+// skipped ones, so parser diagnostics point at the real input.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rainbow::util {
+
+/// One logical line: its text (terminator and comment stripped) and its
+/// 1-based physical line number.
+struct TextLine {
+  std::size_t number = 0;
+  std::string text;
+};
+
+class LineReader {
+ public:
+  struct Options {
+    bool strip_comments = true;  ///< erase from the first '#'
+    bool skip_blank = true;      ///< drop whitespace-only lines
+    /// Reject NUL and C0 control characters (except '\t'); '\r'/'\n' are
+    /// consumed as terminators before the check.  Always keep this on for
+    /// wire-delivered input.
+    bool reject_control = true;
+  };
+
+  /// The reader borrows `text`; it must outlive the reader.
+  explicit LineReader(std::string_view text) : LineReader(text, Options()) {}
+  LineReader(std::string_view text, Options options);
+
+  /// Next logical line, or nullopt at end of input.  Throws
+  /// std::runtime_error naming the line number on a rejected byte.
+  [[nodiscard]] std::optional<TextLine> next();
+
+  /// Physical line number of the most recently returned line (0 before the
+  /// first call).
+  [[nodiscard]] std::size_t line_number() const { return line_number_; }
+
+ private:
+  std::string_view text_;
+  Options options_;
+  std::size_t pos_ = 0;
+  std::size_t line_number_ = 0;
+};
+
+}  // namespace rainbow::util

@@ -135,6 +135,48 @@ TEST(EvalCache, ClearDropsEntriesButKeepsCounters) {
   EXPECT_FALSE(cache.lookup(key).has_value());
 }
 
+TEST(EvalCache, ApproxBytesTracksResidency) {
+  EvalCache cache;
+  EXPECT_EQ(cache.approx_bytes(), 0u);
+  const EvalKey key = key_of(base_params(), arch::paper_spec(util::kib(64)),
+                             Objective::kAccesses, AnalyzerOptions{}, {});
+  cache.insert(key, some_estimate(1));
+  const std::uint64_t one = cache.approx_bytes();
+  // At least the key bytes and the stored estimate are accounted for.
+  EXPECT_GE(one, static_cast<std::uint64_t>(key.bytes().size() +
+                                            sizeof(Estimate)));
+  EXPECT_EQ(cache.stats().approx_bytes, one);
+
+  auto params = base_params();
+  params.ifmap_h = 56;
+  cache.insert(key_of(params, arch::paper_spec(util::kib(64)),
+                      Objective::kAccesses, AnalyzerOptions{}, {}),
+               some_estimate(2));
+  EXPECT_GT(cache.approx_bytes(), one);
+
+  cache.clear();
+  EXPECT_EQ(cache.approx_bytes(), 0u);
+}
+
+TEST(EvalCache, ApproxBytesShrinksOnEviction) {
+  EvalCache cache(/*max_entries=*/EvalCache::kShardCount);  // 1 per shard
+  auto params = base_params();
+  std::uint64_t peak = 0;
+  for (int i = 0; i < 256; ++i) {
+    params.ifmap_h = 8 + i;
+    cache.insert(key_of(params, arch::paper_spec(util::kib(64)),
+                        Objective::kAccesses, AnalyzerOptions{}, {}),
+                 some_estimate(static_cast<count_t>(i)));
+    peak = std::max(peak, cache.approx_bytes());
+  }
+  // Evictions release their accounting: residency is bounded by the
+  // capacity-many largest entries, far below 256 un-evicted inserts.
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(cache.approx_bytes(), peak);
+  EXPECT_EQ(stats.approx_bytes, cache.approx_bytes());
+}
+
 // ------------------------------------------------------- key soundness ----
 
 TEST(EvalKey, IdenticalInputsHashIdenticallyAndValueOnly) {

@@ -3,6 +3,8 @@
 // silently wrong network.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "model/parser.hpp"
 
 namespace rainbow::model {
@@ -47,7 +49,46 @@ INSTANTIATE_TEST_SUITE_P(
         // Producer problems.
         "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1, -1\n",
         "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1, 0\n",   // self/forward ref
-        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1, 7\n"));
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1, 7\n",
+        // Wire corruption: a socket upload truncated mid-line must fail
+        // like any other arity error, with or without CRLF endings.
+        "network,",
+        "network, X\nCV, a, 8, 8,",
+        "network, X\r\nCV, a, 8, 8,\r\n",
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\nCV, b, 8",
+        "network, X\r\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\r\nCV, b, 8\r",
+        // Trailing garbage after a valid model.
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\ntrailing garbage\n",
+        "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\n\x7f\x03\x02\n",
+        // Binary bytes spliced into the text (NUL needs the explicit-length
+        // constructor below, so it rides in a control-byte sibling).
+        "network, X\nCV\x01, a, 8, 8, 3, 3, 3, 4, 1, 1\n",
+        "\x02network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\n"));
+
+TEST(ParserFuzz, NulByteRejected) {
+  EXPECT_THROW((void)parse_network(std::string(
+                   "network, X\nCV, a, 8, 8\x00, 3, 3, 3, 4, 1, 1\n", 42)),
+               std::runtime_error);
+}
+
+TEST(ParserFuzz, ControlByteErrorNamesThePhysicalLine) {
+  try {
+    (void)parse_network("network, X\r\n\r\nCV, a, 8, \x015, 3, 3, 3, 4, 1, 1\r\n");
+    FAIL() << "control byte accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("control byte"), std::string::npos);
+  }
+}
+
+TEST(ParserFuzz, TruncationErrorNamesTheLastLine) {
+  try {
+    (void)parse_network("network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\nCV, b");
+    FAIL() << "truncated row accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
 
 class ParserAcceptTest : public ::testing::TestWithParam<const char*> {};
 
@@ -63,6 +104,11 @@ INSTANTIATE_TEST_SUITE_P(
         "  network ,  X  \n CV , a , 8 , 8 , 3 , 3 , 3 , 4 , 1 , 1 \n",
         "# c1\nnetwork, X\n# c2\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1 # c3\n",
         "network, X\r\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\r\n",
+        // Lone-CR endings and mixed terminators (hand-rolled clients).
+        "network, X\rCV, a, 8, 8, 3, 3, 3, 4, 1, 1\r",
+        "network, X\r\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1\n",
+        // CRLF with comments and blank lines interleaved.
+        "# head\r\nnetwork, X\r\n\r\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1 # t\r\n",
         // No trailing newline.
         "network, X\nCV, a, 8, 8, 3, 3, 3, 4, 1, 1",
         // Degenerate but legal shapes.

@@ -1,0 +1,237 @@
+// The rainbowd transport, end to end over real sockets: frame round-trips,
+// hostile peers (garbage magic, oversized frames, half-closed
+// connections), concurrent clients, and graceful shutdown.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace rainbow::serve {
+namespace {
+
+struct TestDaemon {
+  explicit TestDaemon(ServerConfig config = {}, bool preload = true) {
+    service = std::make_unique<PlanningService>(
+        ServiceOptions{/*preload_zoo=*/preload});
+    if (config.unix_path.empty() && config.tcp_port < 0) {
+      config.tcp_port = 0;  // default: ephemeral loopback TCP
+    }
+    config.threads = 4;
+    server = std::make_unique<Server>(*service, config);
+    server->start();
+  }
+  ~TestDaemon() {
+    if (server) {
+      server->stop();
+    }
+  }
+  [[nodiscard]] Client connect() const {
+    return server->port() >= 0
+               ? Client::connect_tcp(server->port())
+               : Client::connect_unix(server->unix_path());
+  }
+  std::unique_ptr<PlanningService> service;
+  std::unique_ptr<Server> server;
+};
+
+int raw_connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+Request plan_request(const std::string& model) {
+  Request request;
+  request.verb = "plan";
+  request.headers["model"] = model;
+  return request;
+}
+
+TEST(Server, PingOverTcp) {
+  TestDaemon daemon({}, /*preload=*/false);
+  Client client = daemon.connect();
+  Request ping;
+  ping.verb = "ping";
+  const Response pong = client.call_ok(ping);
+  EXPECT_EQ(pong.get("server"), "rainbowd");
+}
+
+TEST(Server, PingOverUnixSocket) {
+  ServerConfig config;
+  config.unix_path = testing::TempDir() + "serve_server_test.sock";
+  TestDaemon daemon(config, /*preload=*/false);
+  Client client = Client::connect_unix(config.unix_path);
+  Request ping;
+  ping.verb = "ping";
+  EXPECT_TRUE(client.call_ok(ping).ok);
+}
+
+TEST(Server, PlanAndMultipleRequestsPerConnection) {
+  TestDaemon daemon;
+  Client client = daemon.connect();
+  const Response first = client.call_ok(plan_request("resnet18"));
+  EXPECT_FALSE(first.body.empty());
+  // Same connection, more requests: warm re-plan is byte-identical, and
+  // an error response leaves the connection usable.
+  const Response second = client.call_ok(plan_request("resnet18"));
+  EXPECT_EQ(second.body, first.body);
+  const Response bad = client.call(plan_request("nosuchmodel"));
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(client.call_ok(plan_request("resnet18")).body, first.body);
+}
+
+TEST(Server, GarbageMagicClosesOnlyThatConnection) {
+  TestDaemon daemon({}, /*preload=*/false);
+  const int fd = raw_connect(daemon.server->port());
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage) - 1, 0),
+            static_cast<ssize_t>(sizeof(garbage) - 1));
+  // The daemon drops the connection without replying: clean FIN, or RST
+  // when our unread extra bytes were still queued at close time.
+  char byte = 0;
+  EXPECT_LE(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  // ...and keeps serving everyone else.
+  Client client = daemon.connect();
+  Request ping;
+  ping.verb = "ping";
+  EXPECT_TRUE(client.call_ok(ping).ok);
+}
+
+TEST(Server, OversizedFrameRejected) {
+  ServerConfig config;
+  config.max_frame_bytes = 1024;
+  TestDaemon daemon(config, /*preload=*/false);
+  const int fd = raw_connect(daemon.server->port());
+  // A valid header announcing 2 MB: over the configured bound, so the
+  // server must drop the connection instead of allocating.
+  char header[8];
+  std::memcpy(header, kMagic, 4);
+  const std::uint32_t length = 2u * 1024 * 1024;
+  std::memcpy(header + 4, &length, 4);
+  ASSERT_EQ(::send(fd, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+}
+
+TEST(Server, TruncatedFrameDropped) {
+  TestDaemon daemon({}, /*preload=*/false);
+  {
+    const int fd = raw_connect(daemon.server->port());
+    // Announce 100 payload bytes, deliver 3, then half-close.
+    char header[8];
+    std::memcpy(header, kMagic, 4);
+    const std::uint32_t length = 100;
+    std::memcpy(header + 4, &length, 4);
+    ASSERT_EQ(::send(fd, header, sizeof(header), 0),
+              static_cast<ssize_t>(sizeof(header)));
+    ASSERT_EQ(::send(fd, "abc", 3, 0), 3);
+    ::shutdown(fd, SHUT_WR);
+    char byte = 0;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+    ::close(fd);
+  }
+  Client client = daemon.connect();
+  Request ping;
+  ping.verb = "ping";
+  EXPECT_TRUE(client.call_ok(ping).ok);
+}
+
+TEST(Server, ConcurrentClientsGetIdenticalPlans) {
+  TestDaemon daemon;
+  // One reference plan, then 8 clients x 4 requests hammering the same
+  // and different models concurrently.
+  Client reference_client = daemon.connect();
+  const std::string reference =
+      reference_client.call_ok(plan_request("mobilenet")).body;
+  ASSERT_FALSE(reference.empty());
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        Client client = daemon.connect();
+        for (int k = 0; k < 4; ++k) {
+          const Response response =
+              client.call_ok(plan_request("mobilenet"));
+          if (response.body != reference) {
+            failures[c] = "plan bytes diverged";
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (const std::string& failure : failures) {
+    EXPECT_EQ(failure, "");
+  }
+}
+
+TEST(Server, ShutdownVerbDrainsAndStops) {
+  TestDaemon daemon;
+  Client client = daemon.connect();
+  ASSERT_FALSE(client.call_ok(plan_request("resnet18")).body.empty());
+  Request shutdown_request;
+  shutdown_request.verb = "shutdown";
+  const Response ack = client.call_ok(shutdown_request);
+  EXPECT_EQ(ack.get("stopping"), "1");
+  const std::uint64_t served = daemon.server->wait();
+  EXPECT_GE(served, 2u);  // the plan + the shutdown ack
+  daemon.server.reset();
+  daemon.service.reset();
+}
+
+TEST(Server, RequestStopUnblocksIdleConnections) {
+  TestDaemon daemon({}, /*preload=*/false);
+  // An idle client parked in recv() must not hang shutdown.
+  Client idle = daemon.connect();
+  Request ping;
+  ping.verb = "ping";
+  ASSERT_TRUE(idle.call_ok(ping).ok);
+  daemon.server->request_stop();
+  const std::uint64_t served = daemon.server->stop();
+  EXPECT_EQ(served, 1u);
+}
+
+TEST(Server, ServesManySequentialConnections) {
+  TestDaemon daemon({}, /*preload=*/false);
+  Request ping;
+  ping.verb = "ping";
+  // Churn through short-lived connections: the acceptor must reap
+  // finished connection threads rather than accumulate them.
+  for (int i = 0; i < 32; ++i) {
+    Client client = daemon.connect();
+    ASSERT_TRUE(client.call_ok(ping).ok);
+  }
+  EXPECT_EQ(daemon.server->stop(), 32u);
+}
+
+}  // namespace
+}  // namespace rainbow::serve

@@ -1,0 +1,241 @@
+// Concurrency stress for the serving stack (run under TSan via the
+// `concurrency` label): many threads planning the same and different zoo
+// models through one shared MemoryManager + EvalCache, and through one
+// PlanningService — plans must stay byte-identical to the single-threaded
+// reference, cache counters must balance (no lost updates), and
+// single-flight must never hand different bytes to coalesced requests.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/eval_cache.hpp"
+#include "core/manager.hpp"
+#include "core/plan_io.hpp"
+#include "model/parser.hpp"
+#include "model/zoo/zoo.hpp"
+#include "serve/service.hpp"
+
+namespace rainbow::serve {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kItersPerThread = 3;
+
+void expect_balanced(const core::EvalCacheStats& stats) {
+  // The cache's counter invariants: any violation means an update was
+  // lost in a race.
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.inserts - stats.evictions, stats.entries);
+}
+
+TEST(ServeStress, SharedManagerAndCacheYieldIdenticalPlans) {
+  const arch::AcceleratorSpec spec = arch::paper_spec(64 * 1024);
+  // Single-threaded references, one cold manager each.
+  std::map<std::string, std::string> references;
+  for (const std::string& name : model::zoo::model_names()) {
+    core::ManagerOptions options;
+    options.analyzer.eval_cache = std::make_shared<core::EvalCache>();
+    const core::MemoryManager manager(spec, options);
+    references[name] = core::serialize_plan(
+        manager.plan(model::zoo::by_name(name), core::Objective::kAccesses));
+  }
+
+  // One manager + one cache shared by every thread; each thread walks the
+  // zoo from a different offset so the same model is planned concurrently
+  // by several threads while others plan different models.
+  core::ManagerOptions options;
+  const auto cache = std::make_shared<core::EvalCache>();
+  options.analyzer.eval_cache = cache;
+  const core::MemoryManager manager(spec, options);
+  const std::vector<std::string> names = model::zoo::model_names();
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kItersPerThread; ++k) {
+        const std::string& name =
+            names[static_cast<std::size_t>(t + k) % names.size()];
+        const std::string got = core::serialize_plan(manager.plan(
+            model::zoo::by_name(name), core::Objective::kAccesses));
+        if (got != references[name]) {
+          failures[t] = name + ": plan diverged under shared cache";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (const std::string& failure : failures) {
+    EXPECT_EQ(failure, "");
+  }
+  const core::EvalCacheStats stats = cache->stats();
+  expect_balanced(stats);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.approx_bytes, cache->approx_bytes());
+}
+
+TEST(ServeStress, ServiceSingleFlightKeepsResponsesIdentical) {
+  PlanningService service({/*preload_zoo=*/true});
+  Request request;
+  request.verb = "plan";
+  request.headers["model"] = "resnet18";
+
+  // Reference from a quiet service call.
+  const Response reference = service.handle(request);
+  ASSERT_TRUE(reference.ok) << reference.get("message");
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kItersPerThread; ++k) {
+        const Response response = service.handle(request);
+        if (!response.ok) {
+          failures[t] = response.get("message");
+          return;
+        }
+        if (response.body != reference.body) {
+          failures[t] = "coalesced response bytes diverged";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (const std::string& failure : failures) {
+    EXPECT_EQ(failure, "");
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_requests,
+            static_cast<std::uint64_t>(kThreads * kItersPerThread + 1));
+  EXPECT_EQ(stats.errors, 0u);
+  // Every plan request was answered: owners + coalesced followers account
+  // for all of them (coalesced may be zero on a fast machine, never
+  // negative or over-counted).
+  EXPECT_LE(stats.coalesced, stats.plan_requests);
+}
+
+TEST(ServeStress, MixedVerbsAgainstOneService) {
+  PlanningService service({/*preload_zoo=*/true});
+  const std::vector<std::string> names = model::zoo::model_names();
+
+  // Per-model references computed through the service itself, serially.
+  std::map<std::string, std::string> references;
+  for (const std::string& name : names) {
+    Request request;
+    request.verb = "plan";
+    request.headers["model"] = name;
+    request.headers["objective"] = "latency";
+    const Response response = service.handle(request);
+    ASSERT_TRUE(response.ok) << response.get("message");
+    references[name] = response.body;
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kItersPerThread; ++k) {
+        const std::string& name =
+            names[static_cast<std::size_t>(t + k) % names.size()];
+        Request plan;
+        plan.verb = "plan";
+        plan.headers["model"] = name;
+        plan.headers["objective"] = "latency";
+        const Response planned = service.handle(plan);
+        if (!planned.ok || planned.body != references[name]) {
+          failures[t] = name + ": plan diverged";
+          return;
+        }
+        Request stats;
+        stats.verb = "stats";
+        if (!service.handle(stats).ok) {
+          failures[t] = "stats failed";
+          return;
+        }
+        Request list;
+        list.verb = "list";
+        if (!service.handle(list).ok) {
+          failures[t] = "list failed";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (const std::string& failure : failures) {
+    EXPECT_EQ(failure, "");
+  }
+  // Per-model cache counters must balance after the hammering.
+  for (const RegistrySnapshotRow& row : service.registry().snapshot()) {
+    expect_balanced(row.cache);
+  }
+  EXPECT_EQ(service.stats().errors, 0u);
+}
+
+TEST(ServeStress, ConcurrentUploadEvictAndPlan) {
+  PlanningService service({/*preload_zoo=*/true});
+  const std::string body =
+      model::serialize_network(model::zoo::by_name("mobilenet"));
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(4);
+  // Two threads continuously replace/evict a scratch model while two plan
+  // a stable one: registry churn must never corrupt unrelated planning.
+  Request plan;
+  plan.verb = "plan";
+  plan.headers["model"] = "resnet18";
+  const Response reference = service.handle(plan);
+  ASSERT_TRUE(reference.ok);
+
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < 8; ++k) {
+        Request upload;
+        upload.verb = "upload";
+        upload.headers["name"] = "scratch";
+        upload.headers["replace"] = "1";
+        upload.body = body;
+        if (!service.handle(upload).ok) {
+          failures[t] = "upload failed";
+          return;
+        }
+        Request evict;
+        evict.verb = "evict";
+        evict.headers["model"] = "scratch";
+        service.handle(evict);  // may race the other evictor; both fine
+      }
+    });
+  }
+  for (int t = 2; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < 8; ++k) {
+        const Response response = service.handle(plan);
+        if (!response.ok || response.body != reference.body) {
+          failures[t] = "plan diverged during registry churn";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (const std::string& failure : failures) {
+    EXPECT_EQ(failure, "");
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::serve

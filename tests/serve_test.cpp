@@ -1,0 +1,377 @@
+// Planning-as-a-service, transport-free: protocol encode/decode contracts,
+// registry semantics, and the service's headline guarantee — a daemon plan
+// is byte-identical to the one-shot planner for every zoo model, both
+// objectives, both schemes, and passes the validator and stream analyzer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/eval_cache.hpp"
+#include "core/manager.hpp"
+#include "core/plan_io.hpp"
+#include "model/parser.hpp"
+#include "model/zoo/zoo.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+
+namespace rainbow::serve {
+namespace {
+
+// ------------------------------------------------------------ protocol ----
+
+TEST(Protocol, RequestRoundTrip) {
+  Request request;
+  request.verb = "plan";
+  request.headers["model"] = "resnet18";
+  request.headers["glb_kb"] = "64";
+  request.body = "not, a, real, model\n";
+  const Request decoded = decode_request(encode_request(request));
+  EXPECT_EQ(decoded.verb, "plan");
+  EXPECT_EQ(decoded.headers, request.headers);
+  EXPECT_EQ(decoded.body, request.body);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  Response response;
+  response.headers["layers"] = "21";
+  response.body = "plan text\nwith lines\n";
+  const Response decoded = decode_response(encode_response(response));
+  EXPECT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.headers, response.headers);
+  EXPECT_EQ(decoded.body, response.body);
+
+  const Response err = decode_response(encode_response(
+      Response::error("it broke")));
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.get("message"), "it broke");
+}
+
+TEST(Protocol, EmptyBodyAndEmptyHeaders) {
+  Request request;
+  request.verb = "ping";
+  const Request decoded = decode_request(encode_request(request));
+  EXPECT_EQ(decoded.verb, "ping");
+  EXPECT_TRUE(decoded.headers.empty());
+  EXPECT_TRUE(decoded.body.empty());
+}
+
+TEST(Protocol, DecodeRejectsMalformedPayloads) {
+  EXPECT_THROW(decode_request(""), std::runtime_error);
+  EXPECT_THROW(decode_request("ping"), std::runtime_error);  // no newline
+  EXPECT_THROW(decode_request("ping\n"), std::runtime_error);  // no blank
+  EXPECT_THROW(decode_request("PING\n\n"), std::runtime_error);  // case
+  EXPECT_THROW(decode_request("pl an\n\n"), std::runtime_error);
+  EXPECT_THROW(decode_request("plan\nnospacehere\n\n"), std::runtime_error);
+  EXPECT_THROW(decode_request("plan\n key value\n\n"), std::runtime_error);
+  EXPECT_THROW(decode_request("plan\nmodel a\nmodel b\n\n"),
+               std::runtime_error);  // duplicate header
+  EXPECT_THROW(decode_response("maybe\n\n"), std::runtime_error);
+}
+
+TEST(Protocol, EncodeRejectsUnencodableMessages) {
+  Request request;
+  request.verb = "Plan";  // tokens are lowercase
+  EXPECT_THROW(encode_request(request), std::runtime_error);
+  request.verb = "plan";
+  request.headers["model"] = "two\nlines";
+  EXPECT_THROW(encode_request(request), std::runtime_error);
+}
+
+TEST(Protocol, TokenPredicate) {
+  EXPECT_TRUE(is_token("plan"));
+  EXPECT_TRUE(is_token("upload_spec"));
+  EXPECT_TRUE(is_token("a1_2"));
+  EXPECT_FALSE(is_token(""));
+  EXPECT_FALSE(is_token("Plan"));
+  EXPECT_FALSE(is_token("with space"));
+  EXPECT_FALSE(is_token("dash-ed"));
+  EXPECT_FALSE(is_token(std::string(65, 'a')));
+}
+
+// ------------------------------------------------------------ registry ----
+
+TEST(Registry, RegisterFindEvict) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.find("resnet18"), nullptr);
+  EXPECT_TRUE(registry.register_model("MyNet",
+                                      model::zoo::by_name("resnet18")));
+  EXPECT_EQ(registry.size(), 1u);
+  // Names are canonicalized to lowercase on every API path.
+  const auto entry = registry.find("MYNET");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->network.size(), model::zoo::by_name("resnet18").size());
+  EXPECT_FALSE(entry->builtin);
+  EXPECT_EQ(registry.names(), std::vector<std::string>{"mynet"});
+  EXPECT_TRUE(registry.evict("MyNet"));
+  EXPECT_FALSE(registry.evict("mynet"));
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Registry, ReplaceSemantics) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.register_model("m", model::zoo::by_name("resnet18")));
+  const auto before = registry.find("m");
+  // Same name without replace: refused, entry untouched.
+  EXPECT_FALSE(registry.register_model("m",
+                                       model::zoo::by_name("mobilenet")));
+  EXPECT_EQ(registry.find("m"), before);
+  // With replace: swapped, and the cache is a fresh object.
+  EXPECT_TRUE(registry.register_model("m", model::zoo::by_name("mobilenet"),
+                                      false, /*replace=*/true));
+  const auto after = registry.find("m");
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after, before);
+  EXPECT_NE(after->cache, before->cache);
+  EXPECT_EQ(after->network.size(), model::zoo::by_name("mobilenet").size());
+}
+
+TEST(Registry, EvictedEntryStaysValid) {
+  ModelRegistry registry;
+  registry.register_model("m", model::zoo::by_name("resnet18"));
+  const auto held = registry.find("m");
+  ASSERT_NE(held, nullptr);
+  EXPECT_TRUE(registry.evict("m"));
+  // A request that resolved the entry before eviction keeps planning
+  // against it.
+  EXPECT_EQ(held->network.size(), model::zoo::by_name("resnet18").size());
+  EXPECT_NE(held->cache, nullptr);
+}
+
+TEST(Registry, PreloadZooAndCacheBytes) {
+  ModelRegistry registry;
+  registry.preload_zoo();
+  EXPECT_EQ(registry.size(), model::zoo::model_names().size());
+  for (const RegistrySnapshotRow& row : registry.snapshot()) {
+    EXPECT_TRUE(row.builtin);
+    EXPECT_EQ(row.plans_served, 0u);
+  }
+  EXPECT_EQ(registry.cache_bytes(), 0u);  // nothing planned yet
+}
+
+TEST(Registry, SpecRegistration) {
+  ModelRegistry registry;
+  EXPECT_TRUE(registry.register_spec("Edge", arch::paper_spec(64 * 1024)));
+  EXPECT_FALSE(registry.register_spec("edge", arch::paper_spec(64 * 1024)));
+  ASSERT_NE(registry.find_spec("EDGE"), nullptr);
+  EXPECT_EQ(registry.find_spec("edge")->spec.glb_bytes, 64 * 1024);
+  EXPECT_EQ(registry.spec_names(), std::vector<std::string>{"edge"});
+  EXPECT_TRUE(registry.evict_spec("edge"));
+  EXPECT_EQ(registry.find_spec("edge"), nullptr);
+}
+
+// ------------------------------------------------------------- service ----
+
+Request plan_request(const std::string& model, const std::string& objective,
+                     const std::string& scheme) {
+  Request request;
+  request.verb = "plan";
+  request.headers["model"] = model;
+  request.headers["objective"] = objective;
+  request.headers["scheme"] = scheme;
+  return request;
+}
+
+TEST(Service, PingAndUnknownVerb) {
+  PlanningService service;
+  Request ping;
+  ping.verb = "ping";
+  const Response pong = service.handle(ping);
+  EXPECT_TRUE(pong.ok);
+  EXPECT_EQ(pong.get("server"), "rainbowd");
+
+  Request bogus;
+  bogus.verb = "frobnicate";
+  EXPECT_FALSE(service.handle(bogus).ok);
+  EXPECT_EQ(service.stats().errors, 1u);
+}
+
+TEST(Service, UploadListEvict) {
+  PlanningService service;
+  Request upload;
+  upload.verb = "upload";
+  upload.body = model::serialize_network(model::zoo::by_name("mobilenet"));
+  Response response = service.handle(upload);
+  ASSERT_TRUE(response.ok) << response.get("message");
+  // Name defaults to the network's own name, lowercased.
+  EXPECT_EQ(response.get("model"), "mobilenet");
+
+  // Re-upload without replace: refused; with replace: accepted.
+  EXPECT_FALSE(service.handle(upload).ok);
+  upload.headers["replace"] = "1";
+  EXPECT_TRUE(service.handle(upload).ok);
+
+  Request list;
+  list.verb = "list";
+  response = service.handle(list);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.get("models"), "1");
+  EXPECT_NE(response.body.find("model, mobilenet"), std::string::npos);
+
+  Request evict;
+  evict.verb = "evict";
+  evict.headers["model"] = "mobilenet";
+  EXPECT_TRUE(service.handle(evict).ok);
+  EXPECT_FALSE(service.handle(evict).ok);  // already gone
+}
+
+TEST(Service, UploadRejectsGarbage) {
+  PlanningService service;
+  Request upload;
+  upload.verb = "upload";
+  upload.body = "network, X\nCV, conv, not-a-number\n";
+  const Response response = service.handle(upload);
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.get("message").find("line"), std::string::npos);
+  EXPECT_EQ(service.registry().size(), 0u);
+}
+
+TEST(Service, PlanUnknownModel) {
+  PlanningService service;
+  const Response response =
+      service.handle(plan_request("nosuch", "accesses", "het"));
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.get("message").find("unknown model"),
+            std::string::npos);
+}
+
+TEST(Service, PlanRejectsBadHeaders) {
+  PlanningService service({/*preload_zoo=*/true});
+  EXPECT_FALSE(
+      service.handle(plan_request("resnet18", "speed", "het")).ok);
+  EXPECT_FALSE(
+      service.handle(plan_request("resnet18", "accesses", "magic")).ok);
+  Request bad_spec = plan_request("resnet18", "accesses", "het");
+  bad_spec.headers["spec"] = "nosuchspec";
+  EXPECT_FALSE(service.handle(bad_spec).ok);
+  Request bad_bool = plan_request("resnet18", "accesses", "het");
+  bad_bool.headers["interlayer"] = "maybe";
+  EXPECT_FALSE(service.handle(bad_bool).ok);
+}
+
+// The headline guarantee: daemon plan bytes == one-shot planner bytes,
+// for every zoo model x objective x scheme, on both a cold and a warm
+// cache — and with validate+analyze gates on, the daemon's own validator
+// and stream-analyzer passes are clean.
+TEST(Service, PlanBytesMatchOneShotPlanner) {
+  PlanningService service({/*preload_zoo=*/true});
+  const arch::AcceleratorSpec spec = arch::paper_spec(64 * 1024);
+  for (const std::string& name : model::zoo::model_names()) {
+    const model::Network net = model::zoo::by_name(name);
+    for (const std::string& objective : {"accesses", "latency"}) {
+      for (const std::string& scheme : {"het", "hom"}) {
+        core::ManagerOptions options;
+        options.analyzer.eval_cache = std::make_shared<core::EvalCache>();
+        const core::MemoryManager manager(spec, options);
+        const core::Objective obj = objective == "latency"
+                                        ? core::Objective::kLatency
+                                        : core::Objective::kAccesses;
+        const core::ExecutionPlan reference =
+            scheme == "hom" ? manager.plan_homogeneous(net, obj)
+                            : manager.plan(net, obj);
+        const std::string expected = core::serialize_plan(reference);
+
+        Request request = plan_request(name, objective, scheme);
+        request.headers["validate"] = "1";
+        request.headers["analyze"] = "1";
+        const Response cold = service.handle(request);
+        ASSERT_TRUE(cold.ok) << name << ": " << cold.get("message");
+        EXPECT_EQ(cold.body, expected)
+            << name << " " << objective << " " << scheme;
+        // Warm re-plan: same bytes out of a now-populated cache.
+        const Response warm = service.handle(request);
+        ASSERT_TRUE(warm.ok);
+        EXPECT_EQ(warm.body, expected);
+      }
+    }
+  }
+  EXPECT_EQ(service.stats().errors, 0u);
+}
+
+TEST(Service, NamedSpecAndOverridesChangeThePlan) {
+  PlanningService service({/*preload_zoo=*/true});
+  Request upload;
+  upload.verb = "upload_spec";
+  upload.headers["name"] = "big";
+  upload.body = "spec, big\nglb_bytes, 1048576\n";
+  ASSERT_TRUE(service.handle(upload).ok);
+
+  const Response small =
+      service.handle(plan_request("resnet18", "accesses", "het"));
+  Request big_request = plan_request("resnet18", "accesses", "het");
+  big_request.headers["spec"] = "big";
+  const Response big = service.handle(big_request);
+  ASSERT_TRUE(small.ok);
+  ASSERT_TRUE(big.ok);
+  // A 16x larger scratchpad must not produce the identical plan text.
+  EXPECT_NE(small.body, big.body);
+
+  // glb_kb override against the named spec matches the default paper spec
+  // at the same size.
+  big_request.headers["glb_kb"] = "64";
+  const Response overridden = service.handle(big_request);
+  ASSERT_TRUE(overridden.ok);
+  EXPECT_EQ(overridden.body, small.body);
+}
+
+TEST(Service, ValidateAndAnalyzeRoundTrip) {
+  PlanningService service({/*preload_zoo=*/true});
+  const Response planned =
+      service.handle(plan_request("mobilenet", "accesses", "het"));
+  ASSERT_TRUE(planned.ok);
+
+  Request validate;
+  validate.verb = "validate";
+  validate.headers["model"] = "mobilenet";
+  validate.body = planned.body;
+  const Response validated = service.handle(validate);
+  EXPECT_TRUE(validated.ok) << validated.body;
+  EXPECT_EQ(validated.get("errors"), "0");
+
+  Request analyze;
+  analyze.verb = "analyze";
+  analyze.headers["model"] = "mobilenet";
+  analyze.body = planned.body;
+  const Response analyzed = service.handle(analyze);
+  EXPECT_TRUE(analyzed.ok) << analyzed.body;
+  EXPECT_EQ(analyzed.get("errors"), "0");
+
+  // A corrupted plan body fails loudly instead of validating.
+  validate.body = "plan, mobilenet, garbage\n";
+  EXPECT_FALSE(service.handle(validate).ok);
+}
+
+TEST(Service, DseSweepOverGrid) {
+  PlanningService service({/*preload_zoo=*/true});
+  Request request;
+  request.verb = "dse";
+  request.headers["model"] = "resnet18";
+  request.headers["glb_kb"] = "64,128";
+  request.headers["width_bits"] = "8";
+  request.headers["objective"] = "both";
+  const Response response = service.handle(request);
+  ASSERT_TRUE(response.ok) << response.get("message");
+  EXPECT_EQ(response.get("points"), "4");  // 2 sizes x 1 width x 2 objectives
+  EXPECT_NE(response.body.find("glb_kb"), std::string::npos);
+}
+
+TEST(Service, StatsTrackCachesAcrossRequests) {
+  PlanningService service({/*preload_zoo=*/true});
+  const Request request = plan_request("resnet18", "accesses", "het");
+  ASSERT_TRUE(service.handle(request).ok);
+  ASSERT_TRUE(service.handle(request).ok);
+
+  Request stats;
+  stats.verb = "stats";
+  const Response response = service.handle(stats);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.get("plan_requests"), "2");
+  EXPECT_GT(std::stoll(response.get("cache_hits")), 0);
+  EXPECT_GT(std::stoll(response.get("cache_bytes")), 0);
+  EXPECT_NE(response.body.find("resnet18"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rainbow::serve

@@ -1,0 +1,105 @@
+// The accelerator-spec text format: defaults, round-trips, and rejection
+// of the wire-input corruption the rainbowd upload path can deliver.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "arch/spec_io.hpp"
+
+namespace rainbow::arch {
+namespace {
+
+TEST(SpecIo, HeaderOnlyGetsPaperDefaults) {
+  const NamedSpec named = parse_spec("spec, edge\n");
+  EXPECT_EQ(named.name, "edge");
+  EXPECT_EQ(named.spec.pe_rows, 16);
+  EXPECT_EQ(named.spec.pe_cols, 16);
+  EXPECT_EQ(named.spec.ops_per_cycle, 512);
+  EXPECT_EQ(named.spec.data_width_bits, 8);
+  EXPECT_EQ(named.spec.glb_bytes, 256u * 1024u);
+  EXPECT_DOUBLE_EQ(named.spec.dram_bytes_per_cycle, 16.0);
+  EXPECT_DOUBLE_EQ(named.spec.sram_bytes_per_cycle, 0.0);
+}
+
+TEST(SpecIo, AllFieldsParsed) {
+  const NamedSpec named = parse_spec(
+      "# a hand-written spec\n"
+      "spec, big-iron\n"
+      "pe_rows, 32\n"
+      "pe_cols, 8\n"
+      "ops_per_cycle, 1024\n"
+      "data_width_bits, 16\n"
+      "glb_bytes, 1048576\n"
+      "dram_bytes_per_cycle, 32.5\n"
+      "sram_bytes_per_cycle, 64\n");
+  EXPECT_EQ(named.name, "big-iron");
+  EXPECT_EQ(named.spec.pe_rows, 32);
+  EXPECT_EQ(named.spec.pe_cols, 8);
+  EXPECT_EQ(named.spec.ops_per_cycle, 1024);
+  EXPECT_EQ(named.spec.data_width_bits, 16);
+  EXPECT_EQ(named.spec.glb_bytes, 1048576u);
+  EXPECT_DOUBLE_EQ(named.spec.dram_bytes_per_cycle, 32.5);
+  EXPECT_DOUBLE_EQ(named.spec.sram_bytes_per_cycle, 64.0);
+}
+
+TEST(SpecIo, SerializeRoundTrips) {
+  NamedSpec named;
+  named.name = "roundtrip";
+  named.spec = paper_spec(512 * 1024);
+  named.spec.data_width_bits = 16;
+  named.spec.sram_bytes_per_cycle = 128;
+  const NamedSpec reparsed = parse_spec(serialize_spec(named));
+  EXPECT_EQ(reparsed.name, named.name);
+  EXPECT_EQ(serialize_spec(reparsed), serialize_spec(named));
+}
+
+TEST(SpecIo, CrlfAndCommentsAccepted) {
+  const NamedSpec named = parse_spec(
+      "spec, windows\r\n"
+      "glb_bytes, 65536  # trailing comment\r\n");
+  EXPECT_EQ(named.name, "windows");
+  EXPECT_EQ(named.spec.glb_bytes, 65536u);
+}
+
+TEST(SpecIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse_spec(""), std::runtime_error);
+  EXPECT_THROW(parse_spec("glb_bytes, 65536\n"), std::runtime_error);
+  EXPECT_THROW(parse_spec("spec\n"), std::runtime_error);
+  EXPECT_THROW(parse_spec("spec, a\nglb_bytes\n"), std::runtime_error);
+  EXPECT_THROW(parse_spec("spec, a\nglb_bytes, many\n"), std::runtime_error);
+  EXPECT_THROW(parse_spec("spec, a\nglb_bytes, -4\n"), std::runtime_error);
+  EXPECT_THROW(parse_spec("spec, a\nwarp_size, 32\n"), std::runtime_error);
+  EXPECT_THROW(parse_spec("spec, a\npe_rows, 8\npe_rows, 8\n"),
+               std::runtime_error);
+  // Parsed fields must still pass AcceleratorSpec::validate().
+  EXPECT_THROW(parse_spec("spec, a\ndata_width_bits, 7\n"),
+               std::runtime_error);
+}
+
+TEST(SpecIo, RejectsControlBytes) {
+  try {
+    parse_spec(std::string("spec, a\nglb_bytes, 6\x01""5536\n"));
+    FAIL() << "control byte accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("control byte"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SpecIo, FileRoundTrip) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "spec_io_test.spec";
+  NamedSpec named;
+  named.name = "ondisk";
+  named.spec = paper_spec(64 * 1024);
+  save_spec(named, path);
+  const NamedSpec loaded = load_spec(path);
+  EXPECT_EQ(loaded.name, "ondisk");
+  EXPECT_EQ(loaded.spec.glb_bytes, 64u * 1024u);
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_spec(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rainbow::arch

@@ -1,5 +1,5 @@
 // Unit tests for the utility layer: numeric helpers, statistics, table and
-// CSV rendering, and the thread pool.
+// CSV rendering, the wire-hardened line reader, and the thread pool.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -7,8 +7,11 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "util/csv.hpp"
+#include "util/line_reader.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -292,6 +295,90 @@ TEST(ParallelForChunked, EmptyRangeRunsNothing) {
   parallel_for_chunked(0, 8, 4,
                        [&](std::size_t, std::size_t, std::size_t) { ++calls; });
   EXPECT_EQ(calls, 0);
+}
+
+// ----------------------------------------------------------- LineReader ----
+
+std::vector<TextLine> drain(LineReader& reader) {
+  std::vector<TextLine> lines;
+  while (auto line = reader.next()) {
+    lines.push_back(*line);
+  }
+  return lines;
+}
+
+TEST(LineReader, SplitsAllThreeTerminators) {
+  for (const char* text : {"a\nb\nc\n", "a\r\nb\r\nc\r\n", "a\rb\rc\r",
+                           "a\nb\r\nc", "a\rb\nc\r\n"}) {
+    LineReader reader(text);
+    const auto lines = drain(reader);
+    ASSERT_EQ(lines.size(), 3u) << '"' << text << '"';
+    EXPECT_EQ(lines[0].text, "a");
+    EXPECT_EQ(lines[1].text, "b");
+    EXPECT_EQ(lines[2].text, "c");
+    EXPECT_EQ(lines[2].number, 3u);
+  }
+}
+
+TEST(LineReader, PhysicalLineNumbersCountSkippedLines) {
+  LineReader reader("first\n\n# comment only\n   \nsecond\n");
+  const auto lines = drain(reader);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].number, 1u);
+  EXPECT_EQ(lines[1].number, 5u);
+  EXPECT_EQ(lines[1].text, "second");
+}
+
+TEST(LineReader, StripsCommentsToEndOfLine) {
+  LineReader reader("value # trailing\n# full line\nplain\n");
+  const auto lines = drain(reader);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "value ");
+  EXPECT_EQ(lines[1].text, "plain");
+}
+
+TEST(LineReader, OptionsDisableNormalization) {
+  LineReader::Options options;
+  options.strip_comments = false;
+  options.skip_blank = false;
+  LineReader reader("# kept\n\nx\n", options);
+  const auto lines = drain(reader);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].text, "# kept");
+  EXPECT_EQ(lines[1].text, "");
+  EXPECT_EQ(lines[2].text, "x");
+}
+
+TEST(LineReader, RejectsControlBytesWithLineNumber) {
+  LineReader reader("fine\nbad\x01line\n");
+  EXPECT_TRUE(reader.next().has_value());
+  try {
+    (void)reader.next();
+    FAIL() << "control byte accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("0x01"), std::string::npos);
+  }
+  // NUL is rejected too; tab is not.
+  LineReader nul(std::string_view("a\0b\n", 4));
+  EXPECT_THROW((void)nul.next(), std::runtime_error);
+  LineReader tab("a\tb\n");
+  EXPECT_EQ(drain(tab).at(0).text, "a\tb");
+}
+
+TEST(LineReader, LastLineWithoutTerminator) {
+  LineReader reader("a\nb");
+  const auto lines = drain(reader);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1].text, "b");
+  EXPECT_FALSE(reader.next().has_value());  // stays exhausted
+}
+
+TEST(LineReader, EmptyInputYieldsNothing) {
+  LineReader reader("");
+  EXPECT_FALSE(reader.next().has_value());
+  LineReader blank("\n\r\n  \n");
+  EXPECT_FALSE(blank.next().has_value());
 }
 
 }  // namespace

@@ -1,0 +1,200 @@
+// rainbow_client: command-line client for rainbowd (docs/serving.md).
+// Translates flags into protocol headers, sends one request, and prints
+// the response — so every daemon verb is scriptable, and a daemon plan
+// can be diffed byte-for-byte against one-shot rainbow_plan output:
+//
+//   rainbow_client --socket /tmp/rainbowd.sock ping
+//   rainbow_client --socket /tmp/rainbowd.sock upload --file mynet.model
+//   rainbow_client --socket /tmp/rainbowd.sock plan --model resnet18 \
+//       --glb 64 --plan-out daemon.plan
+//   rainbow_client --port 7411 stats
+//   rainbow_client --socket /tmp/rainbowd.sock shutdown
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "serve/client.hpp"
+
+namespace {
+
+using namespace rainbow;
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: " << argv0
+     << " (--socket <path> | --port <N>) <verb> [options]\n"
+     << "verbs:\n"
+     << "  ping                          round-trip check\n"
+     << "  upload --file <x.model>       register a model\n"
+     << "            [--name <n>] [--replace]\n"
+     << "  upload-spec --file <x.spec>   register an accelerator spec\n"
+     << "            [--name <n>] [--replace]\n"
+     << "  list                          registered models and specs\n"
+     << "  evict (--model <n> | --spec <n>)\n"
+     << "  stats                         request + cache statistics\n"
+     << "  plan --model <n> [planning options]\n"
+     << "  dse --model <n> --glb <kb,kb,..> [--widths b,b] [--batches n,n]\n"
+     << "  validate --model <n> --plan <file.plan>\n"
+     << "  analyze --model <n> --plan <file.plan>\n"
+     << "  shutdown                      graceful daemon shutdown\n"
+     << "planning options (mirror rainbow_plan flags):\n"
+     << "  --glb <kB> --width <bits> --batch <N> --objective <o> --hom\n"
+     << "  --interlayer --no-prefetch --no-padding --spec <name>\n"
+     << "  --validate --analyze --plan-out <path>\n";
+  std::exit(code);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct CliOptions {
+  std::string socket_path;
+  int port = -1;
+  serve::Request request;
+  std::optional<std::string> plan_out;
+  bool body_to_stdout = false;  // print the response body verbatim
+};
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  std::string file_path;
+  std::string plan_path;
+  int i = 1;
+  auto next = [&](const char* what) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << what << "\n";
+      usage(argv[0], 2);
+    }
+    return argv[++i];
+  };
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--socket") {
+      opt.socket_path = next("--socket");
+    } else if (flag == "--port") {
+      opt.port = std::atoi(next("--port").c_str());
+    } else if (flag == "--file") {
+      file_path = next("--file");
+    } else if (flag == "--plan") {
+      plan_path = next("--plan");
+    } else if (flag == "--plan-out") {
+      opt.plan_out = next("--plan-out");
+    } else if (flag == "--name") {
+      opt.request.headers["name"] = next("--name");
+    } else if (flag == "--replace") {
+      opt.request.headers["replace"] = "1";
+    } else if (flag == "--model") {
+      opt.request.headers["model"] = next("--model");
+    } else if (flag == "--spec") {
+      opt.request.headers["spec"] = next("--spec");
+    } else if (flag == "--glb") {
+      opt.request.headers["glb_kb"] = next("--glb");
+    } else if (flag == "--width") {
+      opt.request.headers["width_bits"] = next("--width");
+    } else if (flag == "--widths") {
+      opt.request.headers["width_bits"] = next("--widths");
+    } else if (flag == "--batch") {
+      opt.request.headers["batch"] = next("--batch");
+    } else if (flag == "--batches") {
+      opt.request.headers["batch"] = next("--batches");
+    } else if (flag == "--objective") {
+      opt.request.headers["objective"] = next("--objective");
+    } else if (flag == "--hom") {
+      opt.request.headers["scheme"] = "hom";
+    } else if (flag == "--interlayer") {
+      opt.request.headers["interlayer"] = "1";
+    } else if (flag == "--no-prefetch") {
+      opt.request.headers["prefetch"] = "0";
+    } else if (flag == "--no-padding") {
+      opt.request.headers["padded"] = "0";
+    } else if (flag == "--validate") {
+      opt.request.headers["validate"] = "1";
+    } else if (flag == "--analyze") {
+      opt.request.headers["analyze"] = "1";
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0], 0);
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      usage(argv[0], 2);
+    } else if (opt.request.verb.empty()) {
+      opt.request.verb = flag == "upload-spec" ? "upload_spec" : flag;
+    } else {
+      std::cerr << "unexpected argument '" << flag << "'\n";
+      usage(argv[0], 2);
+    }
+  }
+  if (opt.request.verb.empty()) {
+    std::cerr << "a verb is required\n";
+    usage(argv[0], 2);
+  }
+  if (opt.socket_path.empty() && opt.port < 0) {
+    std::cerr << "one of --socket or --port is required\n";
+    usage(argv[0], 2);
+  }
+  if (opt.request.verb == "upload" || opt.request.verb == "upload_spec") {
+    if (file_path.empty()) {
+      std::cerr << opt.request.verb << " needs --file\n";
+      usage(argv[0], 2);
+    }
+    opt.request.body = read_file(file_path);
+  }
+  if (opt.request.verb == "validate" || opt.request.verb == "analyze") {
+    if (plan_path.empty()) {
+      std::cerr << opt.request.verb << " needs --plan\n";
+      usage(argv[0], 2);
+    }
+    opt.request.body = read_file(plan_path);
+  }
+  opt.body_to_stdout = opt.request.verb == "list" ||
+                       opt.request.verb == "stats" ||
+                       opt.request.verb == "dse" ||
+                       (opt.request.verb == "plan" && !opt.plan_out);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions opt = parse(argc, argv);
+    serve::Client client = opt.socket_path.empty()
+                               ? serve::Client::connect_tcp(opt.port)
+                               : serve::Client::connect_unix(opt.socket_path);
+    const serve::Response response = client.call(opt.request);
+    if (!response.ok) {
+      std::cerr << "rainbow_client: " << response.get("message", "error")
+                << '\n';
+      if (!response.body.empty()) {
+        std::cerr << response.body;
+      }
+      return 1;
+    }
+    for (const auto& [key, value] : response.headers) {
+      std::cerr << key << ": " << value << '\n';
+    }
+    if (opt.plan_out) {
+      std::ofstream out(*opt.plan_out, std::ios::binary);
+      if (!out) {
+        std::cerr << "rainbow_client: cannot open " << *opt.plan_out << '\n';
+        return 1;
+      }
+      out << response.body;
+    } else if (opt.body_to_stdout && !response.body.empty()) {
+      std::cout << response.body;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rainbow_client: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

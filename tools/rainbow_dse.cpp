@@ -215,7 +215,8 @@ int main(int argc, char** argv) {
                   << stats.hits << " hits ("
                   << util::fmt(100.0 * stats.hit_rate(), 1) << "%), "
                   << stats.inserts << " inserts, " << stats.evictions
-                  << " evictions\n";
+                  << " evictions, ~" << util::fmt(stats.approx_mb(), 2)
+                  << " MB resident\n";
       } else {
         std::cout << "eval cache: disabled (--no-eval-cache)\n";
       }

@@ -290,7 +290,8 @@ int main(int argc, char** argv) {
                   << stats.hits << " hits ("
                   << util::fmt(100.0 * stats.hit_rate(), 1) << "%), "
                   << stats.inserts << " inserts, " << stats.evictions
-                  << " evictions, " << stats.entries << " resident\n";
+                  << " evictions, " << stats.entries << " resident (~"
+                  << util::fmt(stats.approx_mb(), 2) << " MB)\n";
       } else {
         std::cout << "  cache:     disabled (--no-eval-cache)\n";
       }

@@ -1,0 +1,131 @@
+// rainbowd: resident planning-as-a-service daemon.  Keeps parsed networks
+// and accelerator specs in memory with per-model evaluation caches, so a
+// fleet of clients re-planning the same models pays the parse and analysis
+// cost once instead of per invocation (docs/serving.md).
+//
+//   rainbowd --socket /tmp/rainbowd.sock --preload-zoo
+//   rainbowd --port 0 --threads 8
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace rainbow;
+
+struct CliOptions {
+  std::string socket_path;
+  int port = -1;
+  std::size_t threads = 0;
+  bool preload_zoo = false;
+  std::size_t cache_entries = 1 << 20;
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: " << argv0 << " (--socket <path> | --port <N>) [options]\n"
+     << "  --socket <path>     listen on a unix-domain socket\n"
+     << "  --port <N>          listen on loopback TCP (0 = ephemeral port)\n"
+     << "  --threads <N>       planning workers (default: hardware)\n"
+     << "  --preload-zoo       register every built-in zoo model at start\n"
+     << "  --cache-entries <N> per-model evaluation-cache bound\n"
+     << "                      (default 1048576)\n"
+     << "SIGTERM / SIGINT shut the daemon down gracefully (in-flight\n"
+     << "requests drain first); the 'shutdown' verb does the same.\n";
+  std::exit(code);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        usage(argv[0], 2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--socket") {
+      opt.socket_path = next("--socket");
+    } else if (flag == "--port") {
+      opt.port = std::atoi(next("--port").c_str());
+    } else if (flag == "--threads") {
+      opt.threads = std::strtoull(next("--threads").c_str(), nullptr, 10);
+    } else if (flag == "--preload-zoo") {
+      opt.preload_zoo = true;
+    } else if (flag == "--cache-entries") {
+      opt.cache_entries =
+          std::strtoull(next("--cache-entries").c_str(), nullptr, 10);
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      usage(argv[0], 2);
+    }
+  }
+  if (opt.socket_path.empty() && opt.port < 0) {
+    std::cerr << "one of --socket or --port is required\n";
+    usage(argv[0], 2);
+  }
+  return opt;
+}
+
+serve::Server* g_server = nullptr;
+
+// Async-signal-safe: request_stop() only stores an atomic flag.
+void on_signal(int) {
+  if (g_server != nullptr) {
+    g_server->request_stop();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+  try {
+    serve::ServiceOptions service_options;
+    service_options.preload_zoo = opt.preload_zoo;
+    service_options.cache_entries = opt.cache_entries;
+    serve::PlanningService service(service_options);
+
+    serve::ServerConfig config;
+    config.unix_path = opt.socket_path;
+    config.tcp_port = opt.port;
+    config.threads = opt.threads;
+    serve::Server server(service, config);
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    server.start();
+    if (!opt.socket_path.empty()) {
+      std::cout << "rainbowd: listening on unix " << opt.socket_path
+                << std::endl;
+    } else {
+      std::cout << "rainbowd: listening on tcp port " << server.port()
+                << std::endl;
+    }
+    if (opt.preload_zoo) {
+      std::cout << "rainbowd: preloaded " << service.registry().size()
+                << " zoo models" << std::endl;
+    }
+
+    const std::uint64_t served = server.wait();
+    g_server = nullptr;
+    const serve::ServiceStats stats = service.stats();
+    std::cout << "rainbowd: served " << served << " requests ("
+              << stats.plan_requests << " plans, " << stats.coalesced
+              << " coalesced, " << stats.errors << " errors)" << std::endl;
+  } catch (const std::exception& e) {
+    std::cerr << "rainbowd: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
