@@ -9,6 +9,7 @@
 //   bench_serve --socket /tmp/rainbowd.sock --smoke   # CI smoke driver
 //   bench_serve --rate 200              # open-loop at 200 plans/sec
 #include <algorithm>
+#include <barrier>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -192,6 +193,7 @@ struct LevelResult {
   double p99_ms = 0.0;
   double cache_hit_rate = 0.0;
   long long coalesced = 0;
+  double scaling_vs_1 = 0.0;  ///< plans/sec relative to the 1-client level
 };
 
 LevelResult run_level(const Target& target, int clients, int requests,
@@ -280,6 +282,88 @@ LevelResult run_level(const Target& target, int clients, int requests,
   stats_request.verb = "stats";
   const serve::Response stats = stats_client.call_ok(stats_request);
   result.cache_hit_rate = std::atof(stats.get("cache_hit_rate").c_str());
+  return result;
+}
+
+/// Open-loop thundering-herd round: `clients` threads release the
+/// *identical* plan request simultaneously (a barrier lines them up), and
+/// a fresh glb_kb per round makes every round a cold plan.  This is the
+/// collision pattern the staggered closed-loop mix almost never produces,
+/// and it is exactly what single-flight coalescing exists for: one thread
+/// computes, the rest wait on the shared future and report coalesced=1.
+LevelResult run_burst(const Target& target, int clients, int rounds) {
+  std::vector<double> latencies_ms;
+  std::mutex latencies_mutex;
+  long long coalesced = 0;
+  std::string first_error;
+  std::barrier sync(clients);
+
+  std::vector<std::thread> threads;
+  const Clock::time_point start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      std::vector<double> local_ms;
+      local_ms.reserve(static_cast<std::size_t>(rounds));
+      long long local_coalesced = 0;
+      try {
+        serve::Client client = target.connect();
+        for (int r = 0; r < rounds; ++r) {
+          serve::Request request = plan_request({"resnet18", "accesses"});
+          // Unseen GLB size => cold eval-cache key => the burst actually
+          // races on one in-flight computation instead of a warm hit.
+          request.headers["glb_kb"] = std::to_string(1024 + r);
+          // Validation + analysis stretch the cold computation across
+          // several scheduler timeslices, so follower threads reliably
+          // arrive while the leader is still planning — even on a
+          // one-core box where overlap otherwise depends on preemption
+          // luck.
+          request.headers["validate"] = "1";
+          request.headers["analyze"] = "1";
+          sync.arrive_and_wait();
+          const Clock::time_point issue = Clock::now();
+          const serve::Response response = client.call_ok(request);
+          const std::chrono::duration<double, std::milli> took =
+              Clock::now() - issue;
+          local_ms.push_back(took.count());
+          if (response.get("coalesced") == "1") {
+            ++local_coalesced;
+          }
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard lock(latencies_mutex);
+        if (first_error.empty()) {
+          first_error = e.what();
+        }
+        // Keep the barrier from deadlocking the other clients.
+        sync.arrive_and_drop();
+        return;
+      }
+      std::lock_guard lock(latencies_mutex);
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+      coalesced += local_coalesced;
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  if (!first_error.empty()) {
+    throw std::runtime_error("burst client failed: " + first_error);
+  }
+  const std::chrono::duration<double> wall = Clock::now() - start;
+
+  LevelResult result;
+  result.clients = clients;
+  result.requests = static_cast<int>(latencies_ms.size());
+  result.wall_s = wall.count();
+  result.plans_per_sec =
+      wall.count() > 0.0
+          ? static_cast<double>(latencies_ms.size()) / wall.count()
+          : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = percentile(latencies_ms, 0.50);
+  result.p99_ms = percentile(latencies_ms, 0.99);
+  result.coalesced = coalesced;
   return result;
 }
 
@@ -372,14 +456,49 @@ int run_smoke(const Target& target) {
     std::cerr << "bench_serve: daemon-wide cache hits are zero\n";
     return 1;
   }
-  std::cout << "bench_serve: smoke ok (" << model::zoo::model_names().size()
-            << " models, hit rate " << response.get("cache_hit_rate")
-            << ")\n";
+
+  // Thundering herd: concurrent identical cold plans must collapse onto
+  // one in-flight computation.  Eight rounds of eight clients give the
+  // scheduler plenty of chances to overlap even on a loaded CI box; zero
+  // coalesced responses across all of them means single-flight is broken.
+  const LevelResult burst = run_burst(target, /*clients=*/8, /*rounds=*/8);
+  if (burst.coalesced <= 0) {
+    std::cerr << "bench_serve: burst of identical cold plans never "
+                 "coalesced (" << burst.requests << " requests)\n";
+    return 1;
+  }
+
+  // Scaling: 16 concurrent clients must not plan slower than one.  Short
+  // smoke runs on a loaded (or one-core) box are noisy, so the gate takes
+  // the best of two attempts; 0.9 absorbs residual timer jitter.  A real
+  // concurrency regression — a lock the request path serializes on —
+  // fails both attempts by a wide margin.
+  double scaling = 0.0;
+  for (int attempt = 0; attempt < 2 && scaling < 0.9; ++attempt) {
+    const LevelResult one = run_level(target, 1, /*requests=*/240, 0.0);
+    const LevelResult many = run_level(target, 16, /*requests=*/240, 0.0);
+    if (one.plans_per_sec > 0.0) {
+      scaling = std::max(scaling, many.plans_per_sec / one.plans_per_sec);
+    }
+  }
+  if (scaling < 0.9) {
+    std::cerr << "bench_serve: throughput regressed under concurrency: "
+              << "16 clients reached only " << scaling
+              << "x of single-client plans/sec\n";
+    return 1;
+  }
+
+  std::printf("bench_serve: smoke ok (%zu models, hit rate %s, burst "
+              "coalesced %lld/%d, 16-client scaling %.2fx)\n",
+              model::zoo::model_names().size(),
+              response.get("cache_hit_rate").c_str(), burst.coalesced,
+              burst.requests, scaling);
   return 0;
 }
 
 void write_json(const std::string& path, const CliOptions& opt,
-                const std::vector<LevelResult>& levels, double cold_ms,
+                const std::vector<LevelResult>& levels,
+                const LevelResult& burst, double cold_ms,
                 std::optional<double> cold_exec_ms, double warm_p50_ms) {
   std::ofstream out(path);
   if (!out) {
@@ -393,6 +512,11 @@ void write_json(const std::string& path, const CliOptions& opt,
       << "\",\n";
   out << "  \"models\": " << model::zoo::model_names().size()
       << ",\n  \"objectives\": 2,\n";
+  // Scaling numbers only mean something relative to the host: on a single
+  // hardware thread the clients, the event loop, and the planning workers
+  // all share one core, so level ordering is scheduler noise.
+  out << "  \"host_hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
   std::snprintf(buffer, sizeof(buffer),
                 "  \"cold_plan_ms_in_process\": %.3f,\n", cold_ms);
   out << buffer;
@@ -416,13 +540,21 @@ void write_json(const std::string& path, const CliOptions& opt,
                   "    {\"clients\": %d, \"requests\": %d, "
                   "\"plans_per_sec\": %.1f, \"p50_ms\": %.3f, "
                   "\"p99_ms\": %.3f, \"cache_hit_rate\": %.4f, "
-                  "\"coalesced\": %lld}%s\n",
+                  "\"coalesced\": %lld, \"scaling_vs_1\": %.2f}%s\n",
                   r.clients, r.requests, r.plans_per_sec, r.p50_ms, r.p99_ms,
-                  r.cache_hit_rate, r.coalesced,
+                  r.cache_hit_rate, r.coalesced, r.scaling_vs_1,
                   i + 1 < levels.size() ? "," : "");
     out << buffer;
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"burst\": {\"clients\": %d, \"requests\": %d, "
+                "\"plans_per_sec\": %.1f, \"p50_ms\": %.3f, "
+                "\"p99_ms\": %.3f, \"coalesced\": %lld}\n",
+                burst.clients, burst.requests, burst.plans_per_sec,
+                burst.p50_ms, burst.p99_ms, burst.coalesced);
+  out << buffer;
+  out << "}\n";
 }
 
 }  // namespace
@@ -433,7 +565,15 @@ int main(int argc, char** argv) {
     std::unique_ptr<InProcessDaemon> daemon;
     Target target{opt.socket_path, opt.port};
     if (opt.socket_path.empty() && opt.port < 0) {
-      daemon = std::make_unique<InProcessDaemon>(opt.threads);
+      // The burst level needs at least two planning workers to overlap
+      // (with one worker the herd serializes and nothing ever coalesces),
+      // so the in-process default floors hardware_concurrency at 4.
+      const std::size_t workers =
+          opt.threads != 0
+              ? opt.threads
+              : std::max<std::size_t>(
+                    4, std::thread::hardware_concurrency());
+      daemon = std::make_unique<InProcessDaemon>(workers);
       target.port = daemon->server->port();
     }
 
@@ -458,26 +598,44 @@ int main(int argc, char** argv) {
 
     std::vector<LevelResult> levels;
     double warm_p50_single = 0.0;
+    double single_plans_per_sec = 0.0;
     std::cout << "bench_serve: "
               << (opt.socket_path.empty() && opt.port < 0 ? "in-process"
                                                           : "external")
               << " daemon, " << work_mix().size() << "-item mix, "
               << opt.requests << " plans per level\n";
-    std::cout << "clients  plans/sec   p50 ms   p99 ms  hit-rate  coalesced\n";
+    std::cout << "clients  plans/sec   p50 ms   p99 ms  hit-rate  "
+                 "coalesced  scaling\n";
     for (const int clients : opt.clients) {
-      const LevelResult result =
+      LevelResult result =
           run_level(target, clients, opt.requests, opt.rate);
       if (clients == 1) {
         warm_p50_single = result.p50_ms;
+        single_plans_per_sec = result.plans_per_sec;
       }
-      std::printf("%7d %10.1f %8.3f %8.3f %9.4f %10lld\n", result.clients,
-                  result.plans_per_sec, result.p50_ms, result.p99_ms,
-                  result.cache_hit_rate, result.coalesced);
+      // Scaling efficiency: throughput relative to the 1-client level of
+      // this same sweep.  > 1.0 means added clients added throughput.
+      result.scaling_vs_1 = single_plans_per_sec > 0.0
+                                ? result.plans_per_sec / single_plans_per_sec
+                                : 0.0;
+      std::printf("%7d %10.1f %8.3f %8.3f %9.4f %10lld %7.2fx\n",
+                  result.clients, result.plans_per_sec, result.p50_ms,
+                  result.p99_ms, result.cache_hit_rate, result.coalesced,
+                  result.scaling_vs_1);
       levels.push_back(result);
     }
     if (warm_p50_single == 0.0 && !levels.empty()) {
       warm_p50_single = levels.front().p50_ms;
     }
+
+    // Thundering-herd burst: barrier-aligned identical cold plans, the
+    // level that exercises single-flight coalescing.
+    const LevelResult burst =
+        run_burst(target, /*clients=*/16, /*rounds=*/16);
+    std::printf("burst: %d clients x 16 rounds, %.1f plans/sec, p99 %.3f "
+                "ms, coalesced %lld/%d\n",
+                burst.clients, burst.plans_per_sec, burst.p99_ms,
+                burst.coalesced, burst.requests);
 
     std::printf("cold one-shot plan: %.3f ms in-process", cold_ms);
     if (cold_exec_ms) {
@@ -492,7 +650,7 @@ int main(int argc, char** argv) {
     std::printf(")\n");
 
     if (opt.json_path) {
-      write_json(*opt.json_path, opt, levels, cold_ms, cold_exec_ms,
+      write_json(*opt.json_path, opt, levels, burst, cold_ms, cold_exec_ms,
                  warm_p50_single);
     }
   } catch (const std::exception& e) {

@@ -98,15 +98,13 @@ EvalCache::EvalCache(std::size_t max_entries)
 
 std::optional<Estimate> EvalCache::lookup(const EvalKey& key) {
   Shard& shard = shard_for(key);
-  {
-    std::lock_guard lock(shard.mutex);
-    auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    ++shard.hits;
+    return it->second;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.misses;
   return std::nullopt;
 }
 
@@ -119,26 +117,33 @@ void EvalCache::insert(const EvalKey& key, const Estimate& estimate) {
   }
   shard.insertion_order.push_back(key);
   shard.key_bytes += key.bytes().size();
-  inserts_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.inserts;
   if (shard.map.size() > per_shard_capacity_) {
     const EvalKey& oldest = shard.insertion_order.front();
     shard.key_bytes -= oldest.bytes().size();
     shard.map.erase(oldest);
     shard.insertion_order.pop_front();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.evictions;
   }
 }
 
 EvalCacheStats EvalCache::stats() const {
   EvalCacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
+  // One pass, one lock acquisition per shard: every per-shard counter pair
+  // (hits/misses, inserts/evictions, entries) is read under the same lock
+  // hold, so the cross-shard sums keep the stats invariants exactly.
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    s.hits += shard.hits;
+    s.misses += shard.misses;
+    s.inserts += shard.inserts;
+    s.evictions += shard.evictions;
+    s.entries += shard.map.size();
+    s.approx_bytes += 2 * shard.key_bytes +
+                      shard.map.size() * (sizeof(Estimate) + kPerEntryOverhead);
+  }
   s.lookups = s.hits + s.misses;
-  s.inserts = inserts_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.entries = size();
   s.capacity = per_shard_capacity_ * kShardCount;
-  s.approx_bytes = approx_bytes();
   return s;
 }
 

@@ -10,9 +10,13 @@
 //
 // Thread-safety: the cache is sharded by key hash; each shard holds its own
 // mutex, map, and FIFO eviction queue, so planner threads hammering the
-// cache contend only when they collide on a shard.  Statistics are relaxed
-// atomics with the invariants  hits + misses == lookups  and
-// inserts - evictions == entries  (checked by the concurrency stress test).
+// cache contend only when they collide on a shard.  Each shard is padded to
+// a cache-line boundary and keeps its own plain counters under the shard
+// mutex — global atomic counters would put every shard's hot path on the
+// same contended cache line, re-serializing exactly the traffic sharding
+// exists to spread.  stats() sums the shards; the invariants
+// hits + misses == lookups  and  inserts - evictions == entries  hold
+// (checked by the concurrency stress test).
 //
 // The cache stores only *results*: Analyzer::best_estimate stays a pure
 // function of its inputs, so cached and uncached planning produce
@@ -20,7 +24,6 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -158,11 +161,17 @@ class EvalCache {
     }
   };
 
-  struct Shard {
+  struct alignas(64) Shard {
     mutable std::mutex mutex;
     std::unordered_map<EvalKey, Estimate, KeyHash> map;
     std::deque<EvalKey> insertion_order;  // FIFO eviction
     std::uint64_t key_bytes = 0;  ///< sum of resident key byte-string sizes
+    // Per-shard counters, guarded by the shard mutex the hot path already
+    // holds — no extra atomic traffic, no shared counter cache line.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
   };
 
   [[nodiscard]] Shard& shard_for(const EvalKey& key) {
@@ -173,10 +182,6 @@ class EvalCache {
 
   std::array<Shard, kShardCount> shards_;
   std::size_t per_shard_capacity_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> inserts_{0};
-  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace rainbow::core

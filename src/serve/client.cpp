@@ -84,15 +84,28 @@ void Client::close() {
 }
 
 Response Client::call(const Request& request) {
+  send(request);
+  return receive();
+}
+
+void Client::send(const Request& request) {
   if (fd_ < 0) {
     throw std::runtime_error("client: not connected");
   }
   write_frame(fd_, encode_request(request));
+}
+
+Response Client::receive() {
+  if (fd_ < 0) {
+    throw std::runtime_error("client: not connected");
+  }
   std::string payload;
   if (!read_frame(fd_, payload, kMaxFrameBytes)) {
     throw std::runtime_error("client: server closed the connection");
   }
-  return decode_response(payload);
+  // Move decode: the response body — plan text, usually the bulk of the
+  // frame — is carved out of the payload instead of copied.
+  return decode_response_owned(std::move(payload));
 }
 
 Response Client::call_ok(const Request& request) {

@@ -32,6 +32,13 @@ class Client {
   /// using its `message` header.
   Response call_ok(const Request& request);
 
+  /// Pipelining: send() writes a request frame without waiting, receive()
+  /// blocks for the next response.  The server answers in request order,
+  /// so after N send()s the next N receive()s pair up positionally.
+  /// Throws on transport errors; receive() throws on server disconnect.
+  void send(const Request& request);
+  Response receive();
+
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
   void close();
 

@@ -31,8 +31,10 @@ struct RawMessage {
   std::string body;
 };
 
-RawMessage decode_raw(std::string_view payload) {
-  RawMessage msg;
+/// Parses token + headers and returns the body's byte offset; the caller
+/// materializes the body (copy from a view, or carve from an owned
+/// string) so the move-aware decoders can avoid duplicating it.
+std::size_t decode_raw_prefix(std::string_view payload, RawMessage& msg) {
   std::size_t pos = payload.find('\n');
   if (pos == std::string_view::npos) {
     throw std::runtime_error("protocol: payload has no verb line");
@@ -48,8 +50,7 @@ RawMessage decode_raw(std::string_view payload) {
       throw std::runtime_error("protocol: missing blank-line separator");
     }
     if (payload[pos] == '\n') {  // end of headers
-      msg.body = std::string(payload.substr(pos + 1));
-      return msg;
+      return pos + 1;
     }
     const std::size_t eol = payload.find('\n', pos);
     if (eol == std::string_view::npos) {
@@ -73,15 +74,33 @@ RawMessage decode_raw(std::string_view payload) {
   }
 }
 
-void encode_raw(std::string& out, const std::string& token,
+RawMessage decode_raw(std::string_view payload) {
+  RawMessage msg;
+  const std::size_t body_at = decode_raw_prefix(payload, msg);
+  msg.body = std::string(payload.substr(body_at));
+  return msg;
+}
+
+RawMessage decode_raw(std::string&& payload) {
+  RawMessage msg;
+  const std::size_t body_at = decode_raw_prefix(payload, msg);
+  payload.erase(0, body_at);  // body carved in place, no second copy
+  msg.body = std::move(payload);
+  return msg;
+}
+
+/// Shared raw encoder: Sink needs append(string_view) and push_back(char)
+/// (std::string and util::ArenaBuffer both qualify).
+template <typename Sink>
+void encode_raw(Sink& out, const std::string& token,
                 const std::map<std::string, std::string>& headers,
                 const std::string& body) {
   if (!is_token(token)) {
     throw std::runtime_error("protocol: bad verb/status token '" + token +
                              "'");
   }
-  out += token;
-  out += '\n';
+  out.append(std::string_view(token));
+  out.push_back('\n');
   for (const auto& [key, value] : headers) {
     if (!is_token(key)) {
       throw std::runtime_error("protocol: bad header key '" + key + "'");
@@ -90,13 +109,20 @@ void encode_raw(std::string& out, const std::string& token,
       throw std::runtime_error("protocol: newline in header value for '" +
                                key + "'");
     }
-    out += key;
-    out += ' ';
-    out += value;
-    out += '\n';
+    out.append(std::string_view(key));
+    out.push_back(' ');
+    out.append(std::string_view(value));
+    out.push_back('\n');
   }
-  out += '\n';
-  out += body;
+  out.push_back('\n');
+  out.append(std::string_view(body));
+}
+
+void put_frame_header(char* header, std::uint32_t length) {
+  std::memcpy(header, kMagic, 4);
+  for (int i = 0; i < 4; ++i) {
+    header[4 + i] = static_cast<char>((length >> (8 * i)) & 0xff);
+  }
 }
 
 /// Returns bytes read; 0 only on EOF before the first byte.  Throws on a
@@ -182,8 +208,9 @@ std::string encode_request(const Request& request) {
   return out;
 }
 
-Request decode_request(std::string_view payload) {
-  RawMessage raw = decode_raw(payload);
+namespace {
+
+Request request_from(RawMessage&& raw) {
   Request request;
   request.verb = std::move(raw.token);
   request.headers = std::move(raw.headers);
@@ -191,16 +218,7 @@ Request decode_request(std::string_view payload) {
   return request;
 }
 
-std::string encode_response(const Response& response) {
-  std::string out;
-  out.reserve(64 + response.body.size());
-  encode_raw(out, response.ok ? "ok" : "error", response.headers,
-             response.body);
-  return out;
-}
-
-Response decode_response(std::string_view payload) {
-  RawMessage raw = decode_raw(payload);
+Response response_from(RawMessage&& raw) {
   Response response;
   if (raw.token == "ok") {
     response.ok = true;
@@ -214,17 +232,93 @@ Response decode_response(std::string_view payload) {
   return response;
 }
 
+}  // namespace
+
+Request decode_request(std::string_view payload) {
+  return request_from(decode_raw(payload));
+}
+
+Request decode_request_owned(std::string&& payload) {
+  return request_from(decode_raw(std::move(payload)));
+}
+
+std::string encode_response(const Response& response) {
+  std::string out;
+  out.reserve(64 + response.body.size());
+  encode_raw(out, response.ok ? "ok" : "error", response.headers,
+             response.body);
+  return out;
+}
+
+Response decode_response(std::string_view payload) {
+  return response_from(decode_raw(payload));
+}
+
+Response decode_response_owned(std::string&& payload) {
+  return response_from(decode_raw(std::move(payload)));
+}
+
+void encode_response_frame(const Response& response, util::ArenaBuffer& out) {
+  const std::size_t frame_start = out.size();
+  char* header = out.reserve_prefix(8);
+  encode_raw(out, response.ok ? "ok" : "error", response.headers,
+             response.body);
+  const std::size_t payload_size = out.size() - frame_start - 8;
+  if (payload_size > kMaxFrameBytes) {
+    throw std::runtime_error("protocol: frame payload over the " +
+                             std::to_string(kMaxFrameBytes) + "-byte bound");
+  }
+  // The buffer may have relocated while the payload grew; re-resolve the
+  // header position before patching the length in.
+  header = out.data() + frame_start;
+  put_frame_header(header, static_cast<std::uint32_t>(payload_size));
+}
+
+void append_frame(std::string& out, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::runtime_error("protocol: frame payload over the " +
+                             std::to_string(kMaxFrameBytes) + "-byte bound");
+  }
+  char header[8];
+  put_frame_header(header, static_cast<std::uint32_t>(payload.size()));
+  out.append(header, sizeof(header));
+  out.append(payload);
+}
+
+std::size_t try_parse_frame(std::string_view in, std::string_view& payload,
+                            std::uint32_t max_bytes) {
+  if (in.size() < 8) {
+    return 0;
+  }
+  if (std::memcmp(in.data(), kMagic, 4) != 0) {
+    throw std::runtime_error("protocol: bad frame magic");
+  }
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(
+                  static_cast<unsigned char>(in[4 + static_cast<std::size_t>(
+                                                     i)]))
+              << (8 * i);
+  }
+  if (length > max_bytes) {
+    throw std::runtime_error("protocol: frame length " +
+                             std::to_string(length) + " over the " +
+                             std::to_string(max_bytes) + "-byte bound");
+  }
+  if (in.size() < 8 + static_cast<std::size_t>(length)) {
+    return 0;
+  }
+  payload = in.substr(8, length);
+  return 8 + static_cast<std::size_t>(length);
+}
+
 void write_frame(int fd, std::string_view payload) {
   if (payload.size() > kMaxFrameBytes) {
     throw std::runtime_error("protocol: frame payload over the " +
                              std::to_string(kMaxFrameBytes) + "-byte bound");
   }
   char header[8];
-  std::memcpy(header, kMagic, 4);
-  const auto length = static_cast<std::uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) {
-    header[4 + i] = static_cast<char>((length >> (8 * i)) & 0xff);
-  }
+  put_frame_header(header, static_cast<std::uint32_t>(payload.size()));
   // One gathered send, not header-then-payload: two small writes per
   // frame over TCP trip Nagle + delayed-ACK (~40 ms per direction) and
   // turn a 3 ms warm plan into a 90 ms round-trip.  MSG_NOSIGNAL: a peer

@@ -33,6 +33,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/arena.hpp"
+
 namespace rainbow::serve {
 
 inline constexpr char kMagic[4] = {'R', 'N', 'B', 'W'};
@@ -71,6 +73,35 @@ struct Response {
 [[nodiscard]] Request decode_request(std::string_view payload);
 [[nodiscard]] std::string encode_response(const Response& response);
 [[nodiscard]] Response decode_response(std::string_view payload);
+
+/// Move-aware decoders: when the caller owns the payload string, the body
+/// — by far the largest part of a plan response or model upload — is
+/// carved out of it in place instead of copied.  `payload` is consumed.
+/// (Named, not overloaded: a string literal would be ambiguous between
+/// string_view and string&&.)
+[[nodiscard]] Request decode_request_owned(std::string&& payload);
+[[nodiscard]] Response decode_response_owned(std::string&& payload);
+
+/// Encodes `response` as one complete wire frame (magic + length +
+/// payload) appended to an arena-backed buffer: the body is copied
+/// exactly once, straight into its final wire position, with no
+/// intermediate payload string.  The serving workers use this so a warm
+/// response costs zero heap allocations after the arena warms up.
+void encode_response_frame(const Response& response, util::ArenaBuffer& out);
+
+/// Appends the 8-byte frame header + payload for `payload` to `out` —
+/// the framing counterpart of encode_request for pipelined senders that
+/// batch several frames into one write.
+void append_frame(std::string& out, std::string_view payload);
+
+/// Incremental frame scan for non-blocking transports.  Examines `in`
+/// for one complete frame; returns 0 when more bytes are needed, else
+/// sets `payload` to the frame's payload span *inside `in`* and returns
+/// the total bytes consumed (header + payload).  Throws on bad magic or
+/// a length over `max_bytes` — the connection is unrecoverable.
+[[nodiscard]] std::size_t try_parse_frame(std::string_view in,
+                                          std::string_view& payload,
+                                          std::uint32_t max_bytes);
 
 /// Blocking frame I/O on a connected socket.  write_frame throws on any
 /// short write or payload over kMaxFrameBytes.  read_frame returns false

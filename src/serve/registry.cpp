@@ -17,28 +17,86 @@ std::string lowercase(std::string name) {
   return name;
 }
 
-}  // namespace
-
-ModelRegistry::ModelRegistry(std::size_t cache_entries)
-    : cache_entries_(cache_entries) {}
-
-std::shared_ptr<ModelEntry>* ModelRegistry::locate(const std::string& name) {
-  for (auto& [key, entry] : models_) {
-    if (key == name) {
-      return &entry;
-    }
+/// Binary search in a name-sorted entry vector; nullptr when absent.
+template <typename Entry>
+std::shared_ptr<const Entry> find_sorted(
+    const std::vector<std::pair<std::string, std::shared_ptr<Entry>>>& list,
+    const std::string& name) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), name,
+      [](const auto& pair, const std::string& key) { return pair.first < key; });
+  if (it == list.end() || it->first != name) {
+    return nullptr;
   }
-  return nullptr;
+  return it->second;
 }
 
-std::shared_ptr<SpecEntry>* ModelRegistry::locate_spec(
-    const std::string& name) {
-  for (auto& [key, entry] : specs_) {
-    if (key == name) {
-      return &entry;
+/// Insert-or-replace into a name-sorted entry vector.  Returns false and
+/// leaves the list untouched when the name exists and replace is off.
+template <typename Entry>
+bool upsert_sorted(
+    std::vector<std::pair<std::string, std::shared_ptr<Entry>>>& list,
+    const std::string& name, std::shared_ptr<Entry> entry, bool replace) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), name,
+      [](const auto& pair, const std::string& key) { return pair.first < key; });
+  if (it != list.end() && it->first == name) {
+    if (!replace) {
+      return false;
     }
+    it->second = std::move(entry);
+    return true;
   }
-  return nullptr;
+  list.emplace(it, name, std::move(entry));
+  return true;
+}
+
+template <typename Entry>
+bool erase_sorted(
+    std::vector<std::pair<std::string, std::shared_ptr<Entry>>>& list,
+    const std::string& name) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), name,
+      [](const auto& pair, const std::string& key) { return pair.first < key; });
+  if (it == list.end() || it->first != name) {
+    return false;
+  }
+  list.erase(it);
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<const ModelEntry> RegistrySnapshot::find_model(
+    const std::string& lowercase_name) const {
+  return find_sorted(models, lowercase_name);
+}
+
+std::shared_ptr<const SpecEntry> RegistrySnapshot::find_spec(
+    const std::string& lowercase_name) const {
+  return find_sorted(specs, lowercase_name);
+}
+
+ModelRegistry::ModelRegistry(std::size_t cache_entries)
+    : cache_entries_(cache_entries) {
+  snapshot_.store(std::make_shared<const RegistrySnapshot>(),
+                  std::memory_order_release);
+}
+
+template <typename Fn>
+bool ModelRegistry::update(Fn&& mutate) {
+  std::lock_guard lock(write_mutex_);
+  // Writers are serialized by the mutex, so this copy of the current
+  // snapshot is the latest; readers keep loading the old one until the
+  // store below.
+  auto next = std::make_shared<RegistrySnapshot>(
+      *snapshot_.load(std::memory_order_acquire));
+  if (!mutate(*next)) {
+    return false;
+  }
+  snapshot_.store(std::shared_ptr<const RegistrySnapshot>(std::move(next)),
+                  std::memory_order_release);
+  return true;
 }
 
 bool ModelRegistry::register_model(const std::string& raw_name,
@@ -52,16 +110,11 @@ bool ModelRegistry::register_model(const std::string& raw_name,
   entry->network = std::move(network);
   entry->cache = std::make_shared<core::EvalCache>(cache_entries_);
   entry->builtin = builtin;
-  std::unique_lock lock(mutex_);
-  if (std::shared_ptr<ModelEntry>* slot = locate(name)) {
-    if (!replace) {
-      return false;
-    }
-    *slot = std::move(entry);  // replacing resets the model's cache
-    return true;
-  }
-  models_.emplace_back(name, std::move(entry));
-  return true;
+  return update([&](RegistrySnapshot& next) {
+    // Replacing installs the fresh entry built above, which resets the
+    // model's cache (the old cache keyed estimates of a different net).
+    return upsert_sorted(next.models, name, std::move(entry), replace);
+  });
 }
 
 void ModelRegistry::preload_zoo() {
@@ -72,48 +125,32 @@ void ModelRegistry::preload_zoo() {
 
 std::shared_ptr<const ModelEntry> ModelRegistry::find(
     const std::string& raw_name) const {
-  const std::string name = lowercase(raw_name);
-  std::shared_lock lock(mutex_);
-  for (const auto& [key, entry] : models_) {
-    if (key == name) {
-      return entry;
-    }
-  }
-  return nullptr;
+  return read()->find_model(lowercase(raw_name));
 }
 
 bool ModelRegistry::evict(const std::string& raw_name) {
   const std::string name = lowercase(raw_name);
-  std::unique_lock lock(mutex_);
-  for (auto it = models_.begin(); it != models_.end(); ++it) {
-    if (it->first == name) {
-      models_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  return update(
+      [&](RegistrySnapshot& next) { return erase_sorted(next.models, name); });
 }
 
-std::size_t ModelRegistry::size() const {
-  std::shared_lock lock(mutex_);
-  return models_.size();
-}
+std::size_t ModelRegistry::size() const { return read()->models.size(); }
 
 std::vector<std::string> ModelRegistry::names() const {
-  std::shared_lock lock(mutex_);
+  const std::shared_ptr<const RegistrySnapshot> snapshot = read();
   std::vector<std::string> names;
-  names.reserve(models_.size());
-  for (const auto& [key, entry] : models_) {
+  names.reserve(snapshot->models.size());
+  for (const auto& [key, entry] : snapshot->models) {
     names.push_back(key);
   }
   return names;
 }
 
-std::vector<RegistrySnapshotRow> ModelRegistry::snapshot() const {
-  std::shared_lock lock(mutex_);
+std::vector<RegistrySnapshotRow> ModelRegistry::rows() const {
+  const std::shared_ptr<const RegistrySnapshot> snapshot = read();
   std::vector<RegistrySnapshotRow> rows;
-  rows.reserve(models_.size());
-  for (const auto& [key, entry] : models_) {
+  rows.reserve(snapshot->models.size());
+  for (const auto& [key, entry] : snapshot->models) {
     RegistrySnapshotRow row;
     row.name = key;
     row.layers = entry->network.size();
@@ -126,9 +163,9 @@ std::vector<RegistrySnapshotRow> ModelRegistry::snapshot() const {
 }
 
 std::uint64_t ModelRegistry::cache_bytes() const {
-  std::shared_lock lock(mutex_);
+  const std::shared_ptr<const RegistrySnapshot> snapshot = read();
   std::uint64_t total = 0;
-  for (const auto& [key, entry] : models_) {
+  for (const auto& [key, entry] : snapshot->models) {
     total += entry->cache->approx_bytes();
   }
   return total;
@@ -143,47 +180,27 @@ bool ModelRegistry::register_spec(const std::string& raw_name,
   }
   spec.validate();
   auto entry = std::make_shared<SpecEntry>(SpecEntry{spec});
-  std::unique_lock lock(mutex_);
-  if (std::shared_ptr<SpecEntry>* slot = locate_spec(name)) {
-    if (!replace) {
-      return false;
-    }
-    *slot = std::move(entry);
-    return true;
-  }
-  specs_.emplace_back(name, std::move(entry));
-  return true;
+  return update([&](RegistrySnapshot& next) {
+    return upsert_sorted(next.specs, name, std::move(entry), replace);
+  });
 }
 
 std::shared_ptr<const SpecEntry> ModelRegistry::find_spec(
     const std::string& raw_name) const {
-  const std::string name = lowercase(raw_name);
-  std::shared_lock lock(mutex_);
-  for (const auto& [key, entry] : specs_) {
-    if (key == name) {
-      return entry;
-    }
-  }
-  return nullptr;
+  return read()->find_spec(lowercase(raw_name));
 }
 
 bool ModelRegistry::evict_spec(const std::string& raw_name) {
   const std::string name = lowercase(raw_name);
-  std::unique_lock lock(mutex_);
-  for (auto it = specs_.begin(); it != specs_.end(); ++it) {
-    if (it->first == name) {
-      specs_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  return update(
+      [&](RegistrySnapshot& next) { return erase_sorted(next.specs, name); });
 }
 
 std::vector<std::string> ModelRegistry::spec_names() const {
-  std::shared_lock lock(mutex_);
+  const std::shared_ptr<const RegistrySnapshot> snapshot = read();
   std::vector<std::string> names;
-  names.reserve(specs_.size());
-  for (const auto& [key, entry] : specs_) {
+  names.reserve(snapshot->specs.size());
+  for (const auto& [key, entry] : snapshot->specs) {
     names.push_back(key);
   }
   return names;

@@ -6,16 +6,25 @@
 // registrationmanager is the structural exemplar: many dynamically
 // registered models behind one uniform facade.
 //
-// Thread-safety: a shared_mutex guards the maps; entries hand out
-// shared_ptrs, so an eviction never invalidates an in-flight request that
-// already resolved its model (the plan completes against the old entry and
-// the memory is reclaimed when the last request drops it).
+// Thread-safety — RCU-style snapshots: the registry's entire lookup state
+// lives in one immutable RegistrySnapshot published through an
+// std::atomic<std::shared_ptr>.  Readers (`plan`/`validate`/`analyze` on
+// every request) load the current snapshot and never take the write
+// mutex, so the warm serving path has zero lock contention with writers
+// or other readers beyond the shared_ptr refcount.  Writers (upload /
+// evict — rare) serialize on a plain mutex, copy the current snapshot,
+// mutate the copy, and publish it atomically.  A reader therefore sees
+// either the old or the new snapshot, never a torn mix (locked down by
+// the churn test in serve_stress_test.cpp under TSan), and an eviction
+// never invalidates an in-flight request that already resolved its entry
+// — the plan completes against the old shared_ptr and the memory is
+// reclaimed when the last holder drops it.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +45,20 @@ struct ModelEntry {
 /// One registered accelerator spec.
 struct SpecEntry {
   arch::AcceleratorSpec spec;
+};
+
+/// The registry's immutable published state: name-sorted entry lists
+/// (lookups binary-search).  A snapshot is never mutated after publish —
+/// only the entries' interior atomics (plan counters) and their
+/// thread-safe EvalCaches move underneath it.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::shared_ptr<ModelEntry>>> models;
+  std::vector<std::pair<std::string, std::shared_ptr<SpecEntry>>> specs;
+
+  [[nodiscard]] std::shared_ptr<const ModelEntry> find_model(
+      const std::string& lowercase_name) const;
+  [[nodiscard]] std::shared_ptr<const SpecEntry> find_spec(
+      const std::string& lowercase_name) const;
 };
 
 struct RegistrySnapshotRow {
@@ -60,6 +83,13 @@ class ModelRegistry {
   /// Preloads every built-in zoo model under its lowercase zoo name.
   void preload_zoo();
 
+  /// The current immutable snapshot — a wait-free-ish atomic load, never
+  /// the write mutex.  Hold it for the duration of one request to give
+  /// every lookup in that request a consistent view.
+  [[nodiscard]] std::shared_ptr<const RegistrySnapshot> read() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
   /// nullptr when unknown.  The returned entry stays valid after eviction.
   [[nodiscard]] std::shared_ptr<const ModelEntry> find(
       const std::string& name) const;
@@ -68,7 +98,7 @@ class ModelRegistry {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::vector<std::string> names() const;
-  [[nodiscard]] std::vector<RegistrySnapshotRow> snapshot() const;
+  [[nodiscard]] std::vector<RegistrySnapshotRow> rows() const;
 
   /// Sum of the per-model caches' approximate resident bytes.
   [[nodiscard]] std::uint64_t cache_bytes() const;
@@ -82,14 +112,15 @@ class ModelRegistry {
   [[nodiscard]] std::vector<std::string> spec_names() const;
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::size_t cache_entries_;
-  std::vector<std::pair<std::string, std::shared_ptr<ModelEntry>>> models_;
-  std::vector<std::pair<std::string, std::shared_ptr<SpecEntry>>> specs_;
+  /// Writer-side: copy-mutate-publish under write_mutex_.  `mutate` gets
+  /// a fresh mutable copy of the current snapshot and returns whether to
+  /// publish it (false = no-op, nothing published).
+  template <typename Fn>
+  bool update(Fn&& mutate);
 
-  [[nodiscard]] std::shared_ptr<ModelEntry>* locate(const std::string& name);
-  [[nodiscard]] std::shared_ptr<SpecEntry>* locate_spec(
-      const std::string& name);
+  std::size_t cache_entries_;
+  mutable std::mutex write_mutex_;
+  std::atomic<std::shared_ptr<const RegistrySnapshot>> snapshot_;
 };
 
 }  // namespace rainbow::serve

@@ -1,24 +1,38 @@
 #include "serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
-#include <future>
 #include <stdexcept>
+#include <utility>
 
 namespace rainbow::serve {
 
 namespace {
 
+// epoll user-data tags for the two non-connection fds; connection ids
+// start above them (next_conn_id_).
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+
 [[noreturn]] void fail_errno(const std::string& what) {
   throw std::runtime_error("server: " + what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail_errno("fcntl(O_NONBLOCK)");
+  }
 }
 
 }  // namespace
@@ -71,17 +85,47 @@ Server::Server(PlanningService& service, ServerConfig config)
   if (::listen(listen_fd_, 128) != 0) {
     fail_errno("listen");
   }
+  set_nonblocking(listen_fd_);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    fail_errno("epoll_create1");
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    fail_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    fail_errno("epoll_ctl(listen)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    fail_errno("epoll_ctl(eventfd)");
+  }
+
   pool_ = std::make_unique<util::ThreadPool>(config_.threads);
 }
 
 Server::~Server() {
   request_stop();
-  if (acceptor_.joinable() || !connections_.empty()) {
+  if (loop_.joinable() || pool_) {
     (void)wait();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
   }
   if (!config_.unix_path.empty()) {
     ::unlink(config_.unix_path.c_str());
@@ -89,34 +133,39 @@ Server::~Server() {
 }
 
 void Server::start() {
-  if (acceptor_.joinable()) {
+  if (loop_.joinable()) {
     throw std::runtime_error("server: already started");
   }
-  acceptor_ = std::thread([this] { accept_loop(); });
+  loop_ = std::thread([this] { event_loop(); });
+}
+
+void Server::request_stop() noexcept {
+  stopping_.store(true);
+  wake();
+}
+
+void Server::wake() noexcept {
+  // write(2) is on the async-signal-safe list; rainbowd's SIGTERM handler
+  // reaches here.  A full eventfd counter (impossible in practice) or a
+  // pre-start call just drops the wakeup — the loop polls stopping_ too.
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
 }
 
 std::uint64_t Server::wait() {
-  if (acceptor_.joinable()) {
-    acceptor_.join();
-  }
-  // Wake every connection blocked in recv, then join them all.
-  std::vector<std::thread> to_join;
-  {
-    std::lock_guard lock(connections_mutex_);
-    for (int fd : connection_fds_) {
-      if (fd >= 0) {
-        ::shutdown(fd, SHUT_RDWR);
-      }
-    }
-    to_join.swap(connections_);
-    connection_fds_.clear();
-  }
-  for (std::thread& thread : to_join) {
-    if (thread.joinable()) {
-      thread.join();
-    }
+  if (loop_.joinable()) {
+    loop_.join();
   }
   pool_.reset();  // drain the planning queue
+  // Workers that finished after the loop exited parked their completions
+  // here; nobody will write them now.
+  {
+    std::lock_guard lock(completions_mutex_);
+    for (Completion& done : completions_) {
+      arenas_.release(std::move(done.out.arena));
+    }
+    completions_.clear();
+  }
   return served_.load();
 }
 
@@ -125,25 +174,102 @@ std::uint64_t Server::stop() {
   return wait();
 }
 
-void Server::accept_loop() {
-  while (!stopping_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);
-    if (ready < 0) {
+bool Server::drained(const Connection& conn) {
+  return conn.inflight == 0 && conn.ready.empty() && conn.outq.empty();
+}
+
+void Server::event_loop() {
+  bool stop_seen = false;
+  std::chrono::steady_clock::time_point stop_at{};
+  epoll_event events[64];
+
+  for (;;) {
+    if (stopping_.load() && !stop_seen) {
+      stop_seen = true;
+      stop_at = std::chrono::steady_clock::now();
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      // Stop parsing everywhere; connections with work in flight stay
+      // open until their responses flush (or the drain deadline).
+      std::vector<std::uint64_t> ids;
+      ids.reserve(connections_.size());
+      for (const auto& [id, conn] : connections_) {
+        ids.push_back(id);
+      }
+      for (const std::uint64_t id : ids) {
+        const auto it = connections_.find(id);
+        if (it == connections_.end()) {
+          continue;
+        }
+        Connection& conn = *it->second;
+        conn.read_closed = true;
+        conn.in.clear();
+        if (drained(conn)) {
+          close_connection(conn);
+        }
+      }
+    }
+    if (stop_seen) {
+      if (connections_.empty()) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() >=
+          stop_at + config_.drain_deadline) {
+        while (!connections_.empty()) {
+          close_connection(*connections_.begin()->second);
+        }
+        break;
+      }
+    }
+
+    const int timeout_ms = stop_seen ? 50 : 200;
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
       if (errno == EINTR) {
         continue;
       }
       break;
     }
-    if (ready == 0) {
-      continue;  // timeout: re-check the stop flag
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == kListenTag) {
+        if (!stop_seen) {
+          handle_accept();
+        }
+        continue;
+      }
+      if (id == kWakeTag) {
+        std::uint64_t junk = 0;
+        while (::read(wake_fd_, &junk, sizeof(junk)) > 0) {
+        }
+        continue;  // completions drain below, every iteration
+      }
+      const auto it = connections_.find(id);
+      if (it == connections_.end()) {
+        continue;  // closed earlier in this batch
+      }
+      Connection& conn = *it->second;
+      if ((events[i].events & EPOLLOUT) != 0) {
+        flush(conn);
+      }
+      if (!conn.broken &&
+          (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        handle_readable(conn);
+      }
+      (void)settle(conn);
     }
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    drain_completions();
+  }
+}
+
+void Server::handle_accept() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) {
         continue;
       }
-      break;
+      return;  // EAGAIN (no more pending) or a transient accept failure
     }
     if (port_ >= 0) {
       // Request/response over loopback: never trade latency for
@@ -151,71 +277,236 @@ void Server::accept_loop() {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
-    std::lock_guard lock(connections_mutex_);
-    // Reap finished connection threads so a long-lived daemon's thread
-    // list stays proportional to *live* connections.  A finished thread
-    // marked its fd slot -2.
-    for (std::size_t i = 0; i < connections_.size();) {
-      if (connection_fds_[i] == -2) {
-        connections_[i].join();
-        connections_.erase(connections_.begin() +
-                           static_cast<std::ptrdiff_t>(i));
-        connection_fds_.erase(connection_fds_.begin() +
-                              static_cast<std::ptrdiff_t>(i));
-      } else {
-        ++i;
-      }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->armed = EPOLLIN;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
     }
-    const std::size_t slot = connections_.size();
-    connection_fds_.push_back(fd);
-    connections_.emplace_back([this, fd, slot] {
-      serve_connection(fd);
-      std::lock_guard inner(connections_mutex_);
-      if (slot < connection_fds_.size() && connection_fds_[slot] == fd) {
-        connection_fds_[slot] = -2;
-      }
-    });
+    connections_.emplace(conn->id, std::move(conn));
   }
 }
 
-void Server::serve_connection(int fd) {
-  std::string payload;
-  while (!stopping_.load()) {
-    bool got = false;
+void Server::handle_readable(Connection& conn) {
+  if (conn.read_closed) {
+    return;
+  }
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      conn.read_closed = true;  // peer half-closed or closed
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    conn.read_closed = true;  // ECONNRESET and friends
+    break;
+  }
+  parse_frames(conn);
+  if (conn.read_closed) {
+    conn.in.clear();  // bytes after EOF-mid-frame can never complete
+  }
+}
+
+void Server::parse_frames(Connection& conn) {
+  if (stopping_.load() || conn.read_closed) {
+    return;
+  }
+  std::size_t consumed = 0;
+  while (conn.inflight < config_.max_inflight_per_connection) {
+    const std::string_view rest(conn.in.data() + consumed,
+                                conn.in.size() - consumed);
+    std::string_view payload;
+    std::size_t frame_bytes = 0;
     try {
-      got = read_frame(fd, payload, config_.max_frame_bytes);
+      frame_bytes = try_parse_frame(rest, payload, config_.max_frame_bytes);
     } catch (const std::exception&) {
-      break;  // framing is unrecoverable: bad magic / truncated frame
+      // Bad magic / oversized length: the stream is unrecoverable.  Drop
+      // the connection without a reply (matching the blocking server);
+      // responses already owed for earlier good frames still flush.
+      conn.read_closed = true;
+      conn.in.clear();
+      return;
     }
-    if (!got) {
-      break;  // clean EOF
+    if (frame_bytes == 0) {
+      break;  // incomplete frame: wait for more bytes
     }
+    submit_request(conn, std::string(payload));
+    consumed += frame_bytes;
+  }
+  if (consumed > 0) {
+    conn.in.erase(0, consumed);
+  }
+}
+
+void Server::submit_request(Connection& conn, std::string payload) {
+  const std::uint64_t conn_id = conn.id;
+  const std::uint64_t seq = conn.next_seq++;
+  ++conn.inflight;
+  pool_->submit([this, conn_id, seq, payload = std::move(payload)]() mutable {
+    Completion done;
+    done.conn_id = conn_id;
+    done.seq = seq;
+    done.out.arena = arenas_.acquire();
     Response response;
-    bool shutdown_requested = false;
     try {
-      const Request request = decode_request(payload);
-      shutdown_requested = request.verb == "shutdown";
-      // Planning runs on the bounded pool; this thread only does I/O.
-      auto task = std::make_shared<std::packaged_task<Response()>>(
-          [this, &request] { return service_.handle(request); });
-      std::future<Response> result = task->get_future();
-      pool_->submit([task] { (*task)(); });
-      response = result.get();
+      const Request request = decode_request_owned(std::move(payload));
+      done.out.shutdown_requested = request.verb == "shutdown";
+      response = service_.handle(request);
     } catch (const std::exception& e) {
       response = Response::error(e.what());
     }
-    try {
-      write_frame(fd, encode_response(response));
-    } catch (const std::exception&) {
-      break;  // peer vanished mid-response
+    util::ArenaBuffer frame(*done.out.arena);
+    encode_response_frame(response, frame);
+    done.out.data = frame.data();
+    done.out.size = frame.size();
+    {
+      std::lock_guard lock(completions_mutex_);
+      completions_.push_back(std::move(done));
     }
-    served_.fetch_add(1, std::memory_order_relaxed);
-    if (shutdown_requested) {
-      request_stop();
-      break;
+    wake();
+  });
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& done : batch) {
+    const auto it = connections_.find(done.conn_id);
+    if (it == connections_.end()) {
+      arenas_.release(std::move(done.out.arena));  // connection died first
+      continue;
+    }
+    Connection& conn = *it->second;
+    --conn.inflight;
+    conn.ready.emplace(done.seq, std::move(done.out));
+    // Release every response the order contract now allows.
+    while (!conn.ready.empty() &&
+           conn.ready.begin()->first == conn.next_write) {
+      conn.outq.push_back(std::move(conn.ready.begin()->second));
+      conn.ready.erase(conn.ready.begin());
+      ++conn.next_write;
+    }
+    // Backpressure relief: buffered frames may be parseable again.
+    if (conn.reading_paused && !conn.read_closed &&
+        conn.inflight < config_.max_inflight_per_connection) {
+      parse_frames(conn);
+    }
+    flush(conn);
+    (void)settle(conn);
+  }
+}
+
+void Server::flush(Connection& conn) {
+  if (conn.broken) {
+    return;
+  }
+  while (!conn.outq.empty()) {
+    // Batch adjacent frames into one gathered send — a pipelining client
+    // gets its whole response train in as few syscalls as possible.
+    iovec iov[8];
+    int iovcnt = 0;
+    for (const Outgoing& out : conn.outq) {
+      if (iovcnt == 8) {
+        break;
+      }
+      const std::size_t off = iovcnt == 0 ? conn.out_off : 0;
+      iov[iovcnt].iov_base = const_cast<char*>(out.data) + off;
+      iov[iovcnt].iov_len = out.size - off;
+      ++iovcnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t wrote = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;  // kernel buffer full; EPOLLOUT re-arms via settle()
+      }
+      conn.broken = true;  // peer vanished mid-response
+      return;
+    }
+    std::size_t left = static_cast<std::size_t>(wrote);
+    while (left > 0) {
+      Outgoing& front = conn.outq.front();
+      const std::size_t remaining = front.size - conn.out_off;
+      if (left < remaining) {
+        conn.out_off += left;
+        break;
+      }
+      left -= remaining;
+      conn.out_off = 0;
+      served_.fetch_add(1, std::memory_order_relaxed);
+      if (front.shutdown_requested) {
+        // Ack is in the kernel's hands; begin the drain.
+        request_stop();
+      }
+      arenas_.release(std::move(front.arena));
+      conn.outq.pop_front();
     }
   }
-  ::close(fd);
+}
+
+void Server::update_interest(Connection& conn) {
+  conn.reading_paused =
+      conn.inflight >= config_.max_inflight_per_connection;
+  std::uint32_t want = 0;
+  if (!conn.read_closed && !conn.reading_paused) {
+    want |= EPOLLIN;
+  }
+  if (!conn.outq.empty()) {
+    want |= EPOLLOUT;
+  }
+  if (want == conn.armed) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+    conn.armed = want;
+  }
+}
+
+bool Server::settle(Connection& conn) {
+  if (conn.broken || (conn.read_closed && drained(conn))) {
+    close_connection(conn);
+    return true;
+  }
+  update_interest(conn);
+  return false;
+}
+
+void Server::close_connection(Connection& conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  for (Outgoing& out : conn.outq) {
+    arenas_.release(std::move(out.arena));
+  }
+  for (auto& [seq, out] : conn.ready) {
+    arenas_.release(std::move(out.arena));
+  }
+  connections_.erase(conn.id);  // `conn` is dead past this line
 }
 
 }  // namespace rainbow::serve

@@ -1,25 +1,43 @@
-// rainbowd transport: accepts unix-domain or loopback TCP connections,
-// reads length-prefixed frames, and dispatches decoded requests onto the
-// shared util::ThreadPool (the planning workers).  Connection threads do
-// only blocking I/O; all planning work runs on the bounded pool, so a slow
-// client cannot hold a planning worker and N connections contend for at
-// most `threads` concurrent plans.
+// rainbowd transport: an epoll event loop accepts unix-domain or loopback
+// TCP connections, reads length-prefixed frames from non-blocking sockets,
+// and dispatches decoded requests onto the shared util::ThreadPool (the
+// planning workers).  One loop thread owns every socket; planning work
+// never runs on it, so a slow client cannot hold a planning worker and N
+// connections contend for at most `threads` concurrent plans — without the
+// thread-per-connection model's N stacks and N context switches.
 //
-// Shutdown: request_stop() only sets an atomic flag (async-signal-safe —
-// rainbowd's SIGTERM handler calls it).  The acceptor polls the flag,
-// stops accepting, wakes every connection (shutdown(2) on the socket),
-// lets in-flight requests drain, and wait() joins everything.
+// Pipelining: a client may write several frames back-to-back on one
+// connection without waiting for responses.  Requests are tagged with a
+// per-connection sequence number when parsed; workers complete in any
+// order, and the loop releases responses strictly in request order, so
+// the wire contract stays "responses arrive in request order".
+//
+// Memory: each request checks a bump arena out of a shared pool; the
+// worker encodes the response frame (header + payload, one copy of the
+// body) straight into the arena, and the loop writes those bytes to the
+// socket — batching adjacent frames into one sendmsg — before recycling
+// the arena.  The warm path does no per-request heap churn.
+//
+// Shutdown: request_stop() stores an atomic flag and writes the eventfd
+// (both async-signal-safe — rainbowd's SIGTERM handler calls it).  The
+// loop then stops accepting and parsing, drains in-flight plans, flushes
+// their responses under a bounded deadline, and wait() joins everything.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/service.hpp"
+#include "util/arena.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rainbow::serve {
@@ -32,6 +50,12 @@ struct ServerConfig {
   /// Planning workers; 0 = hardware concurrency.
   std::size_t threads = 0;
   std::uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Decoded-but-unanswered requests allowed per connection before the
+  /// loop stops reading from it (backpressure on hostile pipeliners).
+  std::size_t max_inflight_per_connection = 256;
+  /// How long the loop keeps flushing pending responses after a stop
+  /// request before force-closing.
+  std::chrono::milliseconds drain_deadline{2000};
 };
 
 class Server {
@@ -44,14 +68,16 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Spawns the acceptor thread.
+  /// Spawns the event-loop thread.
   void start();
 
-  /// Async-signal-safe stop request: sets the flag the acceptor polls.
-  void request_stop() noexcept { stopping_.store(true); }
+  /// Async-signal-safe stop request: an atomic store plus an eventfd
+  /// write, both permitted in signal handlers.
+  void request_stop() noexcept;
 
-  /// Blocks until the acceptor and every connection thread have exited.
-  /// Returns the number of requests served over the server's lifetime.
+  /// Blocks until the event loop and the planning pool have exited.
+  /// Returns the number of responses fully written over the server's
+  /// lifetime.
   std::uint64_t wait();
 
   /// request_stop() + wait().
@@ -66,20 +92,71 @@ class Server {
   [[nodiscard]] bool stopping() const { return stopping_.load(); }
 
  private:
-  void accept_loop();
-  void serve_connection(int fd);
+  /// One encoded response frame, owned by the arena that backs its bytes.
+  struct Outgoing {
+    std::shared_ptr<util::Arena> arena;
+    const char* data = nullptr;
+    std::size_t size = 0;
+    bool shutdown_requested = false;
+  };
+
+  /// A finished request on its way back from a worker to the loop.
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    Outgoing out;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string in;                ///< unparsed received bytes
+    std::uint64_t next_seq = 0;    ///< seq for the next parsed request
+    std::uint64_t next_write = 0;  ///< seq owed to the peer next
+    std::map<std::uint64_t, Outgoing> ready;  ///< completed out of order
+    std::deque<Outgoing> outq;     ///< in-order frames being written
+    std::size_t out_off = 0;       ///< bytes of outq.front() already sent
+    std::size_t inflight = 0;      ///< parsed, not yet completed
+    bool read_closed = false;      ///< EOF or unrecoverable framing error
+    bool broken = false;           ///< hard write error; close regardless
+    bool reading_paused = false;   ///< backpressure: EPOLLIN dropped
+    std::uint32_t armed = 0;       ///< epoll interest currently registered
+  };
+
+  void event_loop();
+  void handle_accept();
+  void handle_readable(Connection& conn);
+  void parse_frames(Connection& conn);
+  void submit_request(Connection& conn, std::string payload);
+  void drain_completions();
+  void flush(Connection& conn);
+  void update_interest(Connection& conn);
+  void close_connection(Connection& conn);
+  /// Post-event bookkeeping: closes a broken or fully-drained-after-EOF
+  /// connection, else re-arms its epoll interest.  True when closed —
+  /// the reference is dead.
+  bool settle(Connection& conn);
+  /// True once the connection owes the peer nothing more.
+  [[nodiscard]] static bool drained(const Connection& conn);
+  void wake() noexcept;
 
   PlanningService& service_;
   ServerConfig config_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
   int port_ = -1;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> served_{0};
   std::unique_ptr<util::ThreadPool> pool_;
-  std::thread acceptor_;
-  std::mutex connections_mutex_;
-  std::vector<std::thread> connections_;
-  std::vector<int> connection_fds_;
+  util::ArenaPool arenas_;
+  std::thread loop_;
+
+  std::uint64_t next_conn_id_ = 2;  ///< 0/1 tag the listen/wake fds
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
 };
 
 }  // namespace rainbow::serve

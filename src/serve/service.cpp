@@ -85,6 +85,17 @@ core::ManagerOptions manager_options_for(const Request& request) {
   return options;
 }
 
+/// FNV-1a over the single-flight key; only shard selection depends on it,
+/// so quality beyond "spreads distinct keys" is irrelevant.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 void append_cache_headers(Response& response,
                           const core::EvalCacheStats& stats) {
   response.headers["cache_lookups"] = std::to_string(stats.lookups);
@@ -205,7 +216,7 @@ Response PlanningService::do_list(const Request&) {
   Response response;
   std::ostringstream body;
   body << "# kind, name, layers, builtin, plans_served\n";
-  for (const RegistrySnapshotRow& row : registry_.snapshot()) {
+  for (const RegistrySnapshotRow& row : registry_.rows()) {
     body << "model, " << row.name << ", " << row.layers << ", "
          << (row.builtin ? 1 : 0) << ", " << row.plans_served << '\n';
   }
@@ -251,7 +262,7 @@ Response PlanningService::do_stats(const Request&) {
   std::ostringstream body;
   body << "# model, layers, plans_served, lookups, hits, hit_rate, entries, "
           "approx_bytes\n";
-  for (const RegistrySnapshotRow& row : registry_.snapshot()) {
+  for (const RegistrySnapshotRow& row : registry_.rows()) {
     total.lookups += row.cache.lookups;
     total.hits += row.cache.hits;
     total.misses += row.cache.misses;
@@ -293,38 +304,59 @@ arch::AcceleratorSpec PlanningService::spec_for(const Request& request) const {
   return spec;
 }
 
+PlanningService::FlightShard& PlanningService::flight_shard_for(
+    const std::string& key) {
+  return flight_shards_[fnv1a(key) % kFlightShards];
+}
+
 Response PlanningService::do_plan(const Request& request) {
   plan_requests_.fetch_add(1, std::memory_order_relaxed);
 
   // Canonical single-flight key: every header that can influence the plan
   // bytes, plus the resolved spec (a named spec may change under the same
-  // name, so the key uses its field values, not its name).
+  // name, so the key uses its field values, not its name).  Built by
+  // plain string appends — this runs on every plan request, and an
+  // ostringstream here showed up in the event-loop profile.
   const arch::AcceleratorSpec spec = spec_for(request);
-  std::ostringstream key;
-  key << lowercase(request.get("model")) << '\n'
-      << request.get("scheme", "het") << '\n'
-      << request.get("objective", "accesses") << '\n'
-      << request.get_bool("interlayer", false) << '\n'
-      << request.get_bool("prefetch", true) << '\n'
-      << request.get_bool("padded", true) << '\n'
-      << request.get_int("batch", 1) << '\n'
-      << request.get_bool("validate", false) << '\n'
-      << request.get_bool("analyze", false) << '\n'
-      << spec.pe_rows << ' ' << spec.pe_cols << ' ' << spec.ops_per_cycle
-      << ' ' << spec.data_width_bits << ' ' << spec.glb_bytes << ' '
-      << spec.dram_bytes_per_cycle << ' ' << spec.sram_bytes_per_cycle;
+  std::string key;
+  key.reserve(128);
+  key += lowercase(request.get("model"));
+  key += '\n';
+  key += request.get("scheme", "het");
+  key += '\n';
+  key += request.get("objective", "accesses");
+  key += '\n';
+  key += request.get_bool("interlayer", false) ? '1' : '0';
+  key += request.get_bool("prefetch", true) ? '1' : '0';
+  key += request.get_bool("padded", true) ? '1' : '0';
+  key += request.get_bool("validate", false) ? '1' : '0';
+  key += request.get_bool("analyze", false) ? '1' : '0';
+  key += '\n';
+  key += std::to_string(request.get_int("batch", 1));
+  key += '\n';
+  for (const long long field :
+       {static_cast<long long>(spec.pe_rows), static_cast<long long>(spec.pe_cols),
+        static_cast<long long>(spec.ops_per_cycle),
+        static_cast<long long>(spec.data_width_bits),
+        static_cast<long long>(spec.glb_bytes),
+        static_cast<long long>(spec.dram_bytes_per_cycle),
+        static_cast<long long>(spec.sram_bytes_per_cycle)}) {
+    key += std::to_string(field);
+    key += ' ';
+  }
 
+  FlightShard& shard = flight_shard_for(key);
   std::shared_future<Response> flight;
   std::shared_ptr<std::promise<Response>> owner;
   {
-    std::lock_guard lock(flights_mutex_);
-    const auto it = flights_.find(key.str());
-    if (it != flights_.end()) {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.flights.find(key);
+    if (it != shard.flights.end()) {
       flight = it->second;
     } else {
       owner = std::make_shared<std::promise<Response>>();
       flight = owner->get_future().share();
-      flights_.emplace(key.str(), flight);
+      shard.flights.emplace(key, flight);
     }
   }
   if (!owner) {
@@ -341,8 +373,8 @@ Response PlanningService::do_plan(const Request& request) {
     errors_.fetch_add(1, std::memory_order_relaxed);
   }
   {
-    std::lock_guard lock(flights_mutex_);
-    flights_.erase(key.str());
+    std::lock_guard lock(shard.mutex);
+    shard.flights.erase(key);
   }
   owner->set_value(response);
   return response;

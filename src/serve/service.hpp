@@ -15,8 +15,11 @@
 // is still computing coalesce onto one computation and share its response
 // (marked with a `coalesced` header), so a thundering herd of clients
 // asking for the same (model, spec, objective) costs one planning pass.
+// The flight table is sharded by key hash so unrelated plans registering
+// and retiring their flights never serialize on one mutex.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <future>
@@ -74,9 +77,19 @@ class PlanningService {
   /// otherwise; `glb_kb` / `width_bits` headers override either base.
   [[nodiscard]] arch::AcceleratorSpec spec_for(const Request& request) const;
 
+  /// One shard of the single-flight table.  Padded to a cache line so a
+  /// storm of distinct plans touching neighbouring shards doesn't false-
+  /// share the shard mutexes.
+  struct alignas(64) FlightShard {
+    std::mutex mutex;
+    std::unordered_map<std::string, std::shared_future<Response>> flights;
+  };
+  static constexpr std::size_t kFlightShards = 16;
+
+  [[nodiscard]] FlightShard& flight_shard_for(const std::string& key);
+
   ModelRegistry registry_;
-  std::mutex flights_mutex_;
-  std::unordered_map<std::string, std::shared_future<Response>> flights_;
+  std::array<FlightShard, kFlightShards> flight_shards_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> plan_requests_{0};
   std::atomic<std::uint64_t> coalesced_{0};

@@ -1,0 +1,156 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rainbow::util {
+
+namespace {
+
+constexpr std::size_t kMaxBlockBytes = 8 * 1024 * 1024;
+
+std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_block_bytes)
+    : initial_block_bytes_(std::max<std::size_t>(initial_block_bytes, 64)) {}
+
+Arena::Block& Arena::grow(std::size_t min_bytes) {
+  std::size_t next = blocks_.empty()
+                         ? initial_block_bytes_
+                         : std::min(blocks_.back().size * 2, kMaxBlockBytes);
+  next = std::max(next, min_bytes);
+  Block block;
+  block.data = std::make_unique<char[]>(next);
+  block.size = next;
+  reserved_ += next;
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+char* Arena::allocate(std::size_t size, std::size_t align) {
+  Block* block = blocks_.empty() ? nullptr : &blocks_.back();
+  std::size_t offset = block ? align_up(block->fill, align) : 0;
+  if (block == nullptr || offset + size > block->size) {
+    block = &grow(size + align);
+    offset = align_up(block->fill, align);
+  }
+  char* ptr = block->data.get() + offset;
+  block->fill = offset + size;
+  // used_ tracks consumption as if every allocation were laid out in one
+  // contiguous block (padding included).  That makes high_water_ an exact
+  // bound for reset()'s coalesced block: replaying the same allocation
+  // sequence into a single block of that size cannot overflow it.
+  used_ = align_up(used_, align) + size;
+  high_water_ = std::max(high_water_, used_);
+  last_alloc_ = ptr;
+  return ptr;
+}
+
+bool Arena::try_extend(const char* ptr, std::size_t old_size,
+                       std::size_t new_size) {
+  if (blocks_.empty() || ptr != last_alloc_ || new_size < old_size) {
+    return false;
+  }
+  Block& block = blocks_.back();
+  const char* base = block.data.get();
+  // `ptr` must be the tail allocation of the current block.
+  if (ptr < base || ptr + old_size != base + block.fill) {
+    return false;
+  }
+  const std::size_t extra = new_size - old_size;
+  if (block.fill + extra > block.size) {
+    return false;
+  }
+  block.fill += extra;
+  used_ += extra;
+  high_water_ = std::max(high_water_, used_);
+  return true;
+}
+
+void Arena::reset() {
+  if (blocks_.size() > 1) {
+    // Coalesce: one block sized to the high-water mark replaces the
+    // chain, so steady state is a single right-sized block.
+    blocks_.clear();
+    reserved_ = 0;
+    grow(high_water_);
+  }
+  for (Block& block : blocks_) {
+    block.fill = 0;
+  }
+  used_ = 0;
+  last_alloc_ = nullptr;
+}
+
+void ArenaBuffer::ensure(std::size_t extra) {
+  if (size_ + extra <= capacity_) {
+    return;
+  }
+  const std::size_t want =
+      std::max(size_ + extra, std::max<std::size_t>(2 * capacity_, 256));
+  if (data_ != nullptr && arena_.try_extend(data_, capacity_, want)) {
+    capacity_ = want;
+    return;
+  }
+  char* grown = arena_.allocate(want, 1);
+  if (size_ > 0) {
+    std::memcpy(grown, data_, size_);
+  }
+  data_ = grown;
+  capacity_ = want;
+}
+
+void ArenaBuffer::append(const void* bytes, std::size_t size) {
+  if (size == 0) {
+    return;
+  }
+  ensure(size);
+  std::memcpy(data_ + size_, bytes, size);
+  size_ += size;
+}
+
+char* ArenaBuffer::reserve_prefix(std::size_t size) {
+  ensure(size);
+  char* ptr = data_ + size_;
+  size_ += size;
+  return ptr;
+}
+
+ArenaPool::ArenaPool(std::size_t max_pooled, std::size_t initial_block_bytes)
+    : max_pooled_(max_pooled), initial_block_bytes_(initial_block_bytes) {}
+
+std::shared_ptr<Arena> ArenaPool::acquire() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!free_.empty()) {
+      std::shared_ptr<Arena> arena = std::move(free_.back());
+      free_.pop_back();
+      return arena;
+    }
+    ++created_;
+  }
+  return std::make_shared<Arena>(initial_block_bytes_);
+}
+
+void ArenaPool::release(std::shared_ptr<Arena> arena) {
+  if (!arena) {
+    return;
+  }
+  arena->reset();
+  std::lock_guard lock(mutex_);
+  if (free_.size() < max_pooled_) {
+    free_.push_back(std::move(arena));
+  }
+  // else: drop — bursts beyond the bound must not pin peak memory.
+}
+
+std::size_t ArenaPool::pooled() const {
+  std::lock_guard lock(mutex_);
+  return free_.size();
+}
+
+}  // namespace rainbow::util

@@ -1,0 +1,138 @@
+// Bump-pointer arena for per-request serving state (docs/serving.md).
+// rainbowd's warm path allocates the same short-lived buffers for every
+// request — the staged request payload and the encoded response frame —
+// and paying malloc/free (plus the allocator's internal locking) per
+// request is measurable at tens of thousands of plans/sec.  An Arena
+// hands out memory by bumping a pointer through geometrically grown
+// blocks; reset() recycles every byte in O(blocks) without returning
+// anything to the system allocator, so a connection's steady state does
+// zero heap allocation.
+//
+// Arenas are deliberately NOT thread-safe: one arena belongs to one
+// request (or one single-threaded owner) at a time.  ArenaPool hands
+// arenas across threads safely — acquire/release are mutex-protected and
+// an arena is only ever touched by the thread that currently holds it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace rainbow::util {
+
+class Arena {
+ public:
+  /// First block size; later blocks double until kMaxBlockBytes.
+  explicit Arena(std::size_t initial_block_bytes = 16 * 1024);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (a power of two).  Never
+  /// returns nullptr: a request larger than the current block gets a
+  /// dedicated block of at least its own size.  size == 0 returns a
+  /// valid one-past pointer that must not be dereferenced.
+  [[nodiscard]] char* allocate(std::size_t size,
+                               std::size_t align = alignof(std::max_align_t));
+
+  /// Grows the most recent allocation in place from `old_size` to
+  /// `new_size` bytes when it is the arena's last allocation and the
+  /// current block has room.  Returns false (arena untouched) otherwise —
+  /// the caller then allocates a fresh region and copies.  This is what
+  /// lets ArenaBuffer grow a response frame without copying in the
+  /// common case.
+  [[nodiscard]] bool try_extend(const char* ptr, std::size_t old_size,
+                                std::size_t new_size);
+
+  /// Recycles every allocation but keeps the blocks, so the next request
+  /// on this arena allocates without touching the heap.  Blocks beyond
+  /// the first are coalesced lazily: when a reset() finds more than one
+  /// block, it replaces them with a single block sized to the high-water
+  /// mark, so a connection converges to exactly one right-sized block.
+  void reset();
+
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t reserved() const { return reserved_; }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+    std::size_t fill = 0;
+  };
+
+  Block& grow(std::size_t min_bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t initial_block_bytes_;
+  /// Bytes consumed since the last reset as if laid out in one contiguous
+  /// block (alignment padding included) — the exact size reset() needs for
+  /// its coalesced replacement block.
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;    ///< total bytes owned across blocks
+  std::size_t high_water_ = 0;  ///< max used_ ever observed
+  char* last_alloc_ = nullptr;  ///< most recent allocation, for try_extend
+};
+
+/// Append-only byte buffer carved from an Arena: the sink the response
+/// encoder writes wire frames into.  Grows geometrically; when the buffer
+/// is the arena's most recent allocation it extends in place, otherwise
+/// it relocates within the arena (the arena reclaims nothing until
+/// reset(), so relocation cost is one memcpy, no free).
+class ArenaBuffer {
+ public:
+  explicit ArenaBuffer(Arena& arena) : arena_(arena) {}
+
+  void append(const void* bytes, std::size_t size);
+  void append(std::string_view text) { append(text.data(), text.size()); }
+  void push_back(char ch) { append(&ch, 1); }
+
+  /// Skips `size` bytes and returns a pointer to them, for headers whose
+  /// contents (e.g. a length field) are patched after the body is known.
+  [[nodiscard]] char* reserve_prefix(std::size_t size);
+
+  [[nodiscard]] const char* data() const { return data_; }
+  [[nodiscard]] char* data() { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::string_view view() const { return {data_, size_}; }
+
+ private:
+  void ensure(std::size_t extra);
+
+  Arena& arena_;
+  char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+/// Free list of arenas shared by the serving workers: one arena travels
+/// with one request from decode to response flush, then comes back reset
+/// and warm.  Bounded — a burst beyond `max_pooled` arenas allocates
+/// extras that are simply dropped on release, so an attack-sized spike
+/// cannot pin its peak memory forever.
+class ArenaPool {
+ public:
+  explicit ArenaPool(std::size_t max_pooled = 64,
+                     std::size_t initial_block_bytes = 16 * 1024);
+
+  [[nodiscard]] std::shared_ptr<Arena> acquire();
+  void release(std::shared_ptr<Arena> arena);
+
+  [[nodiscard]] std::size_t pooled() const;
+  [[nodiscard]] std::uint64_t created() const { return created_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Arena>> free_;
+  std::size_t max_pooled_;
+  std::size_t initial_block_bytes_;
+  std::uint64_t created_ = 0;
+};
+
+}  // namespace rainbow::util

@@ -1,0 +1,109 @@
+// util::Arena / ArenaBuffer / ArenaPool: the bump allocator backing
+// rainbowd's per-request state (docs/serving.md).
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace rainbow::util {
+namespace {
+
+TEST(Arena, AllocationsAreDisjointAndAligned) {
+  Arena arena(/*initial_block_bytes=*/128);
+  char* a = arena.allocate(10);
+  char* b = arena.allocate(10);
+  EXPECT_NE(a, b);
+  std::memset(a, 0xaa, 10);
+  std::memset(b, 0xbb, 10);
+  EXPECT_EQ(static_cast<unsigned char>(a[9]), 0xaa);  // b did not overlap a
+  char* aligned = arena.allocate(8, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(aligned) % 64, 0u);
+  EXPECT_EQ(arena.used(), arena.high_water());
+}
+
+TEST(Arena, GrowsBeyondInitialBlockAndCoalescesOnReset) {
+  Arena arena(/*initial_block_bytes=*/64);
+  for (int i = 0; i < 32; ++i) {
+    char* p = arena.allocate(40);
+    std::memset(p, i, 40);
+  }
+  EXPECT_GT(arena.block_count(), 1u);
+  const std::size_t high_water = arena.high_water();
+  arena.reset();
+  // Reset coalesces the chain into one block big enough for the whole
+  // previous load, so steady state never grows again.
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_GE(arena.reserved(), high_water);
+  for (int i = 0; i < 32; ++i) {
+    (void)arena.allocate(40);
+  }
+  EXPECT_EQ(arena.block_count(), 1u);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(/*initial_block_bytes=*/64);
+  char* big = arena.allocate(1 << 20);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5a, 1 << 20);
+  EXPECT_GE(arena.reserved(), static_cast<std::size_t>(1 << 20));
+}
+
+TEST(Arena, TryExtendOnlyGrowsTheTailAllocation) {
+  Arena arena(/*initial_block_bytes=*/256);
+  char* first = arena.allocate(16);
+  char* tail = arena.allocate(16);
+  EXPECT_FALSE(arena.try_extend(first, 16, 32));  // not the last allocation
+  EXPECT_TRUE(arena.try_extend(tail, 16, 32));    // in place, block has room
+  char* next = arena.allocate(8);
+  EXPECT_EQ(next, tail + 32);  // the extension actually claimed the bytes
+}
+
+TEST(ArenaBuffer, AppendsContiguouslyAcrossGrowth) {
+  Arena arena(/*initial_block_bytes=*/64);
+  ArenaBuffer buffer(arena);
+  std::string expected;
+  for (int i = 0; i < 200; ++i) {
+    const std::string chunk = "chunk-" + std::to_string(i) + ";";
+    buffer.append(chunk);
+    expected += chunk;
+  }
+  buffer.push_back('!');
+  expected += '!';
+  EXPECT_EQ(buffer.view(), expected);
+}
+
+TEST(ArenaBuffer, ReservePrefixIsPatchableAfterAppends) {
+  Arena arena;
+  ArenaBuffer buffer(arena);
+  char* header = buffer.reserve_prefix(4);
+  buffer.append(std::string(1000, 'x'));
+  // The buffer may have relocated; re-resolve through data() like the
+  // frame encoder does.
+  header = buffer.data();
+  std::memcpy(header, "HDR!", 4);
+  EXPECT_EQ(buffer.view().substr(0, 4), "HDR!");
+  EXPECT_EQ(buffer.size(), 1004u);
+}
+
+TEST(ArenaPool, RecyclesResetArenasUpToTheBound) {
+  ArenaPool pool(/*max_pooled=*/2, /*initial_block_bytes=*/64);
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  auto c = pool.acquire();
+  EXPECT_EQ(pool.created(), 3u);
+  (void)a->allocate(100);
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  pool.release(std::move(c));  // over the bound: dropped, not pooled
+  EXPECT_EQ(pool.pooled(), 2u);
+  auto recycled = pool.acquire();
+  EXPECT_EQ(recycled->used(), 0u);  // came back reset
+  EXPECT_EQ(pool.created(), 3u);    // no new arena was built
+}
+
+}  // namespace
+}  // namespace rainbow::util

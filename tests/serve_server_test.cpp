@@ -233,5 +233,89 @@ TEST(Server, ServesManySequentialConnections) {
   EXPECT_EQ(daemon.server->stop(), 32u);
 }
 
+TEST(Server, PipelinedRequestsAnswerInOrder) {
+  TestDaemon daemon;
+  Client client = daemon.connect();
+  // Burst N frames down one connection without reading anything, mixing
+  // models (distinct bodies) so an ordering bug is visible as a body
+  // mismatch, not just a theoretical race.  Workers may finish out of
+  // order; the loop must release responses in request order.
+  const std::string models[] = {"resnet18", "mobilenet", "mnasnet"};
+  std::vector<std::string> expected;
+  for (const std::string& model : models) {
+    expected.push_back(client.call_ok(plan_request(model)).body);
+    ASSERT_FALSE(expected.back().empty());
+  }
+  constexpr int kRounds = 8;
+  for (int r = 0; r < kRounds; ++r) {
+    for (const std::string& model : models) {
+      client.send(plan_request(model));
+    }
+  }
+  for (int r = 0; r < kRounds; ++r) {
+    for (std::size_t m = 0; m < std::size(models); ++m) {
+      const Response response = client.receive();
+      ASSERT_TRUE(response.ok) << response.get("message");
+      EXPECT_EQ(response.body, expected[m])
+          << "round " << r << " model " << models[m];
+    }
+  }
+}
+
+TEST(Server, ErrorMidPipelineKeepsConnectionAndOrder) {
+  TestDaemon daemon;
+  Client client = daemon.connect();
+  const std::string good = client.call_ok(plan_request("resnet18")).body;
+  client.send(plan_request("resnet18"));
+  client.send(plan_request("nosuchmodel"));  // error response, not a drop
+  client.send(plan_request("resnet18"));
+  EXPECT_EQ(client.receive().body, good);
+  EXPECT_FALSE(client.receive().ok);
+  EXPECT_EQ(client.receive().body, good);
+}
+
+TEST(Server, HostilePartialFrameInterleaving) {
+  TestDaemon daemon({}, /*preload=*/false);
+  const int fd = raw_connect(daemon.server->port());
+  // Three pipelined pings delivered one byte at a time: every recv() on
+  // the server sees a partial frame, and frame boundaries never align
+  // with read boundaries.  The parser must reassemble all three.
+  std::string wire;
+  Request ping;
+  ping.verb = "ping";
+  const std::string payload = encode_request(ping);
+  for (int i = 0; i < 3; ++i) {
+    append_frame(wire, payload);
+  }
+  for (const char byte : wire) {
+    ASSERT_EQ(::send(fd, &byte, 1, 0), 1);
+  }
+  // Read three complete response frames back.
+  std::string response_bytes;
+  char buf[4096];
+  std::size_t frames_seen = 0;
+  while (frames_seen < 3) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "server closed before all responses arrived";
+    response_bytes.append(buf, static_cast<std::size_t>(n));
+    frames_seen = 0;
+    std::string_view rest(response_bytes);
+    std::string_view frame_payload;
+    while (true) {
+      const std::size_t consumed =
+          try_parse_frame(rest, frame_payload, kMaxFrameBytes);
+      if (consumed == 0) {
+        break;
+      }
+      const Response response = decode_response(frame_payload);
+      EXPECT_EQ(response.get("server"), "rainbowd");
+      rest.remove_prefix(consumed);
+      ++frames_seen;
+    }
+  }
+  EXPECT_EQ(frames_seen, 3u);
+  ::close(fd);
+}
+
 }  // namespace
 }  // namespace rainbow::serve

@@ -178,7 +178,7 @@ TEST(ServeStress, MixedVerbsAgainstOneService) {
     EXPECT_EQ(failure, "");
   }
   // Per-model cache counters must balance after the hammering.
-  for (const RegistrySnapshotRow& row : service.registry().snapshot()) {
+  for (const RegistrySnapshotRow& row : service.registry().rows()) {
     expect_balanced(row.cache);
   }
   EXPECT_EQ(service.stats().errors, 0u);
@@ -224,6 +224,79 @@ TEST(ServeStress, ConcurrentUploadEvictAndPlan) {
         const Response response = service.handle(plan);
         if (!response.ok || response.body != reference.body) {
           failures[t] = "plan diverged during registry churn";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (const std::string& failure : failures) {
+    EXPECT_EQ(failure, "");
+  }
+}
+
+TEST(ServeStress, SnapshotReadsAreNeverTornDuringChurn) {
+  // RCU contract of the registry: a reader loads either the snapshot from
+  // before a writer published or the one from after — never a torn mix.
+  // Writers alternate a scratch model between two networks with different
+  // layer counts; readers assert every snapshot they load is one of the
+  // two consistent states (or the pre-upload state) and that a resolved
+  // entry keeps working even if it is evicted mid-use.  Run under TSan via
+  // the `concurrency` label.
+  ModelRegistry registry;
+  registry.preload_zoo();
+  const std::size_t baseline = registry.size();
+  const model::Network small = model::zoo::by_name("mobilenet");
+  const model::Network large = model::zoo::by_name("resnet18");
+  const std::size_t small_layers = small.size();
+  const std::size_t large_layers = large.size();
+  ASSERT_NE(small_layers, large_layers);
+
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 6;
+  constexpr int kChurns = 200;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kWriters + kReaders);
+
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kChurns; ++k) {
+        registry.register_model("scratch", k % 2 == 0 ? small : large,
+                                /*builtin=*/false, /*replace=*/true);
+        if (k % 8 == 7) {
+          registry.evict("scratch");  // may race the other writer; fine
+        }
+      }
+      (void)t;
+    });
+  }
+  for (int t = kWriters; t < kWriters + kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kChurns; ++k) {
+        const std::shared_ptr<const RegistrySnapshot> snapshot =
+            registry.read();
+        // Structural consistency: the zoo entries are always all present,
+        // and `scratch` is absent or exactly one of the two networks.
+        if (snapshot->models.size() != baseline &&
+            snapshot->models.size() != baseline + 1) {
+          failures[t] = "torn snapshot: unexpected model count";
+          return;
+        }
+        const std::shared_ptr<const ModelEntry> scratch =
+            snapshot->find_model("scratch");
+        if (scratch && scratch->network.size() != small_layers &&
+            scratch->network.size() != large_layers) {
+          failures[t] = "torn snapshot: half-written network";
+          return;
+        }
+        // A resolved entry survives eviction: its cache stays usable.
+        if (scratch) {
+          expect_balanced(scratch->cache->stats());
+        }
+        if (!snapshot->find_model("resnet18")) {
+          failures[t] = "torn snapshot: builtin vanished";
           return;
         }
       }

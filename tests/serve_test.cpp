@@ -144,7 +144,7 @@ TEST(Registry, PreloadZooAndCacheBytes) {
   ModelRegistry registry;
   registry.preload_zoo();
   EXPECT_EQ(registry.size(), model::zoo::model_names().size());
-  for (const RegistrySnapshotRow& row : registry.snapshot()) {
+  for (const RegistrySnapshotRow& row : registry.rows()) {
     EXPECT_TRUE(row.builtin);
     EXPECT_EQ(row.plans_served, 0u);
   }
