@@ -1,0 +1,165 @@
+#include "analysis/analyze_report.hpp"
+
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+
+#include "analysis/race.hpp"
+#include "codegen/lower.hpp"
+
+namespace rainbow::analysis {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string combo_label(const AnalyzeCombo& combo) {
+  std::string label = combo.model + " @ " + std::to_string(combo.glb_kib) +
+                      " kB, " + combo.policy;
+  if (combo.policy == "het") {
+    label += std::string("/") + std::string(core::to_string(combo.objective));
+    if (combo.interlayer) {
+      label += "+inter";
+    }
+  } else if (combo.prefetch) {
+    label += "+p";
+  }
+  return label;
+}
+
+ComboOutcome analyze_combo(const model::Network& net,
+                           const AnalyzeCombo& combo,
+                           const AnalyzeOptions& options,
+                           const std::shared_ptr<core::EvalCache>& cache) {
+  arch::AcceleratorSpec spec = arch::paper_spec(util::kib(combo.glb_kib));
+  spec.data_width_bits = options.width_bits;
+  spec.validate();
+
+  core::ManagerOptions moptions;
+  moptions.analyzer.eval_cache = cache;
+  moptions.interlayer_reuse = combo.interlayer;
+  const core::MemoryManager manager(spec, moptions);
+
+  ComboOutcome outcome;
+  outcome.combo = combo;
+  std::optional<core::ExecutionPlan> plan;
+  try {
+    plan = combo.policy == "het"
+               ? manager.plan(net, combo.objective)
+               : manager.plan_with_policy(
+                     net, core::policy_from_short_label(combo.policy),
+                     combo.prefetch, combo.objective);
+  } catch (const std::runtime_error& e) {
+    // The forced policy cannot execute this model in this GLB at all;
+    // nothing to lower.
+    outcome.status = std::string("skipped (") + e.what() + ")";
+  }
+  if (plan && !plan->feasible()) {
+    outcome.status = "skipped (plan infeasible for this GLB)";
+    plan.reset();
+  }
+  if (!plan) {
+    return outcome;
+  }
+
+  const codegen::Program program = codegen::lower(*plan, net);
+  outcome.result = analyze_lowering(program, *plan, net);
+  if (options.races || options.critical_path) {
+    const DepGraph graph = DepGraph::build(program);
+    if (options.races) {
+      const RaceReport races = analyze_races(graph);
+      outcome.races_run = true;
+      outcome.graph_nodes = races.nodes;
+      outcome.graph_edges = races.edges;
+      outcome.result.report.merge(races.report);
+    }
+    if (options.critical_path) {
+      const CriticalPathCheck check =
+          check_critical_path(graph, program, *plan, net);
+      outcome.critical_path_run = true;
+      outcome.graph_cycles = check.path.total_cycles;
+      outcome.engine_cycles = check.engine_total_cycles;
+      outcome.result.report.merge(check.report);
+    }
+  }
+  outcome.status = outcome.result.clean() ? "ok" : "findings";
+  return outcome;
+}
+
+void write_json(const std::vector<ComboOutcome>& outcomes,
+                const AnalyzeOptions& options, std::ostream& os) {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t skipped = 0;
+  os << "{\n  \"tool\": \"rainbow_analyze\",\n"
+     << "  \"strict\": " << (options.strict ? "true" : "false") << ",\n"
+     << "  \"races\": " << (options.races ? "true" : "false") << ",\n"
+     << "  \"critical_path\": " << (options.critical_path ? "true" : "false")
+     << ",\n"
+     << "  \"combos\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const ComboOutcome& o = outcomes[i];
+    errors += o.result.report.error_count();
+    warnings += o.result.report.warning_count();
+    if (o.status.rfind("skipped", 0) == 0) {
+      ++skipped;
+    }
+    os << "    {\"model\": \"" << json_escape(o.combo.model)
+       << "\", \"glb_kib\": " << o.combo.glb_kib << ", \"policy\": \""
+       << json_escape(o.combo.policy) << "\", \"prefetch\": "
+       << (o.combo.prefetch ? "true" : "false") << ", \"interlayer\": "
+       << (o.combo.interlayer ? "true" : "false") << ", \"objective\": \""
+       << core::to_string(o.combo.objective) << "\", \"status\": \""
+       << json_escape(o.status) << "\", \"errors\": "
+       << o.result.report.error_count() << ", \"warnings\": "
+       << o.result.report.warning_count() << ", \"commands\": "
+       << o.result.commands << ", \"regions\": " << o.result.regions
+       << ", \"capacity_elems\": " << o.result.capacity_elems
+       << ", \"peak_live_elems\": " << o.result.peak_live_elems
+       << ", \"glb_peak_elems\": " << o.result.glb_peak_elems;
+    if (o.races_run) {
+      os << ", \"race\": {\"nodes\": " << o.graph_nodes
+         << ", \"edges\": " << o.graph_edges << "}";
+    }
+    if (o.critical_path_run) {
+      os << ", \"critical_path\": {\"graph_cycles\": " << o.graph_cycles
+         << ", \"engine_cycles\": " << o.engine_cycles << "}";
+    }
+    os << ", \"diagnostics\": [";
+    const auto& diags = o.result.report.diagnostics();
+    for (std::size_t j = 0; j < diags.size(); ++j) {
+      const auto& d = diags[j];
+      os << (j == 0 ? "" : ", ") << "{\"code\": \""
+         << validate::code_string(d.code) << "\", \"severity\": \""
+         << validate::to_string(d.severity) << "\", \"message\": \""
+         << json_escape(d.message()) << "\"}";
+    }
+    os << "]}" << (i + 1 == outcomes.size() ? "" : ",") << '\n';
+  }
+  os << "  ],\n"
+     << "  \"total\": {\"combos\": " << outcomes.size()
+     << ", \"skipped\": " << skipped << ", \"errors\": " << errors
+     << ", \"warnings\": " << warnings << "}\n}\n";
+}
+
+}  // namespace rainbow::analysis

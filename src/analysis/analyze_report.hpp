@@ -1,0 +1,69 @@
+// Shared core of the rainbow_analyze tool: one (model, GLB, policy)
+// combination planned, lowered, and statically analyzed — stream
+// invariants (S-codes), optional race detection over the dependence graph
+// (R-codes), and the critical-path cross-check (S016) — plus the JSON
+// report writer.  Lives in the library so rainbow_plan --analyze and the
+// golden-file schema test drive exactly the code the CLI ships.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/stream_analyzer.hpp"
+#include "core/eval_cache.hpp"
+#include "core/manager.hpp"
+#include "model/network.hpp"
+
+namespace rainbow::analysis {
+
+/// One planning configuration to lower and analyze.
+struct AnalyzeCombo {
+  std::string model;
+  count_t glb_kib = 64;
+  std::string policy;  ///< "het" or a short forced-policy label
+  bool prefetch = false;
+  bool interlayer = false;
+  core::Objective objective = core::Objective::kAccesses;
+};
+
+/// Which analyses to run and how to report them.
+struct AnalyzeOptions {
+  int width_bits = 8;
+  bool races = false;          ///< dependence-graph race detection (R-codes)
+  bool critical_path = false;  ///< critical path vs engine latency (S016)
+  bool strict = false;         ///< warnings also fail
+};
+
+struct ComboOutcome {
+  AnalyzeCombo combo;
+  std::string status;  ///< "ok", "findings", or "skipped (...)"
+  /// Stream analysis result; race and critical-path diagnostics are
+  /// merged into its report so one summary covers everything.
+  AnalysisResult result;
+  bool races_run = false;
+  bool critical_path_run = false;
+  std::size_t graph_nodes = 0;
+  std::size_t graph_edges = 0;
+  double graph_cycles = 0.0;   ///< dependence-graph critical path
+  double engine_cycles = 0.0;  ///< engine overlap model, same plan
+};
+
+[[nodiscard]] std::string combo_label(const AnalyzeCombo& combo);
+
+/// Plans `combo` for `net`, lowers, and runs the requested analyses.
+/// Infeasible or unplannable combos come back "skipped (...)" with an
+/// empty result.  Thread-safe given a thread-safe cache (EvalCache is).
+[[nodiscard]] ComboOutcome analyze_combo(
+    const model::Network& net, const AnalyzeCombo& combo,
+    const AnalyzeOptions& options,
+    const std::shared_ptr<core::EvalCache>& cache);
+
+/// The rainbow_analyze JSON schema (tests/data/analyze_report.json is the
+/// golden copy): top-level tool/strict/races/critical_path, one object per
+/// combo with its counts and diagnostics, and a total summary.
+void write_json(const std::vector<ComboOutcome>& outcomes,
+                const AnalyzeOptions& options, std::ostream& os);
+
+}  // namespace rainbow::analysis

@@ -1,0 +1,601 @@
+#include "analysis/depgraph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+namespace rainbow::analysis {
+
+std::string_view to_string(DepEdgeKind kind) {
+  switch (kind) {
+    case DepEdgeKind::kResource:
+      return "resource";
+    case DepEdgeKind::kSync:
+      return "sync";
+    case DepEdgeKind::kWait:
+      return "wait";
+    case DepEdgeKind::kCredit:
+      return "credit";
+    case DepEdgeKind::kDep:
+      return "dep";
+  }
+  throw std::logic_error("to_string: invalid DepEdgeKind");
+}
+
+namespace {
+
+using codegen::Command;
+
+constexpr std::int8_t kWild = -1;
+constexpr std::size_t kSlots = 3;  // phase 0, phase 1, wild
+
+std::size_t slot_of(std::int8_t phase) {
+  return phase < 0 ? 2 : static_cast<std::size_t>(phase);
+}
+
+bool slots_conflict(std::size_t a, std::size_t b) {
+  return a == b || a == 2 || b == 2;
+}
+
+bool is_async(Command::Op op) {
+  return op == Command::Op::kLoad || op == Command::Op::kStore ||
+         op == Command::Op::kCompute;
+}
+
+DepResource resource_of(Command::Op op) {
+  switch (op) {
+    case Command::Op::kLoad:
+    case Command::Op::kStore:
+      return DepResource::kDma;
+    case Command::Op::kCompute:
+      return DepResource::kPe;
+    case Command::Op::kAlloc:
+    case Command::Op::kFree:
+    case Command::Op::kBarrier:
+      return DepResource::kControl;
+  }
+  throw std::logic_error("resource_of: invalid Command::Op");
+}
+
+/// How a layer's overlap is modeled.  Tagged needs prefetch plus the
+/// lowered shape (monotone tile tags, no async past the barrier): only then
+/// can the engine's DMA drain order and refill-generation phases be
+/// reconstructed.  Irregular prefetch streams degrade to issue order with
+/// wild phases (sound: wild conflicts with everything); serial layers are
+/// fully chained.
+enum class LayerMode { kSerial, kFallback, kTagged };
+
+LayerMode classify_layer(const codegen::LayerProgram& layer) {
+  if (!layer.choice.prefetch) {
+    return LayerMode::kSerial;
+  }
+  std::int32_t last_tile = 0;
+  bool barrier_seen = false;
+  for (const Command& cmd : layer.commands) {
+    if (cmd.op == Command::Op::kBarrier) {
+      barrier_seen = true;
+      continue;
+    }
+    if (!is_async(cmd.op)) {
+      continue;
+    }
+    if (barrier_seen || cmd.tile < 0 || cmd.tile < last_tile) {
+      return LayerMode::kFallback;
+    }
+    last_tile = cmd.tile;
+  }
+  return LayerMode::kTagged;
+}
+
+/// Sorted distinct tile values of one region's loads (or stores) within a
+/// layer: each distinct tile is one refill (drain) generation, and the
+/// double-buffer phase of generation g is g % 2.  A region with fewer than
+/// two generations is single-buffered/resident — its accesses stay wild.
+struct TileGroups {
+  std::vector<std::int32_t> tiles;
+
+  void insert(std::int32_t tile) {
+    auto it = std::lower_bound(tiles.begin(), tiles.end(), tile);
+    if (it == tiles.end() || *it != tile) {
+      tiles.insert(it, tile);
+    }
+  }
+  [[nodiscard]] bool phased() const { return tiles.size() >= 2; }
+  /// Index of the generation at exactly `tile` (must exist).
+  [[nodiscard]] std::size_t index_of(std::int32_t tile) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(tiles.begin(), tiles.end(), tile) - tiles.begin());
+  }
+  /// Index of the latest generation with tile <= `tile`; -1 when none.
+  [[nodiscard]] std::ptrdiff_t latest_at(std::int32_t tile) const {
+    return std::upper_bound(tiles.begin(), tiles.end(), tile) -
+           tiles.begin() - 1;
+  }
+  /// Number of generations strictly before `tile`.
+  [[nodiscard]] std::size_t count_before(std::int32_t tile) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(tiles.begin(), tiles.end(), tile) - tiles.begin());
+  }
+};
+
+/// Live-region facts the access model needs (a lightweight shadow of the
+/// RegionTable: the full lifetime rules stay S-code turf).
+struct RegionInfo {
+  codegen::DataKind kind = codegen::DataKind::kIfmap;
+  std::size_t birth_layer = 0;  ///< position in Program::layers
+};
+
+/// Per-region memory of the data-dependence builder.  Only the last write
+/// per (chain-independent) slot and the reads since it are needed: earlier
+/// accesses are ordered transitively through them.
+struct DepState {
+  std::array<std::int64_t, kSlots> last_write{-1, -1, -1};
+  std::array<std::vector<std::uint32_t>, kSlots> reads;
+};
+
+}  // namespace
+
+DepGraph DepGraph::build(const codegen::Program& program) {
+  DepGraph g;
+  const double bw = program.spec.elements_per_cycle();
+  const double mac_rate = program.spec.effective_macs_per_cycle();
+
+  // Global serial-chain state.
+  std::array<std::int64_t, kDepResourceCount> tail{-1, -1, -1};
+  std::array<std::uint32_t, kDepResourceCount> chain_len{0, 0, 0};
+  std::int64_t last_ctrl = -1;
+  std::int64_t last_pe = -1;
+  std::int64_t last_load = -1;
+  std::vector<std::uint32_t> asyncs_since_barrier;
+
+  std::map<int, RegionInfo> live;
+  std::map<int, DepState> dep;
+
+  const auto add = [&g](std::int64_t from, std::uint32_t to, DepEdgeKind kind) {
+    if (from >= 0 && static_cast<std::uint32_t>(from) != to) {
+      g.edges_.push_back({static_cast<std::uint32_t>(from), to, kind});
+    }
+  };
+
+  // Records one region access on `node`: emits the RAW/WAR/WAW kDep edges
+  // against the remembered frontier, then advances it.
+  const auto touch = [&](DepNode& node, int region, std::int8_t phase,
+                         bool write) {
+    node.accesses.push_back({region, phase, write});
+    DepState& st = dep[region];
+    const std::size_t s = slot_of(phase);
+    if (write) {
+      for (std::size_t q = 0; q < kSlots; ++q) {
+        if (!slots_conflict(s, q)) {
+          continue;
+        }
+        add(st.last_write[q], node.index, DepEdgeKind::kDep);  // WAW
+        for (std::uint32_t rd : st.reads[q]) {
+          add(rd, node.index, DepEdgeKind::kDep);  // WAR
+        }
+        st.reads[q].clear();
+        if (q != s) {
+          st.last_write[q] = -1;
+        }
+      }
+      st.last_write[s] = node.index;
+    } else {
+      for (std::size_t q = 0; q < kSlots; ++q) {
+        if (slots_conflict(s, q)) {
+          add(st.last_write[q], node.index, DepEdgeKind::kDep);  // RAW
+        }
+      }
+      st.reads[s].push_back(node.index);
+    }
+  };
+
+  for (std::size_t li = 0; li < program.layers.size(); ++li) {
+    const codegen::LayerProgram& layer = program.layers[li];
+    g.layers_.push_back({layer.layer_index, layer.layer_name});
+    const LayerMode mode = classify_layer(layer);
+
+    // Create the layer's nodes up front (node id == global issue position)
+    // so the chain-order pre-pass can reference them.
+    const std::uint32_t first = static_cast<std::uint32_t>(g.nodes_.size());
+    for (std::size_t ci = 0; ci < layer.commands.size(); ++ci) {
+      const Command& cmd = layer.commands[ci];
+      DepNode node;
+      node.index = static_cast<std::uint32_t>(g.nodes_.size());
+      node.layer = li;
+      node.command = ci;
+      node.cmd = cmd;
+      node.resource = resource_of(cmd.op);
+      if (node.resource == DepResource::kDma) {
+        node.weight_cycles = static_cast<double>(cmd.elems) / bw;
+      } else if (node.resource == DepResource::kPe) {
+        node.weight_cycles = static_cast<double>(cmd.macs) / mac_rate;
+      }
+      g.nodes_.push_back(std::move(node));
+    }
+
+    // Refill/drain generations per region (tagged mode only).
+    std::map<int, TileGroups> load_groups;
+    std::map<int, TileGroups> store_groups;
+    // Engine drain order of the layer's DMA nodes, and the chain node each
+    // compute tile waits on (-1 = layer start).
+    std::vector<std::uint32_t> dma_order;
+    std::map<std::int32_t, std::int64_t> anchor;
+    // Issue-ordered (tile, node) lists for the Eq. 2 credit edges.
+    std::vector<std::pair<std::int32_t, std::uint32_t>> pe_by_issue;
+    std::vector<std::pair<std::int32_t, std::uint32_t>> store_by_issue;
+
+    if (mode == LayerMode::kTagged) {
+      std::map<std::int32_t, std::vector<std::uint32_t>> loads_by_tile;
+      std::map<std::int32_t, std::vector<std::uint32_t>> stores_by_tile;
+      std::vector<std::int32_t> tiles;
+      for (std::uint32_t n = first; n < g.nodes_.size(); ++n) {
+        const Command& cmd = g.nodes_[n].cmd;
+        if (!is_async(cmd.op)) {
+          continue;
+        }
+        tiles.push_back(cmd.tile);
+        if (cmd.op == Command::Op::kLoad) {
+          loads_by_tile[cmd.tile].push_back(n);
+          load_groups[cmd.region].insert(cmd.tile);
+        } else if (cmd.op == Command::Op::kStore) {
+          stores_by_tile[cmd.tile].push_back(n);
+          store_groups[cmd.region].insert(cmd.tile);
+        }
+      }
+      std::sort(tiles.begin(), tiles.end());
+      tiles.erase(std::unique(tiles.begin(), tiles.end()), tiles.end());
+      // Engine schedule step t: (1) the channel streams tile t's loads,
+      // (2) the compute launches against the channel state *before* (3)
+      // tile t-1's pending store drains behind those loads.
+      std::vector<std::uint32_t> pending;
+      std::int32_t pending_tile = 0;
+      for (std::int32_t t : tiles) {
+        if (!pending.empty() && pending_tile <= t - 2) {
+          // Drained during an intermediate step with no commands.
+          for (std::uint32_t n : pending) {
+            dma_order.push_back(n);
+          }
+          pending.clear();
+        }
+        if (auto it = loads_by_tile.find(t); it != loads_by_tile.end()) {
+          for (std::uint32_t n : it->second) {
+            dma_order.push_back(n);
+          }
+        }
+        anchor[t] = dma_order.empty()
+                        ? -1
+                        : static_cast<std::int64_t>(dma_order.back());
+        if (!pending.empty()) {
+          for (std::uint32_t n : pending) {
+            dma_order.push_back(n);
+          }
+          pending.clear();
+        }
+        if (auto it = stores_by_tile.find(t); it != stores_by_tile.end()) {
+          pending = it->second;
+          pending_tile = t;
+        }
+      }
+      for (std::uint32_t n : pending) {
+        dma_order.push_back(n);
+      }
+    } else {
+      for (std::uint32_t n = first; n < g.nodes_.size(); ++n) {
+        if (g.nodes_[n].resource == DepResource::kDma) {
+          dma_order.push_back(n);
+        }
+      }
+    }
+
+    // Thread the layer's DMA nodes onto the global channel chain in drain
+    // order (chain_pos follows the chain, not issue order).
+    for (std::uint32_t n : dma_order) {
+      const auto r = static_cast<std::size_t>(DepResource::kDma);
+      g.nodes_[n].chain_pos = ++chain_len[r];
+      add(tail[r], n, DepEdgeKind::kResource);
+      tail[r] = n;
+    }
+
+    // Issue walk: sync/wait/credit edges and the region access model.
+    std::int64_t prev_in_layer = -1;
+    for (std::uint32_t n = first; n < g.nodes_.size(); ++n) {
+      DepNode& node = g.nodes_[n];
+      const Command& cmd = node.cmd;
+      switch (cmd.op) {
+        case Command::Op::kAlloc:
+        case Command::Op::kFree:
+        case Command::Op::kBarrier: {
+          const auto r = static_cast<std::size_t>(DepResource::kControl);
+          node.chain_pos = ++chain_len[r];
+          add(tail[r], n, DepEdgeKind::kSync);
+          tail[r] = n;
+          if (cmd.op == Command::Op::kBarrier) {
+            for (std::uint32_t a : asyncs_since_barrier) {
+              add(a, n, DepEdgeKind::kSync);
+            }
+            asyncs_since_barrier.clear();
+          }
+          last_ctrl = n;
+          break;
+        }
+        case Command::Op::kLoad:
+        case Command::Op::kStore:
+        case Command::Op::kCompute: {
+          if (node.resource == DepResource::kPe) {
+            const auto r = static_cast<std::size_t>(DepResource::kPe);
+            node.chain_pos = ++chain_len[r];
+            add(tail[r], n, DepEdgeKind::kResource);
+            tail[r] = n;
+          }
+          add(last_ctrl, n, DepEdgeKind::kSync);
+          asyncs_since_barrier.push_back(n);
+          if (mode == LayerMode::kTagged) {
+            if (cmd.op == Command::Op::kCompute) {
+              if (auto it = anchor.find(cmd.tile); it != anchor.end()) {
+                add(it->second, n, DepEdgeKind::kWait);
+              }
+              // Eq. 2: this compute's output buffer was freed when the
+              // store two phases back drained.
+              auto it = std::upper_bound(
+                  store_by_issue.begin(), store_by_issue.end(),
+                  std::make_pair(cmd.tile - 2,
+                                 std::numeric_limits<std::uint32_t>::max()));
+              if (it != store_by_issue.begin()) {
+                add(std::prev(it)->second, n, DepEdgeKind::kCredit);
+              }
+            } else if (cmd.op == Command::Op::kLoad) {
+              // Eq. 2: this refill's buffer was released by the compute
+              // two phases back.
+              auto it = std::upper_bound(
+                  pe_by_issue.begin(), pe_by_issue.end(),
+                  std::make_pair(cmd.tile - 2,
+                                 std::numeric_limits<std::uint32_t>::max()));
+              if (it != pe_by_issue.begin()) {
+                add(std::prev(it)->second, n, DepEdgeKind::kCredit);
+              }
+            } else {
+              add(last_pe, n, DepEdgeKind::kWait);
+            }
+          } else if (mode == LayerMode::kFallback) {
+            if (cmd.op == Command::Op::kCompute) {
+              add(last_load, n, DepEdgeKind::kWait);
+            } else if (cmd.op == Command::Op::kStore) {
+              add(last_pe, n, DepEdgeKind::kWait);
+            }
+          }
+          if (cmd.op == Command::Op::kCompute) {
+            last_pe = n;
+            pe_by_issue.emplace_back(cmd.tile, n);
+          } else if (cmd.op == Command::Op::kLoad) {
+            last_load = n;
+          } else {
+            store_by_issue.emplace_back(cmd.tile, n);
+          }
+          break;
+        }
+      }
+      if (mode == LayerMode::kSerial) {
+        // No overlap at all: every command waits its predecessor.
+        add(prev_in_layer, n, DepEdgeKind::kWait);
+        prev_in_layer = n;
+      }
+
+      // Region accesses and their phases.
+      switch (cmd.op) {
+        case Command::Op::kAlloc:
+          live[cmd.region] = {cmd.kind, li};
+          touch(node, cmd.region, kWild, /*write=*/true);
+          break;
+        case Command::Op::kFree:
+          touch(node, cmd.region, kWild, /*write=*/true);
+          live.erase(cmd.region);
+          dep.erase(cmd.region);
+          break;
+        case Command::Op::kLoad: {
+          std::int8_t phase = kWild;
+          if (mode == LayerMode::kTagged) {
+            if (auto it = load_groups.find(cmd.region);
+                it != load_groups.end() && it->second.phased()) {
+              phase = static_cast<std::int8_t>(it->second.index_of(cmd.tile) % 2);
+            }
+          }
+          touch(node, cmd.region, phase, /*write=*/true);
+          break;
+        }
+        case Command::Op::kStore: {
+          std::int8_t phase = kWild;
+          if (mode == LayerMode::kTagged) {
+            if (auto it = store_groups.find(cmd.region);
+                it != store_groups.end() && it->second.phased()) {
+              phase = static_cast<std::int8_t>(it->second.index_of(cmd.tile) % 2);
+            }
+          }
+          touch(node, cmd.region, phase, /*write=*/false);
+          break;
+        }
+        case Command::Op::kCompute:
+          // A compute writes its own layer's ofmap regions and reads every
+          // other live region (inputs resident or streamed).
+          for (const auto& [region, info] : live) {
+            const bool writes =
+                info.kind == codegen::DataKind::kOfmap && info.birth_layer == li;
+            std::int8_t phase = kWild;
+            if (mode == LayerMode::kTagged) {
+              if (writes) {
+                if (auto it = store_groups.find(region);
+                    it != store_groups.end() && it->second.phased()) {
+                  phase = static_cast<std::int8_t>(
+                      it->second.count_before(cmd.tile) % 2);
+                }
+              } else {
+                if (auto it = load_groups.find(region);
+                    it != load_groups.end() && it->second.phased()) {
+                  const std::ptrdiff_t gen = it->second.latest_at(cmd.tile);
+                  if (gen >= 0) {
+                    phase = static_cast<std::int8_t>(gen % 2);
+                  }
+                }
+              }
+            }
+            touch(node, region, phase, writes);
+          }
+          break;
+        case Command::Op::kBarrier:
+          break;
+      }
+    }
+  }
+  return g;
+}
+
+void DepGraph::add_edge(std::uint32_t from, std::uint32_t to,
+                        DepEdgeKind kind) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw std::out_of_range("DepGraph::add_edge: node index out of range");
+  }
+  edges_.push_back({from, to, kind});
+  closure_valid_ = false;
+}
+
+void DepGraph::ensure_closure() const {
+  if (closure_valid_) {
+    return;
+  }
+  const std::size_t n = nodes_.size();
+  topo_.clear();
+  topo_.reserve(n);
+  clocks_.assign(n, {0, 0, 0});
+  cyclic_ = false;
+
+  // Kahn over all edges, lowest node id first: deterministic order and a
+  // definitive cycle verdict.
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::vector<std::uint32_t>> out(n);
+  for (const DepEdge& e : edges_) {
+    out[e.from].push_back(e.to);
+    ++indegree[e.to];
+  }
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>> ready;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) {
+      ready.push(i);
+    }
+  }
+  while (!ready.empty()) {
+    const std::uint32_t u = ready.top();
+    ready.pop();
+    topo_.push_back(u);
+    for (std::uint32_t v : out[u]) {
+      if (--indegree[v] == 0) {
+        ready.push(v);
+      }
+    }
+  }
+  if (topo_.size() != n) {
+    cyclic_ = true;
+    topo_.clear();
+    closure_valid_ = true;
+    return;
+  }
+
+  // Chain vector clocks over the synchronization edges: clocks_[v][c] is
+  // the highest chain-c position known to happen before (or at) v.
+  std::vector<std::vector<std::uint32_t>> in(n);
+  for (const DepEdge& e : edges_) {
+    if (e.kind != DepEdgeKind::kDep) {
+      in[e.to].push_back(e.from);
+    }
+  }
+  for (std::uint32_t v : topo_) {
+    auto& clock = clocks_[v];
+    for (std::uint32_t u : in[v]) {
+      for (std::size_t c = 0; c < kDepResourceCount; ++c) {
+        clock[c] = std::max(clock[c], clocks_[u][c]);
+      }
+    }
+    const auto c = static_cast<std::size_t>(nodes_[v].resource);
+    clock[c] = std::max(clock[c], nodes_[v].chain_pos);
+  }
+  closure_valid_ = true;
+}
+
+bool DepGraph::is_cyclic() const {
+  ensure_closure();
+  return cyclic_;
+}
+
+std::vector<std::uint32_t> DepGraph::topological_order() const {
+  ensure_closure();
+  return topo_;
+}
+
+bool DepGraph::happens_before(std::uint32_t a, std::uint32_t b) const {
+  ensure_closure();
+  if (cyclic_) {
+    throw std::logic_error("DepGraph::happens_before: graph is cyclic");
+  }
+  if (a == b) {
+    return false;
+  }
+  const auto chain = static_cast<std::size_t>(nodes_[a].resource);
+  return clocks_[b][chain] >= nodes_[a].chain_pos;
+}
+
+CriticalPath DepGraph::critical_path() const {
+  ensure_closure();
+  if (cyclic_) {
+    throw std::logic_error("DepGraph::critical_path: graph is cyclic");
+  }
+  const std::size_t n = nodes_.size();
+  std::vector<std::vector<std::uint32_t>> in(n);
+  for (const DepEdge& e : edges_) {
+    if (e.kind == DepEdgeKind::kResource || e.kind == DepEdgeKind::kSync ||
+        e.kind == DepEdgeKind::kWait) {
+      in[e.to].push_back(e.from);
+    }
+  }
+  std::vector<double> finish(n, 0.0);
+  std::vector<std::int64_t> best_pred(n, -1);
+  for (std::uint32_t v : topo_) {
+    double start = 0.0;
+    for (std::uint32_t u : in[v]) {
+      if (finish[u] > start) {
+        start = finish[u];
+        best_pred[v] = u;
+      }
+    }
+    finish[v] = start + nodes_[v].weight_cycles;
+  }
+
+  CriticalPath cp;
+  cp.layer_cycles.assign(layers_.size(), 0.0);
+  std::int64_t end_node = -1;
+  // Per-layer makespans fall out of the running maximum of completion
+  // times: barriers at layer boundaries make the per-layer maxima
+  // monotone, so consecutive differences are each layer's contribution.
+  std::vector<double> layer_end(layers_.size(), 0.0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    layer_end[nodes_[v].layer] = std::max(layer_end[nodes_[v].layer], finish[v]);
+    if (end_node < 0 || finish[v] > finish[static_cast<std::uint32_t>(end_node)]) {
+      end_node = v;
+    }
+  }
+  double cum = 0.0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const double end = std::max(cum, layer_end[l]);
+    cp.layer_cycles[l] = end - cum;
+    cum = end;
+  }
+  cp.total_cycles = cum;
+  for (std::int64_t v = end_node; v >= 0; v = best_pred[static_cast<std::uint32_t>(v)]) {
+    cp.nodes.push_back(static_cast<std::uint32_t>(v));
+  }
+  std::reverse(cp.nodes.begin(), cp.nodes.end());
+  return cp;
+}
+
+}  // namespace rainbow::analysis

@@ -1,0 +1,170 @@
+// Happens-before dependence graph over a lowered command stream.  One walk
+// turns a codegen::Program into a partial order that models the overlap
+// semantics the engine executes: three serial resources (the command
+// sequencer, the DRAM channel, the PE array) plus the synchronization the
+// hardware actually performs — computes wait for previously issued loads,
+// stores wait for their producing compute, barriers join everything, and
+// Eq. 2 double buffering lets the in-flight DMA of one phase run genuinely
+// concurrent with the compute of the other.  On top of the graph sit the
+// vector-clock race detector and reorder certifier (analysis/race.hpp) and
+// a critical-path query that independently re-derives the engine's overlap
+// latency.  Catalog and diagram: docs/static_analysis.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/command.hpp"
+
+namespace rainbow::analysis {
+
+/// Which serial hardware resource executes a command.  Each resource is a
+/// totally ordered chain; the chain decomposition is what makes the
+/// 3-wide vector clocks exact (see DepGraph::happens_before).
+enum class DepResource : std::uint8_t {
+  kControl = 0,  ///< alloc/free/barrier: issued synchronously in order
+  kDma = 1,      ///< load/store: the single DRAM channel
+  kPe = 2,       ///< compute: the PE array
+};
+
+inline constexpr std::size_t kDepResourceCount = 3;
+
+enum class DepEdgeKind : std::uint8_t {
+  /// Consecutive commands on the same reorderable serial resource (DMA
+  /// channel order, PE order).  Not a semantic dependence: a reorderer may
+  /// permute a chain, so certify_reorder ignores these.
+  kResource,
+  /// Issue-order synchronization the sequencer enforces: control-op chain
+  /// order, control op -> later command, async command -> next barrier.
+  kSync,
+  /// A hardware wait: compute waits the loads issued before it, a store
+  /// waits the compute that produced its data, and every command of a
+  /// serial (non-prefetch) layer waits its predecessor.
+  kWait,
+  /// Double-buffer backpressure from Eq. 2: with footprints doubled, the
+  /// refill of tile t only streams after the compute of tile t-2 retired
+  /// (and a compute only starts after the store of tile t-2 drained).
+  /// Ordering-only — the engine's latency model has no credit stalls, so
+  /// critical_path() excludes these.
+  kCredit,
+  /// Region data dependence (RAW/WAR/WAW on the same GLB region and
+  /// double-buffer phase).  These are the dependences the race detector
+  /// *checks* for happens-before coverage and the constraints a certified
+  /// reorder must linearly extend; they do not themselves order anything.
+  kDep,
+};
+
+[[nodiscard]] std::string_view to_string(DepEdgeKind kind);
+
+/// One region access a command performs, with the double-buffer phase it
+/// touches.  phase -1 is "wild": the access conflicts with every phase
+/// (control ops, serial layers, resident single-buffer regions).
+struct RegionAccess {
+  int region = -1;
+  std::int8_t phase = -1;  ///< -1 wild, else 0/1 (refill-generation parity)
+  bool write = false;
+};
+
+struct DepNode {
+  std::uint32_t index = 0;   ///< node id == global issue position
+  std::size_t layer = 0;     ///< position in Program::layers
+  std::size_t command = 0;   ///< index within the layer's stream
+  codegen::Command cmd;
+  DepResource resource = DepResource::kControl;
+  std::uint32_t chain_pos = 0;  ///< 1-based position on its resource chain
+  double weight_cycles = 0.0;   ///< service time on its resource
+  std::vector<RegionAccess> accesses;
+};
+
+struct DepEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  DepEdgeKind kind = DepEdgeKind::kDep;
+};
+
+/// Longest weighted path through the timing edges.
+struct CriticalPath {
+  double total_cycles = 0.0;
+  /// Per-layer makespan contribution (indexed by position in
+  /// Program::layers); sums to total_cycles.
+  std::vector<double> layer_cycles;
+  /// Node ids on one longest path, in execution order.
+  std::vector<std::uint32_t> nodes;
+};
+
+class DepGraph {
+ public:
+  /// Builds the graph in one walk over the program.  Prefetch layers whose
+  /// async commands carry monotone tile tags get the engine's DMA drain
+  /// order (tile t's loads, then tile t-1's deferred store) and per-region
+  /// refill-generation phases; untagged or irregular layers fall back to
+  /// issue order with wild phases.  Serial layers are fully chained.
+  [[nodiscard]] static DepGraph build(const codegen::Program& program);
+
+  [[nodiscard]] const std::vector<DepNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<DepEdge>& edges() const { return edges_; }
+
+  /// Number of layers the program had; layer_site(l) gives the network
+  /// layer index and name used for diagnostics.
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] std::size_t layer_index(std::size_t layer) const {
+    return layers_[layer].index;
+  }
+  [[nodiscard]] const std::string& layer_name(std::size_t layer) const {
+    return layers_[layer].name;
+  }
+
+  /// Appends an explicit ordering edge (used by tests and by future passes
+  /// that impose extra constraints).  Invalidates cached clocks.
+  void add_edge(std::uint32_t from, std::uint32_t to, DepEdgeKind kind);
+
+  /// True when the edge set (all kinds) admits no topological order — the
+  /// schedule deadlocks.  Well-formed builds are always acyclic; cycles
+  /// arise from add_edge or adversarial inputs.
+  [[nodiscard]] bool is_cyclic() const;
+
+  /// Deterministic topological order over all edges (lowest node id
+  /// first); empty when cyclic.
+  [[nodiscard]] std::vector<std::uint32_t> topological_order() const;
+
+  /// Exact happens-before over the synchronization edges (kResource,
+  /// kSync, kWait, kCredit — everything except kDep, which is what gets
+  /// checked against this relation).  Implemented with one vector clock
+  /// entry per resource chain, so queries are O(1) after an O(V+E)
+  /// precompute.  Throws std::logic_error when the graph is cyclic.
+  [[nodiscard]] bool happens_before(std::uint32_t a, std::uint32_t b) const;
+  [[nodiscard]] bool ordered(std::uint32_t a, std::uint32_t b) const {
+    return happens_before(a, b) || happens_before(b, a);
+  }
+
+  /// Longest weighted path over the timing edges (kResource, kSync,
+  /// kWait).  kCredit and kDep carry no time: the engine's channel never
+  /// stalls on credits, and kDep is checked, not enforced.  On a faithful
+  /// lowering this reproduces engine::schedule_latency per layer (the
+  /// cross-check behind S016).  Throws std::logic_error when cyclic.
+  [[nodiscard]] CriticalPath critical_path() const;
+
+ private:
+  struct LayerSite {
+    std::size_t index = 0;  ///< LayerProgram::layer_index (network layer)
+    std::string name;
+  };
+
+  void ensure_closure() const;
+
+  std::vector<DepNode> nodes_;
+  std::vector<DepEdge> edges_;
+  std::vector<LayerSite> layers_;
+
+  // Lazily computed reachability cache: topological order, cyclicity, and
+  // per-node chain clocks (max chain_pos reachable per resource, self
+  // included).
+  mutable bool closure_valid_ = false;
+  mutable bool cyclic_ = false;
+  mutable std::vector<std::uint32_t> topo_;
+  mutable std::vector<std::array<std::uint32_t, kDepResourceCount>> clocks_;
+};
+
+}  // namespace rainbow::analysis

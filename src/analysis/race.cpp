@@ -1,0 +1,490 @@
+#include "analysis/race.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/lifetime.hpp"
+#include "engine/engine.hpp"
+
+namespace rainbow::analysis {
+
+using codegen::Command;
+using validate::Code;
+using validate::Diagnostic;
+using validate::Severity;
+
+namespace {
+
+constexpr std::size_t kSlots = 3;  // phase 0, phase 1, wild
+
+std::size_t slot_of(std::int8_t phase) {
+  return phase < 0 ? 2 : static_cast<std::size_t>(phase);
+}
+
+bool slots_conflict(std::size_t a, std::size_t b) {
+  return a == b || a == 2 || b == 2;
+}
+
+Site site_of(const DepGraph& graph, const DepNode& node) {
+  return Site{graph.layer_index(node.layer), graph.layer_name(node.layer),
+              node.command};
+}
+
+std::string describe(const DepNode& node) {
+  std::string s(codegen::to_string(node.cmd.op));
+  if (node.cmd.region >= 0) {
+    s += " %" + std::to_string(node.cmd.region);
+  }
+  s += " (layer " + std::to_string(node.layer) + " cmd " +
+       std::to_string(node.command);
+  if (node.cmd.tile >= 0) {
+    s += ", tile " + std::to_string(node.cmd.tile);
+  }
+  return s + ")";
+}
+
+std::string phase_name(std::size_t slot) {
+  return slot == 2 ? "any" : std::to_string(slot);
+}
+
+/// Frontier of one region's access history, enough for exact race checks:
+/// accesses on one chain are totally ordered, so only the last read and
+/// last write per (chain, phase slot) can be the unordered witness — if
+/// the latest is ordered with a new access, every earlier one is too.
+struct History {
+  std::array<std::array<std::int64_t, kSlots>, kDepResourceCount> last_write;
+  std::array<std::array<std::int64_t, kSlots>, kDepResourceCount> last_read;
+  /// R005 state per real phase slot: last refill node and whether any
+  /// compute consumed the slot since.
+  std::array<std::int64_t, 2> last_refill{-1, -1};
+  std::array<bool, 2> consumed_since{false, false};
+
+  History() {
+    for (auto& per_chain : last_write) {
+      per_chain.fill(-1);
+    }
+    for (auto& per_chain : last_read) {
+      per_chain.fill(-1);
+    }
+  }
+};
+
+class RaceDetector {
+ public:
+  explicit RaceDetector(const DepGraph& graph) : graph_(graph) {}
+
+  RaceReport run() {
+    RaceReport result;
+    result.nodes = graph_.nodes().size();
+    result.edges = graph_.edges().size();
+    if (graph_.is_cyclic()) {
+      result.cyclic = true;
+      report_cycle(result.report);
+      return result;
+    }
+    std::size_t asyncs_since_barrier = 0;
+    for (const DepNode& node : graph_.nodes()) {
+      switch (node.cmd.op) {
+        case Command::Op::kLoad:
+        case Command::Op::kStore:
+        case Command::Op::kCompute:
+          ++asyncs_since_barrier;
+          break;
+        case Command::Op::kBarrier:
+          if (asyncs_since_barrier == 0) {
+            Diagnostic d = stream_diag(Code::kRaceRedundantBarrier,
+                                       Severity::kWarning,
+                                       site_of(graph_, node));
+            d.detail = "barrier at " + describe(node) +
+                       " has no DMA or compute to drain since the previous "
+                       "sync point";
+            result.report.add(std::move(d));
+          }
+          asyncs_since_barrier = 0;
+          break;
+        case Command::Op::kAlloc:
+        case Command::Op::kFree:
+          break;
+      }
+      visit(node, result.report);
+    }
+    return result;
+  }
+
+ private:
+  void report_cycle(validate::ValidationReport& report) {
+    // Kahn residue: every node left with positive indegree sits on or
+    // behind a cycle; the lowest-id one anchors the diagnostic.
+    const std::size_t n = graph_.nodes().size();
+    std::vector<std::uint32_t> indegree(n, 0);
+    std::vector<std::vector<std::uint32_t>> out(n);
+    for (const DepEdge& e : graph_.edges()) {
+      out[e.from].push_back(e.to);
+      ++indegree[e.to];
+    }
+    std::vector<std::uint32_t> ready;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (indegree[i] == 0) {
+        ready.push_back(i);
+      }
+    }
+    while (!ready.empty()) {
+      const std::uint32_t u = ready.back();
+      ready.pop_back();
+      for (std::uint32_t v : out[u]) {
+        if (--indegree[v] == 0) {
+          ready.push_back(v);
+        }
+      }
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (indegree[i] != 0) {
+        const DepNode& node = graph_.nodes()[i];
+        Diagnostic d = stream_diag(Code::kRaceGraphCycle, Severity::kError,
+                                   site_of(graph_, node));
+        d.detail = "dependence graph has a cycle through " + describe(node) +
+                   ": no execution order satisfies every dependence "
+                   "(deadlock); race detection aborted";
+        report.add(std::move(d));
+        return;
+      }
+    }
+  }
+
+  void visit(const DepNode& node, validate::ValidationReport& report) {
+    if (node.cmd.op == Command::Op::kAlloc) {
+      return;  // births are ordered by the sequencer; S002 owns double allocs
+    }
+    if (node.cmd.op == Command::Op::kFree) {
+      for (const RegionAccess& access : node.accesses) {
+        check_free(node, access.region, report);
+        history_.erase(access.region);
+      }
+      return;
+    }
+    for (const RegionAccess& access : node.accesses) {
+      History& h = history_[access.region];
+      const std::size_t s = slot_of(access.phase);
+      const auto chain = static_cast<std::size_t>(node.resource);
+      for (std::size_t co = 0; co < kDepResourceCount; ++co) {
+        if (co == chain) {
+          continue;  // same serial resource: totally ordered
+        }
+        for (std::size_t q = 0; q < kSlots; ++q) {
+          if (!slots_conflict(s, q)) {
+            continue;
+          }
+          check_pair(h.last_write[co][q], node, access, q, report);
+          if (access.write) {
+            check_pair(h.last_read[co][q], node, access, q, report);
+          }
+        }
+      }
+      // R005: a refill that reuses a phase slot no compute has consumed
+      // since the previous refill of that slot.  Chunks of one refill
+      // share a tile and are exempt.
+      if (node.cmd.op == Command::Op::kLoad && s < 2) {
+        const std::int64_t prev = h.last_refill[s];
+        if (prev >= 0 &&
+            graph_.nodes()[static_cast<std::uint32_t>(prev)].cmd.tile !=
+                node.cmd.tile &&
+            !h.consumed_since[s]) {
+          add_race(Code::kRacePhaseAlias, node, access.region, report,
+                   "refill " + describe(node) + " reuses phase " +
+                       phase_name(s) + " of region " +
+                       std::to_string(access.region) +
+                       " before any compute consumed refill " +
+                       describe(graph_.nodes()[static_cast<std::uint32_t>(prev)]));
+        }
+        h.last_refill[s] = node.index;
+        h.consumed_since[s] = false;
+      }
+      if (node.cmd.op == Command::Op::kCompute && !access.write && s < 2) {
+        h.consumed_since[s] = true;
+      }
+      if (access.write) {
+        h.last_write[chain][s] = node.index;
+      } else {
+        h.last_read[chain][s] = node.index;
+      }
+    }
+  }
+
+  void check_pair(std::int64_t other, const DepNode& node,
+                  const RegionAccess& access, std::size_t other_slot,
+                  validate::ValidationReport& report) {
+    if (other < 0) {
+      return;
+    }
+    const DepNode& prior = graph_.nodes()[static_cast<std::uint32_t>(other)];
+    if (graph_.happens_before(prior.index, node.index)) {
+      return;
+    }
+    // Classify by the writing side: a DMA refill racing a reader is R001,
+    // a compute's output write racing its drain (or another access) R002,
+    // two unordered writes R003.
+    const bool prior_writes = prior_wrote(prior, access.region, other_slot);
+    Code code;
+    const DepNode* writer;
+    if (access.write && prior_writes) {
+      code = Code::kRaceUnorderedWrites;
+      writer = &node;
+    } else {
+      writer = access.write ? &node : &prior;
+      code = writer->cmd.op == Command::Op::kLoad ? Code::kRaceRefill
+                                                  : Code::kRaceDrain;
+    }
+    add_race(code, node, access.region, report,
+             describe(node) + " is unordered with " + describe(prior) +
+                 " on region " + std::to_string(access.region) + " phase " +
+                 phase_name(slot_of(access.phase)) +
+                 ": the overlap window lets them run concurrently");
+  }
+
+  [[nodiscard]] bool prior_wrote(const DepNode& prior, int region,
+                                 std::size_t slot) const {
+    for (const RegionAccess& a : prior.accesses) {
+      if (a.region == region && slot_of(a.phase) == slot) {
+        return a.write;
+      }
+    }
+    return false;
+  }
+
+  void check_free(const DepNode& node, int region,
+                  validate::ValidationReport& report) {
+    auto it = history_.find(region);
+    if (it == history_.end()) {
+      return;
+    }
+    for (std::size_t chain = 0; chain < kDepResourceCount; ++chain) {
+      for (std::size_t q = 0; q < kSlots; ++q) {
+        for (std::int64_t other :
+             {it->second.last_write[chain][q], it->second.last_read[chain][q]}) {
+          if (other < 0) {
+            continue;
+          }
+          const DepNode& prior =
+              graph_.nodes()[static_cast<std::uint32_t>(other)];
+          if (!graph_.happens_before(prior.index, node.index)) {
+            add_race(Code::kRaceFreeInFlight, node, region, report,
+                     describe(node) + " releases region " +
+                         std::to_string(region) + " while " + describe(prior) +
+                         " may still be in flight");
+            return;
+          }
+        }
+      }
+    }
+  }
+
+  void add_race(Code code, const DepNode& node, int region,
+                validate::ValidationReport& report, std::string detail) {
+    if (!reported_.insert({region, code}).second) {
+      return;
+    }
+    Diagnostic d = stream_diag(code, Severity::kError, site_of(graph_, node));
+    d.detail = std::move(detail);
+    d.expected = "happens-before ordering";
+    d.actual = "concurrent";
+    report.add(std::move(d));
+  }
+
+  const DepGraph& graph_;
+  std::map<int, History> history_;
+  std::set<std::pair<int, Code>> reported_;
+};
+
+}  // namespace
+
+RaceReport analyze_races(const DepGraph& graph) {
+  return RaceDetector(graph).run();
+}
+
+RaceReport analyze_races(const codegen::Program& program) {
+  return analyze_races(DepGraph::build(program));
+}
+
+CertifyResult certify_reorder(const codegen::Program& original,
+                              const codegen::Program& candidate) {
+  CertifyResult result;
+  constexpr std::size_t kMaxDiagnostics = 8;
+
+  const auto fail = [&result](std::string detail) {
+    if (result.report.diagnostics().size() < kMaxDiagnostics) {
+      Diagnostic d;
+      d.code = Code::kRaceReorderViolation;
+      d.severity = Severity::kError;
+      d.detail = std::move(detail);
+      result.report.add(std::move(d));
+    }
+  };
+
+  if (original.layers.size() != candidate.layers.size()) {
+    fail("candidate has " + std::to_string(candidate.layers.size()) +
+         " layer(s), original " + std::to_string(original.layers.size()));
+    return result;
+  }
+
+  // Match commands by stable id: the candidate must be a per-layer
+  // permutation with identical command content.
+  struct Slot {
+    std::size_t layer = 0;
+    const Command* cmd = nullptr;
+  };
+  std::unordered_map<std::uint32_t, Slot> originals;
+  std::size_t total = 0;
+  for (std::size_t li = 0; li < original.layers.size(); ++li) {
+    for (const Command& cmd : original.layers[li].commands) {
+      ++total;
+      if (cmd.id == 0) {
+        fail("original stream is untagged (command with id 0); re-lower "
+             "before certifying");
+        return result;
+      }
+      if (!originals.emplace(cmd.id, Slot{li, &cmd}).second) {
+        fail("original stream has duplicate command id " +
+             std::to_string(cmd.id));
+        return result;
+      }
+    }
+  }
+
+  std::unordered_map<std::uint32_t, std::size_t> candidate_pos;
+  candidate_pos.reserve(total);
+  std::size_t structural = 0;
+  std::size_t flat = 0;
+  for (std::size_t li = 0; li < candidate.layers.size(); ++li) {
+    for (const Command& cmd : candidate.layers[li].commands) {
+      const std::size_t pos = flat++;
+      auto it = originals.find(cmd.id);
+      if (it == originals.end()) {
+        fail("candidate command id " + std::to_string(cmd.id) +
+             " does not exist in the original stream");
+        ++structural;
+        continue;
+      }
+      if (it->second.layer != li) {
+        fail("command id " + std::to_string(cmd.id) + " moved from layer " +
+             std::to_string(it->second.layer) + " to layer " +
+             std::to_string(li));
+        ++structural;
+      } else if (!(*it->second.cmd == cmd)) {
+        fail("command id " + std::to_string(cmd.id) +
+             " was altered, not just moved");
+        ++structural;
+      }
+      if (!candidate_pos.emplace(cmd.id, pos).second) {
+        fail("candidate repeats command id " + std::to_string(cmd.id));
+        ++structural;
+      }
+    }
+  }
+  if (candidate_pos.size() != total) {
+    fail("candidate drops " + std::to_string(total - candidate_pos.size()) +
+         " command(s) of the original stream");
+    ++structural;
+  }
+  if (structural != 0) {
+    result.violations = structural;
+    return result;
+  }
+
+  // The candidate order must linearly extend every semantic dependence of
+  // the original: data/lifetime (kDep) and sequencer/barrier (kSync)
+  // edges.  Resource-chain and timing edges are exactly the freedom a
+  // reorderer exploits, so they are not constraints.
+  const DepGraph graph = DepGraph::build(original);
+  for (const DepEdge& e : graph.edges()) {
+    if (e.kind != DepEdgeKind::kDep && e.kind != DepEdgeKind::kSync) {
+      continue;
+    }
+    const DepNode& from = graph.nodes()[e.from];
+    const DepNode& to = graph.nodes()[e.to];
+    if (candidate_pos.at(from.cmd.id) >= candidate_pos.at(to.cmd.id)) {
+      ++result.violations;
+      if (result.report.diagnostics().size() < kMaxDiagnostics) {
+        Diagnostic d = stream_diag(Code::kRaceReorderViolation,
+                                   Severity::kError, site_of(graph, to));
+        d.detail = "candidate places " + describe(to) + " before " +
+                   describe(from) + ", inverting a " +
+                   std::string(to_string(e.kind)) + " dependence";
+        result.report.add(std::move(d));
+      }
+    }
+  }
+  result.ok = result.violations == 0 && result.report.ok();
+  return result;
+}
+
+CriticalPathCheck check_critical_path(const codegen::Program& program,
+                                      const core::ExecutionPlan& plan,
+                                      const model::Network& network,
+                                      double rel_tol) {
+  return check_critical_path(DepGraph::build(program), program, plan, network,
+                             rel_tol);
+}
+
+CriticalPathCheck check_critical_path(const DepGraph& graph,
+                                      const codegen::Program& program,
+                                      const core::ExecutionPlan& plan,
+                                      const model::Network& network,
+                                      double rel_tol) {
+  CriticalPathCheck check;
+  if (graph.is_cyclic()) {
+    Diagnostic d;
+    d.code = Code::kRaceGraphCycle;
+    d.severity = Severity::kError;
+    d.detail = "dependence graph is cyclic; critical path undefined";
+    check.report.add(std::move(d));
+    return check;
+  }
+  check.path = graph.critical_path();
+
+  const engine::Engine engine(program.spec);
+  const auto& assignments = plan.assignments();
+  check.engine_layer_cycles.reserve(assignments.size());
+  for (const core::LayerAssignment& a : assignments) {
+    const core::InterlayerAdjust adjust{.ifmap_resident = a.ifmap_from_glb,
+                                        .keep_ofmap = a.ofmap_stays_in_glb};
+    const engine::LayerExecution exec = engine.execute_layer(
+        network.layer(a.layer_index), a.estimate.choice, adjust);
+    check.engine_layer_cycles.push_back(exec.latency_cycles);
+    check.engine_total_cycles += exec.latency_cycles;
+  }
+
+  const std::size_t layers =
+      std::min(check.path.layer_cycles.size(), check.engine_layer_cycles.size());
+  if (check.path.layer_cycles.size() != check.engine_layer_cycles.size()) {
+    Diagnostic d;
+    d.code = Code::kStreamCriticalPathMismatch;
+    d.severity = Severity::kError;
+    d.context = "layer count";
+    d.expected = std::to_string(check.engine_layer_cycles.size());
+    d.actual = std::to_string(check.path.layer_cycles.size());
+    check.report.add(std::move(d));
+  }
+  for (std::size_t l = 0; l < layers; ++l) {
+    const double g = check.path.layer_cycles[l];
+    const double e = check.engine_layer_cycles[l];
+    const double tol = rel_tol * std::max({1.0, std::fabs(g), std::fabs(e)});
+    if (std::fabs(g - e) > tol) {
+      Diagnostic d = layer_diag(Code::kStreamCriticalPathMismatch,
+                                Severity::kError, graph.layer_index(l),
+                                graph.layer_name(l));
+      d.detail = "dependence-graph critical path disagrees with the engine's "
+                 "overlap latency model";
+      d.expected = std::to_string(e) + " cycles";
+      d.actual = std::to_string(g) + " cycles";
+      check.report.add(std::move(d));
+    }
+  }
+  return check;
+}
+
+}  // namespace rainbow::analysis

@@ -1,0 +1,84 @@
+// Concurrency checks over the happens-before dependence graph
+// (analysis/depgraph.hpp): a vector-clock race detector (R001-R006, R008),
+// the stream-reorder certifier certify_reorder (R007) that gates any pass
+// permuting a lowered stream, and the critical-path cross-check that
+// re-derives the engine's overlap latency from the graph alone (S016 on
+// divergence).  Catalog: docs/static_analysis.md.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/depgraph.hpp"
+#include "codegen/command.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+#include "validate/diagnostics.hpp"
+
+namespace rainbow::analysis {
+
+/// Everything one race-detection run produced.
+struct RaceReport {
+  validate::ValidationReport report;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  bool cyclic = false;
+
+  [[nodiscard]] bool ok() const { return report.ok(); }
+  [[nodiscard]] bool clean() const { return report.empty(); }
+};
+
+/// Checks every conflicting pair of region accesses (same region,
+/// overlapping double-buffer phase, at least one write, different
+/// resources) for happens-before coverage; unordered pairs become R001
+/// (refill vs read), R002 (drain vs compute write), R003 (write vs write)
+/// or R004 (free vs in-flight access).  Also flags double-buffer phase
+/// aliasing with no intervening consumer (R005), dependence cycles (R006,
+/// detection then stops), and barriers that drain nothing (R008, warning).
+/// Diagnostics are deduplicated to one per (region, code).
+[[nodiscard]] RaceReport analyze_races(const DepGraph& graph);
+[[nodiscard]] RaceReport analyze_races(const codegen::Program& program);
+
+/// Result of certifying a permuted stream against the original's graph.
+struct CertifyResult {
+  bool ok = false;
+  std::size_t violations = 0;  ///< dependence edges the candidate inverts
+  validate::ValidationReport report;  ///< R007 diagnostics (first few)
+};
+
+/// Proves `candidate` is a legal reordering of `original`: the same
+/// commands (matched by stable id, per layer) arranged as a linear
+/// extension of the original's semantic dependences (kDep data/lifetime
+/// edges and kSync sequencer/barrier edges; kResource channel order and
+/// kWait timing are exactly what a reorderer is free to change).  This is
+/// the legality gate a DMA-reordering pass must pass before emitting a
+/// permuted stream; candidates should additionally be race-checked.
+[[nodiscard]] CertifyResult certify_reorder(const codegen::Program& original,
+                                            const codegen::Program& candidate);
+
+/// Critical path vs. the engine's overlap latency model, layer by layer.
+struct CriticalPathCheck {
+  CriticalPath path;                        ///< graph-side derivation
+  std::vector<double> engine_layer_cycles;  ///< engine::schedule_latency side
+  double engine_total_cycles = 0.0;
+  validate::ValidationReport report;  ///< S016 per diverging layer
+
+  [[nodiscard]] bool match() const { return report.ok(); }
+};
+
+/// Re-derives total cycles from the dependence graph's longest weighted
+/// path and compares against Engine::execute_layer for every layer of the
+/// plan the program was lowered from.  `rel_tol` absorbs the differing
+/// summation order of the two derivations (the engine divides tile sums
+/// once; the graph divides per command).  The first overload reuses a
+/// graph already built for `program` (multi-million-command streams make
+/// the rebuild the dominant cost); the second builds its own.
+[[nodiscard]] CriticalPathCheck check_critical_path(
+    const DepGraph& graph, const codegen::Program& program,
+    const core::ExecutionPlan& plan, const model::Network& network,
+    double rel_tol = 1e-6);
+[[nodiscard]] CriticalPathCheck check_critical_path(
+    const codegen::Program& program, const core::ExecutionPlan& plan,
+    const model::Network& network, double rel_tol = 1e-6);
+
+}  // namespace rainbow::analysis

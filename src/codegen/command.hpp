@@ -6,6 +6,7 @@
 // it has to re-derive.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,14 @@ struct Command {
   DataKind kind = DataKind::kIfmap;  ///< alloc/load/store/free only
   count_t elems = 0;        ///< transfer/allocation size
   count_t macs = 0;         ///< compute only
+  /// Stable program-unique id assigned by lower(); 0 means untagged.  The
+  /// dependence graph and certify_reorder match commands across permuted
+  /// streams by this id (src/analysis/depgraph.hpp).
+  std::uint32_t id = 0;
+  /// Schedule tile index the command belongs to; -1 for alloc/free/barrier
+  /// and for hand-built streams.  Under prefetch double buffering the
+  /// region phase a transfer or compute touches is `tile % 2` (Eq. 2).
+  std::int32_t tile = -1;
 
   friend bool operator==(const Command&, const Command&) = default;
 };

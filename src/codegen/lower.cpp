@@ -50,6 +50,10 @@ LayerProgram lower_layer(const model::Layer& layer, std::size_t layer_index,
                               .kind = DataKind::kOfmap,
                               .elems = footprint.ofmap});
 
+  // Async commands carry their schedule tile index so the dependence graph
+  // can reconstruct the double-buffer phase (tile % 2) and the engine's DMA
+  // drain order; alloc/free/barrier stay untagged (tile = -1).
+  std::int32_t tile_index = 0;
   for (const engine::TileOp& tile : schedule) {
     if (tile.load_ifmap != 0) {
       // A schedule entry can stream more ifmap data than the scratchpad
@@ -64,7 +68,8 @@ LayerProgram lower_layer(const model::Layer& layer, std::size_t layer_index,
         program.commands.push_back({.op = Command::Op::kLoad,
                                     .region = ifmap_region,
                                     .kind = DataKind::kIfmap,
-                                    .elems = elems});
+                                    .elems = elems,
+                                    .tile = tile_index});
         remaining -= elems;
       }
     }
@@ -72,18 +77,21 @@ LayerProgram lower_layer(const model::Layer& layer, std::size_t layer_index,
       program.commands.push_back({.op = Command::Op::kLoad,
                                   .region = filter_region,
                                   .kind = DataKind::kFilter,
-                                  .elems = tile.load_filter});
+                                  .elems = tile.load_filter,
+                                  .tile = tile_index});
     }
     if (tile.macs != 0) {
       program.commands.push_back(
-          {.op = Command::Op::kCompute, .macs = tile.macs});
+          {.op = Command::Op::kCompute, .macs = tile.macs, .tile = tile_index});
     }
     if (tile.store_ofmap != 0) {
       program.commands.push_back({.op = Command::Op::kStore,
                                   .region = ofmap_region,
                                   .kind = DataKind::kOfmap,
-                                  .elems = tile.store_ofmap});
+                                  .elems = tile.store_ofmap,
+                                  .tile = tile_index});
     }
+    ++tile_index;
   }
 
   program.commands.push_back({.op = Command::Op::kBarrier});
@@ -137,6 +145,16 @@ Program lower(const core::ExecutionPlan& plan, const model::Network& network) {
                                               : std::nullopt;
     next_region += consumed;
     program.layers.push_back(std::move(layer_program));
+  }
+  // Stable program-unique command ids, assigned after all layers exist so
+  // the numbering is one dense sequence in issue order.  certify_reorder
+  // matches original and permuted streams by these ids; 0 stays reserved
+  // for hand-built (untagged) commands.
+  std::uint32_t next_id = 1;
+  for (LayerProgram& layer_program : program.layers) {
+    for (Command& command : layer_program.commands) {
+      command.id = next_id++;
+    }
   }
   return program;
 }

@@ -63,6 +63,14 @@ std::string to_string(const Command& command) {
 
 namespace {
 
+/// Commands render identically: every field that to_string(Command) prints
+/// matches.  The stable id and tile tags are deliberately ignored — two
+/// steady-state tiles differ in those but compress to one "xN" group.
+bool prints_same(const Command& a, const Command& b) {
+  return a.op == b.op && a.region == b.region && a.kind == b.kind &&
+         a.elems == b.elems && a.macs == b.macs;
+}
+
 /// Longest period p such that commands[i] == commands[i % p] over a prefix;
 /// greedily emits "xN { group }" for repeats.
 void print_compressed(const std::vector<Command>& commands, std::ostream& os) {
@@ -78,7 +86,7 @@ void print_compressed(const std::vector<Command>& commands, std::ostream& os) {
       while (i + (repeats + 1) * group <= commands.size()) {
         bool same = true;
         for (std::size_t k = 0; k < group; ++k) {
-          if (!(commands[i + repeats * group + k] == commands[i + k])) {
+          if (!prints_same(commands[i + repeats * group + k], commands[i + k])) {
             same = false;
             break;
           }

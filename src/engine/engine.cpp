@@ -14,6 +14,44 @@ Engine::Engine(const arch::AcceleratorSpec& spec) : spec_(spec) {
   spec_.validate();
 }
 
+double schedule_latency(const std::vector<TileOp>& schedule, double bw,
+                        double mac_rate, bool prefetch) {
+  if (prefetch) {
+    // Double-buffered pipeline: the DRAM channel runs one tile ahead —
+    // while tile i computes, the channel loads tile i+1 and only then
+    // drains tile i-1's stores (whose compute has long finished).  Both
+    // resources are serial; a tile's compute waits for its own load.
+    double dram_free = 0.0;
+    double compute_free = 0.0;
+    double pending_store = 0.0;  // tile i-1's output, ready to drain
+    double pending_ready = 0.0;  // when that output was produced
+    for (const TileOp& op : schedule) {
+      dram_free += static_cast<double>(op.load_total()) / bw;
+      const double comp_start = std::max(dram_free, compute_free);
+      // The previous tile's store is ready by now; drain it behind this
+      // tile's load.
+      if (pending_store > 0.0) {
+        dram_free = std::max(dram_free, pending_ready) + pending_store;
+      }
+      compute_free = comp_start + static_cast<double>(op.macs) / mac_rate;
+      pending_store = static_cast<double>(op.store_ofmap) / bw;
+      pending_ready = compute_free;
+    }
+    if (pending_store > 0.0) {
+      dram_free = std::max(dram_free, pending_ready) + pending_store;
+    }
+    return std::max(compute_free, dram_free);
+  }
+  // Serialized: each tile loads, computes, stores with no overlap.
+  double t = 0.0;
+  for (const TileOp& op : schedule) {
+    t += static_cast<double>(op.load_total()) / bw;
+    t += static_cast<double>(op.macs) / mac_rate;
+    t += static_cast<double>(op.store_ofmap) / bw;
+  }
+  return t;
+}
+
 LayerExecution Engine::execute_layer(const model::Layer& layer,
                                      const core::PolicyChoice& choice,
                                      const core::InterlayerAdjust& adjust) const {
@@ -41,41 +79,7 @@ LayerExecution Engine::execute_layer(const model::Layer& layer,
   const double bw = spec_.elements_per_cycle();
   const double mac_rate = spec_.effective_macs_per_cycle();
 
-  if (choice.prefetch) {
-    // Double-buffered pipeline: the DRAM channel runs one tile ahead —
-    // while tile i computes, the channel loads tile i+1 and only then
-    // drains tile i-1's stores (whose compute has long finished).  Both
-    // resources are serial; a tile's compute waits for its own load.
-    double dram_free = 0.0;
-    double compute_free = 0.0;
-    double pending_store = 0.0;       // tile i-1's output, ready to drain
-    double pending_ready = 0.0;       // when that output was produced
-    for (const TileOp& op : schedule) {
-      dram_free += static_cast<double>(op.load_total()) / bw;
-      const double comp_start = std::max(dram_free, compute_free);
-      // The previous tile's store is ready by now; drain it behind this
-      // tile's load.
-      if (pending_store > 0.0) {
-        dram_free = std::max(dram_free, pending_ready) + pending_store;
-      }
-      compute_free = comp_start + static_cast<double>(op.macs) / mac_rate;
-      pending_store = static_cast<double>(op.store_ofmap) / bw;
-      pending_ready = compute_free;
-    }
-    if (pending_store > 0.0) {
-      dram_free = std::max(dram_free, pending_ready) + pending_store;
-    }
-    exec.latency_cycles = std::max(compute_free, dram_free);
-  } else {
-    // Serialized: each tile loads, computes, stores with no overlap.
-    double t = 0.0;
-    for (const TileOp& op : schedule) {
-      t += static_cast<double>(op.load_total()) / bw;
-      t += static_cast<double>(op.macs) / mac_rate;
-      t += static_cast<double>(op.store_ofmap) / bw;
-    }
-    exec.latency_cycles = t;
-  }
+  exec.latency_cycles = schedule_latency(schedule, bw, mac_rate, choice.prefetch);
 
   const ScheduleTotals sums = totals(schedule);
   exec.traffic.ifmap_reads = sums.ifmap_loads;

@@ -38,6 +38,17 @@ struct PlanExecution {
   std::size_t workers_used = 1;
 };
 
+/// The two-resource overlap timing model, shared by Engine::execute_layer
+/// and the dependence-graph critical-path cross-check (src/analysis/race).
+/// With `prefetch`, the DRAM channel runs one tile ahead: tile i's loads
+/// queue behind everything already on the channel, its compute starts at
+/// max(channel drained, PE free), and tile i-1's store drains behind tile
+/// i's loads.  Without it, every tile serializes load -> compute -> store.
+/// `bw` is DRAM elements/cycle, `mac_rate` effective MACs/cycle.
+[[nodiscard]] double schedule_latency(const std::vector<TileOp>& schedule,
+                                      double bw, double mac_rate,
+                                      bool prefetch);
+
 class Engine {
  public:
   explicit Engine(const arch::AcceleratorSpec& spec);

@@ -1,0 +1,124 @@
+// Single source of truth for every diagnostic code the validation stack can
+// emit.  The table below generates, via X-macro expansion:
+//   - the `validate::Code` enumerators               (diagnostics.hpp)
+//   - the stable short strings ("V006", "R003")      (diagnostics.cpp)
+//   - the one-line rule descriptions                 (diagnostics.cpp)
+//   - the registry iteration used by tests and docs  (kCodeRegistry below)
+// Adding a code means adding exactly one line here (plus a docs-catalog row;
+// diag_registry_test cross-checks that the docs stay in sync).
+//
+// Families:
+//   V0xx  plan invariants re-derived from the paper's closed forms
+//   L0xx  static lint rules over model files, plan files, and specs
+//   S0xx  stream hazards from the linear stream analyzer (src/analysis)
+//   R0xx  concurrency findings from the happens-before dependence graph
+//         (src/analysis/depgraph, docs/static_analysis.md)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+// X(enum_name, "CODE", "one-line description")
+#define RAINBOW_DIAG_REGISTRY(X)                                               \
+  /* Plan validator. */                                                        \
+  X(kSpecInvalid, "V001", "accelerator spec fails validation")                 \
+  X(kLayerIndexMismatch, "V002",                                               \
+    "plan assignments disagree with the network's layer order")                \
+  X(kTileOutOfRange, "V003", "tiling parameter outside the layer's bounds")    \
+  X(kFootprintMismatch, "V004",                                                \
+    "stored footprint differs from the policy closed form")                    \
+  X(kPrefetchDoubling, "V005",                                                 \
+    "prefetch footprint violates Eq. 2 double buffering")                      \
+  X(kGlbOverflow, "V006", "on-chip footprint exceeds the GLB capacity")        \
+  X(kFeasibilityFlag, "V007", "plan stores an estimate marked infeasible")     \
+  X(kFoldCountMismatch, "V008",                                                \
+    "reload/stripe count differs from its ceiling-division form")              \
+  X(kTrafficMismatch, "V009",                                                  \
+    "off-chip traffic differs from the policy closed form")                    \
+  X(kLatencyMismatch, "V010",                                                  \
+    "latency or compute cycles differ from the closed form")                   \
+  X(kInterlayerBroken, "V011", "inter-layer reuse link flags are inconsistent") \
+  X(kInterlayerWindow, "V012",                                                 \
+    "resident reuse window differs from the consumer's ifmap")                 \
+  X(kFoldGeometryMismatch, "V013",                                             \
+    "systolic fold geometry differs from its ceiling forms")                   \
+  X(kArithmeticOverflow, "V014", "closed form overflows 64-bit arithmetic")    \
+  /* Linter. */                                                                \
+  X(kModelParse, "L001", "model file is malformed")                            \
+  X(kModelShape, "L002", "layer shape is non-positive or inconsistent")        \
+  X(kModelDivisibility, "L003", "layer dims leave partial systolic folds")     \
+  X(kModelTrunkMismatch, "L004", "trunk boundary dimensions are discontinuous") \
+  X(kModelOverflow, "L005", "layer shape overflows 64-bit closed forms")       \
+  X(kPlanParse, "L006", "plan file is malformed")                              \
+  X(kPlanRange, "L007", "plan decision out of range for its layer")            \
+  X(kSpecSanity, "L008", "accelerator configuration invalid or suspicious")    \
+  /* Stream analyzer. */                                                       \
+  X(kStreamDeadRegion, "S001",                                                 \
+    "transfer targets an unallocated or freed region")                         \
+  X(kStreamDoubleAlloc, "S002", "region id allocated while already live")      \
+  X(kStreamBadFree, "S003", "free of a region that is not live (double-free)") \
+  X(kStreamRegionLeak, "S004",                                                 \
+    "region outlives its inter-layer hand-off window")                         \
+  X(kStreamOverCommit, "S005",                                                 \
+    "live regions exceed the GLB capacity at a program point")                 \
+  X(kStreamUseBeforeLoad, "S006",                                              \
+    "compute consumes an input region with no data loaded")                    \
+  X(kStreamStoreBeforeCompute, "S007",                                         \
+    "store drains data no compute has produced")                              \
+  X(kStreamMissingBarrier, "S008",                                             \
+    "prefetch layer ends with in-flight DMA or compute")                       \
+  X(kStreamUnterminatedLayer, "S009",                                          \
+    "serial layer stream is not barrier-terminated")                           \
+  X(kStreamDeadLoad, "S010", "region loaded but never computed-on or stored")  \
+  X(kStreamMalformed, "S011",                                                  \
+    "malformed command (size, region id, or kind misuse)")                     \
+  X(kStreamTransferOverflow, "S012",                                           \
+    "transfer overflows its region or the scratchpad")                         \
+  X(kStreamPlacementFailure, "S013",                                           \
+    "first-fit allocator cannot place a stream that fits")                     \
+  X(kStreamFootprintMismatch, "S014",                                          \
+    "stream allocations differ from the plan's footprint")                     \
+  X(kStreamScheduleMismatch, "S015",                                           \
+    "command sums differ from the schedule's totals")                          \
+  X(kStreamCriticalPathMismatch, "S016",                                       \
+    "dependence-graph critical path differs from the overlap latency model")   \
+  /* Happens-before race detector. */                                          \
+  X(kRaceRefill, "R001",                                                       \
+    "DMA refill races a concurrent compute's read of the same region phase")   \
+  X(kRaceDrain, "R002",                                                        \
+    "ofmap drain races the compute writing the same region phase")             \
+  X(kRaceUnorderedWrites, "R003",                                              \
+    "two unordered writes target the same region phase")                       \
+  X(kRaceFreeInFlight, "R004",                                                 \
+    "region freed while DMA or compute may still be in flight")                \
+  X(kRacePhaseAlias, "R005",                                                   \
+    "double-buffer refill reuses a phase before any compute consumed it")      \
+  X(kRaceGraphCycle, "R006",                                                   \
+    "dependence graph contains a cycle (schedule can deadlock)")               \
+  X(kRaceReorderViolation, "R007",                                             \
+    "reordered stream violates a happens-before dependence")                   \
+  X(kRaceRedundantBarrier, "R008",                                             \
+    "barrier drains nothing (no async work since the last sync point)")
+
+namespace rainbow::validate {
+
+/// One registry row, exposed so tests and docs tooling can iterate the
+/// full code table without re-listing it.
+struct CodeInfo {
+  std::string_view code;         ///< stable short string, e.g. "V006"
+  std::string_view description;  ///< one-line rule description
+};
+
+namespace detail {
+#define RAINBOW_DIAG_COUNT(name, code, desc) +1
+inline constexpr std::size_t kCodeCount = 0 RAINBOW_DIAG_REGISTRY(RAINBOW_DIAG_COUNT);
+#undef RAINBOW_DIAG_COUNT
+}  // namespace detail
+
+#define RAINBOW_DIAG_INFO(name, code, desc) CodeInfo{code, desc},
+inline constexpr std::array<CodeInfo, detail::kCodeCount> kCodeRegistry = {
+    {RAINBOW_DIAG_REGISTRY(RAINBOW_DIAG_INFO)}};
+#undef RAINBOW_DIAG_INFO
+
+}  // namespace rainbow::validate

@@ -6,127 +6,23 @@
 
 namespace rainbow::validate {
 
+// Both lookup tables index kCodeRegistry (validate/diag_registry.hpp) by the
+// enumerator's ordinal — the enum is generated from the same table, so the
+// ordering matches by construction.
 std::string_view code_string(Code code) {
-  switch (code) {
-    case Code::kSpecInvalid:          return "V001";
-    case Code::kLayerIndexMismatch:   return "V002";
-    case Code::kTileOutOfRange:       return "V003";
-    case Code::kFootprintMismatch:    return "V004";
-    case Code::kPrefetchDoubling:     return "V005";
-    case Code::kGlbOverflow:          return "V006";
-    case Code::kFeasibilityFlag:      return "V007";
-    case Code::kFoldCountMismatch:    return "V008";
-    case Code::kTrafficMismatch:      return "V009";
-    case Code::kLatencyMismatch:      return "V010";
-    case Code::kInterlayerBroken:     return "V011";
-    case Code::kInterlayerWindow:     return "V012";
-    case Code::kFoldGeometryMismatch: return "V013";
-    case Code::kArithmeticOverflow:   return "V014";
-    case Code::kModelParse:           return "L001";
-    case Code::kModelShape:           return "L002";
-    case Code::kModelDivisibility:    return "L003";
-    case Code::kModelTrunkMismatch:   return "L004";
-    case Code::kModelOverflow:        return "L005";
-    case Code::kPlanParse:            return "L006";
-    case Code::kPlanRange:            return "L007";
-    case Code::kSpecSanity:           return "L008";
-    case Code::kStreamDeadRegion:          return "S001";
-    case Code::kStreamDoubleAlloc:         return "S002";
-    case Code::kStreamBadFree:             return "S003";
-    case Code::kStreamRegionLeak:          return "S004";
-    case Code::kStreamOverCommit:          return "S005";
-    case Code::kStreamUseBeforeLoad:       return "S006";
-    case Code::kStreamStoreBeforeCompute:  return "S007";
-    case Code::kStreamMissingBarrier:      return "S008";
-    case Code::kStreamUnterminatedLayer:   return "S009";
-    case Code::kStreamDeadLoad:            return "S010";
-    case Code::kStreamMalformed:           return "S011";
-    case Code::kStreamTransferOverflow:    return "S012";
-    case Code::kStreamPlacementFailure:    return "S013";
-    case Code::kStreamFootprintMismatch:   return "S014";
-    case Code::kStreamScheduleMismatch:    return "S015";
+  const auto index = static_cast<std::size_t>(code);
+  if (index >= kCodeRegistry.size()) {
+    throw std::logic_error("code_string: invalid Code");
   }
-  throw std::logic_error("code_string: invalid Code");
+  return kCodeRegistry[index].code;
 }
 
 std::string_view code_description(Code code) {
-  switch (code) {
-    case Code::kSpecInvalid:
-      return "accelerator spec fails validation";
-    case Code::kLayerIndexMismatch:
-      return "plan assignments disagree with the network's layer order";
-    case Code::kTileOutOfRange:
-      return "tiling parameter outside the layer's bounds";
-    case Code::kFootprintMismatch:
-      return "stored footprint differs from the policy closed form";
-    case Code::kPrefetchDoubling:
-      return "prefetch footprint violates Eq. 2 double buffering";
-    case Code::kGlbOverflow:
-      return "on-chip footprint exceeds the GLB capacity";
-    case Code::kFeasibilityFlag:
-      return "plan stores an estimate marked infeasible";
-    case Code::kFoldCountMismatch:
-      return "reload/stripe count differs from its ceiling-division form";
-    case Code::kTrafficMismatch:
-      return "off-chip traffic differs from the policy closed form";
-    case Code::kLatencyMismatch:
-      return "latency or compute cycles differ from the closed form";
-    case Code::kInterlayerBroken:
-      return "inter-layer reuse link flags are inconsistent";
-    case Code::kInterlayerWindow:
-      return "resident reuse window differs from the consumer's ifmap";
-    case Code::kFoldGeometryMismatch:
-      return "systolic fold geometry differs from its ceiling forms";
-    case Code::kArithmeticOverflow:
-      return "closed form overflows 64-bit arithmetic";
-    case Code::kModelParse:
-      return "model file is malformed";
-    case Code::kModelShape:
-      return "layer shape is non-positive or inconsistent";
-    case Code::kModelDivisibility:
-      return "layer dims leave partial systolic folds";
-    case Code::kModelTrunkMismatch:
-      return "trunk boundary dimensions are discontinuous";
-    case Code::kModelOverflow:
-      return "layer shape overflows 64-bit closed forms";
-    case Code::kPlanParse:
-      return "plan file is malformed";
-    case Code::kPlanRange:
-      return "plan decision out of range for its layer";
-    case Code::kSpecSanity:
-      return "accelerator configuration invalid or suspicious";
-    case Code::kStreamDeadRegion:
-      return "transfer targets an unallocated or freed region";
-    case Code::kStreamDoubleAlloc:
-      return "region id allocated while already live";
-    case Code::kStreamBadFree:
-      return "free of a region that is not live (double-free)";
-    case Code::kStreamRegionLeak:
-      return "region outlives its inter-layer hand-off window";
-    case Code::kStreamOverCommit:
-      return "live regions exceed the GLB capacity at a program point";
-    case Code::kStreamUseBeforeLoad:
-      return "compute consumes an input region with no data loaded";
-    case Code::kStreamStoreBeforeCompute:
-      return "store drains data no compute has produced";
-    case Code::kStreamMissingBarrier:
-      return "prefetch layer ends with in-flight DMA or compute";
-    case Code::kStreamUnterminatedLayer:
-      return "serial layer stream is not barrier-terminated";
-    case Code::kStreamDeadLoad:
-      return "region loaded but never computed-on or stored";
-    case Code::kStreamMalformed:
-      return "malformed command (size, region id, or kind misuse)";
-    case Code::kStreamTransferOverflow:
-      return "transfer overflows its region or the scratchpad";
-    case Code::kStreamPlacementFailure:
-      return "first-fit allocator cannot place a stream that fits";
-    case Code::kStreamFootprintMismatch:
-      return "stream allocations differ from the plan's footprint";
-    case Code::kStreamScheduleMismatch:
-      return "command sums differ from the schedule's totals";
+  const auto index = static_cast<std::size_t>(code);
+  if (index >= kCodeRegistry.size()) {
+    throw std::logic_error("code_description: invalid Code");
   }
-  throw std::logic_error("code_description: invalid Code");
+  return kCodeRegistry[index].description;
 }
 
 std::string_view to_string(Severity severity) {

@@ -12,55 +12,25 @@
 #include <string_view>
 #include <vector>
 
+#include "validate/diag_registry.hpp"
+
 namespace rainbow::validate {
 
-/// Every invariant / lint rule the validation layer can report.
-/// V0xx: plan invariants re-derived from the paper's closed forms.
-/// L0xx: static lint rules over model files, plan files, and specs.
-/// S0xx: stream hazards found by the static analyzer over lowered
-///       command streams (src/analysis, docs/static_analysis.md).
-enum class Code {
-  // Plan validator.
-  kSpecInvalid,          ///< V001: accelerator spec fails its own validation
-  kLayerIndexMismatch,   ///< V002: assignment order / count disagrees with net
-  kTileOutOfRange,       ///< V003: filter block / row stripe outside bounds
-  kFootprintMismatch,    ///< V004: stored footprint != re-derived closed form
-  kPrefetchDoubling,     ///< V005: Eq. 2 double-buffering violated
-  kGlbOverflow,          ///< V006: footprint exceeds the GLB capacity
-  kFeasibilityFlag,      ///< V007: plan stores an infeasible estimate
-  kFoldCountMismatch,    ///< V008: reload/stripe count != ceil(F#/n), ceil(OH/R)
-  kTrafficMismatch,      ///< V009: off-chip traffic != policy closed form
-  kLatencyMismatch,      ///< V010: latency/compute cycles != closed form
-  kInterlayerBroken,     ///< V011: reuse link flags structurally inconsistent
-  kInterlayerWindow,     ///< V012: resident window != consumer ifmap volume
-  kFoldGeometryMismatch, ///< V013: systolic fold counts != ceil-division forms
-  kArithmeticOverflow,   ///< V014: a closed form wraps 64-bit arithmetic
-  // Linter.
-  kModelParse,           ///< L001: model file malformed (CSV / integer / header)
-  kModelShape,           ///< L002: non-positive or inconsistent layer shape
-  kModelDivisibility,    ///< L003: dims leave partial systolic folds (waste)
-  kModelTrunkMismatch,   ///< L004: trunk boundary dims discontinuous
-  kModelOverflow,        ///< L005: layer shape overflows 64-bit closed forms
-  kPlanParse,            ///< L006: plan file malformed
-  kPlanRange,            ///< L007: plan decision out of range for its layer
-  kSpecSanity,           ///< L008: accelerator config invalid or suspicious
-  // Stream analyzer.
-  kStreamDeadRegion,     ///< S001: transfer targets an unallocated/freed region
-  kStreamDoubleAlloc,    ///< S002: region id allocated while already live
-  kStreamBadFree,        ///< S003: free of a region that is not live
-  kStreamRegionLeak,     ///< S004: region outlives its hand-off window
-  kStreamOverCommit,     ///< S005: live regions exceed the GLB capacity
-  kStreamUseBeforeLoad,  ///< S006: compute consumes an input region with no data
-  kStreamStoreBeforeCompute, ///< S007: store precedes the layer's first compute
-  kStreamMissingBarrier, ///< S008: prefetch layer ends with in-flight DMA/compute
-  kStreamUnterminatedLayer,  ///< S009: serial layer not barrier-terminated
-  kStreamDeadLoad,       ///< S010: region loaded, never computed-on or stored
-  kStreamMalformed,      ///< S011: malformed command (size/id/kind misuse)
-  kStreamTransferOverflow,   ///< S012: transfer overflows its region / the GLB
-  kStreamPlacementFailure,   ///< S013: first-fit cannot place a fitting stream
-  kStreamFootprintMismatch,  ///< S014: allocs/peak differ from the plan footprint
-  kStreamScheduleMismatch,   ///< S015: command sums differ from schedule totals
-};
+/// Every invariant / lint / analysis rule the validation layer can report.
+/// The enumerators, short strings, and descriptions are all generated from
+/// the single table in validate/diag_registry.hpp:
+///   V0xx: plan invariants re-derived from the paper's closed forms.
+///   L0xx: static lint rules over model files, plan files, and specs.
+///   S0xx: stream hazards found by the static analyzer over lowered
+///         command streams (src/analysis, docs/static_analysis.md).
+///   R0xx: concurrency findings from the happens-before dependence graph
+///         (src/analysis/depgraph, src/analysis/race).
+#define RAINBOW_DIAG_ENUM(name, code, desc) name,
+enum class Code { RAINBOW_DIAG_REGISTRY(RAINBOW_DIAG_ENUM) };
+#undef RAINBOW_DIAG_ENUM
+
+/// Number of distinct diagnostic codes (enum values are 0..kCodeCount-1).
+inline constexpr std::size_t kCodeCount = detail::kCodeCount;
 
 /// Stable short code ("V006") used in output and asserted on by tests.
 [[nodiscard]] std::string_view code_string(Code code);

@@ -1,0 +1,75 @@
+// Golden-file test for the rainbow_analyze JSON schema: the library's
+// write_json (the exact code the CLI ships) is run on a fixed pair of
+// combos — a het plan and a forced prefetch policy, both with races +
+// critical path on — and compared byte-for-byte against
+// tests/data/analyze_report.json.  Schema changes are fine, but they must
+// be deliberate: regenerate the fixture (instructions below) and review
+// the diff.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze_report.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::analysis {
+namespace {
+
+std::vector<ComboOutcome> golden_outcomes(const AnalyzeOptions& options) {
+  const auto cache = std::make_shared<core::EvalCache>();
+  const model::Network net = model::zoo::mobilenet();
+  std::vector<ComboOutcome> outcomes;
+  // A clean het plan with every analysis on...
+  outcomes.push_back(analyze_combo(
+      net, {"mobilenet", 256, "het", false, false, core::Objective::kAccesses},
+      options, cache));
+  // ...and a forced double-buffered policy, covering the prefetch side of
+  // the schema.
+  outcomes.push_back(analyze_combo(
+      net, {"mobilenet", 256, "p2", true, false, core::Objective::kAccesses},
+      options, cache));
+  return outcomes;
+}
+
+TEST(AnalyzeJsonGolden, SchemaMatchesFixture) {
+  AnalyzeOptions options;
+  options.races = true;
+  options.critical_path = true;
+  options.strict = true;
+  std::ostringstream actual;
+  write_json(golden_outcomes(options), options, actual);
+
+  const std::string path =
+      std::string(RAINBOW_SOURCE_DIR) + "/tests/data/analyze_report.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing fixture " << path;
+  std::stringstream expected;
+  expected << in.rdbuf();
+
+  EXPECT_EQ(expected.str(), actual.str())
+      << "rainbow_analyze JSON schema changed.  If intentional, regenerate "
+         "the fixture by writing the ACTUAL string above to "
+         "tests/data/analyze_report.json and review the diff.";
+}
+
+TEST(AnalyzeJsonGolden, OutcomesBehindTheFixtureAreClean) {
+  AnalyzeOptions options;
+  options.races = true;
+  options.critical_path = true;
+  const std::vector<ComboOutcome> outcomes = golden_outcomes(options);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].status, "ok");
+  EXPECT_TRUE(outcomes[0].races_run);
+  EXPECT_TRUE(outcomes[0].critical_path_run);
+  EXPECT_GT(outcomes[0].graph_nodes, 0u);
+  EXPECT_GT(outcomes[0].graph_cycles, 0.0);
+  EXPECT_EQ(outcomes[1].status, "ok");
+  EXPECT_TRUE(outcomes[1].combo.prefetch);
+}
+
+}  // namespace
+}  // namespace rainbow::analysis

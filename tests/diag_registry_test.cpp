@@ -1,0 +1,89 @@
+// The generated diagnostic registry (validate/diag_registry.hpp) is the
+// single source of truth for every V/L/S/R code: this test pins the
+// invariants the catalog relies on — codes unique, well-formed, ordered
+// within their family, enum <-> string round-trips, and every code
+// documented in docs/static_analysis.md's catalog.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "validate/diagnostics.hpp"
+
+namespace rainbow::validate {
+namespace {
+
+std::string read_file(const std::string& relative) {
+  const std::string path = std::string(RAINBOW_SOURCE_DIR) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "missing " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(DiagRegistry, CodesAreUniqueAndWellFormed) {
+  std::set<std::string> seen;
+  for (const CodeInfo& info : kCodeRegistry) {
+    const std::string code(info.code);
+    EXPECT_TRUE(seen.insert(code).second) << "duplicate code " << code;
+    ASSERT_EQ(code.size(), 4u) << code;
+    EXPECT_TRUE(code[0] == 'V' || code[0] == 'L' || code[0] == 'S' ||
+                code[0] == 'R')
+        << code;
+    for (std::size_t i = 1; i < 4; ++i) {
+      EXPECT_TRUE(code[i] >= '0' && code[i] <= '9') << code;
+    }
+    EXPECT_FALSE(info.description.empty()) << code;
+  }
+  EXPECT_EQ(seen.size(), kCodeCount);
+}
+
+TEST(DiagRegistry, FamiliesAreContiguousAndAscending) {
+  // Within each letter family the numeric part ascends by exactly one —
+  // a new code slots at the end of its family, never into a gap.
+  std::string prev_family;
+  int prev_number = 0;
+  std::set<std::string> families_done;
+  for (const CodeInfo& info : kCodeRegistry) {
+    const std::string family(1, info.code[0]);
+    const int number = std::stoi(std::string(info.code.substr(1)));
+    if (family == prev_family) {
+      EXPECT_EQ(number, prev_number + 1) << info.code;
+    } else {
+      EXPECT_TRUE(families_done.insert(family).second)
+          << "family " << family << " is interleaved";
+      EXPECT_EQ(number, 1) << info.code;
+    }
+    prev_family = family;
+    prev_number = number;
+  }
+}
+
+TEST(DiagRegistry, EnumRoundTripsThroughRegistry) {
+  for (std::size_t i = 0; i < kCodeCount; ++i) {
+    const Code code = static_cast<Code>(i);
+    EXPECT_EQ(code_string(code), kCodeRegistry[i].code);
+    EXPECT_EQ(code_description(code), kCodeRegistry[i].description);
+  }
+}
+
+TEST(DiagRegistry, EveryCodeIsDocumented) {
+  const std::string catalog = read_file("docs/static_analysis.md");
+  for (const CodeInfo& info : kCodeRegistry) {
+    EXPECT_NE(catalog.find(info.code), std::string::npos)
+        << info.code << " missing from docs/static_analysis.md";
+  }
+}
+
+TEST(DiagRegistry, SpotCheckKnownCodes) {
+  EXPECT_EQ(code_string(Code::kRaceRefill), std::string("R001"));
+  EXPECT_EQ(code_string(Code::kRaceRedundantBarrier), std::string("R008"));
+  EXPECT_EQ(code_string(Code::kStreamCriticalPathMismatch),
+            std::string("S016"));
+}
+
+}  // namespace
+}  // namespace rainbow::validate

@@ -1,0 +1,264 @@
+// Mutation matrix for the race detector: one deliberately corrupted
+// command stream per R-diagnostic, each asserting that exactly its own
+// code fires and every other R-code stays quiet — the same discipline
+// stream_mutation_test.cpp applies to the S-codes.  The serial/fallback
+// fixtures mirror stream_mutation's base stream; the tagged fixtures add
+// tile tags so the graph models real double-buffer concurrency.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "analysis/race.hpp"
+#include "codegen/lower.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::analysis {
+namespace {
+
+using codegen::Command;
+using codegen::DataKind;
+using codegen::LayerProgram;
+using codegen::Program;
+using validate::Code;
+
+constexpr Code kAllRaceCodes[] = {
+    Code::kRaceRefill,          Code::kRaceDrain,
+    Code::kRaceUnorderedWrites, Code::kRaceFreeInFlight,
+    Code::kRacePhaseAlias,      Code::kRaceGraphCycle,
+    Code::kRaceReorderViolation, Code::kRaceRedundantBarrier};
+
+/// The mutated stream must fire `expected` (exactly `hits` times) and no
+/// other R-code at all.
+void expect_only(const validate::ValidationReport& report, Code expected,
+                 std::size_t hits = 1) {
+  for (const Code code : kAllRaceCodes) {
+    if (code == expected) {
+      EXPECT_EQ(report.count(code), hits)
+          << validate::code_string(code) << "\n" << report.summary();
+    } else {
+      EXPECT_EQ(report.count(code), 0u)
+          << validate::code_string(code) << "\n" << report.summary();
+    }
+  }
+}
+
+/// Minimal clean one-layer stream (untagged, so prefetch=true analyzes in
+/// fallback mode: computes wait all earlier loads, stores their compute).
+Program base_program(bool prefetch) {
+  Program program;
+  program.model = "fixture";
+  program.spec = arch::paper_spec(util::kib(64));
+  LayerProgram layer;
+  layer.layer_index = 0;
+  layer.layer_name = "l0";
+  layer.choice.prefetch = prefetch;
+  layer.commands = {
+      {.op = Command::Op::kAlloc, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kAlloc, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kAlloc, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kLoad, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kLoad, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kCompute, .macs = 100},
+      {.op = Command::Op::kStore, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kBarrier},
+      {.op = Command::Op::kFree, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kFree, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kFree, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+  };
+  program.layers.push_back(std::move(layer));
+  return program;
+}
+
+std::vector<Command>& commands(Program& program) {
+  return program.layers[0].commands;
+}
+
+void move_command(Program& program, std::size_t from, std::size_t to) {
+  auto& cmds = commands(program);
+  Command cmd = cmds[from];
+  cmds.erase(cmds.begin() + static_cast<std::ptrdiff_t>(from));
+  cmds.insert(cmds.begin() + static_cast<std::ptrdiff_t>(to), cmd);
+}
+
+TEST(RaceMutation, BaseFixturesAreClean) {
+  for (const bool prefetch : {false, true}) {
+    const RaceReport result = analyze_races(base_program(prefetch));
+    EXPECT_TRUE(result.clean()) << result.report.summary();
+  }
+}
+
+TEST(RaceMutation, R001RefillRacesComputeRead) {
+  // The ifmap load is issued after the compute that consumes it: in the
+  // overlap window the DMA write races the PE's read of the same region.
+  auto program = base_program(/*prefetch=*/true);
+  move_command(program, 3, 5);  // load r0 now follows the compute
+  expect_only(analyze_races(program).report, Code::kRaceRefill);
+}
+
+TEST(RaceMutation, R002DrainRacesComputeWrite) {
+  // The ofmap store is issued before the compute that produces the data:
+  // nothing orders the drain behind the PE's write.
+  auto program = base_program(/*prefetch=*/true);
+  move_command(program, 6, 5);  // store r2 now precedes the compute
+  expect_only(analyze_races(program).report, Code::kRaceDrain);
+}
+
+TEST(RaceMutation, R003UnorderedWrites) {
+  // A stray refill into the ofmap region between compute and drain: the
+  // DMA write and the PE write to the same region are unordered.
+  auto program = base_program(/*prefetch=*/true);
+  commands(program).insert(
+      commands(program).begin() + 6,
+      Command{.op = Command::Op::kLoad, .region = 2, .kind = DataKind::kOfmap,
+              .elems = 8});
+  expect_only(analyze_races(program).report, Code::kRaceUnorderedWrites);
+}
+
+TEST(RaceMutation, R004FreeWhileInFlight) {
+  // Without the barrier nothing orders the frees behind the async work:
+  // all three regions are released while DMA/compute may still be running.
+  auto program = base_program(/*prefetch=*/true);
+  commands(program).erase(commands(program).begin() + 7);
+  expect_only(analyze_races(program).report, Code::kRaceFreeInFlight, 3);
+}
+
+TEST(RaceMutation, R005PhaseAliasWithoutConsumer) {
+  // Tagged double-buffered stream whose ifmap is refilled three times
+  // (generations 0/1/2 -> phases 0/1/0) but only consumed at tile 2: the
+  // generation-2 refill overwrites phase 0 before any compute read the
+  // generation-0 data.  Every pair is still chain-ordered on the DMA
+  // channel, so no other R-code fires — R005 is exactly the lost-update
+  // case happens-before cannot see.
+  Program program;
+  program.model = "fixture";
+  program.spec = arch::paper_spec(util::kib(64));
+  LayerProgram layer;
+  layer.layer_index = 0;
+  layer.layer_name = "l0";
+  layer.choice.prefetch = true;
+  layer.commands = {
+      {.op = Command::Op::kAlloc, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kAlloc, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kAlloc, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kLoad, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 8, .tile = 0},
+      {.op = Command::Op::kLoad, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8, .tile = 0},
+      {.op = Command::Op::kLoad, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 8, .tile = 1},
+      {.op = Command::Op::kLoad, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 8, .tile = 2},
+      {.op = Command::Op::kCompute, .macs = 100, .tile = 2},
+      {.op = Command::Op::kStore, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 4, .tile = 2},
+      {.op = Command::Op::kBarrier},
+      {.op = Command::Op::kFree, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kFree, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kFree, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+  };
+  program.layers.push_back(std::move(layer));
+  expect_only(analyze_races(program).report, Code::kRacePhaseAlias);
+}
+
+TEST(RaceMutation, R006DependenceCycle) {
+  DepGraph graph = DepGraph::build(base_program(/*prefetch=*/false));
+  graph.add_edge(5, 3, DepEdgeKind::kWait);  // compute before its own load
+  const RaceReport result = analyze_races(graph);
+  EXPECT_TRUE(result.cyclic);
+  expect_only(result.report, Code::kRaceGraphCycle);
+}
+
+TEST(RaceMutation, R008BarrierDrainsNothing) {
+  auto program = base_program(/*prefetch=*/false);
+  commands(program).insert(commands(program).begin() + 8,
+                           Command{.op = Command::Op::kBarrier});
+  const RaceReport result = analyze_races(program);
+  expect_only(result.report, Code::kRaceRedundantBarrier);
+  EXPECT_TRUE(result.ok()) << "R008 is a warning, not an error";
+  EXPECT_FALSE(result.clean());
+}
+
+/// R007 lives in certify_reorder; exercise it on a real lowering so the
+/// ids are the stable ones lower() assigns.
+struct Lowered {
+  model::Network net = model::zoo::mobilenet();
+  core::ExecutionPlan plan;
+  Program program;
+  Lowered()
+      : plan(core::MemoryManager(arch::paper_spec(util::kib(256)))
+                 .plan(net, core::Objective::kAccesses)),
+        program(codegen::lower(plan, net)) {}
+};
+
+TEST(RaceMutation, R007CertifyAcceptsIdentity) {
+  const Lowered fixture;
+  const CertifyResult result =
+      certify_reorder(fixture.program, fixture.program);
+  EXPECT_TRUE(result.ok) << result.report.summary();
+  EXPECT_EQ(result.violations, 0u);
+}
+
+TEST(RaceMutation, R007CertifyRejectsLoadPastCompute) {
+  const Lowered fixture;
+  Program candidate = fixture.program;
+  // Move the first load of some layer after that layer's first compute:
+  // the compute now precedes the refill it depends on.
+  auto& cmds = candidate.layers[0].commands;
+  std::size_t load = 0;
+  std::size_t compute = 0;
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    if (cmds[i].op == Command::Op::kLoad && load == 0) {
+      load = i;
+    }
+    if (cmds[i].op == Command::Op::kCompute) {
+      compute = i;
+      break;
+    }
+  }
+  ASSERT_LT(load, compute);
+  Command moved = cmds[load];
+  cmds.erase(cmds.begin() + static_cast<std::ptrdiff_t>(load));
+  cmds.insert(cmds.begin() + static_cast<std::ptrdiff_t>(compute), moved);
+  const CertifyResult result = certify_reorder(fixture.program, candidate);
+  EXPECT_FALSE(result.ok);
+  EXPECT_GE(result.violations, 1u);
+  EXPECT_GE(result.report.count(Code::kRaceReorderViolation), 1u)
+      << result.report.summary();
+}
+
+TEST(RaceMutation, R007CertifyRejectsUntaggedStream) {
+  const Program program = base_program(/*prefetch=*/false);  // ids all zero
+  const CertifyResult result = certify_reorder(program, program);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.report.count(Code::kRaceReorderViolation), 1u)
+      << result.report.summary();
+}
+
+TEST(RaceMutation, R007CertifyRejectsAlteredCommand) {
+  const Lowered fixture;
+  Program candidate = fixture.program;
+  candidate.layers[0].commands[0].elems += 1;
+  const CertifyResult result = certify_reorder(fixture.program, candidate);
+  EXPECT_FALSE(result.ok);
+  EXPECT_GE(result.report.count(Code::kRaceReorderViolation), 1u);
+}
+
+}  // namespace
+}  // namespace rainbow::analysis

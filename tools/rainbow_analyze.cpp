@@ -2,10 +2,12 @@
 // requested (model, GLB, policy, prefetch) combination the tool plans,
 // lowers the plan to a codegen::Program, and abstractly interprets the
 // stream — region lifetimes, occupancy timeline, barrier epochs, and the
-// plan cross-checks — reporting coded S0xx findings (see
-// docs/static_analysis.md) without executing anything.
+// plan cross-checks — reporting coded S0xx findings, with optional
+// happens-before race detection (R0xx) and the critical-path/latency
+// cross-check (S016).  See docs/static_analysis.md for the catalog.
 //
 //   rainbow_analyze --all-zoo --strict
+//   rainbow_analyze --all-zoo --races --critical-path --jobs 4 --strict
 //   rainbow_analyze --model resnet18 --glb 64 --policy het
 //   rainbow_analyze --model mobilenet --policy p2 --prefetch on
 //   rainbow_analyze --all-zoo --strict --format json > report.json
@@ -16,37 +18,22 @@
 #include <filesystem>
 #include <iostream>
 #include <memory>
-#include <optional>
+#include <numeric>
 #include <string>
 #include <vector>
 
-#include "analysis/stream_analyzer.hpp"
-#include "codegen/lower.hpp"
-#include "core/eval_cache.hpp"
-#include "core/manager.hpp"
+#include "analysis/analyze_report.hpp"
 #include "model/parser.hpp"
 #include "model/zoo/zoo.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace {
 
 using namespace rainbow;
-
-/// One planning configuration to lower and analyze.
-struct Combo {
-  std::string model;
-  count_t glb_kib = 64;
-  std::string policy;  ///< "het" or a short policy label
-  bool prefetch = false;
-  bool interlayer = false;
-  core::Objective objective = core::Objective::kAccesses;
-};
-
-struct ComboOutcome {
-  Combo combo;
-  std::string status;  ///< "ok", "findings", or "skipped (...)"
-  analysis::AnalysisResult result;
-};
+using analysis::AnalyzeCombo;
+using analysis::AnalyzeOptions;
+using analysis::ComboOutcome;
 
 void usage(const char* argv0) {
   std::cerr
@@ -65,6 +52,11 @@ void usage(const char* argv0) {
       << "  --objective <o>          accesses | latency | both — objectives\n"
       << "                           for the het plans (default both)\n"
       << "  --no-interlayer          skip the inter-layer-reuse het plans\n"
+      << "  --races                  happens-before race detection (R0xx)\n"
+      << "  --critical-path          cross-check the dependence graph's\n"
+      << "                           critical path against the engine (S016)\n"
+      << "  --jobs <n>               analyze combos on n threads (0 = all\n"
+      << "                           cores); report order is deterministic\n"
       << "  --strict                 warnings also fail (exit 1)\n"
       << "  --format <f>             text | json (default text)\n"
       << "  --quiet                  print only the summary line\n";
@@ -89,98 +81,19 @@ std::vector<count_t> parse_kib_list(const std::string& csv) {
   return out;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-std::string combo_label(const Combo& combo) {
-  std::string label = combo.model + " @ " + std::to_string(combo.glb_kib) +
-                      " kB, " + combo.policy;
-  if (combo.policy == "het") {
-    label += std::string("/") + std::string(core::to_string(combo.objective));
-    if (combo.interlayer) {
-      label += "+inter";
-    }
-  } else if (combo.prefetch) {
-    label += "+p";
-  }
-  return label;
-}
-
-void write_json(const std::vector<ComboOutcome>& outcomes, bool strict,
-                std::ostream& os) {
-  std::size_t errors = 0;
-  std::size_t warnings = 0;
-  std::size_t skipped = 0;
-  os << "{\n  \"tool\": \"rainbow_analyze\",\n"
-     << "  \"strict\": " << (strict ? "true" : "false") << ",\n"
-     << "  \"combos\": [\n";
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    const ComboOutcome& o = outcomes[i];
-    errors += o.result.report.error_count();
-    warnings += o.result.report.warning_count();
-    if (o.status.rfind("skipped", 0) == 0) {
-      ++skipped;
-    }
-    os << "    {\"model\": \"" << json_escape(o.combo.model)
-       << "\", \"glb_kib\": " << o.combo.glb_kib << ", \"policy\": \""
-       << json_escape(o.combo.policy) << "\", \"prefetch\": "
-       << (o.combo.prefetch ? "true" : "false") << ", \"interlayer\": "
-       << (o.combo.interlayer ? "true" : "false") << ", \"objective\": \""
-       << core::to_string(o.combo.objective) << "\", \"status\": \""
-       << json_escape(o.status) << "\", \"errors\": "
-       << o.result.report.error_count() << ", \"warnings\": "
-       << o.result.report.warning_count() << ", \"commands\": "
-       << o.result.commands << ", \"regions\": " << o.result.regions
-       << ", \"capacity_elems\": " << o.result.capacity_elems
-       << ", \"peak_live_elems\": " << o.result.peak_live_elems
-       << ", \"glb_peak_elems\": " << o.result.glb_peak_elems
-       << ", \"diagnostics\": [";
-    const auto& diags = o.result.report.diagnostics();
-    for (std::size_t j = 0; j < diags.size(); ++j) {
-      const auto& d = diags[j];
-      os << (j == 0 ? "" : ", ") << "{\"code\": \""
-         << validate::code_string(d.code) << "\", \"severity\": \""
-         << validate::to_string(d.severity) << "\", \"message\": \""
-         << json_escape(d.message()) << "\"}";
-    }
-    os << "]}" << (i + 1 == outcomes.size() ? "" : ",") << '\n';
-  }
-  os << "  ],\n"
-     << "  \"total\": {\"combos\": " << outcomes.size()
-     << ", \"skipped\": " << skipped << ", \"errors\": " << errors
-     << ", \"warnings\": " << warnings << "}\n}\n";
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> model_inputs;
   std::vector<count_t> glb_kib = {64, 1024};
-  int width_bits = 8;
+  AnalyzeOptions analyze_options;
   std::string policy_mode = "all";
   std::string prefetch_mode = "both";
   std::string objective_mode = "both";
   bool all_zoo = false;
   bool no_interlayer = false;
-  bool strict = false;
   bool quiet = false;
+  int jobs = 1;
   std::string format = "text";
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -207,7 +120,7 @@ int main(int argc, char** argv) {
     } else if (flag == "--glb") {
       glb_kib = parse_kib_list(next());
     } else if (flag == "--width") {
-      width_bits = std::atoi(next().c_str());
+      analyze_options.width_bits = std::atoi(next().c_str());
     } else if (flag == "--policy") {
       policy_mode = next();
     } else if (flag == "--prefetch") {
@@ -216,8 +129,14 @@ int main(int argc, char** argv) {
       objective_mode = next();
     } else if (flag == "--no-interlayer") {
       no_interlayer = true;
+    } else if (flag == "--races") {
+      analyze_options.races = true;
+    } else if (flag == "--critical-path") {
+      analyze_options.critical_path = true;
+    } else if (flag == "--jobs") {
+      jobs = std::atoi(next().c_str());
     } else if (flag == "--strict") {
-      strict = true;
+      analyze_options.strict = true;
     } else if (flag == "--format") {
       format = next();
     } else if (flag == "--quiet") {
@@ -227,7 +146,7 @@ int main(int argc, char** argv) {
       return flag == "--help" || flag == "-h" ? 0 : 2;
     }
   }
-  if ((model_inputs.empty() && !all_zoo) || glb_kib.empty() ||
+  if ((model_inputs.empty() && !all_zoo) || glb_kib.empty() || jobs < 0 ||
       (format != "text" && format != "json") ||
       (prefetch_mode != "on" && prefetch_mode != "off" &&
        prefetch_mode != "both") ||
@@ -272,7 +191,7 @@ int main(int argc, char** argv) {
       forced.push_back(policy_mode);
     }
 
-    std::vector<Combo> combos;
+    std::vector<AnalyzeCombo> combos;
     for (const std::string& model : models) {
       for (count_t kib : glb_kib) {
         if (policy_mode == "het" || policy_mode == "all") {
@@ -295,75 +214,68 @@ int main(int argc, char** argv) {
     // One evaluation cache across the whole grid: the sweep re-plans the
     // same layers under many specs, which is exactly what it memoizes.
     const auto cache = std::make_shared<core::EvalCache>();
-    std::vector<ComboOutcome> outcomes;
+    const auto run_combo = [&](const AnalyzeCombo& combo) {
+      const model::Network net = std::filesystem::exists(combo.model)
+                                     ? model::load_network(combo.model)
+                                     : model::zoo::by_name(combo.model);
+      return analysis::analyze_combo(net, combo, analyze_options, cache);
+    };
+
+    // Combos are independent; fan them out and keep the report in combo
+    // order so output is identical at any job count.
+    std::vector<ComboOutcome> outcomes(combos.size());
+    const std::size_t workers = util::resolve_workers(
+        jobs, combos.size(), /*min_items_per_worker=*/1);
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < combos.size(); ++i) {
+        outcomes[i] = run_combo(combos[i]);
+      }
+    } else {
+      std::vector<std::size_t> indices(combos.size());
+      std::iota(indices.begin(), indices.end(), std::size_t{0});
+      util::parallel_for_each(
+          indices, [&](std::size_t i) { outcomes[i] = run_combo(combos[i]); },
+          workers);
+    }
+
     std::size_t errors = 0;
     std::size_t warnings = 0;
     std::size_t skipped = 0;
-    for (const Combo& combo : combos) {
-      const model::Network net =
-          std::filesystem::exists(combo.model)
-              ? model::load_network(combo.model)
-              : model::zoo::by_name(combo.model);
-      arch::AcceleratorSpec spec = arch::paper_spec(util::kib(combo.glb_kib));
-      spec.data_width_bits = width_bits;
-      spec.validate();
-
-      core::ManagerOptions options;
-      options.analyzer.eval_cache = cache;
-      options.interlayer_reuse = combo.interlayer;
-      const core::MemoryManager manager(spec, options);
-
-      ComboOutcome outcome;
-      outcome.combo = combo;
-      std::optional<core::ExecutionPlan> plan;
-      try {
-        plan = combo.policy == "het"
-                   ? manager.plan(net, combo.objective)
-                   : manager.plan_with_policy(
-                         net, core::policy_from_short_label(combo.policy),
-                         combo.prefetch, combo.objective);
-      } catch (const std::runtime_error& e) {
-        // The forced policy cannot execute this model in this GLB at all;
-        // nothing to lower.
-        outcome.status = std::string("skipped (") + e.what() + ")";
-      }
-      if (plan && !plan->feasible()) {
-        outcome.status = "skipped (plan infeasible for this GLB)";
-        plan.reset();
-      }
-      if (plan) {
-        const codegen::Program program = codegen::lower(*plan, net);
-        outcome.result = analysis::analyze_lowering(program, *plan, net);
-        outcome.status = outcome.result.clean() ? "ok" : "findings";
-        errors += outcome.result.report.error_count();
-        warnings += outcome.result.report.warning_count();
-      } else {
+    for (const ComboOutcome& outcome : outcomes) {
+      errors += outcome.result.report.error_count();
+      warnings += outcome.result.report.warning_count();
+      if (outcome.status.rfind("skipped", 0) == 0) {
         ++skipped;
       }
       if (!quiet && format == "text") {
-        std::cout << combo_label(outcome.combo) << ": " << outcome.status;
+        std::cout << analysis::combo_label(outcome.combo) << ": "
+                  << outcome.status;
         if (outcome.status == "ok") {
           std::cout << " (" << outcome.result.commands << " commands, "
                     << outcome.result.regions << " regions, peak "
                     << outcome.result.peak_live_elems << "/"
-                    << outcome.result.capacity_elems << " elems)";
+                    << outcome.result.capacity_elems << " elems";
+          if (outcome.critical_path_run) {
+            std::cout << ", critical path " << outcome.graph_cycles
+                      << " cycles";
+          }
+          std::cout << ")";
         }
         std::cout << '\n';
         for (const auto& d : outcome.result.report.diagnostics()) {
           std::cout << "  " << d.message() << '\n';
         }
       }
-      outcomes.push_back(std::move(outcome));
     }
 
     if (format == "json") {
-      write_json(outcomes, strict, std::cout);
+      analysis::write_json(outcomes, analyze_options, std::cout);
     } else {
       std::cout << "rainbow_analyze: " << outcomes.size() << " combo(s), "
                 << skipped << " skipped, " << errors << " error(s), "
                 << warnings << " warning(s)\n";
     }
-    if (errors > 0 || (strict && warnings > 0)) {
+    if (errors > 0 || (analyze_options.strict && warnings > 0)) {
       return 1;
     }
     return 0;

@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/race.hpp"
 #include "analysis/stream_analyzer.hpp"
 #include "codegen/lower.hpp"
 #include "codegen/print.hpp"
@@ -263,13 +264,23 @@ int main(int argc, char** argv) {
 
     if (opt.analyze) {
       const codegen::Program program = codegen::lower(plan, net);
-      const analysis::AnalysisResult result =
+      analysis::AnalysisResult result =
           analysis::analyze_lowering(program, plan, net);
-      if (result.clean()) {
+      // The stream invariants are necessary but not sufficient: also prove
+      // the overlap schedule race-free and its critical path consistent
+      // with the latency the plan was costed with.
+      const analysis::DepGraph graph = analysis::DepGraph::build(program);
+      const analysis::RaceReport races = analysis::analyze_races(graph);
+      const analysis::CriticalPathCheck cp =
+          analysis::check_critical_path(graph, program, plan, net);
+      result.report.merge(races.report);
+      result.report.merge(cp.report);
+      if (result.report.empty()) {
         std::cout << "  analyze:   ok (" << result.commands << " commands, "
                   << result.regions << " regions, peak "
                   << result.peak_live_elems << "/" << result.capacity_elems
-                  << " elems)\n";
+                  << " elems; race-free, critical path "
+                  << cp.path.total_cycles << " cycles)\n";
       } else {
         std::cout << "  analyze:   " << result.report.error_count()
                   << " error(s), " << result.report.warning_count()
