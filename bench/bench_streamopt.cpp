@@ -1,0 +1,223 @@
+// Certified stream-optimizer benchmark: for every zoo model at 64 and
+// 256 kB, with and without prefetch and inter-layer reuse, plan under
+// the latency objective, lower, run the translation-validated optimizer,
+// and report the dependence-graph critical-path and stall deltas plus
+// the pass counters.  Every emitted stream passed the full certification
+// stack; the binary exits non-zero if any candidate is rejected or any
+// optimized critical path exceeds its original (the O005 invariant,
+// re-checked here as a regression tripwire).  The committed
+// BENCH_streamopt.json is regenerated from this binary:
+//
+//   bench_streamopt --json BENCH_streamopt.json
+//   bench_streamopt --quick       # CI smoke: two models, 64 kB only
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/streamopt.hpp"
+#include "bench_common.hpp"
+#include "codegen/lower.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rainbow;
+
+  bool quick = false;
+  std::optional<std::string> csv_path;
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << '\n';
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--quick") {
+      quick = true;
+    } else if (flag == "--csv") {
+      csv_path = next();
+    } else if (flag == "--json") {
+      json_path = next();
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--quick] [--csv path] [--json path]\n";
+      return flag == "--help" || flag == "-h" ? 0 : 2;
+    }
+  }
+
+  const std::vector<count_t> glb_kbs =
+      quick ? std::vector<count_t>{64} : std::vector<count_t>{64, 256};
+
+  struct Row {
+    std::string model;
+    count_t glb_kb;
+    bool prefetch;
+    bool interlayer;
+    bool certified;
+    std::size_t layers_reordered;
+    std::size_t commands_moved;
+    std::size_t barriers_elided;
+    std::size_t transfers_coalesced;
+    double original_cycles;
+    double optimized_cycles;
+    double original_stall;
+    double optimized_stall;
+  };
+  std::vector<Row> rows;
+
+  util::Table table({"model", "GLB kB", "prefetch", "inter", "certified",
+                     "CP before", "CP after", "CP delta %", "stall before",
+                     "stall after", "reordered", "moved"});
+  std::size_t model_count = 0;
+  for (const auto& net : model::zoo::all_models()) {
+    if (quick && ++model_count > 2) {
+      break;
+    }
+    for (count_t kb : glb_kbs) {
+      const arch::AcceleratorSpec spec = arch::paper_spec(util::kib(kb));
+      for (const bool prefetch : {false, true}) {
+        for (const bool interlayer : {false, true}) {
+          core::ManagerOptions moptions;
+          moptions.analyzer.allow_prefetch = prefetch;
+          moptions.interlayer_reuse = interlayer;
+          const core::MemoryManager manager(spec, moptions);
+          const core::ExecutionPlan plan =
+              manager.plan(net, core::Objective::kLatency);
+          if (!plan.feasible()) {
+            continue;
+          }
+          const codegen::Program program = codegen::lower(plan, net);
+          const analysis::OptimizeResult result =
+              analysis::optimize_program(program, plan, net);
+
+          if (!result.certified) {
+            std::cerr << "CERTIFICATION FAILURE: " << net.name() << " @ "
+                      << kb << " kB prefetch=" << prefetch
+                      << " interlayer=" << interlayer << "\n"
+                      << result.report.summary() << '\n';
+            return 1;
+          }
+          if (result.optimized_cycles >
+              result.original_cycles * (1.0 + 1e-9)) {
+            std::cerr << "CRITICAL PATH REGRESSION: " << net.name() << " @ "
+                      << kb << " kB (" << result.original_cycles << " -> "
+                      << result.optimized_cycles << ")\n";
+            return 1;
+          }
+
+          Row r;
+          r.model = net.name();
+          r.glb_kb = kb;
+          r.prefetch = prefetch;
+          r.interlayer = interlayer;
+          r.certified = result.certified;
+          r.layers_reordered = result.layers_reordered;
+          r.commands_moved = result.commands_moved;
+          r.barriers_elided = result.barriers_elided;
+          r.transfers_coalesced = result.transfers_coalesced;
+          r.original_cycles = result.original_cycles;
+          r.optimized_cycles = result.optimized_cycles;
+          r.original_stall = result.original_stall_cycles;
+          r.optimized_stall = result.optimized_stall_cycles;
+          rows.push_back(r);
+
+          const double delta =
+              r.original_cycles > 0.0
+                  ? 100.0 * (r.original_cycles - r.optimized_cycles) /
+                        r.original_cycles
+                  : 0.0;
+          table.add_row({r.model, std::to_string(kb), prefetch ? "y" : "n",
+                         interlayer ? "y" : "n", r.certified ? "y" : "NO",
+                         util::fmt(r.original_cycles, 0),
+                         util::fmt(r.optimized_cycles, 0),
+                         util::fmt(delta, 3),
+                         util::fmt(r.original_stall, 0),
+                         util::fmt(r.optimized_stall, 0),
+                         std::to_string(r.layers_reordered),
+                         std::to_string(r.commands_moved)});
+        }
+      }
+    }
+  }
+
+  std::cout << "Certified stream optimizer: dependence-graph critical path "
+               "before/after (latency-objective het plans)\n";
+  table.print(std::cout);
+
+  std::set<std::string> improved_models;
+  double total_before = 0.0;
+  double total_after = 0.0;
+  for (const Row& r : rows) {
+    total_before += r.original_cycles;
+    total_after += r.optimized_cycles;
+    if (r.optimized_cycles < r.original_cycles) {
+      improved_models.insert(r.model);
+    }
+  }
+  std::cout << "summary: " << rows.size() << " configs, all certified; "
+            << improved_models.size()
+            << " models strictly improved; aggregate critical path "
+            << util::fmt(total_before, 0) << " -> "
+            << util::fmt(total_after, 0) << " cycles ("
+            << util::fmt(100.0 * (total_before - total_after) /
+                             std::max(total_before, 1.0), 3)
+            << "% shorter)\n";
+  std::cout << "reading: hoisting refills as early as their dependences "
+               "allow removes most of the stall cycles double buffering "
+               "leaves on the table; the win concentrates in prefetch "
+               "configs, and every rewritten stream carries a machine-"
+               "checked certificate (reorder legality, race freedom, "
+               "stream invariants, differential interpretation, latency "
+               "re-cost).\n";
+
+  if (!quick && improved_models.size() < 3) {
+    std::cerr << "REGRESSION: expected >= 3 models with a strictly shorter "
+                 "critical path, got "
+              << improved_models.size() << '\n';
+    return 1;
+  }
+
+  if (csv_path) {
+    std::ofstream out(*csv_path);
+    if (!out) {
+      std::cerr << "cannot open " << *csv_path << '\n';
+      return 1;
+    }
+    table.print_csv(out);
+  }
+  if (json_path) {
+    std::ofstream out(*json_path);
+    if (!out) {
+      std::cerr << "cannot open " << *json_path << '\n';
+      return 1;
+    }
+    out.precision(17);
+    out << "{\n  \"cases\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"model\": \"" << r.model << "\", \"glb_kb\": " << r.glb_kb
+          << ", \"prefetch\": " << (r.prefetch ? "true" : "false")
+          << ", \"interlayer\": " << (r.interlayer ? "true" : "false")
+          << ", \"certified\": " << (r.certified ? "true" : "false")
+          << ", \"layers_reordered\": " << r.layers_reordered
+          << ", \"commands_moved\": " << r.commands_moved
+          << ", \"barriers_elided\": " << r.barriers_elided
+          << ", \"transfers_coalesced\": " << r.transfers_coalesced
+          << ", \"critical_path_before\": " << r.original_cycles
+          << ", \"critical_path_after\": " << r.optimized_cycles
+          << ", \"stall_before\": " << r.original_stall
+          << ", \"stall_after\": " << r.optimized_stall << "}"
+          << (i + 1 < rows.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "analysis/race.hpp"
+#include "analysis/streamopt.hpp"
 #include "codegen/lower.hpp"
 
 namespace rainbow::analysis {
@@ -102,6 +103,20 @@ ComboOutcome analyze_combo(const model::Network& net,
       outcome.result.report.merge(check.report);
     }
   }
+  if (options.optimize) {
+    const OptimizeResult opt = optimize_program(program, *plan, net);
+    outcome.optimize_run = true;
+    outcome.opt_certified = opt.certified;
+    outcome.opt_layers_reordered = opt.layers_reordered;
+    outcome.opt_commands_moved = opt.commands_moved;
+    outcome.opt_barriers_elided = opt.barriers_elided;
+    outcome.opt_transfers_coalesced = opt.transfers_coalesced;
+    outcome.opt_original_cycles = opt.original_cycles;
+    outcome.opt_optimized_cycles = opt.optimized_cycles;
+    outcome.opt_original_stall_cycles = opt.original_stall_cycles;
+    outcome.opt_optimized_stall_cycles = opt.optimized_stall_cycles;
+    outcome.result.report.merge(opt.report);
+  }
   outcome.status = outcome.result.clean() ? "ok" : "findings";
   return outcome;
 }
@@ -110,17 +125,20 @@ void write_json(const std::vector<ComboOutcome>& outcomes,
                 const AnalyzeOptions& options, std::ostream& os) {
   std::size_t errors = 0;
   std::size_t warnings = 0;
+  std::size_t advisories = 0;
   std::size_t skipped = 0;
-  os << "{\n  \"tool\": \"rainbow_analyze\",\n"
+  os << "{\n  \"tool\": \"" << json_escape(options.tool) << "\",\n"
      << "  \"strict\": " << (options.strict ? "true" : "false") << ",\n"
      << "  \"races\": " << (options.races ? "true" : "false") << ",\n"
      << "  \"critical_path\": " << (options.critical_path ? "true" : "false")
      << ",\n"
+     << "  \"optimize\": " << (options.optimize ? "true" : "false") << ",\n"
      << "  \"combos\": [\n";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const ComboOutcome& o = outcomes[i];
     errors += o.result.report.error_count();
     warnings += o.result.report.warning_count();
+    advisories += o.result.report.advisory_count();
     if (o.status.rfind("skipped", 0) == 0) {
       ++skipped;
     }
@@ -132,7 +150,8 @@ void write_json(const std::vector<ComboOutcome>& outcomes,
        << core::to_string(o.combo.objective) << "\", \"status\": \""
        << json_escape(o.status) << "\", \"errors\": "
        << o.result.report.error_count() << ", \"warnings\": "
-       << o.result.report.warning_count() << ", \"commands\": "
+       << o.result.report.warning_count() << ", \"advisories\": "
+       << o.result.report.advisory_count() << ", \"commands\": "
        << o.result.commands << ", \"regions\": " << o.result.regions
        << ", \"capacity_elems\": " << o.result.capacity_elems
        << ", \"peak_live_elems\": " << o.result.peak_live_elems
@@ -144,6 +163,19 @@ void write_json(const std::vector<ComboOutcome>& outcomes,
     if (o.critical_path_run) {
       os << ", \"critical_path\": {\"graph_cycles\": " << o.graph_cycles
          << ", \"engine_cycles\": " << o.engine_cycles << "}";
+    }
+    if (o.optimize_run) {
+      os << ", \"optimize\": {\"certified\": "
+         << (o.opt_certified ? "true" : "false")
+         << ", \"layers_reordered\": " << o.opt_layers_reordered
+         << ", \"commands_moved\": " << o.opt_commands_moved
+         << ", \"barriers_elided\": " << o.opt_barriers_elided
+         << ", \"transfers_coalesced\": " << o.opt_transfers_coalesced
+         << ", \"original_cycles\": " << o.opt_original_cycles
+         << ", \"optimized_cycles\": " << o.opt_optimized_cycles
+         << ", \"original_stall_cycles\": " << o.opt_original_stall_cycles
+         << ", \"optimized_stall_cycles\": " << o.opt_optimized_stall_cycles
+         << "}";
     }
     os << ", \"diagnostics\": [";
     const auto& diags = o.result.report.diagnostics();
@@ -159,7 +191,8 @@ void write_json(const std::vector<ComboOutcome>& outcomes,
   os << "  ],\n"
      << "  \"total\": {\"combos\": " << outcomes.size()
      << ", \"skipped\": " << skipped << ", \"errors\": " << errors
-     << ", \"warnings\": " << warnings << "}\n}\n";
+     << ", \"warnings\": " << warnings << ", \"advisories\": " << advisories
+     << "}\n}\n";
 }
 
 }  // namespace rainbow::analysis

@@ -33,7 +33,11 @@ struct AnalyzeOptions {
   int width_bits = 8;
   bool races = false;          ///< dependence-graph race detection (R-codes)
   bool critical_path = false;  ///< critical path vs engine latency (S016)
+  bool optimize = false;       ///< certified stream optimizer (O-codes)
   bool strict = false;         ///< warnings also fail
+  /// JSON "tool" field ("rainbow_analyze" unless another CLI reuses the
+  /// writer, e.g. rainbow_opt).
+  std::string tool = "rainbow_analyze";
 };
 
 struct ComboOutcome {
@@ -48,6 +52,18 @@ struct ComboOutcome {
   std::size_t graph_edges = 0;
   double graph_cycles = 0.0;   ///< dependence-graph critical path
   double engine_cycles = 0.0;  ///< engine overlap model, same plan
+  /// Certified stream-optimizer outcome (--optimize); rejection O-codes
+  /// are merged into result.report.
+  bool optimize_run = false;
+  bool opt_certified = false;
+  std::size_t opt_layers_reordered = 0;
+  std::size_t opt_commands_moved = 0;
+  std::size_t opt_barriers_elided = 0;
+  std::size_t opt_transfers_coalesced = 0;
+  double opt_original_cycles = 0.0;   ///< depgraph critical path, input
+  double opt_optimized_cycles = 0.0;  ///< same, certified output stream
+  double opt_original_stall_cycles = 0.0;
+  double opt_optimized_stall_cycles = 0.0;
 };
 
 [[nodiscard]] std::string combo_label(const AnalyzeCombo& combo);
@@ -61,8 +77,9 @@ struct ComboOutcome {
     const std::shared_ptr<core::EvalCache>& cache);
 
 /// The rainbow_analyze JSON schema (tests/data/analyze_report.json is the
-/// golden copy): top-level tool/strict/races/critical_path, one object per
-/// combo with its counts and diagnostics, and a total summary.
+/// golden copy): top-level tool/strict/races/critical_path/optimize, one
+/// object per combo with its counts, optional race/critical_path/optimize
+/// sub-objects, and diagnostics, then a total summary.
 void write_json(const std::vector<ComboOutcome>& outcomes,
                 const AnalyzeOptions& options, std::ostream& os);
 

@@ -63,14 +63,37 @@ DepResource resource_of(Command::Op op) {
 /// How a layer's overlap is modeled.  Tagged needs prefetch plus the
 /// lowered shape (monotone tile tags, no async past the barrier): only then
 /// can the engine's DMA drain order and refill-generation phases be
-/// reconstructed.  Irregular prefetch streams degrade to issue order with
-/// wild phases (sound: wild conflicts with everything); serial layers are
-/// fully chained.
-enum class LayerMode { kSerial, kFallback, kTagged };
+/// reconstructed.  Scheduled is the optimizer's contract
+/// (LayerProgram::scheduled): the issue order *is* the DMA channel order,
+/// tile tags need not be monotone, and waits are per-tile (a compute waits
+/// the loads of its own generation, a store waits its own tile's compute)
+/// with the Eq. 2 credits keyed by tile.  Irregular prefetch streams
+/// degrade to issue order with wild phases (sound: wild conflicts with
+/// everything); serial layers are fully chained.
+enum class LayerMode { kSerial, kFallback, kTagged, kScheduled };
 
 LayerMode classify_layer(const codegen::LayerProgram& layer) {
   if (!layer.choice.prefetch) {
     return LayerMode::kSerial;
+  }
+  if (layer.scheduled) {
+    // Scheduled streams keep the no-async-past-barrier and fully-tagged
+    // requirements but drop monotonicity: a certified reorder hoists loads
+    // ahead of earlier tiles' computes and parks stores behind later loads.
+    bool barrier_seen = false;
+    for (const Command& cmd : layer.commands) {
+      if (cmd.op == Command::Op::kBarrier) {
+        barrier_seen = true;
+        continue;
+      }
+      if (!is_async(cmd.op)) {
+        continue;
+      }
+      if (barrier_seen || cmd.tile < 0) {
+        return LayerMode::kFallback;
+      }
+    }
+    return LayerMode::kScheduled;
   }
   std::int32_t last_tile = 0;
   bool barrier_seen = false;
@@ -226,6 +249,13 @@ DepGraph DepGraph::build(const codegen::Program& program) {
     // Issue-ordered (tile, node) lists for the Eq. 2 credit edges.
     std::vector<std::pair<std::int32_t, std::uint32_t>> pe_by_issue;
     std::vector<std::pair<std::int32_t, std::uint32_t>> store_by_issue;
+    // Scheduled-mode running state, keyed by tile (maps, not issue-sorted
+    // vectors: a certified reorder may issue computes non-monotonically).
+    std::map<int, std::map<std::int32_t, std::uint32_t>> sched_last_load;
+    std::map<std::int32_t, std::uint32_t> sched_pe_by_tile;
+    std::map<std::int32_t, std::uint32_t> sched_store_by_tile;
+    const bool phased_mode =
+        mode == LayerMode::kTagged || mode == LayerMode::kScheduled;
 
     if (mode == LayerMode::kTagged) {
       std::map<std::int32_t, std::vector<std::uint32_t>> loads_by_tile;
@@ -283,9 +313,20 @@ DepGraph DepGraph::build(const codegen::Program& program) {
         dma_order.push_back(n);
       }
     } else {
+      // Scheduled and fallback layers take the DMA channel in issue order;
+      // scheduled layers additionally keep the refill/drain generations so
+      // phases and per-generation waits stay exact.
       for (std::uint32_t n = first; n < g.nodes_.size(); ++n) {
+        const Command& cmd = g.nodes_[n].cmd;
         if (g.nodes_[n].resource == DepResource::kDma) {
           dma_order.push_back(n);
+        }
+        if (mode == LayerMode::kScheduled) {
+          if (cmd.op == Command::Op::kLoad) {
+            load_groups[cmd.region].insert(cmd.tile);
+          } else if (cmd.op == Command::Op::kStore) {
+            store_groups[cmd.region].insert(cmd.tile);
+          }
         }
       }
     }
@@ -359,6 +400,41 @@ DepGraph DepGraph::build(const codegen::Program& program) {
             } else {
               add(last_pe, n, DepEdgeKind::kWait);
             }
+          } else if (mode == LayerMode::kScheduled) {
+            if (cmd.op == Command::Op::kCompute) {
+              // The compute launches once the loads of the generation it
+              // consumes have streamed, per input region (not the whole
+              // channel prefix: hoisted future refills don't gate it).
+              for (const auto& [region, groups] : load_groups) {
+                const std::ptrdiff_t gen = groups.latest_at(cmd.tile);
+                if (gen < 0) {
+                  continue;
+                }
+                const std::int32_t gt =
+                    groups.tiles[static_cast<std::size_t>(gen)];
+                if (auto rit = sched_last_load.find(region);
+                    rit != sched_last_load.end()) {
+                  if (auto tit = rit->second.find(gt);
+                      tit != rit->second.end()) {
+                    add(tit->second, n, DepEdgeKind::kWait);
+                  }
+                }
+              }
+              auto it = sched_store_by_tile.upper_bound(cmd.tile - 2);
+              if (it != sched_store_by_tile.begin()) {
+                add(std::prev(it)->second, n, DepEdgeKind::kCredit);
+              }
+            } else if (cmd.op == Command::Op::kLoad) {
+              auto it = sched_pe_by_tile.upper_bound(cmd.tile - 2);
+              if (it != sched_pe_by_tile.begin()) {
+                add(std::prev(it)->second, n, DepEdgeKind::kCredit);
+              }
+            } else {
+              if (auto it = sched_pe_by_tile.find(cmd.tile);
+                  it != sched_pe_by_tile.end()) {
+                add(it->second, n, DepEdgeKind::kWait);
+              }
+            }
           } else if (mode == LayerMode::kFallback) {
             if (cmd.op == Command::Op::kCompute) {
               add(last_load, n, DepEdgeKind::kWait);
@@ -369,10 +445,19 @@ DepGraph DepGraph::build(const codegen::Program& program) {
           if (cmd.op == Command::Op::kCompute) {
             last_pe = n;
             pe_by_issue.emplace_back(cmd.tile, n);
+            if (mode == LayerMode::kScheduled) {
+              sched_pe_by_tile[cmd.tile] = n;
+            }
           } else if (cmd.op == Command::Op::kLoad) {
             last_load = n;
+            if (mode == LayerMode::kScheduled) {
+              sched_last_load[cmd.region][cmd.tile] = n;
+            }
           } else {
             store_by_issue.emplace_back(cmd.tile, n);
+            if (mode == LayerMode::kScheduled) {
+              sched_store_by_tile[cmd.tile] = n;
+            }
           }
           break;
         }
@@ -396,7 +481,7 @@ DepGraph DepGraph::build(const codegen::Program& program) {
           break;
         case Command::Op::kLoad: {
           std::int8_t phase = kWild;
-          if (mode == LayerMode::kTagged) {
+          if (phased_mode) {
             if (auto it = load_groups.find(cmd.region);
                 it != load_groups.end() && it->second.phased()) {
               phase = static_cast<std::int8_t>(it->second.index_of(cmd.tile) % 2);
@@ -407,7 +492,7 @@ DepGraph DepGraph::build(const codegen::Program& program) {
         }
         case Command::Op::kStore: {
           std::int8_t phase = kWild;
-          if (mode == LayerMode::kTagged) {
+          if (phased_mode) {
             if (auto it = store_groups.find(cmd.region);
                 it != store_groups.end() && it->second.phased()) {
               phase = static_cast<std::int8_t>(it->second.index_of(cmd.tile) % 2);
@@ -423,7 +508,7 @@ DepGraph DepGraph::build(const codegen::Program& program) {
             const bool writes =
                 info.kind == codegen::DataKind::kOfmap && info.birth_layer == li;
             std::int8_t phase = kWild;
-            if (mode == LayerMode::kTagged) {
+            if (phased_mode) {
               if (writes) {
                 if (auto it = store_groups.find(region);
                     it != store_groups.end() && it->second.phased()) {

@@ -101,6 +101,11 @@ class DepGraph {
   /// order (tile t's loads, then tile t-1's deferred store) and per-region
   /// refill-generation phases; untagged or irregular layers fall back to
   /// issue order with wild phases.  Serial layers are fully chained.
+  /// Layers marked LayerProgram::scheduled (emitted by the certified
+  /// stream optimizer) keep refill-generation phases but take the DMA
+  /// channel in issue order, with per-tile waits: a compute waits the
+  /// loads of the generation it consumes, a store waits its own tile's
+  /// compute, and the Eq. 2 credits are keyed by tile.
   [[nodiscard]] static DepGraph build(const codegen::Program& program);
 
   [[nodiscard]] const std::vector<DepNode>& nodes() const { return nodes_; }

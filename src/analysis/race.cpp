@@ -98,7 +98,7 @@ class RaceDetector {
         case Command::Op::kBarrier:
           if (asyncs_since_barrier == 0) {
             Diagnostic d = stream_diag(Code::kRaceRedundantBarrier,
-                                       Severity::kWarning,
+                                       Severity::kAdvisory,
                                        site_of(graph_, node));
             d.detail = "barrier at " + describe(node) +
                        " has no DMA or compute to drain since the previous "
@@ -312,6 +312,12 @@ RaceReport analyze_races(const codegen::Program& program) {
 
 CertifyResult certify_reorder(const codegen::Program& original,
                               const codegen::Program& candidate) {
+  return certify_reorder(DepGraph::build(original), original, candidate);
+}
+
+CertifyResult certify_reorder(const DepGraph& graph,
+                              const codegen::Program& original,
+                              const codegen::Program& candidate) {
   CertifyResult result;
   constexpr std::size_t kMaxDiagnostics = 8;
 
@@ -399,7 +405,6 @@ CertifyResult certify_reorder(const codegen::Program& original,
   // the original: data/lifetime (kDep) and sequencer/barrier (kSync)
   // edges.  Resource-chain and timing edges are exactly the freedom a
   // reorderer exploits, so they are not constraints.
-  const DepGraph graph = DepGraph::build(original);
   for (const DepEdge& e : graph.edges()) {
     if (e.kind != DepEdgeKind::kDep && e.kind != DepEdgeKind::kSync) {
       continue;

@@ -52,7 +52,13 @@ struct CertifyResult {
 /// edges and kSync sequencer/barrier edges; kResource channel order and
 /// kWait timing are exactly what a reorderer is free to change).  This is
 /// the legality gate a DMA-reordering pass must pass before emitting a
-/// permuted stream; candidates should additionally be race-checked.
+/// permuted stream; candidates should additionally be race-checked.  The
+/// first overload reuses a graph already built for `original` (the stream
+/// optimizer certifies against the graph it scheduled from); the second
+/// builds its own.
+[[nodiscard]] CertifyResult certify_reorder(const DepGraph& graph,
+                                            const codegen::Program& original,
+                                            const codegen::Program& candidate);
 [[nodiscard]] CertifyResult certify_reorder(const codegen::Program& original,
                                             const codegen::Program& candidate);
 

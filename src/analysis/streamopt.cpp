@@ -1,0 +1,867 @@
+#include "analysis/streamopt.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "analysis/depgraph.hpp"
+#include "analysis/race.hpp"
+#include "analysis/stream_analyzer.hpp"
+#include "codegen/interpret.hpp"
+#include "engine/engine.hpp"
+
+namespace rainbow::analysis {
+
+using codegen::Command;
+using codegen::DataKind;
+using validate::Code;
+using validate::Diagnostic;
+using validate::Severity;
+using validate::ValidationReport;
+
+namespace {
+
+constexpr std::size_t kMaxDiagnostics = 8;
+
+bool is_async(Command::Op op) {
+  return op == Command::Op::kLoad || op == Command::Op::kStore ||
+         op == Command::Op::kCompute;
+}
+
+Diagnostic opt_diag(Code code, std::string detail) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = Severity::kError;
+  d.detail = std::move(detail);
+  return d;
+}
+
+void add_capped(ValidationReport& report, Diagnostic d) {
+  if (report.diagnostics().size() < kMaxDiagnostics) {
+    report.add(std::move(d));
+  }
+}
+
+/// Critical-path cycles not explained by either resource's busy time: per
+/// layer, the makespan minus max(DMA busy, PE busy) — the stalls a better
+/// order could in principle recover.
+double stall_cycles(const DepGraph& graph, const CriticalPath& cp) {
+  std::vector<double> dma(cp.layer_cycles.size(), 0.0);
+  std::vector<double> pe(cp.layer_cycles.size(), 0.0);
+  for (const DepNode& node : graph.nodes()) {
+    if (node.resource == DepResource::kDma) {
+      dma[node.layer] += node.weight_cycles;
+    } else if (node.resource == DepResource::kPe) {
+      pe[node.layer] += node.weight_cycles;
+    }
+  }
+  double stall = 0.0;
+  for (std::size_t l = 0; l < cp.layer_cycles.size(); ++l) {
+    stall += std::max(0.0, cp.layer_cycles[l] - std::max(dma[l], pe[l]));
+  }
+  return stall;
+}
+
+/// A layer the list scheduler may touch: prefetch, every async tile-tagged
+/// and monotone, none past the barrier — the same shape the dependence
+/// graph models as kTagged, so the original's edges are trustworthy.
+bool reorderable_layer(const codegen::LayerProgram& layer) {
+  if (!layer.choice.prefetch || layer.scheduled) {
+    return false;
+  }
+  std::int32_t last_tile = 0;
+  bool barrier_seen = false;
+  bool any_async = false;
+  for (const Command& cmd : layer.commands) {
+    if (cmd.op == Command::Op::kBarrier) {
+      barrier_seen = true;
+      continue;
+    }
+    if (!is_async(cmd.op)) {
+      continue;
+    }
+    if (barrier_seen || cmd.tile < 0 || cmd.tile < last_tile) {
+      return false;
+    }
+    last_tile = cmd.tile;
+    any_async = true;
+  }
+  return any_async;
+}
+
+/// Greedy list scheduling over the layer's intra-layer kDep/kSync
+/// constraint DAG (exactly the edge set certify_reorder enforces, so the
+/// output is a legal reorder by construction).  Among ready commands,
+/// refills go first, then computes, then drains, lowest tile first — the
+/// order that hoists tile t+2's loads ahead of tile t's store and keeps
+/// the channel streaming.
+std::vector<Command> list_schedule(
+    const std::vector<Command>& commands,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& constraints,
+    std::size_t* moved) {
+  const std::size_t n = commands.size();
+  std::vector<std::vector<std::uint32_t>> out(n);
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (const auto& [from, to] : constraints) {
+    out[from].push_back(to);
+    ++indegree[to];
+  }
+  const auto rank = [](const Command& cmd) {
+    switch (cmd.op) {
+      case Command::Op::kAlloc:
+      case Command::Op::kFree:
+      case Command::Op::kBarrier:
+        return 0;  // sequencer ops keep their slots (kSync chains them)
+      case Command::Op::kLoad:
+        return 1;
+      case Command::Op::kCompute:
+        return 2;
+      case Command::Op::kStore:
+        return 3;
+    }
+    return 4;
+  };
+  using Key = std::tuple<int, std::int64_t, std::uint32_t>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<>> ready;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) {
+      ready.push({rank(commands[i]), commands[i].tile, i});
+    }
+  }
+  std::vector<Command> scheduled;
+  scheduled.reserve(n);
+  *moved = 0;
+  while (!ready.empty()) {
+    const std::uint32_t i = std::get<2>(ready.top());
+    ready.pop();
+    if (!(commands[scheduled.size()] == commands[i])) {
+      ++*moved;
+    }
+    scheduled.push_back(commands[i]);
+    for (std::uint32_t j : out[i]) {
+      if (--indegree[j] == 0) {
+        ready.push({rank(commands[j]), commands[j].tile, j});
+      }
+    }
+  }
+  if (scheduled.size() != n) {
+    // Constraint cycle (possible only on an adversarial graph): bail out
+    // to the identity order; the caller sees zero movement.
+    *moved = 0;
+    return commands;
+  }
+  return scheduled;
+}
+
+/// Builds the all-layers-optimized candidate.  `changed[l]` reports which
+/// layers actually moved; those get LayerProgram::scheduled set.
+codegen::Program reorder_candidate(const codegen::Program& program,
+                                   const DepGraph& graph,
+                                   std::vector<bool>& changed,
+                                   std::vector<std::size_t>& moved) {
+  const std::size_t layer_count = program.layers.size();
+  changed.assign(layer_count, false);
+  moved.assign(layer_count, 0);
+
+  std::vector<bool> eligible(layer_count, false);
+  for (std::size_t l = 0; l < layer_count; ++l) {
+    eligible[l] = reorderable_layer(program.layers[l]);
+  }
+
+  // Intra-layer semantic constraints, in local command indices.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> local(
+      layer_count);
+  const auto& nodes = graph.nodes();
+  for (const DepEdge& e : graph.edges()) {
+    if (e.kind != DepEdgeKind::kDep && e.kind != DepEdgeKind::kSync) {
+      continue;
+    }
+    const DepNode& from = nodes[e.from];
+    const DepNode& to = nodes[e.to];
+    if (from.layer != to.layer || !eligible[from.layer]) {
+      continue;
+    }
+    local[from.layer].emplace_back(static_cast<std::uint32_t>(from.command),
+                                   static_cast<std::uint32_t>(to.command));
+  }
+
+  codegen::Program candidate = program;
+  for (std::size_t l = 0; l < layer_count; ++l) {
+    if (!eligible[l]) {
+      continue;
+    }
+    std::size_t layer_moved = 0;
+    std::vector<Command> scheduled =
+        list_schedule(program.layers[l].commands, local[l], &layer_moved);
+    if (layer_moved == 0) {
+      continue;
+    }
+    candidate.layers[l].commands = std::move(scheduled);
+    candidate.layers[l].scheduled = true;
+    changed[l] = true;
+    moved[l] = layer_moved;
+  }
+  return candidate;
+}
+
+/// Pass (b): drops barriers with no async work since the previous sync
+/// point (the R008 condition), except a layer's final barrier — serial
+/// semantics and the S008/S009 termination rules keep that one.
+codegen::Program elide_pass(const codegen::Program& program,
+                            std::size_t* elided) {
+  codegen::Program out = program;
+  std::size_t asyncs = 0;
+  for (codegen::LayerProgram& layer : out.layers) {
+    std::ptrdiff_t last_barrier = -1;
+    for (std::size_t i = 0; i < layer.commands.size(); ++i) {
+      if (layer.commands[i].op == Command::Op::kBarrier) {
+        last_barrier = static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    std::vector<Command> kept;
+    kept.reserve(layer.commands.size());
+    for (std::size_t i = 0; i < layer.commands.size(); ++i) {
+      const Command& cmd = layer.commands[i];
+      if (is_async(cmd.op)) {
+        ++asyncs;
+      } else if (cmd.op == Command::Op::kBarrier) {
+        if (asyncs == 0 && static_cast<std::ptrdiff_t>(i) != last_barrier) {
+          ++*elided;
+          continue;  // redundant: drains nothing, and not the closer
+        }
+        asyncs = 0;
+      }
+      kept.push_back(cmd);
+    }
+    layer.commands = std::move(kept);
+  }
+  return out;
+}
+
+/// Pass (c): merges runs of adjacent transfers with the same (op, region,
+/// kind, tile), keeping the first chunk's id, bounded by what S012 and the
+/// interpreter allow (region size; GLB capacity for streaming ifmap
+/// loads).  Region sizes are tracked across layers for inherited regions.
+codegen::Program coalesce_pass(const codegen::Program& program,
+                               std::size_t* merged) {
+  codegen::Program out = program;
+  const count_t capacity = program.spec.glb_elems();
+  std::map<int, count_t> region_size;
+  for (codegen::LayerProgram& layer : out.layers) {
+    std::vector<Command> kept;
+    kept.reserve(layer.commands.size());
+    for (const Command& cmd : layer.commands) {
+      switch (cmd.op) {
+        case Command::Op::kAlloc:
+          region_size[cmd.region] = cmd.elems;
+          break;
+        case Command::Op::kFree:
+          region_size.erase(cmd.region);
+          break;
+        case Command::Op::kLoad:
+        case Command::Op::kStore:
+          if (!kept.empty()) {
+            Command& prev = kept.back();
+            const bool mergeable =
+                prev.op == cmd.op && prev.region == cmd.region &&
+                prev.kind == cmd.kind && prev.tile == cmd.tile;
+            if (mergeable) {
+              const bool streaming =
+                  cmd.op == Command::Op::kLoad && cmd.kind == DataKind::kIfmap;
+              const auto it = region_size.find(cmd.region);
+              const count_t bound = streaming
+                                        ? capacity
+                                        : (it == region_size.end()
+                                               ? count_t{0}
+                                               : it->second);
+              if (prev.elems + cmd.elems <= bound) {
+                prev.elems += cmd.elems;
+                ++*merged;
+                continue;
+              }
+            }
+          }
+          break;
+        case Command::Op::kCompute:
+        case Command::Op::kBarrier:
+          break;
+      }
+      kept.push_back(cmd);
+    }
+    layer.commands = std::move(kept);
+  }
+  return out;
+}
+
+bool layer_headers_match(const codegen::Program& a, const codegen::Program& b,
+                         ValidationReport& report) {
+  if (a.layers.size() != b.layers.size()) {
+    add_capped(report,
+               opt_diag(Code::kOptStructuralViolation,
+                        "candidate has " + std::to_string(b.layers.size()) +
+                            " layer(s), original " +
+                            std::to_string(a.layers.size())));
+    return false;
+  }
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    if (a.layers[l].layer_index != b.layers[l].layer_index ||
+        a.layers[l].layer_name != b.layers[l].layer_name) {
+      add_capped(report, opt_diag(Code::kOptStructuralViolation,
+                                  "layer " + std::to_string(l) +
+                                      " metadata differs between original "
+                                      "and candidate"));
+      return false;
+    }
+  }
+  return true;
+}
+
+ValidationReport check_reorder_stage_impl(const DepGraph* graph,
+                                          const codegen::Program& original,
+                                          const codegen::Program& candidate) {
+  ValidationReport report;
+  const CertifyResult certified =
+      graph != nullptr ? certify_reorder(*graph, original, candidate)
+                       : certify_reorder(original, candidate);
+  if (certified.ok) {
+    return report;
+  }
+  for (const Diagnostic& d : certified.report.diagnostics()) {
+    Diagnostic o = d;
+    o.code = Code::kOptReorderViolation;
+    o.severity = Severity::kError;
+    add_capped(report, std::move(o));
+  }
+  if (report.empty()) {
+    add_capped(report, opt_diag(Code::kOptReorderViolation,
+                                "candidate is not a certified reorder (" +
+                                    std::to_string(certified.violations) +
+                                    " dependence violation(s))"));
+  }
+  return report;
+}
+
+/// Per-layer tile sums, for the engine re-cost: order-independent, so the
+/// original and any legal reorder rebuild the identical schedule.
+std::vector<engine::TileOp> tile_ops_of(const codegen::LayerProgram& layer) {
+  std::map<std::int32_t, engine::TileOp> by_tile;
+  for (const Command& cmd : layer.commands) {
+    if (cmd.tile < 0) {
+      continue;
+    }
+    engine::TileOp& op = by_tile[cmd.tile];
+    switch (cmd.op) {
+      case Command::Op::kLoad:
+        if (cmd.kind == DataKind::kFilter) {
+          op.load_filter += cmd.elems;
+        } else {
+          op.load_ifmap += cmd.elems;
+        }
+        break;
+      case Command::Op::kStore:
+        op.store_ofmap += cmd.elems;
+        break;
+      case Command::Op::kCompute:
+        op.macs += cmd.macs;
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<engine::TileOp> ops;
+  ops.reserve(by_tile.size());
+  for (const auto& [tile, op] : by_tile) {
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+struct SemanticsOutcome {
+  ValidationReport report;
+  CriticalPath cp;
+  double stall = 0.0;
+};
+
+SemanticsOutcome check_semantics_impl(const codegen::Program& original,
+                                      const DepGraph& original_graph,
+                                      const CriticalPath& original_cp,
+                                      const codegen::Program& candidate,
+                                      const core::ExecutionPlan* plan,
+                                      const model::Network* network) {
+  SemanticsOutcome out;
+
+  // O002: the optimized stream must be race-free under its own graph.
+  const DepGraph graph = DepGraph::build(candidate);
+  const RaceReport races = analyze_races(graph);
+  if (!races.ok()) {
+    std::size_t shown = 0;
+    for (const Diagnostic& d : races.report.diagnostics()) {
+      if (d.severity != Severity::kError || shown++ >= kMaxDiagnostics) {
+        continue;
+      }
+      add_capped(out.report,
+                 opt_diag(Code::kOptRaceIntroduced,
+                          "optimized stream is racy: " + d.message()));
+    }
+    return out;
+  }
+
+  // O003: clean under the stream analyzer (with the plan cross-checks
+  // when the caller has the plan).
+  const AnalysisResult streams =
+      (plan != nullptr && network != nullptr)
+          ? analyze_lowering(candidate, *plan, *network)
+          : analyze_stream(candidate);
+  if (!streams.ok()) {
+    std::size_t shown = 0;
+    for (const Diagnostic& d : streams.report.diagnostics()) {
+      if (d.severity != Severity::kError || shown++ >= kMaxDiagnostics) {
+        continue;
+      }
+      add_capped(out.report,
+                 opt_diag(Code::kOptStreamRegression,
+                          "optimized stream fails analysis: " + d.message()));
+    }
+    return out;
+  }
+
+  // O004: differential interpretation.  Latency is deliberately excluded
+  // (the interpreter replays issue order; a hoisted stream's issue-order
+  // latency is not the overlap latency — the graph owns timing).
+  const codegen::Interpreter interp(original.spec);
+  codegen::ProgramRun before;
+  codegen::ProgramRun after;
+  try {
+    before = interp.run(original);
+  } catch (const std::runtime_error& e) {
+    add_capped(out.report,
+               opt_diag(Code::kOptSemanticsDiverged,
+                        std::string("original stream fails to interpret: ") +
+                            e.what()));
+    return out;
+  }
+  try {
+    after = interp.run(candidate);
+  } catch (const std::runtime_error& e) {
+    add_capped(out.report,
+               opt_diag(Code::kOptSemanticsDiverged,
+                        std::string("optimized stream fails to interpret: ") +
+                            e.what()));
+    return out;
+  }
+  if (before.layers.size() != after.layers.size() ||
+      before.total_accesses != after.total_accesses ||
+      before.peak_glb_elems != after.peak_glb_elems) {
+    add_capped(out.report,
+               opt_diag(Code::kOptSemanticsDiverged,
+                        "program totals diverge (accesses " +
+                            std::to_string(before.total_accesses) + " -> " +
+                            std::to_string(after.total_accesses) +
+                            ", GLB peak " +
+                            std::to_string(before.peak_glb_elems) + " -> " +
+                            std::to_string(after.peak_glb_elems) + ")"));
+    return out;
+  }
+  for (std::size_t l = 0; l < before.layers.size(); ++l) {
+    const codegen::LayerRun& a = before.layers[l];
+    const codegen::LayerRun& b = after.layers[l];
+    if (!(a.traffic == b.traffic) || a.macs != b.macs ||
+        a.peak_glb_elems != b.peak_glb_elems) {
+      add_capped(out.report,
+                 opt_diag(Code::kOptSemanticsDiverged,
+                          "layer " + std::to_string(l) +
+                              " diverges under interpretation (traffic, "
+                              "MACs, or GLB peak)"));
+      return out;
+    }
+  }
+
+  // O005, part 1: re-cost through the engine's own latency model.  Tile
+  // sums are order-independent, so a size-conserving rewrite rebuilds the
+  // identical schedule; any divergence or regression rejects.
+  const double bw = original.spec.elements_per_cycle();
+  const double mac_rate = original.spec.effective_macs_per_cycle();
+  for (std::size_t l = 0; l < original.layers.size(); ++l) {
+    const bool prefetch = original.layers[l].choice.prefetch;
+    const double engine_before =
+        engine::schedule_latency(tile_ops_of(original.layers[l]), bw,
+                                 mac_rate, prefetch);
+    const double engine_after =
+        engine::schedule_latency(tile_ops_of(candidate.layers[l]), bw,
+                                 mac_rate, prefetch);
+    if (engine_after > engine_before * (1.0 + 1e-9)) {
+      add_capped(out.report,
+                 opt_diag(Code::kOptLatencyRegressed,
+                          "layer " + std::to_string(l) +
+                              " regresses under engine::schedule_latency (" +
+                              std::to_string(engine_before) + " -> " +
+                              std::to_string(engine_after) + " cycles)"));
+      return out;
+    }
+  }
+
+  // O005, part 2: the dependence-graph critical path must not grow.
+  if (graph.is_cyclic()) {
+    add_capped(out.report, opt_diag(Code::kOptRaceIntroduced,
+                                    "optimized stream's dependence graph is "
+                                    "cyclic"));
+    return out;
+  }
+  out.cp = graph.critical_path();
+  out.stall = stall_cycles(graph, out.cp);
+  if (out.cp.total_cycles > original_cp.total_cycles * (1.0 + 1e-9)) {
+    add_capped(out.report,
+               opt_diag(Code::kOptLatencyRegressed,
+                        "critical path grew from " +
+                            std::to_string(original_cp.total_cycles) +
+                            " to " + std::to_string(out.cp.total_cycles) +
+                            " cycles"));
+  }
+  (void)original_graph;
+  return out;
+}
+
+OptimizeResult optimize_impl(const codegen::Program& program,
+                             const core::ExecutionPlan* plan,
+                             const model::Network* network,
+                             const StreamOptOptions& options) {
+  OptimizeResult result;
+  result.program = program;
+
+  const DepGraph g0 = DepGraph::build(program);
+  if (g0.is_cyclic()) {
+    result.report.add(opt_diag(Code::kOptStructuralViolation,
+                               "input stream's dependence graph is cyclic; "
+                               "nothing to optimize soundly"));
+    return result;
+  }
+  const CriticalPath cp0 = g0.critical_path();
+  result.original_cycles = cp0.total_cycles;
+  result.original_stall_cycles = stall_cycles(g0, cp0);
+  result.optimized_cycles = result.original_cycles;
+  result.optimized_stall_cycles = result.original_stall_cycles;
+
+  result.layers.resize(program.layers.size());
+  for (std::size_t l = 0; l < program.layers.size(); ++l) {
+    result.layers[l].layer_index = program.layers[l].layer_index;
+    result.layers[l].layer_name = program.layers[l].layer_name;
+    result.layers[l].original_cycles = cp0.layer_cycles[l];
+    result.layers[l].optimized_cycles = cp0.layer_cycles[l];
+  }
+
+  // Reordering needs the stable ids certify_reorder matches by.
+  bool tagged = true;
+  for (const codegen::LayerProgram& layer : program.layers) {
+    for (const Command& cmd : layer.commands) {
+      if (cmd.id == 0) {
+        tagged = false;
+        break;
+      }
+    }
+  }
+
+  codegen::Program current = program;
+  bool any_change = false;
+
+  if (options.reorder && tagged) {
+    std::vector<bool> changed;
+    std::vector<std::size_t> moved;
+    codegen::Program candidate =
+        reorder_candidate(program, g0, changed, moved);
+    const bool any_candidate =
+        std::find(changed.begin(), changed.end(), true) != changed.end();
+    if (any_candidate) {
+      const DepGraph g1 = DepGraph::build(candidate);
+      std::vector<bool> keep(changed.size(), false);
+      if (!g1.is_cyclic()) {
+        // Revert any layer the new model flags racy, then any that did
+        // not improve its own critical-path contribution.
+        std::vector<bool> racy(changed.size(), false);
+        const RaceReport races = analyze_races(g1);
+        for (const Diagnostic& d : races.report.diagnostics()) {
+          if (d.severity != Severity::kError || !d.layer) {
+            continue;
+          }
+          for (std::size_t l = 0; l < candidate.layers.size(); ++l) {
+            if (candidate.layers[l].layer_index == *d.layer) {
+              racy[l] = true;
+            }
+          }
+        }
+        const CriticalPath cp1 = g1.critical_path();
+        for (std::size_t l = 0; l < changed.size(); ++l) {
+          if (!changed[l] || racy[l]) {
+            continue;
+          }
+          const double tol =
+              options.min_gain_rel * std::max(1.0, cp0.layer_cycles[l]);
+          keep[l] = cp1.layer_cycles[l] + tol < cp0.layer_cycles[l];
+        }
+      }
+      for (std::size_t l = 0; l < keep.size(); ++l) {
+        if (!keep[l] && changed[l]) {
+          candidate.layers[l] = program.layers[l];
+          changed[l] = false;
+          moved[l] = 0;
+        }
+      }
+      if (std::find(changed.begin(), changed.end(), true) != changed.end()) {
+        const ValidationReport gate =
+            check_reorder_stage_impl(&g0, program, candidate);
+        if (!gate.ok()) {
+          result.report.merge(gate);
+          return result;  // optimizer bug: reject, return the original
+        }
+        current = std::move(candidate);
+        any_change = true;
+        for (std::size_t l = 0; l < changed.size(); ++l) {
+          if (changed[l]) {
+            ++result.layers_reordered;
+            result.commands_moved += moved[l];
+            result.layers[l].reordered = true;
+            result.layers[l].commands_moved = moved[l];
+          }
+        }
+      }
+    }
+  }
+
+  if (options.elide_barriers) {
+    std::size_t elided = 0;
+    codegen::Program next = elide_pass(current, &elided);
+    if (elided > 0) {
+      const ValidationReport gate = check_elision_stage(current, next);
+      if (!gate.ok()) {
+        result.report.merge(gate);
+        return result;
+      }
+      current = std::move(next);
+      result.barriers_elided = elided;
+      any_change = true;
+    }
+  }
+
+  if (options.coalesce) {
+    std::size_t merged = 0;
+    codegen::Program next = coalesce_pass(current, &merged);
+    if (merged > 0) {
+      const ValidationReport gate = check_coalesce_stage(current, next);
+      if (!gate.ok()) {
+        result.report.merge(gate);
+        return result;
+      }
+      current = std::move(next);
+      result.transfers_coalesced = merged;
+      any_change = true;
+    }
+  }
+
+  if (!any_change) {
+    result.certified = true;  // identity: trivially equivalent
+    return result;
+  }
+
+  SemanticsOutcome sem =
+      check_semantics_impl(program, g0, cp0, current, plan, network);
+  if (!sem.report.ok()) {
+    result.report.merge(sem.report);
+    result.layers_reordered = 0;
+    result.commands_moved = 0;
+    result.barriers_elided = 0;
+    result.transfers_coalesced = 0;
+    for (LayerOptStats& stats : result.layers) {
+      stats.reordered = false;
+      stats.commands_moved = 0;
+    }
+    return result;
+  }
+
+  result.program = std::move(current);
+  result.certified = true;
+  result.optimized_cycles = sem.cp.total_cycles;
+  result.optimized_stall_cycles = sem.stall;
+  for (std::size_t l = 0; l < result.layers.size(); ++l) {
+    result.layers[l].optimized_cycles = sem.cp.layer_cycles[l];
+  }
+  return result;
+}
+
+}  // namespace
+
+OptimizeResult optimize_program(const codegen::Program& program,
+                                const StreamOptOptions& options) {
+  return optimize_impl(program, nullptr, nullptr, options);
+}
+
+OptimizeResult optimize_program(const codegen::Program& program,
+                                const core::ExecutionPlan& plan,
+                                const model::Network& network,
+                                const StreamOptOptions& options) {
+  return optimize_impl(program, &plan, &network, options);
+}
+
+ValidationReport check_reorder_stage(const codegen::Program& original,
+                                     const codegen::Program& candidate) {
+  return check_reorder_stage_impl(nullptr, original, candidate);
+}
+
+ValidationReport check_elision_stage(const codegen::Program& original,
+                                     const codegen::Program& candidate) {
+  ValidationReport report;
+  if (!layer_headers_match(original, candidate, report)) {
+    return report;
+  }
+  std::size_t asyncs = 0;
+  for (std::size_t l = 0; l < original.layers.size(); ++l) {
+    const auto& orig = original.layers[l].commands;
+    const auto& cand = candidate.layers[l].commands;
+    std::size_t j = 0;
+    for (const Command& cmd : orig) {
+      if (j < cand.size() && cand[j] == cmd) {
+        ++j;
+      } else if (cmd.op != Command::Op::kBarrier) {
+        add_capped(report,
+                   opt_diag(Code::kOptStructuralViolation,
+                            "layer " + std::to_string(l) +
+                                " drops a non-barrier command (only "
+                                "redundant barriers may be elided)"));
+        return report;
+      } else if (asyncs != 0) {
+        add_capped(report,
+                   opt_diag(Code::kOptStructuralViolation,
+                            "layer " + std::to_string(l) +
+                                " elides a barrier that drains " +
+                                std::to_string(asyncs) +
+                                " in-flight command(s)"));
+        return report;
+      }
+      if (is_async(cmd.op)) {
+        ++asyncs;
+      } else if (cmd.op == Command::Op::kBarrier) {
+        asyncs = 0;
+      }
+    }
+    if (j != cand.size()) {
+      add_capped(report, opt_diag(Code::kOptStructuralViolation,
+                                  "layer " + std::to_string(l) + " adds " +
+                                      std::to_string(cand.size() - j) +
+                                      " command(s) absent in the original"));
+      return report;
+    }
+  }
+  return report;
+}
+
+ValidationReport check_coalesce_stage(const codegen::Program& original,
+                                      const codegen::Program& candidate) {
+  ValidationReport report;
+  if (!layer_headers_match(original, candidate, report)) {
+    return report;
+  }
+  const count_t capacity = original.spec.glb_elems();
+  std::map<int, count_t> region_size;
+  for (std::size_t l = 0; l < original.layers.size(); ++l) {
+    const auto& orig = original.layers[l].commands;
+    const auto& cand = candidate.layers[l].commands;
+    std::size_t i = 0;
+    for (const Command& cmd : cand) {
+      if (i < orig.size() && orig[i] == cmd) {
+        if (cmd.op == Command::Op::kAlloc) {
+          region_size[cmd.region] = cmd.elems;
+        } else if (cmd.op == Command::Op::kFree) {
+          region_size.erase(cmd.region);
+        }
+        ++i;
+        continue;
+      }
+      if (cmd.op != Command::Op::kLoad && cmd.op != Command::Op::kStore) {
+        add_capped(report,
+                   opt_diag(Code::kOptStructuralViolation,
+                            "layer " + std::to_string(l) +
+                                " rewrites a non-transfer command (only "
+                                "adjacent DMA chunks may be merged)"));
+        return report;
+      }
+      // Must be a merged run of adjacent same-shape chunks starting here.
+      count_t sum = 0;
+      bool first = true;
+      while (i < orig.size() && sum < cmd.elems) {
+        const Command& chunk = orig[i];
+        if (chunk.op != cmd.op || chunk.region != cmd.region ||
+            chunk.kind != cmd.kind || chunk.tile != cmd.tile ||
+            (first && chunk.id != cmd.id)) {
+          break;
+        }
+        sum += chunk.elems;
+        first = false;
+        ++i;
+      }
+      if (sum != cmd.elems) {
+        add_capped(report,
+                   opt_diag(Code::kOptStructuralViolation,
+                            "layer " + std::to_string(l) +
+                                " merged transfer of " +
+                                std::to_string(cmd.elems) +
+                                " elems does not match a run of adjacent "
+                                "chunks (matched " + std::to_string(sum) +
+                                ")"));
+        return report;
+      }
+      const bool streaming =
+          cmd.op == Command::Op::kLoad && cmd.kind == DataKind::kIfmap;
+      const auto it = region_size.find(cmd.region);
+      const count_t bound =
+          streaming ? capacity
+                    : (it == region_size.end() ? count_t{0} : it->second);
+      if (cmd.elems > bound) {
+        add_capped(report,
+                   opt_diag(Code::kOptStructuralViolation,
+                            "layer " + std::to_string(l) +
+                                " merged transfer of " +
+                                std::to_string(cmd.elems) +
+                                " elems overflows its bound of " +
+                                std::to_string(bound) + " elems"));
+        return report;
+      }
+    }
+    if (i != orig.size()) {
+      add_capped(report, opt_diag(Code::kOptStructuralViolation,
+                                  "layer " + std::to_string(l) + " drops " +
+                                      std::to_string(orig.size() - i) +
+                                      " command(s) of the original"));
+      return report;
+    }
+  }
+  return report;
+}
+
+ValidationReport check_semantics(const codegen::Program& original,
+                                 const codegen::Program& candidate,
+                                 const core::ExecutionPlan* plan,
+                                 const model::Network* network,
+                                 double* original_cycles,
+                                 double* optimized_cycles) {
+  const DepGraph g0 = DepGraph::build(original);
+  if (g0.is_cyclic()) {
+    ValidationReport report;
+    report.add(opt_diag(Code::kOptStructuralViolation,
+                        "original stream's dependence graph is cyclic"));
+    return report;
+  }
+  const CriticalPath cp0 = g0.critical_path();
+  SemanticsOutcome out =
+      check_semantics_impl(original, g0, cp0, candidate, plan, network);
+  if (original_cycles != nullptr) {
+    *original_cycles = cp0.total_cycles;
+  }
+  if (optimized_cycles != nullptr) {
+    *optimized_cycles = out.cp.total_cycles;
+  }
+  return out.report;
+}
+
+}  // namespace rainbow::analysis

@@ -1,0 +1,120 @@
+// Translation-validated optimizer over lowered command streams.  Three
+// passes run on a codegen::Program: (a) a dependence-graph-driven list
+// scheduler that reorders each prefetch layer's async commands, hoisting
+// refills as early as their kDep/kSync predecessors allow (shrinking the
+// depgraph critical path), (b) elision of R008-redundant barriers, and
+// (c) coalescing of adjacent same-region DMA chunks.  Every emitted stream
+// is *certified*: proven a legal reorder of the original (certify_reorder,
+// R007), race-free under R001-R006, clean under the S-code stream
+// analyzer, differentially interpreted to an identical result, and
+// re-costed with a critical path <= the original's.  A candidate that
+// fails any gate is rejected with a structured O001-O006 diagnostic and
+// the original stream is returned unchanged — an optimizer bug can cost
+// performance, never correctness.  Catalog: docs/static_analysis.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "codegen/command.hpp"
+#include "core/plan.hpp"
+#include "model/network.hpp"
+#include "validate/diagnostics.hpp"
+
+namespace rainbow::analysis {
+
+struct StreamOptOptions {
+  bool reorder = true;         ///< pass (a): DMA-hoisting list scheduler
+  bool elide_barriers = true;  ///< pass (b): drop R008-redundant barriers
+  bool coalesce = true;        ///< pass (c): merge adjacent DMA chunks
+  /// Relative improvement a reordered layer must show (against its own
+  /// critical-path contribution) to be kept; unimproved layers revert to
+  /// their original order, so the whole-program path never grows.
+  double min_gain_rel = 1e-6;
+};
+
+/// Per-layer outcome of the reordering pass.
+struct LayerOptStats {
+  std::size_t layer_index = 0;
+  std::string layer_name;
+  bool reordered = false;          ///< candidate order kept
+  std::size_t commands_moved = 0;  ///< positions that changed (kept only)
+  double original_cycles = 0.0;    ///< layer's critical-path contribution
+  double optimized_cycles = 0.0;   ///< same, in the emitted stream
+};
+
+struct OptimizeResult {
+  /// The certified stream (equal to the input when nothing improved or a
+  /// gate rejected the candidate).
+  codegen::Program program;
+  /// O-code diagnostics from rejected candidates, if any.
+  validate::ValidationReport report;
+  /// True when the emitted stream passed the full certification stack.
+  /// False only when a gate rejected the optimizer's own candidate (the
+  /// returned program is then the untouched original).
+  bool certified = false;
+  std::size_t layers_reordered = 0;
+  std::size_t commands_moved = 0;
+  std::size_t barriers_elided = 0;
+  std::size_t transfers_coalesced = 0;  ///< commands removed by merging
+  double original_cycles = 0.0;   ///< depgraph critical path of the input
+  double optimized_cycles = 0.0;  ///< same, of the emitted stream
+  /// Critical-path cycles not covered by either resource's busy time
+  /// (max-per-layer lower bound); the overlap slack the schedule wastes.
+  double original_stall_cycles = 0.0;
+  double optimized_stall_cycles = 0.0;
+  std::vector<LayerOptStats> layers;
+
+  [[nodiscard]] bool ok() const { return report.ok(); }
+  [[nodiscard]] bool improved() const {
+    return optimized_cycles < original_cycles;
+  }
+};
+
+/// Optimizes and certifies `program`.  When `plan`/`network` are given the
+/// S-code gate runs the full plan cross-checks (S014/S015) on the emitted
+/// stream; without them it runs the stream-only rules (S001-S013).  The
+/// S016 engine cross-check never runs on an optimized stream — a shorter
+/// critical path is the point — its replacement is the O005 gate
+/// (optimized path <= original path).
+[[nodiscard]] OptimizeResult optimize_program(const codegen::Program& program,
+                                              const StreamOptOptions& options = {});
+[[nodiscard]] OptimizeResult optimize_program(const codegen::Program& program,
+                                              const core::ExecutionPlan& plan,
+                                              const model::Network& network,
+                                              const StreamOptOptions& options = {});
+
+// --- Stage gates, exposed for the adversarial property tests ------------
+// Each returns a report whose errors carry the O-code named; an empty
+// report certifies that stage.  optimize_program composes all of them.
+
+/// Gate (a): `candidate` must be a certified per-layer permutation of
+/// `original` (O001 wrapping the R007 findings on violation).
+[[nodiscard]] validate::ValidationReport check_reorder_stage(
+    const codegen::Program& original, const codegen::Program& candidate);
+
+/// Gate (b): `candidate` must equal `original` minus a subset of its
+/// redundant barriers — barriers with no async work since the previous
+/// sync point (O006 on any other difference or a non-redundant removal).
+[[nodiscard]] validate::ValidationReport check_elision_stage(
+    const codegen::Program& original, const codegen::Program& candidate);
+
+/// Gate (c): `candidate` must equal `original` with runs of adjacent
+/// same-(op, region, kind, tile) transfers merged, sizes conserved and
+/// bounded by the region (GLB capacity for streaming ifmap loads), first
+/// id kept (O006 on violation).
+[[nodiscard]] validate::ValidationReport check_coalesce_stage(
+    const codegen::Program& original, const codegen::Program& candidate);
+
+/// End-to-end semantic gates on a fully transformed candidate: race
+/// freedom (O002), S-code cleanliness (O003), interpreter differential
+/// against the original — traffic, MACs, GLB peaks, leak-free final state
+/// (O004) — and the critical-path bound (O005).  `original_cycles` /
+/// `optimized_cycles` receive the two depgraph critical paths.
+[[nodiscard]] validate::ValidationReport check_semantics(
+    const codegen::Program& original, const codegen::Program& candidate,
+    const core::ExecutionPlan* plan, const model::Network* network,
+    double* original_cycles = nullptr, double* optimized_cycles = nullptr);
+
+}  // namespace rainbow::analysis

@@ -56,6 +56,12 @@ struct LayerProgram {
   std::string layer_name;
   core::PolicyChoice choice;
   std::vector<Command> commands;
+  /// Set by analysis::optimize_program on layers it reordered.  The
+  /// dependence graph models such layers in kScheduled mode (issue order is
+  /// the DMA drain order, per-tile waits instead of last-issued waits); it
+  /// is never inferred from the stream shape, so hand-built or lowered
+  /// streams keep the engine's drain-order model.
+  bool scheduled = false;
 };
 
 /// A whole network's command stream.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/analyzer.hpp"
+#include "util/hash.hpp"
 
 namespace rainbow::core {
 
@@ -33,12 +34,7 @@ void put_f64(std::string& out, double v) {
 }  // namespace
 
 std::uint64_t EvalKey::fnv1a(const std::string& bytes) {
-  std::uint64_t hash = 14695981039346656037ull;
-  for (char c : bytes) {
-    hash ^= static_cast<std::uint8_t>(c);
-    hash *= 1099511628211ull;
-  }
-  return hash;
+  return util::fnv1a(bytes);
 }
 
 EvalKey make_eval_key(const model::Layer& layer,

@@ -57,8 +57,8 @@ class EvalKey {
     return a.hash_ == b.hash_ && a.bytes_ == b.bytes_;
   }
 
-  /// 64-bit FNV-1a over a byte string: deterministic across processes and
-  /// platforms, unlike std::hash<std::string>.
+  /// 64-bit FNV-1a over a byte string (util/hash.hpp): deterministic
+  /// across processes and platforms, unlike std::hash<std::string>.
   [[nodiscard]] static std::uint64_t fnv1a(const std::string& bytes);
 
  private:

@@ -14,6 +14,7 @@
 #include "core/plan_io.hpp"
 #include "dse/sweep.hpp"
 #include "model/parser.hpp"
+#include "util/hash.hpp"
 #include "validate/plan_validator.hpp"
 
 namespace rainbow::serve {
@@ -85,16 +86,6 @@ core::ManagerOptions manager_options_for(const Request& request) {
   return options;
 }
 
-/// FNV-1a over the single-flight key; only shard selection depends on it,
-/// so quality beyond "spreads distinct keys" is irrelevant.
-std::uint64_t fnv1a(const std::string& text) {
-  std::uint64_t hash = 14695981039346656037ull;
-  for (const char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
 
 void append_cache_headers(Response& response,
                           const core::EvalCacheStats& stats) {
@@ -306,7 +297,9 @@ arch::AcceleratorSpec PlanningService::spec_for(const Request& request) const {
 
 PlanningService::FlightShard& PlanningService::flight_shard_for(
     const std::string& key) {
-  return flight_shards_[fnv1a(key) % kFlightShards];
+  // Only shard selection depends on the hash; FNV-1a spreads distinct
+  // keys, which is all that matters here.
+  return flight_shards_[util::fnv1a(key) % kFlightShards];
 }
 
 Response PlanningService::do_plan(const Request& request) {

@@ -1,0 +1,35 @@
+// The one FNV-1a implementation every subsystem shares.  64-bit FNV-1a is
+// the repo's canonical byte-string hash: deterministic across processes
+// and platforms (unlike std::hash), trivially constexpr, and good enough
+// for cache keys and shard selection.  Callers that persist or compare
+// digests across runs (EvalCache keys, the serve single-flight shards)
+// rely on these exact constants; tests/hash_test.cpp pins them and a set
+// of golden digests so an accidental algorithm change cannot slip in.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rainbow::util {
+
+/// FNV-1a 64-bit offset basis and prime (the standard parameters).
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// Folds one byte into a running FNV-1a state.
+[[nodiscard]] constexpr std::uint64_t fnv1a_byte(std::uint64_t hash,
+                                                 std::uint8_t byte) {
+  return (hash ^ byte) * kFnv1aPrime;
+}
+
+/// 64-bit FNV-1a over a byte string.  constexpr so compile-time digests
+/// (and the pinning static_asserts) work.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t hash = kFnv1aOffsetBasis;
+  for (const char c : bytes) {
+    hash = fnv1a_byte(hash, static_cast<std::uint8_t>(c));
+  }
+  return hash;
+}
+
+}  // namespace rainbow::util

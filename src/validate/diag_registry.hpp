@@ -13,6 +13,10 @@
 //   S0xx  stream hazards from the linear stream analyzer (src/analysis)
 //   R0xx  concurrency findings from the happens-before dependence graph
 //         (src/analysis/depgraph, docs/static_analysis.md)
+//   O0xx  translation-validation failures from the certified stream
+//         optimizer (src/analysis/streamopt): an optimized stream that is
+//         not provably equivalent to its original is rejected with one of
+//         these, never emitted
 #pragma once
 
 #include <array>
@@ -99,7 +103,20 @@
   X(kRaceReorderViolation, "R007",                                             \
     "reordered stream violates a happens-before dependence")                   \
   X(kRaceRedundantBarrier, "R008",                                             \
-    "barrier drains nothing (no async work since the last sync point)")
+    "barrier drains nothing (no async work since the last sync point)")        \
+  /* Stream-optimizer translation validation. */                               \
+  X(kOptReorderViolation, "O001",                                              \
+    "optimized stream is not a certified reorder of the original")             \
+  X(kOptRaceIntroduced, "O002",                                                \
+    "optimized stream has a race the original did not")                        \
+  X(kOptStreamRegression, "O003",                                              \
+    "optimized stream fails the S-code stream analyzer")                       \
+  X(kOptSemanticsDiverged, "O004",                                             \
+    "optimized stream interprets to a different final state")                  \
+  X(kOptLatencyRegressed, "O005",                                              \
+    "optimized stream's critical path exceeds the original's")                 \
+  X(kOptStructuralViolation, "O006",                                           \
+    "optimizer pass produced a structurally invalid rewrite")
 
 namespace rainbow::validate {
 

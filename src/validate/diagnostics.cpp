@@ -31,6 +31,8 @@ std::string_view to_string(Severity severity) {
       return "error";
     case Severity::kWarning:
       return "warning";
+    case Severity::kAdvisory:
+      return "advisory";
   }
   throw std::logic_error("to_string: invalid Severity");
 }
@@ -55,6 +57,8 @@ std::string Diagnostic::message() const {
 void ValidationReport::add(Diagnostic diagnostic) {
   if (diagnostic.severity == Severity::kError) {
     ++errors_;
+  } else if (diagnostic.severity == Severity::kWarning) {
+    ++warnings_;
   }
   diagnostics_.push_back(std::move(diagnostic));
 }
@@ -90,11 +94,21 @@ std::string ValidationReport::summary() const {
     os << d.message() << '\n';
   }
   os << error_count() << " error(s), " << warning_count() << " warning(s)";
+  if (advisory_count() > 0) {
+    os << ", " << advisory_count() << " advisory(ies)";
+  }
   return os.str();
 }
 
 std::ostream& operator<<(std::ostream& os, const ValidationReport& report) {
   return os << report.summary();
+}
+
+int strict_exit_code(const ValidationReport& report, bool strict) {
+  if (report.error_count() > 0) {
+    return 1;
+  }
+  return strict && report.warning_count() > 0 ? 1 : 0;
 }
 
 }  // namespace rainbow::validate

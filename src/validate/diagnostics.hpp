@@ -38,7 +38,12 @@ inline constexpr std::size_t kCodeCount = detail::kCodeCount;
 /// One-line human description of the rule behind a code.
 [[nodiscard]] std::string_view code_description(Code code);
 
-enum class Severity { kError, kWarning };
+/// kError fails the run outright.  kWarning is suspicious-but-tolerable and
+/// flips exit codes only under --strict.  kAdvisory is informational (e.g.
+/// R008 redundant barrier: an optimization opportunity, not a defect) and
+/// never flips an exit code, strict or not — the severity mapping is shared
+/// by every CLI through strict_exit_code().
+enum class Severity { kError, kWarning, kAdvisory };
 
 [[nodiscard]] std::string_view to_string(Severity severity);
 
@@ -66,10 +71,11 @@ class ValidationReport {
     return diagnostics_;
   }
   [[nodiscard]] std::size_t error_count() const { return errors_; }
-  [[nodiscard]] std::size_t warning_count() const {
-    return diagnostics_.size() - errors_;
+  [[nodiscard]] std::size_t warning_count() const { return warnings_; }
+  [[nodiscard]] std::size_t advisory_count() const {
+    return diagnostics_.size() - errors_ - warnings_;
   }
-  /// True when no *errors* were recorded (warnings allowed).
+  /// True when no *errors* were recorded (warnings/advisories allowed).
   [[nodiscard]] bool ok() const { return errors_ == 0; }
   [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
 
@@ -87,8 +93,14 @@ class ValidationReport {
  private:
   std::vector<Diagnostic> diagnostics_;
   std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
 };
 
 std::ostream& operator<<(std::ostream& os, const ValidationReport& report);
+
+/// The one severity-to-exit-code policy every CLI shares: errors always
+/// fail; warnings fail only under --strict; advisories never fail.  Returns
+/// 0 (clean) or 1 (findings the mode treats as fatal).
+[[nodiscard]] int strict_exit_code(const ValidationReport& report, bool strict);
 
 }  // namespace rainbow::validate

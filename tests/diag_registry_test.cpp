@@ -1,5 +1,5 @@
 // The generated diagnostic registry (validate/diag_registry.hpp) is the
-// single source of truth for every V/L/S/R code: this test pins the
+// single source of truth for every V/L/S/R/O code: this test pins the
 // invariants the catalog relies on — codes unique, well-formed, ordered
 // within their family, enum <-> string round-trips, and every code
 // documented in docs/static_analysis.md's catalog.
@@ -31,7 +31,7 @@ TEST(DiagRegistry, CodesAreUniqueAndWellFormed) {
     EXPECT_TRUE(seen.insert(code).second) << "duplicate code " << code;
     ASSERT_EQ(code.size(), 4u) << code;
     EXPECT_TRUE(code[0] == 'V' || code[0] == 'L' || code[0] == 'S' ||
-                code[0] == 'R')
+                code[0] == 'R' || code[0] == 'O')
         << code;
     for (std::size_t i = 1; i < 4; ++i) {
       EXPECT_TRUE(code[i] >= '0' && code[i] <= '9') << code;

@@ -1,0 +1,59 @@
+// util/hash.hpp is the single FNV-1a implementation the EvalCache keys
+// and the serve single-flight shards both depend on.  Cached plans and
+// shard assignments must be stable across builds, so this test pins the
+// exact constants, a set of published FNV-1a golden digests, and the
+// compile-time usability of the function.
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/eval_cache.hpp"
+
+namespace rainbow::util {
+namespace {
+
+TEST(Fnv1aHash, PinsTheStandardParameters) {
+  EXPECT_EQ(kFnv1aOffsetBasis, 14695981039346656037ull);
+  EXPECT_EQ(kFnv1aPrime, 1099511628211ull);
+  // The empty string hashes to the offset basis by definition.
+  EXPECT_EQ(fnv1a(""), kFnv1aOffsetBasis);
+}
+
+TEST(Fnv1aHash, MatchesPublishedGoldenDigests) {
+  // Reference vectors from the FNV specification (64-bit FNV-1a).
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1aHash, IsUsableAtCompileTime) {
+  static_assert(fnv1a("") == 0xcbf29ce484222325ull);
+  static_assert(fnv1a("a") == 0xaf63dc4c8601ec8cull);
+  static_assert(fnv1a("foobar") == 0x85944171f73967e8ull);
+  static_assert(fnv1a_byte(kFnv1aOffsetBasis, 'a') == fnv1a("a"));
+}
+
+TEST(Fnv1aHash, HandlesHighBytesAsUnsigned) {
+  // Bytes >= 0x80 must be folded as unsigned values; a signed-char XOR
+  // would smear the high bits and change every digest containing them.
+  const std::string high("\xff\x80\x01", 3);
+  std::uint64_t expected = kFnv1aOffsetBasis;
+  expected = fnv1a_byte(expected, 0xff);
+  expected = fnv1a_byte(expected, 0x80);
+  expected = fnv1a_byte(expected, 0x01);
+  EXPECT_EQ(fnv1a(high), expected);
+  EXPECT_NE(fnv1a(high), fnv1a(""));
+}
+
+TEST(Fnv1aHash, EvalKeyUsesTheSharedImplementation) {
+  for (const std::string bytes : {std::string(), std::string("a"),
+                                  std::string("foobar"),
+                                  std::string("\x00\xff junk", 7)}) {
+    EXPECT_EQ(core::EvalKey::fnv1a(bytes), fnv1a(bytes)) << bytes;
+  }
+}
+
+}  // namespace
+}  // namespace rainbow::util

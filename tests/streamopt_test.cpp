@@ -1,0 +1,395 @@
+// Unit tests for the translation-validated stream optimizer
+// (analysis/streamopt.hpp): the three passes on hand-built streams, the
+// O-code stage gates on deliberately illegal rewrites, the zoo
+// end-to-end certification (reordering must shrink the critical path and
+// never break a single gate), and the advisory severity policy the
+// optimizer's R008 elision pass rests on.
+#include "analysis/streamopt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "analysis/race.hpp"
+#include "codegen/interpret.hpp"
+#include "codegen/lower.hpp"
+#include "core/manager.hpp"
+#include "model/zoo/zoo.hpp"
+
+namespace rainbow::analysis {
+namespace {
+
+using codegen::Command;
+using codegen::DataKind;
+using codegen::LayerProgram;
+using codegen::Program;
+using validate::Code;
+using validate::Diagnostic;
+using validate::Severity;
+using validate::ValidationReport;
+
+constexpr Code kAllOptCodes[] = {
+    Code::kOptReorderViolation, Code::kOptRaceIntroduced,
+    Code::kOptStreamRegression, Code::kOptSemanticsDiverged,
+    Code::kOptLatencyRegressed, Code::kOptStructuralViolation};
+
+void expect_only(const ValidationReport& report, Code expected) {
+  for (const Code code : kAllOptCodes) {
+    if (code == expected) {
+      EXPECT_GE(report.count(code), 1u)
+          << validate::code_string(code) << "\n" << report.summary();
+    } else {
+      EXPECT_EQ(report.count(code), 0u)
+          << validate::code_string(code) << "\n" << report.summary();
+    }
+  }
+}
+
+/// Minimal clean serial one-layer stream (mirrors race_mutation_test's
+/// base fixture).
+Program base_program() {
+  Program program;
+  program.model = "fixture";
+  program.spec = arch::paper_spec(util::kib(64));
+  LayerProgram layer;
+  layer.layer_index = 0;
+  layer.layer_name = "l0";
+  layer.choice.prefetch = false;
+  layer.commands = {
+      {.op = Command::Op::kAlloc, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kAlloc, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kAlloc, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kLoad, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kLoad, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kCompute, .macs = 100},
+      {.op = Command::Op::kStore, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+      {.op = Command::Op::kBarrier},
+      {.op = Command::Op::kFree, .region = 0, .kind = DataKind::kIfmap,
+       .elems = 16},
+      {.op = Command::Op::kFree, .region = 1, .kind = DataKind::kFilter,
+       .elems = 8},
+      {.op = Command::Op::kFree, .region = 2, .kind = DataKind::kOfmap,
+       .elems = 8},
+  };
+  program.layers.push_back(std::move(layer));
+  return program;
+}
+
+std::vector<Command>& commands(Program& program, std::size_t layer = 0) {
+  return program.layers[layer].commands;
+}
+
+TEST(StreamOpt, IdentityStreamCertifiesUnchanged) {
+  const Program program = base_program();
+  const OptimizeResult result = optimize_program(program);
+  EXPECT_TRUE(result.certified) << result.report.summary();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.layers_reordered, 0u);
+  EXPECT_EQ(result.barriers_elided, 0u);
+  EXPECT_EQ(result.transfers_coalesced, 0u);
+  ASSERT_EQ(result.program.layers.size(), 1u);
+  EXPECT_EQ(result.program.layers[0].commands,
+            program.layers[0].commands);
+  EXPECT_DOUBLE_EQ(result.optimized_cycles, result.original_cycles);
+}
+
+TEST(StreamOpt, ElidesRedundantBarrierKeepsTheCloser) {
+  Program program = base_program();
+  // A barrier straight after the allocs drains nothing: the R008 shape.
+  commands(program).insert(commands(program).begin() + 3,
+                           Command{.op = Command::Op::kBarrier});
+  const OptimizeResult result = optimize_program(program);
+  EXPECT_TRUE(result.certified) << result.report.summary();
+  EXPECT_EQ(result.barriers_elided, 1u);
+  // Exactly the redundant barrier is gone; the draining closer stays.
+  EXPECT_EQ(result.program.layers[0].commands,
+            base_program().layers[0].commands);
+  // The emitted stream no longer carries the R008 advisory.
+  EXPECT_EQ(analyze_races(result.program).report.count(
+                Code::kRaceRedundantBarrier),
+            0u);
+}
+
+TEST(StreamOpt, KeepsTrailingBarrierEvenWhenRedundant) {
+  Program program = base_program();
+  // A second barrier after the draining one is redundant, but it is the
+  // layer's closing barrier; the optimizer must not strip the layer's
+  // terminal sync (serial handoff and S008/S009 depend on it).
+  commands(program).push_back(Command{.op = Command::Op::kBarrier});
+  const OptimizeResult result = optimize_program(program);
+  EXPECT_TRUE(result.certified) << result.report.summary();
+  // The mid-stream draining barrier is now "redundant-looking" only for
+  // the inserted one; the original barrier drains 4 asyncs.  Nothing but
+  // the trailing barrier is redundant, and that one is kept.
+  EXPECT_EQ(result.barriers_elided, 0u);
+  EXPECT_EQ(result.program.layers[0].commands.back().op,
+            Command::Op::kBarrier);
+}
+
+TEST(StreamOpt, ElisionGateRejectsDrainingBarrierRemoval) {
+  const Program original = base_program();
+  Program candidate = original;
+  // Remove the real barrier: it drains 4 async commands.
+  commands(candidate).erase(commands(candidate).begin() + 7);
+  const ValidationReport gate = check_elision_stage(original, candidate);
+  EXPECT_FALSE(gate.ok());
+  expect_only(gate, Code::kOptStructuralViolation);
+}
+
+TEST(StreamOpt, ElisionGateRejectsNonBarrierRemoval) {
+  const Program original = base_program();
+  Program candidate = original;
+  commands(candidate).erase(commands(candidate).begin() + 5);  // compute
+  const ValidationReport gate = check_elision_stage(original, candidate);
+  EXPECT_FALSE(gate.ok());
+  expect_only(gate, Code::kOptStructuralViolation);
+}
+
+TEST(StreamOpt, ElisionGateRejectsInsertedCommand) {
+  const Program original = base_program();
+  Program candidate = original;
+  commands(candidate).push_back(Command{.op = Command::Op::kBarrier});
+  const ValidationReport gate = check_elision_stage(original, candidate);
+  EXPECT_FALSE(gate.ok());
+  expect_only(gate, Code::kOptStructuralViolation);
+}
+
+TEST(StreamOpt, CoalescesAdjacentSameRegionChunks) {
+  Program program = base_program();
+  // Split the ifmap load into two adjacent 8-element chunks.
+  commands(program)[3].elems = 8;
+  commands(program).insert(
+      commands(program).begin() + 4,
+      Command{.op = Command::Op::kLoad, .region = 0, .kind = DataKind::kIfmap,
+              .elems = 8});
+  const OptimizeResult result = optimize_program(program);
+  EXPECT_TRUE(result.certified) << result.report.summary();
+  EXPECT_EQ(result.transfers_coalesced, 1u);
+  EXPECT_EQ(result.program.layers[0].commands,
+            base_program().layers[0].commands);
+  // Differential sanity: merged stream interprets to identical traffic.
+  const codegen::Interpreter interp(program.spec);
+  const codegen::ProgramRun before = interp.run(program);
+  const codegen::ProgramRun after = interp.run(result.program);
+  EXPECT_EQ(before.total_accesses, after.total_accesses);
+  EXPECT_EQ(before.peak_glb_elems, after.peak_glb_elems);
+}
+
+TEST(StreamOpt, CoalesceGateRejectsSizeMismatch) {
+  const Program original = base_program();
+  Program candidate = original;
+  // "Merge" that invents elements: 16 -> 24 with no matching chunks.
+  commands(candidate)[3].elems = 24;
+  const ValidationReport gate = check_coalesce_stage(original, candidate);
+  EXPECT_FALSE(gate.ok());
+  expect_only(gate, Code::kOptStructuralViolation);
+}
+
+TEST(StreamOpt, CoalesceGateRejectsOverflowingFilterMerge) {
+  // Two filter loads of a full 8-element region: a merge would be 16 into
+  // a region of 8 — legal-looking chunk arithmetic, illegal occupancy.
+  Program original = base_program();
+  commands(original).insert(
+      commands(original).begin() + 5,
+      Command{.op = Command::Op::kLoad, .region = 1, .kind = DataKind::kFilter,
+              .elems = 8});
+  Program candidate = original;
+  commands(candidate)[4].elems = 16;
+  commands(candidate).erase(commands(candidate).begin() + 5);
+  const ValidationReport gate = check_coalesce_stage(original, candidate);
+  EXPECT_FALSE(gate.ok());
+  expect_only(gate, Code::kOptStructuralViolation);
+}
+
+TEST(StreamOpt, CoalesceGateAcceptsTheRealMerge) {
+  Program original = base_program();
+  commands(original)[3].elems = 8;
+  commands(original).insert(
+      commands(original).begin() + 4,
+      Command{.op = Command::Op::kLoad, .region = 0, .kind = DataKind::kIfmap,
+              .elems = 8});
+  const Program candidate = base_program();
+  EXPECT_TRUE(check_coalesce_stage(original, candidate).ok());
+}
+
+/// Real lowering, forced p2 + prefetch: every layer is the tagged
+/// double-buffered shape the reordering pass targets.
+struct Lowered {
+  model::Network net = model::zoo::mobilenet();
+  core::ExecutionPlan plan;
+  Program program;
+  Lowered()
+      : plan(core::MemoryManager(arch::paper_spec(util::kib(64)))
+                 .plan_with_policy(net, core::Policy::kFilterReuse,
+                                   /*prefetch=*/true,
+                                   core::Objective::kAccesses)),
+        program(codegen::lower(plan, net)) {}
+};
+
+/// The lowering and its certified optimization are deterministic and
+/// expensive (a full mobilenet stream); build them once, assert many.
+const Lowered& lowered() {
+  static const Lowered fixture;
+  return fixture;
+}
+
+const OptimizeResult& optimized() {
+  static const OptimizeResult result = optimize_program(
+      lowered().program, lowered().plan, lowered().net);
+  return result;
+}
+
+TEST(StreamOpt, ZooReorderCertifiesAndShrinksCriticalPath) {
+  const Lowered& fixture = lowered();
+  const OptimizeResult& result = optimized();
+  EXPECT_TRUE(result.certified) << result.report.summary();
+  EXPECT_TRUE(result.ok());
+  EXPECT_GE(result.layers_reordered, 1u);
+  EXPECT_GT(result.commands_moved, 0u);
+  EXPECT_LT(result.optimized_cycles, result.original_cycles);
+  EXPECT_LT(result.optimized_stall_cycles, result.original_stall_cycles);
+  // Reordered layers carry the scheduled flag, and the emitted stream is
+  // race-free under the scheduled dependence model.
+  std::size_t scheduled = 0;
+  for (const LayerProgram& layer : result.program.layers) {
+    scheduled += layer.scheduled ? 1u : 0u;
+  }
+  EXPECT_EQ(scheduled, result.layers_reordered);
+  const RaceReport races = analyze_races(result.program);
+  EXPECT_TRUE(races.ok()) << races.report.summary();
+  // Per-layer accounting: reverted layers keep their cycles, kept layers
+  // improve, and the totals are consistent.
+  ASSERT_EQ(result.layers.size(), result.program.layers.size());
+  for (const LayerOptStats& stats : result.layers) {
+    if (stats.reordered) {
+      EXPECT_LT(stats.optimized_cycles, stats.original_cycles)
+          << stats.layer_name;
+    }
+  }
+}
+
+TEST(StreamOpt, ZooReorderPreservesInterpretedSemantics) {
+  const Lowered& fixture = lowered();
+  const OptimizeResult& result = optimized();
+  ASSERT_TRUE(result.certified) << result.report.summary();
+  const codegen::Interpreter interp(fixture.program.spec);
+  const codegen::ProgramRun before = interp.run(fixture.program);
+  const codegen::ProgramRun after = interp.run(result.program);
+  ASSERT_EQ(before.layers.size(), after.layers.size());
+  for (std::size_t l = 0; l < before.layers.size(); ++l) {
+    EXPECT_TRUE(before.layers[l].traffic == after.layers[l].traffic) << l;
+    EXPECT_EQ(before.layers[l].macs, after.layers[l].macs) << l;
+    EXPECT_EQ(before.layers[l].peak_glb_elems, after.layers[l].peak_glb_elems)
+        << l;
+  }
+  EXPECT_EQ(before.total_accesses, after.total_accesses);
+  EXPECT_EQ(before.peak_glb_elems, after.peak_glb_elems);
+}
+
+TEST(StreamOpt, ReorderGateRejectsIllegalHoist) {
+  const Lowered& fixture = lowered();
+  Program candidate = fixture.program;
+  // Find a layer with a compute after a load and hoist the compute above
+  // it: inverts the RAW load -> compute dependence.
+  bool mutated = false;
+  for (LayerProgram& layer : candidate.layers) {
+    for (std::size_t i = 1; i + 1 < layer.commands.size() && !mutated; ++i) {
+      if (layer.commands[i].op == Command::Op::kCompute &&
+          layer.commands[i - 1].op == Command::Op::kLoad &&
+          layer.commands[i - 1].tile == layer.commands[i].tile) {
+        std::swap(layer.commands[i - 1], layer.commands[i]);
+        mutated = true;
+      }
+    }
+    if (mutated) {
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  const ValidationReport gate =
+      check_reorder_stage(fixture.program, candidate);
+  EXPECT_FALSE(gate.ok());
+  expect_only(gate, Code::kOptReorderViolation);
+}
+
+TEST(StreamOpt, ZooLoweringsCarryNoRedundantBarriers) {
+  // The lowering emits exactly one draining barrier per layer, so zoo
+  // R008 counts are zero before the optimizer ever runs — and stay zero
+  // on the optimized stream (the elision pass would remove any that
+  // appeared).
+  const Lowered& fixture = lowered();
+  EXPECT_EQ(analyze_races(fixture.program)
+                .report.count(Code::kRaceRedundantBarrier),
+            0u);
+  const OptimizeResult& result = optimized();
+  ASSERT_TRUE(result.certified);
+  EXPECT_EQ(result.barriers_elided, 0u);
+  EXPECT_EQ(analyze_races(result.program)
+                .report.count(Code::kRaceRedundantBarrier),
+            0u);
+}
+
+TEST(StreamOpt, CheckSemanticsFlagsCorruptedCandidate) {
+  const Lowered& fixture = lowered();
+  Program candidate = fixture.program;
+  // Silently shrink one transfer: conservation breaks, the differential
+  // interpreter (or the S-code analyzer) must catch it.
+  for (LayerProgram& layer : candidate.layers) {
+    for (Command& cmd : layer.commands) {
+      if (cmd.op == Command::Op::kLoad && cmd.elems > 1) {
+        cmd.elems -= 1;
+        goto corrupted;
+      }
+    }
+  }
+corrupted:
+  const ValidationReport report = check_semantics(
+      fixture.program, candidate, &fixture.plan, &fixture.net);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(StreamOpt, AdvisoriesNeverFlipExitCodes) {
+  ValidationReport advisory_only;
+  advisory_only.add({.code = Code::kRaceRedundantBarrier,
+                     .severity = Severity::kAdvisory});
+  EXPECT_EQ(advisory_only.error_count(), 0u);
+  EXPECT_EQ(advisory_only.warning_count(), 0u);
+  EXPECT_EQ(advisory_only.advisory_count(), 1u);
+  EXPECT_EQ(validate::strict_exit_code(advisory_only, false), 0);
+  EXPECT_EQ(validate::strict_exit_code(advisory_only, true), 0);
+
+  ValidationReport with_warning = advisory_only;
+  with_warning.add({.code = Code::kStreamUnterminatedLayer,
+                    .severity = Severity::kWarning});
+  EXPECT_EQ(with_warning.warning_count(), 1u);
+  EXPECT_EQ(validate::strict_exit_code(with_warning, false), 0);
+  EXPECT_EQ(validate::strict_exit_code(with_warning, true), 1);
+
+  ValidationReport with_error = with_warning;
+  with_error.add({.code = Code::kOptStructuralViolation,
+                  .severity = Severity::kError});
+  EXPECT_EQ(validate::strict_exit_code(with_error, false), 1);
+  EXPECT_EQ(validate::strict_exit_code(with_error, true), 1);
+}
+
+TEST(StreamOpt, PassesCanBeDisabledIndependently) {
+  Program program = base_program();
+  commands(program).insert(commands(program).begin() + 3,
+                           Command{.op = Command::Op::kBarrier});
+  StreamOptOptions options;
+  options.elide_barriers = false;
+  const OptimizeResult result = optimize_program(program, options);
+  EXPECT_TRUE(result.certified) << result.report.summary();
+  EXPECT_EQ(result.barriers_elided, 0u);
+  EXPECT_EQ(result.program.layers[0].commands, program.layers[0].commands);
+}
+
+}  // namespace
+}  // namespace rainbow::analysis

@@ -19,6 +19,7 @@
 #include "model/parser.hpp"
 #include "model/zoo/zoo.hpp"
 #include "util/units.hpp"
+#include "validate/diagnostics.hpp"
 #include "validate/lint.hpp"
 
 namespace {
@@ -145,11 +146,11 @@ int main(int argc, char** argv) {
     }
 
     std::cout << "rainbow_lint: " << all.error_count() << " error(s), "
-              << all.warning_count() << " warning(s)\n";
-    if (all.error_count() > 0 || (strict && all.warning_count() > 0)) {
-      return 1;
-    }
-    return 0;
+              << all.warning_count() << " warning(s), "
+              << all.advisory_count() << " advisory(ies)\n";
+    // Shared severity mapping: errors always fail, warnings fail only
+    // under --strict, advisories never flip the exit code.
+    return validate::strict_exit_code(all, strict);
   } catch (const std::exception& e) {
     std::cerr << "rainbow_lint: " << e.what() << '\n';
     return 2;

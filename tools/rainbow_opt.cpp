@@ -1,19 +1,18 @@
-// rainbow_analyze: static analysis of lowered command streams.  For every
-// requested (model, GLB, policy, prefetch) combination the tool plans,
-// lowers the plan to a codegen::Program, and abstractly interprets the
-// stream — region lifetimes, occupancy timeline, barrier epochs, and the
-// plan cross-checks — reporting coded S0xx findings, with optional
-// happens-before race detection (R0xx) and the critical-path/latency
-// cross-check (S016).  See docs/static_analysis.md for the catalog.
+// rainbow_opt: the certified command-stream optimizer as a CLI gate.  For
+// every requested (model, GLB, policy, prefetch) combination the tool
+// plans, lowers, and runs the translation-validated optimizer — DMA
+// reordering, barrier elision, DMA coalescing — then reports the
+// critical-path and stall deltas.  Every emitted stream passed the full
+// certification stack (certified reorder, race freedom, S-code analysis,
+// differential interpretation, latency re-cost); a rejected candidate is
+// an O0xx error and a nonzero exit, which is what CI pins.
 //
-//   rainbow_analyze --all-zoo --strict
-//   rainbow_analyze --all-zoo --races --critical-path --jobs 4 --strict
-//   rainbow_analyze --model resnet18 --glb 64 --policy het
-//   rainbow_analyze --model mobilenet --policy p2 --prefetch on
-//   rainbow_analyze --all-zoo --strict --format json > report.json
+//   rainbow_opt --all-zoo --glb 64,256 --strict
+//   rainbow_opt --all-zoo --glb 64,256 --strict --format json > report.json
+//   rainbow_opt --model resnet18 --policy p2 --prefetch on
 //
-// Exit codes: 0 clean, 1 findings (errors, or warnings under --strict),
-// 2 usage error.
+// Exit codes: 0 every combo certified, 1 findings (a rejected candidate,
+// or warnings under --strict), 2 usage error.
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -24,10 +23,10 @@
 
 #include "analysis/analyze_report.hpp"
 #include "model/parser.hpp"
-#include "validate/diagnostics.hpp"
 #include "model/zoo/zoo.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
+#include "validate/diagnostics.hpp"
 
 namespace {
 
@@ -40,26 +39,18 @@ void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [inputs] [options]\n"
       << "inputs (at least one):\n"
-      << "  --model <file|zoo-name>  analyze this model (repeatable)\n"
-      << "  --all-zoo                analyze every built-in zoo model\n"
+      << "  --model <file|zoo-name>  optimize this model (repeatable)\n"
+      << "  --all-zoo                optimize every built-in zoo model\n"
       << "options:\n"
-      << "  --glb <kB[,kB...]>       GLB sizes to analyze (default 64,1024)\n"
+      << "  --glb <kB[,kB...]>       GLB sizes (default 64,256)\n"
       << "  --width <bits>           element width (default 8)\n"
       << "  --policy <p>             het | all | intra | p1..p5 | tiled\n"
-      << "                           (default all: het plans plus every\n"
-      << "                           forced policy)\n"
-      << "  --prefetch <m>           on | off | both — prefetch variants of\n"
-      << "                           the forced policies (default both)\n"
-      << "  --objective <o>          accesses | latency | both — objectives\n"
-      << "                           for the het plans (default both)\n"
+      << "                           (default all)\n"
+      << "  --prefetch <m>           on | off | both (default both)\n"
+      << "  --objective <o>          accesses | latency | both (default\n"
+      << "                           both, het plans only)\n"
       << "  --no-interlayer          skip the inter-layer-reuse het plans\n"
-      << "  --races                  happens-before race detection (R0xx)\n"
-      << "  --critical-path          cross-check the dependence graph's\n"
-      << "                           critical path against the engine (S016)\n"
-      << "  --optimize               run the certified stream optimizer and\n"
-      << "                           report critical-path/stall deltas (O0xx\n"
-      << "                           on a rejected candidate)\n"
-      << "  --jobs <n>               analyze combos on n threads (0 = all\n"
+      << "  --jobs <n>               optimize combos on n threads (0 = all\n"
       << "                           cores); report order is deterministic\n"
       << "  --strict                 warnings also fail (exit 1)\n"
       << "  --format <f>             text | json (default text)\n"
@@ -89,8 +80,10 @@ std::vector<count_t> parse_kib_list(const std::string& csv) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> model_inputs;
-  std::vector<count_t> glb_kib = {64, 1024};
+  std::vector<count_t> glb_kib = {64, 256};
   AnalyzeOptions analyze_options;
+  analyze_options.optimize = true;
+  analyze_options.tool = "rainbow_opt";
   std::string policy_mode = "all";
   std::string prefetch_mode = "both";
   std::string objective_mode = "both";
@@ -101,7 +94,6 @@ int main(int argc, char** argv) {
   std::string format = "text";
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
-    // Accept both "--format json" and "--format=json" style.
     std::string inline_value;
     if (const auto eq = flag.find('='); eq != std::string::npos) {
       inline_value = flag.substr(eq + 1);
@@ -112,7 +104,7 @@ int main(int argc, char** argv) {
         return inline_value;
       }
       if (i + 1 >= argc) {
-        std::cerr << "rainbow_analyze: missing value for " << flag << '\n';
+        std::cerr << "rainbow_opt: missing value for " << flag << '\n';
         std::exit(2);
       }
       return argv[++i];
@@ -133,12 +125,6 @@ int main(int argc, char** argv) {
       objective_mode = next();
     } else if (flag == "--no-interlayer") {
       no_interlayer = true;
-    } else if (flag == "--races") {
-      analyze_options.races = true;
-    } else if (flag == "--critical-path") {
-      analyze_options.critical_path = true;
-    } else if (flag == "--optimize") {
-      analyze_options.optimize = true;
     } else if (flag == "--jobs") {
       jobs = std::atoi(next().c_str());
     } else if (flag == "--strict") {
@@ -185,14 +171,13 @@ int main(int argc, char** argv) {
     if (prefetch_mode != "off") {
       prefetches.push_back(true);
     }
-    std::vector<std::string> forced;  // short labels of forced policies
+    std::vector<std::string> forced;
     if (policy_mode == "all") {
       for (core::Policy p : core::kAllPolicies) {
         forced.push_back(core::short_label(p, false));
       }
       forced.emplace_back("tiled");
     } else if (policy_mode != "het") {
-      // Validates the label up front (throws on anything unknown).
       static_cast<void>(core::policy_from_short_label(policy_mode));
       forced.push_back(policy_mode);
     }
@@ -217,8 +202,6 @@ int main(int argc, char** argv) {
       }
     }
 
-    // One evaluation cache across the whole grid: the sweep re-plans the
-    // same layers under many specs, which is exactly what it memoizes.
     const auto cache = std::make_shared<core::EvalCache>();
     const auto run_combo = [&](const AnalyzeCombo& combo) {
       const model::Network net = std::filesystem::exists(combo.model)
@@ -227,8 +210,6 @@ int main(int argc, char** argv) {
       return analysis::analyze_combo(net, combo, analyze_options, cache);
     };
 
-    // Combos are independent; fan them out and keep the report in combo
-    // order so output is identical at any job count.
     std::vector<ComboOutcome> outcomes(combos.size());
     const std::size_t workers = util::resolve_workers(
         jobs, combos.size(), /*min_items_per_worker=*/1);
@@ -246,37 +227,30 @@ int main(int argc, char** argv) {
 
     validate::ValidationReport all_findings;
     std::size_t skipped = 0;
+    std::size_t certified = 0;
+    std::size_t improved = 0;
     for (const ComboOutcome& outcome : outcomes) {
       all_findings.merge(outcome.result.report);
       if (outcome.status.rfind("skipped", 0) == 0) {
         ++skipped;
+        continue;
+      }
+      if (outcome.opt_certified) {
+        ++certified;
+      }
+      if (outcome.opt_optimized_cycles < outcome.opt_original_cycles) {
+        ++improved;
       }
       if (!quiet && format == "text") {
         std::cout << analysis::combo_label(outcome.combo) << ": "
-                  << outcome.status;
-        if (outcome.status == "ok") {
-          std::cout << " (" << outcome.result.commands << " commands, "
-                    << outcome.result.regions << " regions, peak "
-                    << outcome.result.peak_live_elems << "/"
-                    << outcome.result.capacity_elems << " elems";
-          if (outcome.critical_path_run) {
-            std::cout << ", critical path " << outcome.graph_cycles
-                      << " cycles";
-          }
-          std::cout << ")";
-        }
-        std::cout << '\n';
-        if (outcome.optimize_run) {
-          std::cout << "  optimize: "
-                    << (outcome.opt_certified ? "certified" : "REJECTED")
-                    << ", critical path " << outcome.opt_original_cycles
-                    << " -> " << outcome.opt_optimized_cycles
-                    << " cycles, stalls " << outcome.opt_original_stall_cycles
-                    << " -> " << outcome.opt_optimized_stall_cycles << " ("
-                    << outcome.opt_layers_reordered << " layer(s) reordered, "
-                    << outcome.opt_barriers_elided << " barrier(s) elided, "
-                    << outcome.opt_transfers_coalesced << " merge(s))\n";
-        }
+                  << (outcome.opt_certified ? "certified" : "REJECTED")
+                  << ", critical path " << outcome.opt_original_cycles
+                  << " -> " << outcome.opt_optimized_cycles
+                  << " cycles, stalls " << outcome.opt_original_stall_cycles
+                  << " -> " << outcome.opt_optimized_stall_cycles << " ("
+                  << outcome.opt_layers_reordered << " layer(s) reordered, "
+                  << outcome.opt_barriers_elided << " barrier(s) elided, "
+                  << outcome.opt_transfers_coalesced << " merge(s))\n";
         for (const auto& d : outcome.result.report.diagnostics()) {
           std::cout << "  " << d.message() << '\n';
         }
@@ -286,15 +260,15 @@ int main(int argc, char** argv) {
     if (format == "json") {
       analysis::write_json(outcomes, analyze_options, std::cout);
     } else {
-      std::cout << "rainbow_analyze: " << outcomes.size() << " combo(s), "
-                << skipped << " skipped, " << all_findings.error_count()
+      std::cout << "rainbow_opt: " << outcomes.size() << " combo(s), "
+                << skipped << " skipped, " << certified << " certified, "
+                << improved << " improved, " << all_findings.error_count()
                 << " error(s), " << all_findings.warning_count()
-                << " warning(s), " << all_findings.advisory_count()
-                << " advisory(ies)\n";
+                << " warning(s)\n";
     }
     return validate::strict_exit_code(all_findings, analyze_options.strict);
   } catch (const std::exception& e) {
-    std::cerr << "rainbow_analyze: " << e.what() << '\n';
+    std::cerr << "rainbow_opt: " << e.what() << '\n';
     return 2;
   }
 }

@@ -18,6 +18,7 @@
 
 #include "analysis/race.hpp"
 #include "analysis/stream_analyzer.hpp"
+#include "analysis/streamopt.hpp"
 #include "codegen/lower.hpp"
 #include "codegen/print.hpp"
 #include "core/energy.hpp"
@@ -53,6 +54,7 @@ struct CliOptions {
   bool baseline = false;
   bool validate = false;
   bool analyze = false;
+  bool optimize = false;
   std::optional<std::size_t> explain_layer;  // per-layer candidate table
   std::optional<std::size_t> timeline_layer; // ASCII occupancy chart
   std::optional<std::size_t> lower_layers;  // print the command stream
@@ -81,6 +83,8 @@ struct CliOptions {
      << "                      on any diagnostic (see docs/validation.md)\n"
      << "  --analyze           lower the plan and statically analyze the\n"
      << "                      command stream (docs/static_analysis.md)\n"
+     << "  --optimize          run the certified stream optimizer on the\n"
+     << "                      lowered plan and report the deltas\n"
      << "  --explain <layer>   candidate table for one layer index\n"
      << "  --timeline <layer>  DRAM/compute occupancy chart for one layer\n"
      << "  --baseline          compare against the fixed-partition baseline\n"
@@ -142,6 +146,8 @@ CliOptions parse(int argc, char** argv) {
       opt.validate = true;
     } else if (flag == "--analyze") {
       opt.analyze = true;
+    } else if (flag == "--optimize") {
+      opt.optimize = true;
     } else if (flag == "--explain") {
       opt.explain_layer = std::strtoull(next("--explain").c_str(), nullptr, 10);
     } else if (flag == "--timeline") {
@@ -288,6 +294,28 @@ int main(int argc, char** argv) {
         for (const auto& d : result.report.diagnostics()) {
           std::cout << "    " << d.message() << '\n';
         }
+      }
+      if (!result.ok()) {
+        return 1;
+      }
+    }
+
+    if (opt.optimize) {
+      const codegen::Program program = codegen::lower(plan, net);
+      const analysis::OptimizeResult result =
+          analysis::optimize_program(program, plan, net);
+      std::cout << "  optimize:  "
+                << (result.certified ? "certified" : "REJECTED")
+                << ", critical path " << result.original_cycles << " -> "
+                << result.optimized_cycles << " cycles, stalls "
+                << result.original_stall_cycles << " -> "
+                << result.optimized_stall_cycles << " ("
+                << result.layers_reordered << " layer(s) reordered, "
+                << result.commands_moved << " command(s) moved, "
+                << result.barriers_elided << " barrier(s) elided, "
+                << result.transfers_coalesced << " transfer(s) coalesced)\n";
+      for (const auto& d : result.report.diagnostics()) {
+        std::cout << "    " << d.message() << '\n';
       }
       if (!result.ok()) {
         return 1;
